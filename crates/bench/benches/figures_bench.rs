@@ -1,0 +1,90 @@
+//! One benchmark per table/figure of the paper: each `bench_*` times the
+//! regeneration path of that experiment at smoke scale (the `figures`
+//! binary runs them at full figure scale; these keep the regeneration
+//! code exercised by `cargo bench` and track its performance).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use reptile_bench::figures;
+use reptile_bench::workloads::{smoke, smoke_params};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1", |b| b.iter(|| black_box(figures::table1())));
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2_ranks_per_node", |b| b.iter(|| black_box(figures::fig2(&ds, p, 1))));
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_spectrum_uniformity", |b| b.iter(|| black_box(figures::fig3(&ds, p))));
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_load_balance", |b| b.iter(|| black_box(figures::fig4(&ds, p, 1))));
+    g.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_heuristics", |b| b.iter(|| black_box(figures::fig5(&ds, p, 1))));
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_ecoli_scaling", |b| b.iter(|| black_box(figures::fig6(&ds, p, 1))));
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_drosophila_scaling", |b| {
+        b.iter(|| black_box(figures::fig7(&ds, p, 1)))
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let ds = smoke();
+    let p = smoke_params();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig8_human_scaling", |b| b.iter(|| black_box(figures::fig8(&ds, p, 1))));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8
+);
+criterion_main!(benches);

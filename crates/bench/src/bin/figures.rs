@@ -1,0 +1,84 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p reptile-bench --release --bin figures -- all
+//! cargo run -p reptile-bench --release --bin figures -- table1 fig4 fig6
+//! ```
+//!
+//! Output: the same rows/series the paper reports, with modeled BG/Q
+//! times extrapolated to paper scale (see DESIGN.md §6; absolute numbers
+//! are calibrated loosely, shapes are the claim).
+
+use reptile_bench::figures::*;
+use reptile_bench::workloads::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "partial", "ablation-chunk", "ablation-q", "baseline", "prior-art", "latency"]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    let params = figure_params();
+    for item in wanted {
+        match item {
+            "table1" => println!("{}", table1()),
+            "fig2" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_fig2(&fig2(&ds, params, ECOLI_DIVISOR)));
+            }
+            "fig3" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_fig3(&fig3(&ds, params)));
+            }
+            "fig4" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_fig4(&fig4(&ds, params, ECOLI_DIVISOR)));
+            }
+            "fig5" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_fig5(&fig5(&ds, params, ECOLI_DIVISOR)));
+            }
+            "fig6" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_scaling(&fig6(&ds, params, ECOLI_DIVISOR)));
+            }
+            "fig7" => {
+                let ds = drosophila_scaled();
+                println!("{}", render_scaling(&fig7(&ds, params, DROSOPHILA_DIVISOR)));
+            }
+            "fig8" => {
+                let ds = human_scaled();
+                println!("{}", render_scaling(&fig8(&ds, params, HUMAN_DIVISOR)));
+            }
+            "partial" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_partial(&partial_sweep(&ds, params, ECOLI_DIVISOR)));
+            }
+            "ablation-chunk" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_chunk(&ablation_chunk(&ds, params, ECOLI_DIVISOR)));
+            }
+            "ablation-q" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_quality(&ablation_quality(&ds, params)));
+            }
+            "baseline" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_baseline(&baseline_comparison(&ds, params)));
+            }
+            "prior-art" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_prior_art(&prior_art_comparison(&ds, params, ECOLI_DIVISOR)));
+            }
+            "latency" => {
+                let ds = ecoli_scaled();
+                println!("{}", render_latency(&latency_sweep(&ds, params, ECOLI_DIVISOR)));
+            }
+            other => {
+                eprintln!("unknown item '{other}' (expected table1, fig2..fig8, all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

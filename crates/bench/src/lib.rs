@@ -1,0 +1,12 @@
+//! Benchmark harness: workloads and figure regeneration.
+//!
+//! The [`workloads`] module pins the scaled dataset profiles and
+//! parameters every figure uses; [`figures`] regenerates each table and
+//! figure of the paper (run `cargo run -p reptile-bench --release --bin
+//! figures -- all`). Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod workloads;

@@ -1,0 +1,116 @@
+//! `reptile-correct` — run a distributed correction job.
+//!
+//! ```text
+//! reptile-correct <run.config> [options]
+//!
+//! options:
+//!   --np N               number of ranks (default 8)
+//!   --engine mt|virtual  threaded ranks (default) or the virtual cluster
+//!   --universal          self-describing request messages (§III-B)
+//!   --batch-reads        per-chunk spectrum exchange (§III-B)
+//!   --read-tables        keep readsKmer/readsTile with global counts
+//!   --cache-remote       cache remote answers (needs --read-tables)
+//!   --replicate X        kmers | tiles | both (allgather heuristics)
+//!   --partial-group G    §V partial replication group size
+//!   --no-load-balance    disable the static shuffle (§III-A)
+//!   --chunk-size N       override the config file's chunk size
+//!   --report             print the per-rank report table
+//! ```
+//!
+//! The config file supplies the input/output paths and the algorithm
+//! parameters (see `genio::config`).
+
+use genio::{fasta, RunConfig};
+use reptile_cli::{heuristics_from_args, params_from_config, ArgParser};
+use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::{run_distributed_files, EngineConfig, RunReport};
+use std::io::Write;
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("reptile-correct: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = ArgParser::parse(&raw)?;
+    let config_path = args
+        .positional(0)
+        .ok_or("usage: reptile-correct <run.config> [options] (see --help in the docs)")?;
+    let config = RunConfig::load(std::path::Path::new(config_path))?;
+    let params = params_from_config(&config);
+    let heuristics = heuristics_from_args(&args)?;
+    let np = args.int("np", 8)?;
+    let chunk_size = args.int("chunk-size", config.chunk_size)?;
+    let engine = args.value("engine").unwrap_or("mt");
+
+    let (corrected, report) = match engine {
+        "mt" => {
+            let cfg = EngineConfig {
+                np,
+                chunk_size,
+                params,
+                heuristics,
+                ..EngineConfig::new(np, params)
+            };
+            let out = run_distributed_files(&cfg, &config.fasta_file, &config.qual_file)?;
+            (out.corrected, out.report)
+        }
+        "virtual" => {
+            let reads = genio::qual::load_dataset(&config.fasta_file, &config.qual_file)?;
+            let mut cfg = VirtualConfig::new(np, params);
+            cfg.chunk_size = chunk_size;
+            cfg.heuristics = heuristics;
+            cfg.scale = args.int("scale", 1)? as f64;
+            let run = run_virtual(&cfg, &reads);
+            (run.corrected, run.report)
+        }
+        other => return Err(format!("--engine: expected mt|virtual, got '{other}'").into()),
+    };
+
+    let mut out = std::io::BufWriter::new(std::fs::File::create(&config.output_file)?);
+    for read in &corrected {
+        fasta::write_record(&mut out, read.id, &read.seq)?;
+    }
+    out.flush()?;
+    println!(
+        "{} reads -> {} ({} errors corrected, {} ranks, heuristics: {})",
+        corrected.len(),
+        config.output_file.display(),
+        report.errors_corrected(),
+        np,
+        heuristics.label()
+    );
+    if args.has("report") {
+        print_report(&report);
+    }
+    Ok(())
+}
+
+fn print_report(report: &RunReport) {
+    println!(
+        "{:>5} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "rank", "reads", "errors", "constr_s", "correct_s", "remote_lkps", "mem_MiB"
+    );
+    for r in &report.ranks {
+        println!(
+            "{:>5} {:>8} {:>10} {:>10.3} {:>10.3} {:>12} {:>10.1}",
+            r.rank,
+            r.reads_processed,
+            r.correction.errors_corrected,
+            r.construct_secs,
+            r.correct_secs,
+            r.lookups.remote_total(),
+            r.memory_bytes / (1024.0 * 1024.0),
+        );
+    }
+    println!(
+        "makespan {:.3}s  (construct {:.3}s + correct {:.3}s), imbalance ratio {:.2}",
+        report.makespan_secs(),
+        report.construct_secs(),
+        report.correct_secs(),
+        report.imbalance_ratio()
+    );
+}

@@ -1,0 +1,37 @@
+//! `reptile-preprocess` — the dataset-preparation step.
+//!
+//! ```text
+//! reptile-preprocess <input.fastq> <output.fa> <output.qual>
+//! ```
+//!
+//! Converts a FASTQ file into the numbered FASTA + decimal-quality pair
+//! Reptile consumes, renaming reads to ascending sequence numbers
+//! (paper §III step I: "the names have been pre-processed to be sequence
+//! numbers (in ascending order beginning with number 1)").
+
+use genio::fastq::fastq_to_reptile_pair;
+use reptile_cli::ArgParser;
+use std::io::{BufReader, BufWriter, Write};
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("reptile-preprocess: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = ArgParser::parse(&raw)?;
+    if args.n_positionals() != 3 {
+        return Err("usage: reptile-preprocess <input.fastq> <output.fa> <output.qual>".into());
+    }
+    let fastq = std::fs::File::open(args.positional(0).unwrap())?;
+    let mut fa = BufWriter::new(std::fs::File::create(args.positional(1).unwrap())?);
+    let mut qu = BufWriter::new(std::fs::File::create(args.positional(2).unwrap())?);
+    let n = fastq_to_reptile_pair(BufReader::new(fastq), &mut fa, &mut qu)?;
+    fa.flush()?;
+    qu.flush()?;
+    println!("converted {n} reads");
+    Ok(())
+}

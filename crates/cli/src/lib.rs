@@ -1,0 +1,207 @@
+//! Command-line front end for the Reptile reproduction.
+//!
+//! Two binaries:
+//!
+//! * `reptile-preprocess` — the dataset-preparation step the paper
+//!   performs before running Reptile: FASTQ → numbered FASTA + decimal
+//!   quality file pair (§III step I / §IV);
+//! * `reptile-correct` — run a correction job from a Reptile-style
+//!   config file on either engine (threaded ranks or the virtual
+//!   cluster), with every heuristic switchable from flags.
+//!
+//! Argument parsing is hand-rolled (no external CLI dependency): the
+//! grammar is tiny and [`ArgParser`] keeps it testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use reptile::ReptileParams;
+use reptile_dist::HeuristicConfig;
+
+/// A minimal argument cursor: positionals in order, `--key value` and
+/// `--flag` options anywhere.
+pub struct ArgParser {
+    positionals: Vec<String>,
+    options: Vec<(String, Option<String>)>,
+}
+
+/// Errors from CLI parsing, with the message to print.
+#[derive(Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// Option names that take a value; everything else `--x` is a flag.
+const VALUED: &[&str] = &["np", "engine", "partial-group", "chunk-size", "replicate", "scale"];
+
+impl ArgParser {
+    /// Parse raw arguments (without the program name).
+    pub fn parse(args: &[String]) -> Result<ArgParser, UsageError> {
+        let mut positionals = Vec::new();
+        let mut options = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    options.push((k.to_string(), Some(v.to_string())));
+                } else if VALUED.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| UsageError(format!("--{name} requires a value")))?;
+                    options.push((name.to_string(), Some(v.clone())));
+                } else {
+                    options.push((name.to_string(), None));
+                }
+            } else {
+                positionals.push(a.clone());
+            }
+        }
+        Ok(ArgParser { positionals, options })
+    }
+
+    /// Positional argument by index.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(|s| s.as_str())
+    }
+
+    /// Number of positionals.
+    pub fn n_positionals(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Whether `--name` was given (as a flag or with a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == name)
+    }
+
+    /// The value of `--name`, if given with one.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, v)| k == name && v.is_some())
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Parse `--name N` as an integer, with a default.
+    pub fn int(&self, name: &str, default: usize) -> Result<usize, UsageError> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| UsageError(format!("--{name}: '{v}' is not an integer")))
+            }
+        }
+    }
+}
+
+/// Build the heuristic configuration from parsed flags.
+pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageError> {
+    let mut heur = HeuristicConfig::default();
+    heur.universal = args.has("universal");
+    heur.batch_reads = args.has("batch-reads");
+    heur.keep_read_tables = args.has("read-tables");
+    heur.cache_remote = args.has("cache-remote");
+    heur.load_balance = !args.has("no-load-balance");
+    match args.value("replicate") {
+        None => {}
+        Some("kmers") => heur.replicate_kmers = true,
+        Some("tiles") => heur.replicate_tiles = true,
+        Some("both") => {
+            heur.replicate_kmers = true;
+            heur.replicate_tiles = true;
+        }
+        Some(other) => {
+            return Err(UsageError(format!(
+                "--replicate: expected kmers|tiles|both, got '{other}'"
+            )))
+        }
+    }
+    heur.partial_group = args.int("partial-group", 1)?;
+    heur.validate().map_err(UsageError)?;
+    Ok(heur)
+}
+
+/// Convert a loaded run config into corrector parameters.
+pub fn params_from_config(cfg: &genio::RunConfig) -> ReptileParams {
+    ReptileParams {
+        k: cfg.k,
+        tile_overlap: cfg.tile_overlap,
+        kmer_threshold: cfg.kmer_threshold,
+        tile_threshold: cfg.tile_threshold,
+        q_threshold: cfg.q_threshold,
+        max_errors_per_tile: cfg.max_errors_per_tile,
+        max_positions_per_tile: cfg.max_positions_per_tile,
+        max_candidates: cfg.max_candidates,
+        canonical: cfg.canonical,
+        ..ReptileParams::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ArgParser {
+        ArgParser::parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(&["run.config", "--universal", "--np", "16", "--engine=virtual"]);
+        assert_eq!(a.positional(0), Some("run.config"));
+        assert_eq!(a.n_positionals(), 1);
+        assert!(a.has("universal"));
+        assert_eq!(a.value("np"), Some("16"));
+        assert_eq!(a.value("engine"), Some("virtual"));
+        assert_eq!(a.int("np", 4).unwrap(), 16);
+        assert_eq!(a.int("chunk-size", 2000).unwrap(), 2000);
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        let err =
+            ArgParser::parse(&["--np".to_string()]).err().expect("np without value must fail");
+        assert!(err.0.contains("--np"));
+    }
+
+    #[test]
+    fn heuristics_mapping() {
+        let a = parse(&["c", "--universal", "--batch-reads"]);
+        let h = heuristics_from_args(&a).unwrap();
+        assert!(h.universal && h.batch_reads && h.load_balance);
+        let a = parse(&["c", "--replicate", "both", "--no-load-balance"]);
+        let h = heuristics_from_args(&a).unwrap();
+        assert!(h.replicate_kmers && h.replicate_tiles && !h.load_balance);
+        let a = parse(&["c", "--partial-group", "8"]);
+        assert_eq!(heuristics_from_args(&a).unwrap().partial_group, 8);
+    }
+
+    #[test]
+    fn invalid_heuristics_rejected() {
+        // cache-remote without read-tables
+        let a = parse(&["c", "--cache-remote"]);
+        assert!(heuristics_from_args(&a).is_err());
+        // bad replicate value
+        let a = parse(&["c", "--replicate", "everything"]);
+        assert!(heuristics_from_args(&a).is_err());
+        // partial replication + full replication
+        let a = parse(&["c", "--replicate", "tiles", "--partial-group", "4"]);
+        assert!(heuristics_from_args(&a).is_err());
+    }
+
+    #[test]
+    fn params_from_config_copies_fields() {
+        let cfg = genio::RunConfig { k: 14, tile_overlap: 7, canonical: true, ..Default::default() };
+        let p = params_from_config(&cfg);
+        assert_eq!(p.k, 14);
+        assert_eq!(p.tile_overlap, 7);
+        assert!(p.canonical);
+        p.assert_valid();
+    }
+}

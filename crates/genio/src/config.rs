@@ -1,0 +1,261 @@
+//! Run configuration files.
+//!
+//! "The input to parallel Reptile consists of a configuration file, which
+//! specifies the fasta file and the quality file to be used for the error
+//! correction" (paper §III step I). The config also carries the chunk
+//! size ("the chunk size is also defined in the configuration file") and
+//! the algorithm parameters (k, thresholds, quality cutoff).
+//!
+//! Format: one `key = value` pair per line; `#` starts a comment; keys
+//! are case-insensitive; unknown keys are rejected (catching typos beats
+//! silently ignoring a threshold).
+
+use crate::{IoError, Result};
+use std::path::{Path, PathBuf};
+
+/// All knobs of a (parallel) Reptile run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunConfig {
+    /// Path of the FASTA input.
+    pub fasta_file: PathBuf,
+    /// Path of the quality-score input.
+    pub qual_file: PathBuf,
+    /// Path for corrected output (FASTA).
+    pub output_file: PathBuf,
+    /// K-mer length (`1..=32`).
+    pub k: usize,
+    /// Overlap between the two k-mers of a tile (`1..k`).
+    pub tile_overlap: usize,
+    /// Reads per chunk in Step I / batch mode.
+    pub chunk_size: usize,
+    /// Minimum global count for a k-mer to be kept in the spectrum.
+    pub kmer_threshold: u32,
+    /// Minimum global count for a tile to be kept in the spectrum.
+    pub tile_threshold: u32,
+    /// Phred score below which a base is a candidate error position.
+    pub q_threshold: u8,
+    /// Maximum substitutions attempted per tile.
+    pub max_errors_per_tile: usize,
+    /// Cap on low-quality positions considered per tile (explosion guard).
+    pub max_positions_per_tile: usize,
+    /// Reject a correction if more than this many candidate tiles survive.
+    pub max_candidates: usize,
+    /// Fold k-mers/tiles with their reverse complements in the spectrum.
+    pub canonical: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            fasta_file: PathBuf::from("reads.fa"),
+            qual_file: PathBuf::from("reads.qual"),
+            output_file: PathBuf::from("corrected.fa"),
+            k: 12,
+            tile_overlap: 6,
+            chunk_size: 2000,
+            kmer_threshold: 3,
+            tile_threshold: 3,
+            q_threshold: 20,
+            max_errors_per_tile: 2,
+            max_positions_per_tile: 8,
+            max_candidates: 4,
+            canonical: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parse a config file's text.
+    ///
+    /// ```
+    /// use genio::RunConfig;
+    /// let cfg = RunConfig::parse("k = 10\ntile_overlap = 5\n# comment\n").unwrap();
+    /// assert_eq!(cfg.k, 10);
+    /// assert_eq!(cfg.tile_overlap, 5);
+    /// ```
+    pub fn parse(text: &str) -> Result<RunConfig> {
+        let mut cfg = RunConfig::default();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                IoError::Malformed(format!("config line {}: expected key = value", lineno + 1))
+            })?;
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            let bad = |what: &str| {
+                IoError::Malformed(format!("config line {}: bad {what}: '{value}'", lineno + 1))
+            };
+            match key.as_str() {
+                "fasta_file" => cfg.fasta_file = PathBuf::from(value),
+                "qual_file" => cfg.qual_file = PathBuf::from(value),
+                "output_file" => cfg.output_file = PathBuf::from(value),
+                "k" => cfg.k = value.parse().map_err(|_| bad("integer"))?,
+                "tile_overlap" => cfg.tile_overlap = value.parse().map_err(|_| bad("integer"))?,
+                "chunk_size" => cfg.chunk_size = value.parse().map_err(|_| bad("integer"))?,
+                "kmer_threshold" => {
+                    cfg.kmer_threshold = value.parse().map_err(|_| bad("integer"))?
+                }
+                "tile_threshold" => {
+                    cfg.tile_threshold = value.parse().map_err(|_| bad("integer"))?
+                }
+                "q_threshold" => cfg.q_threshold = value.parse().map_err(|_| bad("integer"))?,
+                "max_errors_per_tile" => {
+                    cfg.max_errors_per_tile = value.parse().map_err(|_| bad("integer"))?
+                }
+                "max_positions_per_tile" => {
+                    cfg.max_positions_per_tile = value.parse().map_err(|_| bad("integer"))?
+                }
+                "max_candidates" => {
+                    cfg.max_candidates = value.parse().map_err(|_| bad("integer"))?
+                }
+                "canonical" => {
+                    cfg.canonical = match value.to_ascii_lowercase().as_str() {
+                        "true" | "1" | "yes" => true,
+                        "false" | "0" | "no" => false,
+                        _ => return Err(bad("boolean")),
+                    }
+                }
+                other => {
+                    return Err(IoError::Malformed(format!(
+                        "config line {}: unknown key '{other}'",
+                        lineno + 1
+                    )))
+                }
+            }
+        }
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Load and parse a config file.
+    pub fn load(path: &Path) -> Result<RunConfig> {
+        RunConfig::parse(&std::fs::read_to_string(path)?)
+    }
+
+    /// Check parameter invariants.
+    pub fn validate(&self) -> Result<()> {
+        let err = |m: String| Err(IoError::Malformed(m));
+        if !(1..=32).contains(&self.k) {
+            return err(format!("k must be in 1..=32, got {}", self.k));
+        }
+        if self.tile_overlap == 0 || self.tile_overlap >= self.k {
+            return err(format!(
+                "tile_overlap must be in 1..k={}, got {}",
+                self.k, self.tile_overlap
+            ));
+        }
+        if 2 * self.k - self.tile_overlap > 64 {
+            return err(format!(
+                "tile length {} exceeds 64 bases",
+                2 * self.k - self.tile_overlap
+            ));
+        }
+        if self.chunk_size == 0 {
+            return err("chunk_size must be positive".into());
+        }
+        if self.max_errors_per_tile == 0 {
+            return err("max_errors_per_tile must be positive".into());
+        }
+        if self.max_candidates == 0 {
+            return err("max_candidates must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Serialize back to the file format (round-trips through [`parse`]).
+    ///
+    /// [`parse`]: RunConfig::parse
+    pub fn to_text(&self) -> String {
+        format!(
+            "fasta_file = {}\nqual_file = {}\noutput_file = {}\nk = {}\n\
+             tile_overlap = {}\nchunk_size = {}\nkmer_threshold = {}\n\
+             tile_threshold = {}\nq_threshold = {}\nmax_errors_per_tile = {}\n\
+             max_positions_per_tile = {}\nmax_candidates = {}\ncanonical = {}\n",
+            self.fasta_file.display(),
+            self.qual_file.display(),
+            self.output_file.display(),
+            self.k,
+            self.tile_overlap,
+            self.chunk_size,
+            self.kmer_threshold,
+            self.tile_threshold,
+            self.q_threshold,
+            self.max_errors_per_tile,
+            self.max_positions_per_tile,
+            self.max_candidates,
+            self.canonical,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        RunConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn parse_full_config() {
+        let text = "\
+            # Reptile run\n\
+            fasta_file = /data/ecoli.fa\n\
+            qual_file = /data/ecoli.qual   # inline comment\n\
+            k = 10\n\
+            tile_overlap = 5\n\
+            chunk_size = 5000\n\
+            kmer_threshold = 4\n\
+            tile_threshold = 2\n\
+            q_threshold = 25\n\
+            max_errors_per_tile = 1\n\
+            canonical = yes\n";
+        let cfg = RunConfig::parse(text).unwrap();
+        assert_eq!(cfg.fasta_file, PathBuf::from("/data/ecoli.fa"));
+        assert_eq!(cfg.k, 10);
+        assert_eq!(cfg.tile_overlap, 5);
+        assert_eq!(cfg.chunk_size, 5000);
+        assert_eq!(cfg.kmer_threshold, 4);
+        assert_eq!(cfg.q_threshold, 25);
+        assert!(cfg.canonical);
+        // unset keys keep defaults
+        assert_eq!(cfg.max_candidates, RunConfig::default().max_candidates);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut cfg = RunConfig::default();
+        cfg.k = 14;
+        cfg.tile_overlap = 7;
+        cfg.canonical = true;
+        let reparsed = RunConfig::parse(&cfg.to_text()).unwrap();
+        assert_eq!(reparsed, cfg);
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        assert!(matches!(RunConfig::parse("kmer = 3\n"), Err(IoError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(RunConfig::parse("k = forty\n").is_err());
+        assert!(RunConfig::parse("k = 0\n").is_err());
+        assert!(RunConfig::parse("k = 33\n").is_err());
+        assert!(RunConfig::parse("k = 8\ntile_overlap = 8\n").is_err());
+        assert!(RunConfig::parse("chunk_size = 0\n").is_err());
+        assert!(RunConfig::parse("canonical = maybe\n").is_err());
+        assert!(RunConfig::parse("just a line\n").is_err());
+    }
+
+    #[test]
+    fn tile_length_cap_enforced() {
+        // k=32 requires overlap such that 64-overlap <= 64: any overlap>=1
+        // passes the length check but boundary k/overlap combos must hold.
+        assert!(RunConfig::parse("k = 32\ntile_overlap = 1\n").is_ok());
+    }
+}

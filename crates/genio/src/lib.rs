@@ -1,0 +1,65 @@
+//! Input/output and dataset synthesis for the Reptile reproduction.
+//!
+//! * [`fasta`] — the FASTA dialect Reptile consumes: headers are ascending
+//!   sequence numbers (`>1`, `>2`, …) produced by its input preprocessing
+//!   (paper §III step I);
+//! * [`qual`] — the companion quality-score files (same headers, one
+//!   decimal Phred score per base);
+//! * [`partition`] — offset-based parallel partitioning of both files, the
+//!   paper's Step I ("each rank computes its subset of the reads whose
+//!   size is simply the file size divided by the number of ranks");
+//! * [`config`] — the run configuration file ("the input to parallel
+//!   Reptile consists of a configuration file, which specifies the fasta
+//!   file and the quality file");
+//! * [`dataset`] — synthetic genome + Illumina-like read simulation
+//!   standing in for the paper's E.coli / Drosophila / Human datasets
+//!   (see DESIGN.md §2 for the substitution argument);
+//! * [`stats`] — dataset inventory statistics (Table I).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dataset;
+pub mod fasta;
+pub mod fastq;
+pub mod partition;
+pub mod qual;
+pub mod stats;
+
+pub use config::RunConfig;
+pub use dataset::{DatasetProfile, SyntheticDataset};
+pub use partition::{partition_range, PartitionedReader};
+pub use stats::DatasetStats;
+
+/// Errors produced by parsers and partitioned readers in this crate.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Structurally malformed record, with a human-readable explanation.
+    Malformed(String),
+    /// FASTA and quality files disagree (ids, lengths, counts).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Malformed(m) => write!(f, "malformed record: {m}"),
+            IoError::Mismatch(m) => write!(f, "fasta/quality mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> IoError {
+        IoError::Io(e)
+    }
+}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, IoError>;

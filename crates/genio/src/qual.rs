@@ -1,0 +1,162 @@
+//! Quality-score files and joint (fasta, qual) dataset IO.
+//!
+//! The quality file mirrors the FASTA framing — `>NUMBER` header, then one
+//! line of whitespace-separated decimal Phred scores, one per base — and
+//! must stay in lockstep with the FASTA file: same sequence numbers, same
+//! per-record base counts ("to ensure that the quality scores
+//! corresponding to the same set of reads as the fasta file is processed",
+//! paper §III step I).
+
+use crate::fasta::{write_record, RawRecord, RecordReader};
+use crate::{IoError, Result};
+use dnaseq::quality::QualityEncoding;
+use dnaseq::Read;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Parse a raw quality record's payload into Phred scores.
+pub fn parse_qual_line(rec: &RawRecord) -> Result<Vec<u8>> {
+    QualityEncoding::DecimalText
+        .decode(&rec.line)
+        .ok_or_else(|| IoError::Malformed(format!("record {}: bad quality line", rec.id)))
+}
+
+/// Write a quality record.
+pub fn write_qual_record(out: &mut impl Write, id: u64, quals: &[u8]) -> std::io::Result<()> {
+    write_record(out, id, &QualityEncoding::DecimalText.encode(quals))
+}
+
+/// Zip a FASTA stream and a quality stream into [`Read`]s, validating
+/// lockstep ids and matching lengths.
+pub fn zip_records(
+    fasta: impl Iterator<Item = Result<RawRecord>>,
+    qual: impl Iterator<Item = Result<RawRecord>>,
+) -> impl Iterator<Item = Result<Read>> {
+    let mut fasta = fasta;
+    let mut qual = qual;
+    std::iter::from_fn(move || match (fasta.next(), qual.next()) {
+        (None, None) => None,
+        (Some(Ok(f)), Some(Ok(q))) => Some(build_read(f, q)),
+        (Some(Err(e)), _) | (_, Some(Err(e))) => Some(Err(e)),
+        (Some(f), None) => Some(Err(IoError::Mismatch(format!(
+            "fasta record {} has no quality record",
+            f.map(|r| r.id).unwrap_or(0)
+        )))),
+        (None, Some(q)) => Some(Err(IoError::Mismatch(format!(
+            "quality record {} has no fasta record",
+            q.map(|r| r.id).unwrap_or(0)
+        )))),
+    })
+}
+
+fn build_read(f: RawRecord, q: RawRecord) -> Result<Read> {
+    if f.id != q.id {
+        return Err(IoError::Mismatch(format!(
+            "sequence number skew: fasta {} vs qual {}",
+            f.id, q.id
+        )));
+    }
+    let quals = parse_qual_line(&q)?;
+    if quals.len() != f.line.len() {
+        return Err(IoError::Mismatch(format!(
+            "record {}: {} bases but {} quality scores",
+            f.id,
+            f.line.len(),
+            quals.len()
+        )));
+    }
+    Ok(Read::new(f.id, f.line, quals))
+}
+
+/// Iterator adapter over a [`RecordReader`].
+pub struct RecordIter<R: BufRead>(pub RecordReader<R>);
+
+impl<R: BufRead> Iterator for RecordIter<R> {
+    type Item = Result<RawRecord>;
+
+    fn next(&mut self) -> Option<Result<RawRecord>> {
+        self.0.next_record().transpose()
+    }
+}
+
+/// Load an entire (fasta, qual) file pair into memory. Small datasets and
+/// tests only — the distributed code paths use [`crate::partition`].
+pub fn load_dataset(fasta_path: &Path, qual_path: &Path) -> Result<Vec<Read>> {
+    let f = RecordIter(RecordReader::new(BufReader::new(std::fs::File::open(fasta_path)?)));
+    let q = RecordIter(RecordReader::new(BufReader::new(std::fs::File::open(qual_path)?)));
+    zip_records(f, q).collect()
+}
+
+/// Write a full dataset as a (fasta, qual) file pair.
+pub fn write_dataset(fasta_path: &Path, qual_path: &Path, reads: &[Read]) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(fasta_path)?);
+    let mut q = std::io::BufWriter::new(std::fs::File::create(qual_path)?);
+    for r in reads {
+        write_record(&mut f, r.id, &r.seq)?;
+        write_qual_record(&mut q, r.id, &r.qual)?;
+    }
+    f.flush()?;
+    q.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn reader(data: &[u8]) -> RecordIter<Cursor<Vec<u8>>> {
+        RecordIter(RecordReader::new(Cursor::new(data.to_vec())))
+    }
+
+    #[test]
+    fn zip_builds_reads() {
+        let reads: Vec<_> = zip_records(
+            reader(b">1\nACGT\n>2\nGGTT\n"),
+            reader(b">1\n30 31 32 33\n>2\n2 2 2 2\n"),
+        )
+        .collect::<Result<_>>()
+        .unwrap();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0].seq, b"ACGT");
+        assert_eq!(reads[0].qual, vec![30, 31, 32, 33]);
+        assert_eq!(reads[1].id, 2);
+    }
+
+    #[test]
+    fn id_skew_detected() {
+        let got: Vec<_> =
+            zip_records(reader(b">1\nACGT\n"), reader(b">2\n30 30 30 30\n")).collect();
+        assert!(matches!(got[0], Err(IoError::Mismatch(_))));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let got: Vec<_> = zip_records(reader(b">1\nACGT\n"), reader(b">1\n30 30 30\n")).collect();
+        assert!(matches!(got[0], Err(IoError::Mismatch(_))));
+    }
+
+    #[test]
+    fn count_mismatch_detected() {
+        let got: Vec<_> =
+            zip_records(reader(b">1\nACGT\n>2\nGGTT\n"), reader(b">1\n30 30 30 30\n")).collect();
+        assert!(got[0].is_ok());
+        assert!(matches!(got[1], Err(IoError::Mismatch(_))));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("genio-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fpath = dir.join("r.fa");
+        let qpath = dir.join("r.qual");
+        let reads = vec![
+            Read::new(1, b"ACGTACGT".to_vec(), vec![30; 8]),
+            Read::new(2, b"TTTTAAAN".to_vec(), vec![2; 8]),
+        ];
+        write_dataset(&fpath, &qpath, &reads).unwrap();
+        let loaded = load_dataset(&fpath, &qpath).unwrap();
+        assert_eq!(loaded, reads);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

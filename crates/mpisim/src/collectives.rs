@@ -1,0 +1,392 @@
+//! Collective operations.
+//!
+//! The paper's algorithm leans on three collectives:
+//!
+//! * `MPI_Alltoallv` — shipping k-mers/tiles/reads to their owning ranks
+//!   (spectrum construction Step III, the load-balancing shuffle §III-A,
+//!   the batch-reads heuristic);
+//! * `MPI_Allgatherv` — the replication heuristics ("Allgather
+//!   k-mers/tiles/both", §III-B);
+//! * `MPI_Reduce(MAX)` on the batch count — realized as an allreduce since
+//!   every rank drives its batch loop off the result.
+//!
+//! Implementation: ranks rendezvous at a shared slot matrix guarded by a
+//! barrier sandwich (deposit → barrier → collect → barrier). Values move
+//! by ownership transfer — `Vec`s are handed over, not copied — matching
+//! how we count bytes for the cost model.
+//!
+//! All ranks must issue collectives in the same order (an MPI requirement
+//! we inherit); a rank that skips one deadlocks, exactly like real MPI —
+//! which is why the batch-reads heuristic needs its max-batches allreduce
+//! (§III-B: "Each process thus continues this process for the maximum
+//! number of batches even though it might have exhausted its set of
+//! reads").
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::sync::Barrier;
+
+type Slot = Mutex<Option<Box<dyn Any + Send>>>;
+
+pub(crate) struct CollectiveState {
+    np: usize,
+    barrier: Barrier,
+    /// np×np alltoall slots, row-major: `matrix[src*np + dst]`.
+    matrix: Vec<Slot>,
+    /// np gather/reduce slots.
+    row: Vec<Slot>,
+}
+
+impl CollectiveState {
+    pub(crate) fn new(np: usize) -> CollectiveState {
+        CollectiveState {
+            np,
+            barrier: Barrier::new(np),
+            matrix: (0..np * np).map(|_| Mutex::new(None)).collect(),
+            row: (0..np).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+}
+
+impl crate::comm::Comm {
+    /// Synchronize all ranks (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        self.shared().collectives.barrier.wait();
+    }
+
+    /// `MPI_Alltoallv`: `send[d]` goes to rank `d`; returns `recv` where
+    /// `recv[s]` came from rank `s` (so `recv[s]` is what rank `s` put in
+    /// its `send[me]`).
+    pub fn alltoallv<T: Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        let cs = &self.shared().collectives;
+        let np = cs.np;
+        assert_eq!(send.len(), np, "alltoallv send buffer must have one entry per rank");
+        let me = self.rank();
+        let bytes: usize = send.iter().map(|v| v.len() * std::mem::size_of::<T>()).sum();
+        self.shared().stats[me].count_collective(bytes);
+        for (dst, data) in send.into_iter().enumerate() {
+            *cs.matrix[me * np + dst].lock() = Some(Box::new(data));
+        }
+        cs.barrier.wait();
+        let mut recv = Vec::with_capacity(np);
+        for src in 0..np {
+            let boxed = cs.matrix[src * np + me].lock().take().expect("deposited before barrier");
+            recv.push(*boxed.downcast::<Vec<T>>().expect("uniform alltoallv element type"));
+        }
+        cs.barrier.wait();
+        recv
+    }
+
+    /// `MPI_Allgatherv`: every rank contributes `mine`; everyone receives
+    /// all contributions indexed by rank.
+    pub fn allgatherv<T: Clone + Send + 'static>(&self, mine: Vec<T>) -> Vec<Vec<T>> {
+        let cs = &self.shared().collectives;
+        let np = cs.np;
+        let me = self.rank();
+        self.shared().stats[me].count_collective(mine.len() * std::mem::size_of::<T>());
+        *cs.row[me].lock() = Some(Box::new(mine));
+        cs.barrier.wait();
+        let mut all = Vec::with_capacity(np);
+        for src in 0..np {
+            let guard = cs.row[src].lock();
+            let vec = guard
+                .as_ref()
+                .expect("deposited before barrier")
+                .downcast_ref::<Vec<T>>()
+                .expect("uniform allgatherv element type");
+            all.push(vec.clone());
+        }
+        cs.barrier.wait();
+        all
+    }
+
+    /// Generic allreduce: fold every rank's `value` with `f` in rank order
+    /// (deterministic). Every rank must pass an equivalent `f`.
+    pub fn allreduce<T, F>(&self, value: T, f: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let cs = &self.shared().collectives;
+        let me = self.rank();
+        self.shared().stats[me].count_collective(std::mem::size_of::<T>());
+        *cs.row[me].lock() = Some(Box::new(value));
+        cs.barrier.wait();
+        let mut acc: Option<T> = None;
+        for src in 0..cs.np {
+            let guard = cs.row[src].lock();
+            let v = guard
+                .as_ref()
+                .expect("deposited before barrier")
+                .downcast_ref::<T>()
+                .expect("uniform allreduce element type")
+                .clone();
+            acc = Some(match acc {
+                None => v,
+                Some(a) => f(a, v),
+            });
+        }
+        cs.barrier.wait();
+        acc.expect("np >= 1")
+    }
+
+    /// `MPI_Allreduce(MAX)` on a `u64` — the paper's batch-count reduce.
+    pub fn allreduce_max_u64(&self, value: u64) -> u64 {
+        self.allreduce(value, u64::max)
+    }
+
+    /// `MPI_Allreduce(SUM)` on a `u64`.
+    pub fn allreduce_sum_u64(&self, value: u64) -> u64 {
+        self.allreduce(value, |a, b| a + b)
+    }
+
+    /// `MPI_Gatherv` to `root`: root receives every rank's contribution
+    /// (indexed by rank); other ranks receive an empty vector.
+    pub fn gatherv<T: Send + 'static>(&self, root: usize, mine: Vec<T>) -> Vec<Vec<T>> {
+        let cs = &self.shared().collectives;
+        let me = self.rank();
+        self.shared().stats[me].count_collective(mine.len() * std::mem::size_of::<T>());
+        *cs.row[me].lock() = Some(Box::new(mine));
+        cs.barrier.wait();
+        let out = if me == root {
+            (0..cs.np)
+                .map(|src| {
+                    let boxed =
+                        cs.row[src].lock().take().expect("deposited before barrier");
+                    *boxed.downcast::<Vec<T>>().expect("uniform gatherv element type")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        cs.barrier.wait();
+        out
+    }
+
+    /// `MPI_Scatterv` from `root`: the root supplies one vector per rank
+    /// (`Some(parts)`, `parts.len() == np`); every rank receives its part.
+    pub fn scatterv<T: Send + 'static>(&self, root: usize, parts: Option<Vec<Vec<T>>>) -> Vec<T> {
+        let cs = &self.shared().collectives;
+        let np = cs.np;
+        let me = self.rank();
+        if me == root {
+            let parts = parts.expect("root must supply the scatter parts");
+            assert_eq!(parts.len(), np, "scatterv needs one part per rank");
+            let bytes: usize = parts.iter().map(|p| p.len() * std::mem::size_of::<T>()).sum();
+            self.shared().stats[me].count_collective(bytes);
+            for (dst, part) in parts.into_iter().enumerate() {
+                *cs.matrix[root * np + dst].lock() = Some(Box::new(part));
+            }
+        } else {
+            assert!(parts.is_none(), "non-root ranks must pass None");
+        }
+        cs.barrier.wait();
+        let boxed = cs.matrix[root * np + me].lock().take().expect("root deposited");
+        let mine = *boxed.downcast::<Vec<T>>().expect("uniform scatterv element type");
+        cs.barrier.wait();
+        mine
+    }
+
+    /// `MPI_Bcast` from `root`: `value` must be `Some` exactly on the root.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        let cs = &self.shared().collectives;
+        let me = self.rank();
+        if me == root {
+            let v = value.expect("root must supply the broadcast value");
+            self.shared().stats[me].count_collective(std::mem::size_of::<T>());
+            *cs.row[root].lock() = Some(Box::new(v));
+        } else {
+            assert!(value.is_none(), "non-root ranks must pass None");
+        }
+        cs.barrier.wait();
+        let out = {
+            let guard = cs.row[root].lock();
+            guard
+                .as_ref()
+                .expect("root deposited before barrier")
+                .downcast_ref::<T>()
+                .expect("uniform bcast element type")
+                .clone()
+        };
+        cs.barrier.wait();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::universe::Universe;
+
+    #[test]
+    fn alltoallv_transposes() {
+        let np = 5;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            // send[d] = [me*10 + d]
+            let send: Vec<Vec<usize>> = (0..np).map(|d| vec![me * 10 + d]).collect();
+            comm.alltoallv(send)
+        });
+        for (me, recv) in results.into_iter().enumerate() {
+            for (src, v) in recv.into_iter().enumerate() {
+                assert_eq!(v, vec![src * 10 + me]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_variable_lengths() {
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            // rank r sends r copies of its id to each destination
+            let send: Vec<Vec<u8>> = (0..np).map(|_| vec![me as u8; me]).collect();
+            comm.alltoallv(send)
+        });
+        for recv in results {
+            for (src, v) in recv.into_iter().enumerate() {
+                assert_eq!(v, vec![src as u8; src]);
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_alltoallv_do_not_interfere() {
+        let np = 3;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            let a = comm.alltoallv((0..np).map(|d| vec![(me, d, 'a')]).collect());
+            let b = comm.alltoallv((0..np).map(|d| vec![(me, d, 'b')]).collect());
+            (a, b)
+        });
+        for (me, (a, b)) in results.into_iter().enumerate() {
+            for src in 0..np {
+                assert_eq!(a[src], vec![(src, me, 'a')]);
+                assert_eq!(b[src], vec![(src, me, 'b')]);
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_collects_everything() {
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            comm.allgatherv(vec![me; me + 1])
+        });
+        for all in results {
+            for (src, v) in all.into_iter().enumerate() {
+                assert_eq!(v, vec![src; src + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_sum() {
+        let np = 6;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank() as u64;
+            (comm.allreduce_max_u64(me * 3), comm.allreduce_sum_u64(me))
+        });
+        for (max, sum) in results {
+            assert_eq!(max, 15);
+            assert_eq!(sum, 15);
+        }
+    }
+
+    #[test]
+    fn allreduce_fold_order_is_rank_order() {
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            comm.allreduce(vec![me], |mut a, b| {
+                a.extend(b);
+                a
+            })
+        });
+        for folded in results {
+            assert_eq!(folded, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn gatherv_collects_at_root_only() {
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            comm.gatherv(1, vec![me as u32; me])
+        });
+        for (me, got) in results.into_iter().enumerate() {
+            if me == 1 {
+                for (src, part) in got.into_iter().enumerate() {
+                    assert_eq!(part, vec![src as u32; src]);
+                }
+            } else {
+                assert!(got.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scatterv_delivers_parts() {
+        let np = 3;
+        let results = Universe::new(np).run(|comm| {
+            let parts = if comm.rank() == 0 {
+                Some((0..np).map(|d| vec![d as u8 * 10; d + 1]).collect())
+            } else {
+                None
+            };
+            comm.scatterv(0, parts)
+        });
+        for (me, part) in results.into_iter().enumerate() {
+            assert_eq!(part, vec![me as u8 * 10; me + 1]);
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_round_trips() {
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            let gathered = comm.gatherv(0, vec![me * 7]);
+            let parts = if me == 0 { Some(gathered) } else { None };
+            comm.scatterv(0, parts)
+        });
+        for (me, part) in results.into_iter().enumerate() {
+            assert_eq!(part, vec![me * 7]);
+        }
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        let np = 3;
+        let results = Universe::new(np).run(|comm| {
+            let v = if comm.rank() == 2 { Some("hello".to_string()) } else { None };
+            comm.bcast(2, v)
+        });
+        assert!(results.iter().all(|s| s == "hello"));
+    }
+
+    #[test]
+    fn single_rank_collectives() {
+        let results = Universe::new(1).run(|comm| {
+            comm.barrier();
+            let a = comm.alltoallv(vec![vec![42u32]]);
+            let g = comm.allgatherv(vec![7u8]);
+            let m = comm.allreduce_max_u64(9);
+            (a, g, m)
+        });
+        assert_eq!(results[0].0, vec![vec![42]]);
+        assert_eq!(results[0].1, vec![vec![7]]);
+        assert_eq!(results[0].2, 9);
+    }
+
+    #[test]
+    fn collective_stats_counted() {
+        let results = Universe::new(2).run(|comm| {
+            let _ = comm.alltoallv(vec![vec![0u64; 4], vec![0u64; 4]]);
+            comm.stats()
+        });
+        assert_eq!(results[0].collective_ops, 1);
+        assert_eq!(results[0].collective_sent_bytes, 64);
+    }
+}

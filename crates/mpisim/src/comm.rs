@@ -1,0 +1,383 @@
+//! Per-rank communicator handles and point-to-point messaging.
+//!
+//! Semantics follow MPI:
+//!
+//! * messages between a fixed (src, dst) pair are delivered in send order;
+//! * `recv`/`probe` match on `(Source, TagSel)` selectors, where either
+//!   side may be a wildcard (`MPI_ANY_SOURCE`, `MPI_ANY_TAG`);
+//! * [`Comm::probe`] blocks until a matching message is pending and
+//!   returns its envelope without consuming it — exactly what the paper's
+//!   communication thread does ("the communication thread of each rank
+//!   probes any incoming messages – based on the probe, it first finds
+//!   out the nature of the request", §III step IV);
+//! * a [`Comm`] may be used from several threads of its rank concurrently
+//!   (the worker + communication thread pair of step IV).
+
+use crate::collectives::CollectiveState;
+use crate::message::{Message, MessageInfo};
+use crate::stats::RankStats;
+use crate::topology::Topology;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Source selector for receives and probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Source {
+    /// Match any sender (`MPI_ANY_SOURCE`).
+    Any,
+    /// Match one specific rank.
+    Rank(usize),
+}
+
+/// Tag selector for receives and probes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TagSel {
+    /// Match any tag (`MPI_ANY_TAG`).
+    Any,
+    /// Match one specific tag.
+    Tag(u32),
+}
+
+impl Source {
+    #[inline]
+    fn matches(self, src: usize) -> bool {
+        match self {
+            Source::Any => true,
+            Source::Rank(r) => r == src,
+        }
+    }
+}
+
+impl TagSel {
+    #[inline]
+    fn matches(self, tag: u32) -> bool {
+        match self {
+            TagSel::Any => true,
+            TagSel::Tag(t) => t == tag,
+        }
+    }
+}
+
+pub(crate) struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    arrived: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox { queue: Mutex::new(VecDeque::new()), arrived: Condvar::new() }
+    }
+}
+
+pub(crate) struct Shared {
+    pub(crate) mailboxes: Vec<Mailbox>,
+    pub(crate) collectives: CollectiveState,
+    pub(crate) stats: Vec<RankStats>,
+    pub(crate) topology: Topology,
+}
+
+impl Shared {
+    pub(crate) fn new(np: usize, topology: Topology) -> Shared {
+        Shared {
+            mailboxes: (0..np).map(|_| Mailbox::new()).collect(),
+            collectives: CollectiveState::new(np),
+            stats: (0..np).map(|_| RankStats::default()).collect(),
+            topology,
+        }
+    }
+}
+
+/// A rank's communicator: the only way ranks exchange data.
+#[derive(Clone)]
+pub struct Comm {
+    rank: usize,
+    shared: Arc<Shared>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, shared: Arc<Shared>) -> Comm {
+        Comm { rank, shared }
+    }
+
+    /// This rank's id (`MPI_Comm_rank`).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks (`MPI_Comm_size`).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.shared.mailboxes.len()
+    }
+
+    /// The node/rank layout this universe was configured with.
+    #[inline]
+    pub fn topology(&self) -> Topology {
+        self.shared.topology
+    }
+
+    /// Send `payload` to `dst` with `tag`. Buffered & non-blocking, like a
+    /// small-message `MPI_Send` in practice.
+    pub fn send(&self, dst: usize, tag: u32, payload: Vec<u8>) {
+        let nbytes = payload.len();
+        let intra = self.shared.topology.same_node(self.rank, dst);
+        self.shared.stats[self.rank].count_send(nbytes, intra);
+        let mailbox = &self.shared.mailboxes[dst];
+        {
+            let mut q = mailbox.queue.lock();
+            q.push_back(Message { src: self.rank, tag, payload });
+        }
+        mailbox.arrived.notify_all();
+    }
+
+    /// Blocking receive of the first pending message matching the
+    /// selectors (`MPI_Recv`).
+    pub fn recv(&self, src: Source, tag: TagSel) -> Message {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut q = mailbox.queue.lock();
+        loop {
+            if let Some(i) = q.iter().position(|m| src.matches(m.src) && tag.matches(m.tag)) {
+                let msg = q.remove(i).expect("index valid under lock");
+                self.shared.stats[self.rank].count_recv(msg.payload.len());
+                return msg;
+            }
+            mailbox.arrived.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking receive (`MPI_Irecv` + immediate test).
+    pub fn try_recv(&self, src: Source, tag: TagSel) -> Option<Message> {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut q = mailbox.queue.lock();
+        let i = q.iter().position(|m| src.matches(m.src) && tag.matches(m.tag))?;
+        let msg = q.remove(i).expect("index valid under lock");
+        self.shared.stats[self.rank].count_recv(msg.payload.len());
+        Some(msg)
+    }
+
+    /// Blocking probe (`MPI_Probe`): wait until a matching message is
+    /// pending and describe it without consuming it.
+    pub fn probe(&self, src: Source, tag: TagSel) -> MessageInfo {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut q = mailbox.queue.lock();
+        loop {
+            if let Some(m) = q.iter().find(|m| src.matches(m.src) && tag.matches(m.tag)) {
+                return MessageInfo { src: m.src, tag: m.tag, len: m.payload.len() };
+            }
+            mailbox.arrived.wait(&mut q);
+        }
+    }
+
+    /// Blocking probe over a *set* of tags: wait until a message with any
+    /// of `tags` is pending. This is how a server thread that must not
+    /// consume other threads' traffic (e.g. step IV's communication
+    /// thread, which must leave count responses to the worker) waits; an
+    /// MPI code expresses the same thing as an `MPI_Iprobe` loop over the
+    /// tag list.
+    pub fn probe_tags(&self, src: Source, tags: &[u32]) -> MessageInfo {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut q = mailbox.queue.lock();
+        loop {
+            if let Some(m) = q.iter().find(|m| src.matches(m.src) && tags.contains(&m.tag)) {
+                return MessageInfo { src: m.src, tag: m.tag, len: m.payload.len() };
+            }
+            mailbox.arrived.wait(&mut q);
+        }
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`).
+    pub fn iprobe(&self, src: Source, tag: TagSel) -> Option<MessageInfo> {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let q = mailbox.queue.lock();
+        q.iter()
+            .find(|m| src.matches(m.src) && tag.matches(m.tag))
+            .map(|m| MessageInfo { src: m.src, tag: m.tag, len: m.payload.len() })
+    }
+
+    /// Snapshot this rank's traffic counters.
+    pub fn stats(&self) -> crate::stats::RankStatsSnapshot {
+        self.shared.stats[self.rank].snapshot()
+    }
+
+    pub(crate) fn shared(&self) -> &Shared {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn ring_pass() {
+        let results = Universe::new(4).run(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            comm.send(next, 0, vec![comm.rank() as u8]);
+            let msg = comm.recv(Source::Any, TagSel::Any);
+            (msg.src, msg.payload[0] as usize)
+        });
+        for (rank, (src, val)) in results.into_iter().enumerate() {
+            let prev = (rank + 3) % 4;
+            assert_eq!(src, prev);
+            assert_eq!(val, prev);
+        }
+    }
+
+    #[test]
+    fn per_pair_fifo_order() {
+        let results = Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..100u8 {
+                    comm.send(1, 0, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..100).map(|_| comm.recv(Source::Rank(0), TagSel::Tag(0)).payload[0]).collect()
+            }
+        });
+        assert_eq!(results[1], (0..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn tag_selection_skips_non_matching() {
+        let results = Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, b"seven".to_vec());
+                comm.send(1, 9, b"nine".to_vec());
+                (Vec::new(), Vec::new())
+            } else {
+                // Receive tag 9 first even though tag 7 arrived first.
+                let nine = comm.recv(Source::Any, TagSel::Tag(9)).payload;
+                let seven = comm.recv(Source::Any, TagSel::Tag(7)).payload;
+                (nine, seven)
+            }
+        });
+        assert_eq!(results[1].0, b"nine");
+        assert_eq!(results[1].1, b"seven");
+    }
+
+    #[test]
+    fn probe_then_recv() {
+        let results = Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1, 2, 3, 4]);
+                0
+            } else {
+                let info = comm.probe(Source::Any, TagSel::Any);
+                assert_eq!(info.src, 0);
+                assert_eq!(info.tag, 3);
+                assert_eq!(info.len, 4);
+                // message still pending after probe
+                let msg = comm.recv(Source::Rank(info.src), TagSel::Tag(info.tag));
+                msg.payload.len()
+            }
+        });
+        assert_eq!(results[1], 4);
+    }
+
+    #[test]
+    fn iprobe_and_try_recv_nonblocking() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                // nothing can be in flight before the barrier below, so
+                // the non-blocking calls must report empty
+                assert!(comm.iprobe(Source::Any, TagSel::Any).is_none());
+                assert!(comm.try_recv(Source::Any, TagSel::Any).is_none());
+                comm.barrier();
+                let info = loop {
+                    if let Some(i) = comm.iprobe(Source::Rank(0), TagSel::Tag(5)) {
+                        break i;
+                    }
+                    std::thread::yield_now();
+                };
+                assert_eq!(info.len, 1);
+                assert!(comm.try_recv(Source::Rank(0), TagSel::Tag(5)).is_some());
+            } else {
+                // send only after rank 1 has performed its empty checks
+                comm.barrier();
+                comm.send(1, 5, vec![9]);
+            }
+        });
+    }
+
+    #[test]
+    fn multithreaded_rank_worker_plus_comm_thread() {
+        // Mimic step IV: rank 0 runs a worker thread sending requests and a
+        // comm thread answering rank 1's requests concurrently.
+        let results = Universe::new(2).run(|comm| {
+            const REQ: u32 = 1;
+            const RESP: u32 = 2;
+            const SHUTDOWN: u32 = 3;
+            let me = comm.rank();
+            let peer = 1 - me;
+            let mut answered = 0u32;
+            let mut got = Vec::new();
+            std::thread::scope(|s| {
+                // communication thread: answer until shutdown. It must
+                // probe only the tags it owns — an ANY_TAG probe would
+                // also surface RESP messages addressed to the worker.
+                let server = s.spawn(|| {
+                    let mut count = 0;
+                    loop {
+                        let info = comm.probe_tags(Source::Any, &[REQ, SHUTDOWN]);
+                        match info.tag {
+                            REQ => {
+                                let m = comm.recv(Source::Rank(info.src), TagSel::Tag(REQ));
+                                comm.send(m.src, RESP, vec![m.payload[0] * 2]);
+                                count += 1;
+                            }
+                            SHUTDOWN => {
+                                let _ = comm.recv(Source::Rank(info.src), TagSel::Tag(SHUTDOWN));
+                                break;
+                            }
+                            _ => unreachable!("probe_tags filtered"),
+                        }
+                    }
+                    count
+                });
+                // worker thread: issue 50 requests to the peer
+                let worker = s.spawn(|| {
+                    let mut results = Vec::new();
+                    for i in 0..50u8 {
+                        comm.send(peer, REQ, vec![i]);
+                        let resp = comm.recv(Source::Rank(peer), TagSel::Tag(RESP));
+                        results.push(resp.payload[0]);
+                    }
+                    results
+                });
+                got = worker.join().unwrap();
+                // both workers done before shutting down servers
+                comm.barrier();
+                comm.send(peer, SHUTDOWN, Vec::new());
+                answered = server.join().unwrap();
+            });
+            (got, answered)
+        });
+        for (got, answered) in results {
+            assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<u8>>());
+            assert_eq!(answered, 50);
+        }
+    }
+
+    #[test]
+    fn stats_count_traffic() {
+        let results = Universe::new(2).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![0; 10]);
+                comm.send(1, 0, vec![0; 20]);
+            } else {
+                comm.recv(Source::Any, TagSel::Any);
+                comm.recv(Source::Any, TagSel::Any);
+            }
+            comm.barrier();
+            comm.stats()
+        });
+        assert_eq!(results[0].p2p_sent_msgs, 2);
+        assert_eq!(results[0].p2p_sent_bytes, 30);
+        assert_eq!(results[1].p2p_recv_msgs, 2);
+        assert_eq!(results[1].p2p_recv_bytes, 30);
+    }
+}

@@ -1,0 +1,176 @@
+//! Message envelopes and fixed-width wire codecs.
+//!
+//! Point-to-point payloads are byte vectors, as in MPI: the application
+//! serializes its request/response structs explicitly. The codec helpers
+//! here are what an MPI code would express with derived datatypes —
+//! little-endian fixed-width integers, no framing overhead.
+
+/// A delivered point-to-point message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag (compare MPI's `tag`).
+    pub tag: u32,
+    /// Owned payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Result of a (successful) probe: everything about a pending message
+/// except its payload (compare `MPI_Status` after `MPI_Probe`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageInfo {
+    /// Sending rank.
+    pub src: usize,
+    /// Application tag.
+    pub tag: u32,
+    /// Payload length in bytes (compare `MPI_Get_count`).
+    pub len: usize,
+}
+
+/// Incremental little-endian writer for wire payloads.
+#[derive(Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Create a writer, pre-sizing the buffer.
+    pub fn with_capacity(cap: usize) -> WireWriter {
+        WireWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u128`.
+    pub fn put_u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `i64`.
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Finish and take the payload.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Incremental little-endian reader for wire payloads.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap a payload.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a `u128`.
+    pub fn get_u128(&mut self) -> u128 {
+        u128::from_le_bytes(self.take(16).try_into().unwrap())
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn get_bytes(&mut self) -> &'a [u8] {
+        let n = self.get_u64() as usize;
+        self.take(n)
+    }
+
+    /// Bytes remaining past the cursor.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = WireWriter::with_capacity(64);
+        w.put_u8(7).put_u32(0xDEAD_BEEF).put_u64(u64::MAX).put_u128(1u128 << 100);
+        w.put_i64(-42).put_bytes(b"hello");
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX);
+        assert_eq!(r.get_u128(), 1u128 << 100);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_bytes(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reader_panics_on_underflow() {
+        let mut r = WireReader::new(&[1, 2]);
+        let _ = r.get_u64();
+    }
+
+    #[test]
+    fn empty_bytes_round_trip() {
+        let mut w = WireWriter::default();
+        w.put_bytes(b"");
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_bytes(), b"");
+    }
+}

@@ -1,0 +1,70 @@
+//! Per-rank traffic counters.
+//!
+//! Counters are the raw material of the BG/Q time model: the virtual
+//! engine multiplies them by [`crate::CostModel`] parameters to obtain the
+//! modeled communication time per rank. They are atomic because a rank's
+//! worker and communication threads share one [`crate::Comm`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Default)]
+pub(crate) struct RankStats {
+    p2p_sent_msgs: AtomicU64,
+    p2p_sent_bytes: AtomicU64,
+    p2p_sent_intra_node: AtomicU64,
+    p2p_recv_msgs: AtomicU64,
+    p2p_recv_bytes: AtomicU64,
+    collective_ops: AtomicU64,
+    collective_sent_bytes: AtomicU64,
+}
+
+impl RankStats {
+    pub(crate) fn count_send(&self, bytes: usize, intra: bool) {
+        self.p2p_sent_msgs.fetch_add(1, Ordering::Relaxed);
+        self.p2p_sent_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        if intra {
+            self.p2p_sent_intra_node.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn count_recv(&self, bytes: usize) {
+        self.p2p_recv_msgs.fetch_add(1, Ordering::Relaxed);
+        self.p2p_recv_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_collective(&self, bytes_sent: usize) {
+        self.collective_ops.fetch_add(1, Ordering::Relaxed);
+        self.collective_sent_bytes.fetch_add(bytes_sent as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> RankStatsSnapshot {
+        RankStatsSnapshot {
+            p2p_sent_msgs: self.p2p_sent_msgs.load(Ordering::Relaxed),
+            p2p_sent_bytes: self.p2p_sent_bytes.load(Ordering::Relaxed),
+            p2p_sent_intra_node: self.p2p_sent_intra_node.load(Ordering::Relaxed),
+            p2p_recv_msgs: self.p2p_recv_msgs.load(Ordering::Relaxed),
+            p2p_recv_bytes: self.p2p_recv_bytes.load(Ordering::Relaxed),
+            collective_ops: self.collective_ops.load(Ordering::Relaxed),
+            collective_sent_bytes: self.collective_sent_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of one rank's traffic counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RankStatsSnapshot {
+    /// Point-to-point messages sent.
+    pub p2p_sent_msgs: u64,
+    /// Point-to-point bytes sent.
+    pub p2p_sent_bytes: u64,
+    /// Of the sent messages, how many stayed on-node (shared memory path).
+    pub p2p_sent_intra_node: u64,
+    /// Point-to-point messages received.
+    pub p2p_recv_msgs: u64,
+    /// Point-to-point bytes received.
+    pub p2p_recv_bytes: u64,
+    /// Collective operations participated in.
+    pub collective_ops: u64,
+    /// Bytes this rank contributed to collectives.
+    pub collective_sent_bytes: u64,
+}

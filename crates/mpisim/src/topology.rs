@@ -1,0 +1,103 @@
+//! Node/rank layout.
+//!
+//! BlueGene/Q packs up to 64 hardware threads on a 16-core node; the paper
+//! runs 8–32 MPI ranks per node and observes that intra-node messages use
+//! shared memory while inter-node messages cross the 5-D torus (§IV:
+//! "using multiple ranks per node also gives us a benefit: it allows any
+//! communication between the ranks on the same node to use the shared
+//! memory on the node"). The topology tells the runtime and the cost
+//! model which pairs are on the same node.
+
+/// Rank-to-node assignment: `ranks_per_node` consecutive ranks per node
+/// (block mapping, BG/Q's default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Topology {
+    ranks_per_node: usize,
+    /// Worker/communication threads each rank runs during correction
+    /// (2 in the paper's step IV). Used by the SMT oversubscription model.
+    pub threads_per_rank: usize,
+}
+
+impl Topology {
+    /// All ranks on one node (the default for small test universes).
+    pub fn single_node() -> Topology {
+        Topology { ranks_per_node: usize::MAX, threads_per_rank: 2 }
+    }
+
+    /// `ranks_per_node` consecutive ranks share each node.
+    pub fn new(ranks_per_node: usize) -> Topology {
+        assert!(ranks_per_node > 0);
+        Topology { ranks_per_node, threads_per_rank: 2 }
+    }
+
+    /// Same, with an explicit threads-per-rank count (the allgather-both
+    /// heuristic runs 1 rank × 64 threads per node).
+    pub fn with_threads(ranks_per_node: usize, threads_per_rank: usize) -> Topology {
+        assert!(ranks_per_node > 0 && threads_per_rank > 0);
+        Topology { ranks_per_node, threads_per_rank }
+    }
+
+    /// Ranks hosted on each node.
+    #[inline]
+    pub fn ranks_per_node(&self) -> usize {
+        self.ranks_per_node
+    }
+
+    /// The node hosting `rank`.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Whether two ranks share a node (shared-memory messaging path).
+    #[inline]
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Number of nodes needed for `np` ranks.
+    #[inline]
+    pub fn nodes_for(&self, np: usize) -> usize {
+        np.div_ceil(self.ranks_per_node.min(np.max(1)))
+    }
+
+    /// Total software threads per node during the correction phase.
+    #[inline]
+    pub fn threads_per_node(&self, np: usize) -> usize {
+        self.ranks_per_node.min(np) * self.threads_per_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping() {
+        let t = Topology::new(32);
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(31), 0);
+        assert_eq!(t.node_of(32), 1);
+        assert!(t.same_node(0, 31));
+        assert!(!t.same_node(31, 32));
+        assert_eq!(t.nodes_for(128), 4);
+        assert_eq!(t.nodes_for(129), 5);
+    }
+
+    #[test]
+    fn single_node_groups_everything() {
+        let t = Topology::single_node();
+        assert!(t.same_node(0, 10_000));
+        assert_eq!(t.nodes_for(64), 1);
+    }
+
+    #[test]
+    fn threads_per_node_counts_both_threads() {
+        let t = Topology::new(32);
+        assert_eq!(t.threads_per_node(128), 64); // 32 ranks × 2 threads
+        let t8 = Topology::new(8);
+        assert_eq!(t8.threads_per_node(128), 16);
+        // fewer ranks than a full node
+        assert_eq!(t.threads_per_node(4), 8);
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-rank event tracing.
+//!
+//! A lightweight, allocation-conscious event log in the spirit of MPI
+//! profiling interfaces (MPE/Score-P): engines record phase boundaries
+//! and communication events per rank, and the renderer prints an aligned
+//! timeline for post-mortem inspection — which rank stalled, when the
+//! collectives fired, where the lookup storms were. Tracing is entirely
+//! opt-in; the runtime itself never records anything (hot paths stay
+//! untouched).
+
+use std::time::Instant;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A named phase began (construction, correction, shutdown, …).
+    PhaseStart,
+    /// The current phase ended.
+    PhaseEnd,
+    /// A point-to-point send (`dst`, `bytes` in the fields).
+    Send,
+    /// A point-to-point receive (`src`, `bytes`).
+    Recv,
+    /// A collective operation (alltoallv, allgather, …).
+    Collective,
+    /// Anything else worth a mark.
+    Marker,
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Microseconds since the trace began.
+    pub at_us: u64,
+    /// Event class.
+    pub kind: EventKind,
+    /// Short static label ("construct", "kmer-req", …).
+    pub label: &'static str,
+    /// Peer rank for p2p events, `usize::MAX` otherwise.
+    pub peer: usize,
+    /// Payload bytes for communication events.
+    pub bytes: usize,
+}
+
+/// A single rank's event log.
+#[derive(Debug)]
+pub struct TraceLog {
+    rank: usize,
+    epoch: Instant,
+    events: Vec<Event>,
+}
+
+impl TraceLog {
+    /// Start a trace for `rank`, with `now` as time zero.
+    pub fn new(rank: usize) -> TraceLog {
+        TraceLog { rank, epoch: Instant::now(), events: Vec::new() }
+    }
+
+    /// The rank this log belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn stamp(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Record a phase start.
+    pub fn phase_start(&mut self, label: &'static str) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::PhaseStart, label, peer: usize::MAX, bytes: 0 });
+    }
+
+    /// Record a phase end.
+    pub fn phase_end(&mut self, label: &'static str) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::PhaseEnd, label, peer: usize::MAX, bytes: 0 });
+    }
+
+    /// Record a send.
+    pub fn send(&mut self, label: &'static str, dst: usize, bytes: usize) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::Send, label, peer: dst, bytes });
+    }
+
+    /// Record a receive.
+    pub fn recv(&mut self, label: &'static str, src: usize, bytes: usize) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::Recv, label, peer: src, bytes });
+    }
+
+    /// Record a collective.
+    pub fn collective(&mut self, label: &'static str, bytes: usize) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::Collective, label, peer: usize::MAX, bytes });
+    }
+
+    /// Record a free-form marker.
+    pub fn marker(&mut self, label: &'static str) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::Marker, label, peer: usize::MAX, bytes: 0 });
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Total bytes sent according to this log.
+    pub fn bytes_sent(&self) -> usize {
+        self.events.iter().filter(|e| e.kind == EventKind::Send).map(|e| e.bytes).sum()
+    }
+
+    /// Duration of the named phase (first start to first matching end),
+    /// microseconds. `None` when the phase never completed.
+    pub fn phase_duration_us(&self, label: &str) -> Option<u64> {
+        let start = self
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::PhaseStart && e.label == label)?
+            .at_us;
+        let end = self
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::PhaseEnd && e.label == label)?
+            .at_us;
+        end.checked_sub(start)
+    }
+}
+
+/// Render a set of rank logs as a merged, time-sorted timeline.
+pub fn render_timeline(logs: &[TraceLog]) -> String {
+    let mut rows: Vec<(u64, usize, String)> = Vec::new();
+    for log in logs {
+        for e in log.events() {
+            let desc = match e.kind {
+                EventKind::PhaseStart => format!("begin {}", e.label),
+                EventKind::PhaseEnd => format!("end   {}", e.label),
+                EventKind::Send => format!("send  {} -> r{} ({}B)", e.label, e.peer, e.bytes),
+                EventKind::Recv => format!("recv  {} <- r{} ({}B)", e.label, e.peer, e.bytes),
+                EventKind::Collective => format!("coll  {} ({}B)", e.label, e.bytes),
+                EventKind::Marker => format!("mark  {}", e.label),
+            };
+            rows.push((e.at_us, log.rank(), desc));
+        }
+    }
+    rows.sort_by_key(|&(t, r, _)| (t, r));
+    let mut out = String::with_capacity(rows.len() * 48);
+    for (t, rank, desc) in rows {
+        out.push_str(&format!("{t:>10}us r{rank:<4} {desc}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_accumulate_in_order() {
+        let mut log = TraceLog::new(3);
+        log.phase_start("construct");
+        log.send("kmer-exchange", 1, 128);
+        log.recv("kmer-exchange", 2, 256);
+        log.collective("alltoallv", 4096);
+        log.phase_end("construct");
+        let evs = log.events();
+        assert_eq!(evs.len(), 5);
+        assert!(evs.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(log.bytes_sent(), 128);
+        assert_eq!(log.rank(), 3);
+    }
+
+    #[test]
+    fn phase_duration_measured() {
+        let mut log = TraceLog::new(0);
+        log.phase_start("work");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        log.phase_end("work");
+        let d = log.phase_duration_us("work").expect("phase completed");
+        assert!(d >= 4_000, "{d}us");
+        assert!(log.phase_duration_us("other").is_none());
+    }
+
+    #[test]
+    fn unfinished_phase_has_no_duration() {
+        let mut log = TraceLog::new(0);
+        log.phase_start("hung");
+        assert!(log.phase_duration_us("hung").is_none());
+    }
+
+    #[test]
+    fn timeline_merges_ranks_by_time() {
+        let mut a = TraceLog::new(0);
+        let mut b = TraceLog::new(1);
+        a.marker("first");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        b.marker("second");
+        let text = render_timeline(&[a, b]);
+        let first_pos = text.find("first").unwrap();
+        let second_pos = text.find("second").unwrap();
+        assert!(first_pos < second_pos, "{text}");
+        assert!(text.contains("r0"));
+        assert!(text.contains("r1"));
+    }
+
+    #[test]
+    fn renderer_formats_all_kinds() {
+        let mut log = TraceLog::new(7);
+        log.phase_start("p");
+        log.send("x", 1, 10);
+        log.recv("y", 2, 20);
+        log.collective("z", 30);
+        log.marker("m");
+        log.phase_end("p");
+        let text = render_timeline(&[log]);
+        for needle in ["begin p", "send  x -> r1 (10B)", "recv  y <- r2 (20B)", "coll  z (30B)", "mark  m", "end   p"] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+    }
+}

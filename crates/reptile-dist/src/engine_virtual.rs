@@ -1,0 +1,561 @@
+//! The virtual cluster engine: thousands of logical ranks, modeled time.
+//!
+//! The threaded engine is the protocol-faithful implementation, but OS
+//! threads cap it at a few hundred ranks. The paper's evaluation runs
+//! 1024–32768 ranks, so the figures need an engine that executes the
+//! *identical logical algorithm* — same owner partitioning, same lookup
+//! chain, same corrections — for arbitrary `np`, deterministically, and
+//! charges every counted event to a per-rank clock through
+//! [`mpisim::CostModel`].
+//!
+//! The key observation making this sound: during the correction phase the
+//! spectra are immutable, so a remote lookup is semantically a pure query
+//! against the owner's table. The virtual engine answers it from the
+//! global spectrum (which *is* the disjoint union of all owners' tables —
+//! asserted by the spectrum tests) while charging the requester the
+//! modeled round-trip and counting the request for the owner's service
+//! load. Per-rank remote-lookup counts, the quantity the paper's load
+//! figures hinge on, come out exactly, not approximately: they are
+//! counted while running the real corrector on the rank's real reads.
+//!
+//! `scale` linearly extrapolates modeled times from a scaled-down dataset
+//! to paper-scale counts (per-rank work and traffic are linear in reads
+//! per rank; see DESIGN.md §2).
+
+use crate::balance::shuffle_reads_virtual;
+use crate::heuristics::HeuristicConfig;
+use crate::owner::OwnerMap;
+use crate::protocol::RESPONSE_BYTES;
+use crate::report::{LookupStats, RankReport, RunReport};
+use crate::spectrum::BuildStats;
+use dnaseq::{FxHashSet, Read};
+use mpisim::{CostModel, Topology};
+use reptile::spectrum::LocalSpectra;
+use reptile::{correct_read, CorrectionStats, ReptileParams, SpectrumAccess};
+
+/// Virtual-run configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VirtualConfig {
+    /// Logical rank count (up to tens of thousands).
+    pub np: usize,
+    /// Node layout — drives the SMT factor and intra-node message mix.
+    pub topology: Topology,
+    /// Reads per chunk (batch-mode granularity).
+    pub chunk_size: usize,
+    /// Corrector parameters.
+    pub params: ReptileParams,
+    /// Heuristic switchboard.
+    pub heuristics: HeuristicConfig,
+    /// Cost model (BG/Q by default).
+    pub cost: CostModel,
+    /// Multiply modeled times by this factor: set it to the dataset
+    /// scale-down divisor to report paper-scale-equivalent times.
+    pub scale: f64,
+}
+
+impl VirtualConfig {
+    /// BG/Q defaults: 32 ranks/node, paper-production heuristics off
+    /// (base mode), no scale-up.
+    pub fn new(np: usize, params: ReptileParams) -> VirtualConfig {
+        VirtualConfig {
+            np,
+            topology: Topology::new(32),
+            chunk_size: 2000,
+            params,
+            heuristics: HeuristicConfig::default(),
+            cost: CostModel::bgq(),
+            scale: 1.0,
+        }
+    }
+}
+
+/// Result of a virtual run.
+pub struct VirtualRun {
+    /// All corrected reads, sorted by sequence number (identical to the
+    /// sequential and threaded engines' output).
+    pub corrected: Vec<Read>,
+    /// Per-rank reports with modeled times.
+    pub report: RunReport,
+}
+
+/// Execute the distributed algorithm on `cfg.np` logical ranks.
+pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
+    cfg.params.assert_valid();
+    cfg.heuristics.validate().expect("invalid heuristic combination");
+    let np = cfg.np;
+    let owners = OwnerMap::new(np, &cfg.params);
+    let cost = &cfg.cost;
+    let smt = cost.smt_factor(cfg.topology.threads_per_node(np));
+    let rpn = cfg.topology.ranks_per_node().min(np);
+
+    // --- Step I analog + load balancing ---
+    let slices: Vec<Vec<Read>> = (0..np)
+        .map(|r| {
+            let lo = reads.len() * r / np;
+            let hi = reads.len() * (r + 1) / np;
+            reads[lo..hi].to_vec()
+        })
+        .collect();
+    let (rank_reads, shuffle_bytes) = if cfg.heuristics.load_balance {
+        shuffle_reads_virtual(slices, np)
+    } else {
+        (slices, vec![0u64; np])
+    };
+
+    // --- global spectra (the disjoint union of all owners' tables) ---
+    let spectra = LocalSpectra::build(reads, &cfg.params);
+
+    // owned-entry counts per rank, in one pass over the spectra
+    let mut owned_kmers = vec![0u64; np];
+    for (code, _) in spectra.kmers.iter() {
+        owned_kmers[owners.kmer_owner(code)] += 1;
+    }
+    let mut owned_tiles = vec![0u64; np];
+    for (code, _) in spectra.tiles.iter() {
+        owned_tiles[owners.tile_owner(code)] += 1;
+    }
+
+    // --- per-rank construction accounting + correction ---
+    let kcodec = cfg.params.kmer_codec();
+    let tcodec = cfg.params.tile_codec();
+    let max_batches = rank_reads
+        .iter()
+        .map(|r| r.len().div_ceil(cfg.chunk_size).max(1) as u64)
+        .max()
+        .unwrap_or(1);
+    let mut ranks = Vec::with_capacity(np);
+    let mut corrected_all = Vec::with_capacity(reads.len());
+    for (me, mine) in rank_reads.into_iter().enumerate() {
+        // construction counters
+        let mut build = BuildStats::default();
+        build.batches = if cfg.heuristics.batch_reads { max_batches } else { 1 };
+        let mut nonowned_kmers: FxHashSet<u64> = FxHashSet::default();
+        let mut nonowned_tiles: FxHashSet<u128> = FxHashSet::default();
+        let mut chunk_start = 0usize;
+        while chunk_start < mine.len() || chunk_start == 0 {
+            let chunk_end = (chunk_start + cfg.chunk_size).min(mine.len());
+            for read in &mine[chunk_start..chunk_end] {
+                build.bases_processed += read.len() as u64;
+                for (_, code) in kcodec.kmers_of(&read.seq) {
+                    build.kmers_extracted += 1;
+                    let key = owners.kmer_key(code);
+                    if owners.kmer_owner(key) != me {
+                        nonowned_kmers.insert(key);
+                    }
+                }
+                for (_, code) in tcodec.tiles_of(&read.seq) {
+                    build.tiles_extracted += 1;
+                    let key = owners.tile_key(code);
+                    if owners.tile_owner(key) != me {
+                        nonowned_tiles.insert(key);
+                    }
+                }
+            }
+            build.peak_reads_kmers = build.peak_reads_kmers.max(nonowned_kmers.len() as u64);
+            build.peak_reads_tiles = build.peak_reads_tiles.max(nonowned_tiles.len() as u64);
+            if cfg.heuristics.batch_reads {
+                // tables cleared after the per-batch exchange
+                nonowned_kmers.clear();
+                nonowned_tiles.clear();
+            }
+            if chunk_end >= mine.len() {
+                break;
+            }
+            chunk_start = chunk_end;
+        }
+        build.owned_kmers = owned_kmers[me];
+        build.owned_tiles = owned_tiles[me];
+        let reads_table_entries = if cfg.heuristics.keep_read_tables {
+            (nonowned_kmers.len() + nonowned_tiles.len()) as u64
+        } else {
+            0
+        };
+        build.reads_table_entries = reads_table_entries;
+        if cfg.heuristics.replicate_kmers {
+            build.replicated_entries += spectra.kmers.len() as u64;
+        }
+        if cfg.heuristics.replicate_tiles {
+            build.replicated_entries += spectra.tiles.len() as u64;
+        }
+        let (group_kmer_entries, group_tile_entries) = if cfg.heuristics.partial_group > 1 {
+            let g = cfg.heuristics.partial_group;
+            let lo = (me / g) * g;
+            let hi = (lo + g).min(np);
+            let gk: u64 = owned_kmers[lo..hi].iter().sum();
+            let gt: u64 = owned_tiles[lo..hi].iter().sum();
+            build.group_entries = gk + gt;
+            (gk, gt)
+        } else {
+            (owned_kmers[me], owned_tiles[me])
+        };
+
+        // --- correction (the real corrector, counted lookups) ---
+        let mut access = VirtualAccess {
+            spectra: &spectra,
+            owners: &owners,
+            me,
+            heur: cfg.heuristics,
+            own_kmer_keys: if cfg.heuristics.keep_read_tables { Some(&nonowned_kmers) } else { None },
+            own_tile_keys: if cfg.heuristics.keep_read_tables { Some(&nonowned_tiles) } else { None },
+            cached_kmers: FxHashSet::default(),
+            cached_tiles: FxHashSet::default(),
+            stats: LookupStats::default(),
+        };
+        let mut correction = CorrectionStats::default();
+        let mut corrected = mine;
+        for read in corrected.iter_mut() {
+            let outcome = correct_read(read, &mut access, &cfg.params);
+            correction.absorb(&outcome);
+        }
+        let lookups = access.stats;
+        let cached_entries = (access.cached_kmers.len() + access.cached_tiles.len()) as u64;
+
+        // --- time model ---
+        let construct_ns = {
+            let compute = build.bases_processed as f64 * cost.per_base_ns
+                + (build.kmers_extracted + build.tiles_extracted) as f64 * cost.hash_insert_ns;
+            // exchanges: each batch round ships the reads tables; bytes
+            // approximated by entry counts × wire width
+            let exchange_bytes = (build.peak_reads_kmers * 12 + build.peak_reads_tiles * 20)
+                .max(shuffle_bytes[me]);
+            let collectives =
+                build.batches as f64 * cost.alltoallv_ns(np, exchange_bytes as usize);
+            (compute + collectives) * smt
+        };
+        let local_lookups = lookups.local_kmer_lookups + lookups.local_tile_lookups;
+        let compute_ns = local_lookups as f64 * cost.hash_lookup_ns
+            + corrected.iter().map(|r| r.len() as u64).sum::<u64>() as f64 * cost.per_base_ns;
+        let probe_extra = if cfg.heuristics.universal { 0.0 } else { cost.probe_ns };
+        let kmer_req_bytes = if cfg.heuristics.universal { 9 } else { 8 };
+        let tile_req_bytes = if cfg.heuristics.universal { 17 } else { 16 };
+        let comm_ns = lookups.remote_kmer_lookups as f64
+            * (cost.avg_lookup_roundtrip_ns(kmer_req_bytes, RESPONSE_BYTES, np, rpn) + probe_extra)
+            + lookups.remote_tile_lookups as f64
+                * (cost.avg_lookup_roundtrip_ns(tile_req_bytes, RESPONSE_BYTES, np, rpn)
+                    + probe_extra);
+        let correct_ns = (compute_ns + comm_ns) * smt;
+
+        // entry counts scale linearly with dataset size, so paper-scale
+        // memory applies the same divisor as the time model
+        let scale_u = |n: u64| (n as f64 * cfg.scale) as u64;
+        let memory = cost.rank_memory_bytes(
+            scale_u(
+                group_kmer_entries
+                    + nonowned_kmers.len() as u64 * cfg.heuristics.keep_read_tables as u64
+                    + cached_entries
+                    + if cfg.heuristics.replicate_kmers { spectra.kmers.len() as u64 } else { 0 },
+            ),
+            scale_u(
+                group_tile_entries
+                    + nonowned_tiles.len() as u64 * cfg.heuristics.keep_read_tables as u64
+                    + if cfg.heuristics.replicate_tiles { spectra.tiles.len() as u64 } else { 0 },
+            ),
+        );
+
+        ranks.push(RankReport {
+            rank: me,
+            reads_processed: corrected.len() as u64,
+            build,
+            correction,
+            lookups,
+            construct_secs: construct_ns * 1e-9 * cfg.scale,
+            correct_secs: correct_ns * 1e-9 * cfg.scale,
+            comm_secs: comm_ns * smt * 1e-9 * cfg.scale,
+            memory_bytes: memory,
+        });
+        corrected_all.extend(corrected);
+    }
+
+    // service load: every remote lookup is served by its owner — attribute
+    // served counts by replaying the per-owner tallies
+    // (uniform hashing makes these near-uniform; Fig 3's premise)
+    distribute_service_counts(&mut ranks);
+
+    corrected_all.sort_by_key(|r| r.id);
+    VirtualRun {
+        corrected: corrected_all,
+        report: RunReport { ranks, topology: cfg.topology, cost: *cost },
+    }
+}
+
+/// Spread `requests_served` over ranks proportionally to owned entries —
+/// the virtual engine does not track per-owner request targets (that
+/// would require per-lookup owner logging); uniform hashing makes the
+/// share proportional to spectrum ownership, which Fig 3 shows is uniform
+/// to within 1–2%.
+fn distribute_service_counts(ranks: &mut [RankReport]) {
+    let total_remote: u64 = ranks.iter().map(|r| r.lookups.remote_total()).sum();
+    let total_owned: u64 =
+        ranks.iter().map(|r| r.build.owned_kmers + r.build.owned_tiles).sum();
+    if total_owned == 0 {
+        return;
+    }
+    for r in ranks.iter_mut() {
+        let share = (r.build.owned_kmers + r.build.owned_tiles) as f64 / total_owned as f64;
+        r.lookups.requests_served = (total_remote as f64 * share).round() as u64;
+    }
+}
+
+/// Lookup chain of the virtual engine — mirrors `engine_mt::DistAccess`
+/// but answers remote lookups from the global spectrum while counting
+/// them as messages.
+struct VirtualAccess<'a> {
+    spectra: &'a LocalSpectra,
+    owners: &'a OwnerMap,
+    me: usize,
+    heur: HeuristicConfig,
+    /// keep_read_tables: the non-owned keys this rank saw in its reads
+    /// (global counts are resolved, so hits are local).
+    own_kmer_keys: Option<&'a FxHashSet<u64>>,
+    own_tile_keys: Option<&'a FxHashSet<u128>>,
+    cached_kmers: FxHashSet<u64>,
+    cached_tiles: FxHashSet<u128>,
+    stats: LookupStats,
+}
+
+impl SpectrumAccess for VirtualAccess<'_> {
+    fn kmer_count(&mut self, code: u64) -> u32 {
+        let key = self.owners.kmer_key(code);
+        let count = self.spectra.kmers.count(key);
+        let owner = self.owners.kmer_owner(key);
+        let g = self.heur.partial_group;
+        let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
+        if self.heur.replicate_kmers || in_group {
+            self.stats.local_kmer_lookups += 1;
+            return count;
+        }
+        if let Some(keys) = self.own_kmer_keys {
+            if keys.contains(&key) {
+                self.stats.local_kmer_lookups += 1;
+                self.stats.cache_hits += 1;
+                return count;
+            }
+        }
+        if self.heur.cache_remote && self.cached_kmers.contains(&key) {
+            self.stats.local_kmer_lookups += 1;
+            self.stats.cache_hits += 1;
+            return count;
+        }
+        self.stats.remote_kmer_lookups += 1;
+        if count == 0 {
+            self.stats.remote_kmer_misses += 1;
+        }
+        if self.heur.cache_remote {
+            self.cached_kmers.insert(key);
+            self.stats.cached_answers += 1;
+        }
+        count
+    }
+
+    fn tile_count(&mut self, code: u128) -> u32 {
+        let key = self.owners.tile_key(code);
+        let count = self.spectra.tiles.count(key);
+        let owner = self.owners.tile_owner(key);
+        let g = self.heur.partial_group;
+        let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
+        if self.heur.replicate_tiles || in_group {
+            self.stats.local_tile_lookups += 1;
+            return count;
+        }
+        if let Some(keys) = self.own_tile_keys {
+            if keys.contains(&key) {
+                self.stats.local_tile_lookups += 1;
+                self.stats.cache_hits += 1;
+                return count;
+            }
+        }
+        if self.heur.cache_remote && self.cached_tiles.contains(&key) {
+            self.stats.local_tile_lookups += 1;
+            self.stats.cache_hits += 1;
+            return count;
+        }
+        self.stats.remote_tile_lookups += 1;
+        if count == 0 {
+            self.stats.remote_tile_misses += 1;
+        }
+        if self.heur.cache_remote {
+            self.cached_tiles.insert(key);
+            self.stats.cached_answers += 1;
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile::correct_dataset;
+
+    fn params() -> ReptileParams {
+        ReptileParams { k: 6, tile_overlap: 3, ..ReptileParams::for_tests() }
+    }
+
+    fn dataset(n: usize) -> Vec<Read> {
+        // non-repetitive genome (mixed bases) so k-mers are position-specific
+        let genome: Vec<u8> = (0..3000)
+            .map(|i| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(i as u64) % 4) as usize])
+            .collect();
+        let mut reads = Vec::new();
+        for i in 0..n {
+            let start = (i * 13) % (genome.len() - 40);
+            let mut seq = genome[start..start + 40].to_vec();
+            let mut qual = vec![35u8; 40];
+            if i % 3 == 0 {
+                let pos = 5 + (i % 30);
+                seq[pos] = match seq[pos] {
+                    b'A' => b'C',
+                    b'C' => b'G',
+                    b'G' => b'T',
+                    _ => b'A',
+                };
+                qual[pos] = 6;
+            }
+            reads.push(Read::new(i as u64 + 1, seq, qual));
+        }
+        reads
+    }
+
+    #[test]
+    fn matches_sequential_output() {
+        let reads = dataset(80);
+        let (seq_out, _) = correct_dataset(&reads, &params());
+        for np in [1usize, 2, 16, 257] {
+            let cfg = VirtualConfig::new(np, params());
+            let run = run_virtual(&cfg, &reads);
+            assert_eq!(run.corrected, seq_out, "np={np}");
+        }
+    }
+
+    #[test]
+    fn matches_sequential_under_heuristics() {
+        let reads = dataset(60);
+        let (seq_out, _) = correct_dataset(&reads, &params());
+        let matrix = [
+            HeuristicConfig { universal: true, ..Default::default() },
+            HeuristicConfig { keep_read_tables: true, ..Default::default() },
+            HeuristicConfig { keep_read_tables: true, cache_remote: true, ..Default::default() },
+            HeuristicConfig::replicate_both(),
+            HeuristicConfig { batch_reads: true, ..Default::default() },
+            HeuristicConfig::paper_production(),
+            HeuristicConfig { load_balance: false, ..Default::default() },
+        ];
+        for heur in matrix {
+            let mut cfg = VirtualConfig::new(13, params());
+            cfg.heuristics = heur;
+            cfg.chunk_size = 5;
+            let run = run_virtual(&cfg, &reads);
+            assert_eq!(run.corrected, seq_out, "heur={}", heur.label());
+        }
+    }
+
+    #[test]
+    fn more_ranks_less_time() {
+        // stay in the strong-scaling regime: >= ~100 reads per rank
+        let reads = dataset(2000);
+        let t_small = run_virtual(&VirtualConfig::new(4, params()), &reads).report.makespan_secs();
+        let t_large =
+            run_virtual(&VirtualConfig::new(16, params()), &reads).report.makespan_secs();
+        assert!(
+            t_large < t_small,
+            "strong scaling must reduce makespan: {t_small} -> {t_large}"
+        );
+    }
+
+    #[test]
+    fn replication_trades_memory_for_time() {
+        let reads = dataset(200);
+        let base = run_virtual(&VirtualConfig::new(16, params()), &reads);
+        let mut cfg = VirtualConfig::new(16, params());
+        cfg.heuristics = HeuristicConfig::replicate_both();
+        let repl = run_virtual(&cfg, &reads);
+        assert!(repl.report.correct_secs() < base.report.correct_secs());
+        assert!(repl.report.peak_memory_bytes() > base.report.peak_memory_bytes());
+        assert_eq!(
+            repl.report.ranks.iter().map(|r| r.lookups.remote_total()).sum::<u64>(),
+            0
+        );
+    }
+
+    #[test]
+    fn universal_mode_is_faster() {
+        let reads = dataset(200);
+        let base = run_virtual(&VirtualConfig::new(16, params()), &reads);
+        let mut cfg = VirtualConfig::new(16, params());
+        cfg.heuristics.universal = true;
+        let uni = run_virtual(&cfg, &reads);
+        assert!(uni.report.correct_secs() < base.report.correct_secs());
+        // same memory
+        assert!(
+            (uni.report.peak_memory_bytes() - base.report.peak_memory_bytes()).abs() < 1.0
+        );
+    }
+
+    #[test]
+    fn scale_multiplies_times_linearly() {
+        let reads = dataset(100);
+        let one = run_virtual(&VirtualConfig::new(8, params()), &reads);
+        let mut cfg = VirtualConfig::new(8, params());
+        cfg.scale = 100.0;
+        let hundred = run_virtual(&cfg, &reads);
+        let ratio = hundred.report.makespan_secs() / one.report.makespan_secs();
+        assert!((ratio - 100.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn smt_oversubscription_slows_ranks_per_node_32() {
+        let reads = dataset(200);
+        let mut cfg8 = VirtualConfig::new(128, params());
+        cfg8.topology = Topology::new(8);
+        let mut cfg32 = VirtualConfig::new(128, params());
+        cfg32.topology = Topology::new(32);
+        let t8 = run_virtual(&cfg8, &reads).report.makespan_secs();
+        let t32 = run_virtual(&cfg32, &reads).report.makespan_secs();
+        assert!(t32 > t8, "Fig 2: 32 ranks/node slower than 8 ({t8} vs {t32})");
+    }
+
+    #[test]
+    fn partial_replication_trades_memory_for_messages() {
+        let reads = dataset(200);
+        let mut prev_remote = u64::MAX;
+        let mut prev_mem = 0.0f64;
+        for g in [1usize, 2, 4, 8, 16] {
+            let mut cfg = VirtualConfig::new(16, params());
+            cfg.heuristics.partial_group = g;
+            let run = run_virtual(&cfg, &reads);
+            let remote: u64 = run.report.ranks.iter().map(|r| r.lookups.remote_total()).sum();
+            let mem = run.report.peak_memory_bytes();
+            assert!(remote <= prev_remote, "g={g}: remote lookups must not grow");
+            assert!(mem >= prev_mem, "g={g}: memory must not shrink");
+            prev_remote = remote;
+            prev_mem = mem;
+        }
+        // g == np behaves like full replication: zero messages
+        assert_eq!(prev_remote, 0, "group covering all ranks removes all messages");
+    }
+
+    #[test]
+    fn partial_replication_output_matches_sequential() {
+        let reads = dataset(80);
+        let (seq_out, _) = reptile::correct_dataset(&reads, &params());
+        for g in [2usize, 5] {
+            let mut cfg = VirtualConfig::new(12, params());
+            cfg.heuristics.partial_group = g;
+            let run = run_virtual(&cfg, &reads);
+            assert_eq!(run.corrected, seq_out, "g={g}");
+        }
+    }
+
+    #[test]
+    fn batch_mode_shrinks_peak_reads_tables() {
+        let reads = dataset(300);
+        let mut base = VirtualConfig::new(8, params());
+        base.chunk_size = 10;
+        let mut batch = base;
+        batch.heuristics.batch_reads = true;
+        let b = run_virtual(&batch, &reads);
+        let u = run_virtual(&base, &reads);
+        let peak_b: u64 = b.report.ranks.iter().map(|r| r.build.peak_reads_kmers).max().unwrap();
+        let peak_u: u64 = u.report.ranks.iter().map(|r| r.build.peak_reads_kmers).max().unwrap();
+        assert!(peak_b < peak_u, "batching must shrink the reads table ({peak_b} vs {peak_u})");
+    }
+}

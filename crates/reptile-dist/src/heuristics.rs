@@ -1,0 +1,225 @@
+//! Execution-mode heuristics (paper §III-A / §III-B).
+//!
+//! "We have also implemented heuristics to be employed for efficient
+//! execution based on the dataset and the architecture. The primary
+//! purpose of these heuristics is to lower the runtime or memory
+//! footprint based on the hardware being tested."
+
+/// The heuristic switchboard. All combinations the paper evaluates in
+/// Fig 5 are expressible; invalid combinations are rejected by
+/// [`HeuristicConfig::validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeuristicConfig {
+    /// *Universal* mode: lookups travel as one self-describing struct
+    /// (kind embedded in the payload) on a single tag, so the serving
+    /// rank never inspects tags before receiving — "makes the call to
+    /// MPI Probe unwarranted" at the price of a slightly larger message.
+    pub universal: bool,
+    /// *Read k-mers/tiles*: after construction, keep the `readsKmer` /
+    /// `readsTile` tables (k-mers/tiles seen in this rank's own reads but
+    /// owned elsewhere) with their **global** counts, resolved by one
+    /// extra alltoallv round; look them up before messaging.
+    pub keep_read_tables: bool,
+    /// *Allgather k-mers*: replicate the whole k-mer spectrum on every
+    /// rank (no k-mer messages during correction; more memory).
+    pub replicate_kmers: bool,
+    /// *Allgather tiles*: replicate the whole tile spectrum.
+    pub replicate_tiles: bool,
+    /// *Add remote k-mer/tile lookups*: cache every remote answer in the
+    /// reads tables. Requires `keep_read_tables` ("this mode can only be
+    /// run with the read kmers mode").
+    pub cache_remote: bool,
+    /// *Batch reads table*: run the Step III exchange after every chunk
+    /// of reads and clear the reads tables, bounding their size; needs a
+    /// max-batches allreduce so every rank keeps joining the collectives.
+    pub batch_reads: bool,
+    /// Static load balancing (§III-A): redistribute reads to
+    /// `hash(seq) % np` before construction.
+    pub load_balance: bool,
+    /// *Partial replication* (the paper's §V future-work proposal): ranks
+    /// are partitioned into groups of this size, and every rank
+    /// additionally stores the owned spectra of its whole group, so
+    /// lookups whose owner is in-group stay local. `1` disables; `np`
+    /// degenerates to full replication. "One potential strategy is for
+    /// each rank to store the k-mers and tiles of a subset of other
+    /// ranks, besides the k-mers and the tiles the rank owns."
+    pub partial_group: usize,
+}
+
+impl Default for HeuristicConfig {
+    /// The paper's base mode: distributed everything, tagged messages,
+    /// load balancing on (all scaling figures use it).
+    fn default() -> HeuristicConfig {
+        HeuristicConfig {
+            universal: false,
+            keep_read_tables: false,
+            replicate_kmers: false,
+            replicate_tiles: false,
+            cache_remote: false,
+            batch_reads: false,
+            load_balance: true,
+            partial_group: 1,
+        }
+    }
+}
+
+impl HeuristicConfig {
+    /// Base mode (see [`Default`]).
+    pub fn base() -> HeuristicConfig {
+        HeuristicConfig::default()
+    }
+
+    /// The configuration the paper settles on for its large runs:
+    /// "the advantageous heuristics are universal ... and batch reads
+    /// table" (§IV), plus load balancing.
+    pub fn paper_production() -> HeuristicConfig {
+        HeuristicConfig { universal: true, batch_reads: true, ..HeuristicConfig::default() }
+    }
+
+    /// Full replication of both spectra (the "k-mers and tiles replicated
+    /// on every node" row of Fig 5) — no correction-phase messaging.
+    pub fn replicate_both() -> HeuristicConfig {
+        HeuristicConfig {
+            replicate_kmers: true,
+            replicate_tiles: true,
+            ..HeuristicConfig::default()
+        }
+    }
+
+    /// Validate the combination; returns a description of the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cache_remote && !self.keep_read_tables {
+            return Err("cache_remote requires keep_read_tables \
+                        (remote answers are added to the readsKmer/readsTile tables)"
+                .into());
+        }
+        if self.batch_reads && self.keep_read_tables {
+            return Err("batch_reads clears the reads tables after every chunk, \
+                        which contradicts keep_read_tables"
+                .into());
+        }
+        if self.partial_group == 0 {
+            return Err("partial_group must be >= 1 (1 disables partial replication)".into());
+        }
+        if self.partial_group > 1 && (self.replicate_kmers || self.replicate_tiles) {
+            return Err("partial replication is redundant under full replication \
+                        (drop replicate_kmers/replicate_tiles or set partial_group = 1)"
+                .into());
+        }
+        Ok(())
+    }
+
+    /// Whether any correction-phase k-mer messages can occur.
+    pub fn kmers_need_messages(&self) -> bool {
+        !self.replicate_kmers
+    }
+
+    /// Whether any correction-phase tile messages can occur.
+    pub fn tiles_need_messages(&self) -> bool {
+        !self.replicate_tiles
+    }
+
+    /// Human-readable label used in Fig 5 outputs.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.universal {
+            parts.push("universal");
+        }
+        if self.keep_read_tables {
+            parts.push("read-kmers");
+        }
+        if self.replicate_kmers && self.replicate_tiles {
+            parts.push("repl-both");
+        } else if self.replicate_kmers {
+            parts.push("repl-kmers");
+        } else if self.replicate_tiles {
+            parts.push("repl-tiles");
+        }
+        if self.cache_remote {
+            parts.push("add-remote");
+        }
+        if self.batch_reads {
+            parts.push("batch-reads");
+        }
+        if self.partial_group > 1 {
+            parts.push("partial-repl");
+        }
+        if !self.load_balance {
+            parts.push("imbalanced");
+        }
+        if parts.is_empty() {
+            "base".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_valid() {
+        HeuristicConfig::default().validate().unwrap();
+        HeuristicConfig::paper_production().validate().unwrap();
+        HeuristicConfig::replicate_both().validate().unwrap();
+    }
+
+    #[test]
+    fn cache_remote_needs_read_tables() {
+        let h = HeuristicConfig { cache_remote: true, ..HeuristicConfig::default() };
+        assert!(h.validate().is_err());
+        let ok = HeuristicConfig {
+            cache_remote: true,
+            keep_read_tables: true,
+            ..HeuristicConfig::default()
+        };
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn batch_conflicts_with_read_tables() {
+        let h = HeuristicConfig {
+            batch_reads: true,
+            keep_read_tables: true,
+            ..HeuristicConfig::default()
+        };
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn replication_silences_messages() {
+        let h = HeuristicConfig::replicate_both();
+        assert!(!h.kmers_need_messages());
+        assert!(!h.tiles_need_messages());
+        let base = HeuristicConfig::base();
+        assert!(base.kmers_need_messages());
+        assert!(base.tiles_need_messages());
+    }
+
+    #[test]
+    fn partial_group_validation() {
+        let bad = HeuristicConfig { partial_group: 0, ..HeuristicConfig::default() };
+        assert!(bad.validate().is_err());
+        let redundant = HeuristicConfig {
+            partial_group: 4,
+            replicate_tiles: true,
+            ..HeuristicConfig::default()
+        };
+        assert!(redundant.validate().is_err());
+        let ok = HeuristicConfig { partial_group: 4, ..HeuristicConfig::default() };
+        ok.validate().unwrap();
+        assert_eq!(ok.label(), "partial-repl");
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(HeuristicConfig::base().label(), "base");
+        assert_eq!(HeuristicConfig::paper_production().label(), "universal+batch-reads");
+        assert_eq!(HeuristicConfig::replicate_both().label(), "repl-both");
+        let imb = HeuristicConfig { load_balance: false, ..HeuristicConfig::default() };
+        assert_eq!(imb.label(), "imbalanced");
+    }
+}

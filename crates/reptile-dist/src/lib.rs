@@ -1,0 +1,51 @@
+//! Distributed-memory Reptile — the IPDPSW'16 contribution.
+//!
+//! Instead of replicating the k-mer and tile spectra on every node (the
+//! prior parallelizations), this crate *distributes* both spectra across
+//! ranks by hash ownership and resolves missing counts with messages:
+//!
+//! * [`owner`] — owner-rank assignment for k-mers, tiles and reads;
+//! * [`heuristics`] — the execution-mode matrix of §III-B (universal,
+//!   read k-mers/tiles, allgather k-mers/tiles/both, add-remote-lookups,
+//!   batch reads table) plus the static load-balancing switch of §III-A;
+//! * [`spectrum`] — Steps II–III: per-rank `hashKmer`/`readsKmer`
+//!   (`hashTile`/`readsTile`) tables, the alltoallv count exchange, the
+//!   threshold prune, batch mode;
+//! * [`balance`] — the static load-balancing shuffle (reads redistributed
+//!   to `hash(seq) % np`);
+//! * [`protocol`] — the correction-phase request/response wire format
+//!   (tagged messages, or the self-describing *universal* struct);
+//! * [`engine_mt`] — Step IV on the threaded [`mpisim`] runtime: a worker
+//!   thread correcting reads + a communication thread serving lookups,
+//!   per rank;
+//! * [`engine_virtual`] — the same logical algorithm executed
+//!   deterministically for thousands of logical ranks, with per-rank
+//!   work/traffic counters mapped to modeled BG/Q seconds through
+//!   [`mpisim::CostModel`] (this is what regenerates the paper's
+//!   figures at 1024–32768 ranks);
+//! * [`report`] — per-rank and aggregate run reports.
+//!
+//! The corrector itself is [`reptile`]'s — both engines implement
+//! [`reptile::SpectrumAccess`], so sequential, threaded-distributed and
+//! virtual-distributed runs produce bit-identical corrected reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod engine_mt;
+pub mod engine_virtual;
+pub mod heuristics;
+pub mod output;
+pub mod owner;
+pub mod prior_art;
+pub mod protocol;
+pub mod report;
+pub mod spectrum;
+
+pub use engine_mt::{run_distributed, run_distributed_files, DistOutput, EngineConfig};
+pub use engine_virtual::VirtualConfig;
+pub use engine_virtual::{run_virtual, VirtualRun};
+pub use heuristics::HeuristicConfig;
+pub use prior_art::{run_prior_art, run_prior_art_virtual, PriorArtConfig};
+pub use report::{RankReport, RunReport};

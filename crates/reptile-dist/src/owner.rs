@@ -1,0 +1,122 @@
+//! Owner-rank assignment.
+//!
+//! "Each k-mer (and tile) are defined to have an owning rank; the owning
+//! rank in our implementation is defined as the rank p (out of the number
+//! of ranks np) for which hashFunction(kmer) % np == p" (paper §III step
+//! II); reads are owned analogously for the load-balancing shuffle
+//! (§III-A). Ownership is computed on the *normalized* (strand-folded, if
+//! canonical) code, since that is the spectrum key.
+
+use dnaseq::Read;
+use reptile::ReptileParams;
+
+/// Owner assignment for one universe size and one parameter set.
+#[derive(Clone, Copy, Debug)]
+pub struct OwnerMap {
+    np: usize,
+    canonical: bool,
+    kcodec: dnaseq::KmerCodec,
+    tcodec: dnaseq::TileCodec,
+}
+
+impl OwnerMap {
+    /// Build the owner map for `np` ranks.
+    pub fn new(np: usize, params: &ReptileParams) -> OwnerMap {
+        assert!(np > 0);
+        OwnerMap {
+            np,
+            canonical: params.canonical,
+            kcodec: params.kmer_codec(),
+            tcodec: params.tile_codec(),
+        }
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn np(&self) -> usize {
+        self.np
+    }
+
+    /// Normalize a k-mer code to its spectrum key.
+    #[inline]
+    pub fn kmer_key(&self, code: u64) -> u64 {
+        if self.canonical {
+            self.kcodec.canonical(code)
+        } else {
+            code
+        }
+    }
+
+    /// Normalize a tile code to its spectrum key.
+    #[inline]
+    pub fn tile_key(&self, code: u128) -> u128 {
+        if self.canonical {
+            self.tcodec.canonical(code)
+        } else {
+            code
+        }
+    }
+
+    /// Owning rank of a k-mer (input may be unnormalized).
+    #[inline]
+    pub fn kmer_owner(&self, code: u64) -> usize {
+        dnaseq::owner_of(self.kmer_key(code), self.np)
+    }
+
+    /// Owning rank of a tile (input may be unnormalized).
+    #[inline]
+    pub fn tile_owner(&self, code: u128) -> usize {
+        dnaseq::hashing::owner_of_u128(self.tile_key(code), self.np)
+    }
+
+    /// Owning rank of a read under the load-balancing policy.
+    #[inline]
+    pub fn read_owner(&self, read: &Read) -> usize {
+        read.owner(self.np)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(np: usize) -> OwnerMap {
+        OwnerMap::new(np, &ReptileParams::for_tests())
+    }
+
+    #[test]
+    fn owners_in_range() {
+        let m = map(7);
+        for code in [0u64, 1, 99, u64::MAX] {
+            assert!(m.kmer_owner(code) < 7);
+        }
+        for code in [0u128, 1, u128::MAX >> 1] {
+            assert!(m.tile_owner(code) < 7);
+        }
+    }
+
+    #[test]
+    fn canonical_strands_share_owner() {
+        let params = ReptileParams { canonical: true, ..ReptileParams::for_tests() };
+        let m = OwnerMap::new(16, &params);
+        let kc = params.kmer_codec();
+        let code = kc.encode(b"ACGTTGCA").unwrap();
+        let rc = kc.reverse_complement(code);
+        assert_eq!(m.kmer_owner(code), m.kmer_owner(rc));
+        assert_eq!(m.kmer_key(code), m.kmer_key(rc));
+    }
+
+    #[test]
+    fn non_canonical_uses_raw_code() {
+        let m = map(16);
+        assert_eq!(m.kmer_key(12345), 12345);
+        assert_eq!(m.tile_key(98765), 98765);
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let m = map(1);
+        assert_eq!(m.kmer_owner(42), 0);
+        assert_eq!(m.tile_owner(42), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Correction-phase wire protocol.
+//!
+//! During step IV a worker thread that misses a k-mer/tile locally "sends
+//! a message to the owning rank, requesting the count of the k-mer or
+//! tile. The communication thread of each rank probes any incoming
+//! messages – based on the probe, it first finds out the nature of the
+//! request ... The response is either the count of the k-mer or tile or a
+//! response like (−1) implying that the k-mer or tile does not exist"
+//! (paper §III step IV).
+//!
+//! Two request encodings exist, matching the paper's *universal*
+//! heuristic:
+//!
+//! * **tagged** (base mode): the request kind travels in the message tag
+//!   (`TAG_KMER_REQ` / `TAG_TILE_REQ`), the payload is just the code;
+//! * **universal**: one tag (`TAG_UNIVERSAL`), the payload carries a kind
+//!   byte + the code — bigger message, no per-tag probing at the server.
+//!
+//! Responses carry an `i64` count, `-1` for "does not exist" (we could
+//! use 0, but we keep the paper's sentinel on the wire and normalize at
+//! the caller).
+
+use mpisim::message::{WireReader, WireWriter};
+
+/// Tag for k-mer count requests (base mode).
+pub const TAG_KMER_REQ: u32 = 0x10;
+/// Tag for tile count requests (base mode).
+pub const TAG_TILE_REQ: u32 = 0x11;
+/// Tag for universal-mode requests (kind inside the payload).
+pub const TAG_UNIVERSAL: u32 = 0x12;
+/// Tag for count responses.
+pub const TAG_RESP: u32 = 0x13;
+/// Tag announcing "my worker finished all its reads" (termination).
+pub const TAG_DONE: u32 = 0x14;
+
+/// A decoded lookup request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LookupRequest {
+    /// K-mer count request (normalized code).
+    Kmer(u64),
+    /// Tile count request (normalized code).
+    Tile(u128),
+}
+
+impl LookupRequest {
+    /// Encode for base (tagged) mode: `(tag, payload)`.
+    pub fn encode_tagged(&self) -> (u32, Vec<u8>) {
+        match *self {
+            LookupRequest::Kmer(code) => {
+                let mut w = WireWriter::with_capacity(8);
+                w.put_u64(code);
+                (TAG_KMER_REQ, w.finish())
+            }
+            LookupRequest::Tile(code) => {
+                let mut w = WireWriter::with_capacity(16);
+                w.put_u128(code);
+                (TAG_TILE_REQ, w.finish())
+            }
+        }
+    }
+
+    /// Encode for universal mode: `(TAG_UNIVERSAL, payload)` with the
+    /// kind byte leading.
+    pub fn encode_universal(&self) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(17);
+        match *self {
+            LookupRequest::Kmer(code) => {
+                w.put_u8(0);
+                w.put_u64(code);
+            }
+            LookupRequest::Tile(code) => {
+                w.put_u8(1);
+                w.put_u128(code);
+            }
+        }
+        (TAG_UNIVERSAL, w.finish())
+    }
+
+    /// Decode a request delivered with `tag`.
+    pub fn decode(tag: u32, payload: &[u8]) -> LookupRequest {
+        let mut r = WireReader::new(payload);
+        match tag {
+            TAG_KMER_REQ => LookupRequest::Kmer(r.get_u64()),
+            TAG_TILE_REQ => LookupRequest::Tile(r.get_u128()),
+            TAG_UNIVERSAL => match r.get_u8() {
+                0 => LookupRequest::Kmer(r.get_u64()),
+                1 => LookupRequest::Tile(r.get_u128()),
+                k => panic!("unknown universal request kind {k}"),
+            },
+            t => panic!("not a request tag: {t:#x}"),
+        }
+    }
+
+    /// Wire size of this request under the given mode, for the cost model.
+    pub fn wire_bytes(&self, universal: bool) -> usize {
+        let code = match *self {
+            LookupRequest::Kmer(_) => 8,
+            LookupRequest::Tile(_) => 16,
+        };
+        if universal {
+            code + 1
+        } else {
+            code
+        }
+    }
+}
+
+/// Encode a count response: the paper's `-1` sentinel for "nonexistent".
+pub fn encode_response(count: Option<u32>) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(8);
+    w.put_i64(count.map(|c| c as i64).unwrap_or(-1));
+    w.finish()
+}
+
+/// Decode a count response back to `Option<count>`.
+pub fn decode_response(payload: &[u8]) -> Option<u32> {
+    let v = WireReader::new(payload).get_i64();
+    if v < 0 {
+        None
+    } else {
+        Some(v as u32)
+    }
+}
+
+/// Wire size of a response.
+pub const RESPONSE_BYTES: usize = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tagged_round_trip() {
+        for req in [LookupRequest::Kmer(0xABCD), LookupRequest::Tile(1u128 << 90)] {
+            let (tag, payload) = req.encode_tagged();
+            assert_eq!(LookupRequest::decode(tag, &payload), req);
+        }
+    }
+
+    #[test]
+    fn universal_round_trip() {
+        for req in [LookupRequest::Kmer(7), LookupRequest::Tile(u128::MAX)] {
+            let (tag, payload) = req.encode_universal();
+            assert_eq!(tag, TAG_UNIVERSAL);
+            assert_eq!(LookupRequest::decode(tag, &payload), req);
+        }
+    }
+
+    #[test]
+    fn universal_messages_are_bigger() {
+        let k = LookupRequest::Kmer(1);
+        assert_eq!(k.wire_bytes(false), 8);
+        assert_eq!(k.wire_bytes(true), 9);
+        assert_eq!(k.encode_tagged().1.len(), 8);
+        assert_eq!(k.encode_universal().1.len(), 9);
+        let t = LookupRequest::Tile(1);
+        assert_eq!(t.encode_tagged().1.len(), 16);
+        assert_eq!(t.encode_universal().1.len(), 17);
+    }
+
+    #[test]
+    fn response_sentinel() {
+        assert_eq!(decode_response(&encode_response(Some(42))), Some(42));
+        assert_eq!(decode_response(&encode_response(Some(0))), Some(0));
+        assert_eq!(decode_response(&encode_response(None)), None);
+        assert_eq!(encode_response(None).len(), RESPONSE_BYTES);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a request tag")]
+    fn decode_rejects_bad_tag() {
+        let _ = LookupRequest::decode(TAG_RESP, &[0; 8]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-rank and aggregate run reports.
+//!
+//! Everything the paper's figures plot comes out of these structs: times
+//! split into k-mer construction vs error correction vs communication,
+//! per-rank lookup/traffic counts, errors corrected, memory footprints.
+
+use crate::spectrum::BuildStats;
+use mpisim::{CostModel, Topology};
+use reptile::CorrectionStats;
+
+/// Counters from one rank's correction phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LookupStats {
+    /// K-mer lookups answered from the rank's own tables.
+    pub local_kmer_lookups: u64,
+    /// Tile lookups answered locally.
+    pub local_tile_lookups: u64,
+    /// K-mer lookups that crossed ranks.
+    pub remote_kmer_lookups: u64,
+    /// Tile lookups that crossed ranks.
+    pub remote_tile_lookups: u64,
+    /// Remote k-mer lookups answered "does not exist".
+    pub remote_kmer_misses: u64,
+    /// Remote tile lookups answered "does not exist" — the paper finds
+    /// these dominate the communication time ("especially tiles which
+    /// are not part of the tile spectrum", §IV).
+    pub remote_tile_misses: u64,
+    /// Lookups served *for* other ranks by this rank's comm thread.
+    pub requests_served: u64,
+    /// Remote answers cached into the reads tables (add-remote mode).
+    pub cached_answers: u64,
+    /// Cache hits on previously cached answers.
+    pub cache_hits: u64,
+}
+
+impl LookupStats {
+    /// All lookups that left the rank.
+    pub fn remote_total(&self) -> u64 {
+        self.remote_kmer_lookups + self.remote_tile_lookups
+    }
+
+    /// Merge counters (worker + server sides of one rank).
+    pub fn merge(&mut self, o: &LookupStats) {
+        self.local_kmer_lookups += o.local_kmer_lookups;
+        self.local_tile_lookups += o.local_tile_lookups;
+        self.remote_kmer_lookups += o.remote_kmer_lookups;
+        self.remote_tile_lookups += o.remote_tile_lookups;
+        self.remote_kmer_misses += o.remote_kmer_misses;
+        self.remote_tile_misses += o.remote_tile_misses;
+        self.requests_served += o.requests_served;
+        self.cached_answers += o.cached_answers;
+        self.cache_hits += o.cache_hits;
+    }
+}
+
+/// One rank's full report.
+#[derive(Clone, Debug, Default)]
+pub struct RankReport {
+    /// Rank id.
+    pub rank: usize,
+    /// Reads this rank corrected.
+    pub reads_processed: u64,
+    /// Construction-phase counters.
+    pub build: BuildStats,
+    /// Correction outcome counters.
+    pub correction: CorrectionStats,
+    /// Lookup/traffic counters.
+    pub lookups: LookupStats,
+    /// Modeled k-mer construction time, seconds (virtual engine) or
+    /// measured wall seconds (threaded engine).
+    pub construct_secs: f64,
+    /// Modeled/measured total correction-phase time, seconds.
+    pub correct_secs: f64,
+    /// Of `correct_secs`, time attributable to communication.
+    pub comm_secs: f64,
+    /// Modeled resident memory, bytes.
+    pub memory_bytes: f64,
+}
+
+impl RankReport {
+    /// Total rank time (construction + correction).
+    pub fn total_secs(&self) -> f64 {
+        self.construct_secs + self.correct_secs
+    }
+}
+
+/// A whole run: per-rank reports plus the layout that produced them.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-rank reports, indexed by rank.
+    pub ranks: Vec<RankReport>,
+    /// Node/rank layout of the run.
+    pub topology: Topology,
+    /// Cost model used (virtual engine) — kept for reproducibility.
+    pub cost: CostModel,
+}
+
+impl RunReport {
+    /// Job completion time: the slowest rank (construction and correction
+    /// are globally barriered phases, so phase maxima add).
+    pub fn makespan_secs(&self) -> f64 {
+        let construct =
+            self.ranks.iter().map(|r| r.construct_secs).fold(0.0, f64::max);
+        let correct = self.ranks.iter().map(|r| r.correct_secs).fold(0.0, f64::max);
+        construct + correct
+    }
+
+    /// Max construction time across ranks (the "k-mer construction time"
+    /// series of Figs 2/6/7/8).
+    pub fn construct_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.construct_secs).fold(0.0, f64::max)
+    }
+
+    /// Max correction time across ranks (the "error correction time"
+    /// series).
+    pub fn correct_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.correct_secs).fold(0.0, f64::max)
+    }
+
+    /// Mean correction time across ranks. On scaled datasets with few
+    /// reads per rank the max is inflated by Poisson count variance that
+    /// the paper's full-size runs do not have; the mean is the
+    /// regime-independent scaling signal (see EXPERIMENTS.md).
+    pub fn correct_secs_mean(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r.correct_secs).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Total errors corrected across ranks.
+    pub fn errors_corrected(&self) -> u64 {
+        self.ranks.iter().map(|r| r.correction.errors_corrected).sum()
+    }
+
+    /// Largest per-rank modeled memory footprint, bytes (Fig 5's memory
+    /// series reports the highest-footprint rank).
+    pub fn peak_memory_bytes(&self) -> f64 {
+        self.ranks.iter().map(|r| r.memory_bytes).fold(0.0, f64::max)
+    }
+
+    /// Ratio slowest/fastest rank correction time (load imbalance, Fig 4).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let max = self.ranks.iter().map(|r| r.correct_secs).fold(0.0, f64::max);
+        let min = self.ranks.iter().map(|r| r.correct_secs).fold(f64::INFINITY, f64::min);
+        if min <= 0.0 || !min.is_finite() {
+            return 1.0;
+        }
+        max / min
+    }
+
+    /// Parallel efficiency vs a reference run:
+    /// `(t_ref · np_ref) / (t_this · np_this)`.
+    pub fn efficiency_vs(&self, reference: &RunReport, np_ref: usize, np_this: usize) -> f64 {
+        (reference.makespan_secs() * np_ref as f64) / (self.makespan_secs() * np_this as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rank(construct: f64, correct: f64, comm: f64) -> RankReport {
+        RankReport { construct_secs: construct, correct_secs: correct, comm_secs: comm, ..Default::default() }
+    }
+
+    fn run(ranks: Vec<RankReport>) -> RunReport {
+        RunReport { ranks, topology: Topology::new(32), cost: CostModel::bgq() }
+    }
+
+    #[test]
+    fn makespan_is_sum_of_phase_maxima() {
+        let r = run(vec![rank(1.0, 10.0, 5.0), rank(2.0, 8.0, 4.0)]);
+        assert_eq!(r.construct_secs(), 2.0);
+        assert_eq!(r.correct_secs(), 10.0);
+        assert_eq!(r.makespan_secs(), 12.0);
+    }
+
+    #[test]
+    fn imbalance_ratio_computed() {
+        let r = run(vec![rank(0.0, 4.0, 0.0), rank(0.0, 16.0, 0.0)]);
+        assert_eq!(r.imbalance_ratio(), 4.0);
+        let uniform = run(vec![rank(0.0, 5.0, 0.0), rank(0.0, 5.0, 0.0)]);
+        assert_eq!(uniform.imbalance_ratio(), 1.0);
+    }
+
+    #[test]
+    fn efficiency_definition() {
+        let base = run(vec![rank(0.0, 100.0, 0.0)]);
+        let scaled = run(vec![rank(0.0, 15.0, 0.0)]);
+        // 8x ranks, 100/15 speedup -> efficiency 100/(15*8)
+        let eff = scaled.efficiency_vs(&base, 1, 8);
+        assert!((eff - 100.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_stats_merge() {
+        let mut a = LookupStats { remote_tile_lookups: 5, ..Default::default() };
+        let b = LookupStats { remote_tile_lookups: 7, requests_served: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.remote_tile_lookups, 12);
+        assert_eq!(a.requests_served, 3);
+        assert_eq!(a.remote_total(), 12);
+    }
+}

@@ -1,0 +1,545 @@
+//! Distributed spectrum construction (paper Steps II–III).
+//!
+//! Each rank extracts the k-mers and tiles of its reads into *two* hash
+//! tables per spectrum: `hashKmer` for codes it owns
+//! (`hash(code) % np == rank`) and `readsKmer` for codes owned elsewhere
+//! (`hashTile`/`readsTile` for tiles). An `MPI_Alltoallv` then ships every
+//! `readsKmer` entry to its owner, which merges the counts; after the
+//! exchange each code lives **only** at its owner with its true global
+//! count, and entries below the frequency threshold are pruned.
+//!
+//! In *batch reads table* mode the exchange runs after every chunk and
+//! the reads tables are cleared, bounding their size; an
+//! `allreduce(max)` on the batch count keeps every rank participating in
+//! the collectives until the slowest rank has drained its reads.
+
+use crate::heuristics::HeuristicConfig;
+use crate::owner::OwnerMap;
+use dnaseq::Read;
+use mpisim::Comm;
+use reptile::spectrum::{KmerSpectrum, TileSpectrum};
+use reptile::ReptileParams;
+
+/// The per-rank spectrum tables after construction.
+pub struct RankTables {
+    /// Owner map used throughout the run.
+    pub owners: OwnerMap,
+    /// Owned k-mers with global counts (pruned).
+    pub hash_kmers: KmerSpectrum,
+    /// Owned tiles with global counts (pruned).
+    pub hash_tiles: TileSpectrum,
+    /// With `keep_read_tables`: non-owned k-mers from this rank's reads,
+    /// with **global** counts (0 = known absent). Counts here are
+    /// post-prune global counts, so lookups hit without messaging.
+    pub reads_kmers: Option<KmerSpectrum>,
+    /// With `keep_read_tables`: non-owned tiles from this rank's reads.
+    pub reads_tiles: Option<TileSpectrum>,
+    /// With `replicate_kmers`: the full pruned k-mer spectrum.
+    pub replicated_kmers: Option<KmerSpectrum>,
+    /// With `replicate_tiles`: the full pruned tile spectrum.
+    pub replicated_tiles: Option<TileSpectrum>,
+    /// With `partial_group > 1`: the merged owned k-mers of this rank's
+    /// whole group (the §V partial-replication proposal). Includes this
+    /// rank's own entries, so in-group lookups go here first.
+    pub group_kmers: Option<KmerSpectrum>,
+    /// With `partial_group > 1`: the group's merged owned tiles.
+    pub group_tiles: Option<TileSpectrum>,
+}
+
+/// Counters from the construction phase (feeds the reports/cost model).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// K-mer occurrences extracted from this rank's reads.
+    pub kmers_extracted: u64,
+    /// Tile occurrences extracted.
+    pub tiles_extracted: u64,
+    /// Bases scanned.
+    pub bases_processed: u64,
+    /// Chunk iterations executed (== global max batches).
+    pub batches: u64,
+    /// Largest size the (k-mer) reads table reached before a clear.
+    pub peak_reads_kmers: u64,
+    /// Largest size the (tile) reads table reached before a clear.
+    pub peak_reads_tiles: u64,
+    /// Owned k-mers after pruning.
+    pub owned_kmers: u64,
+    /// Owned tiles after pruning.
+    pub owned_tiles: u64,
+    /// Entries retained in the reads tables (keep_read_tables).
+    pub reads_table_entries: u64,
+    /// Entries replicated locally (allgather modes).
+    pub replicated_entries: u64,
+    /// Entries held for the rank's group (partial replication), incl.
+    /// the rank's own owned entries.
+    pub group_entries: u64,
+}
+
+/// Build the distributed spectra from this rank's reads, delivered in
+/// chunks of `chunk_size` (the config-file chunk size of Step I).
+///
+/// `reads` are the reads this rank will *extract from* — already
+/// load-balanced if that heuristic is on (the shuffle happens upstream,
+/// per batch, in the engines).
+pub fn build_distributed(
+    comm: &Comm,
+    reads: &[Read],
+    chunk_size: usize,
+    params: &ReptileParams,
+    heur: &HeuristicConfig,
+) -> (RankTables, BuildStats) {
+    params.assert_valid();
+    heur.validate().expect("invalid heuristic combination");
+    assert!(chunk_size > 0);
+    let np = comm.size();
+    let owners = OwnerMap::new(np, params);
+    let kcodec = params.kmer_codec();
+    let tcodec = params.tile_codec();
+
+    let mut hash_kmers = KmerSpectrum::new(kcodec, params.canonical);
+    let mut hash_tiles = TileSpectrum::new(tcodec, params.canonical);
+    let mut reads_kmers = KmerSpectrum::new(kcodec, params.canonical);
+    let mut reads_tiles = TileSpectrum::new(tcodec, params.canonical);
+    let mut stats = BuildStats::default();
+
+    // Every rank must join the same number of collective rounds (§III-B).
+    let my_batches = reads.len().div_ceil(chunk_size).max(1) as u64;
+    let max_batches = if heur.batch_reads { comm.allreduce_max_u64(my_batches) } else { my_batches };
+    stats.batches = max_batches;
+
+    let me = comm.rank();
+    for batch in 0..max_batches {
+        let lo = (batch as usize * chunk_size).min(reads.len());
+        let hi = ((batch as usize + 1) * chunk_size).min(reads.len());
+        for read in &reads[lo..hi] {
+            stats.bases_processed += read.len() as u64;
+            for (_, code) in kcodec.kmers_of(&read.seq) {
+                stats.kmers_extracted += 1;
+                let key = owners.kmer_key(code);
+                if owners.kmer_owner(code) == me {
+                    hash_kmers.add_count(key, 1);
+                } else {
+                    reads_kmers.add_count(key, 1);
+                }
+            }
+            for (_, code) in tcodec.tiles_of(&read.seq) {
+                stats.tiles_extracted += 1;
+                let key = owners.tile_key(code);
+                if owners.tile_owner(code) == me {
+                    hash_tiles.add_count(key, 1);
+                } else {
+                    reads_tiles.add_count(key, 1);
+                }
+            }
+        }
+        if heur.batch_reads {
+            stats.peak_reads_kmers = stats.peak_reads_kmers.max(reads_kmers.len() as u64);
+            stats.peak_reads_tiles = stats.peak_reads_tiles.max(reads_tiles.len() as u64);
+            exchange_counts(
+                comm,
+                &owners,
+                std::mem::replace(&mut reads_kmers, KmerSpectrum::new(kcodec, params.canonical)),
+                std::mem::replace(&mut reads_tiles, TileSpectrum::new(tcodec, params.canonical)),
+                &mut hash_kmers,
+                &mut hash_tiles,
+            );
+        }
+    }
+
+    // Record the rank's own-reads key sets before the final exchange
+    // consumes the tables (needed by keep_read_tables).
+    let (kmer_keys, tile_keys) = if heur.keep_read_tables {
+        (
+            reads_kmers.iter().map(|(k, _)| k).collect::<Vec<u64>>(),
+            reads_tiles.iter().map(|(t, _)| t).collect::<Vec<u128>>(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    if !heur.batch_reads {
+        stats.peak_reads_kmers = reads_kmers.len() as u64;
+        stats.peak_reads_tiles = reads_tiles.len() as u64;
+        exchange_counts(comm, &owners, reads_kmers, reads_tiles, &mut hash_kmers, &mut hash_tiles);
+    }
+
+    // Threshold prune at the owner (Step III).
+    hash_kmers.prune(params.kmer_threshold);
+    hash_tiles.prune(params.tile_threshold);
+    stats.owned_kmers = hash_kmers.len() as u64;
+    stats.owned_tiles = hash_tiles.len() as u64;
+
+    // --- keep_read_tables: resolve global counts for own-reads keys ---
+    let (final_reads_kmers, final_reads_tiles) = if heur.keep_read_tables {
+        let (rk, rt) =
+            resolve_read_tables(comm, &owners, params, kmer_keys, tile_keys, &hash_kmers, &hash_tiles);
+        stats.reads_table_entries = (rk.len() + rt.len()) as u64;
+        (Some(rk), Some(rt))
+    } else {
+        (None, None)
+    };
+
+    // --- replication heuristics: allgather the pruned spectra ---
+    let replicated_kmers = if heur.replicate_kmers {
+        let entries: Vec<(u64, u32)> = hash_kmers.iter().collect();
+        let all = comm.allgatherv(entries);
+        let mut full = KmerSpectrum::new(kcodec, params.canonical);
+        for part in all {
+            for (code, count) in part {
+                full.add_count(code, count);
+            }
+        }
+        stats.replicated_entries += full.len() as u64;
+        Some(full)
+    } else {
+        None
+    };
+    let replicated_tiles = if heur.replicate_tiles {
+        let entries: Vec<(u128, u32)> = hash_tiles.iter().collect();
+        let all = comm.allgatherv(entries);
+        let mut full = TileSpectrum::new(tcodec, params.canonical);
+        for part in all {
+            for (code, count) in part {
+                full.add_count(code, count);
+            }
+        }
+        stats.replicated_entries += full.len() as u64;
+        Some(full)
+    } else {
+        None
+    };
+
+    // --- partial replication (§V): gather the group's owned spectra ---
+    let (group_kmers, group_tiles) = if heur.partial_group > 1 {
+        let g = heur.partial_group;
+        let my_group = comm.rank() / g;
+        let k_entries: Vec<(u64, u32)> = hash_kmers.iter().collect();
+        let mut gk = KmerSpectrum::new(kcodec, params.canonical);
+        for part in comm.allgatherv(k_entries) {
+            for (code, count) in part {
+                if owners.kmer_owner(code) / g == my_group {
+                    gk.add_count(code, count);
+                }
+            }
+        }
+        let t_entries: Vec<(u128, u32)> = hash_tiles.iter().collect();
+        let mut gt = TileSpectrum::new(tcodec, params.canonical);
+        for part in comm.allgatherv(t_entries) {
+            for (code, count) in part {
+                if owners.tile_owner(code) / g == my_group {
+                    gt.add_count(code, count);
+                }
+            }
+        }
+        stats.group_entries = (gk.len() + gt.len()) as u64;
+        (Some(gk), Some(gt))
+    } else {
+        (None, None)
+    };
+
+    (
+        RankTables {
+            owners,
+            hash_kmers,
+            hash_tiles,
+            reads_kmers: final_reads_kmers,
+            reads_tiles: final_reads_tiles,
+            replicated_kmers,
+            replicated_tiles,
+            group_kmers,
+            group_tiles,
+        },
+        stats,
+    )
+}
+
+/// The Step III exchange: ship `reads_*` entries to their owners and merge
+/// into the owners' hash tables.
+fn exchange_counts(
+    comm: &Comm,
+    owners: &OwnerMap,
+    reads_kmers: KmerSpectrum,
+    reads_tiles: TileSpectrum,
+    hash_kmers: &mut KmerSpectrum,
+    hash_tiles: &mut TileSpectrum,
+) {
+    let np = comm.size();
+    let mut kmer_out: Vec<Vec<(u64, u32)>> = vec![Vec::new(); np];
+    for (code, count) in reads_kmers.into_entries() {
+        kmer_out[owners.kmer_owner(code)].push((code, count));
+    }
+    for part in comm.alltoallv(kmer_out) {
+        for (code, count) in part {
+            debug_assert_eq!(owners.kmer_owner(code), comm.rank());
+            hash_kmers.add_count(code, count);
+        }
+    }
+    let mut tile_out: Vec<Vec<(u128, u32)>> = vec![Vec::new(); np];
+    for (code, count) in reads_tiles.into_entries() {
+        tile_out[owners.tile_owner(code)].push((code, count));
+    }
+    for part in comm.alltoallv(tile_out) {
+        for (code, count) in part {
+            debug_assert_eq!(owners.tile_owner(code), comm.rank());
+            hash_tiles.add_count(code, count);
+        }
+    }
+}
+
+/// The extra alltoallv round of the *read k-mers/tiles* heuristic: ask
+/// each owner for the global (post-prune) counts of the keys this rank
+/// saw in its own reads, and build local tables from the answers. A count
+/// of 0 is stored too — "known absent" avoids a pointless future message.
+fn resolve_read_tables(
+    comm: &Comm,
+    owners: &OwnerMap,
+    params: &ReptileParams,
+    kmer_keys: Vec<u64>,
+    tile_keys: Vec<u128>,
+    hash_kmers: &KmerSpectrum,
+    hash_tiles: &TileSpectrum,
+) -> (KmerSpectrum, TileSpectrum) {
+    let np = comm.size();
+    // k-mers: request codes, answer (code, count) pairs
+    let mut ask: Vec<Vec<u64>> = vec![Vec::new(); np];
+    for code in kmer_keys {
+        ask[owners.kmer_owner(code)].push(code);
+    }
+    let questions = comm.alltoallv(ask);
+    let answers: Vec<Vec<(u64, u32)>> = questions
+        .into_iter()
+        .map(|codes| codes.into_iter().map(|c| (c, hash_kmers.count(c))).collect())
+        .collect();
+    let mut rk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+    for part in comm.alltoallv(answers) {
+        for (code, count) in part {
+            rk.add_count(code, count);
+        }
+    }
+    // tiles
+    let mut ask_t: Vec<Vec<u128>> = vec![Vec::new(); np];
+    for code in tile_keys {
+        ask_t[owners.tile_owner(code)].push(code);
+    }
+    let questions_t = comm.alltoallv(ask_t);
+    let answers_t: Vec<Vec<(u128, u32)>> = questions_t
+        .into_iter()
+        .map(|codes| codes.into_iter().map(|c| (c, hash_tiles.count(c))).collect())
+        .collect();
+    let mut rt = TileSpectrum::new(params.tile_codec(), params.canonical);
+    for part in comm.alltoallv(answers_t) {
+        for (code, count) in part {
+            rt.add_count(code, count);
+        }
+    }
+    (rk, rt)
+}
+
+impl RankTables {
+    /// Total spectrum entries resident on this rank (memory model input).
+    /// Group tables subsume the rank's own entries, so when present they
+    /// replace `hash_kmers` in the tally rather than double-counting.
+    pub fn resident_kmer_entries(&self) -> u64 {
+        let own = match &self.group_kmers {
+            Some(g) => g.len() as u64,
+            None => self.hash_kmers.len() as u64,
+        };
+        own + self.reads_kmers.as_ref().map_or(0, |s| s.len() as u64)
+            + self.replicated_kmers.as_ref().map_or(0, |s| s.len() as u64)
+    }
+
+    /// Total tile entries resident on this rank.
+    pub fn resident_tile_entries(&self) -> u64 {
+        let own = match &self.group_tiles {
+            Some(g) => g.len() as u64,
+            None => self.hash_tiles.len() as u64,
+        };
+        own + self.reads_tiles.as_ref().map_or(0, |s| s.len() as u64)
+            + self.replicated_tiles.as_ref().map_or(0, |s| s.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::Universe;
+    use reptile::spectrum::LocalSpectra;
+
+    fn params() -> ReptileParams {
+        ReptileParams { k: 5, tile_overlap: 2, ..ReptileParams::for_tests() }
+    }
+
+    fn make_reads(n: usize, len: usize) -> Vec<Read> {
+        // deterministic reads: groups of 3 copies of a distinct template,
+        // so counts pass the threshold (2) while different chunks still
+        // contribute different k-mers
+        let mut reads = Vec::new();
+        for i in 0..n {
+            let template = i / 3;
+            let seed = dnaseq::mix64(template as u64 + 1);
+            let seq: Vec<u8> = (0..len)
+                .map(|j| {
+                    [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ (j as u64)) % 4) as usize]
+                })
+                .collect();
+            reads.push(Read::new(i as u64 + 1, seq, vec![30; len]));
+        }
+        reads
+    }
+
+    fn partition(reads: &[Read], np: usize, rank: usize) -> Vec<Read> {
+        reads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % np == rank)
+            .map(|(_, r)| r.clone())
+            .collect()
+    }
+
+    /// Distributed tables must equal the sequential spectra: every code at
+    /// exactly its owner, global counts, same pruning.
+    fn check_equivalence(np: usize, heur: HeuristicConfig, chunk: usize) {
+        let p = params();
+        let reads = make_reads(40, 18);
+        let seq = LocalSpectra::build(&reads, &p);
+        let reads_ref = &reads;
+        let results = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            build_distributed(comm, &mine, chunk, &params(), &heur)
+        });
+        // union of owned tables == sequential spectrum
+        let mut union_k = std::collections::HashMap::new();
+        let mut union_t = std::collections::HashMap::new();
+        for (tables, _) in &results {
+            for (code, count) in tables.hash_kmers.iter() {
+                assert_eq!(tables.owners.kmer_owner(code), tables_rank(&results, tables));
+                assert!(union_k.insert(code, count).is_none(), "kmer at two owners");
+            }
+            for (code, count) in tables.hash_tiles.iter() {
+                assert!(union_t.insert(code, count).is_none(), "tile at two owners");
+            }
+        }
+        let seq_k: std::collections::HashMap<_, _> = seq.kmers.iter().collect();
+        let seq_t: std::collections::HashMap<_, _> = seq.tiles.iter().collect();
+        assert_eq!(union_k, seq_k, "np={np} heur={}", heur.label());
+        assert_eq!(union_t, seq_t, "np={np} heur={}", heur.label());
+    }
+
+    fn tables_rank(results: &[(RankTables, BuildStats)], needle: &RankTables) -> usize {
+        results
+            .iter()
+            .position(|(t, _)| std::ptr::eq(t, needle))
+            .expect("tables belong to results")
+    }
+
+    #[test]
+    fn matches_sequential_base_mode() {
+        for np in [1, 2, 4, 7] {
+            check_equivalence(np, HeuristicConfig::base(), 1000);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_batch_mode() {
+        check_equivalence(4, HeuristicConfig { batch_reads: true, ..Default::default() }, 3);
+    }
+
+    #[test]
+    fn batch_mode_bounds_reads_tables() {
+        let p = params();
+        let reads = make_reads(60, 18);
+        let reads_ref = &reads;
+        let np = 4;
+        let batched = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            let heur = HeuristicConfig { batch_reads: true, ..Default::default() };
+            build_distributed(comm, &mine, 2, &p, &heur).1
+        });
+        let unbatched = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            build_distributed(comm, &mine, 2, &p, &HeuristicConfig::base()).1
+        });
+        for (b, u) in batched.iter().zip(&unbatched) {
+            assert!(
+                b.peak_reads_kmers <= u.peak_reads_kmers,
+                "batching must not grow the reads table ({} vs {})",
+                b.peak_reads_kmers,
+                u.peak_reads_kmers
+            );
+            assert!(b.batches >= u.batches);
+        }
+        // and strictly smaller for at least one rank (many batches)
+        assert!(
+            batched.iter().zip(&unbatched).any(|(b, u)| b.peak_reads_kmers < u.peak_reads_kmers),
+            "batch mode should shrink peak reads tables somewhere"
+        );
+    }
+
+    #[test]
+    fn keep_read_tables_resolves_global_counts() {
+        let p = params();
+        let reads = make_reads(40, 18);
+        let seq = LocalSpectra::build(&reads, &p);
+        let reads_ref = &reads;
+        let np = 4;
+        let heur = HeuristicConfig { keep_read_tables: true, ..Default::default() };
+        let results = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            build_distributed(comm, &mine, 1000, &p, &heur)
+        });
+        for (tables, stats) in &results {
+            let rk = tables.reads_kmers.as_ref().expect("reads table kept");
+            assert!(stats.reads_table_entries > 0 || rk.is_empty());
+            for (code, count) in rk.iter() {
+                assert_eq!(count, seq.kmers.count(code), "global count mismatch for {code}");
+            }
+            let rt = tables.reads_tiles.as_ref().expect("tile reads table kept");
+            for (code, count) in rt.iter() {
+                assert_eq!(count, seq.tiles.count(code));
+            }
+        }
+    }
+
+    #[test]
+    fn replication_builds_full_spectra() {
+        let p = params();
+        let reads = make_reads(40, 18);
+        let seq = LocalSpectra::build(&reads, &p);
+        let reads_ref = &reads;
+        let np = 3;
+        let heur = HeuristicConfig::replicate_both();
+        let results = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            build_distributed(comm, &mine, 1000, &p, &heur)
+        });
+        for (tables, _) in &results {
+            let rep_k = tables.replicated_kmers.as_ref().unwrap();
+            let rep_t = tables.replicated_tiles.as_ref().unwrap();
+            assert_eq!(rep_k.len(), seq.kmers.len());
+            assert_eq!(rep_t.len(), seq.tiles.len());
+            for (code, count) in seq.kmers.iter() {
+                assert_eq!(rep_k.count(code), count);
+            }
+        }
+    }
+
+    #[test]
+    fn owned_counts_roughly_uniform() {
+        // The Fig 3 property: per-rank k-mer counts spread within a few
+        // percent (here looser: random small dataset).
+        let p = params();
+        let reads = make_reads(200, 30);
+        let reads_ref = &reads;
+        let np = 8;
+        let results = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            build_distributed(comm, &mine, 1000, &p, &HeuristicConfig::base()).1
+        });
+        let counts: Vec<u64> = results.iter().map(|s| s.owned_kmers).collect();
+        let total: u64 = counts.iter().sum();
+        assert!(total > 0);
+        // no rank should be empty while others are loaded (hash spread)
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 4 * min.max(1) + 8, "wildly uneven: {counts:?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the distributed engines: on arbitrary read pools
+//! and rank counts, the threaded and virtual engines must both reproduce
+//! the sequential corrector's output exactly.
+
+use proptest::prelude::*;
+use reptile::{correct_dataset, ReptileParams};
+use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::{run_distributed, EngineConfig, HeuristicConfig};
+
+fn params() -> ReptileParams {
+    ReptileParams {
+        k: 6,
+        tile_overlap: 3,
+        kmer_threshold: 2,
+        tile_threshold: 2,
+        ..ReptileParams::default()
+    }
+}
+
+fn read_pool() -> impl Strategy<Value = Vec<dnaseq::Read>> {
+    // templates with occasional point mutations, mixed coverage
+    let base = prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), 15..35);
+    prop::collection::vec((base, 2usize..6, any::<u16>()), 2..6).prop_map(|specs| {
+        let mut reads = Vec::new();
+        let mut id = 1u64;
+        for (template, copies, mutseed) in specs {
+            for c in 0..copies {
+                let mut seq = template.clone();
+                let mut qual = vec![32u8; seq.len()];
+                // mutate one base of one copy, low quality
+                if c == 0 && !seq.is_empty() {
+                    let pos = (mutseed as usize) % seq.len();
+                    let cur = seq[pos];
+                    seq[pos] = match cur {
+                        b'A' => b'C',
+                        b'C' => b'G',
+                        b'G' => b'T',
+                        _ => b'A',
+                    };
+                    qual[pos] = 4;
+                }
+                reads.push(dnaseq::Read::new(id, seq, qual));
+                id += 1;
+            }
+        }
+        reads
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn threaded_matches_sequential(reads in read_pool(), np in 1usize..6) {
+        let p = params();
+        let (seq, _) = correct_dataset(&reads, &p);
+        let out = run_distributed(&EngineConfig::new(np, p), &reads);
+        prop_assert_eq!(out.corrected, seq);
+    }
+
+    #[test]
+    fn virtual_matches_sequential(reads in read_pool(), np in 1usize..200) {
+        let p = params();
+        let (seq, _) = correct_dataset(&reads, &p);
+        let run = run_virtual(&VirtualConfig::new(np, p), &reads);
+        prop_assert_eq!(run.corrected, seq);
+    }
+
+    #[test]
+    fn heuristics_never_change_output(
+        reads in read_pool(),
+        universal in any::<bool>(),
+        batch in any::<bool>(),
+        balance in any::<bool>(),
+        partial in 1usize..4,
+    ) {
+        let p = params();
+        let heur = HeuristicConfig {
+            universal,
+            batch_reads: batch,
+            load_balance: balance,
+            partial_group: partial,
+            ..HeuristicConfig::default()
+        };
+        prop_assume!(heur.validate().is_ok());
+        let (seq, _) = correct_dataset(&reads, &p);
+        let mut cfg = EngineConfig::new(3, p);
+        cfg.heuristics = heur;
+        cfg.chunk_size = 4;
+        let out = run_distributed(&cfg, &reads);
+        prop_assert_eq!(out.corrected, seq);
+    }
+
+    /// Conservation: every input read appears exactly once in the output
+    /// with the same id, length and qualities.
+    #[test]
+    fn reads_conserved(reads in read_pool(), np in 1usize..5) {
+        let p = params();
+        let out = run_distributed(&EngineConfig::new(np, p), &reads);
+        prop_assert_eq!(out.corrected.len(), reads.len());
+        for (a, b) in out.corrected.iter().zip(&reads) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(&a.qual, &b.qual);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Bloom-filtered spectrum construction.
+//!
+//! "A memory-efficient alternative to this step is usage of a Bloom
+//! filter" (paper §III step III). In error-rich short-read data most
+//! *distinct* k-mers are sequencing-error singletons (every substitution
+//! error mints up to `k` novel k-mers), yet the counting hash table pays
+//! full price for each. The classic two-structure scheme keeps them out:
+//!
+//! * first occurrence of a code → set bits in a Bloom filter only;
+//! * second and later occurrences → count in the hash table;
+//! * reported count = table count + 1 (the filtered first sighting).
+//!
+//! Consequences, all covered by tests:
+//!
+//! * true singletons never enter the hash table — with a pruning
+//!   threshold ≥ 2 (always, in practice) the final spectrum is
+//!   *identical* to the exact build except for Bloom false positives;
+//! * a false positive makes a code enter the table one occurrence early,
+//!   inflating its reported count by exactly 1 — harmless for solidity
+//!   decisions unless the code sits exactly at `threshold − 1`;
+//! * memory: the table holds only non-singletons; the filter costs
+//!   ~10 bits per distinct code at 1% FP.
+
+use crate::params::ReptileParams;
+use crate::spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};
+use dnaseq::hashing::mix128;
+use dnaseq::{BloomFilter, Read};
+
+/// Statistics from a Bloom-filtered build.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BloomBuildStats {
+    /// K-mer occurrences absorbed by the filter alone (one first sighting
+    /// per distinct code — i.e. every singleton, plus one occurrence of
+    /// each repeated code).
+    pub kmer_singletons_filtered: u64,
+    /// Tile occurrences absorbed by the filter alone.
+    pub tile_singletons_filtered: u64,
+    /// Bytes of the two Bloom filters.
+    pub filter_bytes: u64,
+    /// Entries in the final (pruned) k-mer table.
+    pub kmer_entries: u64,
+    /// Entries in the final (pruned) tile table.
+    pub tile_entries: u64,
+}
+
+/// Build both spectra with Bloom-filtered singleton suppression, then
+/// prune by the parameter thresholds (which must be ≥ 2 — with a
+/// threshold of 1 singletons matter and the exact build must be used).
+///
+/// `expected_kmers` sizes the filters (total k-mer *occurrences* is a
+/// safe overestimate); `fp_rate` is the per-probe false-positive target.
+pub fn build_with_bloom(
+    reads: &[Read],
+    params: &ReptileParams,
+    expected_kmers: usize,
+    fp_rate: f64,
+) -> (LocalSpectra, BloomBuildStats) {
+    params.assert_valid();
+    assert!(
+        params.kmer_threshold >= 2 && params.tile_threshold >= 2,
+        "bloom-filtered construction requires thresholds >= 2 \
+         (singletons are deliberately uncounted)"
+    );
+    let kcodec = params.kmer_codec();
+    let tcodec = params.tile_codec();
+    let mut kmer_filter = BloomFilter::for_items(expected_kmers.max(1), fp_rate);
+    let mut tile_filter = BloomFilter::for_items(expected_kmers.max(1), fp_rate);
+    let mut kmers = KmerSpectrum::new(kcodec, params.canonical);
+    let mut tiles = TileSpectrum::new(tcodec, params.canonical);
+    for read in reads {
+        for (_, code) in kcodec.kmers_of(&read.seq) {
+            let key = kmers.normalize(code);
+            if kmer_filter.insert(key) {
+                kmers.add_count(key, 1);
+            }
+        }
+        for (_, code) in tcodec.tiles_of(&read.seq) {
+            let key = tiles.normalize(code);
+            if tile_filter.insert(mix128(key)) {
+                tiles.add_count(key, 1);
+            }
+        }
+    }
+    // occurrences that never reached a table = first sighting per code
+    let kmer_filtered = kmer_filter.inserted() - count_occurrences(&kmers);
+    let tile_filtered = tile_filter.inserted() - count_occurrences_t(&tiles);
+    // reported count = stored + 1; prune at threshold - 1 on stored counts,
+    // then shift so lookups see the true (reported) counts.
+    let mut shifted_k = KmerSpectrum::new(kcodec, params.canonical);
+    for (code, stored) in kmers.into_entries() {
+        if stored + 1 >= params.kmer_threshold {
+            shifted_k.add_count(code, stored + 1);
+        }
+    }
+    let mut shifted_t = TileSpectrum::new(tcodec, params.canonical);
+    for (code, stored) in tiles.into_entries() {
+        if stored + 1 >= params.tile_threshold {
+            shifted_t.add_count(code, stored + 1);
+        }
+    }
+    let stats = BloomBuildStats {
+        kmer_singletons_filtered: kmer_filtered,
+        tile_singletons_filtered: tile_filtered,
+        filter_bytes: (kmer_filter.memory_bytes() + tile_filter.memory_bytes()) as u64,
+        kmer_entries: shifted_k.len() as u64,
+        tile_entries: shifted_t.len() as u64,
+    };
+    (LocalSpectra { kmers: shifted_k, tiles: shifted_t }, stats)
+}
+
+fn count_occurrences(s: &KmerSpectrum) -> u64 {
+    s.iter().map(|(_, c)| c as u64).sum()
+}
+
+fn count_occurrences_t(s: &TileSpectrum) -> u64 {
+    s.iter().map(|(_, c)| c as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ReptileParams {
+        ReptileParams { k: 8, tile_overlap: 4, kmer_threshold: 3, tile_threshold: 3, ..Default::default() }
+    }
+
+    fn reads_with_repeats() -> Vec<Read> {
+        // 6 copies of a template + 30 unique reads (singleton factories)
+        let mut reads = Vec::new();
+        let template = b"ACGTACGTTGCATTGACCAGT".to_vec();
+        for i in 0..6u64 {
+            reads.push(Read::new(i + 1, template.clone(), vec![35; template.len()]));
+        }
+        for i in 0..30usize {
+            // genuinely distinct reads: mix a per-read seed into each base
+            let seed = dnaseq::mix64(i as u64 + 1);
+            let seq: Vec<u8> = (0..21)
+                .map(|j| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ j as u64) % 4) as usize])
+                .collect();
+            reads.push(Read::new(100 + i as u64, seq, vec![35; 21]));
+        }
+        reads
+    }
+
+    #[test]
+    fn matches_exact_build_above_threshold() {
+        let p = params();
+        let reads = reads_with_repeats();
+        let exact = LocalSpectra::build(&reads, &p);
+        let (bloomed, stats) = build_with_bloom(&reads, &p, 20_000, 0.0001);
+        // every exact surviving entry must survive with the same count
+        // (tiny FP budget at this size means exact equality w.h.p.)
+        let exact_k: std::collections::HashMap<_, _> = exact.kmers.iter().collect();
+        let bloom_k: std::collections::HashMap<_, _> = bloomed.kmers.iter().collect();
+        assert_eq!(exact_k, bloom_k, "k-mer spectra must agree");
+        let exact_t: std::collections::HashMap<_, _> = exact.tiles.iter().collect();
+        let bloom_t: std::collections::HashMap<_, _> = bloomed.tiles.iter().collect();
+        assert_eq!(exact_t, bloom_t, "tile spectra must agree");
+        assert!(stats.kmer_singletons_filtered > 0, "singletons must be filtered");
+    }
+
+    #[test]
+    fn table_never_holds_singletons() {
+        let p = params();
+        let reads = reads_with_repeats();
+        let unpruned_exact = LocalSpectra::build_unpruned(&reads, &p);
+        let distinct_exact = unpruned_exact.kmers.len() as u64;
+        let (bloomed, stats) = build_with_bloom(&reads, &p, 20_000, 0.0001);
+        assert!(
+            stats.kmer_entries < distinct_exact,
+            "bloom build must store fewer entries ({} vs {distinct_exact})",
+            stats.kmer_entries
+        );
+        assert!(bloomed.kmers.len() as u64 == stats.kmer_entries);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds >= 2")]
+    fn rejects_threshold_one() {
+        let p = ReptileParams { kmer_threshold: 1, ..params() };
+        let _ = build_with_bloom(&[], &p, 10, 0.01);
+    }
+
+    #[test]
+    fn corrector_agrees_on_bloom_spectra() {
+        let p = params();
+        let reads = reads_with_repeats();
+        // introduce an erroneous read and correct it against both spectra
+        let template = &reads[0].seq;
+        let mut seq = template.clone();
+        seq[10] = if seq[10] == b'A' { b'C' } else { b'A' };
+        let mut qual = vec![35u8; seq.len()];
+        qual[10] = 5;
+        let bad = Read::new(999, seq, qual);
+
+        let mut exact = LocalSpectra::build(&reads, &p);
+        let (mut bloomed, _) = build_with_bloom(&reads, &p, 20_000, 0.0001);
+        let mut r1 = bad.clone();
+        let o1 = crate::corrector::correct_read(&mut r1, &mut exact, &p);
+        let mut r2 = bad.clone();
+        let o2 = crate::corrector::correct_read(&mut r2, &mut bloomed, &p);
+        assert_eq!(r1, r2, "correction must agree across builds");
+        assert_eq!(o1.fixes, o2.fixes);
+        assert!(o1.corrected(), "the injected error is correctable");
+    }
+}

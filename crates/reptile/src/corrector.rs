@@ -1,0 +1,586 @@
+//! The tile-by-tile Reptile corrector.
+//!
+//! Reptile "corrects tiles instead of k-mers. Since a tile has almost
+//! twice the character count as the k-mer, error correction at the tile
+//! level has far fewer candidates than at the k-mer level" (paper §II-A).
+//! Per read, the corrector walks tile windows left to right (stride
+//! `k − overlap`, so consecutive tiles share one k-mer):
+//!
+//! 1. a tile whose global count ≥ `tile_threshold` is *solid* — skip;
+//! 2. otherwise collect candidate error positions: bases in the window
+//!    with Phred < `q_threshold` (the paper's quality-score steering);
+//!    if there are none and `relax_quality` is set, fall back to the
+//!    lowest-quality positions in the window; cap at
+//!    `max_positions_per_tile`, preferring lower quality;
+//! 3. prescreen with the **k-mer spectrum**: if exactly one of the
+//!    tile's two constituent k-mers is weak, restrict candidate positions
+//!    to that k-mer's exclusive span (this is how Reptile uses both
+//!    spectra);
+//! 4. enumerate Hamming neighbours at those positions (≤
+//!    `max_errors_per_tile` substitutions), keep those whose tile count
+//!    ≥ `tile_threshold`;
+//! 5. commit the winner if it is unambiguous: at most `max_candidates`
+//!    survivors and the best count ≥ `dominance` × the runner-up
+//!    (deterministic tie-breaks: count desc, distance asc, code asc);
+//! 6. corrections are written into the read immediately so subsequent
+//!    (overlapping) windows see them.
+//!
+//! All spectrum access goes through [`SpectrumAccess`], which the
+//! distributed engine implements with the paper's
+//! `hashKmer → readsKmer → remote request` chain.
+
+use crate::params::ReptileParams;
+use crate::spectrum::LocalSpectra;
+use dnaseq::neighbors::visit_neighbors;
+use dnaseq::quality::Phred;
+use dnaseq::{Base, Read, TileCode};
+
+/// Where the corrector gets k-mer/tile counts from.
+///
+/// Implementations must agree with the global spectrum: the same code
+/// always yields the same count, no matter which rank asks — that is the
+/// paper's correctness invariant for the distributed lookups ("If a k-mer
+/// or tile does not exist at its owning rank, it can be inferred that the
+/// k-mer or tile does not exist at all", §III step IV).
+pub trait SpectrumAccess {
+    /// Global count of a k-mer code (0 when absent from the spectrum).
+    fn kmer_count(&mut self, code: u64) -> u32;
+    /// Global count of a tile code (0 when absent from the spectrum).
+    fn tile_count(&mut self, code: u128) -> u32;
+}
+
+impl SpectrumAccess for LocalSpectra {
+    #[inline]
+    fn kmer_count(&mut self, code: u64) -> u32 {
+        self.kmers.count(code)
+    }
+
+    #[inline]
+    fn tile_count(&mut self, code: u128) -> u32 {
+        self.tiles.count(code)
+    }
+}
+
+/// One committed base substitution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaseFix {
+    /// Position in the read.
+    pub pos: u32,
+    /// Original base (ASCII).
+    pub from: u8,
+    /// Corrected base (ASCII).
+    pub to: u8,
+}
+
+/// Per-read correction outcome.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// Substitutions committed, in commit order.
+    pub fixes: Vec<BaseFix>,
+    /// Tile windows evaluated.
+    pub tiles_evaluated: u32,
+    /// Windows already solid.
+    pub tiles_solid: u32,
+    /// Windows corrected.
+    pub tiles_corrected: u32,
+    /// Windows left alone: no solid neighbour.
+    pub tiles_uncorrectable: u32,
+    /// Windows left alone: too many / non-dominant candidates.
+    pub tiles_ambiguous: u32,
+    /// Windows skipped (contained `N`).
+    pub tiles_skipped: u32,
+}
+
+impl ReadOutcome {
+    /// Whether any substitution was committed.
+    pub fn corrected(&self) -> bool {
+        !self.fixes.is_empty()
+    }
+}
+
+/// Aggregate statistics over a batch of reads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CorrectionStats {
+    /// Reads processed.
+    pub reads: u64,
+    /// Reads with at least one fix.
+    pub reads_corrected: u64,
+    /// Total substitutions committed ("errors corrected" in Fig 4).
+    pub errors_corrected: u64,
+    /// Tile windows evaluated.
+    pub tiles_evaluated: u64,
+    /// Solid windows.
+    pub tiles_solid: u64,
+    /// Ambiguous windows.
+    pub tiles_ambiguous: u64,
+    /// Uncorrectable windows.
+    pub tiles_uncorrectable: u64,
+}
+
+impl CorrectionStats {
+    /// Fold one read's outcome into the aggregate.
+    pub fn absorb(&mut self, o: &ReadOutcome) {
+        self.reads += 1;
+        if o.corrected() {
+            self.reads_corrected += 1;
+        }
+        self.errors_corrected += o.fixes.len() as u64;
+        self.tiles_evaluated += o.tiles_evaluated as u64;
+        self.tiles_solid += o.tiles_solid as u64;
+        self.tiles_ambiguous += o.tiles_ambiguous as u64;
+        self.tiles_uncorrectable += o.tiles_uncorrectable as u64;
+    }
+
+    /// Merge another aggregate into this one.
+    pub fn merge(&mut self, other: &CorrectionStats) {
+        self.reads += other.reads;
+        self.reads_corrected += other.reads_corrected;
+        self.errors_corrected += other.errors_corrected;
+        self.tiles_evaluated += other.tiles_evaluated;
+        self.tiles_solid += other.tiles_solid;
+        self.tiles_ambiguous += other.tiles_ambiguous;
+        self.tiles_uncorrectable += other.tiles_uncorrectable;
+    }
+}
+
+/// Correct one read in place. Deterministic: same read + same counts ⇒
+/// same fixes, on any rank layout.
+pub fn correct_read(
+    read: &mut Read,
+    access: &mut impl SpectrumAccess,
+    params: &ReptileParams,
+) -> ReadOutcome {
+    let tcodec = params.tile_codec();
+    let kcodec = params.kmer_codec();
+    let tile_len = tcodec.len();
+    let stride = tcodec.stride();
+    let mut out = ReadOutcome::default();
+    if read.len() < tile_len {
+        return out;
+    }
+    let last_start = read.len() - tile_len;
+    let mut start = 0usize;
+    // reusable buffers (hot loop; see perf-book "reusing collections")
+    let mut positions: Vec<usize> = Vec::with_capacity(params.max_positions_per_tile);
+    while start <= last_start {
+        step_window(read, start, access, params, &tcodec, &kcodec, &mut positions, &mut out);
+        start += stride;
+    }
+    // Cover the final window when the stride does not land on it: Reptile
+    // anchors the last tile at the read end so 3' bases are correctable.
+    if !last_start.is_multiple_of(stride) {
+        step_window(read, last_start, access, params, &tcodec, &kcodec, &mut positions, &mut out);
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn step_window(
+    read: &mut Read,
+    start: usize,
+    access: &mut impl SpectrumAccess,
+    params: &ReptileParams,
+    tcodec: &dnaseq::TileCodec,
+    kcodec: &dnaseq::KmerCodec,
+    positions: &mut Vec<usize>,
+    out: &mut ReadOutcome,
+) {
+    let tile_len = tcodec.len();
+    let window = &read.seq[start..start + tile_len];
+    out.tiles_evaluated += 1;
+    let raw_tile = match tcodec.encode(window) {
+        Some(t) => t,
+        None => {
+            out.tiles_skipped += 1;
+            return;
+        }
+    };
+    if access.tile_count(tile_key(tcodec, raw_tile, params.canonical)) >= params.tile_threshold {
+        out.tiles_solid += 1;
+        return;
+    }
+    // --- candidate positions ---
+    positions.clear();
+    collect_positions(&read.qual[start..start + tile_len], params, positions);
+    if positions.is_empty() {
+        out.tiles_uncorrectable += 1;
+        return;
+    }
+    // --- k-mer prescreen: restrict to the weak half when unambiguous ---
+    let (first_kmer, second_kmer) = tcodec.to_kmers(raw_tile);
+    let first_solid =
+        access.kmer_count(kmer_key(kcodec, first_kmer, params.canonical)) >= params.kmer_threshold;
+    let second_solid =
+        access.kmer_count(kmer_key(kcodec, second_kmer, params.canonical)) >= params.kmer_threshold;
+    let stride = tcodec.stride();
+    if first_solid && !second_solid {
+        // error likely in the second k-mer's exclusive tail
+        positions.retain(|&p| p >= kcodec.k());
+    } else if !first_solid && second_solid {
+        // error likely in the first k-mer's exclusive head
+        positions.retain(|&p| p < stride);
+    }
+    if positions.is_empty() {
+        out.tiles_uncorrectable += 1;
+        return;
+    }
+    // --- neighbour search ---
+    // (code, count, distance); kept sorted implicitly via final sort
+    let mut candidates: Vec<(TileCode, u32, usize)> = Vec::new();
+    visit_neighbors(raw_tile, tile_len, positions, params.max_errors_per_tile, &mut |cand, d| {
+        let count = access.tile_count(tile_key(tcodec, cand, params.canonical));
+        if count >= params.tile_threshold {
+            candidates.push((cand, count, d));
+        }
+    });
+    if candidates.is_empty() {
+        out.tiles_uncorrectable += 1;
+        return;
+    }
+    if candidates.len() > params.max_candidates {
+        out.tiles_ambiguous += 1;
+        return;
+    }
+    candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+    if candidates.len() > 1 && candidates[0].1 < params.dominance * candidates[1].1 {
+        out.tiles_ambiguous += 1;
+        return;
+    }
+    // --- commit ---
+    let winner = candidates[0].0;
+    for p in 0..tile_len {
+        let newb = tcodec.base_at(winner, p);
+        let oldb = tcodec.base_at(raw_tile, p);
+        if newb != oldb {
+            let pos = start + p;
+            let fix = BaseFix {
+                pos: pos as u32,
+                from: read.seq[pos],
+                to: Base::from_code(newb).to_ascii(),
+            };
+            read.seq[pos] = fix.to;
+            out.fixes.push(fix);
+        }
+    }
+    out.tiles_corrected += 1;
+}
+
+/// Candidate positions within a window: strictly-below-threshold
+/// qualities; optional relaxation to the lowest-quality bases; capped at
+/// `max_positions_per_tile` keeping the lowest qualities (ties: leftmost).
+fn collect_positions(quals: &[Phred], params: &ReptileParams, positions: &mut Vec<usize>) {
+    for (i, &q) in quals.iter().enumerate() {
+        if q < params.q_threshold {
+            positions.push(i);
+        }
+    }
+    if positions.is_empty() && params.relax_quality {
+        // take every position; the cap below keeps the weakest ones
+        positions.extend(0..quals.len());
+    }
+    if positions.len() > params.max_positions_per_tile {
+        positions.sort_by_key(|&p| (quals[p], p));
+        positions.truncate(params.max_positions_per_tile);
+        positions.sort_unstable();
+    }
+}
+
+#[inline]
+fn tile_key(codec: &dnaseq::TileCodec, code: u128, canonical: bool) -> u128 {
+    if canonical {
+        codec.canonical(code)
+    } else {
+        code
+    }
+}
+
+#[inline]
+fn kmer_key(codec: &dnaseq::KmerCodec, code: u64, canonical: bool) -> u64 {
+    if canonical {
+        codec.canonical(code)
+    } else {
+        code
+    }
+}
+
+/// Correct a whole dataset sequentially: build spectra, then correct each
+/// read. Returns corrected reads (ids preserved) and aggregate stats.
+///
+/// ```
+/// use dnaseq::Read;
+/// use reptile::{correct_dataset, ReptileParams};
+/// let params = ReptileParams { k: 4, tile_overlap: 2, kmer_threshold: 2,
+///                              tile_threshold: 2, ..Default::default() };
+/// let template = b"ACGTACGTTGCA";
+/// let mut reads: Vec<Read> = (1..=5)
+///     .map(|id| Read::new(id, template.to_vec(), vec![35; 12]))
+///     .collect();
+/// // read 6 has one low-quality error at position 5
+/// let mut seq = template.to_vec();
+/// seq[5] = b'A';
+/// let mut qual = vec![35u8; 12];
+/// qual[5] = 5;
+/// reads.push(Read::new(6, seq, qual));
+/// let (corrected, stats) = correct_dataset(&reads, &params);
+/// assert_eq!(corrected[5].seq, template.to_vec());
+/// assert_eq!(stats.errors_corrected, 1);
+/// ```
+pub fn correct_dataset(reads: &[Read], params: &ReptileParams) -> (Vec<Read>, CorrectionStats) {
+    let mut spectra = LocalSpectra::build(reads, params);
+    let mut stats = CorrectionStats::default();
+    let corrected = reads
+        .iter()
+        .map(|r| {
+            let mut read = r.clone();
+            let outcome = correct_read(&mut read, &mut spectra, params);
+            stats.absorb(&outcome);
+            read
+        })
+        .collect();
+    (corrected, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ReptileParams {
+        ReptileParams {
+            k: 4,
+            tile_overlap: 2,
+            kmer_threshold: 2,
+            tile_threshold: 2,
+            q_threshold: 20,
+            max_errors_per_tile: 2,
+            max_positions_per_tile: 6,
+            max_candidates: 4,
+            dominance: 2,
+            relax_quality: true,
+            canonical: false,
+        }
+    }
+
+    /// Spectra from many copies of a template read.
+    fn spectra_from_template(template: &[u8], copies: usize, p: &ReptileParams) -> LocalSpectra {
+        let reads: Vec<Read> = (0..copies)
+            .map(|i| Read::new(i as u64 + 1, template.to_vec(), vec![35; template.len()]))
+            .collect();
+        LocalSpectra::build(&reads, p)
+    }
+
+    #[test]
+    fn clean_read_untouched() {
+        let p = params();
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 5, &p);
+        let mut read = Read::new(9, template.to_vec(), vec![35; template.len()]);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert!(!out.corrected());
+        assert_eq!(read.seq, template.to_vec());
+        assert_eq!(out.tiles_solid, out.tiles_evaluated);
+    }
+
+    #[test]
+    fn single_low_quality_error_fixed() {
+        let p = params();
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 5, &p);
+        // introduce an error at position 5 (true base C -> A), low quality
+        let mut seq = template.to_vec();
+        seq[5] = b'A';
+        let mut qual = vec![35u8; seq.len()];
+        qual[5] = 8;
+        let mut read = Read::new(9, seq, qual);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert_eq!(read.seq, template.to_vec(), "error corrected");
+        assert_eq!(out.fixes, vec![BaseFix { pos: 5, from: b'A', to: b'C' }]);
+    }
+
+    #[test]
+    fn error_at_read_end_fixed_by_anchored_window() {
+        let p = params(); // tile_len 6, stride 2
+        let template = b"ACGTACGTTGCAT"; // len 13: windows at 0,2,4,6 + anchored 7
+        let mut spectra = spectra_from_template(template, 5, &p);
+        let mut seq = template.to_vec();
+        seq[12] = b'A'; // last base T -> A
+        let mut qual = vec![35u8; seq.len()];
+        qual[12] = 5;
+        let mut read = Read::new(9, seq, qual);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert_eq!(read.seq, template.to_vec());
+        assert_eq!(out.fixes.len(), 1);
+        assert_eq!(out.fixes[0].pos, 12);
+    }
+
+    #[test]
+    fn high_quality_error_not_touched_when_strict() {
+        let mut p = params();
+        p.relax_quality = false;
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 5, &p);
+        let mut seq = template.to_vec();
+        seq[5] = b'A';
+        let mut read = Read::new(9, seq.clone(), vec![35; seq.len()]); // high qual everywhere
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert!(!out.corrected(), "strict mode refuses high-quality positions");
+        assert_eq!(read.seq, seq);
+    }
+
+    #[test]
+    fn relax_quality_rescues_high_quality_error() {
+        let p = params(); // relax_quality = true
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 5, &p);
+        let mut seq = template.to_vec();
+        seq[5] = b'A';
+        let mut qual = vec![35u8; seq.len()];
+        qual[5] = 30; // above threshold but the lowest in its windows
+        qual[4] = 34;
+        let mut read = Read::new(9, seq, qual);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert_eq!(read.seq, template.to_vec());
+        assert!(out.corrected());
+    }
+
+    #[test]
+    fn ambiguous_candidates_left_alone() {
+        let p = params();
+        // two equally common templates differing at position 5
+        let t1 = b"ACGTACGTTGCA";
+        let t2 = b"ACGTAGGTTGCA";
+        let mut reads = Vec::new();
+        for i in 0..5u64 {
+            reads.push(Read::new(2 * i + 1, t1.to_vec(), vec![35; 12]));
+            reads.push(Read::new(2 * i + 2, t2.to_vec(), vec![35; 12]));
+        }
+        let mut spectra = LocalSpectra::build(&reads, &p);
+        // a read with an error at position 5 could correct toward either
+        let mut seq = t1.to_vec();
+        seq[5] = b'T'; // neither C nor G
+        let mut qual = vec![35u8; 12];
+        qual[5] = 5;
+        let mut read = Read::new(99, seq.clone(), qual);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert!(!out.corrected(), "equal-count candidates must not be guessed");
+        assert!(out.tiles_ambiguous > 0);
+        assert_eq!(read.seq, seq);
+    }
+
+    #[test]
+    fn dominant_candidate_wins_over_rare_one() {
+        let p = params();
+        let t1 = b"ACGTACGTTGCA"; // common
+        let t2 = b"ACGTAGGTTGCA"; // rare (but above threshold)
+        let mut reads = Vec::new();
+        for i in 0..10u64 {
+            reads.push(Read::new(i + 1, t1.to_vec(), vec![35; 12]));
+        }
+        for i in 0..2u64 {
+            reads.push(Read::new(100 + i, t2.to_vec(), vec![35; 12]));
+        }
+        let mut spectra = LocalSpectra::build(&reads, &p);
+        let mut seq = t1.to_vec();
+        seq[5] = b'T';
+        let mut qual = vec![35u8; 12];
+        qual[5] = 5;
+        let mut read = Read::new(99, seq, qual);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert!(out.corrected());
+        assert_eq!(read.seq, t1.to_vec(), "10:2 dominance picks the common template");
+    }
+
+    #[test]
+    fn short_read_is_noop() {
+        let p = params();
+        let mut spectra = spectra_from_template(b"ACGTACGTTGCA", 5, &p);
+        let mut read = Read::new(1, b"ACGT".to_vec(), vec![5; 4]);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert_eq!(out, ReadOutcome::default());
+    }
+
+    #[test]
+    fn n_windows_skipped() {
+        let p = params();
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 5, &p);
+        let mut seq = template.to_vec();
+        seq[5] = b'N';
+        let mut read = Read::new(1, seq.clone(), vec![5; 12]);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert!(out.tiles_skipped > 0);
+        assert_eq!(read.seq, Read::new(1, seq, vec![5; 12]).seq, "N windows untouched");
+    }
+
+    #[test]
+    fn correction_is_idempotent() {
+        let p = params();
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 5, &p);
+        let mut seq = template.to_vec();
+        seq[5] = b'A';
+        let mut qual = vec![35u8; 12];
+        qual[5] = 5;
+        let mut read = Read::new(9, seq, qual);
+        correct_read(&mut read, &mut spectra, &p);
+        let after_first = read.clone();
+        let out2 = correct_read(&mut read, &mut spectra, &p);
+        assert!(!out2.corrected());
+        assert_eq!(read, after_first);
+    }
+
+    #[test]
+    fn two_errors_in_one_tile_fixed() {
+        let p = params();
+        let template = b"ACGTACGTTGCA";
+        let mut spectra = spectra_from_template(template, 6, &p);
+        let mut seq = template.to_vec();
+        seq[4] = b'G'; // A -> G
+        seq[5] = b'A'; // C -> A
+        let mut qual = vec![35u8; 12];
+        qual[4] = 6;
+        qual[5] = 6;
+        let mut read = Read::new(9, seq, qual);
+        let out = correct_read(&mut read, &mut spectra, &p);
+        assert_eq!(read.seq, template.to_vec());
+        assert_eq!(out.fixes.len(), 2);
+    }
+
+    #[test]
+    fn stats_absorb_and_merge() {
+        let mut a = CorrectionStats::default();
+        let mut o = ReadOutcome::default();
+        o.fixes.push(BaseFix { pos: 0, from: b'A', to: b'C' });
+        o.tiles_evaluated = 3;
+        o.tiles_solid = 2;
+        a.absorb(&o);
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.reads_corrected, 1);
+        assert_eq!(a.errors_corrected, 1);
+        let mut b = CorrectionStats::default();
+        b.absorb(&ReadOutcome::default());
+        a.merge(&b);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.reads_corrected, 1);
+    }
+
+    #[test]
+    fn correct_dataset_end_to_end() {
+        let p = params();
+        let template = b"ACGTACGTTGCATTGA";
+        let mut reads: Vec<Read> = (0..8)
+            .map(|i| Read::new(i + 1, template.to_vec(), vec![35; template.len()]))
+            .collect();
+        // read 9 has one low-quality error
+        let mut seq = template.to_vec();
+        seq[7] = b'C';
+        let mut qual = vec![35u8; template.len()];
+        qual[7] = 4;
+        reads.push(Read::new(9, seq, qual));
+        let (corrected, stats) = correct_dataset(&reads, &p);
+        assert_eq!(corrected.len(), 9);
+        assert_eq!(corrected[8].seq, template.to_vec());
+        assert_eq!(stats.reads, 9);
+        assert_eq!(stats.reads_corrected, 1);
+        assert_eq!(stats.errors_corrected, 1);
+    }
+}

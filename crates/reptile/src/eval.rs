@@ -1,0 +1,182 @@
+//! Accuracy evaluation against known ground truth.
+//!
+//! The paper inherits Reptile's accuracy (its contribution is
+//! parallelization), but our synthetic datasets come with ground truth, so
+//! we report the standard error-correction metrics (Yang et al. 2013
+//! survey): true positives (errors removed), false positives (errors
+//! introduced), false negatives (errors remaining), and the *gain*
+//! `(TP − FP) / (TP + FN)` — the net fraction of errors eliminated.
+
+use dnaseq::Read;
+
+/// Confusion counts and derived metrics for a corrected read set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccuracyReport {
+    /// Erroneous bases restored to the true base.
+    pub true_positives: u64,
+    /// Correct bases changed to something wrong, plus erroneous bases
+    /// changed to a *different* wrong base.
+    pub false_positives: u64,
+    /// Erroneous bases left uncorrected.
+    pub false_negatives: u64,
+    /// Bases that were and remain correct.
+    pub true_negatives: u64,
+    /// Bases excluded from scoring (`N` in the input or output).
+    pub masked: u64,
+}
+
+impl AccuracyReport {
+    /// Score one read against its truth; `original` is the uncorrected
+    /// input read.
+    pub fn score_read(original: &Read, corrected: &Read, truth: &[u8]) -> AccuracyReport {
+        assert_eq!(original.len(), corrected.len(), "length-changing correction");
+        assert_eq!(original.len(), truth.len());
+        let mut r = AccuracyReport::default();
+        for i in 0..original.len() {
+            let orig = original.seq[i];
+            let corr = corrected.seq[i];
+            let tru = truth[i];
+            if orig == b'N' || corr == b'N' || tru == b'N' {
+                r.masked += 1;
+                continue;
+            }
+            let was_error = orig != tru;
+            let is_error = corr != tru;
+            match (was_error, is_error) {
+                (true, false) => r.true_positives += 1,
+                (false, true) => r.false_positives += 1,
+                (true, true) => {
+                    if corr != orig {
+                        // rewrote an error into a different error: both a
+                        // failed fix and a new mistake
+                        r.false_positives += 1;
+                    }
+                    r.false_negatives += 1;
+                }
+                (false, false) => r.true_negatives += 1,
+            }
+        }
+        r
+    }
+
+    /// Score a whole dataset.
+    pub fn score_dataset(
+        originals: &[Read],
+        corrected: &[Read],
+        truth: &[Vec<u8>],
+    ) -> AccuracyReport {
+        assert_eq!(originals.len(), corrected.len());
+        assert_eq!(originals.len(), truth.len());
+        let mut total = AccuracyReport::default();
+        for i in 0..originals.len() {
+            total.merge(&AccuracyReport::score_read(&originals[i], &corrected[i], &truth[i]));
+        }
+        total
+    }
+
+    /// Accumulate another report.
+    pub fn merge(&mut self, other: &AccuracyReport) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.true_negatives += other.true_negatives;
+        self.masked += other.masked;
+    }
+
+    /// Net error-removal fraction `(TP − FP) / (TP + FN)`; 1.0 is perfect.
+    pub fn gain(&self) -> f64 {
+        let denom = (self.true_positives + self.false_negatives) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        (self.true_positives as f64 - self.false_positives as f64) / denom
+    }
+
+    /// Fraction of true errors fixed `TP / (TP + FN)`.
+    pub fn sensitivity(&self) -> f64 {
+        let denom = (self.true_positives + self.false_negatives) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.true_positives as f64 / denom
+    }
+
+    /// Fraction of correct bases preserved `TN / (TN + FP)`.
+    pub fn specificity(&self) -> f64 {
+        let denom = (self.true_negatives + self.false_positives) as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.true_negatives as f64 / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(seq: &[u8]) -> Read {
+        Read::new(1, seq.to_vec(), vec![30; seq.len()])
+    }
+
+    #[test]
+    fn perfect_correction() {
+        let truth = b"ACGT";
+        let r = AccuracyReport::score_read(&read(b"AGGT"), &read(b"ACGT"), truth);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.false_positives, 0);
+        assert_eq!(r.false_negatives, 0);
+        assert_eq!(r.true_negatives, 3);
+        assert_eq!(r.gain(), 1.0);
+        assert_eq!(r.sensitivity(), 1.0);
+        assert_eq!(r.specificity(), 1.0);
+    }
+
+    #[test]
+    fn missed_error_is_false_negative() {
+        let r = AccuracyReport::score_read(&read(b"AGGT"), &read(b"AGGT"), b"ACGT");
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.gain(), 0.0);
+    }
+
+    #[test]
+    fn introduced_error_is_false_positive() {
+        let r = AccuracyReport::score_read(&read(b"ACGT"), &read(b"ACTT"), b"ACGT");
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.true_negatives, 3);
+        assert!(r.specificity() < 1.0);
+    }
+
+    #[test]
+    fn error_rewritten_to_other_error_counts_both() {
+        let r = AccuracyReport::score_read(&read(b"AGGT"), &read(b"ATGT"), b"ACGT");
+        assert_eq!(r.false_positives, 1);
+        assert_eq!(r.false_negatives, 1);
+        assert_eq!(r.gain(), -1.0);
+    }
+
+    #[test]
+    fn n_bases_masked() {
+        let r = AccuracyReport::score_read(&read(b"ANGT"), &read(b"ANGT"), b"ACGT");
+        assert_eq!(r.masked, 1);
+        assert_eq!(r.true_negatives, 3);
+    }
+
+    #[test]
+    fn dataset_scoring_merges() {
+        let originals = vec![read(b"AGGT"), read(b"ACGT")];
+        let corrected = vec![read(b"ACGT"), read(b"ACGT")];
+        let truth = vec![b"ACGT".to_vec(), b"ACGT".to_vec()];
+        let r = AccuracyReport::score_dataset(&originals, &corrected, &truth);
+        assert_eq!(r.true_positives, 1);
+        assert_eq!(r.true_negatives, 7);
+    }
+
+    #[test]
+    fn empty_report_metrics_defined() {
+        let r = AccuracyReport::default();
+        assert_eq!(r.gain(), 0.0);
+        assert_eq!(r.sensitivity(), 0.0);
+        assert_eq!(r.specificity(), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! K-mer count histograms and automatic threshold selection.
+//!
+//! Reptile's config file fixes the frequency thresholds by hand; picking
+//! them well requires looking at the k-mer count histogram, which for
+//! shotgun data is bimodal: an error peak at count 1–2 decaying
+//! geometrically, and a coverage peak near `coverage × (L−k+1)/L`. The
+//! classic recipe (used by Quake and most k-mer tools) places the
+//! threshold at the *valley* between the two peaks. This module computes
+//! the histogram from a spectrum and implements that recipe, so
+//! `RunConfig` thresholds can be derived instead of guessed.
+
+use crate::spectrum::{KmerSpectrum, TileSpectrum};
+
+/// A k-mer (or tile) count histogram: `bins[c]` = number of distinct
+/// codes with count exactly `c` (index 0 unused).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountHistogram {
+    bins: Vec<u64>,
+}
+
+impl CountHistogram {
+    /// Histogram of an (unpruned) k-mer spectrum.
+    pub fn of_kmers(spectrum: &KmerSpectrum) -> CountHistogram {
+        Self::from_counts(spectrum.iter().map(|(_, c)| c))
+    }
+
+    /// Histogram of an (unpruned) tile spectrum.
+    pub fn of_tiles(spectrum: &TileSpectrum) -> CountHistogram {
+        Self::from_counts(spectrum.iter().map(|(_, c)| c))
+    }
+
+    /// Build from raw counts.
+    pub fn from_counts(counts: impl Iterator<Item = u32>) -> CountHistogram {
+        let mut bins = vec![0u64; 64];
+        for c in counts {
+            let c = c as usize;
+            if c >= bins.len() {
+                bins.resize(c + 1, 0);
+            }
+            bins[c] += 1;
+        }
+        CountHistogram { bins }
+    }
+
+    /// Distinct codes with count exactly `c`.
+    pub fn bin(&self, c: usize) -> u64 {
+        self.bins.get(c).copied().unwrap_or(0)
+    }
+
+    /// Largest count observed.
+    pub fn max_count(&self) -> usize {
+        self.bins.iter().rposition(|&b| b > 0).unwrap_or(0)
+    }
+
+    /// Total distinct codes.
+    pub fn distinct(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Total occurrences (`Σ c · bins[c]`).
+    pub fn occurrences(&self) -> u64 {
+        self.bins.iter().enumerate().map(|(c, &b)| c as u64 * b).sum()
+    }
+
+    /// Smoothed bin value: moving average over `±(1 + c/10)` counts.
+    /// High counts get wider windows because the coverage peak spreads
+    /// (Poisson width grows with the mean) while its per-bin mass falls.
+    pub fn smoothed(&self, c: usize) -> f64 {
+        let w = 1 + c / 10;
+        let lo = c.saturating_sub(w).max(1);
+        let hi = c + w;
+        let sum: u64 = (lo..=hi).map(|i| self.bin(i)).sum();
+        sum as f64 / (hi - lo + 1) as f64
+    }
+
+    /// The valley: the first count `≥ 2` where the smoothed histogram
+    /// stops decaying (the error tail has bottomed out). `None` for
+    /// monotone histograms.
+    pub fn valley(&self) -> Option<usize> {
+        let max = self.max_count();
+        (2..max).find(|&c| self.smoothed(c) < self.smoothed(c + 1))
+    }
+
+    /// The coverage peak: the count with the largest *smoothed* bin at or
+    /// beyond `hint` (callers usually pass the valley, skipping the error
+    /// tail whose raw bins dwarf everything).
+    pub fn coverage_peak(&self, hint: usize) -> Option<usize> {
+        let lo = hint.max(1);
+        if lo > self.max_count() {
+            return None;
+        }
+        (lo..=self.max_count()).max_by(|&a, &b| self.smoothed(a).total_cmp(&self.smoothed(b)))
+    }
+
+    /// Valley-based threshold: the first count where the error tail has
+    /// decayed away, provided a genuine coverage peak exists beyond it
+    /// (smoothed peak ≥ 2× smoothed valley). Returns `None` when the
+    /// histogram is not bimodal.
+    pub fn suggest_threshold(&self) -> Option<u32> {
+        let valley = self.valley()?;
+        let peak = self.coverage_peak(valley)?;
+        if peak <= valley {
+            return None;
+        }
+        if self.smoothed(peak) < 2.0 * self.smoothed(valley).max(1e-9) {
+            return None;
+        }
+        Some(valley as u32)
+    }
+
+    /// Render as `count<TAB>distinct` lines, for plotting.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in 1..=self.max_count() {
+            out.push_str(&format!("{c}\t{}\n", self.bin(c)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ReptileParams;
+    use crate::spectrum::LocalSpectra;
+    use dnaseq::Read;
+
+    fn bimodal() -> CountHistogram {
+        // error peak at 1-2, valley at 4, coverage peak at 20
+        let mut counts = Vec::new();
+        for _ in 0..1000 {
+            counts.push(1);
+        }
+        for _ in 0..300 {
+            counts.push(2);
+        }
+        for _ in 0..60 {
+            counts.push(3);
+        }
+        for _ in 0..10 {
+            counts.push(4);
+        }
+        for c in 15..=25u32 {
+            for _ in 0..(200 - 10 * (20i32 - c as i32).abs()) {
+                counts.push(c);
+            }
+        }
+        CountHistogram::from_counts(counts.into_iter())
+    }
+
+    #[test]
+    fn histogram_accounting() {
+        let h = CountHistogram::from_counts([1, 1, 2, 5, 5, 5].into_iter());
+        assert_eq!(h.bin(1), 2);
+        assert_eq!(h.bin(2), 1);
+        assert_eq!(h.bin(5), 3);
+        assert_eq!(h.bin(3), 0);
+        assert_eq!(h.distinct(), 6);
+        assert_eq!(h.occurrences(), 2 + 2 + 15);
+        assert_eq!(h.max_count(), 5);
+    }
+
+    #[test]
+    fn valley_found_in_bimodal_histogram() {
+        let h = bimodal();
+        let peak = h.coverage_peak(3).expect("coverage peak exists");
+        assert!((18..=22).contains(&peak), "smoothed peak near 20, got {peak}");
+        let t = h.suggest_threshold().expect("bimodal histogram has a valley");
+        assert!((4..=14).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn unimodal_histogram_has_no_threshold() {
+        // strictly decaying histogram: no coverage peak
+        let mut counts = Vec::new();
+        for c in 1..=30u32 {
+            for _ in 0..(1000 / c) {
+                counts.push(c);
+            }
+        }
+        let h = CountHistogram::from_counts(counts.into_iter());
+        assert_eq!(h.suggest_threshold(), None);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = CountHistogram::from_counts(std::iter::empty());
+        assert_eq!(h.max_count(), 0);
+        assert_eq!(h.distinct(), 0);
+        assert_eq!(h.suggest_threshold(), None);
+        assert_eq!(h.render(), "");
+    }
+
+    #[test]
+    fn real_spectrum_histogram() {
+        let p = ReptileParams { k: 5, tile_overlap: 2, ..ReptileParams::for_tests() };
+        let template = b"ACGTACGGTTGCAACGTTAG";
+        let reads: Vec<Read> = (0..10)
+            .map(|i| Read::new(i + 1, template.to_vec(), vec![35; template.len()]))
+            .collect();
+        let spectra = LocalSpectra::build_unpruned(&reads, &p);
+        let h = CountHistogram::of_kmers(&spectra.kmers);
+        // every k-mer of the template occurs 10x (or 20x if repeated)
+        assert!(h.bin(10) > 0);
+        assert_eq!(h.bin(1), 0);
+        assert_eq!(h.distinct(), spectra.kmers.len() as u64);
+    }
+}

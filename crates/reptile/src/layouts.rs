@@ -1,0 +1,220 @@
+//! Alternative spectrum layouts: sorted arrays and the cache-aware order.
+//!
+//! The prior Reptile parallelizations stored the spectra as *sorted
+//! lists* "with look-up operations involving repeated binary searches
+//! over the spectrum", and Jammula et al. added "a cache-aware layout of
+//! k-mer spectrum ... which lowered the search time from the original
+//! O(log2 N) to O(log(B+1) N) where B represents the number of elements
+//! that can fit into a cache line" (paper §II-B). This paper's
+//! implementation replaces both with hash tables.
+//!
+//! To make that design choice measurable we implement all three:
+//!
+//! * [`SortedKmerSpectrum`] — the classic sorted array + binary search
+//!   (the Shah et al. layout);
+//! * [`EytzingerKmerSpectrum`] — the cache-aware BFS (Eytzinger) order,
+//!   which keeps the first levels of the implicit search tree hot in
+//!   cache (the spirit of Jammula et al.'s B-element-per-node layout);
+//! * the hash table ([`crate::KmerSpectrum`]) used everywhere else.
+//!
+//! `benches/pipeline.rs`'s `spectrum_layouts` group races them.
+
+use crate::spectrum::KmerSpectrum;
+
+/// Immutable k-mer spectrum as a sorted `(code, count)` array; lookups
+/// binary-search. Build once from a hash spectrum.
+#[derive(Clone, Debug)]
+pub struct SortedKmerSpectrum {
+    codes: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl SortedKmerSpectrum {
+    /// Freeze a hash spectrum into sorted-array form.
+    pub fn from_spectrum(spectrum: &KmerSpectrum) -> SortedKmerSpectrum {
+        let mut entries: Vec<(u64, u32)> = spectrum.iter().collect();
+        entries.sort_unstable_by_key(|&(code, _)| code);
+        SortedKmerSpectrum {
+            codes: entries.iter().map(|&(c, _)| c).collect(),
+            counts: entries.iter().map(|&(_, n)| n).collect(),
+        }
+    }
+
+    /// Count of a code (0 when absent). `O(log2 N)` probes.
+    #[inline]
+    pub fn count(&self, code: u64) -> u32 {
+        match self.codes.binary_search(&code) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Resident bytes (the prior art's selling point: no hash overhead).
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.len() * (8 + 4)
+    }
+}
+
+/// Immutable k-mer spectrum in Eytzinger (BFS) order: element `i`'s
+/// children live at `2i+1` and `2i+2`, so the top of the implicit search
+/// tree is contiguous and stays cached — the cache-aware idea of the
+/// prior art, realized with 1 element per node.
+#[derive(Clone, Debug)]
+pub struct EytzingerKmerSpectrum {
+    codes: Vec<u64>,
+    counts: Vec<u32>,
+}
+
+impl EytzingerKmerSpectrum {
+    /// Freeze a hash spectrum into Eytzinger order.
+    pub fn from_spectrum(spectrum: &KmerSpectrum) -> EytzingerKmerSpectrum {
+        let sorted = SortedKmerSpectrum::from_spectrum(spectrum);
+        let n = sorted.codes.len();
+        let mut codes = vec![0u64; n];
+        let mut counts = vec![0u32; n];
+        // recursively place the sorted sequence into BFS positions
+        fn place(
+            sorted_codes: &[u64],
+            sorted_counts: &[u32],
+            next_sorted: &mut usize,
+            codes: &mut [u64],
+            counts: &mut [u32],
+            node: usize,
+        ) {
+            if node >= codes.len() {
+                return;
+            }
+            place(sorted_codes, sorted_counts, next_sorted, codes, counts, 2 * node + 1);
+            codes[node] = sorted_codes[*next_sorted];
+            counts[node] = sorted_counts[*next_sorted];
+            *next_sorted += 1;
+            place(sorted_codes, sorted_counts, next_sorted, codes, counts, 2 * node + 2);
+        }
+        let mut cursor = 0usize;
+        if n > 0 {
+            place(&sorted.codes, &sorted.counts, &mut cursor, &mut codes, &mut counts, 0);
+        }
+        EytzingerKmerSpectrum { codes, counts }
+    }
+
+    /// Count of a code (0 when absent). Same probe count as binary
+    /// search, but probes walk a cache-friendly implicit tree.
+    #[inline]
+    pub fn count(&self, code: u64) -> u32 {
+        let n = self.codes.len();
+        let mut i = 0usize;
+        while i < n {
+            let probe = self.codes[i];
+            if probe == code {
+                return self.counts[i];
+            }
+            i = 2 * i + 1 + usize::from(code > probe);
+        }
+        0
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Resident bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.codes.len() * (8 + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ReptileParams;
+    use crate::spectrum::LocalSpectra;
+    use dnaseq::Read;
+
+    fn spectrum() -> KmerSpectrum {
+        let p = ReptileParams { k: 6, tile_overlap: 3, kmer_threshold: 1, ..Default::default() };
+        let mut reads = Vec::new();
+        for i in 0..50u64 {
+            let seed = dnaseq::mix64(i);
+            let seq: Vec<u8> = (0..30)
+                .map(|j| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ j) % 4) as usize])
+                .collect();
+            reads.push(Read::new(i + 1, seq, vec![30; 30]));
+        }
+        LocalSpectra::build(&reads, &p).kmers
+    }
+
+    #[test]
+    fn sorted_matches_hash() {
+        let hash = spectrum();
+        let sorted = SortedKmerSpectrum::from_spectrum(&hash);
+        assert_eq!(sorted.len(), hash.len());
+        for (code, count) in hash.iter() {
+            assert_eq!(sorted.count(code), count);
+        }
+        // absent codes
+        for probe in [0u64, 1, 999_999_999] {
+            assert_eq!(sorted.count(probe), hash.count(probe));
+        }
+    }
+
+    #[test]
+    fn eytzinger_matches_hash() {
+        let hash = spectrum();
+        let eytz = EytzingerKmerSpectrum::from_spectrum(&hash);
+        assert_eq!(eytz.len(), hash.len());
+        for (code, count) in hash.iter() {
+            assert_eq!(eytz.count(code), count, "code {code}");
+        }
+        for probe in [0u64, 7, u64::MAX >> 40] {
+            assert_eq!(eytz.count(probe), hash.count(probe));
+        }
+    }
+
+    #[test]
+    fn empty_layouts() {
+        let p = ReptileParams::for_tests();
+        let empty = LocalSpectra::build(&[], &p).kmers;
+        let sorted = SortedKmerSpectrum::from_spectrum(&empty);
+        let eytz = EytzingerKmerSpectrum::from_spectrum(&empty);
+        assert!(sorted.is_empty());
+        assert!(eytz.is_empty());
+        assert_eq!(sorted.count(42), 0);
+        assert_eq!(eytz.count(42), 0);
+    }
+
+    #[test]
+    fn single_entry_layouts() {
+        let p = ReptileParams { k: 4, tile_overlap: 2, kmer_threshold: 1, ..Default::default() };
+        let reads = vec![Read::new(1, b"AAAA".to_vec(), vec![30; 4])];
+        let hash = LocalSpectra::build(&reads, &p).kmers;
+        let sorted = SortedKmerSpectrum::from_spectrum(&hash);
+        let eytz = EytzingerKmerSpectrum::from_spectrum(&hash);
+        assert_eq!(sorted.len(), 1);
+        assert_eq!(eytz.count(0), 1, "AAAA encodes to 0");
+        assert_eq!(sorted.count(0), 1);
+    }
+
+    #[test]
+    fn memory_is_tighter_than_hash_entry_estimate() {
+        let hash = spectrum();
+        let sorted = SortedKmerSpectrum::from_spectrum(&hash);
+        // 12 bytes/entry flat vs the hash model's ~26 bytes/entry
+        assert_eq!(sorted.memory_bytes(), hash.len() * 12);
+    }
+}

@@ -1,0 +1,184 @@
+//! High-level correction pipeline: the one-stop API.
+//!
+//! [`Pipeline`] bundles the decisions a user otherwise makes by hand —
+//! exact vs Bloom-filtered construction, hand-set vs histogram-derived
+//! thresholds — behind a builder, and returns the corrected reads with
+//! every intermediate statistic:
+//!
+//! ```
+//! use dnaseq::Read;
+//! use reptile::{Pipeline, ReptileParams};
+//! let params = ReptileParams { k: 4, tile_overlap: 2, kmer_threshold: 2,
+//!                              tile_threshold: 2, ..Default::default() };
+//! let template = b"ACGTACGTTGCA";
+//! let reads: Vec<Read> = (1..=6)
+//!     .map(|id| Read::new(id, template.to_vec(), vec![35; 12]))
+//!     .collect();
+//! let result = Pipeline::new(params).correct(&reads);
+//! assert_eq!(result.corrected.len(), 6);
+//! assert_eq!(result.stats.reads, 6);
+//! ```
+
+use crate::bloom_build::{build_with_bloom, BloomBuildStats};
+use crate::corrector::{correct_read, CorrectionStats};
+use crate::histogram::CountHistogram;
+use crate::params::ReptileParams;
+use crate::spectrum::LocalSpectra;
+use dnaseq::Read;
+
+/// Builder for a sequential correction run.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    params: ReptileParams,
+    bloom_fp_rate: Option<f64>,
+    auto_threshold: bool,
+}
+
+/// Everything a pipeline run produces.
+pub struct PipelineResult {
+    /// Corrected reads, ids preserved.
+    pub corrected: Vec<Read>,
+    /// Correction counters.
+    pub stats: CorrectionStats,
+    /// The parameters actually used (thresholds may have been derived).
+    pub params: ReptileParams,
+    /// Bloom construction counters, when that path ran.
+    pub bloom: Option<BloomBuildStats>,
+    /// The k-mer count histogram, when auto-thresholding ran.
+    pub histogram: Option<CountHistogram>,
+}
+
+impl Pipeline {
+    /// Start from explicit parameters.
+    pub fn new(params: ReptileParams) -> Pipeline {
+        params.assert_valid();
+        Pipeline { params, bloom_fp_rate: None, auto_threshold: false }
+    }
+
+    /// Use Bloom-filtered construction (paper §III step III) with the
+    /// given false-positive rate. Requires thresholds ≥ 2 at run time.
+    pub fn with_bloom(mut self, fp_rate: f64) -> Pipeline {
+        assert!(fp_rate > 0.0 && fp_rate < 1.0);
+        self.bloom_fp_rate = Some(fp_rate);
+        self
+    }
+
+    /// Derive the k-mer threshold from the count histogram's valley
+    /// (tile threshold set to half of it, per the stride-count scaling
+    /// documented on [`ReptileParams::tile_threshold`]); falls back to
+    /// the configured thresholds when the histogram is not bimodal.
+    pub fn with_auto_threshold(mut self) -> Pipeline {
+        self.auto_threshold = true;
+        self
+    }
+
+    /// Run: build spectra, correct every read.
+    pub fn correct(&self, reads: &[Read]) -> PipelineResult {
+        let mut params = self.params;
+        let mut histogram = None;
+        if self.auto_threshold {
+            let unpruned = LocalSpectra::build_unpruned(reads, &params);
+            let hist = CountHistogram::of_kmers(&unpruned.kmers);
+            if let Some(t) = hist.suggest_threshold() {
+                params.kmer_threshold = t;
+                params.tile_threshold = (t / 2).max(2);
+            }
+            histogram = Some(hist);
+        }
+        let (mut spectra, bloom) = match self.bloom_fp_rate {
+            Some(fp) => {
+                let occurrences: usize =
+                    reads.iter().map(|r| r.len().saturating_sub(params.k - 1)).sum();
+                let (s, b) = build_with_bloom(reads, &params, occurrences.max(1), fp);
+                (s, Some(b))
+            }
+            None => (LocalSpectra::build(reads, &params), None),
+        };
+        let mut stats = CorrectionStats::default();
+        let corrected = reads
+            .iter()
+            .map(|r| {
+                let mut read = r.clone();
+                let outcome = correct_read(&mut read, &mut spectra, &params);
+                stats.absorb(&outcome);
+                read
+            })
+            .collect();
+        PipelineResult { corrected, stats, params, bloom, histogram }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ReptileParams {
+        ReptileParams {
+            k: 8,
+            tile_overlap: 4,
+            kmer_threshold: 3,
+            tile_threshold: 2,
+            ..ReptileParams::default()
+        }
+    }
+
+    fn reads_with_error() -> Vec<Read> {
+        let template = b"ACGTACGGTTGCAACGTTAGC";
+        let mut reads: Vec<Read> = (1..=8)
+            .map(|id| Read::new(id, template.to_vec(), vec![35; template.len()]))
+            .collect();
+        let mut seq = template.to_vec();
+        seq[9] = b'A';
+        let mut qual = vec![35u8; template.len()];
+        qual[9] = 5;
+        reads.push(Read::new(9, seq, qual));
+        reads
+    }
+
+    #[test]
+    fn plain_pipeline_matches_correct_dataset() {
+        let reads = reads_with_error();
+        let p = params();
+        let result = Pipeline::new(p).correct(&reads);
+        let (expect, expect_stats) = crate::correct_dataset(&reads, &p);
+        assert_eq!(result.corrected, expect);
+        assert_eq!(result.stats, expect_stats);
+        assert!(result.bloom.is_none());
+        assert!(result.histogram.is_none());
+    }
+
+    #[test]
+    fn bloom_pipeline_matches_exact() {
+        let reads = reads_with_error();
+        let result = Pipeline::new(params()).with_bloom(0.0001).correct(&reads);
+        let (expect, _) = crate::correct_dataset(&reads, &params());
+        assert_eq!(result.corrected, expect);
+        let bloom = result.bloom.expect("bloom stats present");
+        assert!(bloom.filter_bytes > 0);
+    }
+
+    #[test]
+    fn auto_threshold_reports_histogram() {
+        let reads = reads_with_error();
+        let result = Pipeline::new(params()).with_auto_threshold().correct(&reads);
+        let hist = result.histogram.expect("histogram present");
+        assert!(hist.distinct() > 0);
+        // this dataset is bimodal (8x template vs 1x error kmers): a
+        // derived threshold must separate the two modes — above the error
+        // counts, at or below the template counts (8)
+        if let Some(t) = hist.suggest_threshold() {
+            assert_eq!(result.params.kmer_threshold, t);
+            assert!(t >= 2 && t <= 8, "derived threshold {t}");
+        } else {
+            assert_eq!(result.params.kmer_threshold, params().kmer_threshold);
+        }
+        // either way the injected error is still corrected
+        assert!(result.stats.errors_corrected >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fp_rate_rejected() {
+        let _ = Pipeline::new(params()).with_bloom(1.5);
+    }
+}

@@ -1,0 +1,310 @@
+//! K-mer and tile spectra.
+//!
+//! "The k-mer spectrum is represented by key-value pairs with k-mer ID as
+//! the key and the count of the k-mer as the value. ... The k-mer and
+//! tile spectrum are stored in separate hash tables" (paper §III step II
+//! and §II-B — hash tables instead of the sorted arrays of the earlier
+//! parallelizations).
+
+use crate::params::ReptileParams;
+use dnaseq::{FxHashMap, KmerCodec, Read, TileCodec};
+
+/// The k-mer spectrum: count per packed k-mer code.
+#[derive(Clone, Debug)]
+pub struct KmerSpectrum {
+    codec: KmerCodec,
+    canonical: bool,
+    counts: FxHashMap<u64, u32>,
+}
+
+impl KmerSpectrum {
+    /// Empty spectrum for `k`-mers.
+    pub fn new(codec: KmerCodec, canonical: bool) -> KmerSpectrum {
+        KmerSpectrum { codec, canonical, counts: FxHashMap::default() }
+    }
+
+    /// The codec in use.
+    pub fn codec(&self) -> KmerCodec {
+        self.codec
+    }
+
+    /// Canonicalize a code per the spectrum's strand policy.
+    #[inline]
+    pub fn normalize(&self, code: u64) -> u64 {
+        if self.canonical {
+            self.codec.canonical(code)
+        } else {
+            code
+        }
+    }
+
+    /// Add every k-mer of a read.
+    pub fn add_read(&mut self, read: &Read) {
+        for (_, code) in self.codec.kmers_of(&read.seq) {
+            let code = self.normalize(code);
+            *self.counts.entry(code).or_insert(0) += 1;
+        }
+    }
+
+    /// Add a single (already normalized) code with a count.
+    pub fn add_count(&mut self, code: u64, count: u32) {
+        *self.counts.entry(code).or_insert(0) += count;
+    }
+
+    /// Count of a code (0 if absent). Normalizes internally.
+    #[inline]
+    pub fn count(&self, code: u64) -> u32 {
+        self.counts.get(&self.normalize(code)).copied().unwrap_or(0)
+    }
+
+    /// Stored count of a code, `None` when absent — distinguishes "known
+    /// count 0" entries (resolved reads tables) from missing entries.
+    #[inline]
+    pub fn get(&self, code: u64) -> Option<u32> {
+        self.counts.get(&self.normalize(code)).copied()
+    }
+
+    /// Remove entries below `threshold` (paper §III step III: "k-mers and
+    /// tiles below a threshold are subsequently removed").
+    pub fn prune(&mut self, threshold: u32) {
+        self.counts.retain(|_, c| *c >= threshold);
+    }
+
+    /// Number of distinct k-mers stored.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no k-mers are stored.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate `(code, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Drain into `(code, count)` pairs.
+    pub fn into_entries(self) -> impl Iterator<Item = (u64, u32)> {
+        self.counts.into_iter()
+    }
+}
+
+/// The tile spectrum: count per packed tile code (`u128` keys — "the tile
+/// ID is a long integer", §III step II).
+#[derive(Clone, Debug)]
+pub struct TileSpectrum {
+    codec: TileCodec,
+    canonical: bool,
+    counts: FxHashMap<u128, u32>,
+}
+
+impl TileSpectrum {
+    /// Empty spectrum for the given tile shape.
+    pub fn new(codec: TileCodec, canonical: bool) -> TileSpectrum {
+        TileSpectrum { codec, canonical, counts: FxHashMap::default() }
+    }
+
+    /// The codec in use.
+    pub fn codec(&self) -> TileCodec {
+        self.codec
+    }
+
+    /// Canonicalize a code per the spectrum's strand policy.
+    #[inline]
+    pub fn normalize(&self, code: u128) -> u128 {
+        if self.canonical {
+            self.codec.canonical(code)
+        } else {
+            code
+        }
+    }
+
+    /// Add every tile of a read.
+    pub fn add_read(&mut self, read: &Read) {
+        for (_, code) in self.codec.tiles_of(&read.seq) {
+            let code = self.normalize(code);
+            *self.counts.entry(code).or_insert(0) += 1;
+        }
+    }
+
+    /// Add a single (already normalized) code with a count.
+    pub fn add_count(&mut self, code: u128, count: u32) {
+        *self.counts.entry(code).or_insert(0) += count;
+    }
+
+    /// Count of a code (0 if absent). Normalizes internally.
+    #[inline]
+    pub fn count(&self, code: u128) -> u32 {
+        self.counts.get(&self.normalize(code)).copied().unwrap_or(0)
+    }
+
+    /// Stored count of a code, `None` when absent — distinguishes "known
+    /// count 0" entries (resolved reads tables) from missing entries.
+    #[inline]
+    pub fn get(&self, code: u128) -> Option<u32> {
+        self.counts.get(&self.normalize(code)).copied()
+    }
+
+    /// Remove entries below `threshold`.
+    pub fn prune(&mut self, threshold: u32) {
+        self.counts.retain(|_, c| *c >= threshold);
+    }
+
+    /// Number of distinct tiles stored.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no tiles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate `(code, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (u128, u32)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Drain into `(code, count)` pairs.
+    pub fn into_entries(self) -> impl Iterator<Item = (u128, u32)> {
+        self.counts.into_iter()
+    }
+}
+
+/// Both spectra together, with the local (sequential) [`SpectrumAccess`]
+/// implementation used by the baseline corrector.
+///
+/// [`SpectrumAccess`]: crate::corrector::SpectrumAccess
+#[derive(Clone, Debug)]
+pub struct LocalSpectra {
+    /// The k-mer spectrum.
+    pub kmers: KmerSpectrum,
+    /// The tile spectrum.
+    pub tiles: TileSpectrum,
+}
+
+impl LocalSpectra {
+    /// Build both spectra from a full read set, then prune by the
+    /// parameter thresholds.
+    pub fn build(reads: &[Read], params: &ReptileParams) -> LocalSpectra {
+        params.assert_valid();
+        let mut kmers = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+        let mut tiles = TileSpectrum::new(params.tile_codec(), params.canonical);
+        for read in reads {
+            kmers.add_read(read);
+            tiles.add_read(read);
+        }
+        kmers.prune(params.kmer_threshold);
+        tiles.prune(params.tile_threshold);
+        LocalSpectra { kmers, tiles }
+    }
+
+    /// Build without pruning (the distributed construction prunes only
+    /// after the global count merge).
+    pub fn build_unpruned(reads: &[Read], params: &ReptileParams) -> LocalSpectra {
+        params.assert_valid();
+        let mut kmers = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+        let mut tiles = TileSpectrum::new(params.tile_codec(), params.canonical);
+        for read in reads {
+            kmers.add_read(read);
+            tiles.add_read(read);
+        }
+        LocalSpectra { kmers, tiles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(id: u64, seq: &[u8]) -> Read {
+        Read::new(id, seq.to_vec(), vec![30; seq.len()])
+    }
+
+    fn params() -> ReptileParams {
+        ReptileParams { k: 4, tile_overlap: 2, ..ReptileParams::for_tests() }
+    }
+
+    #[test]
+    fn kmer_counts_accumulate() {
+        let p = params();
+        let mut s = KmerSpectrum::new(p.kmer_codec(), false);
+        s.add_read(&read(1, b"AAAAA")); // AAAA twice
+        s.add_read(&read(2, b"AAAA")); // once more
+        let code = p.kmer_codec().encode(b"AAAA").unwrap();
+        assert_eq!(s.count(code), 3);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_bases_skipped() {
+        let p = params();
+        let mut s = KmerSpectrum::new(p.kmer_codec(), false);
+        s.add_read(&read(1, b"AANTTTT"));
+        // only TTTT windows (positions 3) — windows crossing N are dropped
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.count(p.kmer_codec().encode(b"TTTT").unwrap()), 1);
+    }
+
+    #[test]
+    fn prune_removes_rare() {
+        let p = params();
+        let mut s = KmerSpectrum::new(p.kmer_codec(), false);
+        s.add_read(&read(1, b"AAAA"));
+        s.add_read(&read(2, b"AAAA"));
+        s.add_read(&read(3, b"CCCC"));
+        s.prune(2);
+        assert_eq!(s.count(p.kmer_codec().encode(b"AAAA").unwrap()), 2);
+        assert_eq!(s.count(p.kmer_codec().encode(b"CCCC").unwrap()), 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn canonical_folds_strands() {
+        let p = params();
+        let mut s = KmerSpectrum::new(p.kmer_codec(), true);
+        s.add_read(&read(1, b"ACGG"));
+        s.add_read(&read(2, b"CCGT")); // revcomp of ACGG
+        let code = p.kmer_codec().encode(b"ACGG").unwrap();
+        assert_eq!(s.count(code), 2);
+        assert_eq!(s.count(p.kmer_codec().encode(b"CCGT").unwrap()), 2, "lookup from either strand");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn tile_counts_and_prune() {
+        let p = params(); // tile len 6, stride 2
+        let mut s = TileSpectrum::new(p.tile_codec(), false);
+        s.add_read(&read(1, b"ACGTAC"));
+        s.add_read(&read(2, b"ACGTAC"));
+        let code = p.tile_codec().encode(b"ACGTAC").unwrap();
+        assert_eq!(s.count(code), 2);
+        s.prune(3);
+        assert_eq!(s.count(code), 0);
+    }
+
+    #[test]
+    fn local_spectra_build_prunes_by_thresholds() {
+        let p = params();
+        // 3 copies of one read, 1 copy of a read whose k-mers all occur once
+        let mut reads = vec![read(1, b"ACGTACGT"), read(2, b"ACGTACGT"), read(3, b"ACGTACGT")];
+        reads.push(read(4, b"TACGGTCA"));
+        let spectra = LocalSpectra::build(&reads, &p);
+        let kc = p.kmer_codec();
+        assert_eq!(spectra.kmers.count(kc.encode(b"ACGT").unwrap()), 6); // 2 windows x 3 reads
+        assert_eq!(spectra.kmers.count(kc.encode(b"GGTC").unwrap()), 0, "singleton pruned at threshold 2");
+    }
+
+    #[test]
+    fn unpruned_build_keeps_everything() {
+        let p = params();
+        let reads = vec![read(1, b"ACGTACGT")];
+        let s = LocalSpectra::build_unpruned(&reads, &p);
+        assert!(s.kmers.len() > 0);
+        assert!(s.tiles.len() > 0);
+        let pruned = LocalSpectra::build(&reads, &p);
+        assert!(pruned.kmers.len() <= s.kmers.len());
+    }
+}

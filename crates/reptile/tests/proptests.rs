@@ -1,0 +1,126 @@
+//! Property tests for the Reptile corrector and spectra.
+
+use proptest::prelude::*;
+use reptile::spectrum::LocalSpectra;
+use reptile::{correct_read, ReptileParams};
+
+fn params() -> ReptileParams {
+    ReptileParams {
+        k: 6,
+        tile_overlap: 3,
+        kmer_threshold: 2,
+        tile_threshold: 2,
+        ..ReptileParams::default()
+    }
+}
+
+fn dna(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), len)
+}
+
+fn dna_clean(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(prop::sample::select(vec![b'A', b'C', b'G', b'T']), len)
+}
+
+fn reads_strategy() -> impl Strategy<Value = Vec<dnaseq::Read>> {
+    // a pool of up to 8 templates, each repeated up to 6 times
+    prop::collection::vec((dna(9..40), 1usize..6), 1..8).prop_map(|templates| {
+        let mut reads = Vec::new();
+        let mut id = 1u64;
+        for (seq, copies) in templates {
+            for _ in 0..copies {
+                let qual: Vec<u8> =
+                    seq.iter().enumerate().map(|(i, _)| 2 + ((i * 7) % 39) as u8).collect();
+                reads.push(dnaseq::Read::new(id, seq.clone(), qual));
+                id += 1;
+            }
+        }
+        reads
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Correction never changes read length or identity, and every fix is
+    /// a real substitution at a valid position.
+    #[test]
+    fn corrector_structural_invariants(reads in reads_strategy(), target in 0usize..40) {
+        let p = params();
+        let mut spectra = LocalSpectra::build(&reads, &p);
+        let idx = target % reads.len();
+        let original = reads[idx].clone();
+        let mut read = original.clone();
+        let outcome = correct_read(&mut read, &mut spectra, &p);
+        prop_assert_eq!(read.len(), original.len());
+        prop_assert_eq!(read.id, original.id);
+        prop_assert_eq!(&read.qual, &original.qual);
+        prop_assert_eq!(read.hamming_distance(&original), outcome.fixes.len());
+        for fix in &outcome.fixes {
+            prop_assert!((fix.pos as usize) < read.len());
+            prop_assert_ne!(fix.from, fix.to);
+            prop_assert_eq!(read.seq[fix.pos as usize], fix.to);
+            prop_assert!(matches!(fix.to, b'A' | b'C' | b'G' | b'T'));
+        }
+        // N positions are never "corrected"
+        for (i, &b) in original.seq.iter().enumerate() {
+            if b == b'N' {
+                prop_assert_eq!(read.seq[i], b'N');
+            }
+        }
+    }
+
+    /// A read whose tiles are all solid is never modified.
+    #[test]
+    fn solid_reads_untouched(seq in dna_clean(12..40), copies in 3usize..8) {
+        let p = params();
+        let reads: Vec<dnaseq::Read> = (0..copies)
+            .map(|i| dnaseq::Read::new(i as u64 + 1, seq.clone(), vec![35; seq.len()]))
+            .collect();
+        let mut spectra = LocalSpectra::build(&reads, &p);
+        let mut read = reads[0].clone();
+        let outcome = correct_read(&mut read, &mut spectra, &p);
+        prop_assert!(!outcome.corrected());
+        prop_assert_eq!(read.seq, seq);
+    }
+
+    /// Spectrum construction distributes over dataset partition: building
+    /// from all reads equals merging per-part unpruned builds, then
+    /// pruning — the algebra behind the distributed Step III.
+    #[test]
+    fn spectrum_merge_associativity(reads in reads_strategy(), split in 1usize..10) {
+        let p = params();
+        let cut = (split * reads.len() / 10).min(reads.len());
+        let whole = LocalSpectra::build(&reads, &p);
+        let left = LocalSpectra::build_unpruned(&reads[..cut], &p);
+        let right = LocalSpectra::build_unpruned(&reads[cut..], &p);
+        let mut merged = left;
+        for (code, count) in right.kmers.iter() {
+            merged.kmers.add_count(code, count);
+        }
+        for (code, count) in right.tiles.iter() {
+            merged.tiles.add_count(code, count);
+        }
+        merged.kmers.prune(p.kmer_threshold);
+        merged.tiles.prune(p.tile_threshold);
+        let a: std::collections::HashMap<_, _> = whole.kmers.iter().collect();
+        let b: std::collections::HashMap<_, _> = merged.kmers.iter().collect();
+        prop_assert_eq!(a, b);
+        let at: std::collections::HashMap<_, _> = whole.tiles.iter().collect();
+        let bt: std::collections::HashMap<_, _> = merged.tiles.iter().collect();
+        prop_assert_eq!(at, bt);
+    }
+
+    /// Canonical spectra are strand-symmetric: looking up a code and its
+    /// reverse complement gives the same count.
+    #[test]
+    fn canonical_spectra_strand_symmetric(reads in reads_strategy()) {
+        let p = ReptileParams { canonical: true, ..params() };
+        let spectra = LocalSpectra::build(&reads, &p);
+        let kcodec = p.kmer_codec();
+        for (code, count) in spectra.kmers.iter().take(50) {
+            let rc = kcodec.reverse_complement(code);
+            prop_assert_eq!(spectra.kmers.count(rc), count);
+        }
+    }
+}

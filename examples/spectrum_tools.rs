@@ -1,0 +1,87 @@
+//! Spectrum tooling: count histograms, automatic threshold selection and
+//! Bloom-filtered construction.
+//!
+//! ```text
+//! cargo run --release --example spectrum_tools
+//! ```
+//!
+//! Shows the workflow a user follows before a big correction run:
+//! inspect the k-mer count histogram, derive the frequency threshold from
+//! its valley (instead of guessing the config value), then build the
+//! spectra with the Bloom-filtered path the paper suggests for memory
+//! (§III step III) and compare its footprint against the exact build.
+
+use genio::dataset::DatasetProfile;
+use reptile::spectrum::LocalSpectra;
+use reptile::{build_with_bloom, CountHistogram, ReptileParams};
+
+fn main() {
+    let dataset = DatasetProfile::ecoli_like().scaled(2000).generate(99);
+    let mut params = ReptileParams {
+        k: 12,
+        tile_overlap: 6,
+        kmer_threshold: 2, // placeholder until the histogram speaks
+        tile_threshold: 2,
+        ..ReptileParams::default()
+    };
+
+    // 1. histogram of the unpruned spectrum
+    let unpruned = LocalSpectra::build_unpruned(&dataset.reads, &params);
+    let hist = CountHistogram::of_kmers(&unpruned.kmers);
+    println!(
+        "k-mer histogram: {} distinct codes, {} occurrences, max count {}",
+        hist.distinct(),
+        hist.occurrences(),
+        hist.max_count()
+    );
+    println!("first bins: 1:{} 2:{} 3:{} 4:{} 5:{}",
+        hist.bin(1), hist.bin(2), hist.bin(3), hist.bin(4), hist.bin(5));
+    if let Some(valley) = hist.valley() {
+        if let Some(peak) = hist.coverage_peak(valley) {
+            println!(
+                "error tail bottoms out at count {valley}; coverage peak near count {peak}"
+            );
+        }
+    }
+
+    // 2. derive the threshold from the valley
+    match hist.suggest_threshold() {
+        Some(t) => {
+            println!("suggested threshold: {t} (valley between error and coverage peaks)");
+            params.kmer_threshold = t;
+            params.tile_threshold = t;
+        }
+        None => println!("histogram not bimodal; keeping configured thresholds"),
+    }
+
+    // 3. exact vs Bloom-filtered construction
+    let exact = LocalSpectra::build(&dataset.reads, &params);
+    let occurrences: usize =
+        dataset.reads.iter().map(|r| r.len().saturating_sub(params.k - 1)).sum();
+    let (bloomed, stats) = build_with_bloom(&dataset.reads, &params, occurrences, 0.001);
+    println!(
+        "exact build:  {} k-mers, {} tiles retained",
+        exact.kmers.len(),
+        exact.tiles.len()
+    );
+    println!(
+        "bloom build:  {} k-mers, {} tiles retained; {} k-mer first-sightings \
+         absorbed by a {:.1} MiB filter",
+        bloomed.kmers.len(),
+        bloomed.tiles.len(),
+        stats.kmer_singletons_filtered,
+        stats.filter_bytes as f64 / (1024.0 * 1024.0)
+    );
+
+    // 4. the two builds agree on every retained entry (mod rare FPs)
+    let mut disagreements = 0usize;
+    for (code, count) in exact.kmers.iter() {
+        if bloomed.kmers.count(code) != count {
+            disagreements += 1;
+        }
+    }
+    println!(
+        "spectra agreement: {disagreements} of {} entries differ (bloom false positives)",
+        exact.kmers.len()
+    );
+}

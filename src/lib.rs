@@ -1,0 +1,17 @@
+//! Umbrella crate: re-exports the whole workspace public API.
+//!
+//! This is the crate downstream users depend on; the individual member
+//! crates remain usable standalone.
+//!
+//! * [`dnaseq`] — sequence primitives (k-mers, tiles, qualities).
+//! * [`genio`] — FASTA/quality IO, parallel partitioning, synthetic data.
+//! * [`mpisim`] — the in-process message-passing runtime + BG/Q cost model.
+//! * [`reptile`] — the sequential Reptile corrector (baseline).
+//! * [`reptile_dist`] — the distributed-spectrum parallel corrector
+//!   (the IPDPSW'16 contribution).
+
+pub use dnaseq;
+pub use genio;
+pub use mpisim;
+pub use reptile;
+pub use reptile_dist;
