@@ -61,9 +61,7 @@ fn bench_fig7(c: &mut Criterion) {
     let p = smoke_params();
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    g.bench_function("fig7_drosophila_scaling", |b| {
-        b.iter(|| black_box(figures::fig7(&ds, p, 1)))
-    });
+    g.bench_function("fig7_drosophila_scaling", |b| b.iter(|| black_box(figures::fig7(&ds, p, 1))));
     g.finish();
 }
 

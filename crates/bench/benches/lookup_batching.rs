@@ -1,0 +1,57 @@
+//! Lookup-aggregation benchmark: base per-key round trips vs batched
+//! per-owner requests (the `aggregate_lookups` heuristic) on the smoke
+//! workload, reporting wall time per run plus the remote-message counts
+//! from [`reptile_dist::LookupStats`] — the quantity the aggregation is
+//! designed to minimize.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use reptile_bench::workloads::{smoke, smoke_params};
+use reptile_dist::{run_distributed, DistOutput, EngineConfig, HeuristicConfig};
+
+const NP: usize = 4;
+
+fn config(aggregate: bool) -> EngineConfig {
+    let mut cfg = EngineConfig::new(NP, smoke_params());
+    cfg.heuristics = HeuristicConfig { aggregate_lookups: aggregate, ..HeuristicConfig::base() };
+    cfg
+}
+
+fn message_counts(out: &DistOutput) -> (u64, u64, u64) {
+    let sum = |f: &dyn Fn(&reptile_dist::LookupStats) -> u64| -> u64 {
+        out.report.ranks.iter().map(|r| f(&r.lookups)).sum()
+    };
+    (sum(&|l| l.remote_messages), sum(&|l| l.batches_sent), sum(&|l| l.prefetch_hits))
+}
+
+fn bench_lookup_batching(c: &mut Criterion) {
+    let ds = smoke();
+    let base_cfg = config(false);
+    let agg_cfg = config(true);
+
+    // one instrumented run per mode for the message-count report
+    let base = run_distributed(&base_cfg, &ds.reads);
+    let agg = run_distributed(&agg_cfg, &ds.reads);
+    assert_eq!(base.corrected, agg.corrected, "aggregation must not change output");
+    let (base_msgs, _, _) = message_counts(&base);
+    let (agg_msgs, batches, hits) = message_counts(&agg);
+    println!("lookup_batching: remote request messages, np={NP}, {} reads", ds.reads.len());
+    println!("  per-key   {base_msgs:>10} messages");
+    println!(
+        "  aggregated{agg_msgs:>10} messages ({batches} batches, {hits} prefetch hits, {:.1}x fewer)",
+        base_msgs as f64 / agg_msgs.max(1) as f64
+    );
+
+    let mut g = c.benchmark_group("lookup_batching");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(ds.reads.len() as u64));
+    g.bench_function("per_key_np4", |b| {
+        b.iter(|| black_box(run_distributed(&base_cfg, &ds.reads)))
+    });
+    g.bench_function("aggregated_np4", |b| {
+        b.iter(|| black_box(run_distributed(&agg_cfg, &ds.reads)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookup_batching);
+criterion_main!(benches);

@@ -17,9 +17,7 @@ fn bench_spectrum_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("spectrum_build");
     g.sample_size(20);
     g.throughput(Throughput::Elements(ds.reads.len() as u64));
-    g.bench_function("sequential", |b| {
-        b.iter(|| black_box(LocalSpectra::build(&ds.reads, &p)))
-    });
+    g.bench_function("sequential", |b| b.iter(|| black_box(LocalSpectra::build(&ds.reads, &p))));
     g.bench_function("distributed_np4", |b| {
         b.iter(|| {
             let reads = &ds.reads;

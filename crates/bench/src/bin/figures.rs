@@ -15,7 +15,22 @@ use reptile_bench::workloads::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "partial", "ablation-chunk", "ablation-q", "baseline", "prior-art", "latency"]
+        vec![
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "partial",
+            "ablation-chunk",
+            "ablation-q",
+            "baseline",
+            "prior-art",
+            "latency",
+        ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
     };

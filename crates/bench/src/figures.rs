@@ -199,8 +199,16 @@ pub fn fig4(ds: &SyntheticDataset, params: ReptileParams, scale: usize) -> Fig4 
             slowest_comm: ranks.iter().map(|r| r.comm_secs).fold(0.0, f64::max),
             min_errors: ranks.iter().map(|r| r.correction.errors_corrected).min().unwrap_or(0),
             max_errors: ranks.iter().map(|r| r.correction.errors_corrected).max().unwrap_or(0),
-            min_tile_lookups: ranks.iter().map(|r| r.lookups.remote_tile_lookups).min().unwrap_or(0),
-            max_tile_lookups: ranks.iter().map(|r| r.lookups.remote_tile_lookups).max().unwrap_or(0),
+            min_tile_lookups: ranks
+                .iter()
+                .map(|r| r.lookups.remote_tile_lookups)
+                .min()
+                .unwrap_or(0),
+            max_tile_lookups: ranks
+                .iter()
+                .map(|r| r.lookups.remote_tile_lookups)
+                .max()
+                .unwrap_or(0),
         }
     };
     Fig4 { balanced: side(true), imbalanced: side(false) }
@@ -263,11 +271,7 @@ pub fn fig5(ds: &SyntheticDataset, params: ReptileParams, scale: usize) -> Vec<F
         (HeuristicConfig { replicate_kmers: true, ..Default::default() }, nodes * 8, 8, 2),
         (HeuristicConfig { replicate_tiles: true, ..Default::default() }, nodes * 8, 8, 2),
         (
-            HeuristicConfig {
-                keep_read_tables: true,
-                cache_remote: true,
-                ..Default::default()
-            },
+            HeuristicConfig { keep_read_tables: true, cache_remote: true, ..Default::default() },
             nodes * 32,
             32,
             2,
@@ -326,7 +330,11 @@ pub struct PartialRow {
 /// replication group size and chart the memory↔communication trade-off
 /// ("one of the approaches could be to only lower the memory footprint
 /// as much as needed").
-pub fn partial_sweep(ds: &SyntheticDataset, params: ReptileParams, scale: usize) -> Vec<PartialRow> {
+pub fn partial_sweep(
+    ds: &SyntheticDataset,
+    params: ReptileParams,
+    scale: usize,
+) -> Vec<PartialRow> {
     let np = 1024;
     // in-group lookup probability is g/np, so sweep g geometrically up to
     // full replication
@@ -378,7 +386,11 @@ pub struct LatencyRow {
 /// (~3 us) distribution costs single-digit factors; on commodity
 /// Ethernet (~30 us+) replication pulls far ahead — quantifying when the
 /// paper's memory-for-messages trade is cheap.
-pub fn latency_sweep(ds: &SyntheticDataset, params: ReptileParams, scale: usize) -> Vec<LatencyRow> {
+pub fn latency_sweep(
+    ds: &SyntheticDataset,
+    params: ReptileParams,
+    scale: usize,
+) -> Vec<LatencyRow> {
     let np = 1024;
     [1_000.0f64, 3_000.0, 10_000.0, 30_000.0, 100_000.0]
         .into_iter()
@@ -386,8 +398,7 @@ pub fn latency_sweep(ds: &SyntheticDataset, params: ReptileParams, scale: usize)
             let mut dist_cfg = config(np, 32, params, HeuristicConfig::default(), scale);
             dist_cfg.cost = mpisim::CostModel::bgq_with_latency(lat_ns);
             let dist = run_virtual(&dist_cfg, &ds.reads);
-            let mut repl_cfg =
-                config(np, 32, params, HeuristicConfig::replicate_both(), scale);
+            let mut repl_cfg = config(np, 32, params, HeuristicConfig::replicate_both(), scale);
             repl_cfg.cost = mpisim::CostModel::bgq_with_latency(lat_ns);
             let repl = run_virtual(&repl_cfg, &ds.reads);
             LatencyRow {
@@ -449,7 +460,13 @@ pub fn prior_art_comparison(
     let pa = run_prior_art_virtual(&pa_cfg, &ds.reads, &cost, scale as f64);
     let dist = run_virtual(&config(np, 32, params, HeuristicConfig::default(), scale), &ds.reads);
     let imb = run_virtual(
-        &config(np, 32, params, HeuristicConfig { load_balance: false, ..Default::default() }, scale),
+        &config(
+            np,
+            32,
+            params,
+            HeuristicConfig { load_balance: false, ..Default::default() },
+            scale,
+        ),
         &ds.reads,
     );
     let row = |method: &str, r: &reptile_dist::RunReport| PriorArtRow {
@@ -784,7 +801,9 @@ pub fn render_scaling(f: &ScalingFigure) -> String {
             r.construct_secs,
             r.correct_secs,
             r.correct_mean_secs,
-            r.imbalanced_correct_secs.map(|s| format!("{s:>12.1}")).unwrap_or_else(|| "      (n/a)".into()),
+            r.imbalanced_correct_secs
+                .map(|s| format!("{s:>12.1}"))
+                .unwrap_or_else(|| "      (n/a)".into()),
         ));
     }
     out.push_str(&format!(
@@ -927,8 +946,8 @@ mod tests {
             assert!((w[1].replicated_secs - w[0].replicated_secs).abs() < 1e-6);
         }
         let first_ratio = rows[0].distributed_secs / rows[0].replicated_secs;
-        let last_ratio = rows.last().unwrap().distributed_secs
-            / rows.last().unwrap().replicated_secs;
+        let last_ratio =
+            rows.last().unwrap().distributed_secs / rows.last().unwrap().replicated_secs;
         assert!(last_ratio > first_ratio, "penalty grows with latency");
     }
 

@@ -10,6 +10,7 @@
 //!   --batch-reads        per-chunk spectrum exchange (§III-B)
 //!   --read-tables        keep readsKmer/readsTile with global counts
 //!   --cache-remote       cache remote answers (needs --read-tables)
+//!   --aggregate          batch per-owner lookup aggregation (prefetch)
 //!   --replicate X        kmers | tiles | both (allgather heuristics)
 //!   --partial-group G    §V partial replication group size
 //!   --no-load-balance    disable the static shuffle (§III-A)

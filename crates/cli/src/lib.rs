@@ -107,6 +107,7 @@ pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageEr
     heur.batch_reads = args.has("batch-reads");
     heur.keep_read_tables = args.has("read-tables");
     heur.cache_remote = args.has("cache-remote");
+    heur.aggregate_lookups = args.has("aggregate");
     heur.load_balance = !args.has("no-load-balance");
     match args.value("replicate") {
         None => {}
@@ -175,6 +176,9 @@ mod tests {
         let a = parse(&["c", "--universal", "--batch-reads"]);
         let h = heuristics_from_args(&a).unwrap();
         assert!(h.universal && h.batch_reads && h.load_balance);
+        assert!(!h.aggregate_lookups);
+        let a = parse(&["c", "--aggregate"]);
+        assert!(heuristics_from_args(&a).unwrap().aggregate_lookups);
         let a = parse(&["c", "--replicate", "both", "--no-load-balance"]);
         let h = heuristics_from_args(&a).unwrap();
         assert!(h.replicate_kmers && h.replicate_tiles && !h.load_balance);
@@ -197,7 +201,8 @@ mod tests {
 
     #[test]
     fn params_from_config_copies_fields() {
-        let cfg = genio::RunConfig { k: 14, tile_overlap: 7, canonical: true, ..Default::default() };
+        let cfg =
+            genio::RunConfig { k: 14, tile_overlap: 7, canonical: true, ..Default::default() };
         let p = params_from_config(&cfg);
         assert_eq!(p.k, 14);
         assert_eq!(p.tile_overlap, 7);

@@ -39,12 +39,7 @@ impl BloomFilter {
     pub fn with_bits(bits: usize, hashes: u32) -> BloomFilter {
         assert!((1..=16).contains(&hashes), "unreasonable hash count {hashes}");
         let bits = bits.max(64).next_power_of_two();
-        BloomFilter {
-            bits: vec![0u64; bits / 64],
-            mask: bits as u64 - 1,
-            hashes,
-            inserted: 0,
-        }
+        BloomFilter { bits: vec![0u64; bits / 64], mask: bits as u64 - 1, hashes, inserted: 0 }
     }
 
     /// Size the filter for `n` expected items at `fp_rate` false-positive

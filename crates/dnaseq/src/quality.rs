@@ -41,9 +41,7 @@ impl QualityEncoding {
                 }
                 out
             }
-            QualityEncoding::SangerAscii => {
-                quals.iter().map(|&q| q.min(MAX_PHRED) + 33).collect()
-            }
+            QualityEncoding::SangerAscii => quals.iter().map(|&q| q.min(MAX_PHRED) + 33).collect(),
             QualityEncoding::Illumina13 => quals.iter().map(|&q| q.min(62) + 64).collect(),
         }
     }
@@ -67,13 +65,7 @@ impl QualityEncoding {
             }
             QualityEncoding::SangerAscii => bytes
                 .iter()
-                .map(|&c| {
-                    if (33..=33 + MAX_PHRED).contains(&c) {
-                        Some(c - 33)
-                    } else {
-                        None
-                    }
-                })
+                .map(|&c| if (33..=33 + MAX_PHRED).contains(&c) { Some(c - 33) } else { None })
                 .collect(),
             QualityEncoding::Illumina13 => bytes
                 .iter()

@@ -148,10 +148,7 @@ impl RunConfig {
             ));
         }
         if 2 * self.k - self.tile_overlap > 64 {
-            return err(format!(
-                "tile length {} exceeds 64 bases",
-                2 * self.k - self.tile_overlap
-            ));
+            return err(format!("tile length {} exceeds 64 bases", 2 * self.k - self.tile_overlap));
         }
         if self.chunk_size == 0 {
             return err("chunk_size must be positive".into());

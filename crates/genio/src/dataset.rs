@@ -137,9 +137,9 @@ impl DatasetProfile {
         let hotspots: Vec<(usize, usize)> = if self.hotspot_count == 0 {
             Vec::new()
         } else {
-            let span =
-                ((self.genome_len as f64 * self.hotspot_fraction) / self.hotspot_count as f64)
-                    .max(1.0) as usize;
+            let span = ((self.genome_len as f64 * self.hotspot_fraction)
+                / self.hotspot_count as f64)
+                .max(1.0) as usize;
             (0..self.hotspot_count)
                 .map(|i| {
                     let center = (i * 2 + 1) * self.genome_len / (self.hotspot_count * 2);
@@ -154,7 +154,8 @@ impl DatasetProfile {
         // Sample read start positions, then sort so errors cluster in file
         // order (see module docs).
         let max_start = self.genome_len - self.read_len;
-        let mut starts: Vec<usize> = (0..self.n_reads).map(|_| rng.gen_range(0..=max_start)).collect();
+        let mut starts: Vec<usize> =
+            (0..self.n_reads).map(|_| rng.gen_range(0..=max_start)).collect();
         starts.sort_unstable();
 
         let mut reads = Vec::with_capacity(self.n_reads);

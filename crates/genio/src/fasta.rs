@@ -43,8 +43,8 @@ pub fn parse_header(line: &[u8]) -> Result<u64> {
         )));
     }
     let digits = &line[1..];
-    let text = std::str::from_utf8(digits)
-        .map_err(|_| IoError::Malformed("non-UTF8 header".into()))?;
+    let text =
+        std::str::from_utf8(digits).map_err(|_| IoError::Malformed("non-UTF8 header".into()))?;
     text.trim()
         .parse::<u64>()
         .map_err(|_| IoError::Malformed(format!("header is not a sequence number: '>{text}'")))

@@ -70,8 +70,7 @@ impl<R: BufRead> FastqReader<R> {
                 String::from_utf8_lossy(&header[..header.len().min(20)])
             )));
         }
-        let name =
-            header[1..].split(|&c| c == b' ' || c == b'\t').next().unwrap_or(&[]).to_vec();
+        let name = header[1..].split(|&c| c == b' ' || c == b'\t').next().unwrap_or(&[]).to_vec();
         if !self.read_line()? {
             return Err(IoError::Malformed(format!("fastq record {n}: missing sequence")));
         }
@@ -80,9 +79,7 @@ impl<R: BufRead> FastqReader<R> {
             return Err(IoError::Malformed(format!("fastq record {n}: missing '+' line")));
         }
         if trim_eol(&self.line).first() != Some(&b'+') {
-            return Err(IoError::Malformed(format!(
-                "fastq record {n}: expected '+' separator"
-            )));
+            return Err(IoError::Malformed(format!("fastq record {n}: expected '+' separator")));
         }
         if !self.read_line()? {
             return Err(IoError::Malformed(format!("fastq record {n}: missing qualities")));
@@ -194,10 +191,10 @@ mod tests {
     #[test]
     fn malformed_inputs_rejected() {
         for bad in [
-            &b">r1\nACGT\n+\nIIII\n"[..],       // fasta header
-            &b"@r1\nACGT\n+\nIII\n"[..],        // short quality
-            &b"@r1\nACGT\nIIII\n"[..],          // missing +
-            &b"@r1\nACGT\n+\n"[..],             // truncated
+            &b">r1\nACGT\n+\nIIII\n"[..],             // fasta header
+            &b"@r1\nACGT\n+\nIII\n"[..],              // short quality
+            &b"@r1\nACGT\nIIII\n"[..],                // missing +
+            &b"@r1\nACGT\n+\n"[..],                   // truncated
             &b"@r1\nACGT\n+\n\x07\x07\x07\x07\n"[..], // qual out of range
         ] {
             let mut r = FastqReader::new(Cursor::new(bad.to_vec()));
@@ -231,10 +228,8 @@ mod tests {
     fn illumina13_encoding_honoured() {
         // 'h' = 104 → Q40 in offset-64; would be Q71 in Sanger
         let data = b"@r\nACGT\n+\nhhhh\n".to_vec();
-        let mut r = FastqReader::with_encoding(
-            Cursor::new(data.clone()),
-            QualityEncoding::Illumina13,
-        );
+        let mut r =
+            FastqReader::with_encoding(Cursor::new(data.clone()), QualityEncoding::Illumina13);
         let rec = r.next_record().unwrap().unwrap();
         assert_eq!(rec.qual, vec![40; 4]);
         let mut sanger = FastqReader::new(Cursor::new(data));
@@ -244,10 +239,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "DecimalText")]
     fn decimal_encoding_rejected_for_fastq() {
-        let _ = FastqReader::with_encoding(
-            Cursor::new(Vec::new()),
-            QualityEncoding::DecimalText,
-        );
+        let _ = FastqReader::with_encoding(Cursor::new(Vec::new()), QualityEncoding::DecimalText);
     }
 
     #[test]

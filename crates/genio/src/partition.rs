@@ -96,7 +96,12 @@ pub struct PartitionedReader {
 
 impl PartitionedReader {
     /// Open rank `rank`'s slice of the pair of files.
-    pub fn open(fasta_path: &Path, qual_path: &Path, np: usize, rank: usize) -> Result<PartitionedReader> {
+    pub fn open(
+        fasta_path: &Path,
+        qual_path: &Path,
+        np: usize,
+        rank: usize,
+    ) -> Result<PartitionedReader> {
         let size = File::open(fasta_path)?.metadata()?.len();
         let (lo, hi) = partition_range(size, np, rank);
         let start = next_header_at(fasta_path, lo)?;
@@ -284,11 +289,7 @@ mod tests {
     use dnaseq::Read;
 
     fn make_dataset(n: usize) -> (std::path::PathBuf, std::path::PathBuf, Vec<Read>) {
-        let dir = std::env::temp_dir().join(format!(
-            "genio-part-{}-{}",
-            std::process::id(),
-            n
-        ));
+        let dir = std::env::temp_dir().join(format!("genio-part-{}-{}", std::process::id(), n));
         std::fs::create_dir_all(&dir).unwrap();
         let reads: Vec<Read> = (1..=n as u64)
             .map(|id| {

@@ -111,12 +111,10 @@ mod tests {
 
     #[test]
     fn zip_builds_reads() {
-        let reads: Vec<_> = zip_records(
-            reader(b">1\nACGT\n>2\nGGTT\n"),
-            reader(b">1\n30 31 32 33\n>2\n2 2 2 2\n"),
-        )
-        .collect::<Result<_>>()
-        .unwrap();
+        let reads: Vec<_> =
+            zip_records(reader(b">1\nACGT\n>2\nGGTT\n"), reader(b">1\n30 31 32 33\n>2\n2 2 2 2\n"))
+                .collect::<Result<_>>()
+                .unwrap();
         assert_eq!(reads.len(), 2);
         assert_eq!(reads[0].seq, b"ACGT");
         assert_eq!(reads[0].qual, vec![30, 31, 32, 33]);

@@ -151,8 +151,7 @@ impl crate::comm::Comm {
         let out = if me == root {
             (0..cs.np)
                 .map(|src| {
-                    let boxed =
-                        cs.row[src].lock().take().expect("deposited before barrier");
+                    let boxed = cs.row[src].lock().take().expect("deposited before barrier");
                     *boxed.downcast::<Vec<T>>().expect("uniform gatherv element type")
                 })
                 .collect()

@@ -132,6 +132,14 @@ impl Comm {
         mailbox.arrived.notify_all();
     }
 
+    /// [`send`](Comm::send) from a borrowed buffer: one exact-size copy
+    /// into the transfer payload, so callers can reuse a scratch
+    /// serialization buffer across messages (MPI semantics — the send
+    /// buffer is the caller's to reuse once the call returns).
+    pub fn send_from_slice(&self, dst: usize, tag: u32, payload: &[u8]) {
+        self.send(dst, tag, payload.to_vec());
+    }
+
     /// Blocking receive of the first pending message matching the
     /// selectors (`MPI_Recv`).
     pub fn recv(&self, src: Source, tag: TagSel) -> Message {
@@ -191,9 +199,11 @@ impl Comm {
     pub fn iprobe(&self, src: Source, tag: TagSel) -> Option<MessageInfo> {
         let mailbox = &self.shared.mailboxes[self.rank];
         let q = mailbox.queue.lock();
-        q.iter()
-            .find(|m| src.matches(m.src) && tag.matches(m.tag))
-            .map(|m| MessageInfo { src: m.src, tag: m.tag, len: m.payload.len() })
+        q.iter().find(|m| src.matches(m.src) && tag.matches(m.tag)).map(|m| MessageInfo {
+            src: m.src,
+            tag: m.tag,
+            len: m.payload.len(),
+        })
     }
 
     /// Snapshot this rank's traffic counters.

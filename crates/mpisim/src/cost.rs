@@ -106,7 +106,12 @@ impl CostModel {
     /// Worker-visible time of one synchronous remote lookup (request out,
     /// service under load, response back). `intra_node` is whether the
     /// owner shares this rank's node.
-    pub fn lookup_roundtrip_ns(&self, req_bytes: usize, resp_bytes: usize, intra_node: bool) -> f64 {
+    pub fn lookup_roundtrip_ns(
+        &self,
+        req_bytes: usize,
+        resp_bytes: usize,
+        intra_node: bool,
+    ) -> f64 {
         self.message_ns(req_bytes, intra_node)
             + self.request_service_ns * self.service_queue_factor
             + self.message_ns(resp_bytes, intra_node)

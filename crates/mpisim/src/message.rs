@@ -77,9 +77,53 @@ impl WireWriter {
         self
     }
 
+    /// Append a `u32`-length-prefixed vector of `u64` (a derived
+    /// datatype for batched key requests).
+    pub fn put_u64s(&mut self, vs: &[u64]) -> &mut Self {
+        self.put_u32(vs.len() as u32);
+        self.buf.reserve(8 * vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a `u32`-length-prefixed vector of `u128`.
+    pub fn put_u128s(&mut self, vs: &[u128]) -> &mut Self {
+        self.put_u32(vs.len() as u32);
+        self.buf.reserve(16 * vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
+    /// Append a `u32`-length-prefixed vector of `i64` (batched counts).
+    pub fn put_i64s(&mut self, vs: &[i64]) -> &mut Self {
+        self.put_u32(vs.len() as u32);
+        self.buf.reserve(8 * vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+        self
+    }
+
     /// Finish and take the payload.
     pub fn finish(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Clear the buffer for reuse, keeping its allocation (hot request/
+    /// response paths reuse one scratch writer instead of allocating
+    /// per message).
+    pub fn reset(&mut self) -> &mut Self {
+        self.buf.clear();
+        self
+    }
+
+    /// The bytes written so far, without consuming the writer.
+    pub fn payload(&self) -> &[u8] {
+        &self.buf
     }
 }
 
@@ -132,6 +176,24 @@ impl<'a> WireReader<'a> {
         self.take(n)
     }
 
+    /// Read a `u32`-length-prefixed vector of `u64`.
+    pub fn get_u64s(&mut self) -> Vec<u64> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Read a `u32`-length-prefixed vector of `u128`.
+    pub fn get_u128s(&mut self) -> Vec<u128> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_u128()).collect()
+    }
+
+    /// Read a `u32`-length-prefixed vector of `i64`.
+    pub fn get_i64s(&mut self) -> Vec<i64> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_i64()).collect()
+    }
+
     /// Bytes remaining past the cursor.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
@@ -172,5 +234,33 @@ mod tests {
         let buf = w.finish();
         let mut r = WireReader::new(&buf);
         assert_eq!(r.get_bytes(), b"");
+    }
+
+    #[test]
+    fn vector_payloads_round_trip() {
+        let ks = vec![0u64, 1, u64::MAX, 0x1234_5678_9ABC_DEF0];
+        let ts = vec![u128::MAX, 0, 1u128 << 100];
+        let cs = vec![-1i64, 0, i64::MAX, i64::MIN];
+        let mut w = WireWriter::with_capacity(16);
+        w.put_u64s(&ks).put_u128s(&ts).put_i64s(&cs).put_u64s(&[]);
+        let buf = w.finish();
+        assert_eq!(buf.len(), 4 + 8 * 4 + 4 + 16 * 3 + 4 + 8 * 4 + 4);
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u64s(), ks);
+        assert_eq!(r.get_u128s(), ts);
+        assert_eq!(r.get_i64s(), cs);
+        assert_eq!(r.get_u64s(), Vec::<u64>::new());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reset_keeps_allocation_and_clears_content() {
+        let mut w = WireWriter::with_capacity(8);
+        w.put_u64(7);
+        assert_eq!(w.payload().len(), 8);
+        w.reset();
+        assert_eq!(w.payload(), b"");
+        w.put_u8(1);
+        assert_eq!(w.finish(), vec![1]);
     }
 }

@@ -68,13 +68,25 @@ impl TraceLog {
     /// Record a phase start.
     pub fn phase_start(&mut self, label: &'static str) {
         let at_us = self.stamp();
-        self.events.push(Event { at_us, kind: EventKind::PhaseStart, label, peer: usize::MAX, bytes: 0 });
+        self.events.push(Event {
+            at_us,
+            kind: EventKind::PhaseStart,
+            label,
+            peer: usize::MAX,
+            bytes: 0,
+        });
     }
 
     /// Record a phase end.
     pub fn phase_end(&mut self, label: &'static str) {
         let at_us = self.stamp();
-        self.events.push(Event { at_us, kind: EventKind::PhaseEnd, label, peer: usize::MAX, bytes: 0 });
+        self.events.push(Event {
+            at_us,
+            kind: EventKind::PhaseEnd,
+            label,
+            peer: usize::MAX,
+            bytes: 0,
+        });
     }
 
     /// Record a send.
@@ -92,13 +104,25 @@ impl TraceLog {
     /// Record a collective.
     pub fn collective(&mut self, label: &'static str, bytes: usize) {
         let at_us = self.stamp();
-        self.events.push(Event { at_us, kind: EventKind::Collective, label, peer: usize::MAX, bytes });
+        self.events.push(Event {
+            at_us,
+            kind: EventKind::Collective,
+            label,
+            peer: usize::MAX,
+            bytes,
+        });
     }
 
     /// Record a free-form marker.
     pub fn marker(&mut self, label: &'static str) {
         let at_us = self.stamp();
-        self.events.push(Event { at_us, kind: EventKind::Marker, label, peer: usize::MAX, bytes: 0 });
+        self.events.push(Event {
+            at_us,
+            kind: EventKind::Marker,
+            label,
+            peer: usize::MAX,
+            bytes: 0,
+        });
     }
 
     /// The recorded events, in order.
@@ -114,16 +138,10 @@ impl TraceLog {
     /// Duration of the named phase (first start to first matching end),
     /// microseconds. `None` when the phase never completed.
     pub fn phase_duration_us(&self, label: &str) -> Option<u64> {
-        let start = self
-            .events
-            .iter()
-            .find(|e| e.kind == EventKind::PhaseStart && e.label == label)?
-            .at_us;
-        let end = self
-            .events
-            .iter()
-            .find(|e| e.kind == EventKind::PhaseEnd && e.label == label)?
-            .at_us;
+        let start =
+            self.events.iter().find(|e| e.kind == EventKind::PhaseStart && e.label == label)?.at_us;
+        let end =
+            self.events.iter().find(|e| e.kind == EventKind::PhaseEnd && e.label == label)?.at_us;
         end.checked_sub(start)
     }
 }
@@ -214,7 +232,14 @@ mod tests {
         log.marker("m");
         log.phase_end("p");
         let text = render_timeline(&[log]);
-        for needle in ["begin p", "send  x -> r1 (10B)", "recv  y <- r2 (20B)", "coll  z (30B)", "mark  m", "end   p"] {
+        for needle in [
+            "begin p",
+            "send  x -> r1 (10B)",
+            "recv  y <- r2 (20B)",
+            "coll  z (30B)",
+            "mark  m",
+            "end   p",
+        ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
     }

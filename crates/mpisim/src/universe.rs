@@ -55,10 +55,7 @@ impl Universe {
                     scope.spawn(move || f(comm))
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
-                .collect()
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
         })
     }
 }

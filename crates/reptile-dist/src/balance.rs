@@ -144,9 +144,8 @@ mod tests {
             .collect();
         let (virt, sent) = shuffle_reads_virtual(batches.clone(), np);
         let reads_ref = &batches;
-        let threaded = Universe::new(np).run(move |comm| {
-            shuffle_reads(comm, reads_ref[comm.rank()].clone())
-        });
+        let threaded =
+            Universe::new(np).run(move |comm| shuffle_reads(comm, reads_ref[comm.rank()].clone()));
         assert_eq!(virt, threaded);
         // some traffic must have moved unless the hash magically matched
         assert!(sent.iter().sum::<u64>() > 0);

@@ -17,12 +17,14 @@ use crate::balance::shuffle_reads;
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use crate::protocol::{
-    decode_response, encode_response, LookupRequest, TAG_DONE, TAG_KMER_REQ, TAG_RESP,
-    TAG_TILE_REQ, TAG_UNIVERSAL,
+    count_to_wire, decode_response, encode_response_into, wire_to_count, BatchRequest,
+    BatchResponse, LookupRequest, MAX_BATCH_KEYS, TAG_BATCH_REQ, TAG_BATCH_RESP, TAG_DONE,
+    TAG_KMER_REQ, TAG_RESP, TAG_TILE_REQ, TAG_UNIVERSAL,
 };
 use crate::report::{LookupStats, RankReport, RunReport};
 use crate::spectrum::{build_distributed, RankTables};
-use dnaseq::Read;
+use dnaseq::{FxHashMap, Read};
+use mpisim::message::WireWriter;
 use mpisim::{Comm, CostModel, Source, TagSel, Topology, Universe};
 use reptile::spectrum::{KmerSpectrum, TileSpectrum};
 use reptile::{correct_read, CorrectionStats, ReptileParams, SpectrumAccess};
@@ -124,9 +126,9 @@ pub fn run_distributed_files(
         match (failed, mine) {
             (0, Ok(mine)) => Ok(run_rank(comm, mine, cfg)),
             (_, Err(e)) => Err(e),
-            (_, Ok(_)) => Err(genio::IoError::Malformed(
-                "aborted: input error on another rank".into(),
-            )),
+            (_, Ok(_)) => {
+                Err(genio::IoError::Malformed("aborted: input error on another rank".into()))
+            }
         }
     });
     // Surface the root-cause error, not a peer's "aborted" sentinel.
@@ -197,9 +199,10 @@ pub(crate) fn run_rank(
     let mut correction = CorrectionStats::default();
     let mut lookups = LookupStats::default();
     let mut comm_secs = 0.0;
-    let mut served = 0u64;
+    let mut served = ServedCounts::default();
     std::thread::scope(|s| {
-        let server = s.spawn(|| comm_thread(comm, &hash_kmers, &hash_tiles, cfg.heuristics.universal));
+        let server =
+            s.spawn(|| comm_thread(comm, &hash_kmers, &hash_tiles, cfg.heuristics.universal));
         let mut access = DistAccess {
             comm,
             me,
@@ -213,12 +216,27 @@ pub(crate) fn run_rank(
             group_kmers: &group_kmers,
             group_tiles: &group_tiles,
             heur: cfg.heuristics,
+            prefetch_kmers: FxHashMap::default(),
+            prefetch_tiles: FxHashMap::default(),
+            scratch: WireWriter::with_capacity(64),
             stats: LookupStats::default(),
             comm_secs: 0.0,
         };
-        for read in corrected.iter_mut() {
-            let outcome = correct_read(read, &mut access, &cfg.params);
-            correction.absorb(&outcome);
+        if cfg.heuristics.aggregate_lookups {
+            // aggregate mode: one batched prefetch round per chunk, then
+            // correct the chunk against the filled cache
+            for chunk in corrected.chunks_mut(cfg.chunk_size.max(1)) {
+                access.prefetch(chunk, &cfg.params);
+                for read in chunk.iter_mut() {
+                    let outcome = correct_read(read, &mut access, &cfg.params);
+                    correction.absorb(&outcome);
+                }
+            }
+        } else {
+            for read in corrected.iter_mut() {
+                let outcome = correct_read(read, &mut access, &cfg.params);
+                correction.absorb(&outcome);
+            }
         }
         // announce completion to every comm thread (including our own)
         for dst in 0..np {
@@ -228,7 +246,8 @@ pub(crate) fn run_rank(
         comm_secs = access.comm_secs;
         served = server.join().expect("comm thread panicked");
     });
-    lookups.requests_served = served;
+    lookups.requests_served = served.keys;
+    lookups.batches_served = served.batches;
     let correct_secs = t1.elapsed().as_secs_f64();
     comm.barrier();
 
@@ -247,17 +266,33 @@ pub(crate) fn run_rank(
     (corrected, report)
 }
 
+/// Serve counters returned by [`comm_thread`].
+#[derive(Clone, Copy, Debug, Default)]
+struct ServedCounts {
+    /// Lookups answered, counted per key (singles plus every key inside
+    /// a batch) so base and aggregate modes stay comparable.
+    keys: u64,
+    /// Batched requests answered.
+    batches: u64,
+}
+
 /// The communication thread: serve k-mer/tile count lookups against the
 /// *owned* tables until every rank's worker reports done.
-fn comm_thread(comm: &Comm, hash_kmers: &KmerSpectrum, hash_tiles: &TileSpectrum, universal: bool) -> u64 {
+fn comm_thread(
+    comm: &Comm,
+    hash_kmers: &KmerSpectrum,
+    hash_tiles: &TileSpectrum,
+    universal: bool,
+) -> ServedCounts {
     let req_tags: &[u32] = if universal {
-        &[TAG_UNIVERSAL, TAG_DONE]
+        &[TAG_UNIVERSAL, TAG_BATCH_REQ, TAG_DONE]
     } else {
-        &[TAG_KMER_REQ, TAG_TILE_REQ, TAG_DONE]
+        &[TAG_KMER_REQ, TAG_TILE_REQ, TAG_BATCH_REQ, TAG_DONE]
     };
     let np = comm.size();
     let mut done = 0usize;
-    let mut served = 0u64;
+    let mut served = ServedCounts::default();
+    let mut scratch = WireWriter::with_capacity(64);
     loop {
         let info = comm.probe_tags(Source::Any, req_tags);
         if info.tag == TAG_DONE {
@@ -269,12 +304,28 @@ fn comm_thread(comm: &Comm, hash_kmers: &KmerSpectrum, hash_tiles: &TileSpectrum
             continue;
         }
         let msg = comm.recv(Source::Rank(info.src), TagSel::Tag(info.tag));
+        if msg.tag == TAG_BATCH_REQ {
+            // one sweep over the owned tables answers the whole batch
+            let req = BatchRequest::decode(&msg.payload);
+            let resp = BatchResponse {
+                kmer_counts: req.kmers.iter().map(|&k| count_to_wire(hash_kmers.get(k))).collect(),
+                tile_counts: req.tiles.iter().map(|&t| count_to_wire(hash_tiles.get(t))).collect(),
+            };
+            scratch.reset();
+            let tag = resp.encode_into(&mut scratch);
+            comm.send_from_slice(msg.src, tag, scratch.payload());
+            served.keys += req.len() as u64;
+            served.batches += 1;
+            continue;
+        }
         let count = match LookupRequest::decode(msg.tag, &msg.payload) {
             LookupRequest::Kmer(code) => hash_kmers.get(code),
             LookupRequest::Tile(code) => hash_tiles.get(code),
         };
-        comm.send(msg.src, TAG_RESP, encode_response(count));
-        served += 1;
+        scratch.reset();
+        encode_response_into(count, &mut scratch);
+        comm.send_from_slice(msg.src, TAG_RESP, scratch.payload());
+        served.keys += 1;
     }
 }
 
@@ -293,6 +344,13 @@ struct DistAccess<'a> {
     group_kmers: &'a Option<KmerSpectrum>,
     group_tiles: &'a Option<TileSpectrum>,
     heur: HeuristicConfig,
+    /// Per-chunk prefetch cache (aggregate mode), filled from batch
+    /// responses with counts normalized like the single-key path
+    /// (nonexistent key → 0).
+    prefetch_kmers: FxHashMap<u64, u32>,
+    prefetch_tiles: FxHashMap<u128, u32>,
+    /// Reused encode buffer — no fresh `Vec` per request.
+    scratch: WireWriter,
     stats: LookupStats,
     comm_secs: f64,
 }
@@ -300,9 +358,14 @@ struct DistAccess<'a> {
 impl DistAccess<'_> {
     fn remote_lookup(&mut self, req: LookupRequest, owner: usize) -> u32 {
         let t = Instant::now();
-        let (tag, payload) =
-            if self.heur.universal { req.encode_universal() } else { req.encode_tagged() };
-        self.comm.send(owner, tag, payload);
+        self.scratch.reset();
+        let tag = if self.heur.universal {
+            req.encode_universal_into(&mut self.scratch)
+        } else {
+            req.encode_tagged_into(&mut self.scratch)
+        };
+        self.comm.send_from_slice(owner, tag, self.scratch.payload());
+        self.stats.remote_messages += 1;
         let resp = self.comm.recv(Source::Rank(owner), TagSel::Tag(TAG_RESP));
         self.comm_secs += t.elapsed().as_secs_f64();
         let count = decode_response(&resp.payload);
@@ -312,6 +375,117 @@ impl DistAccess<'_> {
             _ => {}
         }
         count.unwrap_or(0)
+    }
+
+    /// Owner of a k-mer key that would need a remote message right now —
+    /// `None` when the lookup chain resolves it locally. Mirrors
+    /// [`SpectrumAccess::kmer_count`]'s chain; `key` must already be
+    /// normalized (normalization is idempotent, so re-deriving the owner
+    /// from it is safe).
+    fn remote_kmer_owner(&self, key: u64) -> Option<usize> {
+        if self.replicated_kmers.is_some() {
+            return None;
+        }
+        let owner = self.owners.kmer_owner(key);
+        if self.group_kmers.is_some() {
+            let g = self.heur.partial_group;
+            if owner / g == self.me / g {
+                return None;
+            }
+        } else if owner == self.me {
+            return None;
+        }
+        if let Some(rk) = &self.reads_kmers {
+            if rk.get(key).is_some() {
+                return None;
+            }
+        }
+        Some(owner)
+    }
+
+    /// Tile twin of [`Self::remote_kmer_owner`].
+    fn remote_tile_owner(&self, key: u128) -> Option<usize> {
+        if self.replicated_tiles.is_some() {
+            return None;
+        }
+        let owner = self.owners.tile_owner(key);
+        if self.group_tiles.is_some() {
+            let g = self.heur.partial_group;
+            if owner / g == self.me / g {
+                return None;
+            }
+        } else if owner == self.me {
+            return None;
+        }
+        if let Some(rt) = &self.reads_tiles {
+            if rt.get(key).is_some() {
+                return None;
+            }
+        }
+        Some(owner)
+    }
+
+    /// Aggregate-lookups prefetch: enumerate every key `reads` can
+    /// request, keep the remote-destined ones, and fetch their counts
+    /// with one vectorized round trip per owning rank (split at
+    /// [`MAX_BATCH_KEYS`]). All batches go out before any response is
+    /// received: sends are buffered and comm threads always answer, so
+    /// this cannot deadlock, and per-pair FIFO ordering means each
+    /// owner's responses arrive in the order its batches were sent.
+    fn prefetch(&mut self, reads: &[Read], params: &ReptileParams) {
+        self.prefetch_kmers.clear();
+        self.prefetch_tiles.clear();
+        let keys = reptile::prefetch_keys(reads, params);
+        let t = Instant::now();
+        let mut per_owner: Vec<BatchRequest> = vec![BatchRequest::default(); self.owners.np()];
+        for &k in &keys.kmers {
+            if let Some(owner) = self.remote_kmer_owner(k) {
+                per_owner[owner].kmers.push(k);
+            }
+        }
+        for &tl in &keys.tiles {
+            if let Some(owner) = self.remote_tile_owner(tl) {
+                per_owner[owner].tiles.push(tl);
+            }
+        }
+        let mut sent: Vec<(usize, BatchRequest)> = Vec::new();
+        for (owner, mut req) in per_owner.into_iter().enumerate() {
+            while req.len() > MAX_BATCH_KEYS {
+                let take_k = req.kmers.len().min(MAX_BATCH_KEYS);
+                let part = BatchRequest {
+                    kmers: req.kmers.drain(..take_k).collect(),
+                    tiles: req.tiles.drain(..MAX_BATCH_KEYS - take_k).collect(),
+                };
+                self.send_batch(owner, &part);
+                sent.push((owner, part));
+            }
+            if !req.is_empty() {
+                self.send_batch(owner, &req);
+                sent.push((owner, req));
+            }
+        }
+        for (owner, req) in sent {
+            let resp = self.comm.recv(Source::Rank(owner), TagSel::Tag(TAG_BATCH_RESP));
+            let resp = BatchResponse::decode(&resp.payload);
+            debug_assert_eq!(resp.kmer_counts.len(), req.kmers.len());
+            debug_assert_eq!(resp.tile_counts.len(), req.tiles.len());
+            for (&k, &c) in req.kmers.iter().zip(&resp.kmer_counts) {
+                self.prefetch_kmers.insert(k, wire_to_count(c).unwrap_or(0));
+            }
+            for (&tl, &c) in req.tiles.iter().zip(&resp.tile_counts) {
+                self.prefetch_tiles.insert(tl, wire_to_count(c).unwrap_or(0));
+            }
+        }
+        self.comm_secs += t.elapsed().as_secs_f64();
+    }
+
+    fn send_batch(&mut self, owner: usize, req: &BatchRequest) {
+        self.scratch.reset();
+        let tag = req.encode_into(&mut self.scratch);
+        self.comm.send_from_slice(owner, tag, self.scratch.payload());
+        self.stats.batches_sent += 1;
+        self.stats.batched_keys += req.len() as u64;
+        self.stats.remote_messages += 1;
     }
 }
 
@@ -340,6 +514,11 @@ impl SpectrumAccess for DistAccess<'_> {
                 self.stats.cache_hits += 1;
                 return c;
             }
+        }
+        if let Some(&c) = self.prefetch_kmers.get(&key) {
+            self.stats.local_kmer_lookups += 1;
+            self.stats.prefetch_hits += 1;
+            return c;
         }
         self.stats.remote_kmer_lookups += 1;
         let count = self.remote_lookup(LookupRequest::Kmer(key), owner);
@@ -375,6 +554,11 @@ impl SpectrumAccess for DistAccess<'_> {
                 self.stats.cache_hits += 1;
                 return c;
             }
+        }
+        if let Some(&c) = self.prefetch_tiles.get(&key) {
+            self.stats.local_tile_lookups += 1;
+            self.stats.prefetch_hits += 1;
+            return c;
         }
         self.stats.remote_tile_lookups += 1;
         let count = self.remote_lookup(LookupRequest::Tile(key), owner);
@@ -457,6 +641,16 @@ mod tests {
             HeuristicConfig::paper_production(),
             HeuristicConfig { load_balance: false, ..Default::default() },
             HeuristicConfig { partial_group: 2, ..Default::default() },
+            HeuristicConfig { aggregate_lookups: true, ..Default::default() },
+            HeuristicConfig { aggregate_lookups: true, universal: true, ..Default::default() },
+            HeuristicConfig { aggregate_lookups: true, batch_reads: true, ..Default::default() },
+            HeuristicConfig {
+                aggregate_lookups: true,
+                keep_read_tables: true,
+                cache_remote: true,
+                ..Default::default()
+            },
+            HeuristicConfig { aggregate_lookups: true, partial_group: 2, ..Default::default() },
         ];
         for heur in heuristic_matrix {
             let cfg = EngineConfig {
@@ -489,9 +683,47 @@ mod tests {
         let out = run_distributed(&cfg, &reads);
         let total_remote: u64 = out.report.ranks.iter().map(|r| r.lookups.remote_total()).sum();
         assert!(total_remote > 0, "distributed spectrum must trigger remote lookups");
-        let total_served: u64 =
-            out.report.ranks.iter().map(|r| r.lookups.requests_served).sum();
+        let total_served: u64 = out.report.ranks.iter().map(|r| r.lookups.requests_served).sum();
         assert_eq!(total_served, total_remote, "every request is served exactly once");
+    }
+
+    #[test]
+    fn aggregation_matches_sequential_and_cuts_messages() {
+        let reads = dataset(60);
+        let base_cfg = EngineConfig::new(4, params());
+        let mut agg_cfg = EngineConfig::new(4, params());
+        agg_cfg.heuristics.aggregate_lookups = true;
+        // bit-identical output is asserted inside the helper
+        check_matches_sequential(&agg_cfg, &reads);
+
+        let base = run_distributed(&base_cfg, &reads);
+        let agg = run_distributed(&agg_cfg, &reads);
+        let msgs = |out: &DistOutput| -> u64 {
+            out.report.ranks.iter().map(|r| r.lookups.remote_messages).sum()
+        };
+        let (base_msgs, agg_msgs) = (msgs(&base), msgs(&agg));
+        assert!(agg_msgs > 0, "np=4 still needs batch messages");
+        assert!(
+            base_msgs >= 5 * agg_msgs,
+            "aggregation must cut request messages >= 5x (base {base_msgs}, agg {agg_msgs})"
+        );
+
+        // batch accounting: every batch sent is served exactly once, the
+        // per-key serve count covers singles + batched keys, and the bulk
+        // of lookups resolve from the prefetch cache
+        let sum = |f: &dyn Fn(&LookupStats) -> u64, out: &DistOutput| -> u64 {
+            out.report.ranks.iter().map(|r| f(&r.lookups)).sum()
+        };
+        assert_eq!(sum(&|l| l.batches_sent, &agg), sum(&|l| l.batches_served, &agg));
+        assert_eq!(
+            sum(&|l| l.requests_served, &agg),
+            sum(&|l| l.remote_total(), &agg) + sum(&|l| l.batched_keys, &agg)
+        );
+        assert!(sum(&|l| l.prefetch_hits, &agg) > 0);
+        assert!(sum(&|l| l.batched_keys, &agg) > 0);
+        assert_eq!(sum(&|l| l.batches_sent, &base), 0, "base mode must not batch");
+        // in base mode every remote lookup is exactly one request message
+        assert_eq!(base_msgs, sum(&|l| l.remote_total(), &base));
     }
 
     #[test]
@@ -517,8 +749,7 @@ mod tests {
         let base = run_distributed(&base_cfg, &reads);
         let cached = run_distributed(&cache_cfg, &reads);
         let base_remote: u64 = base.report.ranks.iter().map(|r| r.lookups.remote_total()).sum();
-        let cached_remote: u64 =
-            cached.report.ranks.iter().map(|r| r.lookups.remote_total()).sum();
+        let cached_remote: u64 = cached.report.ranks.iter().map(|r| r.lookups.remote_total()).sum();
         assert!(cached_remote <= base_remote);
         let hits: u64 = cached.report.ranks.iter().map(|r| r.lookups.cache_hits).sum();
         let base_hits: u64 = base.report.ranks.iter().map(|r| r.lookups.cache_hits).sum();

@@ -25,7 +25,7 @@
 use crate::balance::shuffle_reads_virtual;
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
-use crate::protocol::RESPONSE_BYTES;
+use crate::protocol::{MAX_BATCH_KEYS, RESPONSE_BYTES};
 use crate::report::{LookupStats, RankReport, RunReport};
 use crate::spectrum::BuildStats;
 use dnaseq::{FxHashSet, Read};
@@ -127,8 +127,10 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
     let mut corrected_all = Vec::with_capacity(reads.len());
     for (me, mine) in rank_reads.into_iter().enumerate() {
         // construction counters
-        let mut build = BuildStats::default();
-        build.batches = if cfg.heuristics.batch_reads { max_batches } else { 1 };
+        let mut build = BuildStats {
+            batches: if cfg.heuristics.batch_reads { max_batches } else { 1 },
+            ..Default::default()
+        };
         let mut nonowned_kmers: FxHashSet<u64> = FxHashSet::default();
         let mut nonowned_tiles: FxHashSet<u128> = FxHashSet::default();
         let mut chunk_start = 0usize;
@@ -190,22 +192,44 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
         };
 
         // --- correction (the real corrector, counted lookups) ---
+        let probe_extra = if cfg.heuristics.universal { 0.0 } else { cost.probe_ns };
         let mut access = VirtualAccess {
             spectra: &spectra,
             owners: &owners,
             me,
             heur: cfg.heuristics,
-            own_kmer_keys: if cfg.heuristics.keep_read_tables { Some(&nonowned_kmers) } else { None },
-            own_tile_keys: if cfg.heuristics.keep_read_tables { Some(&nonowned_tiles) } else { None },
+            own_kmer_keys: if cfg.heuristics.keep_read_tables {
+                Some(&nonowned_kmers)
+            } else {
+                None
+            },
+            own_tile_keys: if cfg.heuristics.keep_read_tables {
+                Some(&nonowned_tiles)
+            } else {
+                None
+            },
             cached_kmers: FxHashSet::default(),
             cached_tiles: FxHashSet::default(),
+            prefetch_kmers: FxHashSet::default(),
+            prefetch_tiles: FxHashSet::default(),
+            batch_comm_ns: 0.0,
             stats: LookupStats::default(),
         };
         let mut correction = CorrectionStats::default();
         let mut corrected = mine;
-        for read in corrected.iter_mut() {
-            let outcome = correct_read(read, &mut access, &cfg.params);
-            correction.absorb(&outcome);
+        if cfg.heuristics.aggregate_lookups {
+            for chunk in corrected.chunks_mut(cfg.chunk_size.max(1)) {
+                access.prefetch(chunk, &cfg.params, cost, np, rpn, probe_extra);
+                for read in chunk.iter_mut() {
+                    let outcome = correct_read(read, &mut access, &cfg.params);
+                    correction.absorb(&outcome);
+                }
+            }
+        } else {
+            for read in corrected.iter_mut() {
+                let outcome = correct_read(read, &mut access, &cfg.params);
+                correction.absorb(&outcome);
+            }
         }
         let lookups = access.stats;
         let cached_entries = (access.cached_kmers.len() + access.cached_tiles.len()) as u64;
@@ -216,23 +240,22 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
                 + (build.kmers_extracted + build.tiles_extracted) as f64 * cost.hash_insert_ns;
             // exchanges: each batch round ships the reads tables; bytes
             // approximated by entry counts × wire width
-            let exchange_bytes = (build.peak_reads_kmers * 12 + build.peak_reads_tiles * 20)
-                .max(shuffle_bytes[me]);
-            let collectives =
-                build.batches as f64 * cost.alltoallv_ns(np, exchange_bytes as usize);
+            let exchange_bytes =
+                (build.peak_reads_kmers * 12 + build.peak_reads_tiles * 20).max(shuffle_bytes[me]);
+            let collectives = build.batches as f64 * cost.alltoallv_ns(np, exchange_bytes as usize);
             (compute + collectives) * smt
         };
         let local_lookups = lookups.local_kmer_lookups + lookups.local_tile_lookups;
         let compute_ns = local_lookups as f64 * cost.hash_lookup_ns
             + corrected.iter().map(|r| r.len() as u64).sum::<u64>() as f64 * cost.per_base_ns;
-        let probe_extra = if cfg.heuristics.universal { 0.0 } else { cost.probe_ns };
         let kmer_req_bytes = if cfg.heuristics.universal { 9 } else { 8 };
         let tile_req_bytes = if cfg.heuristics.universal { 17 } else { 16 };
         let comm_ns = lookups.remote_kmer_lookups as f64
             * (cost.avg_lookup_roundtrip_ns(kmer_req_bytes, RESPONSE_BYTES, np, rpn) + probe_extra)
             + lookups.remote_tile_lookups as f64
                 * (cost.avg_lookup_roundtrip_ns(tile_req_bytes, RESPONSE_BYTES, np, rpn)
-                    + probe_extra);
+                    + probe_extra)
+            + access.batch_comm_ns;
         let correct_ns = (compute_ns + comm_ns) * smt;
 
         // entry counts scale linearly with dataset size, so paper-scale
@@ -284,15 +307,17 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
 /// share proportional to spectrum ownership, which Fig 3 shows is uniform
 /// to within 1–2%.
 fn distribute_service_counts(ranks: &mut [RankReport]) {
-    let total_remote: u64 = ranks.iter().map(|r| r.lookups.remote_total()).sum();
-    let total_owned: u64 =
-        ranks.iter().map(|r| r.build.owned_kmers + r.build.owned_tiles).sum();
+    let total_keys: u64 =
+        ranks.iter().map(|r| r.lookups.remote_total() + r.lookups.batched_keys).sum();
+    let total_batches: u64 = ranks.iter().map(|r| r.lookups.batches_sent).sum();
+    let total_owned: u64 = ranks.iter().map(|r| r.build.owned_kmers + r.build.owned_tiles).sum();
     if total_owned == 0 {
         return;
     }
     for r in ranks.iter_mut() {
         let share = (r.build.owned_kmers + r.build.owned_tiles) as f64 / total_owned as f64;
-        r.lookups.requests_served = (total_remote as f64 * share).round() as u64;
+        r.lookups.requests_served = (total_keys as f64 * share).round() as u64;
+        r.lookups.batches_served = (total_batches as f64 * share).round() as u64;
     }
 }
 
@@ -310,7 +335,87 @@ struct VirtualAccess<'a> {
     own_tile_keys: Option<&'a FxHashSet<u128>>,
     cached_kmers: FxHashSet<u64>,
     cached_tiles: FxHashSet<u128>,
+    /// Aggregate mode: keys whose counts the current chunk's batch round
+    /// fetched (counts come from the global spectra either way, so only
+    /// membership must be modeled).
+    prefetch_kmers: FxHashSet<u64>,
+    prefetch_tiles: FxHashSet<u128>,
+    /// Modeled nanoseconds spent on batch round trips.
+    batch_comm_ns: f64,
     stats: LookupStats,
+}
+
+impl VirtualAccess<'_> {
+    /// Whether the lookup chain would resolve this k-mer key without a
+    /// message right now (mirrors `kmer_count` up to the remote branch).
+    fn kmer_is_local(&self, key: u64) -> bool {
+        let owner = self.owners.kmer_owner(key);
+        let g = self.heur.partial_group;
+        let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
+        self.heur.replicate_kmers
+            || in_group
+            || self.own_kmer_keys.is_some_and(|keys| keys.contains(&key))
+            || (self.heur.cache_remote && self.cached_kmers.contains(&key))
+    }
+
+    /// Tile twin of [`Self::kmer_is_local`].
+    fn tile_is_local(&self, key: u128) -> bool {
+        let owner = self.owners.tile_owner(key);
+        let g = self.heur.partial_group;
+        let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
+        self.heur.replicate_tiles
+            || in_group
+            || self.own_tile_keys.is_some_and(|keys| keys.contains(&key))
+            || (self.heur.cache_remote && self.cached_tiles.contains(&key))
+    }
+
+    /// Modeled counterpart of `engine_mt`'s batched prefetch: enumerate
+    /// the chunk's keys, keep the remote-destined ones, fill the prefetch
+    /// sets, and charge one vectorized round trip per owner (split at
+    /// [`MAX_BATCH_KEYS`], same peel order as the threaded engine).
+    fn prefetch(
+        &mut self,
+        reads: &[Read],
+        params: &ReptileParams,
+        cost: &CostModel,
+        np: usize,
+        rpn: usize,
+        probe_extra: f64,
+    ) {
+        self.prefetch_kmers.clear();
+        self.prefetch_tiles.clear();
+        let keys = reptile::prefetch_keys(reads, params);
+        let mut per_owner_k = vec![0usize; np];
+        let mut per_owner_t = vec![0usize; np];
+        for &k in &keys.kmers {
+            if !self.kmer_is_local(k) {
+                per_owner_k[self.owners.kmer_owner(k)] += 1;
+                self.prefetch_kmers.insert(k);
+            }
+        }
+        for &tl in &keys.tiles {
+            if !self.tile_is_local(tl) {
+                per_owner_t[self.owners.tile_owner(tl)] += 1;
+                self.prefetch_tiles.insert(tl);
+            }
+        }
+        for owner in 0..np {
+            let (mut rem_k, mut rem_t) = (per_owner_k[owner], per_owner_t[owner]);
+            while rem_k + rem_t > 0 {
+                let take_k = rem_k.min(MAX_BATCH_KEYS);
+                let take_t = rem_t.min(MAX_BATCH_KEYS - take_k);
+                let req_bytes = 8 + 8 * take_k + 16 * take_t;
+                let resp_bytes = 8 + 8 * (take_k + take_t);
+                self.batch_comm_ns +=
+                    cost.avg_lookup_roundtrip_ns(req_bytes, resp_bytes, np, rpn) + probe_extra;
+                self.stats.batches_sent += 1;
+                self.stats.batched_keys += (take_k + take_t) as u64;
+                self.stats.remote_messages += 1;
+                rem_k -= take_k;
+                rem_t -= take_t;
+            }
+        }
+    }
 }
 
 impl SpectrumAccess for VirtualAccess<'_> {
@@ -336,7 +441,13 @@ impl SpectrumAccess for VirtualAccess<'_> {
             self.stats.cache_hits += 1;
             return count;
         }
+        if self.prefetch_kmers.contains(&key) {
+            self.stats.local_kmer_lookups += 1;
+            self.stats.prefetch_hits += 1;
+            return count;
+        }
         self.stats.remote_kmer_lookups += 1;
+        self.stats.remote_messages += 1;
         if count == 0 {
             self.stats.remote_kmer_misses += 1;
         }
@@ -369,7 +480,13 @@ impl SpectrumAccess for VirtualAccess<'_> {
             self.stats.cache_hits += 1;
             return count;
         }
+        if self.prefetch_tiles.contains(&key) {
+            self.stats.local_tile_lookups += 1;
+            self.stats.prefetch_hits += 1;
+            return count;
+        }
         self.stats.remote_tile_lookups += 1;
+        self.stats.remote_messages += 1;
         if count == 0 {
             self.stats.remote_tile_misses += 1;
         }
@@ -438,6 +555,15 @@ mod tests {
             HeuristicConfig { batch_reads: true, ..Default::default() },
             HeuristicConfig::paper_production(),
             HeuristicConfig { load_balance: false, ..Default::default() },
+            HeuristicConfig { aggregate_lookups: true, ..Default::default() },
+            HeuristicConfig { aggregate_lookups: true, universal: true, ..Default::default() },
+            HeuristicConfig { aggregate_lookups: true, batch_reads: true, ..Default::default() },
+            HeuristicConfig {
+                aggregate_lookups: true,
+                keep_read_tables: true,
+                cache_remote: true,
+                ..Default::default()
+            },
         ];
         for heur in matrix {
             let mut cfg = VirtualConfig::new(13, params());
@@ -453,12 +579,8 @@ mod tests {
         // stay in the strong-scaling regime: >= ~100 reads per rank
         let reads = dataset(2000);
         let t_small = run_virtual(&VirtualConfig::new(4, params()), &reads).report.makespan_secs();
-        let t_large =
-            run_virtual(&VirtualConfig::new(16, params()), &reads).report.makespan_secs();
-        assert!(
-            t_large < t_small,
-            "strong scaling must reduce makespan: {t_small} -> {t_large}"
-        );
+        let t_large = run_virtual(&VirtualConfig::new(16, params()), &reads).report.makespan_secs();
+        assert!(t_large < t_small, "strong scaling must reduce makespan: {t_small} -> {t_large}");
     }
 
     #[test]
@@ -470,10 +592,7 @@ mod tests {
         let repl = run_virtual(&cfg, &reads);
         assert!(repl.report.correct_secs() < base.report.correct_secs());
         assert!(repl.report.peak_memory_bytes() > base.report.peak_memory_bytes());
-        assert_eq!(
-            repl.report.ranks.iter().map(|r| r.lookups.remote_total()).sum::<u64>(),
-            0
-        );
+        assert_eq!(repl.report.ranks.iter().map(|r| r.lookups.remote_total()).sum::<u64>(), 0);
     }
 
     #[test]
@@ -485,9 +604,7 @@ mod tests {
         let uni = run_virtual(&cfg, &reads);
         assert!(uni.report.correct_secs() < base.report.correct_secs());
         // same memory
-        assert!(
-            (uni.report.peak_memory_bytes() - base.report.peak_memory_bytes()).abs() < 1.0
-        );
+        assert!((uni.report.peak_memory_bytes() - base.report.peak_memory_bytes()).abs() < 1.0);
     }
 
     #[test]
@@ -543,6 +660,38 @@ mod tests {
             let run = run_virtual(&cfg, &reads);
             assert_eq!(run.corrected, seq_out, "g={g}");
         }
+    }
+
+    #[test]
+    fn aggregation_cuts_modeled_messages_and_comm_time() {
+        let reads = dataset(200);
+        let base = run_virtual(&VirtualConfig::new(16, params()), &reads);
+        let mut cfg = VirtualConfig::new(16, params());
+        cfg.heuristics.aggregate_lookups = true;
+        let agg = run_virtual(&cfg, &reads);
+        assert_eq!(agg.corrected, base.corrected, "aggregation must not change output");
+        let msgs = |run: &VirtualRun| -> u64 {
+            run.report.ranks.iter().map(|r| r.lookups.remote_messages).sum()
+        };
+        let (base_msgs, agg_msgs) = (msgs(&base), msgs(&agg));
+        assert!(agg_msgs > 0);
+        assert!(
+            base_msgs >= 5 * agg_msgs,
+            "modeled message cut >= 5x (base {base_msgs}, agg {agg_msgs})"
+        );
+        let comm = |run: &VirtualRun| -> f64 { run.report.ranks.iter().map(|r| r.comm_secs).sum() };
+        assert!(
+            comm(&agg) < comm(&base),
+            "fewer round trips must lower modeled comm time ({} vs {})",
+            comm(&agg),
+            comm(&base)
+        );
+        let hits: u64 = agg.report.ranks.iter().map(|r| r.lookups.prefetch_hits).sum();
+        assert!(hits > 0, "prefetch cache must serve lookups");
+        let batches: u64 = agg.report.ranks.iter().map(|r| r.lookups.batches_sent).sum();
+        let served: u64 = agg.report.ranks.iter().map(|r| r.lookups.batches_served).sum();
+        assert!(batches > 0);
+        assert!(served > 0, "service shares must attribute batches to owners");
     }
 
     #[test]

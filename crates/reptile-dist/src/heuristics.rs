@@ -44,6 +44,15 @@ pub struct HeuristicConfig {
     /// each rank to store the k-mers and tiles of a subset of other
     /// ranks, besides the k-mers and the tiles the rank owns."
     pub partial_group: usize,
+    /// *Aggregate lookups* (extension beyond the paper, after diBELLA's
+    /// per-destination request aggregation): before correcting a chunk
+    /// of reads, enumerate every key the corrector can touch
+    /// (`reptile::prefetch`), and fetch all counts owned by each remote
+    /// rank with **one** vectorized `TAG_BATCH_REQ` round trip instead
+    /// of a synchronous round trip per key. Answers land in a prefetch
+    /// cache consulted before the single-key fallback; output stays
+    /// bit-identical.
+    pub aggregate_lookups: bool,
 }
 
 impl Default for HeuristicConfig {
@@ -59,6 +68,7 @@ impl Default for HeuristicConfig {
             batch_reads: false,
             load_balance: true,
             partial_group: 1,
+            aggregate_lookups: false,
         }
     }
 }
@@ -145,6 +155,9 @@ impl HeuristicConfig {
         if self.partial_group > 1 {
             parts.push("partial-repl");
         }
+        if self.aggregate_lookups {
+            parts.push("agg-lookups");
+        }
         if !self.load_balance {
             parts.push("imbalanced");
         }
@@ -221,5 +234,23 @@ mod tests {
         assert_eq!(HeuristicConfig::replicate_both().label(), "repl-both");
         let imb = HeuristicConfig { load_balance: false, ..HeuristicConfig::default() };
         assert_eq!(imb.label(), "imbalanced");
+        let agg = HeuristicConfig { aggregate_lookups: true, ..HeuristicConfig::default() };
+        assert_eq!(agg.label(), "agg-lookups");
+    }
+
+    #[test]
+    fn aggregate_composes_with_other_heuristics() {
+        for h in [
+            HeuristicConfig { aggregate_lookups: true, ..HeuristicConfig::default() },
+            HeuristicConfig { aggregate_lookups: true, ..HeuristicConfig::paper_production() },
+            HeuristicConfig {
+                aggregate_lookups: true,
+                keep_read_tables: true,
+                cache_remote: true,
+                ..HeuristicConfig::default()
+            },
+        ] {
+            h.validate().unwrap();
+        }
     }
 }

@@ -48,4 +48,4 @@ pub use engine_virtual::VirtualConfig;
 pub use engine_virtual::{run_virtual, VirtualRun};
 pub use heuristics::HeuristicConfig;
 pub use prior_art::{run_prior_art, run_prior_art_virtual, PriorArtConfig};
-pub use report::{RankReport, RunReport};
+pub use report::{LookupStats, RankReport, RunReport};

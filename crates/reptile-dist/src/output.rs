@@ -12,7 +12,7 @@
 //! k-way merge over already-sorted shards.
 
 use dnaseq::Read;
-use genio::fasta::{RecordReader, write_record};
+use genio::fasta::{write_record, RecordReader};
 use genio::{IoError, Result};
 use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -65,11 +65,7 @@ pub fn merge_shards(dir: &Path, stem: &str, np: usize, out_path: &Path) -> Resul
     let mut last_id = 0u64;
     while !heads.is_empty() {
         // smallest head wins; np is small so a linear scan beats a heap
-        let (idx, _) = heads
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, h)| h.id)
-            .expect("non-empty");
+        let (idx, _) = heads.iter().enumerate().min_by_key(|(_, h)| h.id).expect("non-empty");
         let head = &mut heads[idx];
         if head.id <= last_id && written > 0 {
             return Err(IoError::Mismatch(format!(
@@ -105,7 +101,8 @@ mod tests {
     }
 
     fn read(id: u64) -> Read {
-        let seq: Vec<u8> = (0..12).map(|j| [b'A', b'C', b'G', b'T'][(id as usize + j) % 4]).collect();
+        let seq: Vec<u8> =
+            (0..12).map(|j| [b'A', b'C', b'G', b'T'][(id as usize + j) % 4]).collect();
         Read::new(id, seq, vec![30; 12])
     }
 
@@ -149,20 +146,14 @@ mod tests {
         let per_rank: Vec<Vec<Read>> = vec![vec![read(5)], vec![read(5)]];
         write_all_shards(&dir, "out", &per_rank).unwrap();
         let merged = dir.join("merged.fa");
-        assert!(matches!(
-            merge_shards(&dir, "out", 2, &merged),
-            Err(IoError::Mismatch(_))
-        ));
+        assert!(matches!(merge_shards(&dir, "out", 2, &merged), Err(IoError::Mismatch(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn missing_shard_is_io_error() {
         let dir = tempdir("missing");
-        assert!(matches!(
-            merge_shards(&dir, "out", 2, &dir.join("m.fa")),
-            Err(IoError::Io(_))
-        ));
+        assert!(matches!(merge_shards(&dir, "out", 2, &dir.join("m.fa")), Err(IoError::Io(_))));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

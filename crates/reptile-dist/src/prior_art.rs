@@ -129,10 +129,11 @@ pub fn run_prior_art(cfg: &PriorArtConfig, reads: &[Read]) -> crate::DistOutput 
                 let hi = (lo + cfg.chunk_size).min(reads.len());
                 for read in &reads[lo..hi] {
                     let mut read = read.clone();
-                    let outcome = correct_read(&mut read, &mut CountingLocal {
-                        spectra: &mut spectra,
-                        lookups: &mut lookups,
-                    }, &cfg.params);
+                    let outcome = correct_read(
+                        &mut read,
+                        &mut CountingLocal { spectra: &mut spectra, lookups: &mut lookups },
+                        &cfg.params,
+                    );
                     correction.absorb(&outcome);
                     corrected.push(read);
                 }
@@ -237,16 +238,13 @@ pub fn run_prior_art_virtual(
     let mut rank_lookups = vec![LookupStats::default(); np];
     let mut rank_reads = vec![0u64; np];
     for c in 0..n_chunks {
-        let rank = (0..np)
-            .min_by(|&a, &b| rank_clock[a].total_cmp(&rank_clock[b]))
-            .expect("np >= 1");
+        let rank =
+            (0..np).min_by(|&a, &b| rank_clock[a].total_cmp(&rank_clock[b])).expect("np >= 1");
         rank_clock[rank] += chunk_cost_ns[c] + master_rt;
         rank_correction[rank].merge(&chunk_stats[c].0);
         rank_lookups[rank].merge(&chunk_stats[c].1);
-        rank_reads[rank] += reads
-            .len()
-            .min((c + 1) * cfg.chunk_size)
-            .saturating_sub(c * cfg.chunk_size) as u64;
+        rank_reads[rank] +=
+            reads.len().min((c + 1) * cfg.chunk_size).saturating_sub(c * cfg.chunk_size) as u64;
     }
 
     let full_k = spectra.kmers.len() as u64;
@@ -261,10 +259,8 @@ pub fn run_prior_art_virtual(
             construct_secs: 0.0,
             correct_secs: rank_clock[r] * smt * 1e-9 * scale,
             comm_secs: 0.0,
-            memory_bytes: cost.rank_memory_bytes(
-                (full_k as f64 * scale) as u64,
-                (full_t as f64 * scale) as u64,
-            ),
+            memory_bytes: cost
+                .rank_memory_bytes((full_k as f64 * scale) as u64, (full_t as f64 * scale) as u64),
         })
         .collect();
     RunReport { ranks, topology: cfg.topology, cost: *cost }

@@ -19,6 +19,15 @@
 //! Responses carry an `i64` count, `-1` for "does not exist" (we could
 //! use 0, but we keep the paper's sentinel on the wire and normalize at
 //! the caller).
+//!
+//! Beyond the paper, the `aggregate_lookups` heuristic adds a
+//! **batched** encoding ([`BatchRequest`]/[`BatchResponse`]): all keys a
+//! chunk of reads can touch at one owner travel in a single vectorized
+//! message (`n × u64` k-mer keys + `n × u128` tile keys), and the owner
+//! answers with one message of `n × i64` counts in key order, keeping
+//! the `-1` sentinel per key. This is the request-aggregation idiom of
+//! diBELLA / Extreme-Scale Metagenome Assembly (PAPERS.md) applied to
+//! the Reptile step IV.
 
 use mpisim::message::{WireReader, WireWriter};
 
@@ -32,6 +41,14 @@ pub const TAG_UNIVERSAL: u32 = 0x12;
 pub const TAG_RESP: u32 = 0x13;
 /// Tag announcing "my worker finished all its reads" (termination).
 pub const TAG_DONE: u32 = 0x14;
+/// Tag for batched (aggregated) key requests.
+pub const TAG_BATCH_REQ: u32 = 0x15;
+/// Tag for batched count responses.
+pub const TAG_BATCH_RESP: u32 = 0x16;
+
+/// Maximum keys (k-mers + tiles) per batch message; larger key sets are
+/// split so a single request cannot grow unboundedly.
+pub const MAX_BATCH_KEYS: usize = 1 << 16;
 
 /// A decoded lookup request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,16 +62,22 @@ pub enum LookupRequest {
 impl LookupRequest {
     /// Encode for base (tagged) mode: `(tag, payload)`.
     pub fn encode_tagged(&self) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(16);
+        let tag = self.encode_tagged_into(&mut w);
+        (tag, w.finish())
+    }
+
+    /// Encode for base (tagged) mode into a reusable scratch writer
+    /// (call [`WireWriter::reset`] first); returns the tag.
+    pub fn encode_tagged_into(&self, w: &mut WireWriter) -> u32 {
         match *self {
             LookupRequest::Kmer(code) => {
-                let mut w = WireWriter::with_capacity(8);
                 w.put_u64(code);
-                (TAG_KMER_REQ, w.finish())
+                TAG_KMER_REQ
             }
             LookupRequest::Tile(code) => {
-                let mut w = WireWriter::with_capacity(16);
                 w.put_u128(code);
-                (TAG_TILE_REQ, w.finish())
+                TAG_TILE_REQ
             }
         }
     }
@@ -63,6 +86,13 @@ impl LookupRequest {
     /// kind byte leading.
     pub fn encode_universal(&self) -> (u32, Vec<u8>) {
         let mut w = WireWriter::with_capacity(17);
+        let tag = self.encode_universal_into(&mut w);
+        (tag, w.finish())
+    }
+
+    /// Encode for universal mode into a reusable scratch writer; returns
+    /// [`TAG_UNIVERSAL`].
+    pub fn encode_universal_into(&self, w: &mut WireWriter) -> u32 {
         match *self {
             LookupRequest::Kmer(code) => {
                 w.put_u8(0);
@@ -73,7 +103,7 @@ impl LookupRequest {
                 w.put_u128(code);
             }
         }
-        (TAG_UNIVERSAL, w.finish())
+        TAG_UNIVERSAL
     }
 
     /// Decode a request delivered with `tag`.
@@ -108,13 +138,32 @@ impl LookupRequest {
 /// Encode a count response: the paper's `-1` sentinel for "nonexistent".
 pub fn encode_response(count: Option<u32>) -> Vec<u8> {
     let mut w = WireWriter::with_capacity(8);
-    w.put_i64(count.map(|c| c as i64).unwrap_or(-1));
+    encode_response_into(count, &mut w);
     w.finish()
+}
+
+/// Encode a count response into a reusable scratch writer.
+pub fn encode_response_into(count: Option<u32>, w: &mut WireWriter) {
+    w.put_i64(count_to_wire(count));
 }
 
 /// Decode a count response back to `Option<count>`.
 pub fn decode_response(payload: &[u8]) -> Option<u32> {
-    let v = WireReader::new(payload).get_i64();
+    wire_to_count(WireReader::new(payload).get_i64())
+}
+
+/// Wire size of a response.
+pub const RESPONSE_BYTES: usize = 8;
+
+/// Map a table lookup onto the wire sentinel (`-1` = nonexistent).
+#[inline]
+pub fn count_to_wire(count: Option<u32>) -> i64 {
+    count.map(|c| c as i64).unwrap_or(-1)
+}
+
+/// Map the wire sentinel back to a table lookup result.
+#[inline]
+pub fn wire_to_count(v: i64) -> Option<u32> {
     if v < 0 {
         None
     } else {
@@ -122,8 +171,91 @@ pub fn decode_response(payload: &[u8]) -> Option<u32> {
     }
 }
 
-/// Wire size of a response.
-pub const RESPONSE_BYTES: usize = 8;
+/// A batched key request: every key one chunk of reads can touch at a
+/// single owning rank, in one message.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Normalized k-mer keys (the sender keeps them sorted/deduped).
+    pub kmers: Vec<u64>,
+    /// Normalized tile keys.
+    pub tiles: Vec<u128>,
+}
+
+impl BatchRequest {
+    /// Total keys in the batch.
+    pub fn len(&self) -> usize {
+        self.kmers.len() + self.tiles.len()
+    }
+
+    /// Whether the batch carries no keys.
+    pub fn is_empty(&self) -> bool {
+        self.kmers.is_empty() && self.tiles.is_empty()
+    }
+
+    /// Encode into a reusable scratch writer; returns [`TAG_BATCH_REQ`].
+    pub fn encode_into(&self, w: &mut WireWriter) -> u32 {
+        assert!(self.len() <= MAX_BATCH_KEYS, "batch exceeds MAX_BATCH_KEYS; split it");
+        w.put_u64s(&self.kmers);
+        w.put_u128s(&self.tiles);
+        TAG_BATCH_REQ
+    }
+
+    /// Encode to an owned payload: `(TAG_BATCH_REQ, payload)`.
+    pub fn encode(&self) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(self.wire_bytes());
+        let tag = self.encode_into(&mut w);
+        (tag, w.finish())
+    }
+
+    /// Decode a batch request payload.
+    pub fn decode(payload: &[u8]) -> BatchRequest {
+        let mut r = WireReader::new(payload);
+        BatchRequest { kmers: r.get_u64s(), tiles: r.get_u128s() }
+    }
+
+    /// Wire size: two `u32` length prefixes + 8 B per k-mer + 16 B per
+    /// tile (for the cost model and capacity hints).
+    pub fn wire_bytes(&self) -> usize {
+        8 + 8 * self.kmers.len() + 16 * self.tiles.len()
+    }
+}
+
+/// A batched count response: one `i64` per requested key, in the
+/// request's key order, with the paper's `-1` sentinel kept per key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchResponse {
+    /// Counts for the request's k-mer keys, in order.
+    pub kmer_counts: Vec<i64>,
+    /// Counts for the request's tile keys, in order.
+    pub tile_counts: Vec<i64>,
+}
+
+impl BatchResponse {
+    /// Encode into a reusable scratch writer; returns [`TAG_BATCH_RESP`].
+    pub fn encode_into(&self, w: &mut WireWriter) -> u32 {
+        w.put_i64s(&self.kmer_counts);
+        w.put_i64s(&self.tile_counts);
+        TAG_BATCH_RESP
+    }
+
+    /// Encode to an owned payload: `(TAG_BATCH_RESP, payload)`.
+    pub fn encode(&self) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(self.wire_bytes());
+        let tag = self.encode_into(&mut w);
+        (tag, w.finish())
+    }
+
+    /// Decode a batch response payload.
+    pub fn decode(payload: &[u8]) -> BatchResponse {
+        let mut r = WireReader::new(payload);
+        BatchResponse { kmer_counts: r.get_i64s(), tile_counts: r.get_i64s() }
+    }
+
+    /// Wire size: two `u32` length prefixes + 8 B per count.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 8 * (self.kmer_counts.len() + self.tile_counts.len())
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -170,5 +302,64 @@ mod tests {
     #[should_panic(expected = "not a request tag")]
     fn decode_rejects_bad_tag() {
         let _ = LookupRequest::decode(TAG_RESP, &[0; 8]);
+    }
+
+    #[test]
+    fn batch_request_round_trip() {
+        let req = BatchRequest {
+            kmers: vec![0, 1, u64::MAX, 0xDEAD_BEEF],
+            tiles: vec![u128::MAX, 1u128 << 100],
+        };
+        let (tag, payload) = req.encode();
+        assert_eq!(tag, TAG_BATCH_REQ);
+        assert_eq!(payload.len(), req.wire_bytes());
+        assert_eq!(BatchRequest::decode(&payload), req);
+        assert_eq!(req.len(), 6);
+        assert!(!req.is_empty());
+    }
+
+    #[test]
+    fn batch_response_round_trip() {
+        let resp = BatchResponse { kmer_counts: vec![-1, 0, 42], tile_counts: vec![7, -1] };
+        let (tag, payload) = resp.encode();
+        assert_eq!(tag, TAG_BATCH_RESP);
+        assert_eq!(payload.len(), resp.wire_bytes());
+        assert_eq!(BatchResponse::decode(&payload), resp);
+    }
+
+    #[test]
+    fn empty_batch_round_trip() {
+        let req = BatchRequest::default();
+        assert!(req.is_empty());
+        let (_, payload) = req.encode();
+        assert_eq!(payload.len(), 8, "two empty length prefixes");
+        assert_eq!(BatchRequest::decode(&payload), req);
+        let resp = BatchResponse::default();
+        let (_, rp) = resp.encode();
+        assert_eq!(BatchResponse::decode(&rp), resp);
+    }
+
+    #[test]
+    fn max_batch_is_encodable() {
+        let req = BatchRequest { kmers: (0..MAX_BATCH_KEYS as u64).collect(), tiles: vec![] };
+        let (_, payload) = req.encode();
+        assert_eq!(payload.len(), 8 + 8 * MAX_BATCH_KEYS);
+        assert_eq!(BatchRequest::decode(&payload).kmers.len(), MAX_BATCH_KEYS);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch exceeds MAX_BATCH_KEYS")]
+    fn oversized_batch_rejected() {
+        let req = BatchRequest { kmers: vec![0; MAX_BATCH_KEYS], tiles: vec![1] };
+        let _ = req.encode();
+    }
+
+    #[test]
+    fn sentinel_helpers() {
+        assert_eq!(count_to_wire(None), -1);
+        assert_eq!(count_to_wire(Some(0)), 0);
+        assert_eq!(wire_to_count(-1), None);
+        assert_eq!(wire_to_count(5), Some(5));
+        assert_eq!(wire_to_count(count_to_wire(Some(u32::MAX))), Some(u32::MAX));
     }
 }

@@ -25,18 +25,48 @@ pub struct LookupStats {
     /// these dominate the communication time ("especially tiles which
     /// are not part of the tile spectrum", §IV).
     pub remote_tile_misses: u64,
-    /// Lookups served *for* other ranks by this rank's comm thread.
+    /// Lookups served *for* other ranks by this rank's comm thread
+    /// (counted per key, so batch mode and base mode are comparable).
     pub requests_served: u64,
     /// Remote answers cached into the reads tables (add-remote mode).
     pub cached_answers: u64,
     /// Cache hits on previously cached answers.
     pub cache_hits: u64,
+    /// Request **messages** this rank sent during correction: one per
+    /// single-key lookup plus one per batch (aggregate mode). The
+    /// quantity the lookup-aggregation heuristic minimizes.
+    pub remote_messages: u64,
+    /// Batched requests sent (aggregate mode).
+    pub batches_sent: u64,
+    /// Keys shipped inside those batches.
+    pub batched_keys: u64,
+    /// Lookups answered from the prefetch cache filled by batch
+    /// responses (counted as local, not remote).
+    pub prefetch_hits: u64,
+    /// Batched requests this rank's comm thread answered for others.
+    pub batches_served: u64,
 }
 
 impl LookupStats {
     /// All lookups that left the rank.
     pub fn remote_total(&self) -> u64 {
         self.remote_kmer_lookups + self.remote_tile_lookups
+    }
+
+    /// Mean keys per batch request (0 when no batches were sent).
+    pub fn keys_per_batch(&self) -> f64 {
+        if self.batches_sent == 0 {
+            return 0.0;
+        }
+        self.batched_keys as f64 / self.batches_sent as f64
+    }
+
+    /// Messages the aggregation saved: each prefetch hit would have been
+    /// a request + response round trip in base mode, minus the two
+    /// messages each batch actually cost. Saturating — tiny workloads
+    /// can batch more keys than they end up using.
+    pub fn messages_saved(&self) -> u64 {
+        (2 * self.prefetch_hits).saturating_sub(2 * self.batches_sent)
     }
 
     /// Merge counters (worker + server sides of one rank).
@@ -50,6 +80,11 @@ impl LookupStats {
         self.requests_served += o.requests_served;
         self.cached_answers += o.cached_answers;
         self.cache_hits += o.cache_hits;
+        self.remote_messages += o.remote_messages;
+        self.batches_sent += o.batches_sent;
+        self.batched_keys += o.batched_keys;
+        self.prefetch_hits += o.prefetch_hits;
+        self.batches_served += o.batches_served;
     }
 }
 
@@ -99,8 +134,7 @@ impl RunReport {
     /// Job completion time: the slowest rank (construction and correction
     /// are globally barriered phases, so phase maxima add).
     pub fn makespan_secs(&self) -> f64 {
-        let construct =
-            self.ranks.iter().map(|r| r.construct_secs).fold(0.0, f64::max);
+        let construct = self.ranks.iter().map(|r| r.construct_secs).fold(0.0, f64::max);
         let correct = self.ranks.iter().map(|r| r.correct_secs).fold(0.0, f64::max);
         construct + correct
     }
@@ -161,7 +195,12 @@ mod tests {
     use super::*;
 
     fn rank(construct: f64, correct: f64, comm: f64) -> RankReport {
-        RankReport { construct_secs: construct, correct_secs: correct, comm_secs: comm, ..Default::default() }
+        RankReport {
+            construct_secs: construct,
+            correct_secs: correct,
+            comm_secs: comm,
+            ..Default::default()
+        }
     }
 
     fn run(ranks: Vec<RankReport>) -> RunReport {
@@ -196,10 +235,41 @@ mod tests {
     #[test]
     fn lookup_stats_merge() {
         let mut a = LookupStats { remote_tile_lookups: 5, ..Default::default() };
-        let b = LookupStats { remote_tile_lookups: 7, requests_served: 3, ..Default::default() };
+        let b = LookupStats {
+            remote_tile_lookups: 7,
+            requests_served: 3,
+            remote_messages: 9,
+            batches_sent: 2,
+            batched_keys: 40,
+            prefetch_hits: 30,
+            batches_served: 1,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.remote_tile_lookups, 12);
         assert_eq!(a.requests_served, 3);
         assert_eq!(a.remote_total(), 12);
+        assert_eq!(a.remote_messages, 9);
+        assert_eq!(a.batches_sent, 2);
+        assert_eq!(a.batched_keys, 40);
+        assert_eq!(a.prefetch_hits, 30);
+        assert_eq!(a.batches_served, 1);
+    }
+
+    #[test]
+    fn batch_stat_derivations() {
+        let s = LookupStats {
+            batches_sent: 4,
+            batched_keys: 100,
+            prefetch_hits: 60,
+            ..Default::default()
+        };
+        assert_eq!(s.keys_per_batch(), 25.0);
+        assert_eq!(s.messages_saved(), 2 * 60 - 2 * 4);
+        let none = LookupStats::default();
+        assert_eq!(none.keys_per_batch(), 0.0);
+        assert_eq!(none.messages_saved(), 0);
+        let wasteful = LookupStats { batches_sent: 5, prefetch_hits: 1, ..Default::default() };
+        assert_eq!(wasteful.messages_saved(), 0, "saturates instead of underflowing");
     }
 }

@@ -103,7 +103,8 @@ pub fn build_distributed(
 
     // Every rank must join the same number of collective rounds (§III-B).
     let my_batches = reads.len().div_ceil(chunk_size).max(1) as u64;
-    let max_batches = if heur.batch_reads { comm.allreduce_max_u64(my_batches) } else { my_batches };
+    let max_batches =
+        if heur.batch_reads { comm.allreduce_max_u64(my_batches) } else { my_batches };
     stats.batches = max_batches;
 
     let me = comm.rank();
@@ -170,8 +171,15 @@ pub fn build_distributed(
 
     // --- keep_read_tables: resolve global counts for own-reads keys ---
     let (final_reads_kmers, final_reads_tiles) = if heur.keep_read_tables {
-        let (rk, rt) =
-            resolve_read_tables(comm, &owners, params, kmer_keys, tile_keys, &hash_kmers, &hash_tiles);
+        let (rk, rt) = resolve_read_tables(
+            comm,
+            &owners,
+            params,
+            kmer_keys,
+            tile_keys,
+            &hash_kmers,
+            &hash_tiles,
+        );
         stats.reads_table_entries = (rk.len() + rt.len()) as u64;
         (Some(rk), Some(rt))
     } else {
@@ -377,9 +385,7 @@ mod tests {
             let template = i / 3;
             let seed = dnaseq::mix64(template as u64 + 1);
             let seq: Vec<u8> = (0..len)
-                .map(|j| {
-                    [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ (j as u64)) % 4) as usize]
-                })
+                .map(|j| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ (j as u64)) % 4) as usize])
                 .collect();
             reads.push(Read::new(i as u64 + 1, seq, vec![30; len]));
         }
@@ -387,12 +393,7 @@ mod tests {
     }
 
     fn partition(reads: &[Read], np: usize, rank: usize) -> Vec<Read> {
-        reads
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % np == rank)
-            .map(|(_, r)| r.clone())
-            .collect()
+        reads.iter().enumerate().filter(|(i, _)| i % np == rank).map(|(_, r)| r.clone()).collect()
     }
 
     /// Distributed tables must equal the sequential spectra: every code at
@@ -407,8 +408,8 @@ mod tests {
             build_distributed(comm, &mine, chunk, &params(), &heur)
         });
         // union of owned tables == sequential spectrum
-        let mut union_k = std::collections::HashMap::new();
-        let mut union_t = std::collections::HashMap::new();
+        let mut union_k = dnaseq::FxHashMap::default();
+        let mut union_t = dnaseq::FxHashMap::default();
         for (tables, _) in &results {
             for (code, count) in tables.hash_kmers.iter() {
                 assert_eq!(tables.owners.kmer_owner(code), tables_rank(&results, tables));
@@ -418,17 +419,14 @@ mod tests {
                 assert!(union_t.insert(code, count).is_none(), "tile at two owners");
             }
         }
-        let seq_k: std::collections::HashMap<_, _> = seq.kmers.iter().collect();
-        let seq_t: std::collections::HashMap<_, _> = seq.tiles.iter().collect();
+        let seq_k: dnaseq::FxHashMap<_, _> = seq.kmers.iter().collect();
+        let seq_t: dnaseq::FxHashMap<_, _> = seq.tiles.iter().collect();
         assert_eq!(union_k, seq_k, "np={np} heur={}", heur.label());
         assert_eq!(union_t, seq_t, "np={np} heur={}", heur.label());
     }
 
     fn tables_rank(results: &[(RankTables, BuildStats)], needle: &RankTables) -> usize {
-        results
-            .iter()
-            .position(|(t, _)| std::ptr::eq(t, needle))
-            .expect("tables belong to results")
+        results.iter().position(|(t, _)| std::ptr::eq(t, needle)).expect("tables belong to results")
     }
 
     #[test]

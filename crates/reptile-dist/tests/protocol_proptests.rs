@@ -1,0 +1,112 @@
+//! Property tests for the correction-phase wire protocol: single-key
+//! requests (tagged and universal) and the aggregate-mode batch
+//! request/response pair must round-trip for arbitrary key mixes.
+
+use proptest::prelude::*;
+use reptile_dist::protocol::{
+    decode_response, encode_response, BatchRequest, BatchResponse, LookupRequest, MAX_BATCH_KEYS,
+    TAG_BATCH_REQ, TAG_BATCH_RESP, TAG_UNIVERSAL,
+};
+
+fn lookup_request() -> impl Strategy<Value = LookupRequest> {
+    prop_oneof![
+        any::<u64>().prop_map(LookupRequest::Kmer),
+        any::<u128>().prop_map(LookupRequest::Tile),
+    ]
+}
+
+/// Wire counts: any non-negative `i64` plus the `-1` sentinel.
+fn wire_count() -> impl Strategy<Value = i64> {
+    prop_oneof![Just(-1i64), 0..=i64::MAX]
+}
+
+proptest! {
+    #[test]
+    fn tagged_encoding_round_trips(req in lookup_request()) {
+        let (tag, payload) = req.encode_tagged();
+        prop_assert_eq!(LookupRequest::decode(tag, &payload), req);
+        prop_assert_eq!(payload.len(), req.wire_bytes(false));
+    }
+
+    #[test]
+    fn universal_encoding_round_trips(req in lookup_request()) {
+        let (tag, payload) = req.encode_universal();
+        prop_assert_eq!(tag, TAG_UNIVERSAL);
+        prop_assert_eq!(LookupRequest::decode(tag, &payload), req);
+        prop_assert_eq!(payload.len(), req.wire_bytes(true));
+    }
+
+    #[test]
+    fn response_round_trips(count in proptest::option::of(any::<u32>())) {
+        prop_assert_eq!(decode_response(&encode_response(count)), count);
+    }
+
+    #[test]
+    fn batch_request_round_trips(
+        kmers in prop::collection::vec(any::<u64>(), 0..50),
+        tiles in prop::collection::vec(any::<u128>(), 0..50),
+    ) {
+        let req = BatchRequest { kmers, tiles };
+        let (tag, payload) = req.encode();
+        prop_assert_eq!(tag, TAG_BATCH_REQ);
+        prop_assert_eq!(payload.len(), req.wire_bytes());
+        prop_assert_eq!(BatchRequest::decode(&payload), req);
+    }
+
+    #[test]
+    fn batch_response_round_trips(
+        kmer_counts in prop::collection::vec(wire_count(), 0..50),
+        tile_counts in prop::collection::vec(wire_count(), 0..50),
+    ) {
+        let resp = BatchResponse { kmer_counts, tile_counts };
+        let (tag, payload) = resp.encode();
+        prop_assert_eq!(tag, TAG_BATCH_RESP);
+        prop_assert_eq!(payload.len(), resp.wire_bytes());
+        prop_assert_eq!(BatchResponse::decode(&payload), resp);
+    }
+
+    /// Splitting a batch at any point and re-joining the decoded halves
+    /// loses nothing — the invariant the prefetch splitter relies on.
+    #[test]
+    fn split_batches_cover_the_same_keys(
+        kmers in prop::collection::vec(any::<u64>(), 0..40),
+        tiles in prop::collection::vec(any::<u128>(), 0..40),
+        cut in 0usize..81,
+    ) {
+        let cut_k = cut.min(kmers.len());
+        let cut_t = cut.saturating_sub(kmers.len()).min(tiles.len());
+        let first = BatchRequest {
+            kmers: kmers[..cut_k].to_vec(),
+            tiles: tiles[..cut_t].to_vec(),
+        };
+        let second = BatchRequest {
+            kmers: kmers[cut_k..].to_vec(),
+            tiles: tiles[cut_t..].to_vec(),
+        };
+        let a = BatchRequest::decode(&first.encode().1);
+        let b = BatchRequest::decode(&second.encode().1);
+        let rejoined: Vec<u64> = a.kmers.iter().chain(&b.kmers).copied().collect();
+        let rejoined_t: Vec<u128> = a.tiles.iter().chain(&b.tiles).copied().collect();
+        prop_assert_eq!(rejoined, kmers);
+        prop_assert_eq!(rejoined_t, tiles);
+    }
+}
+
+#[test]
+fn empty_batch_round_trips() {
+    let req = BatchRequest::default();
+    assert!(req.is_empty());
+    assert_eq!(BatchRequest::decode(&req.encode().1), req);
+    let resp = BatchResponse::default();
+    assert_eq!(BatchResponse::decode(&resp.encode().1), resp);
+}
+
+#[test]
+fn max_batch_round_trips() {
+    let req = BatchRequest {
+        kmers: (0..MAX_BATCH_KEYS as u64 / 2).collect(),
+        tiles: (0..MAX_BATCH_KEYS as u128 / 2).collect(),
+    };
+    assert_eq!(req.len(), MAX_BATCH_KEYS);
+    assert_eq!(BatchRequest::decode(&req.encode().1), req);
+}

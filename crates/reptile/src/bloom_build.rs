@@ -121,7 +121,13 @@ mod tests {
     use super::*;
 
     fn params() -> ReptileParams {
-        ReptileParams { k: 8, tile_overlap: 4, kmer_threshold: 3, tile_threshold: 3, ..Default::default() }
+        ReptileParams {
+            k: 8,
+            tile_overlap: 4,
+            kmer_threshold: 3,
+            tile_threshold: 3,
+            ..Default::default()
+        }
     }
 
     fn reads_with_repeats() -> Vec<Read> {

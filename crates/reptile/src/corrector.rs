@@ -268,7 +268,16 @@ fn step_window(
 /// Candidate positions within a window: strictly-below-threshold
 /// qualities; optional relaxation to the lowest-quality bases; capped at
 /// `max_positions_per_tile` keeping the lowest qualities (ties: leftmost).
-fn collect_positions(quals: &[Phred], params: &ReptileParams, positions: &mut Vec<usize>) {
+///
+/// Shared with the prefetch key enumeration (`crate::prefetch`), which
+/// must see the *same* candidate positions to cover every tile
+/// neighbour the corrector can probe. Depends only on qualities, which
+/// corrections never change, so it is stable across commits.
+pub(crate) fn collect_positions(
+    quals: &[Phred],
+    params: &ReptileParams,
+    positions: &mut Vec<usize>,
+) {
     for (i, &q) in quals.iter().enumerate() {
         if q < params.q_threshold {
             positions.push(i);
@@ -286,7 +295,7 @@ fn collect_positions(quals: &[Phred], params: &ReptileParams, positions: &mut Ve
 }
 
 #[inline]
-fn tile_key(codec: &dnaseq::TileCodec, code: u128, canonical: bool) -> u128 {
+pub(crate) fn tile_key(codec: &dnaseq::TileCodec, code: u128, canonical: bool) -> u128 {
     if canonical {
         codec.canonical(code)
     } else {
@@ -295,7 +304,7 @@ fn tile_key(codec: &dnaseq::TileCodec, code: u128, canonical: bool) -> u128 {
 }
 
 #[inline]
-fn kmer_key(codec: &dnaseq::KmerCodec, code: u64, canonical: bool) -> u64 {
+pub(crate) fn kmer_key(codec: &dnaseq::KmerCodec, code: u64, canonical: bool) -> u64 {
     if canonical {
         codec.canonical(code)
     } else {
@@ -567,9 +576,8 @@ mod tests {
     fn correct_dataset_end_to_end() {
         let p = params();
         let template = b"ACGTACGTTGCATTGA";
-        let mut reads: Vec<Read> = (0..8)
-            .map(|i| Read::new(i + 1, template.to_vec(), vec![35; template.len()]))
-            .collect();
+        let mut reads: Vec<Read> =
+            (0..8).map(|i| Read::new(i + 1, template.to_vec(), vec![35; template.len()])).collect();
         // read 9 has one low-quality error
         let mut seq = template.to_vec();
         seq[7] = b'C';

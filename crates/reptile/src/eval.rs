@@ -32,10 +32,7 @@ impl AccuracyReport {
         assert_eq!(original.len(), corrected.len(), "length-changing correction");
         assert_eq!(original.len(), truth.len());
         let mut r = AccuracyReport::default();
-        for i in 0..original.len() {
-            let orig = original.seq[i];
-            let corr = corrected.seq[i];
-            let tru = truth[i];
+        for ((&orig, &corr), &tru) in original.seq.iter().zip(&corrected.seq).zip(truth) {
             if orig == b'N' || corr == b'N' || tru == b'N' {
                 r.masked += 1;
                 continue;

@@ -243,9 +243,8 @@ mod tests {
     fn dataset_baseline_runs() {
         let p = params();
         let template = b"ACGTACGGTTGCAACGTTAGCATG";
-        let mut reads: Vec<Read> = (0..6)
-            .map(|i| Read::new(i + 1, template.to_vec(), vec![35; template.len()]))
-            .collect();
+        let mut reads: Vec<Read> =
+            (0..6).map(|i| Read::new(i + 1, template.to_vec(), vec![35; template.len()])).collect();
         let mut seq = template.to_vec();
         seq[5] = b'T';
         let mut qual = vec![35u8; template.len()];

@@ -27,6 +27,7 @@ pub mod kmer_corrector;
 pub mod layouts;
 pub mod params;
 pub mod pipeline;
+pub mod prefetch;
 pub mod spectrum;
 
 pub use bloom_build::{build_with_bloom, BloomBuildStats};
@@ -36,4 +37,5 @@ pub use histogram::CountHistogram;
 pub use kmer_corrector::{correct_dataset_kmers_only, correct_read_kmers_only};
 pub use params::ReptileParams;
 pub use pipeline::{Pipeline, PipelineResult};
+pub use prefetch::{enumerate_read_keys, prefetch_keys, PrefetchKeys};
 pub use spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};

@@ -96,7 +96,13 @@ impl ReptileParams {
     /// Parameters scaled for small test genomes (short k so k-mers repeat
     /// at low coverage).
     pub fn for_tests() -> ReptileParams {
-        ReptileParams { k: 8, tile_overlap: 4, kmer_threshold: 2, tile_threshold: 2, ..Default::default() }
+        ReptileParams {
+            k: 8,
+            tile_overlap: 4,
+            kmer_threshold: 2,
+            tile_threshold: 2,
+            ..Default::default()
+        }
     }
 }
 

@@ -124,9 +124,8 @@ mod tests {
 
     fn reads_with_error() -> Vec<Read> {
         let template = b"ACGTACGGTTGCAACGTTAGC";
-        let mut reads: Vec<Read> = (1..=8)
-            .map(|id| Read::new(id, template.to_vec(), vec![35; template.len()]))
-            .collect();
+        let mut reads: Vec<Read> =
+            (1..=8).map(|id| Read::new(id, template.to_vec(), vec![35; template.len()])).collect();
         let mut seq = template.to_vec();
         seq[9] = b'A';
         let mut qual = vec![35u8; template.len()];

@@ -1,0 +1,277 @@
+//! Lookup-key enumeration for batched (aggregated) remote lookups.
+//!
+//! The distributed engine's base mode resolves every non-local spectrum
+//! count with a synchronous one-key round trip, so a read with `m`
+//! missing keys pays `m` network latencies. Systems that scale past
+//! this (diBELLA, the Extreme-Scale Metagenome Assembly work) aggregate
+//! requests per destination rank into vectorized messages. This module
+//! provides the enumeration half of that optimisation: *before*
+//! correcting a read (or a whole chunk of reads), list every k-mer and
+//! tile key the corrector **can** touch, so the counts can be fetched
+//! in one batch per owning rank and served from a local prefetch cache.
+//!
+//! The enumeration mirrors [`correct_read`](crate::correct_read)'s tile
+//! walk exactly — same windows (stride `k − overlap` plus the anchored
+//! final window), same candidate positions
+//! ([`collect_positions`](crate::corrector::collect_positions) depends
+//! only on qualities, which corrections never change), same Hamming
+//! neighbour generation — but **over-approximates** on purpose:
+//!
+//! - it includes both constituent k-mers and all neighbours even for
+//!   windows the corrector will find solid (counts are unknown at
+//!   enumeration time);
+//! - it ignores the k-mer prescreen, which can only *shrink* the
+//!   corrector's position set.
+//!
+//! The result is a superset guarantee **for the read as it currently
+//! reads**: until the corrector commits a fix, every key it requests is
+//! in the enumeration. Once a fix rewrites bases, later overlapping
+//! windows may probe novel keys; those simply miss the prefetch cache
+//! and fall back to the engine's single-key path, preserving
+//! bit-identical output. Corrections are rare relative to lookups, so
+//! the bulk of the traffic still collapses into batches.
+
+use crate::corrector::{collect_positions, kmer_key, tile_key};
+use crate::params::ReptileParams;
+use dnaseq::neighbors::visit_neighbors;
+use dnaseq::Read;
+
+/// Every spectrum key a correction pass over some reads can request,
+/// deduplicated and sorted, normalized exactly like the corrector's own
+/// lookups (canonical when `params.canonical`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchKeys {
+    /// Normalized k-mer keys.
+    pub kmers: Vec<u64>,
+    /// Normalized tile keys.
+    pub tiles: Vec<u128>,
+}
+
+impl PrefetchKeys {
+    /// Total number of keys across both spectra.
+    pub fn len(&self) -> usize {
+        self.kmers.len() + self.tiles.len()
+    }
+
+    /// Whether no keys were enumerated.
+    pub fn is_empty(&self) -> bool {
+        self.kmers.is_empty() && self.tiles.is_empty()
+    }
+
+    /// Sort and deduplicate both key lists.
+    pub fn finish(&mut self) {
+        self.kmers.sort_unstable();
+        self.kmers.dedup();
+        self.tiles.sort_unstable();
+        self.tiles.dedup();
+    }
+}
+
+/// Append every key [`correct_read`](crate::correct_read) can request
+/// for `read` (as currently written) to `out`. Keys are appended raw —
+/// call [`PrefetchKeys::finish`] afterwards to dedup.
+pub fn enumerate_read_keys(read: &Read, params: &ReptileParams, out: &mut PrefetchKeys) {
+    let tcodec = params.tile_codec();
+    let kcodec = params.kmer_codec();
+    let tile_len = tcodec.len();
+    let stride = tcodec.stride();
+    if read.len() < tile_len {
+        return;
+    }
+    let last_start = read.len() - tile_len;
+    let mut positions: Vec<usize> = Vec::with_capacity(params.max_positions_per_tile);
+    let mut window = |start: usize, out: &mut PrefetchKeys| {
+        let raw_tile = match tcodec.encode(&read.seq[start..start + tile_len]) {
+            Some(t) => t,
+            None => return, // corrector skips N windows without lookups
+        };
+        out.tiles.push(tile_key(&tcodec, raw_tile, params.canonical));
+        let (first_kmer, second_kmer) = tcodec.to_kmers(raw_tile);
+        out.kmers.push(kmer_key(&kcodec, first_kmer, params.canonical));
+        out.kmers.push(kmer_key(&kcodec, second_kmer, params.canonical));
+        positions.clear();
+        collect_positions(&read.qual[start..start + tile_len], params, &mut positions);
+        if positions.is_empty() {
+            return;
+        }
+        visit_neighbors(
+            raw_tile,
+            tile_len,
+            &positions,
+            params.max_errors_per_tile,
+            &mut |cand, _| {
+                out.tiles.push(tile_key(&tcodec, cand, params.canonical));
+            },
+        );
+    };
+    let mut start = 0usize;
+    while start <= last_start {
+        window(start, out);
+        start += stride;
+    }
+    if !last_start.is_multiple_of(stride) {
+        window(last_start, out);
+    }
+}
+
+/// Enumerate, deduplicate, and sort the keys for a chunk of reads.
+pub fn prefetch_keys(reads: &[Read], params: &ReptileParams) -> PrefetchKeys {
+    let mut out = PrefetchKeys::default();
+    for read in reads {
+        enumerate_read_keys(read, params, &mut out);
+    }
+    out.finish();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corrector::correct_read;
+    use crate::spectrum::LocalSpectra;
+    use crate::SpectrumAccess;
+    use dnaseq::{FxHashSet, Read};
+
+    fn params() -> ReptileParams {
+        ReptileParams {
+            k: 6,
+            tile_overlap: 3,
+            kmer_threshold: 2,
+            tile_threshold: 2,
+            ..ReptileParams::for_tests()
+        }
+    }
+
+    /// Records every key the corrector requests from the wrapped spectra.
+    struct Recording<'a> {
+        inner: &'a mut LocalSpectra,
+        kmers: FxHashSet<u64>,
+        tiles: FxHashSet<u128>,
+    }
+
+    impl SpectrumAccess for Recording<'_> {
+        fn kmer_count(&mut self, code: u64) -> u32 {
+            self.kmers.insert(code);
+            self.inner.kmer_count(code)
+        }
+
+        fn tile_count(&mut self, code: u128) -> u32 {
+            self.tiles.insert(code);
+            self.inner.tile_count(code)
+        }
+    }
+
+    fn dataset() -> Vec<Read> {
+        let genome: Vec<u8> =
+            (0..240).map(|i| [b'A', b'C', b'G', b'T'][(i * 7 + i / 3) % 4]).collect();
+        (0..40u64)
+            .map(|i| {
+                let start = (i as usize * 13) % (genome.len() - 30);
+                let mut seq = genome[start..start + 30].to_vec();
+                let mut qual = vec![35u8; 30];
+                if i % 3 == 0 {
+                    let pos = 5 + (i as usize % 20);
+                    seq[pos] = match seq[pos] {
+                        b'A' => b'C',
+                        b'C' => b'G',
+                        b'G' => b'T',
+                        _ => b'A',
+                    };
+                    qual[pos] = 6;
+                }
+                Read::new(i + 1, seq, qual)
+            })
+            .collect()
+    }
+
+    /// Until a fix is committed, the corrector only requests enumerated
+    /// keys. Reads the corrector leaves untouched exercise the full walk
+    /// (solid, uncorrectable, and ambiguous windows), so checking the
+    /// superset on unmodified reads covers every lookup site.
+    #[test]
+    fn enumeration_covers_all_lookups_of_unmodified_reads() {
+        for canonical in [false, true] {
+            let p = ReptileParams { canonical, ..params() };
+            let reads = dataset();
+            let mut spectra = LocalSpectra::build(&reads, &p);
+            let mut covered = 0;
+            for r in &reads {
+                let keys = prefetch_keys(std::slice::from_ref(r), &p);
+                let mut rec = Recording {
+                    inner: &mut spectra,
+                    kmers: FxHashSet::default(),
+                    tiles: FxHashSet::default(),
+                };
+                let mut read = r.clone();
+                let out = correct_read(&mut read, &mut rec, &p);
+                if out.corrected() {
+                    continue; // post-commit windows may probe novel keys
+                }
+                covered += 1;
+                for k in &rec.kmers {
+                    assert!(keys.kmers.binary_search(k).is_ok(), "kmer {k:#x} not enumerated");
+                }
+                for t in &rec.tiles {
+                    assert!(keys.tiles.binary_search(t).is_ok(), "tile {t:#x} not enumerated");
+                }
+            }
+            assert!(covered > 10, "expected mostly-clean reads, got {covered}");
+        }
+    }
+
+    #[test]
+    fn keys_are_sorted_and_deduplicated() {
+        let p = params();
+        let reads = dataset();
+        let keys = prefetch_keys(&reads, &p);
+        assert!(!keys.is_empty());
+        assert_eq!(keys.len(), keys.kmers.len() + keys.tiles.len());
+        assert!(keys.kmers.windows(2).all(|w| w[0] < w[1]));
+        assert!(keys.tiles.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn short_and_empty_reads_enumerate_nothing() {
+        let p = params();
+        let keys = prefetch_keys(
+            &[Read::new(1, b"ACGT".to_vec(), vec![35; 4]), Read::new(2, Vec::new(), Vec::new())],
+            &p,
+        );
+        assert!(keys.is_empty());
+    }
+
+    /// A read length that is not a multiple of the stride still covers
+    /// the anchored final window.
+    #[test]
+    fn anchored_final_window_is_enumerated() {
+        let p = params(); // tile_len 9, stride 3
+        let reads = dataset();
+        let r = &reads[0];
+        let truncated = Read::new(1, r.seq[..28].to_vec(), r.qual[..28].to_vec());
+        let keys = prefetch_keys(std::slice::from_ref(&truncated), &p);
+        let tcodec = p.tile_codec();
+        let last = tcodec.encode(&truncated.seq[28 - tcodec.len()..]).unwrap();
+        let key = crate::corrector::tile_key(&tcodec, last, p.canonical);
+        assert!(keys.tiles.binary_search(&key).is_ok());
+    }
+
+    /// Neighbour keys of low-quality windows are part of the enumeration.
+    #[test]
+    fn neighbours_of_weak_windows_are_enumerated() {
+        // relax_quality off so an all-high-quality read has no candidate
+        // positions and therefore no neighbour keys
+        let p = ReptileParams { relax_quality: false, ..params() };
+        let seq = b"ACGTACGTACGTACGTACGT".to_vec();
+        let mut qual = vec![35u8; seq.len()];
+        qual[4] = 5; // below q_threshold: a candidate position
+        let read = Read::new(1, seq.clone(), qual.clone());
+        let clean = prefetch_keys(&[Read::new(1, seq, vec![35; 20])], &p);
+        let weak = prefetch_keys(std::slice::from_ref(&read), &p);
+        assert!(
+            weak.tiles.len() > clean.tiles.len(),
+            "Hamming neighbours must add tile keys ({} vs {})",
+            weak.tiles.len(),
+            clean.tiles.len()
+        );
+    }
+}

@@ -269,7 +269,11 @@ mod tests {
         s.add_read(&read(2, b"CCGT")); // revcomp of ACGG
         let code = p.kmer_codec().encode(b"ACGG").unwrap();
         assert_eq!(s.count(code), 2);
-        assert_eq!(s.count(p.kmer_codec().encode(b"CCGT").unwrap()), 2, "lookup from either strand");
+        assert_eq!(
+            s.count(p.kmer_codec().encode(b"CCGT").unwrap()),
+            2,
+            "lookup from either strand"
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -294,7 +298,11 @@ mod tests {
         let spectra = LocalSpectra::build(&reads, &p);
         let kc = p.kmer_codec();
         assert_eq!(spectra.kmers.count(kc.encode(b"ACGT").unwrap()), 6); // 2 windows x 3 reads
-        assert_eq!(spectra.kmers.count(kc.encode(b"GGTC").unwrap()), 0, "singleton pruned at threshold 2");
+        assert_eq!(
+            spectra.kmers.count(kc.encode(b"GGTC").unwrap()),
+            0,
+            "singleton pruned at threshold 2"
+        );
     }
 
     #[test]

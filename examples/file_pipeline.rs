@@ -26,11 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. synthesize and write the dataset
     let dataset = DatasetProfile::ecoli_like().scaled(4000).generate(7);
     dataset.write_files(&fasta_path, &qual_path)?;
-    println!(
-        "wrote {} reads to {} (+ qualities)",
-        dataset.reads.len(),
-        fasta_path.display()
-    );
+    println!("wrote {} reads to {} (+ qualities)", dataset.reads.len(), fasta_path.display());
 
     // 2. write and re-load the Reptile-style config file
     let config = RunConfig {
@@ -86,12 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("corrected reads written to {}", config.output_file.display());
 
     // sanity: corrected output differs from input (errors were fixed)
-    let changed = out
-        .corrected
-        .iter()
-        .zip(&dataset.reads)
-        .filter(|(c, o)| c.seq != o.seq)
-        .count();
+    let changed = out.corrected.iter().zip(&dataset.reads).filter(|(c, o)| c.seq != o.seq).count();
     println!("{changed} reads changed by correction");
     Ok(())
 }

@@ -45,8 +45,7 @@ fn main() {
         let imbalanced = run_virtual(&imb_cfg, &dataset.reads);
 
         let total = balanced.report.makespan_secs();
-        let comm_max =
-            balanced.report.ranks.iter().map(|r| r.comm_secs).fold(0.0, f64::max);
+        let comm_max = balanced.report.ranks.iter().map(|r| r.comm_secs).fold(0.0, f64::max);
         let comm_pct = 100.0 * comm_max / balanced.report.correct_secs().max(1e-12);
         println!(
             "{:>6} {:>6} {:>12.2} {:>11.2} {:>8.0}% {:>11.2} {:>10.2}",

@@ -34,13 +34,17 @@ fn main() {
         hist.occurrences(),
         hist.max_count()
     );
-    println!("first bins: 1:{} 2:{} 3:{} 4:{} 5:{}",
-        hist.bin(1), hist.bin(2), hist.bin(3), hist.bin(4), hist.bin(5));
+    println!(
+        "first bins: 1:{} 2:{} 3:{} 4:{} 5:{}",
+        hist.bin(1),
+        hist.bin(2),
+        hist.bin(3),
+        hist.bin(4),
+        hist.bin(5)
+    );
     if let Some(valley) = hist.valley() {
         if let Some(peak) = hist.coverage_peak(valley) {
-            println!(
-                "error tail bottoms out at count {valley}; coverage peak near count {peak}"
-            );
+            println!("error tail bottoms out at count {valley}; coverage peak near count {peak}");
         }
     }
 
@@ -59,11 +63,7 @@ fn main() {
     let occurrences: usize =
         dataset.reads.iter().map(|r| r.len().saturating_sub(params.k - 1)).sum();
     let (bloomed, stats) = build_with_bloom(&dataset.reads, &params, occurrences, 0.001);
-    println!(
-        "exact build:  {} k-mers, {} tiles retained",
-        exact.kmers.len(),
-        exact.tiles.len()
-    );
+    println!("exact build:  {} k-mers, {} tiles retained", exact.kmers.len(), exact.tiles.len());
     println!(
         "bloom build:  {} k-mers, {} tiles retained; {} k-mer first-sightings \
          absorbed by a {:.1} MiB filter",

@@ -128,9 +128,8 @@ fn memory_footprint_shrinks_with_rank_count() {
     // nodes.
     let ds = well_covered_dataset(35);
     let p = params();
-    let mem_at = |np: usize| {
-        run_virtual(&VirtualConfig::new(np, p), &ds.reads).report.peak_memory_bytes()
-    };
+    let mem_at =
+        |np: usize| run_virtual(&VirtualConfig::new(np, p), &ds.reads).report.peak_memory_bytes();
     let m16 = mem_at(16);
     let m256 = mem_at(256);
     assert!(m256 < m16, "per-rank memory must shrink: {m16} -> {m256}");

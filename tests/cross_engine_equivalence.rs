@@ -125,10 +125,6 @@ fn distributed_correction_is_idempotent() {
     };
     let d12 = diff(&twice.corrected, &once.corrected);
     let d23 = diff(&thrice.corrected, &twice.corrected);
-    assert!(
-        d12 * 10 <= ds.reads.len(),
-        "second pass changed {d12} of {} reads",
-        ds.reads.len()
-    );
+    assert!(d12 * 10 <= ds.reads.len(), "second pass changed {d12} of {} reads", ds.reads.len());
     assert!(d23 <= d12, "passes must converge: {d12} then {d23}");
 }

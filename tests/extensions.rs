@@ -6,9 +6,7 @@
 use genio::dataset::DatasetProfile;
 use reptile::{correct_dataset, AccuracyReport, ReptileParams};
 use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
-use reptile_dist::{
-    run_distributed, run_prior_art, EngineConfig, HeuristicConfig, PriorArtConfig,
-};
+use reptile_dist::{run_distributed, run_prior_art, EngineConfig, HeuristicConfig, PriorArtConfig};
 
 fn dataset(seed: u64) -> genio::dataset::SyntheticDataset {
     DatasetProfile {
@@ -89,10 +87,8 @@ fn bloom_spectra_drive_identical_correction() {
     let ds = dataset(54);
     let p = params();
     let (exact_out, _) = correct_dataset(&ds.reads, &p);
-    let occurrences: usize =
-        ds.reads.iter().map(|r| r.len().saturating_sub(p.k - 1)).sum();
-    let (mut bloomed, stats) =
-        reptile::build_with_bloom(&ds.reads, &p, occurrences, 0.0001);
+    let occurrences: usize = ds.reads.iter().map(|r| r.len().saturating_sub(p.k - 1)).sum();
+    let (mut bloomed, stats) = reptile::build_with_bloom(&ds.reads, &p, occurrences, 0.0001);
     assert!(stats.kmer_singletons_filtered > 0);
     let mut corrected = Vec::with_capacity(ds.reads.len());
     let mut stats_acc = reptile::CorrectionStats::default();

@@ -1,0 +1,195 @@
+//! Vendored offline stub of the `criterion` API subset this workspace's
+//! benches use: `black_box`, `Criterion::bench_function`,
+//! `benchmark_group` (with `throughput` / `sample_size`), `Bencher::iter`,
+//! and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal API-compatible shims (see DESIGN.md
+//! "External crates"). This stub does plain wall-clock timing — warm up,
+//! run the closure until a small time budget is spent, print mean time
+//! per iteration (plus throughput when configured) to stdout. No
+//! statistics, no HTML reports, no baseline comparison; bench *numbers*
+//! are indicative while bench *compilation and execution* stay faithful.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration hint used to derive throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    time_budget: Duration,
+}
+
+impl Bencher {
+    fn new(time_budget: Duration) -> Bencher {
+        Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+            time_budget,
+        }
+    }
+
+    /// Time repeated calls of `routine` until the time budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.time_budget || iters == u64::MAX {
+                self.iters = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{id:40} (no measurement — Bencher::iter never called)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        let rate = |units: u64, suffix: &str| {
+            format!(" ({:.3} M{suffix}/s)", units as f64 / per_iter / 1e6)
+        };
+        let extra = match throughput {
+            Some(Throughput::Bytes(n)) => rate(n, "B"),
+            Some(Throughput::Elements(n)) => rate(n, "elem"),
+            None => String::new(),
+        };
+        println!(
+            "{id:40} {:>12.3} µs/iter over {} iters{extra}",
+            per_iter * 1e6,
+            self.iters
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    time_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            time_budget: Duration::from_millis(80),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.time_budget);
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("— {name} —");
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the work-per-iteration hint for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time
+    /// budget, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.parent.time_budget);
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name), self.throughput);
+        self
+    }
+
+    /// Finish the group (no-op beyond ending the visual block).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` invoking one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion {
+            time_budget: Duration::from_millis(2),
+        };
+        c.bench_function("direct", |b| b.iter(|| black_box(21u64 * 2)));
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(10);
+        g.bench_function("in_group", |b| b.iter(|| black_box(vec![0u8; 64])));
+        g.finish();
+        benches();
+    }
+}

@@ -1,0 +1,230 @@
+//! Vendored offline stub of the `rand` 0.8 API subset this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods `gen_range` / `gen_bool` / `gen`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal API-compatible shims (see DESIGN.md
+//! "External crates"). The generator is splitmix64 — statistically fine
+//! for synthetic-dataset generation, deterministic per seed, but a
+//! *different stream* than the real `StdRng` (ChaCha12): datasets
+//! generated from the same seed differ between this stub and real rand.
+//! Everything in-repo only compares runs against each other, so this is
+//! invisible to tests and figures.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type samplable uniformly over its whole domain (`rng.gen()`).
+pub trait Standard: Sized {
+    /// Draw a uniform value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A range samplable uniformly (`rng.gen_range(range)`).
+pub trait SampleRange<T> {
+    /// Draw a uniform value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Integer types uniform ranges can be sampled over. A single blanket
+/// `SampleRange` impl per range shape (mirroring real rand) keeps type
+/// inference working for unsuffixed literals like `gen_range(0..4)`
+/// used as slice indices.
+pub trait UniformInt: Copy + PartialOrd {
+    /// `hi - lo` in modular u64 arithmetic (correct for signed types).
+    fn steps_between(lo: Self, hi: Self) -> u64;
+    /// `lo + offset` in modular u64 arithmetic.
+    fn forward(lo: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_int_sampling {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn steps_between(lo: $t, hi: $t) -> u64 {
+                (hi as u64).wrapping_sub(lo as u64)
+            }
+
+            #[inline]
+            fn forward(lo: $t, offset: u64) -> $t {
+                (lo as u64).wrapping_add(offset) as $t
+            }
+        }
+
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sampling!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = T::steps_between(self.start, self.end);
+        T::forward(self.start, rng.next_u64() % span)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = T::steps_between(lo, hi);
+        if span == u64::MAX {
+            return T::forward(lo, rng.next_u64());
+        }
+        T::forward(lo, rng.next_u64() % (span + 1))
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1)
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience methods over any [`RngCore`] (the `rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Uniform value over `T`'s whole domain.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range`.
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The stub's standard RNG: splitmix64 (deterministic per seed).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w: usize = rng.gen_range(0..=4);
+            assert!(w <= 4);
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn index_sampling_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
