@@ -90,8 +90,17 @@ fn main() {
                 let ds = ecoli_scaled();
                 println!("{}", render_latency(&latency_sweep(&ds, params, ECOLI_DIVISOR)));
             }
+            // Not part of `all`: writes BENCH_spectrum.json instead of
+            // printing a paper table (CI runs it explicitly).
+            "bench-json" => {
+                let report = reptile_bench::spectrum_bench::run(200_000);
+                let json = reptile_bench::spectrum_bench::render_json(&report);
+                std::fs::write("BENCH_spectrum.json", &json).expect("write BENCH_spectrum.json");
+                print!("{json}");
+                eprintln!("wrote BENCH_spectrum.json");
+            }
             other => {
-                eprintln!("unknown item '{other}' (expected table1, fig2..fig8, all)");
+                eprintln!("unknown item '{other}' (expected table1, fig2..fig8, bench-json, all)");
                 std::process::exit(2);
             }
         }

@@ -9,4 +9,5 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod spectrum_bench;
 pub mod workloads;

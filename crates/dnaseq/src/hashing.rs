@@ -37,7 +37,16 @@ pub fn mix64(mut x: u64) -> u64 {
 /// Mix a 128-bit value (tile code) down to 64 bits before owner assignment.
 #[inline]
 pub fn mix128(x: u128) -> u64 {
-    mix64((x as u64) ^ mix64((x >> 64) as u64))
+    mix128_parts(x as u64, (x >> 64) as u64)
+}
+
+/// [`mix128`] on a key already split into low/high 64-bit halves, so
+/// split-storage tables (flat tile spectra) can hash a slot without
+/// reassembling the `u128`. `mix128_parts(x as u64, (x >> 64) as u64)`
+/// is identical to `mix128(x)` by construction.
+#[inline]
+pub fn mix128_parts(lo: u64, hi: u64) -> u64 {
+    mix64(lo ^ mix64(hi))
 }
 
 /// The owning rank of a 64-bit key: `mix64(key) % np` (paper §III step II:
@@ -179,6 +188,13 @@ mod tests {
             // binomial std-dev is ~1.1% of the mean here; allow 5 sigma
             let dev = (c as f64 - expect).abs() / expect;
             assert!(dev < 0.06, "rank {rank} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn mix128_parts_matches_mix128() {
+        for x in [0u128, 1, u128::MAX, 0xDEAD_BEEF_CAFE << 70 | 0x1234_5678] {
+            assert_eq!(mix128_parts(x as u64, (x >> 64) as u64), mix128(x));
         }
     }
 

@@ -31,7 +31,7 @@ pub mod tile;
 
 pub use base::Base;
 pub use bloom::BloomFilter;
-pub use hashing::{mix64, owner_of, FxBuildHasher, FxHashMap, FxHashSet};
+pub use hashing::{mix128, mix128_parts, mix64, owner_of, FxBuildHasher, FxHashMap, FxHashSet};
 pub use kmer::{KmerCode, KmerCodec};
 pub use neighbors::{neighbors_at_positions, NucCode};
 pub use quality::{Phred, QualityEncoding};

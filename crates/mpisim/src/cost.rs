@@ -141,11 +141,22 @@ impl CostModel {
     }
 
     /// Modeled resident set of a rank holding spectrum entries and
-    /// auxiliary tables.
+    /// auxiliary tables — the legacy linear-per-entry approximation, kept
+    /// for what-if models that only know entry counts (prior-art
+    /// comparison). Engines that can measure or derive real table bytes
+    /// use [`rank_memory_bytes_measured`](CostModel::rank_memory_bytes_measured).
     pub fn rank_memory_bytes(&self, kmer_entries: u64, tile_entries: u64) -> f64 {
         self.process_base_bytes
             + kmer_entries as f64 * self.kmer_entry_bytes
             + tile_entries as f64 * self.tile_entry_bytes
+    }
+
+    /// Resident set of a rank whose spectrum tables occupy
+    /// `spectrum_bytes` (measured with the tables' own `memory_bytes`,
+    /// or predicted from the flat-table geometry): base process
+    /// overhead plus the byte-accurate table footprint.
+    pub fn rank_memory_bytes_measured(&self, spectrum_bytes: u64) -> f64 {
+        self.process_base_bytes + spectrum_bytes as f64
     }
 }
 
@@ -259,5 +270,13 @@ mod tests {
         let empty = m.rank_memory_bytes(0, 0);
         let loaded = m.rank_memory_bytes(1_000_000, 1_000_000);
         assert!((loaded - empty - 26e6 - 42e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn measured_memory_is_base_plus_bytes() {
+        let m = CostModel::bgq();
+        assert_eq!(m.rank_memory_bytes_measured(0), m.process_base_bytes);
+        let bytes = 123_456_789u64;
+        assert_eq!(m.rank_memory_bytes_measured(bytes), m.process_base_bytes + bytes as f64);
     }
 }

@@ -182,8 +182,11 @@ pub(crate) fn run_rank(
 
     // --- Step IV: correction with a communication thread ---
     let t1 = Instant::now();
-    let resident_kmers = tables.resident_kmer_entries();
-    let resident_tiles = tables.resident_tile_entries();
+    // Exact bytes of every resident spectrum table, measured before the
+    // tables are moved into the access chain (cache_remote can grow the
+    // reads tables during correction; construction-time footprint is what
+    // Fig 5 compares).
+    let spectrum_bytes = tables.memory_bytes();
     let RankTables {
         owners,
         hash_kmers,
@@ -261,7 +264,7 @@ pub(crate) fn run_rank(
         construct_secs,
         correct_secs,
         comm_secs,
-        memory_bytes: cost.rank_memory_bytes(resident_kmers, resident_tiles),
+        memory_bytes: cost.rank_memory_bytes_measured(spectrum_bytes),
     };
     (corrected, report)
 }
@@ -277,7 +280,8 @@ struct ServedCounts {
 }
 
 /// The communication thread: serve k-mer/tile count lookups against the
-/// *owned* tables until every rank's worker reports done.
+/// *owned* tables until every rank's worker reports done. Requesters
+/// normalize keys before sending, so serving uses the raw lookups.
 fn comm_thread(
     comm: &Comm,
     hash_kmers: &KmerSpectrum,
@@ -308,8 +312,16 @@ fn comm_thread(
             // one sweep over the owned tables answers the whole batch
             let req = BatchRequest::decode(&msg.payload);
             let resp = BatchResponse {
-                kmer_counts: req.kmers.iter().map(|&k| count_to_wire(hash_kmers.get(k))).collect(),
-                tile_counts: req.tiles.iter().map(|&t| count_to_wire(hash_tiles.get(t))).collect(),
+                kmer_counts: req
+                    .kmers
+                    .iter()
+                    .map(|&k| count_to_wire(hash_kmers.get_raw(k)))
+                    .collect(),
+                tile_counts: req
+                    .tiles
+                    .iter()
+                    .map(|&t| count_to_wire(hash_tiles.get_raw(t)))
+                    .collect(),
             };
             scratch.reset();
             let tag = resp.encode_into(&mut scratch);
@@ -319,8 +331,8 @@ fn comm_thread(
             continue;
         }
         let count = match LookupRequest::decode(msg.tag, &msg.payload) {
-            LookupRequest::Kmer(code) => hash_kmers.get(code),
-            LookupRequest::Tile(code) => hash_tiles.get(code),
+            LookupRequest::Kmer(code) => hash_kmers.get_raw(code),
+            LookupRequest::Tile(code) => hash_tiles.get_raw(code),
         };
         scratch.reset();
         encode_response_into(count, &mut scratch);
@@ -386,7 +398,7 @@ impl DistAccess<'_> {
         if self.replicated_kmers.is_some() {
             return None;
         }
-        let owner = self.owners.kmer_owner(key);
+        let owner = self.owners.kmer_owner_raw(key);
         if self.group_kmers.is_some() {
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
@@ -396,7 +408,7 @@ impl DistAccess<'_> {
             return None;
         }
         if let Some(rk) = &self.reads_kmers {
-            if rk.get(key).is_some() {
+            if rk.get_raw(key).is_some() {
                 return None;
             }
         }
@@ -408,7 +420,7 @@ impl DistAccess<'_> {
         if self.replicated_tiles.is_some() {
             return None;
         }
-        let owner = self.owners.tile_owner(key);
+        let owner = self.owners.tile_owner_raw(key);
         if self.group_tiles.is_some() {
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
@@ -418,7 +430,7 @@ impl DistAccess<'_> {
             return None;
         }
         if let Some(rt) = &self.reads_tiles {
-            if rt.get(key).is_some() {
+            if rt.get_raw(key).is_some() {
                 return None;
             }
         }
@@ -494,22 +506,22 @@ impl SpectrumAccess for DistAccess<'_> {
         let key = self.owners.kmer_key(code);
         if let Some(rep) = self.replicated_kmers {
             self.stats.local_kmer_lookups += 1;
-            return rep.count(key);
+            return rep.count_raw(key);
         }
-        let owner = self.owners.kmer_owner(key);
+        let owner = self.owners.kmer_owner_raw(key);
         if let Some(group) = self.group_kmers {
             // §V partial replication: in-group owners are local
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
                 self.stats.local_kmer_lookups += 1;
-                return group.count(key);
+                return group.count_raw(key);
             }
         } else if owner == self.me {
             self.stats.local_kmer_lookups += 1;
-            return self.hash_kmers.count(key);
+            return self.hash_kmers.count_raw(key);
         }
         if let Some(rk) = &self.reads_kmers {
-            if let Some(c) = rk.get(key) {
+            if let Some(c) = rk.get_raw(key) {
                 self.stats.local_kmer_lookups += 1;
                 self.stats.cache_hits += 1;
                 return c;
@@ -535,21 +547,21 @@ impl SpectrumAccess for DistAccess<'_> {
         let key = self.owners.tile_key(code);
         if let Some(rep) = self.replicated_tiles {
             self.stats.local_tile_lookups += 1;
-            return rep.count(key);
+            return rep.count_raw(key);
         }
-        let owner = self.owners.tile_owner(key);
+        let owner = self.owners.tile_owner_raw(key);
         if let Some(group) = self.group_tiles {
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
                 self.stats.local_tile_lookups += 1;
-                return group.count(key);
+                return group.count_raw(key);
             }
         } else if owner == self.me {
             self.stats.local_tile_lookups += 1;
-            return self.hash_tiles.count(key);
+            return self.hash_tiles.count_raw(key);
         }
         if let Some(rt) = &self.reads_tiles {
-            if let Some(c) = rt.get(key) {
+            if let Some(c) = rt.get_raw(key) {
                 self.stats.local_tile_lookups += 1;
                 self.stats.cache_hits += 1;
                 return c;

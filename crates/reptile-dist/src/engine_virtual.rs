@@ -30,7 +30,7 @@ use crate::report::{LookupStats, RankReport, RunReport};
 use crate::spectrum::BuildStats;
 use dnaseq::{FxHashSet, Read};
 use mpisim::{CostModel, Topology};
-use reptile::spectrum::LocalSpectra;
+use reptile::spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};
 use reptile::{correct_read, CorrectionStats, ReptileParams, SpectrumAccess};
 
 /// Virtual-run configuration.
@@ -108,11 +108,11 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
     // owned-entry counts per rank, in one pass over the spectra
     let mut owned_kmers = vec![0u64; np];
     for (code, _) in spectra.kmers.iter() {
-        owned_kmers[owners.kmer_owner(code)] += 1;
+        owned_kmers[owners.kmer_owner_raw(code)] += 1;
     }
     let mut owned_tiles = vec![0u64; np];
     for (code, _) in spectra.tiles.iter() {
-        owned_tiles[owners.tile_owner(code)] += 1;
+        owned_tiles[owners.tile_owner_raw(code)] += 1;
     }
 
     // --- per-rank construction accounting + correction ---
@@ -141,14 +141,14 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
                 for (_, code) in kcodec.kmers_of(&read.seq) {
                     build.kmers_extracted += 1;
                     let key = owners.kmer_key(code);
-                    if owners.kmer_owner(key) != me {
+                    if owners.kmer_owner_raw(key) != me {
                         nonowned_kmers.insert(key);
                     }
                 }
                 for (_, code) in tcodec.tiles_of(&read.seq) {
                     build.tiles_extracted += 1;
                     let key = owners.tile_key(code);
-                    if owners.tile_owner(key) != me {
+                    if owners.tile_owner_raw(key) != me {
                         nonowned_tiles.insert(key);
                     }
                 }
@@ -232,7 +232,8 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
             }
         }
         let lookups = access.stats;
-        let cached_entries = (access.cached_kmers.len() + access.cached_tiles.len()) as u64;
+        let cached_kmer_entries = access.cached_kmers.len() as u64;
+        let cached_tile_entries = access.cached_tiles.len() as u64;
 
         // --- time model ---
         let construct_ns = {
@@ -258,22 +259,35 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
             + access.batch_comm_ns;
         let correct_ns = (compute_ns + comm_ns) * smt;
 
-        // entry counts scale linearly with dataset size, so paper-scale
-        // memory applies the same divisor as the time model
-        let scale_u = |n: u64| (n as f64 * cfg.scale) as u64;
-        let memory = cost.rank_memory_bytes(
-            scale_u(
-                group_kmer_entries
-                    + nonowned_kmers.len() as u64 * cfg.heuristics.keep_read_tables as u64
-                    + cached_entries
-                    + if cfg.heuristics.replicate_kmers { spectra.kmers.len() as u64 } else { 0 },
-            ),
-            scale_u(
-                group_tile_entries
-                    + nonowned_tiles.len() as u64 * cfg.heuristics.keep_read_tables as u64
-                    + if cfg.heuristics.replicate_tiles { spectra.tiles.len() as u64 } else { 0 },
-            ),
-        );
+        // Per-table byte model mirroring `RankTables::memory_bytes`: each
+        // resident table is priced by the flat-store geometry (smallest
+        // power-of-two capacity holding its entries) at its paper-scale
+        // entry count. Entry counts scale linearly with dataset size, so
+        // paper-scale memory applies the same divisor as the time model
+        // *before* the (step-wise) geometry.
+        let kmer_bytes =
+            |n: u64| KmerSpectrum::bytes_for_entries((n as f64 * cfg.scale) as usize) as u64;
+        let tile_bytes =
+            |n: u64| TileSpectrum::bytes_for_entries((n as f64 * cfg.scale) as usize) as u64;
+        let mut spectrum_bytes = kmer_bytes(owned_kmers[me]) + tile_bytes(owned_tiles[me]);
+        if cfg.heuristics.partial_group > 1 {
+            // group tables coexist with the owned ones (the comm thread
+            // still serves out-of-group requests from hash_kmers)
+            spectrum_bytes += kmer_bytes(group_kmer_entries) + tile_bytes(group_tile_entries);
+        }
+        if cfg.heuristics.keep_read_tables {
+            // cache_remote grows the reads tables in place (validate()
+            // guarantees keep_read_tables here)
+            spectrum_bytes += kmer_bytes(nonowned_kmers.len() as u64 + cached_kmer_entries)
+                + tile_bytes(nonowned_tiles.len() as u64 + cached_tile_entries);
+        }
+        if cfg.heuristics.replicate_kmers {
+            spectrum_bytes += kmer_bytes(spectra.kmers.len() as u64);
+        }
+        if cfg.heuristics.replicate_tiles {
+            spectrum_bytes += tile_bytes(spectra.tiles.len() as u64);
+        }
+        let memory = cost.rank_memory_bytes_measured(spectrum_bytes);
 
         ranks.push(RankReport {
             rank: me,
@@ -349,7 +363,7 @@ impl VirtualAccess<'_> {
     /// Whether the lookup chain would resolve this k-mer key without a
     /// message right now (mirrors `kmer_count` up to the remote branch).
     fn kmer_is_local(&self, key: u64) -> bool {
-        let owner = self.owners.kmer_owner(key);
+        let owner = self.owners.kmer_owner_raw(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         self.heur.replicate_kmers
@@ -360,7 +374,7 @@ impl VirtualAccess<'_> {
 
     /// Tile twin of [`Self::kmer_is_local`].
     fn tile_is_local(&self, key: u128) -> bool {
-        let owner = self.owners.tile_owner(key);
+        let owner = self.owners.tile_owner_raw(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         self.heur.replicate_tiles
@@ -389,13 +403,13 @@ impl VirtualAccess<'_> {
         let mut per_owner_t = vec![0usize; np];
         for &k in &keys.kmers {
             if !self.kmer_is_local(k) {
-                per_owner_k[self.owners.kmer_owner(k)] += 1;
+                per_owner_k[self.owners.kmer_owner_raw(k)] += 1;
                 self.prefetch_kmers.insert(k);
             }
         }
         for &tl in &keys.tiles {
             if !self.tile_is_local(tl) {
-                per_owner_t[self.owners.tile_owner(tl)] += 1;
+                per_owner_t[self.owners.tile_owner_raw(tl)] += 1;
                 self.prefetch_tiles.insert(tl);
             }
         }
@@ -421,8 +435,8 @@ impl VirtualAccess<'_> {
 impl SpectrumAccess for VirtualAccess<'_> {
     fn kmer_count(&mut self, code: u64) -> u32 {
         let key = self.owners.kmer_key(code);
-        let count = self.spectra.kmers.count(key);
-        let owner = self.owners.kmer_owner(key);
+        let count = self.spectra.kmers.count_raw(key);
+        let owner = self.owners.kmer_owner_raw(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         if self.heur.replicate_kmers || in_group {
@@ -460,8 +474,8 @@ impl SpectrumAccess for VirtualAccess<'_> {
 
     fn tile_count(&mut self, code: u128) -> u32 {
         let key = self.owners.tile_key(code);
-        let count = self.spectra.tiles.count(key);
-        let owner = self.owners.tile_owner(key);
+        let count = self.spectra.tiles.count_raw(key);
+        let owner = self.owners.tile_owner_raw(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         if self.heur.replicate_tiles || in_group {

@@ -63,10 +63,26 @@ impl OwnerMap {
         dnaseq::owner_of(self.kmer_key(code), self.np)
     }
 
+    /// Owning rank of an **already normalized** k-mer key — skips the
+    /// (idempotent) canonicalization on paths where the key came out of
+    /// a spectrum table or [`kmer_key`](OwnerMap::kmer_key).
+    #[inline]
+    pub fn kmer_owner_raw(&self, key: u64) -> usize {
+        debug_assert_eq!(key, self.kmer_key(key), "kmer_owner_raw on unnormalized code");
+        dnaseq::owner_of(key, self.np)
+    }
+
     /// Owning rank of a tile (input may be unnormalized).
     #[inline]
     pub fn tile_owner(&self, code: u128) -> usize {
         dnaseq::hashing::owner_of_u128(self.tile_key(code), self.np)
+    }
+
+    /// Owning rank of an already normalized tile key.
+    #[inline]
+    pub fn tile_owner_raw(&self, key: u128) -> usize {
+        debug_assert_eq!(key, self.tile_key(key), "tile_owner_raw on unnormalized code");
+        dnaseq::hashing::owner_of_u128(key, self.np)
     }
 
     /// Owning rank of a read under the load-balancing policy.

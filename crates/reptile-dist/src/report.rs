@@ -108,7 +108,11 @@ pub struct RankReport {
     pub correct_secs: f64,
     /// Of `correct_secs`, time attributable to communication.
     pub comm_secs: f64,
-    /// Modeled resident memory, bytes.
+    /// Resident memory, bytes: process base overhead plus the spectrum
+    /// tables' footprint — *measured* (flat-store slot arrays + headers,
+    /// `RankTables::memory_bytes`) in the threaded engine, derived from
+    /// the same flat-table geometry per entry count in the virtual
+    /// engine. `build.table_bytes` carries the table-only portion.
     pub memory_bytes: f64,
 }
 

@@ -72,6 +72,10 @@ pub struct BuildStats {
     /// Entries held for the rank's group (partial replication), incl.
     /// the rank's own owned entries.
     pub group_entries: u64,
+    /// Measured bytes of every spectrum table resident on this rank
+    /// after construction (owned + reads + replicated + group), exact
+    /// per [`KmerSpectrum::memory_bytes`].
+    pub table_bytes: u64,
 }
 
 /// Build the distributed spectra from this rank's reads, delivered in
@@ -116,7 +120,7 @@ pub fn build_distributed(
             for (_, code) in kcodec.kmers_of(&read.seq) {
                 stats.kmers_extracted += 1;
                 let key = owners.kmer_key(code);
-                if owners.kmer_owner(code) == me {
+                if owners.kmer_owner_raw(key) == me {
                     hash_kmers.add_count(key, 1);
                 } else {
                     reads_kmers.add_count(key, 1);
@@ -125,7 +129,7 @@ pub fn build_distributed(
             for (_, code) in tcodec.tiles_of(&read.seq) {
                 stats.tiles_extracted += 1;
                 let key = owners.tile_key(code);
-                if owners.tile_owner(code) == me {
+                if owners.tile_owner_raw(key) == me {
                     hash_tiles.add_count(key, 1);
                 } else {
                     reads_tiles.add_count(key, 1);
@@ -224,7 +228,7 @@ pub fn build_distributed(
         let mut gk = KmerSpectrum::new(kcodec, params.canonical);
         for part in comm.allgatherv(k_entries) {
             for (code, count) in part {
-                if owners.kmer_owner(code) / g == my_group {
+                if owners.kmer_owner_raw(code) / g == my_group {
                     gk.add_count(code, count);
                 }
             }
@@ -233,7 +237,7 @@ pub fn build_distributed(
         let mut gt = TileSpectrum::new(tcodec, params.canonical);
         for part in comm.allgatherv(t_entries) {
             for (code, count) in part {
-                if owners.tile_owner(code) / g == my_group {
+                if owners.tile_owner_raw(code) / g == my_group {
                     gt.add_count(code, count);
                 }
             }
@@ -244,20 +248,19 @@ pub fn build_distributed(
         (None, None)
     };
 
-    (
-        RankTables {
-            owners,
-            hash_kmers,
-            hash_tiles,
-            reads_kmers: final_reads_kmers,
-            reads_tiles: final_reads_tiles,
-            replicated_kmers,
-            replicated_tiles,
-            group_kmers,
-            group_tiles,
-        },
-        stats,
-    )
+    let tables = RankTables {
+        owners,
+        hash_kmers,
+        hash_tiles,
+        reads_kmers: final_reads_kmers,
+        reads_tiles: final_reads_tiles,
+        replicated_kmers,
+        replicated_tiles,
+        group_kmers,
+        group_tiles,
+    };
+    stats.table_bytes = tables.memory_bytes();
+    (tables, stats)
 }
 
 /// The Step III exchange: ship `reads_*` entries to their owners and merge
@@ -271,23 +274,35 @@ fn exchange_counts(
     hash_tiles: &mut TileSpectrum,
 ) {
     let np = comm.size();
-    let mut kmer_out: Vec<Vec<(u64, u32)>> = vec![Vec::new(); np];
+    // Counting pass first, so every per-owner bucket is allocated once at
+    // its exact final size instead of growing by push-reallocation.
+    let mut kmer_sizes = vec![0usize; np];
+    for (code, _) in reads_kmers.iter() {
+        kmer_sizes[owners.kmer_owner_raw(code)] += 1;
+    }
+    let mut kmer_out: Vec<Vec<(u64, u32)>> =
+        kmer_sizes.into_iter().map(Vec::with_capacity).collect();
     for (code, count) in reads_kmers.into_entries() {
-        kmer_out[owners.kmer_owner(code)].push((code, count));
+        kmer_out[owners.kmer_owner_raw(code)].push((code, count));
     }
     for part in comm.alltoallv(kmer_out) {
         for (code, count) in part {
-            debug_assert_eq!(owners.kmer_owner(code), comm.rank());
+            debug_assert_eq!(owners.kmer_owner_raw(code), comm.rank());
             hash_kmers.add_count(code, count);
         }
     }
-    let mut tile_out: Vec<Vec<(u128, u32)>> = vec![Vec::new(); np];
+    let mut tile_sizes = vec![0usize; np];
+    for (code, _) in reads_tiles.iter() {
+        tile_sizes[owners.tile_owner_raw(code)] += 1;
+    }
+    let mut tile_out: Vec<Vec<(u128, u32)>> =
+        tile_sizes.into_iter().map(Vec::with_capacity).collect();
     for (code, count) in reads_tiles.into_entries() {
-        tile_out[owners.tile_owner(code)].push((code, count));
+        tile_out[owners.tile_owner_raw(code)].push((code, count));
     }
     for part in comm.alltoallv(tile_out) {
         for (code, count) in part {
-            debug_assert_eq!(owners.tile_owner(code), comm.rank());
+            debug_assert_eq!(owners.tile_owner_raw(code), comm.rank());
             hash_tiles.add_count(code, count);
         }
     }
@@ -307,15 +322,22 @@ fn resolve_read_tables(
     hash_tiles: &TileSpectrum,
 ) -> (KmerSpectrum, TileSpectrum) {
     let np = comm.size();
-    // k-mers: request codes, answer (code, count) pairs
-    let mut ask: Vec<Vec<u64>> = vec![Vec::new(); np];
+    // k-mers: request codes, answer (code, count) pairs. The keys came
+    // out of the reads tables, so they are normalized by construction —
+    // raw owner/count lookups skip re-canonicalizing every one, and a
+    // counting pass sizes each per-owner bucket exactly once.
+    let mut ask_sizes = vec![0usize; np];
+    for &code in &kmer_keys {
+        ask_sizes[owners.kmer_owner_raw(code)] += 1;
+    }
+    let mut ask: Vec<Vec<u64>> = ask_sizes.into_iter().map(Vec::with_capacity).collect();
     for code in kmer_keys {
-        ask[owners.kmer_owner(code)].push(code);
+        ask[owners.kmer_owner_raw(code)].push(code);
     }
     let questions = comm.alltoallv(ask);
     let answers: Vec<Vec<(u64, u32)>> = questions
         .into_iter()
-        .map(|codes| codes.into_iter().map(|c| (c, hash_kmers.count(c))).collect())
+        .map(|codes| codes.into_iter().map(|c| (c, hash_kmers.count_raw(c))).collect())
         .collect();
     let mut rk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
     for part in comm.alltoallv(answers) {
@@ -324,14 +346,18 @@ fn resolve_read_tables(
         }
     }
     // tiles
-    let mut ask_t: Vec<Vec<u128>> = vec![Vec::new(); np];
+    let mut ask_sizes_t = vec![0usize; np];
+    for &code in &tile_keys {
+        ask_sizes_t[owners.tile_owner_raw(code)] += 1;
+    }
+    let mut ask_t: Vec<Vec<u128>> = ask_sizes_t.into_iter().map(Vec::with_capacity).collect();
     for code in tile_keys {
-        ask_t[owners.tile_owner(code)].push(code);
+        ask_t[owners.tile_owner_raw(code)].push(code);
     }
     let questions_t = comm.alltoallv(ask_t);
     let answers_t: Vec<Vec<(u128, u32)>> = questions_t
         .into_iter()
-        .map(|codes| codes.into_iter().map(|c| (c, hash_tiles.count(c))).collect())
+        .map(|codes| codes.into_iter().map(|c| (c, hash_tiles.count_raw(c))).collect())
         .collect();
     let mut rt = TileSpectrum::new(params.tile_codec(), params.canonical);
     for part in comm.alltoallv(answers_t) {
@@ -363,6 +389,23 @@ impl RankTables {
         };
         own + self.reads_tiles.as_ref().map_or(0, |s| s.len() as u64)
             + self.replicated_tiles.as_ref().map_or(0, |s| s.len() as u64)
+    }
+
+    /// Measured bytes of **every** spectrum table resident on this rank
+    /// (owned, reads, replicated, and group — unlike the entry tallies
+    /// above, group tables do not replace the owned ones here, because
+    /// both really are in memory). Exact: flat-table slot arrays plus
+    /// headers.
+    pub fn memory_bytes(&self) -> u64 {
+        let k = self.hash_kmers.memory_bytes()
+            + self.reads_kmers.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.replicated_kmers.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.group_kmers.as_ref().map_or(0, |s| s.memory_bytes());
+        let t = self.hash_tiles.memory_bytes()
+            + self.reads_tiles.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.replicated_tiles.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.group_tiles.as_ref().map_or(0, |s| s.memory_bytes());
+        (k + t) as u64
     }
 }
 

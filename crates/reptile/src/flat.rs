@@ -1,0 +1,656 @@
+//! Flat open-addressing key→count tables backing the spectra.
+//!
+//! The paper exists because spectra must fit in 512 MB/rank on
+//! BlueGene/Q, yet a generic `HashMap<u64, u32>` spends most of its
+//! footprint on layout overhead: the `(u64, u32)` pair pads to 16 bytes,
+//! control bytes and a ≤7/8 load bound come on top, and `retain` (our
+//! old `prune`) never returns capacity, so a pruned spectrum keeps the
+//! peak-size allocation forever. Memory-frugal k-mer counters (KMC as
+//! used by RECKONER, the distributed tables of the Extreme-Scale
+//! Metagenome Assembly work) all converge on the same layout instead:
+//! a flat power-of-two array of packed key+count slots with linear
+//! probing. This module implements that layout twice:
+//!
+//! * [`FlatKmerTable`] — `u64` keys, parallel `keys`/`counts` arrays,
+//!   12 bytes per slot;
+//! * [`FlatTileTable`] — `u128` keys split into `lo`/`hi` halves so no
+//!   slot needs 16-byte alignment, 20 bytes per slot (a `(u128, u32)`
+//!   pair would pad to 32).
+//!
+//! Shared design:
+//!
+//! * capacity is always a power of two; the probe sequence starts at
+//!   the top `log2(capacity)` bits of a Fibonacci multiply (every input
+//!   bit influences them, and golden-ratio spacing scatters similar
+//!   codes) and steps linearly — cache-friendly for the batch sweeps;
+//! * the all-ones key (`u64::MAX` / `u128::MAX`) is the reserved empty
+//!   sentinel. It is still a *legal* code (k=32 poly-T), so its count
+//!   lives in a side field instead of a slot;
+//! * growth doubles when an insert would push occupancy past the
+//!   configurable max load factor (default 3/4), giving amortized O(1)
+//!   inserts;
+//! * `prune` is tombstone-free: survivors are rehashed into the
+//!   smallest capacity that fits them, so — unlike `retain` on a hash
+//!   map — pruning singletons actually returns their memory. This is
+//!   the operating point Fig 5's peak-memory series measures;
+//! * counts saturate at `u32::MAX` instead of wrapping;
+//! * [`FlatKmerTable::memory_bytes`] is exact (slot arrays + header),
+//!   and the static [`FlatKmerTable::bytes_for_entries`] geometry
+//!   predicts it from an entry count alone, which is what lets the
+//!   virtual engine model per-table bytes without building tables.
+
+/// Reserved empty-slot marker for 64-bit keys.
+const EMPTY_U64: u64 = u64::MAX;
+/// Smallest allocated capacity (power of two).
+const MIN_CAPACITY: usize = 16;
+/// Default max load factor numerator/denominator: 3/4. At 7/8 the
+/// post-prune table can sit at 0.76+ occupancy where linear-probing
+/// miss chains average ~9 slots; 3/4 keeps misses short while staying
+/// well under the hash map's bytes/entry (measured in
+/// `reptile-bench`'s `spectrum_bench`).
+const DEFAULT_LOAD: (usize, usize) = (3, 4);
+
+/// Probe-start slot: Fibonacci (multiplicative) hashing — one multiply
+/// by 2^64/φ, keeping the top log2(capacity) bits, which every input
+/// bit influences. Golden-ratio spacing scatters near-identical codes
+/// maximally far apart, which is exactly what linear probing wants, at
+/// a third of `mix64`'s latency on the correction hot path.
+#[inline]
+fn probe_start(h: u64, mask: usize) -> usize {
+    debug_assert!((mask + 1).is_power_of_two());
+    (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> ((mask as u64 + 1).leading_zeros() + 1)) as usize
+}
+
+/// Fold a split 128-bit tile key to 64 bits for [`probe_start`]: one
+/// multiply keeps the halves asymmetric (swapping `lo`/`hi` lands
+/// elsewhere) without `mix128_parts`'s six-multiply chain.
+#[inline]
+fn fold_tile(lo: u64, hi: u64) -> u64 {
+    lo ^ hi.wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// Smallest power-of-two capacity holding `n` entries at load
+/// `num/den`, or 0 for an empty table.
+fn capacity_for(n: usize, num: usize, den: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let needed = (n * den).div_ceil(num);
+    needed.next_power_of_two().max(MIN_CAPACITY)
+}
+
+/// Open-addressing `u64` → `u32` count table (k-mer spectra).
+#[derive(Clone, Debug)]
+pub struct FlatKmerTable {
+    /// Slot keys; `EMPTY_U64` marks a vacant slot. Length is the
+    /// capacity (a power of two) or 0 before the first insert.
+    keys: Vec<u64>,
+    /// Slot counts, parallel to `keys`.
+    counts: Vec<u32>,
+    /// Occupied slots (excludes the sentinel key).
+    len: usize,
+    /// `capacity - 1`; 0 when unallocated.
+    mask: usize,
+    /// Count stored for the reserved key `u64::MAX` itself.
+    sentinel_count: Option<u32>,
+    /// Max load factor numerator.
+    load_num: usize,
+    /// Max load factor denominator.
+    load_den: usize,
+}
+
+impl Default for FlatKmerTable {
+    fn default() -> FlatKmerTable {
+        FlatKmerTable::new()
+    }
+}
+
+impl FlatKmerTable {
+    /// Empty table (no allocation until the first insert).
+    pub fn new() -> FlatKmerTable {
+        FlatKmerTable::with_max_load(DEFAULT_LOAD.0, DEFAULT_LOAD.1)
+    }
+
+    /// Empty table with max load factor `num/den` (e.g. 3, 4).
+    pub fn with_max_load(num: usize, den: usize) -> FlatKmerTable {
+        assert!(num > 0 && num < den, "load factor must be in (0, 1)");
+        FlatKmerTable {
+            keys: Vec::new(),
+            counts: Vec::new(),
+            len: 0,
+            mask: 0,
+            sentinel_count: None,
+            load_num: num,
+            load_den: den,
+        }
+    }
+
+    /// Allocated slot count (a power of two, or 0 before first insert).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of distinct keys stored (sentinel included).
+    pub fn len(&self) -> usize {
+        self.len + self.sentinel_count.is_some() as usize
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact resident bytes: slot arrays plus the table header.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<FlatKmerTable>() + self.keys.len() * 8 + self.counts.len() * 4
+    }
+
+    /// Bytes a table holding `n` entries occupies at the default max
+    /// load — the same geometry (smallest fitting power-of-two capacity
+    /// × 12 bytes/slot + header) `memory_bytes` reports after building
+    /// or pruning to `n` entries. The virtual engine's memory model is
+    /// built on this.
+    pub fn bytes_for_entries(n: usize) -> usize {
+        std::mem::size_of::<FlatKmerTable>() + capacity_for(n, DEFAULT_LOAD.0, DEFAULT_LOAD.1) * 12
+    }
+
+    /// Slot index where `key` lives, or the vacant slot where it would
+    /// be inserted. Capacity must be nonzero.
+    #[inline]
+    fn probe(&self, key: u64) -> usize {
+        debug_assert!(!self.keys.is_empty());
+        debug_assert_ne!(key, EMPTY_U64);
+        let mut idx = probe_start(key, self.mask);
+        loop {
+            let slot = self.keys[idx];
+            if slot == key || slot == EMPTY_U64 {
+                return idx;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Stored count for `key`, `None` when absent.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        if key == EMPTY_U64 {
+            return self.sentinel_count;
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Fused probe: the counts array is only touched on a hit, so a
+        // miss stays within the keys array (one cache stream).
+        let mut idx = probe_start(key, self.mask);
+        loop {
+            let slot = self.keys[idx];
+            if slot == key {
+                return Some(self.counts[idx]);
+            }
+            if slot == EMPTY_U64 {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Add `count` to `key`'s tally (saturating), inserting if absent.
+    pub fn add_count(&mut self, key: u64, count: u32) {
+        if key == EMPTY_U64 {
+            let prev = self.sentinel_count.unwrap_or(0);
+            self.sentinel_count = Some(prev.saturating_add(count));
+            return;
+        }
+        if self.keys.is_empty() {
+            self.rehash(MIN_CAPACITY);
+        }
+        let idx = self.probe(key);
+        if self.keys[idx] == key {
+            self.counts[idx] = self.counts[idx].saturating_add(count);
+            return;
+        }
+        // Grow *before* inserting so occupancy never exceeds the bound.
+        if (self.len + 1) * self.load_den > self.keys.len() * self.load_num {
+            self.rehash(self.keys.len() * 2);
+            let idx = self.probe(key);
+            self.keys[idx] = key;
+            self.counts[idx] = count;
+        } else {
+            self.keys[idx] = key;
+            self.counts[idx] = count;
+        }
+        self.len += 1;
+    }
+
+    /// Rehash every occupied slot into a fresh array of `new_cap` slots.
+    fn rehash(&mut self, new_cap: usize) {
+        debug_assert!(
+            new_cap.is_power_of_two() && new_cap * self.load_num >= self.len * self.load_den
+        );
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_U64; new_cap]);
+        let old_counts = std::mem::take(&mut self.counts);
+        self.counts = vec![0; new_cap];
+        self.mask = new_cap - 1;
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if key == EMPTY_U64 {
+                continue;
+            }
+            let idx = self.probe(key);
+            self.keys[idx] = key;
+            self.counts[idx] = count;
+        }
+    }
+
+    /// Drop entries with count < `threshold`, then rebuild into the
+    /// smallest capacity that fits the survivors (tombstone-free; the
+    /// freed slots are returned to the allocator, unlike `retain` on a
+    /// hash map which pins the peak capacity).
+    pub fn prune(&mut self, threshold: u32) {
+        if self.sentinel_count.is_some_and(|c| c < threshold) {
+            self.sentinel_count = None;
+        }
+        let survivors = self
+            .keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(&k, &c)| k != EMPTY_U64 && c >= threshold)
+            .count();
+        let new_cap = capacity_for(survivors, self.load_num, self.load_den);
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_U64; new_cap]);
+        let old_counts = std::mem::take(&mut self.counts);
+        self.counts = vec![0; new_cap];
+        self.mask = new_cap.saturating_sub(1);
+        self.len = survivors;
+        for (key, count) in old_keys.into_iter().zip(old_counts) {
+            if key == EMPTY_U64 || count < threshold {
+                continue;
+            }
+            let idx = self.probe(key);
+            self.keys[idx] = key;
+            self.counts[idx] = count;
+        }
+    }
+
+    /// Iterate `(key, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
+        self.keys
+            .iter()
+            .zip(&self.counts)
+            .filter(|&(&k, _)| k != EMPTY_U64)
+            .map(|(&k, &c)| (k, c))
+            .chain(self.sentinel_count.map(|c| (EMPTY_U64, c)))
+    }
+
+    /// Consume into `(key, count)` pairs.
+    pub fn into_entries(self) -> impl Iterator<Item = (u64, u32)> {
+        let sentinel = self.sentinel_count.map(|c| (EMPTY_U64, c));
+        self.keys.into_iter().zip(self.counts).filter(|&(k, _)| k != EMPTY_U64).chain(sentinel)
+    }
+}
+
+/// Open-addressing `u128` → `u32` count table (tile spectra).
+///
+/// Keys are stored split into 64-bit halves in parallel arrays, so a
+/// slot is 8 + 8 + 4 = 20 bytes with no 16-byte alignment padding
+/// (a `(u128, u32)` pair is 32 bytes). The empty sentinel is
+/// `u128::MAX` — both halves all-ones.
+#[derive(Clone, Debug)]
+pub struct FlatTileTable {
+    /// Low 64 bits of each slot key.
+    lo: Vec<u64>,
+    /// High 64 bits of each slot key.
+    hi: Vec<u64>,
+    /// Slot counts, parallel to `lo`/`hi`.
+    counts: Vec<u32>,
+    /// Occupied slots (excludes the sentinel key).
+    len: usize,
+    /// `capacity - 1`; 0 when unallocated.
+    mask: usize,
+    /// Count stored for the reserved key `u128::MAX` itself.
+    sentinel_count: Option<u32>,
+    /// Max load factor numerator.
+    load_num: usize,
+    /// Max load factor denominator.
+    load_den: usize,
+}
+
+impl Default for FlatTileTable {
+    fn default() -> FlatTileTable {
+        FlatTileTable::new()
+    }
+}
+
+impl FlatTileTable {
+    /// Empty table (no allocation until the first insert).
+    pub fn new() -> FlatTileTable {
+        FlatTileTable::with_max_load(DEFAULT_LOAD.0, DEFAULT_LOAD.1)
+    }
+
+    /// Empty table with max load factor `num/den`.
+    pub fn with_max_load(num: usize, den: usize) -> FlatTileTable {
+        assert!(num > 0 && num < den, "load factor must be in (0, 1)");
+        FlatTileTable {
+            lo: Vec::new(),
+            hi: Vec::new(),
+            counts: Vec::new(),
+            len: 0,
+            mask: 0,
+            sentinel_count: None,
+            load_num: num,
+            load_den: den,
+        }
+    }
+
+    /// Allocated slot count (a power of two, or 0 before first insert).
+    pub fn capacity(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Number of distinct keys stored (sentinel included).
+    pub fn len(&self) -> usize {
+        self.len + self.sentinel_count.is_some() as usize
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Exact resident bytes: slot arrays plus the table header.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<FlatTileTable>()
+            + self.lo.len() * 8
+            + self.hi.len() * 8
+            + self.counts.len() * 4
+    }
+
+    /// Bytes a table holding `n` entries occupies at the default max
+    /// load (see [`FlatKmerTable::bytes_for_entries`]).
+    pub fn bytes_for_entries(n: usize) -> usize {
+        std::mem::size_of::<FlatTileTable>() + capacity_for(n, DEFAULT_LOAD.0, DEFAULT_LOAD.1) * 20
+    }
+
+    /// True when slot `idx` holds the vacant marker.
+    #[inline]
+    fn vacant(&self, idx: usize) -> bool {
+        self.lo[idx] == EMPTY_U64 && self.hi[idx] == EMPTY_U64
+    }
+
+    /// Slot index where `(lo, hi)` lives, or its insertion slot.
+    #[inline]
+    fn probe(&self, lo: u64, hi: u64) -> usize {
+        debug_assert!(!self.lo.is_empty());
+        debug_assert!(lo != EMPTY_U64 || hi != EMPTY_U64);
+        let mut idx = probe_start(fold_tile(lo, hi), self.mask);
+        loop {
+            if (self.lo[idx] == lo && self.hi[idx] == hi) || self.vacant(idx) {
+                return idx;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Stored count for `key`, `None` when absent.
+    #[inline]
+    pub fn get(&self, key: u128) -> Option<u32> {
+        if key == u128::MAX {
+            return self.sentinel_count;
+        }
+        if self.len == 0 {
+            return None;
+        }
+        // Fused probe, as in [`FlatKmerTable::get`].
+        let (lo, hi) = (key as u64, (key >> 64) as u64);
+        let mut idx = probe_start(fold_tile(lo, hi), self.mask);
+        loop {
+            if self.lo[idx] == lo && self.hi[idx] == hi {
+                return Some(self.counts[idx]);
+            }
+            if self.vacant(idx) {
+                return None;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    /// Add `count` to `key`'s tally (saturating), inserting if absent.
+    pub fn add_count(&mut self, key: u128, count: u32) {
+        if key == u128::MAX {
+            let prev = self.sentinel_count.unwrap_or(0);
+            self.sentinel_count = Some(prev.saturating_add(count));
+            return;
+        }
+        if self.lo.is_empty() {
+            self.rehash(MIN_CAPACITY);
+        }
+        let (lo, hi) = (key as u64, (key >> 64) as u64);
+        let idx = self.probe(lo, hi);
+        if self.lo[idx] == lo && self.hi[idx] == hi {
+            self.counts[idx] = self.counts[idx].saturating_add(count);
+            return;
+        }
+        if (self.len + 1) * self.load_den > self.lo.len() * self.load_num {
+            self.rehash(self.lo.len() * 2);
+            let idx = self.probe(lo, hi);
+            self.set_slot(idx, lo, hi, count);
+        } else {
+            self.set_slot(idx, lo, hi, count);
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    fn set_slot(&mut self, idx: usize, lo: u64, hi: u64, count: u32) {
+        self.lo[idx] = lo;
+        self.hi[idx] = hi;
+        self.counts[idx] = count;
+    }
+
+    /// Rehash every occupied slot into fresh arrays of `new_cap` slots.
+    fn rehash(&mut self, new_cap: usize) {
+        debug_assert!(
+            new_cap.is_power_of_two() && new_cap * self.load_num >= self.len * self.load_den
+        );
+        let old_lo = std::mem::replace(&mut self.lo, vec![EMPTY_U64; new_cap]);
+        let old_hi = std::mem::replace(&mut self.hi, vec![EMPTY_U64; new_cap]);
+        let old_counts = std::mem::take(&mut self.counts);
+        self.counts = vec![0; new_cap];
+        self.mask = new_cap - 1;
+        for ((lo, hi), count) in old_lo.into_iter().zip(old_hi).zip(old_counts) {
+            if lo == EMPTY_U64 && hi == EMPTY_U64 {
+                continue;
+            }
+            let idx = self.probe(lo, hi);
+            self.set_slot(idx, lo, hi, count);
+        }
+    }
+
+    /// Drop entries with count < `threshold`, then rebuild into the
+    /// smallest capacity that fits the survivors.
+    pub fn prune(&mut self, threshold: u32) {
+        if self.sentinel_count.is_some_and(|c| c < threshold) {
+            self.sentinel_count = None;
+        }
+        let survivors =
+            (0..self.lo.len()).filter(|&i| !self.vacant(i) && self.counts[i] >= threshold).count();
+        let new_cap = capacity_for(survivors, self.load_num, self.load_den);
+        let old_lo = std::mem::replace(&mut self.lo, vec![EMPTY_U64; new_cap]);
+        let old_hi = std::mem::replace(&mut self.hi, vec![EMPTY_U64; new_cap]);
+        let old_counts = std::mem::take(&mut self.counts);
+        self.counts = vec![0; new_cap];
+        self.mask = new_cap.saturating_sub(1);
+        self.len = survivors;
+        for ((lo, hi), count) in old_lo.into_iter().zip(old_hi).zip(old_counts) {
+            if (lo == EMPTY_U64 && hi == EMPTY_U64) || count < threshold {
+                continue;
+            }
+            let idx = self.probe(lo, hi);
+            self.set_slot(idx, lo, hi, count);
+        }
+    }
+
+    /// Iterate `(key, count)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (u128, u32)> + '_ {
+        (0..self.lo.len())
+            .filter(|&i| !self.vacant(i))
+            .map(|i| (self.lo[i] as u128 | (self.hi[i] as u128) << 64, self.counts[i]))
+            .chain(self.sentinel_count.map(|c| (u128::MAX, c)))
+    }
+
+    /// Consume into `(key, count)` pairs.
+    pub fn into_entries(self) -> impl Iterator<Item = (u128, u32)> {
+        let sentinel = self.sentinel_count.map(|c| (u128::MAX, c));
+        self.lo
+            .into_iter()
+            .zip(self.hi)
+            .zip(self.counts)
+            .filter(|&((lo, hi), _)| lo != EMPTY_U64 || hi != EMPTY_U64)
+            .map(|((lo, hi), c)| (lo as u128 | (hi as u128) << 64, c))
+            .chain(sentinel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip_across_growth() {
+        let mut t = FlatKmerTable::new();
+        assert_eq!(t.capacity(), 0);
+        for key in 0..1000u64 {
+            t.add_count(key * 7919, (key % 9 + 1) as u32);
+        }
+        assert_eq!(t.len(), 1000);
+        for key in 0..1000u64 {
+            assert_eq!(t.get(key * 7919), Some((key % 9 + 1) as u32));
+        }
+        assert_eq!(t.get(123_456_789), None);
+        assert!(t.capacity().is_power_of_two());
+        // occupancy bound holds after growth
+        assert!(t.len() * 4 <= t.capacity() * 3);
+    }
+
+    #[test]
+    fn sentinel_key_is_a_legal_entry() {
+        let mut t = FlatKmerTable::new();
+        t.add_count(u64::MAX, 3); // k=32 poly-T is a real code
+        t.add_count(u64::MAX, 2);
+        assert_eq!(t.get(u64::MAX), Some(5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![(u64::MAX, 5)]);
+        t.prune(6);
+        assert_eq!(t.get(u64::MAX), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn counts_saturate_instead_of_wrapping() {
+        let mut t = FlatKmerTable::new();
+        t.add_count(42, u32::MAX - 1);
+        t.add_count(42, 5);
+        assert_eq!(t.get(42), Some(u32::MAX));
+        let mut s = FlatTileTable::new();
+        s.add_count(42, u32::MAX);
+        s.add_count(42, u32::MAX);
+        assert_eq!(s.get(42), Some(u32::MAX));
+    }
+
+    #[test]
+    fn prune_rebuilds_to_smallest_capacity() {
+        let mut t = FlatKmerTable::new();
+        for key in 0..10_000u64 {
+            t.add_count(key, if key < 50 { 3 } else { 1 });
+        }
+        let peak = t.memory_bytes();
+        t.prune(2);
+        assert_eq!(t.len(), 50);
+        for key in 0..50u64 {
+            assert_eq!(t.get(key), Some(3));
+        }
+        assert_eq!(t.get(51), None);
+        assert!(t.memory_bytes() < peak / 8, "prune must return memory");
+        assert_eq!(t.memory_bytes(), FlatKmerTable::bytes_for_entries(50));
+    }
+
+    #[test]
+    fn geometry_predicts_measured_bytes() {
+        // 12/13 and 768/769 straddle the 3/4-load growth boundaries
+        for n in [0usize, 1, 12, 13, 15, 100, 768, 769, 5000] {
+            let mut t = FlatKmerTable::new();
+            for key in 0..n as u64 {
+                t.add_count(key, 1);
+            }
+            assert_eq!(
+                t.memory_bytes(),
+                FlatKmerTable::bytes_for_entries(n),
+                "kmer geometry diverges at n={n}"
+            );
+            let mut s = FlatTileTable::new();
+            for key in 0..n as u128 {
+                s.add_count(key, 1);
+            }
+            assert_eq!(
+                s.memory_bytes(),
+                FlatTileTable::bytes_for_entries(n),
+                "tile geometry diverges at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn tile_table_distinguishes_halves() {
+        let mut t = FlatTileTable::new();
+        t.add_count(1u128, 1);
+        t.add_count(1u128 << 64, 2);
+        t.add_count((1u128 << 64) | 1, 3);
+        assert_eq!(t.get(1u128), Some(1));
+        assert_eq!(t.get(1u128 << 64), Some(2));
+        assert_eq!(t.get((1u128 << 64) | 1), Some(3));
+        assert_eq!(t.len(), 3);
+        let mut entries: Vec<_> = t.into_entries().collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 1), (1 << 64, 2), ((1 << 64) | 1, 3)]);
+    }
+
+    #[test]
+    fn iter_matches_into_entries() {
+        let mut t = FlatKmerTable::new();
+        for key in [5u64, 9, u64::MAX, 1 << 60] {
+            t.add_count(key, 2);
+        }
+        let mut a: Vec<_> = t.iter().collect();
+        let mut b: Vec<_> = t.into_entries().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_load_factor_bounds_occupancy() {
+        let mut t = FlatKmerTable::with_max_load(1, 2);
+        for key in 0..100u64 {
+            t.add_count(key, 1);
+        }
+        assert!(t.len() * 2 <= t.capacity(), "load ≤ 1/2");
+        assert_eq!(t.capacity(), 256);
+    }
+
+    #[test]
+    fn empty_prune_and_get_are_safe() {
+        let mut t = FlatKmerTable::new();
+        t.prune(2);
+        assert_eq!(t.get(7), None);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.capacity(), 0);
+        let mut s = FlatTileTable::new();
+        s.prune(2);
+        assert_eq!(s.get(7), None);
+        // pruning everything returns the allocation entirely
+        s.add_count(9, 1);
+        assert!(s.capacity() > 0);
+        s.prune(2);
+        assert_eq!(s.capacity(), 0);
+        assert_eq!(s.memory_bytes(), FlatTileTable::bytes_for_entries(0));
+    }
+}

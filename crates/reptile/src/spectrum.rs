@@ -4,23 +4,26 @@
 //! the key and the count of the k-mer as the value. ... The k-mer and
 //! tile spectrum are stored in separate hash tables" (paper §III step II
 //! and §II-B — hash tables instead of the sorted arrays of the earlier
-//! parallelizations).
+//! parallelizations). Both spectra sit on the flat open-addressing
+//! tables of [`crate::flat`], which pack key+count slots and report
+//! exact resident bytes (`memory_bytes`).
 
+use crate::flat::{FlatKmerTable, FlatTileTable};
 use crate::params::ReptileParams;
-use dnaseq::{FxHashMap, KmerCodec, Read, TileCodec};
+use dnaseq::{KmerCodec, Read, TileCodec};
 
 /// The k-mer spectrum: count per packed k-mer code.
 #[derive(Clone, Debug)]
 pub struct KmerSpectrum {
     codec: KmerCodec,
     canonical: bool,
-    counts: FxHashMap<u64, u32>,
+    counts: FlatKmerTable,
 }
 
 impl KmerSpectrum {
     /// Empty spectrum for `k`-mers.
     pub fn new(codec: KmerCodec, canonical: bool) -> KmerSpectrum {
-        KmerSpectrum { codec, canonical, counts: FxHashMap::default() }
+        KmerSpectrum { codec, canonical, counts: FlatKmerTable::new() }
     }
 
     /// The codec in use.
@@ -42,32 +45,50 @@ impl KmerSpectrum {
     pub fn add_read(&mut self, read: &Read) {
         for (_, code) in self.codec.kmers_of(&read.seq) {
             let code = self.normalize(code);
-            *self.counts.entry(code).or_insert(0) += 1;
+            self.counts.add_count(code, 1);
         }
     }
 
-    /// Add a single (already normalized) code with a count.
+    /// Add a single (already normalized) code with a count (saturating).
     pub fn add_count(&mut self, code: u64, count: u32) {
-        *self.counts.entry(code).or_insert(0) += count;
+        self.counts.add_count(code, count);
     }
 
     /// Count of a code (0 if absent). Normalizes internally.
     #[inline]
     pub fn count(&self, code: u64) -> u32 {
-        self.counts.get(&self.normalize(code)).copied().unwrap_or(0)
+        self.counts.get(self.normalize(code)).unwrap_or(0)
+    }
+
+    /// [`count`](KmerSpectrum::count) for a code that is already
+    /// normalized (owner-side paths: keys arriving over the wire or out
+    /// of an [`OwnerMap`]-keyed batch were canonicalized at the sender).
+    /// Skips the revcomp/min canonicalization, which is idempotent, so
+    /// the answer is identical.
+    #[inline]
+    pub fn count_raw(&self, code: u64) -> u32 {
+        debug_assert_eq!(code, self.normalize(code), "count_raw on unnormalized code");
+        self.counts.get(code).unwrap_or(0)
     }
 
     /// Stored count of a code, `None` when absent — distinguishes "known
     /// count 0" entries (resolved reads tables) from missing entries.
     #[inline]
     pub fn get(&self, code: u64) -> Option<u32> {
-        self.counts.get(&self.normalize(code)).copied()
+        self.counts.get(self.normalize(code))
+    }
+
+    /// [`get`](KmerSpectrum::get) for an already normalized code.
+    #[inline]
+    pub fn get_raw(&self, code: u64) -> Option<u32> {
+        debug_assert_eq!(code, self.normalize(code), "get_raw on unnormalized code");
+        self.counts.get(code)
     }
 
     /// Remove entries below `threshold` (paper §III step III: "k-mers and
     /// tiles below a threshold are subsequently removed").
     pub fn prune(&mut self, threshold: u32) {
-        self.counts.retain(|_, c| *c >= threshold);
+        self.counts.prune(threshold);
     }
 
     /// Number of distinct k-mers stored.
@@ -82,12 +103,23 @@ impl KmerSpectrum {
 
     /// Iterate `(code, count)` pairs (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
-        self.counts.iter().map(|(&k, &v)| (k, v))
+        self.counts.iter()
     }
 
     /// Drain into `(code, count)` pairs.
     pub fn into_entries(self) -> impl Iterator<Item = (u64, u32)> {
-        self.counts.into_iter()
+        self.counts.into_entries()
+    }
+
+    /// Exact resident bytes of the backing table (slots + header).
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.memory_bytes()
+    }
+
+    /// Bytes a k-mer spectrum holding `n` entries occupies (flat-table
+    /// geometry at default max load) — the virtual engine's memory model.
+    pub fn bytes_for_entries(n: usize) -> usize {
+        FlatKmerTable::bytes_for_entries(n)
     }
 }
 
@@ -97,13 +129,13 @@ impl KmerSpectrum {
 pub struct TileSpectrum {
     codec: TileCodec,
     canonical: bool,
-    counts: FxHashMap<u128, u32>,
+    counts: FlatTileTable,
 }
 
 impl TileSpectrum {
     /// Empty spectrum for the given tile shape.
     pub fn new(codec: TileCodec, canonical: bool) -> TileSpectrum {
-        TileSpectrum { codec, canonical, counts: FxHashMap::default() }
+        TileSpectrum { codec, canonical, counts: FlatTileTable::new() }
     }
 
     /// The codec in use.
@@ -125,31 +157,46 @@ impl TileSpectrum {
     pub fn add_read(&mut self, read: &Read) {
         for (_, code) in self.codec.tiles_of(&read.seq) {
             let code = self.normalize(code);
-            *self.counts.entry(code).or_insert(0) += 1;
+            self.counts.add_count(code, 1);
         }
     }
 
-    /// Add a single (already normalized) code with a count.
+    /// Add a single (already normalized) code with a count (saturating).
     pub fn add_count(&mut self, code: u128, count: u32) {
-        *self.counts.entry(code).or_insert(0) += count;
+        self.counts.add_count(code, count);
     }
 
     /// Count of a code (0 if absent). Normalizes internally.
     #[inline]
     pub fn count(&self, code: u128) -> u32 {
-        self.counts.get(&self.normalize(code)).copied().unwrap_or(0)
+        self.counts.get(self.normalize(code)).unwrap_or(0)
+    }
+
+    /// [`count`](TileSpectrum::count) for an already normalized code
+    /// (see [`KmerSpectrum::count_raw`]).
+    #[inline]
+    pub fn count_raw(&self, code: u128) -> u32 {
+        debug_assert_eq!(code, self.normalize(code), "count_raw on unnormalized code");
+        self.counts.get(code).unwrap_or(0)
     }
 
     /// Stored count of a code, `None` when absent — distinguishes "known
     /// count 0" entries (resolved reads tables) from missing entries.
     #[inline]
     pub fn get(&self, code: u128) -> Option<u32> {
-        self.counts.get(&self.normalize(code)).copied()
+        self.counts.get(self.normalize(code))
+    }
+
+    /// [`get`](TileSpectrum::get) for an already normalized code.
+    #[inline]
+    pub fn get_raw(&self, code: u128) -> Option<u32> {
+        debug_assert_eq!(code, self.normalize(code), "get_raw on unnormalized code");
+        self.counts.get(code)
     }
 
     /// Remove entries below `threshold`.
     pub fn prune(&mut self, threshold: u32) {
-        self.counts.retain(|_, c| *c >= threshold);
+        self.counts.prune(threshold);
     }
 
     /// Number of distinct tiles stored.
@@ -164,12 +211,23 @@ impl TileSpectrum {
 
     /// Iterate `(code, count)` pairs (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (u128, u32)> + '_ {
-        self.counts.iter().map(|(&k, &v)| (k, v))
+        self.counts.iter()
     }
 
     /// Drain into `(code, count)` pairs.
     pub fn into_entries(self) -> impl Iterator<Item = (u128, u32)> {
-        self.counts.into_iter()
+        self.counts.into_entries()
+    }
+
+    /// Exact resident bytes of the backing table (slots + header).
+    pub fn memory_bytes(&self) -> usize {
+        self.counts.memory_bytes()
+    }
+
+    /// Bytes a tile spectrum holding `n` entries occupies (flat-table
+    /// geometry at default max load) — the virtual engine's memory model.
+    pub fn bytes_for_entries(n: usize) -> usize {
+        FlatTileTable::bytes_for_entries(n)
     }
 }
 

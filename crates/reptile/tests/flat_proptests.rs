@@ -1,0 +1,154 @@
+//! Model-based property tests: the flat open-addressing tables must
+//! behave exactly like a `FxHashMap` with saturating counts under any
+//! interleaving of `add_count` / `prune` / `get`, including growth
+//! boundaries (small key pools force collisions and rehashes), count
+//! saturation at `u32::MAX`, and the reserved empty-sentinel key
+//! (`u64::MAX` / `u128::MAX`), which is itself a legal code.
+
+use dnaseq::FxHashMap;
+use proptest::prelude::*;
+use reptile::{FlatKmerTable, FlatTileTable};
+
+/// One step of the interleaving, generic over the key width.
+#[derive(Clone, Debug)]
+enum Op<K> {
+    Add(K, u32),
+    Prune(u32),
+    Get(K),
+}
+
+/// Keys biased toward collisions (tiny pool), the sentinel neighborhood,
+/// and arbitrary values.
+fn kmer_key() -> impl Strategy<Value = u64> {
+    prop_oneof![0u64..24, Just(u64::MAX), Just(u64::MAX - 1), any::<u64>(),]
+}
+
+fn tile_key() -> impl Strategy<Value = u128> {
+    prop_oneof![
+        0u128..24,
+        Just(u128::MAX),
+        Just(u128::MAX - 1),
+        // keys differing only in the high half
+        (0u128..24).prop_map(|k| k << 64),
+        any::<u128>(),
+    ]
+}
+
+/// Counts biased toward the saturation boundary.
+fn count() -> impl Strategy<Value = u32> {
+    prop_oneof![1u32..5, Just(u32::MAX), Just(u32::MAX - 1)]
+}
+
+fn kmer_ops() -> impl Strategy<Value = Vec<Op<u64>>> {
+    prop::collection::vec(
+        prop_oneof![
+            (kmer_key(), count()).prop_map(|(k, c)| Op::Add(k, c)),
+            (0u32..6).prop_map(Op::Prune),
+            kmer_key().prop_map(Op::Get),
+        ],
+        1..120,
+    )
+}
+
+fn tile_ops() -> impl Strategy<Value = Vec<Op<u128>>> {
+    prop::collection::vec(
+        prop_oneof![
+            (tile_key(), count()).prop_map(|(k, c)| Op::Add(k, c)),
+            (0u32..6).prop_map(Op::Prune),
+            tile_key().prop_map(Op::Get),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any interleaving of add/prune/get agrees with the hash-map model,
+    /// and the surviving entry sets match exactly at the end.
+    #[test]
+    fn kmer_table_matches_hashmap_model(ops in kmer_ops()) {
+        let mut table = FlatKmerTable::new();
+        let mut model: FxHashMap<u64, u32> = FxHashMap::default();
+        for op in ops {
+            match op {
+                Op::Add(key, count) => {
+                    table.add_count(key, count);
+                    let e = model.entry(key).or_insert(0);
+                    *e = e.saturating_add(count);
+                }
+                Op::Prune(threshold) => {
+                    table.prune(threshold);
+                    model.retain(|_, c| *c >= threshold);
+                }
+                Op::Get(key) => {
+                    prop_assert_eq!(table.get(key), model.get(&key).copied());
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        let mut got: Vec<(u64, u32)> = table.iter().collect();
+        got.sort_unstable();
+        let mut via_into: Vec<(u64, u32)> = table.into_entries().collect();
+        via_into.sort_unstable();
+        let mut want: Vec<(u64, u32)> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want, "iter diverges from model");
+        prop_assert_eq!(&via_into, &want, "into_entries diverges from model");
+    }
+
+    /// Split-u128 variant of the same model equivalence.
+    #[test]
+    fn tile_table_matches_hashmap_model(ops in tile_ops()) {
+        let mut table = FlatTileTable::new();
+        let mut model: FxHashMap<u128, u32> = FxHashMap::default();
+        for op in ops {
+            match op {
+                Op::Add(key, count) => {
+                    table.add_count(key, count);
+                    let e = model.entry(key).or_insert(0);
+                    *e = e.saturating_add(count);
+                }
+                Op::Prune(threshold) => {
+                    table.prune(threshold);
+                    model.retain(|_, c| *c >= threshold);
+                }
+                Op::Get(key) => {
+                    prop_assert_eq!(table.get(key), model.get(&key).copied());
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        let mut got: Vec<(u128, u32)> = table.iter().collect();
+        got.sort_unstable();
+        let mut want: Vec<(u128, u32)> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want, "iter diverges from model");
+    }
+
+    /// The measured footprint always equals the static geometry at the
+    /// table's entry count after a prune (the invariant the virtual
+    /// engine's memory model depends on), and occupancy never exceeds
+    /// the default 3/4 load bound.
+    #[test]
+    fn kmer_geometry_invariants(ops in kmer_ops()) {
+        let mut table = FlatKmerTable::new();
+        for op in ops {
+            match op {
+                Op::Add(key, count) => table.add_count(key, count),
+                Op::Prune(threshold) => {
+                    table.prune(threshold);
+                    // sentinel lives in the header, not a slot
+                    let slot_entries = table.iter().filter(|&(k, _)| k != u64::MAX).count();
+                    prop_assert_eq!(
+                        table.memory_bytes(),
+                        FlatKmerTable::bytes_for_entries(slot_entries)
+                    );
+                }
+                Op::Get(_) => {}
+            }
+            let slots = table.iter().filter(|&(k, _)| k != u64::MAX).count();
+            prop_assert!(slots * 4 <= table.capacity().max(1) * 3, "load bound violated");
+        }
+    }
+}
