@@ -28,7 +28,7 @@ fn bench_spectrum_build(c: &mut Criterion) {
                     .filter(|(i, _)| i % 4 == comm.rank())
                     .map(|(_, r)| r.clone())
                     .collect();
-                build_distributed(comm, &mine, 2000, &p, &HeuristicConfig::base()).1
+                build_distributed(comm, &mine, 2000, &p, &HeuristicConfig::base(), 2).1
             })
         })
     });

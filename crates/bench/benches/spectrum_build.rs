@@ -1,0 +1,77 @@
+//! Criterion benchmark for the spectrum-construction phase: the serial
+//! reference builder vs the pipelined fused-scan builder (1 and 4
+//! extraction workers), single rank, plus the batched multi-rank build
+//! with and without the double-buffered exchange overlap. The
+//! CI-tracked JSON twin of these numbers is
+//! `reptile_bench::build_bench` (`figures -- bench-json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mpisim::Universe;
+use reptile_bench::build_bench::build_workload;
+use reptile_bench::workloads::smoke_params;
+use reptile_dist::spectrum::{build_distributed, build_distributed_serial};
+use reptile_dist::HeuristicConfig;
+
+fn bench_single_rank(c: &mut Criterion) {
+    let reads = build_workload(6_000, 60, 3);
+    let p = smoke_params();
+    let mut g = c.benchmark_group("spectrum_build_single_rank");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(reads.len() as u64));
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            let r = &reads;
+            Universe::new(1).run(|comm| {
+                black_box(build_distributed_serial(comm, r, 2000, &p, &HeuristicConfig::base()).1)
+            })
+        })
+    });
+    for threads in [1usize, 4] {
+        let name = format!("pipelined_{threads}t");
+        g.bench_function(name.as_str(), |b| {
+            b.iter(|| {
+                let r = &reads;
+                Universe::new(1).run(|comm| {
+                    black_box(
+                        build_distributed(comm, r, 2000, &p, &HeuristicConfig::base(), threads).1,
+                    )
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_batched_overlap(c: &mut Criterion) {
+    let reads = build_workload(6_000, 60, 3);
+    let p = smoke_params();
+    let heur = HeuristicConfig { batch_reads: true, ..Default::default() };
+    let np = 4;
+    let mut g = c.benchmark_group("spectrum_build_np4_batched");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(reads.len() as u64));
+    g.bench_function("serial_blocking", |b| {
+        b.iter(|| {
+            let r = &reads;
+            Universe::new(np).run(|comm| {
+                let n = r.len();
+                let (lo, hi) = (comm.rank() * n / np, (comm.rank() + 1) * n / np);
+                black_box(build_distributed_serial(comm, &r[lo..hi], 500, &p, &heur).1)
+            })
+        })
+    });
+    g.bench_function("pipelined_overlapped_2t", |b| {
+        b.iter(|| {
+            let r = &reads;
+            Universe::new(np).run(|comm| {
+                let n = r.len();
+                let (lo, hi) = (comm.rank() * n / np, (comm.rank() + 1) * n / np);
+                black_box(build_distributed(comm, &r[lo..hi], 500, &p, &heur, 2).1)
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_rank, bench_batched_overlap);
+criterion_main!(benches);

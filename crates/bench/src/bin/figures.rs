@@ -90,14 +90,20 @@ fn main() {
                 let ds = ecoli_scaled();
                 println!("{}", render_latency(&latency_sweep(&ds, params, ECOLI_DIVISOR)));
             }
-            // Not part of `all`: writes BENCH_spectrum.json instead of
-            // printing a paper table (CI runs it explicitly).
+            // Not part of `all`: writes BENCH_spectrum.json and
+            // BENCH_build.json instead of printing a paper table (CI
+            // runs it explicitly).
             "bench-json" => {
                 let report = reptile_bench::spectrum_bench::run(200_000);
                 let json = reptile_bench::spectrum_bench::render_json(&report);
                 std::fs::write("BENCH_spectrum.json", &json).expect("write BENCH_spectrum.json");
                 print!("{json}");
                 eprintln!("wrote BENCH_spectrum.json");
+                let build = reptile_bench::build_bench::run(20_000);
+                let json = reptile_bench::build_bench::render_json(&build);
+                std::fs::write("BENCH_build.json", &json).expect("write BENCH_build.json");
+                print!("{json}");
+                eprintln!("wrote BENCH_build.json");
             }
             other => {
                 eprintln!("unknown item '{other}' (expected table1, fig2..fig8, bench-json, all)");

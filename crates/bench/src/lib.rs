@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod build_bench;
 pub mod figures;
 pub mod spectrum_bench;
 pub mod workloads;

@@ -15,6 +15,9 @@
 //!   --partial-group G    §V partial replication group size
 //!   --no-load-balance    disable the static shuffle (§III-A)
 //!   --chunk-size N       override the config file's chunk size
+//!   --build-threads N    extraction workers per rank for the pipelined
+//!                        spectrum build (default: all host cores; the
+//!                        virtual engine models N workers per rank)
 //!   --report             print the per-rank report table
 //! ```
 //!
@@ -45,6 +48,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let heuristics = heuristics_from_args(&args)?;
     let np = args.int("np", 8)?;
     let chunk_size = args.int("chunk-size", config.chunk_size)?;
+    let build_threads = args.int("build-threads", reptile_dist::default_build_threads())?.max(1);
     let engine = args.value("engine").unwrap_or("mt");
 
     let (corrected, report) = match engine {
@@ -54,6 +58,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 chunk_size,
                 params,
                 heuristics,
+                build_threads,
                 ..EngineConfig::new(np, params)
             };
             let out = run_distributed_files(&cfg, &config.fasta_file, &config.qual_file)?;
@@ -64,6 +69,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let mut cfg = VirtualConfig::new(np, params);
             cfg.chunk_size = chunk_size;
             cfg.heuristics = heuristics;
+            cfg.build_threads = build_threads;
             cfg.scale = args.int("scale", 1)? as f64;
             let run = run_virtual(&cfg, &reads);
             (run.corrected, run.report)

@@ -102,13 +102,15 @@ impl ArgParser {
 
 /// Build the heuristic configuration from parsed flags.
 pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageError> {
-    let mut heur = HeuristicConfig::default();
-    heur.universal = args.has("universal");
-    heur.batch_reads = args.has("batch-reads");
-    heur.keep_read_tables = args.has("read-tables");
-    heur.cache_remote = args.has("cache-remote");
-    heur.aggregate_lookups = args.has("aggregate");
-    heur.load_balance = !args.has("no-load-balance");
+    let mut heur = HeuristicConfig {
+        universal: args.has("universal"),
+        batch_reads: args.has("batch-reads"),
+        keep_read_tables: args.has("read-tables"),
+        cache_remote: args.has("cache-remote"),
+        aggregate_lookups: args.has("aggregate"),
+        load_balance: !args.has("no-load-balance"),
+        ..HeuristicConfig::default()
+    };
     match args.value("replicate") {
         None => {}
         Some("kmers") => heur.replicate_kmers = true,

@@ -1,0 +1,178 @@
+//! Fused k-mer + tile extraction in one rolling scan.
+//!
+//! Spectrum construction (paper Steps II–III) needs both streams of a
+//! read: every k-mer window and every tile window. Running
+//! [`KmerCodec::kmers_of`] and [`TileCodec::tiles_of`] separately pays
+//! twice for the base decoding, and `tiles_of` re-encodes each tile
+//! window from scratch — `O(tile_len)` per tile. But a tile *is* two
+//! k-mers at distance [`TileCodec::stride`], so the rolling k-mer scan
+//! already holds everything a tile needs: when the k-mer at position `p`
+//! appears, the tile starting at `s = p − stride` is
+//! [`TileCodec::from_kmers`] of the k-mer remembered at `s` and the one
+//! at `p` — an `O(1)` shift/or instead of a fresh window encode.
+//!
+//! A tile window at `s` is valid exactly when both of its k-mers are:
+//! the two k-mer windows jointly cover the tile's bases (`stride ≤ k`),
+//! so neither can contain an ambiguous base if both encoded. The scan
+//! therefore emits precisely the tiles `tiles_of` emits — the
+//! stride-aligned starts plus the end-anchored final window — in the
+//! same order, which is what lets the distributed builder swap the two
+//! separate scans for this one without changing any output.
+
+use crate::kmer::{KmerCode, KmerCodec, KmerIter};
+use crate::tile::{TileCode, TileCodec};
+
+/// One step of the fused scan: a valid k-mer window plus, when that
+/// window closes one, the tile ending at the same base.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FusedItem {
+    /// Start position of the k-mer window.
+    pub kmer_pos: usize,
+    /// The k-mer code at `kmer_pos`.
+    pub kmer: KmerCode,
+    /// The tile whose second k-mer is this window, if this position
+    /// closes a tile window (stride-aligned start or the end-anchored
+    /// final window, matching [`TileCodec::tiles_of`]).
+    pub tile: Option<(usize, TileCode)>,
+}
+
+/// Iterator returned by [`TileCodec::fused_scan`].
+pub struct FusedScan<'a> {
+    tiles: TileCodec,
+    kmers: KmerIter<'a>,
+    stride: usize,
+    /// Start of the last k-mer window (`seq.len() − k`); `usize::MAX`
+    /// for reads too short to hold a k-mer. The tile ending at this
+    /// window is the end-anchored final window of `tiles_of`.
+    last_kmer_start: usize,
+    /// Ring of the most recent valid k-mers, indexed by
+    /// `pos % ring.len()` — ambiguous bases leave gaps in the position
+    /// sequence, so each slot carries its position to validate a hit.
+    ring: Vec<(usize, KmerCode)>,
+}
+
+impl TileCodec {
+    /// Scan `seq` once, yielding every valid k-mer window together with
+    /// the tile (if any) that window completes. The k-mer stream equals
+    /// [`KmerCodec::kmers_of`] for `k()`-mers; the tile stream equals
+    /// [`TileCodec::tiles_of`] (same starts, codes, and order).
+    pub fn fused_scan<'a>(&self, seq: &'a [u8]) -> FusedScan<'a> {
+        let kcodec = KmerCodec::new(self.k());
+        let stride = self.stride();
+        let last_kmer_start = if seq.len() >= self.k() { seq.len() - self.k() } else { usize::MAX };
+        FusedScan {
+            tiles: *self,
+            kmers: kcodec.kmers_of(seq),
+            stride,
+            last_kmer_start,
+            ring: vec![(usize::MAX, 0); stride + 1],
+        }
+    }
+}
+
+impl Iterator for FusedScan<'_> {
+    type Item = FusedItem;
+
+    fn next(&mut self) -> Option<FusedItem> {
+        let (pos, code) = self.kmers.next()?;
+        let cap = self.ring.len();
+        let tile = if pos >= self.stride {
+            let s = pos - self.stride;
+            let (ring_pos, first) = self.ring[s % cap];
+            // Emit iff the first k-mer of the would-be tile was valid and
+            // the start is one `tiles_of` visits: stride-aligned, or the
+            // end-anchored window closing at the read's final k-mer.
+            if ring_pos == s && (s.is_multiple_of(self.stride) || pos == self.last_kmer_start) {
+                Some((s, self.tiles.from_kmers(first, code)))
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        self.ring[pos % cap] = (pos, code);
+        Some(FusedItem { kmer_pos: pos, kmer: code, tile })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(seq: &[u8], k: usize, overlap: usize) {
+        let tcodec = TileCodec::new(k, overlap);
+        let kcodec = KmerCodec::new(k);
+        let items: Vec<FusedItem> = tcodec.fused_scan(seq).collect();
+        let kmers: Vec<(usize, KmerCode)> = items.iter().map(|i| (i.kmer_pos, i.kmer)).collect();
+        let tiles: Vec<(usize, TileCode)> = items.iter().filter_map(|i| i.tile).collect();
+        assert_eq!(
+            kmers,
+            kcodec.kmers_of(seq).collect::<Vec<_>>(),
+            "kmer stream diverged: k={k} o={overlap} seq={:?}",
+            String::from_utf8_lossy(seq)
+        );
+        assert_eq!(
+            tiles,
+            tcodec.tiles_of(seq).collect::<Vec<_>>(),
+            "tile stream diverged: k={k} o={overlap} seq={:?}",
+            String::from_utf8_lossy(seq)
+        );
+    }
+
+    #[test]
+    fn matches_separate_scans_on_clean_reads() {
+        check(b"ACGTACGTACGT", 4, 2);
+        check(b"ACGTACGTACGTT", 4, 2); // anchored final window
+        check(b"GATTACAGATTACA", 6, 3);
+        check(b"ACGTACGTA", 5, 2); // stride 3, anchored at 1
+    }
+
+    #[test]
+    fn matches_separate_scans_with_ambiguous_bases() {
+        check(b"ACGNACGTACGT", 4, 2);
+        check(b"NNNNNN", 4, 2);
+        check(b"ACGTNNACGTACGTN", 4, 2);
+        check(b"ACGTACNGTACGTACGNT", 5, 3);
+        check(b"ANCNGNTN", 3, 1);
+    }
+
+    #[test]
+    fn matches_on_short_and_empty_reads() {
+        check(b"", 4, 2);
+        check(b"ACG", 4, 2); // shorter than k
+        check(b"ACGT", 4, 2); // exactly k: kmer but no tile
+        check(b"ACGTA", 4, 2); // k < len < tile_len
+        check(b"ACGTAC", 4, 2); // exactly tile_len
+    }
+
+    #[test]
+    fn matches_across_parameter_grid_on_random_reads() {
+        // Deterministic pseudo-random reads with ~6% ambiguous bases.
+        for (k, overlap) in [(3, 1), (4, 2), (5, 2), (6, 5), (8, 4), (13, 7), (32, 1)] {
+            for len in [0, 1, 7, 19, 40, 63, 64, 65, 150] {
+                let seed = crate::mix64((k * 1000 + overlap * 100 + len) as u64);
+                let seq: Vec<u8> = (0..len)
+                    .map(|j| {
+                        let r = crate::mix64(seed ^ j as u64);
+                        if r.is_multiple_of(16) {
+                            b'N'
+                        } else {
+                            [b'A', b'C', b'G', b'T'][(r % 4) as usize]
+                        }
+                    })
+                    .collect();
+                check(&seq, k, overlap);
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_window_not_emitted_twice_when_stride_aligned() {
+        // len 12, tile_len 6, stride 2: last start 6 is stride-aligned, so
+        // exactly four tiles — the fused scan must not duplicate start 6.
+        let tcodec = TileCodec::new(4, 2);
+        let starts: Vec<usize> =
+            tcodec.fused_scan(b"ACGTACGTACGT").filter_map(|i| i.tile.map(|t| t.0)).collect();
+        assert_eq!(starts, vec![0, 2, 4, 6]);
+    }
+}

@@ -22,6 +22,7 @@
 
 pub mod base;
 pub mod bloom;
+pub mod fused;
 pub mod hashing;
 pub mod kmer;
 pub mod neighbors;
@@ -31,6 +32,7 @@ pub mod tile;
 
 pub use base::Base;
 pub use bloom::BloomFilter;
+pub use fused::{FusedItem, FusedScan};
 pub use hashing::{mix128, mix128_parts, mix64, owner_of, FxBuildHasher, FxHashMap, FxHashSet};
 pub use kmer::{KmerCode, KmerCodec};
 pub use neighbors::{neighbors_at_positions, NucCode};

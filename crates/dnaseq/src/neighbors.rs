@@ -174,7 +174,7 @@ mod tests {
         let code = codec.encode(b"AAAAAA").unwrap();
         for (neigh, d) in neighbors_at_positions(code, 6, &[0, 2, 4], 2) {
             assert_eq!(hamming(code, neigh, 6), d);
-            assert!(d >= 1 && d <= 2);
+            assert!((1..=2).contains(&d));
         }
     }
 

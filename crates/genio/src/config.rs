@@ -225,10 +225,7 @@ mod tests {
 
     #[test]
     fn text_round_trip() {
-        let mut cfg = RunConfig::default();
-        cfg.k = 14;
-        cfg.tile_overlap = 7;
-        cfg.canonical = true;
+        let cfg = RunConfig { k: 14, tile_overlap: 7, canonical: true, ..RunConfig::default() };
         let reparsed = RunConfig::parse(&cfg.to_text()).unwrap();
         assert_eq!(reparsed, cfg);
     }

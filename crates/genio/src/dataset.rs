@@ -306,11 +306,11 @@ mod tests {
         let (mut err_q, mut ok_q) = (0f64, 0f64);
         let (mut n_err, mut n_ok) = (0u64, 0u64);
         for (r, t) in ds.reads.iter().zip(&ds.truth) {
-            for j in 0..r.len() {
+            for (j, &tb) in t.iter().enumerate().take(r.len()) {
                 if r.seq[j] == b'N' {
                     continue;
                 }
-                if r.seq[j] != t[j] {
+                if r.seq[j] != tb {
                     err_q += r.qual[j] as f64;
                     n_err += 1;
                 } else {

@@ -22,8 +22,11 @@
 //! number of batches even though it might have exhausted its set of
 //! reads").
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::any::Any;
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
 type Slot = Mutex<Option<Box<dyn Any + Send>>>;
@@ -35,6 +38,24 @@ pub(crate) struct CollectiveState {
     matrix: Vec<Slot>,
     /// np gather/reduce slots.
     row: Vec<Slot>,
+    /// Per-rank issue counters for non-blocking rounds. All ranks must
+    /// start non-blocking collectives in the same order (MPI's matching
+    /// rule), so the n-th `start_alltoallv` of every rank shares one
+    /// round id regardless of arrival timing.
+    nb_seq: Vec<AtomicU64>,
+    /// In-flight non-blocking rounds, keyed by round id. Unlike the
+    /// blocking matrix there is no barrier sandwich: depositors never
+    /// wait, and `wait` blocks on the condvar only until all `np` rows
+    /// of its round have arrived — that is what buys the overlap.
+    nb: Mutex<HashMap<u64, NbRound>>,
+    nb_cv: Condvar,
+}
+
+struct NbRound {
+    /// np×np slots, row-major `slots[src*np + dst]`.
+    slots: Vec<Option<Box<dyn Any + Send>>>,
+    deposited: usize,
+    collected: usize,
 }
 
 impl CollectiveState {
@@ -44,8 +65,25 @@ impl CollectiveState {
             barrier: Barrier::new(np),
             matrix: (0..np * np).map(|_| Mutex::new(None)).collect(),
             row: (0..np).map(|_| Mutex::new(None)).collect(),
+            nb_seq: (0..np).map(|_| AtomicU64::new(0)).collect(),
+            nb: Mutex::new(HashMap::new()),
+            nb_cv: Condvar::new(),
         }
     }
+}
+
+/// Handle for an in-flight non-blocking alltoallv round
+/// ([`crate::Comm::start_alltoallv`]); redeem with [`wait`] to receive.
+/// Dropping the handle without waiting leaks the round's buffers for the
+/// lifetime of the universe (peers are unaffected — they only need the
+/// deposit, which happened at start).
+///
+/// [`wait`]: PendingAlltoallv::wait
+#[must_use = "an unawaited alltoallv never delivers its received rows"]
+pub struct PendingAlltoallv<'c, T> {
+    comm: &'c crate::comm::Comm,
+    round: u64,
+    _elem: PhantomData<fn() -> T>,
 }
 
 impl crate::comm::Comm {
@@ -75,6 +113,39 @@ impl crate::comm::Comm {
         }
         cs.barrier.wait();
         recv
+    }
+
+    /// Non-blocking `MPI_Ialltoallv`: deposit `send` and return
+    /// immediately with a handle; [`PendingAlltoallv::wait`] delivers the
+    /// received rows. Between start and wait the rank is free to compute —
+    /// the double-buffered spectrum build overlaps batch *B*'s exchange
+    /// with batch *B+1*'s extraction this way.
+    ///
+    /// Matching follows MPI's rule: every rank must start its
+    /// non-blocking collectives in the same order (the n-th start on each
+    /// rank forms one round). Several rounds may be in flight at once.
+    pub fn start_alltoallv<T: Send + 'static>(&self, send: Vec<Vec<T>>) -> PendingAlltoallv<'_, T> {
+        let cs = &self.shared().collectives;
+        let np = cs.np;
+        assert_eq!(send.len(), np, "alltoallv send buffer must have one entry per rank");
+        let me = self.rank();
+        let bytes: usize = send.iter().map(|v| v.len() * std::mem::size_of::<T>()).sum();
+        self.shared().stats[me].count_collective_nonblocking(bytes);
+        let round = cs.nb_seq[me].fetch_add(1, Ordering::Relaxed);
+        {
+            let mut rounds = cs.nb.lock();
+            let entry = rounds.entry(round).or_insert_with(|| NbRound {
+                slots: (0..np * np).map(|_| None).collect(),
+                deposited: 0,
+                collected: 0,
+            });
+            for (dst, data) in send.into_iter().enumerate() {
+                entry.slots[me * np + dst] = Some(Box::new(data));
+            }
+            entry.deposited += 1;
+        }
+        cs.nb_cv.notify_all();
+        PendingAlltoallv { comm: self, round, _elem: PhantomData }
     }
 
     /// `MPI_Allgatherv`: every rank contributes `mine`; everyone receives
@@ -209,6 +280,34 @@ impl crate::comm::Comm {
         };
         cs.barrier.wait();
         out
+    }
+}
+
+impl<T: Send + 'static> PendingAlltoallv<'_, T> {
+    /// Block until every rank's deposit for this round has arrived, then
+    /// take this rank's received rows: `recv[s]` is what rank `s` put in
+    /// its `send[me]`, exactly like the blocking [`Comm::alltoallv`].
+    ///
+    /// [`Comm::alltoallv`]: crate::comm::Comm::alltoallv
+    pub fn wait(self) -> Vec<Vec<T>> {
+        let cs = &self.comm.shared().collectives;
+        let np = cs.np;
+        let me = self.comm.rank();
+        let mut rounds = cs.nb.lock();
+        while rounds.get(&self.round).is_none_or(|r| r.deposited < np) {
+            cs.nb_cv.wait(&mut rounds);
+        }
+        let round = rounds.get_mut(&self.round).expect("round present while waiting");
+        let mut recv = Vec::with_capacity(np);
+        for src in 0..np {
+            let boxed = round.slots[src * np + me].take().expect("all ranks deposited");
+            recv.push(*boxed.downcast::<Vec<T>>().expect("uniform alltoallv element type"));
+        }
+        round.collected += 1;
+        if round.collected == np {
+            rounds.remove(&self.round);
+        }
+        recv
     }
 }
 
@@ -377,6 +476,98 @@ mod tests {
         assert_eq!(results[0].0, vec![vec![42]]);
         assert_eq!(results[0].1, vec![vec![7]]);
         assert_eq!(results[0].2, 9);
+    }
+
+    #[test]
+    fn start_alltoallv_transposes_like_blocking() {
+        let np = 5;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            let send: Vec<Vec<usize>> = (0..np).map(|d| vec![me * 10 + d]).collect();
+            comm.start_alltoallv(send).wait()
+        });
+        for (me, recv) in results.into_iter().enumerate() {
+            for (src, v) in recv.into_iter().enumerate() {
+                assert_eq!(v, vec![src * 10 + me]);
+            }
+        }
+    }
+
+    #[test]
+    fn start_alltoallv_overlaps_compute_between_start_and_wait() {
+        // Ranks start the exchange, then do rank-skewed local work before
+        // waiting — no rank may block until its own wait().
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            let pending = comm.start_alltoallv((0..np).map(|d| vec![(me, d)]).collect());
+            let local: usize = (0..(me + 1) * 1000).sum(); // stand-in compute
+            (pending.wait(), local)
+        });
+        for (me, (recv, _)) in results.into_iter().enumerate() {
+            for (src, v) in recv.into_iter().enumerate() {
+                assert_eq!(v, vec![(src, me)]);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_nonblocking_rounds_in_flight() {
+        // Double buffering keeps two rounds pending at once (k-mers and
+        // tiles of one batch); rounds must match by issue order, not by
+        // completion order.
+        let np = 3;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank();
+            let a = comm.start_alltoallv((0..np).map(|d| vec![(me, d, 'a')]).collect());
+            let b = comm.start_alltoallv((0..np).map(|d| vec![(me, d, 'b')]).collect());
+            // Wait out of issue order on purpose.
+            let rb = b.wait();
+            let ra = a.wait();
+            (ra, rb)
+        });
+        for (me, (a, b)) in results.into_iter().enumerate() {
+            for src in 0..np {
+                assert_eq!(a[src], vec![(src, me, 'a')]);
+                assert_eq!(b[src], vec![(src, me, 'b')]);
+            }
+        }
+    }
+
+    #[test]
+    fn nonblocking_interleaves_with_blocking_collectives() {
+        let np = 4;
+        let results = Universe::new(np).run(|comm| {
+            let me = comm.rank() as u64;
+            let pending =
+                comm.start_alltoallv((0..np).map(|d| vec![me * 100 + d as u64]).collect());
+            let max = comm.allreduce_max_u64(me);
+            (pending.wait(), max)
+        });
+        for (me, (recv, max)) in results.into_iter().enumerate() {
+            assert_eq!(max, np as u64 - 1);
+            for (src, v) in recv.into_iter().enumerate() {
+                assert_eq!(v, vec![src as u64 * 100 + me as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_nonblocking_round_trips() {
+        let results = Universe::new(1).run(|comm| comm.start_alltoallv(vec![vec![7u8, 8]]).wait());
+        assert_eq!(results[0], vec![vec![7, 8]]);
+    }
+
+    #[test]
+    fn nonblocking_stats_counted() {
+        let results = Universe::new(2).run(|comm| {
+            let p = comm.start_alltoallv(vec![vec![0u64; 4], vec![0u64; 4]]);
+            let _ = p.wait();
+            comm.stats()
+        });
+        assert_eq!(results[0].collective_ops, 1);
+        assert_eq!(results[0].collective_sent_bytes, 64);
+        assert_eq!(results[0].nonblocking_collective_ops, 1);
     }
 
     #[test]

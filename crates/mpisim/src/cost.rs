@@ -140,6 +140,28 @@ impl CostModel {
         self.collective_hop_ns * hops + max_bytes as f64 / self.net_bw_bytes_per_ns
     }
 
+    /// Modeled makespan of `rounds` pipelined compute/exchange rounds
+    /// where each round's collective overlaps the next round's compute
+    /// (the double-buffered spectrum build): the first compute runs bare,
+    /// the last exchange drains bare, and every interior round costs
+    /// `max(compute, comm)`:
+    ///
+    /// `C + (rounds-1)·max(C, X) + X
+    ///    = rounds·C + rounds·X − (rounds−1)·min(C, X)`
+    ///
+    /// With one round (or either term zero) this degrades to the
+    /// unpipelined sum, so callers can use it unconditionally.
+    pub fn overlapped_rounds_ns(
+        &self,
+        rounds: u64,
+        compute_per_round_ns: f64,
+        comm_per_round_ns: f64,
+    ) -> f64 {
+        let r = rounds.max(1) as f64;
+        r * (compute_per_round_ns + comm_per_round_ns)
+            - (r - 1.0) * compute_per_round_ns.min(comm_per_round_ns)
+    }
+
     /// Modeled resident set of a rank holding spectrum entries and
     /// auxiliary tables — the legacy linear-per-entry approximation, kept
     /// for what-if models that only know entry counts (prior-art
@@ -239,6 +261,22 @@ mod tests {
         let small = m.alltoallv_ns(128, 1 << 10);
         let big = m.alltoallv_ns(128, 1 << 30);
         assert!(big > small * 10.0);
+    }
+
+    #[test]
+    fn overlapped_rounds_hide_the_smaller_term() {
+        let m = CostModel::bgq();
+        // one round: plain sum, nothing to hide
+        assert_eq!(m.overlapped_rounds_ns(1, 100.0, 40.0), 140.0);
+        // comm smaller: all but the last exchange hides under compute
+        assert_eq!(m.overlapped_rounds_ns(4, 100.0, 40.0), 4.0 * 100.0 + 40.0);
+        // compute smaller: all but the first compute hides under comm
+        assert_eq!(m.overlapped_rounds_ns(4, 40.0, 100.0), 40.0 + 4.0 * 100.0);
+        // never worse than perfect overlap, never better than serial
+        let serial = 4.0 * (100.0 + 40.0);
+        let piped = m.overlapped_rounds_ns(4, 100.0, 40.0);
+        assert!(piped < serial);
+        assert!(piped >= 4.0 * 100.0);
     }
 
     #[test]

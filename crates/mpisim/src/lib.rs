@@ -31,6 +31,7 @@ pub mod topology;
 pub mod trace;
 pub mod universe;
 
+pub use collectives::PendingAlltoallv;
 pub use comm::{Comm, Source, TagSel};
 pub use cost::CostModel;
 pub use message::{Message, MessageInfo};

@@ -16,6 +16,7 @@ pub(crate) struct RankStats {
     p2p_recv_bytes: AtomicU64,
     collective_ops: AtomicU64,
     collective_sent_bytes: AtomicU64,
+    nonblocking_collective_ops: AtomicU64,
 }
 
 impl RankStats {
@@ -37,6 +38,14 @@ impl RankStats {
         self.collective_sent_bytes.fetch_add(bytes_sent as u64, Ordering::Relaxed);
     }
 
+    /// A non-blocking collective counts like a blocking one for volume,
+    /// plus its own op counter so reports can show how much of the
+    /// traffic was overlappable.
+    pub(crate) fn count_collective_nonblocking(&self, bytes_sent: usize) {
+        self.count_collective(bytes_sent);
+        self.nonblocking_collective_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RankStatsSnapshot {
         RankStatsSnapshot {
             p2p_sent_msgs: self.p2p_sent_msgs.load(Ordering::Relaxed),
@@ -46,6 +55,7 @@ impl RankStats {
             p2p_recv_bytes: self.p2p_recv_bytes.load(Ordering::Relaxed),
             collective_ops: self.collective_ops.load(Ordering::Relaxed),
             collective_sent_bytes: self.collective_sent_bytes.load(Ordering::Relaxed),
+            nonblocking_collective_ops: self.nonblocking_collective_ops.load(Ordering::Relaxed),
         }
     }
 }
@@ -67,4 +77,7 @@ pub struct RankStatsSnapshot {
     pub collective_ops: u64,
     /// Bytes this rank contributed to collectives.
     pub collective_sent_bytes: u64,
+    /// Of the collectives, how many were started non-blocking
+    /// ([`crate::Comm::start_alltoallv`]) and thus overlappable.
+    pub nonblocking_collective_ops: u64,
 }

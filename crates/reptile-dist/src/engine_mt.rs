@@ -43,10 +43,14 @@ pub struct EngineConfig {
     pub params: ReptileParams,
     /// Heuristic switchboard.
     pub heuristics: HeuristicConfig,
+    /// Extraction workers per rank for the pipelined spectrum build
+    /// (≥ 1; 1 = single-threaded extraction, still overlapped).
+    pub build_threads: usize,
 }
 
 impl EngineConfig {
-    /// A small-universe config for tests and examples.
+    /// A small-universe config for tests and examples. `build_threads`
+    /// defaults to the machine's available parallelism.
     pub fn new(np: usize, params: ReptileParams) -> EngineConfig {
         EngineConfig {
             np,
@@ -54,8 +58,14 @@ impl EngineConfig {
             chunk_size: 2000,
             params,
             heuristics: HeuristicConfig::default(),
+            build_threads: default_build_threads(),
         }
     }
+}
+
+/// The machine's available parallelism (1 if it cannot be queried).
+pub fn default_build_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Result of a distributed run.
@@ -175,8 +185,14 @@ pub(crate) fn run_rank(
     };
 
     // --- Steps II–III: distributed spectrum construction ---
-    let (tables, build_stats) =
-        build_distributed(comm, &my_reads, cfg.chunk_size, &cfg.params, &cfg.heuristics);
+    let (tables, build_stats) = build_distributed(
+        comm,
+        &my_reads,
+        cfg.chunk_size,
+        &cfg.params,
+        &cfg.heuristics,
+        cfg.build_threads.max(1),
+    );
     comm.barrier();
     let construct_secs = t0.elapsed().as_secs_f64();
 
@@ -671,6 +687,7 @@ mod tests {
                 chunk_size: 7,
                 params: params(),
                 heuristics: heur,
+                build_threads: 2,
             };
             check_matches_sequential(&cfg, &reads);
         }
@@ -749,6 +766,7 @@ mod tests {
             chunk_size: 2000,
             params: params(),
             heuristics: HeuristicConfig { keep_read_tables: true, ..Default::default() },
+            build_threads: 2,
         };
         let cache_cfg = EngineConfig {
             heuristics: HeuristicConfig {

@@ -96,6 +96,28 @@ impl HeuristicConfig {
         }
     }
 
+    /// Every heuristic combination the construction-phase equivalence
+    /// suite sweeps: one representative per switch (plus the pairings
+    /// the paper evaluates together). All entries satisfy [`validate`];
+    /// the pipelined builder must be bit-identical to the serial
+    /// reference under each of them.
+    ///
+    /// [`validate`]: HeuristicConfig::validate
+    pub fn construction_matrix() -> Vec<HeuristicConfig> {
+        let base = HeuristicConfig::default();
+        vec![
+            base,
+            HeuristicConfig { universal: true, ..base },
+            HeuristicConfig { batch_reads: true, ..base },
+            HeuristicConfig { keep_read_tables: true, ..base },
+            HeuristicConfig { keep_read_tables: true, cache_remote: true, ..base },
+            HeuristicConfig::replicate_both(),
+            HeuristicConfig { partial_group: 2, ..base },
+            HeuristicConfig { aggregate_lookups: true, ..base },
+            HeuristicConfig::paper_production(),
+        ]
+    }
+
     /// Validate the combination; returns a description of the first
     /// violated constraint.
     pub fn validate(&self) -> Result<(), String> {
@@ -236,6 +258,19 @@ mod tests {
         assert_eq!(imb.label(), "imbalanced");
         let agg = HeuristicConfig { aggregate_lookups: true, ..HeuristicConfig::default() };
         assert_eq!(agg.label(), "agg-lookups");
+    }
+
+    #[test]
+    fn construction_matrix_entries_are_valid_and_distinct() {
+        let matrix = HeuristicConfig::construction_matrix();
+        for h in &matrix {
+            h.validate().unwrap_or_else(|e| panic!("{}: {e}", h.label()));
+        }
+        for (i, a) in matrix.iter().enumerate() {
+            for b in &matrix[i + 1..] {
+                assert_ne!(a, b, "duplicate matrix entry {}", a.label());
+            }
+        }
     }
 
     #[test]

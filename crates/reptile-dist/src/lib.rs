@@ -43,7 +43,9 @@ pub mod protocol;
 pub mod report;
 pub mod spectrum;
 
-pub use engine_mt::{run_distributed, run_distributed_files, DistOutput, EngineConfig};
+pub use engine_mt::{
+    default_build_threads, run_distributed, run_distributed_files, DistOutput, EngineConfig,
+};
 pub use engine_virtual::VirtualConfig;
 pub use engine_virtual::{run_virtual, VirtualRun};
 pub use heuristics::HeuristicConfig;

@@ -27,7 +27,7 @@
 
 use crate::heuristics::HeuristicConfig;
 use crate::report::{LookupStats, RankReport, RunReport};
-use crate::spectrum::build_distributed;
+use crate::spectrum::build_distributed_serial;
 use dnaseq::Read;
 use mpisim::message::{WireReader, WireWriter};
 use mpisim::{CostModel, Source, TagSel, Topology, Universe};
@@ -80,8 +80,10 @@ pub fn run_prior_art(cfg: &PriorArtConfig, reads: &[Read]) -> crate::DistOutput 
             load_balance: false,
             ..HeuristicConfig::default()
         };
+        // Prior art keeps the faithful serial build (it models the
+        // original Reptile program, not this paper's pipeline).
         let (tables, build_stats) =
-            build_distributed(comm, &reads[lo..hi], cfg.chunk_size, &cfg.params, &heur);
+            build_distributed_serial(comm, &reads[lo..hi], cfg.chunk_size, &cfg.params, &heur);
         let mut spectra = LocalSpectra {
             kmers: tables.replicated_kmers.expect("replication requested"),
             tiles: tables.replicated_tiles.expect("replication requested"),

@@ -177,6 +177,40 @@ impl RunReport {
         self.ranks.iter().map(|r| r.memory_bytes).fold(0.0, f64::max)
     }
 
+    /// Fraction of the build's combined extract + exchange time that the
+    /// pipelined builder hid by overlapping the two (summed over ranks;
+    /// 0 for the serial path, approaches 1/2 when the sides are equal
+    /// and every round overlaps).
+    pub fn build_overlap_fraction(&self) -> f64 {
+        let overlap: u64 = self.ranks.iter().map(|r| r.build.overlap_ns).sum();
+        let total: u64 = self.ranks.iter().map(|r| r.build.extract_ns + r.build.exchange_ns).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        overlap as f64 / total as f64
+    }
+
+    /// Total distinct `(key, count)` pairs shipped through the build's
+    /// count exchanges, all ranks.
+    pub fn exchanged_entries(&self) -> u64 {
+        self.ranks.iter().map(|r| r.build.exchange_entries).sum()
+    }
+
+    /// Total bytes shipped through the build's count exchanges, all ranks.
+    pub fn exchanged_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.build.exchange_bytes).sum()
+    }
+
+    /// Pre-aggregation compression: raw off-rank occurrences per shipped
+    /// distinct entry (1.0 = nothing deduped; higher is better).
+    pub fn exchange_compression(&self) -> f64 {
+        let entries = self.exchanged_entries();
+        if entries == 0 {
+            return 1.0;
+        }
+        self.ranks.iter().map(|r| r.build.exchange_occurrences).sum::<u64>() as f64 / entries as f64
+    }
+
     /// Ratio slowest/fastest rank correction time (load imbalance, Fig 4).
     pub fn imbalance_ratio(&self) -> f64 {
         let max = self.ranks.iter().map(|r| r.correct_secs).fold(0.0, f64::max);
@@ -234,6 +268,33 @@ mod tests {
         // 8x ranks, 100/15 speedup -> efficiency 100/(15*8)
         let eff = scaled.efficiency_vs(&base, 1, 8);
         assert!((eff - 100.0 / 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_aggregates_from_rank_stats() {
+        let mut a = rank(1.0, 1.0, 0.0);
+        a.build.extract_ns = 600;
+        a.build.exchange_ns = 400;
+        a.build.overlap_ns = 300;
+        a.build.exchange_entries = 10;
+        a.build.exchange_occurrences = 40;
+        a.build.exchange_bytes = 160;
+        let mut b = rank(1.0, 1.0, 0.0);
+        b.build.extract_ns = 400;
+        b.build.exchange_ns = 600;
+        b.build.overlap_ns = 100;
+        b.build.exchange_entries = 10;
+        b.build.exchange_occurrences = 20;
+        b.build.exchange_bytes = 160;
+        let r = run(vec![a, b]);
+        assert_eq!(r.build_overlap_fraction(), 400.0 / 2000.0);
+        assert_eq!(r.exchanged_entries(), 20);
+        assert_eq!(r.exchanged_bytes(), 320);
+        assert_eq!(r.exchange_compression(), 3.0);
+        // degenerate runs: no exchange at all
+        let empty = run(vec![rank(0.0, 0.0, 0.0)]);
+        assert_eq!(empty.build_overlap_fraction(), 0.0);
+        assert_eq!(empty.exchange_compression(), 1.0);
     }
 
     #[test]

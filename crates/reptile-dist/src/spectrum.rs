@@ -12,13 +12,56 @@
 //! the reads tables are cleared, bounding their size; an
 //! `allreduce(max)` on the batch count keeps every rank participating in
 //! the collectives until the slowest rank has drained its reads.
+//!
+//! # The pipelined builder
+//!
+//! [`build_distributed`] runs the phase as a pipelined producer/exchanger
+//! instead of the one-thread, one-occurrence-at-a-time loop that
+//! [`build_distributed_serial`] keeps as the reference:
+//!
+//! ```text
+//!        batch B                    batch B+1                 batch B+2
+//!  ┌───────────────────┐      ┌───────────────────┐      ┌──────────────
+//!  │ fused extract ×T  │      │ fused extract ×T  │      │ fused extract
+//!  │ sort + RLE merge  │      │ sort + RLE merge  │      │ sort + RLE
+//!  └───────┬───────────┘      └───────┬───────────┘      └──────┬───────
+//!          │ start_alltoallv ─────────┼─── wait/merge           │
+//!          └──────────(in flight)─────┘   start_alltoallv ──────┼── wait
+//! ```
+//!
+//! 1. **Sharded extraction** — the batch's reads are split across
+//!    `build_threads` workers; each runs one fused scan per read
+//!    ([`TileCodec::fused_scan`]) that derives every tile from its two
+//!    constituent k-mer codes instead of re-encoding each tile window,
+//!    and pushes raw keys into per-thread, per-owner buckets.
+//! 2. **Local pre-aggregation** — per owner, the thread buckets are
+//!    concatenated, sorted, and run-length merged into distinct
+//!    `(key, count)` pairs, so the exchange ships each distinct key once
+//!    (exactly the dedup the serial reads tables performed, without the
+//!    per-occurrence hash insert).
+//! 3. **Double-buffered exchange** — in batch mode the aggregated
+//!    buckets go out through the non-blocking
+//!    [`Comm::start_alltoallv`]; batch *B*'s exchange stays in flight
+//!    while batch *B+1* is extracted, and is drained just before *B+1*'s
+//!    buckets are posted. The virtual engine models this window as
+//!    `max(compute, comm)` per batch
+//!    ([`CostModel::overlapped_rounds_ns`]).
+//!
+//! Saturating count merges commute, so the pipelined build is
+//! bit-identical to the serial reference for every heuristic
+//! combination — enforced by the equivalence proptests.
+//!
+//! [`Comm::start_alltoallv`]: mpisim::Comm::start_alltoallv
+//! [`CostModel::overlapped_rounds_ns`]: mpisim::CostModel::overlapped_rounds_ns
+//! [`TileCodec::fused_scan`]: dnaseq::TileCodec
 
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
-use dnaseq::Read;
-use mpisim::Comm;
+use dnaseq::{Read, TileCodec};
+use mpisim::{Comm, PendingAlltoallv};
 use reptile::spectrum::{KmerSpectrum, TileSpectrum};
 use reptile::ReptileParams;
+use std::time::Instant;
 
 /// The per-rank spectrum tables after construction.
 pub struct RankTables {
@@ -57,9 +100,13 @@ pub struct BuildStats {
     pub bases_processed: u64,
     /// Chunk iterations executed (== global max batches).
     pub batches: u64,
-    /// Largest size the (k-mer) reads table reached before a clear.
+    /// High-water mark of distinct non-owned k-mers buffered before an
+    /// exchange, sampled inside the extraction loop (per read in the
+    /// serial path, per batch aggregate in the pipelined one) — not just
+    /// at batch boundaries, so non-batch peaks cannot under-report.
     pub peak_reads_kmers: u64,
-    /// Largest size the (tile) reads table reached before a clear.
+    /// High-water mark of distinct non-owned tiles buffered before an
+    /// exchange (same sampling as `peak_reads_kmers`).
     pub peak_reads_tiles: u64,
     /// Owned k-mers after pruning.
     pub owned_kmers: u64,
@@ -76,15 +123,162 @@ pub struct BuildStats {
     /// after construction (owned + reads + replicated + group), exact
     /// per [`KmerSpectrum::memory_bytes`].
     pub table_bytes: u64,
+    /// Nanoseconds spent extracting and locally aggregating (fused scan,
+    /// sort + run-length merge, own-bucket/reads-table merges).
+    pub extract_ns: u64,
+    /// Nanoseconds blocked on count exchanges (collective wait plus the
+    /// owner-side merge of received parts).
+    pub exchange_ns: u64,
+    /// Nanoseconds during which a count exchange was in flight while
+    /// this rank kept computing — the double-buffered overlap window.
+    /// Zero in the serial reference path.
+    pub overlap_ns: u64,
+    /// Distinct `(key, count)` pairs this rank shipped through count
+    /// exchanges (post-aggregation volume).
+    pub exchange_entries: u64,
+    /// Raw k-mer/tile occurrences routed off-rank — what the exchange
+    /// volume would have been without pre-aggregation (or the serial
+    /// reads-table dedup). `exchange_entries / exchange_occurrences` is
+    /// the pre-aggregation compression ratio.
+    pub exchange_occurrences: u64,
+    /// Bytes shipped through count exchanges (wire-tuple sizes).
+    pub exchange_bytes: u64,
 }
 
-/// Build the distributed spectra from this rank's reads, delivered in
-/// chunks of `chunk_size` (the config-file chunk size of Step I).
+/// Build the distributed spectra from this rank's reads with the
+/// pipelined multi-threaded producer/exchanger (see the module docs).
+/// Reads are delivered in chunks of `chunk_size` (the config-file chunk
+/// size of Step I); `build_threads ≥ 1` extraction workers shard each
+/// chunk. Output is bit-identical to [`build_distributed_serial`].
 ///
 /// `reads` are the reads this rank will *extract from* — already
 /// load-balanced if that heuristic is on (the shuffle happens upstream,
 /// per batch, in the engines).
 pub fn build_distributed(
+    comm: &Comm,
+    reads: &[Read],
+    chunk_size: usize,
+    params: &ReptileParams,
+    heur: &HeuristicConfig,
+    build_threads: usize,
+) -> (RankTables, BuildStats) {
+    params.assert_valid();
+    heur.validate().expect("invalid heuristic combination");
+    assert!(chunk_size > 0);
+    assert!(build_threads > 0, "build_threads must be at least 1");
+    let np = comm.size();
+    let me = comm.rank();
+    let owners = OwnerMap::new(np, params);
+    let kcodec = params.kmer_codec();
+    let tcodec = params.tile_codec();
+
+    let mut hash_kmers = KmerSpectrum::new(kcodec, params.canonical);
+    let mut hash_tiles = TileSpectrum::new(tcodec, params.canonical);
+    let mut reads_kmers = KmerSpectrum::new(kcodec, params.canonical);
+    let mut reads_tiles = TileSpectrum::new(tcodec, params.canonical);
+    let mut stats = BuildStats::default();
+
+    // Every rank must join the same number of collective rounds (§III-B).
+    let my_batches = reads.len().div_ceil(chunk_size).max(1) as u64;
+    let max_batches =
+        if heur.batch_reads { comm.allreduce_max_u64(my_batches) } else { my_batches };
+    stats.batches = max_batches;
+
+    let mut pending: Option<PendingExchange<'_>> = None;
+    for batch in 0..max_batches {
+        let lo = (batch as usize * chunk_size).min(reads.len());
+        let hi = ((batch as usize + 1) * chunk_size).min(reads.len());
+
+        let t_extract = Instant::now();
+        let mut agg =
+            extract_and_aggregate(&reads[lo..hi], build_threads, &owners, &tcodec, me, &mut stats);
+        // The own bucket never crosses the wire: merge it locally (this
+        // is the pipeline's compute side, like the extraction itself).
+        hash_kmers.merge_sorted(&agg.kmers[me]);
+        hash_tiles.merge_sorted(&agg.tiles[me]);
+        stats.extract_ns += elapsed_ns(t_extract);
+
+        let nonown_kmers: u64 = agg
+            .kmers
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != me)
+            .map(|(_, b)| b.len() as u64)
+            .sum();
+        let nonown_tiles: u64 = agg
+            .tiles
+            .iter()
+            .enumerate()
+            .filter(|&(d, _)| d != me)
+            .map(|(_, b)| b.len() as u64)
+            .sum();
+
+        if heur.batch_reads {
+            stats.peak_reads_kmers = stats.peak_reads_kmers.max(nonown_kmers);
+            stats.peak_reads_tiles = stats.peak_reads_tiles.max(nonown_tiles);
+            // Drain batch B-1's exchange only now, after batch B's
+            // extraction ran under it — the double buffering.
+            if let Some(p) = pending.take() {
+                drain_exchange(p, &owners, me, &mut hash_kmers, &mut hash_tiles, &mut stats);
+            }
+            agg.kmers[me] = Vec::new();
+            agg.tiles[me] = Vec::new();
+            pending = Some(start_exchange(comm, agg, &mut stats));
+        } else {
+            // Non-batch mode: accumulate the distinct non-owned keys in
+            // the reads tables (they also feed keep_read_tables) and
+            // exchange once after the last chunk.
+            let t_merge = Instant::now();
+            for (d, bucket) in agg.kmers.iter().enumerate() {
+                if d != me {
+                    reads_kmers.merge_sorted(bucket);
+                }
+            }
+            for (d, bucket) in agg.tiles.iter().enumerate() {
+                if d != me {
+                    reads_tiles.merge_sorted(bucket);
+                }
+            }
+            stats.extract_ns += elapsed_ns(t_merge);
+            stats.peak_reads_kmers = stats.peak_reads_kmers.max(reads_kmers.len() as u64);
+            stats.peak_reads_tiles = stats.peak_reads_tiles.max(reads_tiles.len() as u64);
+        }
+    }
+    if let Some(p) = pending.take() {
+        drain_exchange(p, &owners, me, &mut hash_kmers, &mut hash_tiles, &mut stats);
+    }
+
+    // Record the rank's own-reads key sets before the final exchange
+    // consumes the tables (needed by keep_read_tables).
+    let (kmer_keys, tile_keys) = if heur.keep_read_tables {
+        (
+            reads_kmers.iter().map(|(k, _)| k).collect::<Vec<u64>>(),
+            reads_tiles.iter().map(|(t, _)| t).collect::<Vec<u128>>(),
+        )
+    } else {
+        (Vec::new(), Vec::new())
+    };
+
+    if !heur.batch_reads {
+        exchange_counts_overlapped(
+            comm,
+            &owners,
+            reads_kmers,
+            reads_tiles,
+            &mut hash_kmers,
+            &mut hash_tiles,
+            &mut stats,
+        );
+    }
+
+    finish_build(comm, owners, params, heur, hash_kmers, hash_tiles, kmer_keys, tile_keys, stats)
+}
+
+/// The serial reference build: one thread, one hash insert per
+/// occurrence, blocking exchanges. Kept verbatim as the semantic
+/// baseline the pipelined [`build_distributed`] is proptested against
+/// (and as the faithful model of the original Reptile program).
+pub fn build_distributed_serial(
     comm: &Comm,
     reads: &[Read],
     chunk_size: usize,
@@ -115,6 +309,7 @@ pub fn build_distributed(
     for batch in 0..max_batches {
         let lo = (batch as usize * chunk_size).min(reads.len());
         let hi = ((batch as usize + 1) * chunk_size).min(reads.len());
+        let t_extract = Instant::now();
         for read in &reads[lo..hi] {
             stats.bases_processed += read.len() as u64;
             for (_, code) in kcodec.kmers_of(&read.seq) {
@@ -123,6 +318,7 @@ pub fn build_distributed(
                 if owners.kmer_owner_raw(key) == me {
                     hash_kmers.add_count(key, 1);
                 } else {
+                    stats.exchange_occurrences += 1;
                     reads_kmers.add_count(key, 1);
                 }
             }
@@ -132,13 +328,17 @@ pub fn build_distributed(
                 if owners.tile_owner_raw(key) == me {
                     hash_tiles.add_count(key, 1);
                 } else {
+                    stats.exchange_occurrences += 1;
                     reads_tiles.add_count(key, 1);
                 }
             }
-        }
-        if heur.batch_reads {
+            // True high-water sampling: inside the loop, per read.
             stats.peak_reads_kmers = stats.peak_reads_kmers.max(reads_kmers.len() as u64);
             stats.peak_reads_tiles = stats.peak_reads_tiles.max(reads_tiles.len() as u64);
+        }
+        stats.extract_ns += elapsed_ns(t_extract);
+        if heur.batch_reads {
+            let t_ex = Instant::now();
             exchange_counts(
                 comm,
                 &owners,
@@ -146,7 +346,9 @@ pub fn build_distributed(
                 std::mem::replace(&mut reads_tiles, TileSpectrum::new(tcodec, params.canonical)),
                 &mut hash_kmers,
                 &mut hash_tiles,
+                &mut stats,
             );
+            stats.exchange_ns += elapsed_ns(t_ex);
         }
     }
 
@@ -162,11 +364,317 @@ pub fn build_distributed(
     };
 
     if !heur.batch_reads {
-        stats.peak_reads_kmers = reads_kmers.len() as u64;
-        stats.peak_reads_tiles = reads_tiles.len() as u64;
-        exchange_counts(comm, &owners, reads_kmers, reads_tiles, &mut hash_kmers, &mut hash_tiles);
+        let t_ex = Instant::now();
+        exchange_counts(
+            comm,
+            &owners,
+            reads_kmers,
+            reads_tiles,
+            &mut hash_kmers,
+            &mut hash_tiles,
+            &mut stats,
+        );
+        stats.exchange_ns += elapsed_ns(t_ex);
     }
 
+    finish_build(comm, owners, params, heur, hash_kmers, hash_tiles, kmer_keys, tile_keys, stats)
+}
+
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos() as u64
+}
+
+/// Wire-tuple bytes of a count-exchange payload (what the collective
+/// layer charges: `len × size_of::<T>()`).
+fn exchange_payload_bytes(kmer_pairs: usize, tile_pairs: usize) -> u64 {
+    (kmer_pairs * std::mem::size_of::<(u64, u32)>()
+        + tile_pairs * std::mem::size_of::<(u128, u32)>()) as u64
+}
+
+/// One batch's extraction output: per-owner, locally pre-aggregated
+/// (sorted, distinct) key/count runs.
+struct BatchAggregate {
+    kmers: Vec<Vec<(u64, u32)>>,
+    tiles: Vec<Vec<(u128, u32)>>,
+}
+
+/// Per-worker raw output: per-owner occurrence buckets plus counters.
+struct WorkerOut {
+    kmers: Vec<Vec<u64>>,
+    tiles: Vec<Vec<u128>>,
+    bases: u64,
+    kmers_extracted: u64,
+    tiles_extracted: u64,
+}
+
+/// One extraction worker: a single fused scan per read, raw keys pushed
+/// into per-owner buckets.
+fn extract_worker(reads: &[Read], owners: &OwnerMap, tcodec: &TileCodec, np: usize) -> WorkerOut {
+    let mut out = WorkerOut {
+        kmers: vec![Vec::new(); np],
+        tiles: vec![Vec::new(); np],
+        bases: 0,
+        kmers_extracted: 0,
+        tiles_extracted: 0,
+    };
+    for read in reads {
+        out.bases += read.len() as u64;
+        for item in tcodec.fused_scan(&read.seq) {
+            out.kmers_extracted += 1;
+            let key = owners.kmer_key(item.kmer);
+            out.kmers[owners.kmer_owner_raw(key)].push(key);
+            if let Some((_, tile)) = item.tile {
+                out.tiles_extracted += 1;
+                let tkey = owners.tile_key(tile);
+                out.tiles[owners.tile_owner_raw(tkey)].push(tkey);
+            }
+        }
+    }
+    out
+}
+
+/// Sort a raw occurrence bucket and run-length merge it into distinct
+/// `(key, count)` pairs. Saturating like every count merge downstream.
+fn run_length_merge<K: Ord + Copy>(mut raw: Vec<K>) -> Vec<(K, u32)> {
+    raw.sort_unstable();
+    let mut out: Vec<(K, u32)> = Vec::new();
+    for key in raw {
+        match out.last_mut() {
+            Some(last) if last.0 == key => last.1 = last.1.saturating_add(1),
+            _ => out.push((key, 1)),
+        }
+    }
+    out
+}
+
+/// Extract one batch with `build_threads` workers and pre-aggregate the
+/// per-owner buckets.
+fn extract_and_aggregate(
+    reads: &[Read],
+    build_threads: usize,
+    owners: &OwnerMap,
+    tcodec: &TileCodec,
+    me: usize,
+    stats: &mut BuildStats,
+) -> BatchAggregate {
+    let np = owners.np();
+    let workers = build_threads.min(reads.len()).max(1);
+    let mut raw: Vec<WorkerOut> = if workers == 1 {
+        vec![extract_worker(reads, owners, tcodec, np)]
+    } else {
+        let per_worker = reads.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = reads
+                .chunks(per_worker)
+                .map(|chunk| scope.spawn(move || extract_worker(chunk, owners, tcodec, np)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("extraction worker panicked")).collect()
+        })
+    };
+    for w in &raw {
+        stats.bases_processed += w.bases;
+        stats.kmers_extracted += w.kmers_extracted;
+        stats.tiles_extracted += w.tiles_extracted;
+        for (d, bucket) in w.kmers.iter().enumerate() {
+            if d != me {
+                stats.exchange_occurrences += bucket.len() as u64;
+            }
+        }
+        for (d, bucket) in w.tiles.iter().enumerate() {
+            if d != me {
+                stats.exchange_occurrences += bucket.len() as u64;
+            }
+        }
+    }
+    let mut kmers = Vec::with_capacity(np);
+    let mut tiles = Vec::with_capacity(np);
+    for d in 0..np {
+        let total: usize = raw.iter().map(|w| w.kmers[d].len()).sum();
+        let mut bucket = Vec::with_capacity(total);
+        for w in &mut raw {
+            bucket.append(&mut w.kmers[d]);
+        }
+        kmers.push(run_length_merge(bucket));
+        let total: usize = raw.iter().map(|w| w.tiles[d].len()).sum();
+        let mut bucket = Vec::with_capacity(total);
+        for w in &mut raw {
+            bucket.append(&mut w.tiles[d]);
+        }
+        tiles.push(run_length_merge(bucket));
+    }
+    BatchAggregate { kmers, tiles }
+}
+
+/// An in-flight batch exchange (both spectra) plus its start time, from
+/// which the overlap window is measured at drain.
+struct PendingExchange<'c> {
+    kmers: PendingAlltoallv<'c, (u64, u32)>,
+    tiles: PendingAlltoallv<'c, (u128, u32)>,
+    started: Instant,
+}
+
+/// Post one batch's non-owned buckets through the non-blocking exchange.
+fn start_exchange<'c>(
+    comm: &'c Comm,
+    agg: BatchAggregate,
+    stats: &mut BuildStats,
+) -> PendingExchange<'c> {
+    let kmer_pairs: usize = agg.kmers.iter().map(Vec::len).sum();
+    let tile_pairs: usize = agg.tiles.iter().map(Vec::len).sum();
+    stats.exchange_entries += (kmer_pairs + tile_pairs) as u64;
+    stats.exchange_bytes += exchange_payload_bytes(kmer_pairs, tile_pairs);
+    let kmers = comm.start_alltoallv(agg.kmers);
+    let tiles = comm.start_alltoallv(agg.tiles);
+    PendingExchange { kmers, tiles, started: Instant::now() }
+}
+
+/// Wait out an in-flight exchange and merge the received sorted runs
+/// into the owner tables.
+fn drain_exchange(
+    p: PendingExchange<'_>,
+    owners: &OwnerMap,
+    me: usize,
+    hash_kmers: &mut KmerSpectrum,
+    hash_tiles: &mut TileSpectrum,
+    stats: &mut BuildStats,
+) {
+    stats.overlap_ns += elapsed_ns(p.started);
+    let t_wait = Instant::now();
+    for part in p.kmers.wait() {
+        debug_assert!(part.iter().all(|&(code, _)| owners.kmer_owner_raw(code) == me));
+        hash_kmers.merge_sorted(&part);
+    }
+    for part in p.tiles.wait() {
+        debug_assert!(part.iter().all(|&(code, _)| owners.tile_owner_raw(code) == me));
+        hash_tiles.merge_sorted(&part);
+    }
+    stats.exchange_ns += elapsed_ns(t_wait);
+}
+
+/// The Step III exchange: ship `reads_*` entries to their owners and merge
+/// into the owners' hash tables (blocking, serial reference path).
+fn exchange_counts(
+    comm: &Comm,
+    owners: &OwnerMap,
+    reads_kmers: KmerSpectrum,
+    reads_tiles: TileSpectrum,
+    hash_kmers: &mut KmerSpectrum,
+    hash_tiles: &mut TileSpectrum,
+    stats: &mut BuildStats,
+) {
+    let np = comm.size();
+    // Counting pass first, so every per-owner bucket is allocated once at
+    // its exact final size instead of growing by push-reallocation.
+    let mut kmer_sizes = vec![0usize; np];
+    for (code, _) in reads_kmers.iter() {
+        kmer_sizes[owners.kmer_owner_raw(code)] += 1;
+    }
+    let mut kmer_out: Vec<Vec<(u64, u32)>> =
+        kmer_sizes.into_iter().map(Vec::with_capacity).collect();
+    for (code, count) in reads_kmers.into_entries() {
+        kmer_out[owners.kmer_owner_raw(code)].push((code, count));
+    }
+    let kmer_pairs: usize = kmer_out.iter().map(Vec::len).sum();
+    for part in comm.alltoallv(kmer_out) {
+        for (code, count) in part {
+            debug_assert_eq!(owners.kmer_owner_raw(code), comm.rank());
+            hash_kmers.add_count(code, count);
+        }
+    }
+    let mut tile_sizes = vec![0usize; np];
+    for (code, _) in reads_tiles.iter() {
+        tile_sizes[owners.tile_owner_raw(code)] += 1;
+    }
+    let mut tile_out: Vec<Vec<(u128, u32)>> =
+        tile_sizes.into_iter().map(Vec::with_capacity).collect();
+    for (code, count) in reads_tiles.into_entries() {
+        tile_out[owners.tile_owner_raw(code)].push((code, count));
+    }
+    let tile_pairs: usize = tile_out.iter().map(Vec::len).sum();
+    for part in comm.alltoallv(tile_out) {
+        for (code, count) in part {
+            debug_assert_eq!(owners.tile_owner_raw(code), comm.rank());
+            hash_tiles.add_count(code, count);
+        }
+    }
+    stats.exchange_entries += (kmer_pairs + tile_pairs) as u64;
+    stats.exchange_bytes += exchange_payload_bytes(kmer_pairs, tile_pairs);
+}
+
+/// The pipelined path's final (non-batch) exchange: same volume as
+/// [`exchange_counts`], but the k-mer round goes out non-blocking so the
+/// tile bucketing runs under it.
+fn exchange_counts_overlapped(
+    comm: &Comm,
+    owners: &OwnerMap,
+    reads_kmers: KmerSpectrum,
+    reads_tiles: TileSpectrum,
+    hash_kmers: &mut KmerSpectrum,
+    hash_tiles: &mut TileSpectrum,
+    stats: &mut BuildStats,
+) {
+    let np = comm.size();
+    let mut kmer_sizes = vec![0usize; np];
+    for (code, _) in reads_kmers.iter() {
+        kmer_sizes[owners.kmer_owner_raw(code)] += 1;
+    }
+    let mut kmer_out: Vec<Vec<(u64, u32)>> =
+        kmer_sizes.into_iter().map(Vec::with_capacity).collect();
+    for (code, count) in reads_kmers.into_entries() {
+        kmer_out[owners.kmer_owner_raw(code)].push((code, count));
+    }
+    let kmer_pairs: usize = kmer_out.iter().map(Vec::len).sum();
+    let pending_k = comm.start_alltoallv(kmer_out);
+    let overlap_start = Instant::now();
+
+    // Tile bucketing overlaps the in-flight k-mer round.
+    let mut tile_sizes = vec![0usize; np];
+    for (code, _) in reads_tiles.iter() {
+        tile_sizes[owners.tile_owner_raw(code)] += 1;
+    }
+    let mut tile_out: Vec<Vec<(u128, u32)>> =
+        tile_sizes.into_iter().map(Vec::with_capacity).collect();
+    for (code, count) in reads_tiles.into_entries() {
+        tile_out[owners.tile_owner_raw(code)].push((code, count));
+    }
+    let tile_pairs: usize = tile_out.iter().map(Vec::len).sum();
+    let pending_t = comm.start_alltoallv(tile_out);
+    stats.overlap_ns += elapsed_ns(overlap_start);
+
+    let t_wait = Instant::now();
+    for part in pending_k.wait() {
+        for (code, count) in part {
+            debug_assert_eq!(owners.kmer_owner_raw(code), comm.rank());
+            hash_kmers.add_count(code, count);
+        }
+    }
+    for part in pending_t.wait() {
+        for (code, count) in part {
+            debug_assert_eq!(owners.tile_owner_raw(code), comm.rank());
+            hash_tiles.add_count(code, count);
+        }
+    }
+    stats.exchange_ns += elapsed_ns(t_wait);
+    stats.exchange_entries += (kmer_pairs + tile_pairs) as u64;
+    stats.exchange_bytes += exchange_payload_bytes(kmer_pairs, tile_pairs);
+}
+
+/// Everything after the count exchange, shared by both build paths:
+/// threshold prune, keep_read_tables resolution, replication / partial
+/// replication, and the final stats.
+#[allow(clippy::too_many_arguments)]
+fn finish_build(
+    comm: &Comm,
+    owners: OwnerMap,
+    params: &ReptileParams,
+    heur: &HeuristicConfig,
+    mut hash_kmers: KmerSpectrum,
+    mut hash_tiles: TileSpectrum,
+    kmer_keys: Vec<u64>,
+    tile_keys: Vec<u128>,
+    mut stats: BuildStats,
+) -> (RankTables, BuildStats) {
     // Threshold prune at the owner (Step III).
     hash_kmers.prune(params.kmer_threshold);
     hash_tiles.prune(params.tile_threshold);
@@ -193,13 +701,8 @@ pub fn build_distributed(
     // --- replication heuristics: allgather the pruned spectra ---
     let replicated_kmers = if heur.replicate_kmers {
         let entries: Vec<(u64, u32)> = hash_kmers.iter().collect();
-        let all = comm.allgatherv(entries);
-        let mut full = KmerSpectrum::new(kcodec, params.canonical);
-        for part in all {
-            for (code, count) in part {
-                full.add_count(code, count);
-            }
-        }
+        let mut full = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+        merge_gathered_parts(&mut full, comm.allgatherv(entries), |_| true);
         stats.replicated_entries += full.len() as u64;
         Some(full)
     } else {
@@ -207,13 +710,8 @@ pub fn build_distributed(
     };
     let replicated_tiles = if heur.replicate_tiles {
         let entries: Vec<(u128, u32)> = hash_tiles.iter().collect();
-        let all = comm.allgatherv(entries);
-        let mut full = TileSpectrum::new(tcodec, params.canonical);
-        for part in all {
-            for (code, count) in part {
-                full.add_count(code, count);
-            }
-        }
+        let mut full = TileSpectrum::new(params.tile_codec(), params.canonical);
+        merge_gathered_parts(&mut full, comm.allgatherv(entries), |_| true);
         stats.replicated_entries += full.len() as u64;
         Some(full)
     } else {
@@ -225,23 +723,15 @@ pub fn build_distributed(
         let g = heur.partial_group;
         let my_group = comm.rank() / g;
         let k_entries: Vec<(u64, u32)> = hash_kmers.iter().collect();
-        let mut gk = KmerSpectrum::new(kcodec, params.canonical);
-        for part in comm.allgatherv(k_entries) {
-            for (code, count) in part {
-                if owners.kmer_owner_raw(code) / g == my_group {
-                    gk.add_count(code, count);
-                }
-            }
-        }
+        let mut gk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+        merge_gathered_parts(&mut gk, comm.allgatherv(k_entries), |code| {
+            owners.kmer_owner_raw(code) / g == my_group
+        });
         let t_entries: Vec<(u128, u32)> = hash_tiles.iter().collect();
-        let mut gt = TileSpectrum::new(tcodec, params.canonical);
-        for part in comm.allgatherv(t_entries) {
-            for (code, count) in part {
-                if owners.tile_owner_raw(code) / g == my_group {
-                    gt.add_count(code, count);
-                }
-            }
-        }
+        let mut gt = TileSpectrum::new(params.tile_codec(), params.canonical);
+        merge_gathered_parts(&mut gt, comm.allgatherv(t_entries), |code| {
+            owners.tile_owner_raw(code) / g == my_group
+        });
         stats.group_entries = (gk.len() + gt.len()) as u64;
         (Some(gk), Some(gt))
     } else {
@@ -263,47 +753,45 @@ pub fn build_distributed(
     (tables, stats)
 }
 
-/// The Step III exchange: ship `reads_*` entries to their owners and merge
-/// into the owners' hash tables.
-fn exchange_counts(
-    comm: &Comm,
-    owners: &OwnerMap,
-    reads_kmers: KmerSpectrum,
-    reads_tiles: TileSpectrum,
-    hash_kmers: &mut KmerSpectrum,
-    hash_tiles: &mut TileSpectrum,
+/// Key-type-generic view of a spectrum for [`merge_gathered_parts`].
+trait CountSpectrum<K> {
+    fn reserve_entries(&mut self, additional: usize);
+    fn add_entry(&mut self, key: K, count: u32);
+}
+
+impl CountSpectrum<u64> for KmerSpectrum {
+    fn reserve_entries(&mut self, additional: usize) {
+        self.reserve(additional);
+    }
+    fn add_entry(&mut self, key: u64, count: u32) {
+        self.add_count(key, count);
+    }
+}
+
+impl CountSpectrum<u128> for TileSpectrum {
+    fn reserve_entries(&mut self, additional: usize) {
+        self.reserve(additional);
+    }
+    fn add_entry(&mut self, key: u128, count: u32) {
+        self.add_count(key, count);
+    }
+}
+
+/// Merge allgathered per-owner spectrum parts into `spec`, keeping only
+/// entries matching `keep`. Owners hold disjoint key sets, so the
+/// filtered part lengths sum to the exact final entry count — the table
+/// is pre-sized once instead of growing through every `add_count`, and
+/// the final geometry still matches `bytes_for_entries`.
+fn merge_gathered_parts<K: Copy, S: CountSpectrum<K>>(
+    spec: &mut S,
+    parts: Vec<Vec<(K, u32)>>,
+    keep: impl Fn(K) -> bool,
 ) {
-    let np = comm.size();
-    // Counting pass first, so every per-owner bucket is allocated once at
-    // its exact final size instead of growing by push-reallocation.
-    let mut kmer_sizes = vec![0usize; np];
-    for (code, _) in reads_kmers.iter() {
-        kmer_sizes[owners.kmer_owner_raw(code)] += 1;
-    }
-    let mut kmer_out: Vec<Vec<(u64, u32)>> =
-        kmer_sizes.into_iter().map(Vec::with_capacity).collect();
-    for (code, count) in reads_kmers.into_entries() {
-        kmer_out[owners.kmer_owner_raw(code)].push((code, count));
-    }
-    for part in comm.alltoallv(kmer_out) {
-        for (code, count) in part {
-            debug_assert_eq!(owners.kmer_owner_raw(code), comm.rank());
-            hash_kmers.add_count(code, count);
-        }
-    }
-    let mut tile_sizes = vec![0usize; np];
-    for (code, _) in reads_tiles.iter() {
-        tile_sizes[owners.tile_owner_raw(code)] += 1;
-    }
-    let mut tile_out: Vec<Vec<(u128, u32)>> =
-        tile_sizes.into_iter().map(Vec::with_capacity).collect();
-    for (code, count) in reads_tiles.into_entries() {
-        tile_out[owners.tile_owner_raw(code)].push((code, count));
-    }
-    for part in comm.alltoallv(tile_out) {
-        for (code, count) in part {
-            debug_assert_eq!(owners.tile_owner_raw(code), comm.rank());
-            hash_tiles.add_count(code, count);
+    let matching = parts.iter().flatten().filter(|&&(key, _)| keep(key)).count();
+    spec.reserve_entries(matching);
+    for (key, count) in parts.into_iter().flatten() {
+        if keep(key) {
+            spec.add_entry(key, count);
         }
     }
 }
@@ -340,11 +828,9 @@ fn resolve_read_tables(
         .map(|codes| codes.into_iter().map(|c| (c, hash_kmers.count_raw(c))).collect())
         .collect();
     let mut rk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
-    for part in comm.alltoallv(answers) {
-        for (code, count) in part {
-            rk.add_count(code, count);
-        }
-    }
+    // Answer parts are disjoint (each key was asked of exactly one
+    // owner), so their lengths sum to the exact final entry count.
+    merge_gathered_parts(&mut rk, comm.alltoallv(answers), |_| true);
     // tiles
     let mut ask_sizes_t = vec![0usize; np];
     for &code in &tile_keys {
@@ -360,11 +846,7 @@ fn resolve_read_tables(
         .map(|codes| codes.into_iter().map(|c| (c, hash_tiles.count_raw(c))).collect())
         .collect();
     let mut rt = TileSpectrum::new(params.tile_codec(), params.canonical);
-    for part in comm.alltoallv(answers_t) {
-        for (code, count) in part {
-            rt.add_count(code, count);
-        }
-    }
+    merge_gathered_parts(&mut rt, comm.alltoallv(answers_t), |_| true);
     (rk, rt)
 }
 
@@ -441,14 +923,14 @@ mod tests {
 
     /// Distributed tables must equal the sequential spectra: every code at
     /// exactly its owner, global counts, same pruning.
-    fn check_equivalence(np: usize, heur: HeuristicConfig, chunk: usize) {
+    fn check_equivalence(np: usize, heur: HeuristicConfig, chunk: usize, threads: usize) {
         let p = params();
         let reads = make_reads(40, 18);
         let seq = LocalSpectra::build(&reads, &p);
         let reads_ref = &reads;
         let results = Universe::new(np).run(move |comm| {
             let mine = partition(reads_ref, np, comm.rank());
-            build_distributed(comm, &mine, chunk, &params(), &heur)
+            build_distributed(comm, &mine, chunk, &params(), &heur, threads)
         });
         // union of owned tables == sequential spectrum
         let mut union_k = dnaseq::FxHashMap::default();
@@ -472,16 +954,77 @@ mod tests {
         results.iter().position(|(t, _)| std::ptr::eq(t, needle)).expect("tables belong to results")
     }
 
+    /// `BuildStats` minus its wall-clock fields — the deterministic
+    /// counters the serial and pipelined paths must agree on exactly.
+    pub(crate) fn deterministic_counters(stats: &BuildStats) -> BuildStats {
+        BuildStats { extract_ns: 0, exchange_ns: 0, overlap_ns: 0, ..*stats }
+    }
+
     #[test]
     fn matches_sequential_base_mode() {
         for np in [1, 2, 4, 7] {
-            check_equivalence(np, HeuristicConfig::base(), 1000);
+            check_equivalence(np, HeuristicConfig::base(), 1000, 2);
         }
     }
 
     #[test]
     fn matches_sequential_batch_mode() {
-        check_equivalence(4, HeuristicConfig { batch_reads: true, ..Default::default() }, 3);
+        for threads in [1, 3] {
+            check_equivalence(
+                4,
+                HeuristicConfig { batch_reads: true, ..Default::default() },
+                3,
+                threads,
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_serial_reference_exactly() {
+        // Spot check of the proptest invariant: identical tables AND
+        // identical deterministic counters (incl. exchange volumes and
+        // peaks) between the serial path and the pipelined one.
+        let p = params();
+        let reads = make_reads(42, 18);
+        let reads_ref = &reads;
+        let np = 3;
+        for heur in [
+            HeuristicConfig::base(),
+            HeuristicConfig { batch_reads: true, ..Default::default() },
+            HeuristicConfig { keep_read_tables: true, ..Default::default() },
+        ] {
+            let serial = Universe::new(np).run(move |comm| {
+                let mine = partition(reads_ref, np, comm.rank());
+                build_distributed_serial(comm, &mine, 4, &p, &heur)
+            });
+            for threads in [1, 4] {
+                let piped = Universe::new(np).run(move |comm| {
+                    let mine = partition(reads_ref, np, comm.rank());
+                    build_distributed(comm, &mine, 4, &p, &heur, threads)
+                });
+                for ((ts, ss), (tp, sp)) in serial.iter().zip(&piped) {
+                    assert_eq!(
+                        deterministic_counters(ss),
+                        deterministic_counters(sp),
+                        "stats diverge: threads={threads} heur={}",
+                        heur.label()
+                    );
+                    let sk: Vec<_> = sorted(ts.hash_kmers.iter());
+                    let pk: Vec<_> = sorted(tp.hash_kmers.iter());
+                    assert_eq!(sk, pk, "kmer tables diverge");
+                    let st: Vec<_> = sorted(ts.hash_tiles.iter());
+                    let pt: Vec<_> = sorted(tp.hash_tiles.iter());
+                    assert_eq!(st, pt, "tile tables diverge");
+                    assert_eq!(ts.memory_bytes(), tp.memory_bytes(), "table geometry diverges");
+                }
+            }
+        }
+    }
+
+    fn sorted<K: Ord + Copy, I: Iterator<Item = (K, u32)>>(it: I) -> Vec<(K, u32)> {
+        let mut v: Vec<(K, u32)> = it.collect();
+        v.sort_unstable_by_key(|e| e.0);
+        v
     }
 
     #[test]
@@ -493,11 +1036,11 @@ mod tests {
         let batched = Universe::new(np).run(move |comm| {
             let mine = partition(reads_ref, np, comm.rank());
             let heur = HeuristicConfig { batch_reads: true, ..Default::default() };
-            build_distributed(comm, &mine, 2, &p, &heur).1
+            build_distributed(comm, &mine, 2, &p, &heur, 2).1
         });
         let unbatched = Universe::new(np).run(move |comm| {
             let mine = partition(reads_ref, np, comm.rank());
-            build_distributed(comm, &mine, 2, &p, &HeuristicConfig::base()).1
+            build_distributed(comm, &mine, 2, &p, &HeuristicConfig::base(), 2).1
         });
         for (b, u) in batched.iter().zip(&unbatched) {
             assert!(
@@ -516,6 +1059,31 @@ mod tests {
     }
 
     #[test]
+    fn preaggregation_shrinks_exchange_volume() {
+        // Repeated templates mean many duplicate occurrences per batch;
+        // the shipped entries must be the distinct keys only.
+        let p = params();
+        let reads = make_reads(60, 18);
+        let reads_ref = &reads;
+        let np = 4;
+        let stats = Universe::new(np).run(move |comm| {
+            let mine = partition(reads_ref, np, comm.rank());
+            let heur = HeuristicConfig { batch_reads: true, ..Default::default() };
+            build_distributed(comm, &mine, 30, &p, &heur, 2).1
+        });
+        for s in &stats {
+            assert!(s.exchange_entries > 0, "multi-rank build must exchange something");
+            assert!(
+                s.exchange_entries < s.exchange_occurrences,
+                "pre-aggregation must dedup ({} entries vs {} occurrences)",
+                s.exchange_entries,
+                s.exchange_occurrences
+            );
+            assert!(s.exchange_bytes > 0);
+        }
+    }
+
+    #[test]
     fn keep_read_tables_resolves_global_counts() {
         let p = params();
         let reads = make_reads(40, 18);
@@ -525,7 +1093,7 @@ mod tests {
         let heur = HeuristicConfig { keep_read_tables: true, ..Default::default() };
         let results = Universe::new(np).run(move |comm| {
             let mine = partition(reads_ref, np, comm.rank());
-            build_distributed(comm, &mine, 1000, &p, &heur)
+            build_distributed(comm, &mine, 1000, &p, &heur, 2)
         });
         for (tables, stats) in &results {
             let rk = tables.reads_kmers.as_ref().expect("reads table kept");
@@ -550,7 +1118,7 @@ mod tests {
         let heur = HeuristicConfig::replicate_both();
         let results = Universe::new(np).run(move |comm| {
             let mine = partition(reads_ref, np, comm.rank());
-            build_distributed(comm, &mine, 1000, &p, &heur)
+            build_distributed(comm, &mine, 1000, &p, &heur, 2)
         });
         for (tables, _) in &results {
             let rep_k = tables.replicated_kmers.as_ref().unwrap();
@@ -560,6 +1128,12 @@ mod tests {
             for (code, count) in seq.kmers.iter() {
                 assert_eq!(rep_k.count(code), count);
             }
+            // satellite check: the pre-sized replicated table keeps the
+            // exact bytes_for_entries geometry
+            assert_eq!(
+                rep_k.memory_bytes(),
+                reptile::spectrum::KmerSpectrum::bytes_for_entries(rep_k.len())
+            );
         }
     }
 
@@ -573,7 +1147,7 @@ mod tests {
         let np = 8;
         let results = Universe::new(np).run(move |comm| {
             let mine = partition(reads_ref, np, comm.rank());
-            build_distributed(comm, &mine, 1000, &p, &HeuristicConfig::base()).1
+            build_distributed(comm, &mine, 1000, &p, &HeuristicConfig::base(), 2).1
         });
         let counts: Vec<u64> = results.iter().map(|s| s.owned_kmers).collect();
         let total: u64 = counts.iter().sum();

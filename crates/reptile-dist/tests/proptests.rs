@@ -2,9 +2,11 @@
 //! and rank counts, the threaded and virtual engines must both reproduce
 //! the sequential corrector's output exactly.
 
+use mpisim::Universe;
 use proptest::prelude::*;
-use reptile::{correct_dataset, ReptileParams};
+use reptile::{correct_dataset, KmerSpectrum, ReptileParams, TileSpectrum};
 use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::spectrum::{build_distributed, build_distributed_serial, BuildStats, RankTables};
 use reptile_dist::{run_distributed, EngineConfig, HeuristicConfig};
 
 fn params() -> ReptileParams {
@@ -44,6 +46,76 @@ fn read_pool() -> impl Strategy<Value = Vec<dnaseq::Read>> {
             }
         }
         reads
+    })
+}
+
+fn kmer_entries(s: &KmerSpectrum) -> Vec<(u64, u32)> {
+    let mut v: Vec<_> = s.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+fn tile_entries(s: &TileSpectrum) -> Vec<(u128, u32)> {
+    let mut v: Vec<_> = s.iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Everything bit-identity covers: every table (owned, reads,
+/// replicated, group) as a sorted entry list, plus the byte-accurate
+/// memory accounting.
+type TableFingerprint = (
+    Vec<(u64, u32)>,
+    Vec<(u128, u32)>,
+    Option<Vec<(u64, u32)>>,
+    Option<Vec<(u128, u32)>>,
+    Option<Vec<(u64, u32)>>,
+    Option<Vec<(u128, u32)>>,
+    Option<Vec<(u64, u32)>>,
+    Option<Vec<(u128, u32)>>,
+    u64,
+);
+
+fn fingerprint(t: &RankTables) -> TableFingerprint {
+    (
+        kmer_entries(&t.hash_kmers),
+        tile_entries(&t.hash_tiles),
+        t.reads_kmers.as_ref().map(kmer_entries),
+        t.reads_tiles.as_ref().map(tile_entries),
+        t.replicated_kmers.as_ref().map(kmer_entries),
+        t.replicated_tiles.as_ref().map(tile_entries),
+        t.group_kmers.as_ref().map(kmer_entries),
+        t.group_tiles.as_ref().map(tile_entries),
+        t.memory_bytes(),
+    )
+}
+
+/// Zero the wall-clock fields: timings legitimately differ between the
+/// serial and the pipelined builder, every other counter must not.
+fn no_timing(s: BuildStats) -> BuildStats {
+    BuildStats { extract_ns: 0, exchange_ns: 0, overlap_ns: 0, ..s }
+}
+
+fn build_fingerprints(
+    reads: &[dnaseq::Read],
+    np: usize,
+    chunk: usize,
+    heur: HeuristicConfig,
+    threads: Option<usize>,
+) -> Vec<(TableFingerprint, BuildStats)> {
+    let p = params();
+    Universe::new(np).run(move |comm| {
+        let mine: Vec<dnaseq::Read> = reads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % np == comm.rank())
+            .map(|(_, r)| r.clone())
+            .collect();
+        let (tables, stats) = match threads {
+            None => build_distributed_serial(comm, &mine, chunk, &p, &heur),
+            Some(t) => build_distributed(comm, &mine, chunk, &p, &heur, t),
+        };
+        (fingerprint(&tables), no_timing(stats))
     })
 }
 
@@ -89,6 +161,28 @@ proptest! {
         cfg.chunk_size = 4;
         let out = run_distributed(&cfg, &reads);
         prop_assert_eq!(out.corrected, seq);
+    }
+
+    /// The pipelined builder (threaded fused extraction, per-owner
+    /// pre-aggregation, double-buffered exchange) must be bit-identical
+    /// to the serial reference: same tables (all of them, including the
+    /// optional reads/replicated/group spectra), same byte accounting,
+    /// same deterministic counters — across thread counts, chunk sizes,
+    /// rank counts and every heuristic combination in the matrix.
+    #[test]
+    fn pipelined_build_bit_identical_to_serial(
+        reads in read_pool(),
+        np in prop::sample::select(vec![1usize, 3, 4]),
+        threads in prop::sample::select(vec![1usize, 2, 4]),
+        chunk in prop::sample::select(vec![3usize, 7, 64]),
+        heur_idx in 0usize..HeuristicConfig::construction_matrix().len(),
+    ) {
+        let heur = HeuristicConfig::construction_matrix()[heur_idx];
+        prop_assume!(heur.validate().is_ok());
+        let serial = build_fingerprints(&reads, np, chunk, heur, None);
+        let piped = build_fingerprints(&reads, np, chunk, heur, Some(threads));
+        prop_assert_eq!(serial, piped, "heur={} np={} threads={} chunk={}",
+                        heur.label(), np, threads, chunk);
     }
 
     /// Conservation: every input read appears exactly once in the output

@@ -222,6 +222,36 @@ impl FlatKmerTable {
         self.len += 1;
     }
 
+    /// Pre-size for `additional` more distinct keys, so a bulk ingest of
+    /// that many entries triggers no incremental growth rehash. The
+    /// target is the capacity incremental growth to `len() + additional`
+    /// entries would land on, so when the estimate is exact (e.g. the
+    /// disjoint owner parts of an allgathered spectrum) the final
+    /// geometry still matches [`FlatKmerTable::bytes_for_entries`].
+    pub fn reserve(&mut self, additional: usize) {
+        let want = capacity_for(self.len + additional, self.load_num, self.load_den);
+        if want > self.keys.len() {
+            self.rehash(want);
+        }
+    }
+
+    /// Bulk-ingest a sorted run of **distinct** `(key, count)` pairs —
+    /// the shape the pipelined spectrum build's pre-aggregated per-owner
+    /// buckets arrive in. Equivalent to `add_count` per pair (saturating
+    /// adds commute, so the result is order-independent); debug builds
+    /// verify the run is strictly ascending. Pair with
+    /// [`FlatKmerTable::reserve`] when the number of *new* keys is
+    /// known, to skip incremental growth entirely.
+    pub fn merge_sorted(&mut self, entries: &[(u64, u32)]) {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "merge_sorted requires strictly ascending keys"
+        );
+        for &(key, count) in entries {
+            self.add_count(key, count);
+        }
+    }
+
     /// Rehash every occupied slot into a fresh array of `new_cap` slots.
     fn rehash(&mut self, new_cap: usize) {
         debug_assert!(
@@ -446,6 +476,27 @@ impl FlatTileTable {
         self.counts[idx] = count;
     }
 
+    /// Pre-size for `additional` more distinct keys (see
+    /// [`FlatKmerTable::reserve`]).
+    pub fn reserve(&mut self, additional: usize) {
+        let want = capacity_for(self.len + additional, self.load_num, self.load_den);
+        if want > self.lo.len() {
+            self.rehash(want);
+        }
+    }
+
+    /// Bulk-ingest a sorted run of **distinct** `(key, count)` pairs
+    /// (see [`FlatKmerTable::merge_sorted`]).
+    pub fn merge_sorted(&mut self, entries: &[(u128, u32)]) {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "merge_sorted requires strictly ascending keys"
+        );
+        for &(key, count) in entries {
+            self.add_count(key, count);
+        }
+    }
+
     /// Rehash every occupied slot into fresh arrays of `new_cap` slots.
     fn rehash(&mut self, new_cap: usize) {
         debug_assert!(
@@ -596,6 +647,56 @@ mod tests {
                 "tile geometry diverges at n={n}"
             );
         }
+    }
+
+    #[test]
+    fn reserve_preserves_geometry_and_skips_growth() {
+        for n in [1usize, 12, 13, 100, 769] {
+            let mut t = FlatKmerTable::new();
+            t.reserve(n);
+            let cap = t.capacity();
+            for key in 0..n as u64 {
+                t.add_count(key, 1);
+            }
+            assert_eq!(t.capacity(), cap, "no growth after an exact reserve (n={n})");
+            assert_eq!(t.memory_bytes(), FlatKmerTable::bytes_for_entries(n));
+            let mut s = FlatTileTable::new();
+            s.reserve(n);
+            let cap = s.capacity();
+            for key in 0..n as u128 {
+                s.add_count(key, 1);
+            }
+            assert_eq!(s.capacity(), cap);
+            assert_eq!(s.memory_bytes(), FlatTileTable::bytes_for_entries(n));
+        }
+        // reserve(0) on an empty table allocates nothing
+        let mut t = FlatKmerTable::new();
+        t.reserve(0);
+        assert_eq!(t.capacity(), 0);
+    }
+
+    #[test]
+    fn merge_sorted_equals_per_key_adds() {
+        let run: Vec<(u64, u32)> = (0..500).map(|i| (i * 31, (i % 7 + 1) as u32)).collect();
+        let mut bulk = FlatKmerTable::new();
+        bulk.add_count(93, 5); // pre-existing overlap with the run
+        bulk.reserve(run.len());
+        bulk.merge_sorted(&run);
+        let mut serial = FlatKmerTable::new();
+        serial.add_count(93, 5);
+        for &(k, c) in &run {
+            serial.add_count(k, c);
+        }
+        let mut a: Vec<_> = bulk.iter().collect();
+        let mut b: Vec<_> = serial.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        // sentinel key rides through the sorted path too (sorts last)
+        let mut s = FlatTileTable::new();
+        s.merge_sorted(&[(1, 2), (u128::MAX, 9)]);
+        assert_eq!(s.get(u128::MAX), Some(9));
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

@@ -128,18 +128,10 @@ mod tests {
     fn bimodal() -> CountHistogram {
         // error peak at 1-2, valley at 4, coverage peak at 20
         let mut counts = Vec::new();
-        for _ in 0..1000 {
-            counts.push(1);
-        }
-        for _ in 0..300 {
-            counts.push(2);
-        }
-        for _ in 0..60 {
-            counts.push(3);
-        }
-        for _ in 0..10 {
-            counts.push(4);
-        }
+        counts.extend(std::iter::repeat_n(1, 1000));
+        counts.extend(std::iter::repeat_n(2, 300));
+        counts.extend(std::iter::repeat_n(3, 60));
+        counts.extend(std::iter::repeat_n(4, 10));
         for c in 15..=25u32 {
             for _ in 0..(200 - 10 * (20i32 - c as i32).abs()) {
                 counts.push(c);

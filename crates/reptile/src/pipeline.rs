@@ -167,7 +167,7 @@ mod tests {
         // counts, at or below the template counts (8)
         if let Some(t) = hist.suggest_threshold() {
             assert_eq!(result.params.kmer_threshold, t);
-            assert!(t >= 2 && t <= 8, "derived threshold {t}");
+            assert!((2..=8).contains(&t), "derived threshold {t}");
         } else {
             assert_eq!(result.params.kmer_threshold, params().kmer_threshold);
         }

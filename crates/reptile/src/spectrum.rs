@@ -54,6 +54,22 @@ impl KmerSpectrum {
         self.counts.add_count(code, count);
     }
 
+    /// Pre-size for `additional` more distinct codes
+    /// ([`FlatKmerTable::reserve`](crate::flat::FlatKmerTable::reserve)):
+    /// an exact estimate keeps the geometry `bytes_for_entries`-exact
+    /// while skipping every incremental growth rehash.
+    pub fn reserve(&mut self, additional: usize) {
+        self.counts.reserve(additional);
+    }
+
+    /// Bulk-ingest a sorted run of distinct (normalized) `(code, count)`
+    /// pairs — the pre-aggregated per-owner buckets of the pipelined
+    /// distributed build
+    /// ([`FlatKmerTable::merge_sorted`](crate::flat::FlatKmerTable::merge_sorted)).
+    pub fn merge_sorted(&mut self, entries: &[(u64, u32)]) {
+        self.counts.merge_sorted(entries);
+    }
+
     /// Count of a code (0 if absent). Normalizes internally.
     #[inline]
     pub fn count(&self, code: u64) -> u32 {
@@ -164,6 +180,18 @@ impl TileSpectrum {
     /// Add a single (already normalized) code with a count (saturating).
     pub fn add_count(&mut self, code: u128, count: u32) {
         self.counts.add_count(code, count);
+    }
+
+    /// Pre-size for `additional` more distinct codes (see
+    /// [`KmerSpectrum::reserve`]).
+    pub fn reserve(&mut self, additional: usize) {
+        self.counts.reserve(additional);
+    }
+
+    /// Bulk-ingest a sorted run of distinct (normalized) `(code, count)`
+    /// pairs (see [`KmerSpectrum::merge_sorted`]).
+    pub fn merge_sorted(&mut self, entries: &[(u128, u32)]) {
+        self.counts.merge_sorted(entries);
     }
 
     /// Count of a code (0 if absent). Normalizes internally.
@@ -368,8 +396,8 @@ mod tests {
         let p = params();
         let reads = vec![read(1, b"ACGTACGT")];
         let s = LocalSpectra::build_unpruned(&reads, &p);
-        assert!(s.kmers.len() > 0);
-        assert!(s.tiles.len() > 0);
+        assert!(!s.kmers.is_empty());
+        assert!(!s.tiles.is_empty());
         let pruned = LocalSpectra::build(&reads, &p);
         assert!(pruned.kmers.len() <= s.kmers.len());
     }
