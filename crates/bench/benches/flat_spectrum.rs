@@ -9,7 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dnaseq::{mix64, FxHashMap};
 use reptile::layouts::{EytzingerKmerSpectrum, SortedKmerSpectrum};
-use reptile::spectrum::KmerSpectrum;
+use reptile::spectrum::{KmerSpectrum, Normalized};
 use reptile::FlatKmerTable;
 
 const N: usize = 100_000;
@@ -59,7 +59,7 @@ fn bench_lookups(c: &mut Criterion) {
     for &k in &ks {
         flat.add_count(k, 1);
         *fx.entry(k).or_insert(0) += 1;
-        spectrum.add_count(k, 1);
+        spectrum.add_count(Normalized::assume(k), 1);
     }
     let sorted = SortedKmerSpectrum::from_spectrum(&spectrum);
     let eytzinger = EytzingerKmerSpectrum::from_spectrum(&spectrum);

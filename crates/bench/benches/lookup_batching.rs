@@ -6,7 +6,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use reptile_bench::workloads::{smoke, smoke_params};
-use reptile_dist::{run_distributed, DistOutput, EngineConfig, HeuristicConfig};
+use reptile_dist::{run_distributed, EngineConfig, HeuristicConfig, RunOutput};
 
 const NP: usize = 4;
 
@@ -16,7 +16,7 @@ fn config(aggregate: bool) -> EngineConfig {
     cfg
 }
 
-fn message_counts(out: &DistOutput) -> (u64, u64, u64) {
+fn message_counts(out: &RunOutput) -> (u64, u64, u64) {
     let sum = |f: &dyn Fn(&reptile_dist::LookupStats) -> u64| -> u64 {
         out.report.ranks.iter().map(|r| f(&r.lookups)).sum()
     };

@@ -21,8 +21,9 @@ use crate::workloads::{smoke_params, SEED};
 use dnaseq::{mix64, Read};
 use mpisim::Universe;
 use reptile::ReptileParams;
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
 use reptile_dist::spectrum::{build_distributed, build_distributed_serial, BuildStats};
+use reptile_dist::EngineConfig;
 use reptile_dist::HeuristicConfig;
 use std::time::Instant;
 
@@ -169,17 +170,19 @@ pub fn run(n_reads: usize) -> BuildBenchReport {
 
     // --- modeled numbers (deterministic, core-count independent) ---
     let modeled_construct = |threads: usize| {
-        let mut cfg = VirtualConfig::new(1, params);
-        cfg.build_threads = threads;
+        let cfg =
+            EngineConfig { build_threads: threads, ..EngineConfig::virtual_cluster(1, params) };
         run_virtual(&cfg, reads_ref).report.construct_secs()
     };
     let modeled_speedup_4t = modeled_construct(1) / modeled_construct(4).max(1e-12);
-    let mut vcfg = VirtualConfig::new(np, params);
-    vcfg.heuristics = HeuristicConfig { batch_reads: true, ..Default::default() };
-    // ~4 batches per rank at any workload size: one round has nothing to
-    // overlap with (the model degenerates to compute + comm)
-    vcfg.chunk_size = (n_reads / (np * 4)).max(1);
-    vcfg.build_threads = 2;
+    let vcfg = EngineConfig {
+        heuristics: HeuristicConfig { batch_reads: true, ..Default::default() },
+        // ~4 batches per rank at any workload size: one round has nothing
+        // to overlap with (the model degenerates to compute + comm)
+        chunk_size: (n_reads / (np * 4)).max(1),
+        build_threads: 2,
+        ..EngineConfig::virtual_cluster(np, params)
+    };
     let modeled_overlap_fraction = run_virtual(&vcfg, reads_ref).report.build_overlap_fraction();
 
     BuildBenchReport {

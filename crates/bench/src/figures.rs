@@ -2,7 +2,7 @@
 //!
 //! Each `figN` function runs the virtual-cluster engine on a scaled
 //! workload at the paper's rank/node counts, with times extrapolated to
-//! paper scale via `VirtualConfig::scale`. Functions return structured
+//! paper scale via `EngineConfig::scale`. Functions return structured
 //! results (so tests can assert the *shapes* the paper reports) plus a
 //! `render()` that prints the same rows/series the paper plots.
 
@@ -11,7 +11,8 @@ use genio::stats::DatasetStats;
 use genio::DatasetProfile;
 use mpisim::Topology;
 use reptile::ReptileParams;
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
+use reptile_dist::EngineConfig;
 use reptile_dist::HeuristicConfig;
 
 /// Mebibytes per byte, for memory rows.
@@ -23,12 +24,13 @@ fn config(
     params: ReptileParams,
     heur: HeuristicConfig,
     scale: usize,
-) -> VirtualConfig {
-    let mut cfg = VirtualConfig::new(np, params);
-    cfg.topology = Topology::new(rpn);
-    cfg.heuristics = heur;
-    cfg.scale = scale as f64;
-    cfg
+) -> EngineConfig {
+    EngineConfig {
+        topology: Topology::new(rpn),
+        heuristics: heur,
+        scale: scale as f64,
+        ..EngineConfig::virtual_cluster(np, params)
+    }
 }
 
 // ---------------------------------------------------------------- Table I

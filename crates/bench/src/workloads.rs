@@ -3,7 +3,7 @@
 //! Every figure runs on a *scaled-down* dataset (the paper's datasets are
 //! 0.9–158 GB) whose per-rank work and traffic are linear in the scale
 //! divisor, so modeled times are extrapolated by setting
-//! `VirtualConfig::scale = divisor` (see DESIGN.md §2 and §6).
+//! `EngineConfig::scale = divisor` (see DESIGN.md §2 and §6).
 
 use genio::dataset::{DatasetProfile, SyntheticDataset};
 use reptile::ReptileParams;

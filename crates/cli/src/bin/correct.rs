@@ -18,16 +18,25 @@
 //!   --build-threads N    extraction workers per rank for the pipelined
 //!                        spectrum build (default: all host cores; the
 //!                        virtual engine models N workers per rank)
+//!   --scale X            dataset scale multiplier (virtual engine)
+//!   --fault-plan SPEC    inject deterministic faults into the message
+//!                        plane, e.g. "seed=7,drop=0.1,dup=0.05,kill=2"
+//!                        (see mpisim::FaultPlan::parse for the grammar)
+//!   --lookup-deadline D  base per-request deadline for Step IV lookups
+//!                        (e.g. 25ms); required for lossy fault plans
+//!   --retry-budget N     retries before a lookup degrades to "absent
+//!                        everywhere" (exponential backoff per attempt)
 //!   --report             print the per-rank report table
 //! ```
 //!
 //! The config file supplies the input/output paths and the algorithm
-//! parameters (see `genio::config`).
+//! parameters (see `genio::config`). Both engines are dispatched through
+//! the [`reptile_dist::Engine`] trait — there is no per-engine plumbing
+//! here beyond the name lookup.
 
 use genio::{fasta, RunConfig};
 use reptile_cli::{heuristics_from_args, params_from_config, ArgParser};
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
-use reptile_dist::{run_distributed_files, EngineConfig, RunReport};
+use reptile_dist::{engine_by_name, EngineConfig, RunReport};
 use std::io::Write;
 
 fn main() {
@@ -47,35 +56,39 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let params = params_from_config(&config);
     let heuristics = heuristics_from_args(&args)?;
     let np = args.int("np", 8)?;
-    let chunk_size = args.int("chunk-size", config.chunk_size)?;
-    let build_threads = args.int("build-threads", reptile_dist::default_build_threads())?.max(1);
-    let engine = args.value("engine").unwrap_or("mt");
 
-    let (corrected, report) = match engine {
-        "mt" => {
-            let cfg = EngineConfig {
-                np,
-                chunk_size,
-                params,
-                heuristics,
-                build_threads,
-                ..EngineConfig::new(np, params)
-            };
-            let out = run_distributed_files(&cfg, &config.fasta_file, &config.qual_file)?;
-            (out.corrected, out.report)
-        }
-        "virtual" => {
-            let reads = genio::qual::load_dataset(&config.fasta_file, &config.qual_file)?;
-            let mut cfg = VirtualConfig::new(np, params);
-            cfg.chunk_size = chunk_size;
-            cfg.heuristics = heuristics;
-            cfg.build_threads = build_threads;
-            cfg.scale = args.int("scale", 1)? as f64;
-            let run = run_virtual(&cfg, &reads);
-            (run.corrected, run.report)
-        }
-        other => return Err(format!("--engine: expected mt|virtual, got '{other}'").into()),
-    };
+    let engine_name = args.value("engine").unwrap_or("mt");
+    let engine = engine_by_name(engine_name)
+        .ok_or_else(|| format!("--engine: expected mt|virtual, got '{engine_name}'"))?;
+
+    let mut builder = EngineConfig::builder(np, params);
+    if engine.name() == "virtual" {
+        builder = builder.virtual_cluster();
+    }
+    builder = builder
+        .chunk_size(args.int("chunk-size", config.chunk_size)?)
+        .heuristics(heuristics)
+        .scale(args.int("scale", 1)? as f64)
+        .retry_budget(args.int("retry-budget", 0)? as u32);
+    if let Some(threads) = args.value("build-threads") {
+        let threads: usize = threads
+            .parse()
+            .map_err(|_| format!("--build-threads: '{threads}' is not an integer"))?;
+        builder = builder.build_threads(threads.max(1));
+    }
+    if let Some(spec) = args.value("fault-plan") {
+        let plan = mpisim::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        builder = builder.fault(plan);
+    }
+    if let Some(spec) = args.value("lookup-deadline") {
+        let deadline =
+            mpisim::parse_duration(spec).map_err(|e| format!("--lookup-deadline: {e}"))?;
+        builder = builder.lookup_deadline(deadline);
+    }
+    let cfg = builder.build()?;
+
+    let run = engine.run_files(&cfg, &config.fasta_file, &config.qual_file)?;
+    let (corrected, report) = (run.corrected, run.report);
 
     let mut out = std::io::BufWriter::new(std::fs::File::create(&config.output_file)?);
     for read in &corrected {
@@ -83,11 +96,12 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     out.flush()?;
     println!(
-        "{} reads -> {} ({} errors corrected, {} ranks, heuristics: {})",
+        "{} reads -> {} ({} errors corrected, {} ranks, engine: {}, heuristics: {})",
         corrected.len(),
         config.output_file.display(),
         report.errors_corrected(),
         np,
+        engine.name(),
         heuristics.label()
     );
     if args.has("report") {
@@ -98,18 +112,30 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
 fn print_report(report: &RunReport) {
     println!(
-        "{:>5} {:>8} {:>10} {:>10} {:>10} {:>12} {:>10}",
-        "rank", "reads", "errors", "constr_s", "correct_s", "remote_lkps", "mem_MiB"
+        "{:>5} {:>8} {:>10} {:>10} {:>10} {:>12} {:>8} {:>8} {:>8} {:>10}",
+        "rank",
+        "reads",
+        "errors",
+        "constr_s",
+        "correct_s",
+        "remote_lkps",
+        "retries",
+        "misses",
+        "degraded",
+        "mem_MiB"
     );
     for r in &report.ranks {
         println!(
-            "{:>5} {:>8} {:>10} {:>10.3} {:>10.3} {:>12} {:>10.1}",
+            "{:>5} {:>8} {:>10} {:>10.3} {:>10.3} {:>12} {:>8} {:>8} {:>8} {:>10.1}",
             r.rank,
             r.reads_processed,
             r.correction.errors_corrected,
             r.construct_secs,
             r.correct_secs,
             r.lookups.remote_total(),
+            r.lookups.requests_retried,
+            r.lookups.deadline_misses,
+            r.lookups.keys_degraded,
             r.memory_bytes / (1024.0 * 1024.0),
         );
     }
@@ -120,4 +146,8 @@ fn print_report(report: &RunReport) {
         report.correct_secs(),
         report.imbalance_ratio()
     );
+    let degraded: u64 = report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
+    if degraded > 0 {
+        println!("WARNING: {degraded} lookups degraded to absent (fault plan active)");
+    }
 }

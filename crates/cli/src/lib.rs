@@ -38,7 +38,18 @@ impl std::fmt::Display for UsageError {
 impl std::error::Error for UsageError {}
 
 /// Option names that take a value; everything else `--x` is a flag.
-const VALUED: &[&str] = &["np", "engine", "partial-group", "chunk-size", "replicate", "scale"];
+const VALUED: &[&str] = &[
+    "np",
+    "engine",
+    "partial-group",
+    "chunk-size",
+    "replicate",
+    "scale",
+    "build-threads",
+    "fault-plan",
+    "lookup-deadline",
+    "retry-budget",
+];
 
 impl ArgParser {
     /// Parse raw arguments (without the program name).
@@ -164,6 +175,26 @@ mod tests {
         assert_eq!(a.value("engine"), Some("virtual"));
         assert_eq!(a.int("np", 4).unwrap(), 16);
         assert_eq!(a.int("chunk-size", 2000).unwrap(), 2000);
+    }
+
+    #[test]
+    fn fault_flags_take_values() {
+        let a = parse(&[
+            "run.config",
+            "--build-threads",
+            "4",
+            "--fault-plan",
+            "seed=7,drop=0.1",
+            "--lookup-deadline",
+            "25ms",
+            "--retry-budget",
+            "5",
+        ]);
+        assert_eq!(a.n_positionals(), 1);
+        assert_eq!(a.value("build-threads"), Some("4"));
+        assert_eq!(a.value("fault-plan"), Some("seed=7,drop=0.1"));
+        assert_eq!(a.value("lookup-deadline"), Some("25ms"));
+        assert_eq!(a.int("retry-budget", 0).unwrap(), 5);
     }
 
     #[test]

@@ -89,6 +89,7 @@ pub struct PendingAlltoallv<'c, T> {
 impl crate::comm::Comm {
     /// Synchronize all ranks (`MPI_Barrier`).
     pub fn barrier(&self) {
+        self.shared().stall_tick(self.rank());
         self.shared().collectives.barrier.wait();
     }
 
@@ -102,6 +103,7 @@ impl crate::comm::Comm {
         let me = self.rank();
         let bytes: usize = send.iter().map(|v| v.len() * std::mem::size_of::<T>()).sum();
         self.shared().stats[me].count_collective(bytes);
+        self.shared().stall_tick(me);
         for (dst, data) in send.into_iter().enumerate() {
             *cs.matrix[me * np + dst].lock() = Some(Box::new(data));
         }
@@ -131,6 +133,7 @@ impl crate::comm::Comm {
         let me = self.rank();
         let bytes: usize = send.iter().map(|v| v.len() * std::mem::size_of::<T>()).sum();
         self.shared().stats[me].count_collective_nonblocking(bytes);
+        self.shared().stall_tick(me);
         let round = cs.nb_seq[me].fetch_add(1, Ordering::Relaxed);
         {
             let mut rounds = cs.nb.lock();
@@ -155,6 +158,7 @@ impl crate::comm::Comm {
         let np = cs.np;
         let me = self.rank();
         self.shared().stats[me].count_collective(mine.len() * std::mem::size_of::<T>());
+        self.shared().stall_tick(me);
         *cs.row[me].lock() = Some(Box::new(mine));
         cs.barrier.wait();
         let mut all = Vec::with_capacity(np);
@@ -181,6 +185,7 @@ impl crate::comm::Comm {
         let cs = &self.shared().collectives;
         let me = self.rank();
         self.shared().stats[me].count_collective(std::mem::size_of::<T>());
+        self.shared().stall_tick(me);
         *cs.row[me].lock() = Some(Box::new(value));
         cs.barrier.wait();
         let mut acc: Option<T> = None;
@@ -217,6 +222,7 @@ impl crate::comm::Comm {
         let cs = &self.shared().collectives;
         let me = self.rank();
         self.shared().stats[me].count_collective(mine.len() * std::mem::size_of::<T>());
+        self.shared().stall_tick(me);
         *cs.row[me].lock() = Some(Box::new(mine));
         cs.barrier.wait();
         let out = if me == root {
@@ -244,6 +250,7 @@ impl crate::comm::Comm {
             assert_eq!(parts.len(), np, "scatterv needs one part per rank");
             let bytes: usize = parts.iter().map(|p| p.len() * std::mem::size_of::<T>()).sum();
             self.shared().stats[me].count_collective(bytes);
+            self.shared().stall_tick(me);
             for (dst, part) in parts.into_iter().enumerate() {
                 *cs.matrix[root * np + dst].lock() = Some(Box::new(part));
             }
@@ -264,6 +271,7 @@ impl crate::comm::Comm {
         if me == root {
             let v = value.expect("root must supply the broadcast value");
             self.shared().stats[me].count_collective(std::mem::size_of::<T>());
+            self.shared().stall_tick(me);
             *cs.row[root].lock() = Some(Box::new(v));
         } else {
             assert!(value.is_none(), "non-root ranks must pass None");

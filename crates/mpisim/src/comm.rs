@@ -14,12 +14,15 @@
 //!   (the worker + communication thread pair of step IV).
 
 use crate::collectives::CollectiveState;
+use crate::fault::FaultPlan;
 use crate::message::{Message, MessageInfo};
 use crate::stats::RankStats;
 use crate::topology::Topology;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Source selector for receives and probes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -75,15 +78,39 @@ pub(crate) struct Shared {
     pub(crate) collectives: CollectiveState,
     pub(crate) stats: Vec<RankStats>,
     pub(crate) topology: Topology,
+    pub(crate) fault: FaultPlan,
+    /// Per-edge message counters (row-major `src*np + dst`) feeding the
+    /// deterministic per-message fault decisions.
+    edge_seq: Vec<AtomicU64>,
+    /// Per-rank operation counters (sends + collectives) for the stall
+    /// fault's every-n-th schedule.
+    op_seq: Vec<AtomicU64>,
 }
 
 impl Shared {
-    pub(crate) fn new(np: usize, topology: Topology) -> Shared {
+    pub(crate) fn new(np: usize, topology: Topology, fault: FaultPlan) -> Shared {
         Shared {
             mailboxes: (0..np).map(|_| Mailbox::new()).collect(),
             collectives: CollectiveState::new(np),
             stats: (0..np).map(|_| RankStats::default()).collect(),
             topology,
+            fault,
+            edge_seq: (0..np * np).map(|_| AtomicU64::new(0)).collect(),
+            op_seq: (0..np).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Apply the stall fault for one operation on `rank` (send or
+    /// collective). No-op without a matching stall spec.
+    pub(crate) fn stall_tick(&self, rank: usize) {
+        if let Some(st) = self.fault.stall {
+            if st.rank == rank {
+                let n = self.op_seq[rank].fetch_add(1, Ordering::Relaxed);
+                if n.is_multiple_of(st.every) {
+                    self.stats[rank].count_fault_stalled();
+                    std::thread::sleep(st.pause);
+                }
+            }
         }
     }
 }
@@ -120,16 +147,59 @@ impl Comm {
 
     /// Send `payload` to `dst` with `tag`. Buffered & non-blocking, like a
     /// small-message `MPI_Send` in practice.
+    ///
+    /// If the universe carries a [`FaultPlan`], it is applied here: the
+    /// message may be dropped, duplicated, reordered, or delayed, and
+    /// messages on a severed edge (either endpoint killed) are discarded.
     pub fn send(&self, dst: usize, tag: u32, payload: Vec<u8>) {
         let nbytes = payload.len();
         let intra = self.shared.topology.same_node(self.rank, dst);
-        self.shared.stats[self.rank].count_send(nbytes, intra);
+        let stats = &self.shared.stats[self.rank];
+        stats.count_send(nbytes, intra);
+        let fault = &self.shared.fault;
+        let mut duplicated = false;
+        let mut reordered = false;
+        if !fault.is_none() {
+            self.shared.stall_tick(self.rank);
+            if fault.severed(self.rank, dst) {
+                stats.count_fault_dropped();
+                return;
+            }
+            let n = self.edge_tick(dst);
+            let d = fault.decide(self.rank, dst, n);
+            if d.delayed {
+                stats.count_fault_delayed();
+                std::thread::sleep(fault.delay);
+            }
+            if d.dropped {
+                stats.count_fault_dropped();
+                return;
+            }
+            duplicated = d.duplicated;
+            reordered = d.reordered;
+        }
         let mailbox = &self.shared.mailboxes[dst];
         {
             let mut q = mailbox.queue.lock();
-            q.push_back(Message { src: self.rank, tag, payload });
+            let msg = Message { src: self.rank, tag, payload };
+            if duplicated {
+                stats.count_fault_duplicated();
+                q.push_back(msg.clone());
+            }
+            if reordered && !q.is_empty() {
+                stats.count_fault_reordered();
+                let at = q.len() - 1;
+                q.insert(at, msg);
+            } else {
+                q.push_back(msg);
+            }
         }
         mailbox.arrived.notify_all();
+    }
+
+    fn edge_tick(&self, dst: usize) -> u64 {
+        let np = self.shared.mailboxes.len();
+        self.shared.edge_seq[self.rank * np + dst].fetch_add(1, Ordering::Relaxed)
     }
 
     /// [`send`](Comm::send) from a borrowed buffer: one exact-size copy
@@ -152,6 +222,28 @@ impl Comm {
                 return msg;
             }
             mailbox.arrived.wait(&mut q);
+        }
+    }
+
+    /// Blocking receive with a deadline: like [`recv`](Comm::recv), but
+    /// returns `None` if no matching message arrives within `timeout`.
+    /// This is the primitive under the Step IV retry protocol — an MPI
+    /// code expresses it as `MPI_Irecv` + `MPI_Test` in a timed loop.
+    pub fn recv_deadline(&self, src: Source, tag: TagSel, timeout: Duration) -> Option<Message> {
+        let deadline = Instant::now() + timeout;
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut q = mailbox.queue.lock();
+        loop {
+            if let Some(i) = q.iter().position(|m| src.matches(m.src) && tag.matches(m.tag)) {
+                let msg = q.remove(i).expect("index valid under lock");
+                self.shared.stats[self.rank].count_recv(msg.payload.len());
+                return Some(msg);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            mailbox.arrived.wait_for(&mut q, deadline - now);
         }
     }
 
@@ -195,6 +287,32 @@ impl Comm {
         }
     }
 
+    /// [`probe_tags`](Comm::probe_tags) with a deadline: returns `None`
+    /// if no matching message is pending within `timeout`. The Step IV
+    /// comm thread polls with this so it can notice its shutdown flag
+    /// (or its own death under a fault plan) instead of blocking forever
+    /// on traffic that will never come.
+    pub fn probe_tags_deadline(
+        &self,
+        src: Source,
+        tags: &[u32],
+        timeout: Duration,
+    ) -> Option<MessageInfo> {
+        let deadline = Instant::now() + timeout;
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut q = mailbox.queue.lock();
+        loop {
+            if let Some(m) = q.iter().find(|m| src.matches(m.src) && tags.contains(&m.tag)) {
+                return Some(MessageInfo { src: m.src, tag: m.tag, len: m.payload.len() });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            mailbox.arrived.wait_for(&mut q, deadline - now);
+        }
+    }
+
     /// Non-blocking probe (`MPI_Iprobe`).
     pub fn iprobe(&self, src: Source, tag: TagSel) -> Option<MessageInfo> {
         let mailbox = &self.shared.mailboxes[self.rank];
@@ -204,6 +322,12 @@ impl Comm {
             tag: m.tag,
             len: m.payload.len(),
         })
+    }
+
+    /// The fault plan this universe runs under ([`FaultPlan::none`] by
+    /// default).
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.shared.fault
     }
 
     /// Snapshot this rank's traffic counters.
@@ -370,6 +494,184 @@ mod tests {
             assert_eq!(got, (0..50).map(|i| i * 2).collect::<Vec<u8>>());
             assert_eq!(answered, 50);
         }
+    }
+
+    #[test]
+    fn recv_deadline_times_out_then_delivers() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                // nothing pending: must time out
+                let t0 = std::time::Instant::now();
+                let none = comm.recv_deadline(Source::Any, TagSel::Any, Duration::from_millis(20));
+                assert!(none.is_none());
+                assert!(t0.elapsed() >= Duration::from_millis(20));
+                comm.barrier();
+                // sender released: must deliver well within the deadline
+                let msg = comm
+                    .recv_deadline(Source::Rank(0), TagSel::Tag(4), Duration::from_secs(10))
+                    .expect("message sent after barrier");
+                assert_eq!(msg.payload, vec![7]);
+            } else {
+                comm.barrier();
+                comm.send(1, 4, vec![7]);
+            }
+        });
+    }
+
+    #[test]
+    fn probe_tags_deadline_times_out_without_traffic() {
+        Universe::new(2).run(|comm| {
+            if comm.rank() == 1 {
+                assert!(comm
+                    .probe_tags_deadline(Source::Any, &[9], Duration::from_millis(10))
+                    .is_none());
+                comm.barrier();
+                let info = comm
+                    .probe_tags_deadline(Source::Any, &[9], Duration::from_secs(10))
+                    .expect("pending after barrier");
+                assert_eq!(info.tag, 9);
+                assert!(comm.try_recv(Source::Rank(0), TagSel::Tag(9)).is_some());
+            } else {
+                comm.barrier();
+                comm.send(1, 9, vec![1]);
+            }
+        });
+    }
+
+    #[test]
+    fn fault_drop_all_loses_messages() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan { seed: 1, drop_p: 1.0, ..FaultPlan::none() };
+        let results = Universe::new(2).with_fault_plan(plan).run(|comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u8 {
+                    comm.send(1, 0, vec![i]);
+                }
+            }
+            comm.barrier();
+            (comm.try_recv(Source::Any, TagSel::Any).is_none(), comm.stats())
+        });
+        assert!(results[1].0, "all messages dropped");
+        assert_eq!(results[0].1.faults_dropped, 10);
+        assert_eq!(results[0].1.p2p_sent_msgs, 10, "sends are counted even when lost");
+        assert_eq!(results[1].1.p2p_recv_msgs, 0);
+    }
+
+    #[test]
+    fn fault_duplicate_all_doubles_messages() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan { seed: 1, dup_p: 1.0, ..FaultPlan::none() };
+        let results = Universe::new(2).with_fault_plan(plan).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![5]);
+            }
+            comm.barrier();
+            let mut got = Vec::new();
+            while let Some(m) = comm.try_recv(Source::Any, TagSel::Any) {
+                got.push(m.payload[0]);
+            }
+            (got, comm.stats())
+        });
+        assert_eq!(results[1].0, vec![5, 5]);
+        assert_eq!(results[0].1.faults_duplicated, 1);
+    }
+
+    #[test]
+    fn fault_reorder_swaps_adjacent_pending() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan { seed: 1, reorder_p: 1.0, ..FaultPlan::none() };
+        let results = Universe::new(2).with_fault_plan(plan).run(|comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, vec![1]);
+                comm.send(1, 0, vec![2]);
+                comm.send(1, 0, vec![3]);
+            }
+            comm.barrier();
+            let mut got = Vec::new();
+            while let Some(m) = comm.try_recv(Source::Any, TagSel::Any) {
+                got.push(m.payload[0]);
+            }
+            got
+        });
+        // every enqueue after the first jumps ahead of the previous
+        // pending message: 1 | 2,1 | 2,3,1
+        assert_eq!(results[1], vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn fault_kill_severs_both_directions() {
+        use crate::fault::{FaultPlan, KillSpec};
+        let plan = FaultPlan { kill: Some(KillSpec { rank: 1 }), ..FaultPlan::none() };
+        let results = Universe::new(3).with_fault_plan(plan).run(|comm| {
+            let me = comm.rank();
+            // everyone sends to everyone else
+            for dst in 0..comm.size() {
+                if dst != me {
+                    comm.send(dst, 0, vec![me as u8]);
+                }
+            }
+            comm.barrier();
+            let mut got = Vec::new();
+            while let Some(m) = comm.try_recv(Source::Any, TagSel::Any) {
+                got.push(m.payload[0]);
+            }
+            got.sort_unstable();
+            got
+        });
+        assert_eq!(results[0], vec![2], "rank 1's message to rank 0 lost");
+        assert!(results[1].is_empty(), "killed rank receives nothing");
+        assert_eq!(results[2], vec![0]);
+    }
+
+    #[test]
+    fn fault_determinism_same_plan_same_outcome() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan { seed: 77, drop_p: 0.4, dup_p: 0.2, ..FaultPlan::none() };
+        let run = || {
+            Universe::new(2).with_fault_plan(plan).run(|comm| {
+                if comm.rank() == 0 {
+                    for i in 0..50u8 {
+                        comm.send(1, 0, vec![i]);
+                    }
+                }
+                comm.barrier();
+                let mut got = Vec::new();
+                while let Some(m) = comm.try_recv(Source::Any, TagSel::Any) {
+                    got.push(m.payload[0]);
+                }
+                got
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed, same faults, same delivery");
+        assert!(a[1].len() < 50, "some of the 50 messages dropped at p=0.4");
+        assert!(!a[1].is_empty(), "not all dropped at p=0.4");
+    }
+
+    #[test]
+    fn fault_stall_pauses_the_stalled_rank() {
+        use crate::fault::{FaultPlan, StallSpec};
+        let plan = FaultPlan {
+            stall: Some(StallSpec { rank: 0, every: 1, pause: Duration::from_millis(5) }),
+            ..FaultPlan::none()
+        };
+        let results = Universe::new(2).with_fault_plan(plan).run(|comm| {
+            let t0 = std::time::Instant::now();
+            if comm.rank() == 0 {
+                for _ in 0..4 {
+                    comm.send(1, 0, vec![0]);
+                }
+            } else {
+                for _ in 0..4 {
+                    comm.recv(Source::Any, TagSel::Any);
+                }
+            }
+            (t0.elapsed(), comm.stats())
+        });
+        assert!(results[0].0 >= Duration::from_millis(20), "4 stalled sends >= 4 * 5ms");
+        assert_eq!(results[0].1.faults_stalled, 4);
+        assert_eq!(results[1].1.faults_stalled, 0);
     }
 
     #[test]

@@ -180,6 +180,15 @@ impl CostModel {
     pub fn rank_memory_bytes_measured(&self, spectrum_bytes: u64) -> f64 {
         self.process_base_bytes + spectrum_bytes as f64
     }
+
+    /// Modeled time spent waiting out `failed_attempts` consecutive
+    /// missed deadlines under the Step IV retry protocol: attempt `i`
+    /// waits `deadline · 2^i` before resending, so the total is the
+    /// geometric sum `deadline · (2^n − 1)`. Zero failed attempts cost
+    /// nothing — the fault-free path never waits.
+    pub fn retry_wait_ns(&self, deadline_ns: f64, failed_attempts: u32) -> f64 {
+        deadline_ns * ((1u64 << failed_attempts.min(62)) - 1) as f64
+    }
 }
 
 impl CostModel {
@@ -253,6 +262,17 @@ mod tests {
         assert!(mostly_inter > all_intra);
         let pure_inter = m.lookup_roundtrip_ns(24, 16, false);
         assert!(mostly_inter < pure_inter);
+    }
+
+    #[test]
+    fn retry_wait_is_a_geometric_backoff_sum() {
+        let m = CostModel::bgq();
+        assert_eq!(m.retry_wait_ns(1000.0, 0), 0.0);
+        assert_eq!(m.retry_wait_ns(1000.0, 1), 1000.0);
+        // 1 + 2 + 4 = 7 deadlines waited across three misses
+        assert_eq!(m.retry_wait_ns(1000.0, 3), 7000.0);
+        // absurd budgets saturate instead of overflowing the shift
+        assert!(m.retry_wait_ns(1.0, u32::MAX).is_finite());
     }
 
     #[test]

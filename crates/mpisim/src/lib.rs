@@ -17,7 +17,11 @@
 //! The [`cost`] module provides the BlueGene/Q analytic cost model used by
 //! the large-scale virtual engine (see `reptile-dist`) to translate
 //! counted work and traffic into modeled seconds; [`topology`] describes
-//! the node/rank layout (ranks per node, intra- vs inter-node links).
+//! the node/rank layout (ranks per node, intra- vs inter-node links);
+//! [`fault`] provides deterministic seeded fault injection (message drop /
+//! duplicate / reorder / delay, rank stall and kill) on the
+//! point-to-point plane, installed per-universe via
+//! [`Universe::with_fault_plan`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +29,7 @@
 pub mod collectives;
 pub mod comm;
 pub mod cost;
+pub mod fault;
 pub mod message;
 pub mod stats;
 pub mod topology;
@@ -34,6 +39,7 @@ pub mod universe;
 pub use collectives::PendingAlltoallv;
 pub use comm::{Comm, Source, TagSel};
 pub use cost::CostModel;
+pub use fault::{parse_duration, FaultPlan, KillSpec, StallSpec};
 pub use message::{Message, MessageInfo};
 pub use stats::RankStatsSnapshot;
 pub use topology::Topology;

@@ -17,6 +17,11 @@ pub(crate) struct RankStats {
     collective_ops: AtomicU64,
     collective_sent_bytes: AtomicU64,
     nonblocking_collective_ops: AtomicU64,
+    faults_dropped: AtomicU64,
+    faults_duplicated: AtomicU64,
+    faults_reordered: AtomicU64,
+    faults_delayed: AtomicU64,
+    faults_stalled: AtomicU64,
 }
 
 impl RankStats {
@@ -46,6 +51,26 @@ impl RankStats {
         self.nonblocking_collective_ops.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_fault_dropped(&self) {
+        self.faults_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_fault_duplicated(&self) {
+        self.faults_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_fault_reordered(&self) {
+        self.faults_reordered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_fault_delayed(&self) {
+        self.faults_delayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn count_fault_stalled(&self) {
+        self.faults_stalled.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> RankStatsSnapshot {
         RankStatsSnapshot {
             p2p_sent_msgs: self.p2p_sent_msgs.load(Ordering::Relaxed),
@@ -56,6 +81,11 @@ impl RankStats {
             collective_ops: self.collective_ops.load(Ordering::Relaxed),
             collective_sent_bytes: self.collective_sent_bytes.load(Ordering::Relaxed),
             nonblocking_collective_ops: self.nonblocking_collective_ops.load(Ordering::Relaxed),
+            faults_dropped: self.faults_dropped.load(Ordering::Relaxed),
+            faults_duplicated: self.faults_duplicated.load(Ordering::Relaxed),
+            faults_reordered: self.faults_reordered.load(Ordering::Relaxed),
+            faults_delayed: self.faults_delayed.load(Ordering::Relaxed),
+            faults_stalled: self.faults_stalled.load(Ordering::Relaxed),
         }
     }
 }
@@ -80,4 +110,15 @@ pub struct RankStatsSnapshot {
     /// Of the collectives, how many were started non-blocking
     /// ([`crate::Comm::start_alltoallv`]) and thus overlappable.
     pub nonblocking_collective_ops: u64,
+    /// Messages this rank sent that the fault plan discarded (including
+    /// messages on a severed edge of a killed rank).
+    pub faults_dropped: u64,
+    /// Messages the fault plan delivered twice.
+    pub faults_duplicated: u64,
+    /// Messages the fault plan enqueued out of order.
+    pub faults_reordered: u64,
+    /// Messages the fault plan delayed before delivery.
+    pub faults_delayed: u64,
+    /// Operations on which this rank served a stall pause.
+    pub faults_stalled: u64,
 }

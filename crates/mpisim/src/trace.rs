@@ -23,6 +23,12 @@ pub enum EventKind {
     Recv,
     /// A collective operation (alltoallv, allgather, …).
     Collective,
+    /// A retry of an unanswered request (`peer` = the unresponsive
+    /// owner, `bytes` = resent payload size).
+    Retry,
+    /// An injected or observed fault (drop, duplicate, deadline miss,
+    /// degradation — the label says which).
+    Fault,
     /// Anything else worth a mark.
     Marker,
 }
@@ -113,6 +119,18 @@ impl TraceLog {
         });
     }
 
+    /// Record a request retry toward `peer`.
+    pub fn retry(&mut self, label: &'static str, peer: usize, bytes: usize) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::Retry, label, peer, bytes });
+    }
+
+    /// Record a fault event (deadline miss, degradation, injected drop).
+    pub fn fault(&mut self, label: &'static str, peer: usize) {
+        let at_us = self.stamp();
+        self.events.push(Event { at_us, kind: EventKind::Fault, label, peer, bytes: 0 });
+    }
+
     /// Record a free-form marker.
     pub fn marker(&mut self, label: &'static str) {
         let at_us = self.stamp();
@@ -157,6 +175,8 @@ pub fn render_timeline(logs: &[TraceLog]) -> String {
                 EventKind::Send => format!("send  {} -> r{} ({}B)", e.label, e.peer, e.bytes),
                 EventKind::Recv => format!("recv  {} <- r{} ({}B)", e.label, e.peer, e.bytes),
                 EventKind::Collective => format!("coll  {} ({}B)", e.label, e.bytes),
+                EventKind::Retry => format!("retry {} -> r{} ({}B)", e.label, e.peer, e.bytes),
+                EventKind::Fault => format!("fault {} (r{})", e.label, e.peer),
                 EventKind::Marker => format!("mark  {}", e.label),
             };
             rows.push((e.at_us, log.rank(), desc));
@@ -229,6 +249,8 @@ mod tests {
         log.send("x", 1, 10);
         log.recv("y", 2, 20);
         log.collective("z", 30);
+        log.retry("batch-req", 3, 40);
+        log.fault("deadline-miss", 3);
         log.marker("m");
         log.phase_end("p");
         let text = render_timeline(&[log]);
@@ -237,10 +259,27 @@ mod tests {
             "send  x -> r1 (10B)",
             "recv  y <- r2 (20B)",
             "coll  z (30B)",
+            "retry batch-req -> r3 (40B)",
+            "fault deadline-miss (r3)",
             "mark  m",
             "end   p",
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+    }
+
+    #[test]
+    fn retry_and_fault_events_recorded() {
+        let mut log = TraceLog::new(0);
+        log.retry("kmer-req", 2, 16);
+        log.fault("degraded", 2);
+        let evs = log.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].kind, EventKind::Retry);
+        assert_eq!(evs[0].peer, 2);
+        assert_eq!(evs[0].bytes, 16);
+        assert_eq!(evs[1].kind, EventKind::Fault);
+        // retries do not count as plain sends
+        assert_eq!(log.bytes_sent(), 0);
     }
 }

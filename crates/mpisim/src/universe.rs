@@ -1,6 +1,7 @@
 //! Spawning rank universes.
 
 use crate::comm::{Comm, Shared};
+use crate::fault::FaultPlan;
 use crate::topology::Topology;
 use std::sync::Arc;
 
@@ -14,19 +15,30 @@ use std::sync::Arc;
 pub struct Universe {
     np: usize,
     topology: Topology,
+    fault: FaultPlan,
 }
 
 impl Universe {
     /// A universe of `np` ranks on a single node.
     pub fn new(np: usize) -> Universe {
         assert!(np > 0, "need at least one rank");
-        Universe { np, topology: Topology::single_node() }
+        Universe { np, topology: Topology::single_node(), fault: FaultPlan::none() }
     }
 
     /// A universe of `np` ranks with an explicit node layout.
     pub fn with_topology(np: usize, topology: Topology) -> Universe {
         assert!(np > 0, "need at least one rank");
-        Universe { np, topology }
+        Universe { np, topology, fault: FaultPlan::none() }
+    }
+
+    /// Install a fault plan: every rank's [`Comm`] applies it to the
+    /// point-to-point plane (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Universe {
+        if let Some(k) = fault.kill {
+            assert!(k.rank < self.np, "killed rank {} out of range", k.rank);
+        }
+        self.fault = fault;
+        self
     }
 
     /// Number of ranks.
@@ -45,7 +57,7 @@ impl Universe {
         T: Send,
         F: Fn(&Comm) -> T + Sync,
     {
-        let shared = Arc::new(Shared::new(self.np, self.topology));
+        let shared = Arc::new(Shared::new(self.np, self.topology, self.fault));
         let comms: Vec<Comm> = (0..self.np).map(|r| Comm::new(r, Arc::clone(&shared))).collect();
         std::thread::scope(|scope| {
             let handles: Vec<_> = comms

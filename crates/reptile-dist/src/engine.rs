@@ -1,0 +1,487 @@
+//! The unified engine entry point.
+//!
+//! Both execution engines — the threaded one that really runs ranks as
+//! OS threads over `mpisim`, and the virtual one that models thousands
+//! of ranks analytically — correct reads the same way and answer with
+//! the same shape of result. This module gives them one front door:
+//!
+//! * [`EngineConfig`] — a single validated configuration covering both
+//!   engines (the virtual engine simply ignores nothing: every field is
+//!   meaningful to at least one engine, and the cost-model fields are
+//!   carried by the threaded engine's reports too);
+//! * [`EngineConfig::builder`] — the validating constructor; invalid
+//!   combinations come back as a typed [`ConfigError`] instead of a
+//!   panic deep inside a rank thread;
+//! * [`Engine`] — the object-safe trait the CLI, benches and tests
+//!   dispatch through ([`ThreadedEngine`], [`VirtualEngine`],
+//!   [`engine_by_name`]);
+//! * [`RunOutput`] — corrected reads plus the merged [`RunReport`],
+//!   identical across engines.
+
+use crate::heuristics::HeuristicConfig;
+use crate::report::RunReport;
+use dnaseq::Read;
+use mpisim::{CostModel, FaultPlan, Topology};
+use reptile::ReptileParams;
+use std::path::Path;
+use std::time::Duration;
+
+/// Configuration for a correction run, shared by every engine.
+///
+/// Construct via [`EngineConfig::new`] (threaded-engine defaults),
+/// [`EngineConfig::virtual_cluster`] (virtual-engine defaults: a 32
+/// ranks-per-node BlueGene/Q-like topology, serial build) or — when any
+/// field is being overridden — [`EngineConfig::builder`], which
+/// validates the combination before handing the config out.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Number of ranks.
+    pub np: usize,
+    /// Node/rank layout (intra- vs inter-node links, SMT pressure).
+    pub topology: Topology,
+    /// Reads per Step I chunk.
+    pub chunk_size: usize,
+    /// Reptile algorithm parameters.
+    pub params: ReptileParams,
+    /// Paper heuristics (§IV–V knobs).
+    pub heuristics: HeuristicConfig,
+    /// Extraction worker threads per rank in the pipelined build.
+    pub build_threads: usize,
+    /// Analytic cost model (virtual engine's clock, threaded engine's
+    /// modeled-memory reporting).
+    pub cost: CostModel,
+    /// Dataset scale multiplier for modeled time/memory (virtual
+    /// engine; see DESIGN.md §2).
+    pub scale: f64,
+    /// Deterministic fault plan injected into the message plane
+    /// (threaded engine) or replayed analytically (virtual engine).
+    pub fault: FaultPlan,
+    /// Base per-request deadline for Step IV lookups. `None` disables
+    /// the retry protocol: receives block indefinitely (the fault-free
+    /// fast path).
+    pub lookup_deadline: Option<Duration>,
+    /// Retries after the first missed deadline before a lookup degrades
+    /// to the paper's "absent everywhere" answer. Attempt `i` waits
+    /// `lookup_deadline * 2^i` (exponential backoff).
+    pub retry_budget: u32,
+}
+
+impl EngineConfig {
+    /// Threaded-engine defaults: single-node topology, 2000-read
+    /// chunks, default heuristics, measured-core build parallelism, no
+    /// faults, no deadlines.
+    pub fn new(np: usize, params: ReptileParams) -> EngineConfig {
+        EngineConfig {
+            np,
+            topology: Topology::single_node(),
+            chunk_size: 2000,
+            params,
+            heuristics: HeuristicConfig::default(),
+            build_threads: crate::engine_mt::default_build_threads(),
+            cost: CostModel::bgq(),
+            scale: 1.0,
+            fault: FaultPlan::none(),
+            lookup_deadline: None,
+            retry_budget: 0,
+        }
+    }
+
+    /// Virtual-engine defaults: 32 ranks per node (the BlueGene/Q
+    /// layout the paper ran on) and a serial build model.
+    pub fn virtual_cluster(np: usize, params: ReptileParams) -> EngineConfig {
+        EngineConfig {
+            topology: Topology::new(32),
+            build_threads: 1,
+            ..EngineConfig::new(np, params)
+        }
+    }
+
+    /// Start a validating builder from the threaded-engine defaults.
+    pub fn builder(np: usize, params: ReptileParams) -> EngineConfigBuilder {
+        EngineConfigBuilder { cfg: EngineConfig::new(np, params) }
+    }
+
+    /// Check the configuration; every engine calls this on entry, so a
+    /// bad config fails fast in the caller's thread rather than
+    /// panicking inside a rank.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.np == 0 {
+            return Err(ConfigError::ZeroRanks);
+        }
+        if self.chunk_size == 0 {
+            return Err(ConfigError::ZeroChunkSize);
+        }
+        if self.build_threads == 0 {
+            return Err(ConfigError::ZeroBuildThreads);
+        }
+        if !(self.scale > 0.0 && self.scale.is_finite()) {
+            return Err(ConfigError::NonPositiveScale(self.scale));
+        }
+        if self.retry_budget > 0 && self.lookup_deadline.is_none() {
+            return Err(ConfigError::RetryWithoutDeadline);
+        }
+        // Message loss without a deadline means a blocking receive that
+        // never returns; refuse the combination up front.
+        if (self.fault.drop_p > 0.0 || self.fault.kill.is_some()) && self.lookup_deadline.is_none()
+        {
+            return Err(ConfigError::FaultNeedsDeadline);
+        }
+        if let Some(kill) = self.fault.kill {
+            if kill.rank >= self.np {
+                return Err(ConfigError::KilledRankOutOfRange { rank: kill.rank, np: self.np });
+            }
+        }
+        if let Some(stall) = self.fault.stall {
+            if stall.rank >= self.np {
+                return Err(ConfigError::KilledRankOutOfRange { rank: stall.rank, np: self.np });
+            }
+        }
+        self.heuristics.validate().map_err(ConfigError::Heuristics)?;
+        Ok(())
+    }
+}
+
+/// Why an [`EngineConfig`] was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `np == 0` — there is no rank to run.
+    ZeroRanks,
+    /// `chunk_size == 0` — Step I cannot make progress.
+    ZeroChunkSize,
+    /// `build_threads == 0` — the pipelined build needs a worker.
+    ZeroBuildThreads,
+    /// `scale` must be a positive finite multiplier.
+    NonPositiveScale(f64),
+    /// A retry budget without a `lookup_deadline` can never fire.
+    RetryWithoutDeadline,
+    /// Message drops or a killed rank without a `lookup_deadline` would
+    /// hang a blocking receive forever.
+    FaultNeedsDeadline,
+    /// The fault plan names a rank outside `0..np`.
+    KilledRankOutOfRange {
+        /// The out-of-range rank in the plan.
+        rank: usize,
+        /// The universe size it was checked against.
+        np: usize,
+    },
+    /// The heuristic combination is invalid (message from
+    /// [`HeuristicConfig::validate`]).
+    Heuristics(String),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroRanks => write!(f, "np must be at least 1"),
+            ConfigError::ZeroChunkSize => write!(f, "chunk_size must be at least 1"),
+            ConfigError::ZeroBuildThreads => write!(f, "build_threads must be at least 1"),
+            ConfigError::NonPositiveScale(s) => {
+                write!(f, "scale must be a positive finite number, got {s}")
+            }
+            ConfigError::RetryWithoutDeadline => {
+                write!(f, "retry_budget > 0 requires a lookup_deadline")
+            }
+            ConfigError::FaultNeedsDeadline => {
+                write!(f, "fault plans with drops or a kill require a lookup_deadline")
+            }
+            ConfigError::KilledRankOutOfRange { rank, np } => {
+                write!(f, "fault plan names rank {rank}, but np is {np}")
+            }
+            ConfigError::Heuristics(msg) => write!(f, "invalid heuristics: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`EngineConfig`]; [`build`](EngineConfigBuilder::build)
+/// validates before returning the config.
+#[derive(Clone, Debug)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Switch every default the virtual engine wants (see
+    /// [`EngineConfig::virtual_cluster`]); call before other setters.
+    pub fn virtual_cluster(mut self) -> Self {
+        self.cfg = EngineConfig::virtual_cluster(self.cfg.np, self.cfg.params);
+        self
+    }
+
+    /// Set the node/rank topology.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.cfg.topology = topology;
+        self
+    }
+
+    /// Set the Step I chunk size.
+    pub fn chunk_size(mut self, chunk_size: usize) -> Self {
+        self.cfg.chunk_size = chunk_size;
+        self
+    }
+
+    /// Set the heuristic knobs.
+    pub fn heuristics(mut self, heuristics: HeuristicConfig) -> Self {
+        self.cfg.heuristics = heuristics;
+        self
+    }
+
+    /// Set the per-rank extraction parallelism.
+    pub fn build_threads(mut self, build_threads: usize) -> Self {
+        self.cfg.build_threads = build_threads;
+        self
+    }
+
+    /// Set the analytic cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Set the modeled dataset scale multiplier.
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Install a fault plan.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    /// Enable per-request deadlines for Step IV lookups.
+    pub fn lookup_deadline(mut self, deadline: Duration) -> Self {
+        self.cfg.lookup_deadline = Some(deadline);
+        self
+    }
+
+    /// Set the retry budget (requires a deadline to validate).
+    pub fn retry_budget(mut self, retries: u32) -> Self {
+        self.cfg.retry_budget = retries;
+        self
+    }
+
+    /// Validate and return the config.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// A correction run's result: the corrected dataset (sorted by read id)
+/// and the merged cross-rank report. Identical shape for both engines —
+/// and identical *content* for equivalent configs, which the
+/// cross-engine tests assert.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Corrected reads, sorted by read id.
+    pub corrected: Vec<Read>,
+    /// Per-rank and aggregate statistics.
+    pub report: RunReport,
+}
+
+/// A correction engine: turns a dataset and an [`EngineConfig`] into a
+/// [`RunOutput`]. Object-safe, so callers can pick an engine at runtime
+/// ([`engine_by_name`]) without duplicating dispatch arms.
+pub trait Engine {
+    /// Short stable name ("mt", "virtual") for CLIs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Correct an in-memory dataset.
+    ///
+    /// # Panics
+    /// On an invalid config ([`EngineConfig::validate`]) — validate
+    /// first (or come through [`EngineConfigBuilder::build`]) to get
+    /// the typed error instead.
+    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput;
+
+    /// Correct a FASTA + QUAL file pair.
+    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput>;
+}
+
+/// The real multi-threaded engine: ranks are OS threads over `mpisim`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedEngine;
+
+impl Engine for ThreadedEngine {
+    fn name(&self) -> &'static str {
+        "mt"
+    }
+
+    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
+        crate::engine_mt::run_distributed(cfg, reads)
+    }
+
+    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput> {
+        crate::engine_mt::run_distributed_files(cfg, fasta, qual)
+    }
+}
+
+/// The virtual engine: models `np` ranks analytically (memory and time
+/// from counted work), corrects with the same shared corrector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VirtualEngine;
+
+impl Engine for VirtualEngine {
+    fn name(&self) -> &'static str {
+        "virtual"
+    }
+
+    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
+        crate::engine_virtual::run_virtual(cfg, reads)
+    }
+
+    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput> {
+        let reads = genio::qual::load_dataset(fasta, qual)?;
+        Ok(crate::engine_virtual::run_virtual(cfg, &reads))
+    }
+}
+
+/// Look an engine up by its CLI name.
+pub fn engine_by_name(name: &str) -> Option<Box<dyn Engine>> {
+    match name {
+        "mt" | "threaded" => Some(Box::new(ThreadedEngine)),
+        "virtual" => Some(Box::new(VirtualEngine)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpisim::KillSpec;
+
+    fn params() -> ReptileParams {
+        ReptileParams { k: 6, tile_overlap: 3, ..ReptileParams::for_tests() }
+    }
+
+    #[test]
+    fn builder_accepts_defaults() {
+        let cfg = EngineConfig::builder(4, params()).build().expect("defaults are valid");
+        assert_eq!(cfg.np, 4);
+        assert_eq!(cfg.chunk_size, 2000);
+        assert!(cfg.fault.is_none());
+        assert!(cfg.lookup_deadline.is_none());
+    }
+
+    #[test]
+    fn builder_rejects_zero_ranks_and_chunks() {
+        assert_eq!(EngineConfig::builder(0, params()).build().unwrap_err(), ConfigError::ZeroRanks);
+        assert_eq!(
+            EngineConfig::builder(2, params()).chunk_size(0).build().unwrap_err(),
+            ConfigError::ZeroChunkSize
+        );
+        assert_eq!(
+            EngineConfig::builder(2, params()).build_threads(0).build().unwrap_err(),
+            ConfigError::ZeroBuildThreads
+        );
+    }
+
+    #[test]
+    fn builder_rejects_retries_without_deadline() {
+        assert_eq!(
+            EngineConfig::builder(2, params()).retry_budget(3).build().unwrap_err(),
+            ConfigError::RetryWithoutDeadline
+        );
+        // with a deadline the same budget is fine
+        EngineConfig::builder(2, params())
+            .retry_budget(3)
+            .lookup_deadline(Duration::from_millis(5))
+            .build()
+            .expect("deadline makes retries valid");
+    }
+
+    #[test]
+    fn builder_rejects_lossy_faults_without_deadline() {
+        let lossy = FaultPlan { drop_p: 0.2, ..FaultPlan::none() };
+        assert_eq!(
+            EngineConfig::builder(2, params()).fault(lossy).build().unwrap_err(),
+            ConfigError::FaultNeedsDeadline
+        );
+        let kill = FaultPlan { kill: Some(KillSpec { rank: 1 }), ..FaultPlan::none() };
+        assert_eq!(
+            EngineConfig::builder(2, params()).fault(kill).build().unwrap_err(),
+            ConfigError::FaultNeedsDeadline
+        );
+        // dup/reorder/delay keep every message; no deadline required
+        let benign = FaultPlan { dup_p: 0.5, reorder_p: 0.5, ..FaultPlan::none() };
+        EngineConfig::builder(2, params()).fault(benign).build().expect("benign faults valid");
+    }
+
+    #[test]
+    fn builder_rejects_kill_out_of_range() {
+        let plan = FaultPlan { kill: Some(KillSpec { rank: 7 }), ..FaultPlan::none() };
+        let err = EngineConfig::builder(4, params())
+            .fault(plan)
+            .lookup_deadline(Duration::from_millis(5))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::KilledRankOutOfRange { rank: 7, np: 4 });
+    }
+
+    #[test]
+    fn builder_rejects_bad_heuristics() {
+        let heur = HeuristicConfig { cache_remote: true, ..Default::default() };
+        let err = EngineConfig::builder(4, params()).heuristics(heur).build().unwrap_err();
+        assert!(matches!(err, ConfigError::Heuristics(_)), "{err:?}");
+    }
+
+    #[test]
+    fn builder_rejects_nonpositive_scale() {
+        let err = EngineConfig::builder(2, params()).scale(0.0).build().unwrap_err();
+        assert_eq!(err, ConfigError::NonPositiveScale(0.0));
+    }
+
+    #[test]
+    fn virtual_cluster_defaults() {
+        let cfg = EngineConfig::virtual_cluster(64, params());
+        assert_eq!(cfg.build_threads, 1);
+        assert_eq!(cfg.topology.ranks_per_node(), 32);
+        cfg.validate().expect("virtual defaults are valid");
+    }
+
+    #[test]
+    fn errors_render_messages() {
+        for err in [
+            ConfigError::ZeroRanks,
+            ConfigError::RetryWithoutDeadline,
+            ConfigError::FaultNeedsDeadline,
+            ConfigError::KilledRankOutOfRange { rank: 9, np: 4 },
+            ConfigError::Heuristics("x".into()),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn engine_by_name_dispatch() {
+        assert_eq!(engine_by_name("mt").unwrap().name(), "mt");
+        assert_eq!(engine_by_name("threaded").unwrap().name(), "mt");
+        assert_eq!(engine_by_name("virtual").unwrap().name(), "virtual");
+        assert!(engine_by_name("gpu").is_none());
+    }
+
+    #[test]
+    fn both_engines_run_through_the_trait() {
+        let p = params();
+        let reads: Vec<Read> = (0..12)
+            .map(|i| {
+                let seed = dnaseq::mix64(i + 1);
+                let seq: Vec<u8> = (0..20)
+                    .map(|j| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ j) % 4) as usize])
+                    .collect();
+                Read::new(i + 1, seq, vec![30; 20])
+            })
+            .collect();
+        let mt = ThreadedEngine.run(&EngineConfig::builder(2, p).build().unwrap(), &reads);
+        let virt = VirtualEngine
+            .run(&EngineConfig::builder(2, p).virtual_cluster().build().unwrap(), &reads);
+        assert_eq!(mt.corrected.len(), reads.len());
+        assert_eq!(virt.corrected.len(), reads.len());
+        let mt_seq: Vec<_> = mt.corrected.iter().map(|r| r.seq.clone()).collect();
+        let virt_seq: Vec<_> = virt.corrected.iter().map(|r| r.seq.clone()).collect();
+        assert_eq!(mt_seq, virt_seq, "engines agree through the trait");
+    }
+}

@@ -7,73 +7,49 @@
 //! step, each rank shuts down its communication threads and outputs the
 //! reads it has corrected" (paper §III step IV).
 //!
-//! Termination: when a rank's worker drains its reads it sends `TAG_DONE`
-//! to every rank (including itself); a communication thread exits after
-//! collecting `np` DONEs. A comm thread therefore outlives its own worker
-//! for as long as any peer still needs lookups — exactly the lifetime the
-//! paper requires.
+//! Termination: when a rank's worker drains its reads it enters a
+//! barrier with every other worker; once the barrier completes no rank
+//! can issue another first-hand lookup, so each worker raises a shutdown
+//! flag for its own communication thread. The comm thread polls its
+//! mailbox with a short deadline, drains any straggling (duplicated)
+//! requests, and exits on the first quiet poll after the flag is up.
+//! Unlike a DONE-counting protocol this cannot hang when a fault plan
+//! severs a rank's message plane: the barrier is a collective, and
+//! collectives stay reliable under every fault except a stall.
+//!
+//! Reliability: every request carries a sequence number that its
+//! response echoes. When a lookup deadline is configured, requests that
+//! miss it are retried with exponential backoff — resending the *same*
+//! sequence number, so duplicated requests are idempotent and stale or
+//! duplicated responses are recognized and discarded. Once the retry
+//! budget is exhausted the key degrades to the paper's "absent
+//! everywhere" answer (count 0) and the degradation is counted in
+//! [`LookupStats`]. With no faults injected the protocol is pure
+//! overhead-free bookkeeping: the output is bit-identical to a run
+//! without it.
 
 use crate::balance::shuffle_reads;
+use crate::engine::{EngineConfig, RunOutput};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use crate::protocol::{
     count_to_wire, decode_response, encode_response_into, wire_to_count, BatchRequest,
-    BatchResponse, LookupRequest, MAX_BATCH_KEYS, TAG_BATCH_REQ, TAG_BATCH_RESP, TAG_DONE,
-    TAG_KMER_REQ, TAG_RESP, TAG_TILE_REQ, TAG_UNIVERSAL,
+    BatchResponse, LookupRequest, MAX_BATCH_KEYS, TAG_BATCH_REQ, TAG_BATCH_RESP, TAG_KMER_REQ,
+    TAG_RESP, TAG_TILE_REQ, TAG_UNIVERSAL,
 };
 use crate::report::{LookupStats, RankReport, RunReport};
 use crate::spectrum::{build_distributed, RankTables};
 use dnaseq::{FxHashMap, Read};
 use mpisim::message::WireWriter;
-use mpisim::{Comm, CostModel, Source, TagSel, Topology, Universe};
+use mpisim::{Comm, Source, TagSel, Universe};
 use reptile::spectrum::{KmerSpectrum, TileSpectrum};
-use reptile::{correct_read, CorrectionStats, ReptileParams, SpectrumAccess};
-use std::time::Instant;
-
-/// Engine configuration: layout + algorithm + heuristics.
-#[derive(Clone, Copy, Debug)]
-pub struct EngineConfig {
-    /// Number of ranks.
-    pub np: usize,
-    /// Node layout (ranks per node).
-    pub topology: Topology,
-    /// Reads per chunk (Step I chunking / batch mode granularity).
-    pub chunk_size: usize,
-    /// Corrector parameters.
-    pub params: ReptileParams,
-    /// Heuristic switchboard.
-    pub heuristics: HeuristicConfig,
-    /// Extraction workers per rank for the pipelined spectrum build
-    /// (≥ 1; 1 = single-threaded extraction, still overlapped).
-    pub build_threads: usize,
-}
-
-impl EngineConfig {
-    /// A small-universe config for tests and examples. `build_threads`
-    /// defaults to the machine's available parallelism.
-    pub fn new(np: usize, params: ReptileParams) -> EngineConfig {
-        EngineConfig {
-            np,
-            topology: Topology::single_node(),
-            chunk_size: 2000,
-            params,
-            heuristics: HeuristicConfig::default(),
-            build_threads: default_build_threads(),
-        }
-    }
-}
+use reptile::{correct_read, CorrectionStats, Normalized, ReptileParams, SpectrumAccess};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 /// The machine's available parallelism (1 if it cannot be queried).
 pub fn default_build_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Result of a distributed run.
-pub struct DistOutput {
-    /// All corrected reads, sorted by sequence number.
-    pub corrected: Vec<Read>,
-    /// Per-rank reports (measured wall times).
-    pub report: RunReport,
 }
 
 /// Run the full distributed pipeline (shuffle → build → correct) over an
@@ -81,11 +57,11 @@ pub struct DistOutput {
 ///
 /// Reads are initially dealt to ranks in contiguous slices, mimicking the
 /// byte-offset file partitioning of Step I.
-pub fn run_distributed(cfg: &EngineConfig, reads: &[Read]) -> DistOutput {
+pub fn run_distributed(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
+    cfg.validate().expect("invalid engine config");
     cfg.params.assert_valid();
-    cfg.heuristics.validate().expect("invalid heuristic combination");
     let np = cfg.np;
-    let universe = Universe::with_topology(np, cfg.topology);
+    let universe = Universe::with_topology(np, cfg.topology).with_fault_plan(cfg.fault);
     let per_rank: Vec<(Vec<Read>, RankReport)> = universe.run(|comm| {
         let me = comm.rank();
         // Step I analog: contiguous slice of the file.
@@ -99,7 +75,7 @@ pub fn run_distributed(cfg: &EngineConfig, reads: &[Read]) -> DistOutput {
 pub(crate) fn assemble_output(
     per_rank: Vec<(Vec<Read>, RankReport)>,
     cfg: &EngineConfig,
-) -> DistOutput {
+) -> RunOutput {
     let mut corrected = Vec::new();
     let mut ranks = Vec::with_capacity(per_rank.len());
     for (reads, report) in per_rank {
@@ -107,10 +83,7 @@ pub(crate) fn assemble_output(
         ranks.push(report);
     }
     corrected.sort_by_key(|r| r.id);
-    DistOutput {
-        corrected,
-        report: RunReport { ranks, topology: cfg.topology, cost: CostModel::bgq() },
-    }
+    RunOutput { corrected, report: RunReport { ranks, topology: cfg.topology, cost: cfg.cost } }
 }
 
 /// Run the distributed pipeline against (fasta, qual) files on disk, each
@@ -121,11 +94,11 @@ pub fn run_distributed_files(
     cfg: &EngineConfig,
     fasta: &std::path::Path,
     qual: &std::path::Path,
-) -> genio::Result<DistOutput> {
+) -> genio::Result<RunOutput> {
+    cfg.validate().expect("invalid engine config");
     cfg.params.assert_valid();
-    cfg.heuristics.validate().expect("invalid heuristic combination");
     let np = cfg.np;
-    let universe = Universe::with_topology(np, cfg.topology);
+    let universe = Universe::with_topology(np, cfg.topology).with_fault_plan(cfg.fault);
     let per_rank: Vec<genio::Result<(Vec<Read>, RankReport)>> = universe.run(|comm| {
         // Read this rank's slice before any collective, so an IO failure
         // on one rank can abort the whole universe without deadlocking
@@ -165,7 +138,6 @@ pub(crate) fn run_rank(
     cfg: &EngineConfig,
 ) -> (Vec<Read>, RankReport) {
     let me = comm.rank();
-    let np = comm.size();
     let t0 = Instant::now();
 
     // --- load balancing shuffle (per chunk, §III-A) ---
@@ -219,9 +191,16 @@ pub(crate) fn run_rank(
     let mut lookups = LookupStats::default();
     let mut comm_secs = 0.0;
     let mut served = ServedCounts::default();
+    let shutdown = AtomicBool::new(false);
+    // Fully replicated (or whole-universe partial-group) runs never touch
+    // the p2p service plane; skip the comm thread entirely.
+    let service_plane = cfg.heuristics.needs_service_plane(comm.size());
     std::thread::scope(|s| {
-        let server =
-            s.spawn(|| comm_thread(comm, &hash_kmers, &hash_tiles, cfg.heuristics.universal));
+        let server = service_plane.then(|| {
+            s.spawn(|| {
+                comm_thread(comm, &hash_kmers, &hash_tiles, cfg.heuristics.universal, &shutdown)
+            })
+        });
         let mut access = DistAccess {
             comm,
             me,
@@ -235,6 +214,10 @@ pub(crate) fn run_rank(
             group_kmers: &group_kmers,
             group_tiles: &group_tiles,
             heur: cfg.heuristics,
+            lookup_deadline: cfg.lookup_deadline,
+            retry_budget: cfg.retry_budget,
+            next_seq: 1,
+            batch_stash: FxHashMap::default(),
             prefetch_kmers: FxHashMap::default(),
             prefetch_tiles: FxHashMap::default(),
             scratch: WireWriter::with_capacity(64),
@@ -257,20 +240,21 @@ pub(crate) fn run_rank(
                 correction.absorb(&outcome);
             }
         }
-        // announce completion to every comm thread (including our own)
-        for dst in 0..np {
-            comm.send(dst, TAG_DONE, Vec::new());
-        }
+        // Once every worker has passed this barrier no rank can issue a
+        // new first-hand request; anything still in a mailbox (delayed
+        // duplicates) is drained by the servers before they exit.
+        comm.barrier();
+        shutdown.store(true, Ordering::Release);
         lookups = access.stats;
         comm_secs = access.comm_secs;
-        served = server.join().expect("comm thread panicked");
+        if let Some(server) = server {
+            served = server.join().expect("comm thread panicked");
+        }
     });
     lookups.requests_served = served.keys;
     lookups.batches_served = served.batches;
     let correct_secs = t1.elapsed().as_secs_f64();
-    comm.barrier();
 
-    let cost = CostModel::bgq();
     let report = RankReport {
         rank: me,
         reads_processed: corrected.len() as u64,
@@ -280,7 +264,7 @@ pub(crate) fn run_rank(
         construct_secs,
         correct_secs,
         comm_secs,
-        memory_bytes: cost.rank_memory_bytes_measured(spectrum_bytes),
+        memory_bytes: cfg.cost.rank_memory_bytes_measured(spectrum_bytes),
     };
     (corrected, report)
 }
@@ -295,66 +279,78 @@ struct ServedCounts {
     batches: u64,
 }
 
+/// How long the comm thread waits on an empty mailbox before re-checking
+/// its shutdown flag. Arrival wakes the wait immediately (condvar), so
+/// this bounds only shutdown latency, not serving latency.
+const SERVER_POLL: Duration = Duration::from_millis(1);
+
 /// The communication thread: serve k-mer/tile count lookups against the
-/// *owned* tables until every rank's worker reports done. Requesters
-/// normalize keys before sending, so serving uses the raw lookups.
+/// *owned* tables until this rank's worker raises `shutdown` after the
+/// end-of-correction barrier. Requesters normalize keys before sending,
+/// so serving assumes the wire keys are spectrum keys. The server is
+/// stateless and idempotent: a duplicated or retried request is simply
+/// answered again, echoing its sequence number.
 fn comm_thread(
     comm: &Comm,
     hash_kmers: &KmerSpectrum,
     hash_tiles: &TileSpectrum,
     universal: bool,
+    shutdown: &AtomicBool,
 ) -> ServedCounts {
     let req_tags: &[u32] = if universal {
-        &[TAG_UNIVERSAL, TAG_BATCH_REQ, TAG_DONE]
+        &[TAG_UNIVERSAL, TAG_BATCH_REQ]
     } else {
-        &[TAG_KMER_REQ, TAG_TILE_REQ, TAG_BATCH_REQ, TAG_DONE]
+        &[TAG_KMER_REQ, TAG_TILE_REQ, TAG_BATCH_REQ]
     };
-    let np = comm.size();
-    let mut done = 0usize;
     let mut served = ServedCounts::default();
     let mut scratch = WireWriter::with_capacity(64);
     loop {
-        let info = comm.probe_tags(Source::Any, req_tags);
-        if info.tag == TAG_DONE {
-            let _ = comm.recv(Source::Rank(info.src), TagSel::Tag(TAG_DONE));
-            done += 1;
-            if done == np {
+        let Some(info) = comm.probe_tags_deadline(Source::Any, req_tags, SERVER_POLL) else {
+            if shutdown.load(Ordering::Acquire) {
                 return served;
             }
             continue;
-        }
+        };
         let msg = comm.recv(Source::Rank(info.src), TagSel::Tag(info.tag));
         if msg.tag == TAG_BATCH_REQ {
             // one sweep over the owned tables answers the whole batch
-            let req = BatchRequest::decode(&msg.payload);
+            let (seq, req) = BatchRequest::decode(&msg.payload);
             let resp = BatchResponse {
                 kmer_counts: req
                     .kmers
                     .iter()
-                    .map(|&k| count_to_wire(hash_kmers.get_raw(k)))
+                    .map(|&k| count_to_wire(hash_kmers.get_at(Normalized::assume(k))))
                     .collect(),
                 tile_counts: req
                     .tiles
                     .iter()
-                    .map(|&t| count_to_wire(hash_tiles.get_raw(t)))
+                    .map(|&t| count_to_wire(hash_tiles.get_at(Normalized::assume(t))))
                     .collect(),
             };
             scratch.reset();
-            let tag = resp.encode_into(&mut scratch);
+            let tag = resp.encode_into(seq, &mut scratch);
             comm.send_from_slice(msg.src, tag, scratch.payload());
             served.keys += req.len() as u64;
             served.batches += 1;
             continue;
         }
-        let count = match LookupRequest::decode(msg.tag, &msg.payload) {
-            LookupRequest::Kmer(code) => hash_kmers.get_raw(code),
-            LookupRequest::Tile(code) => hash_tiles.get_raw(code),
+        let (seq, req) = LookupRequest::decode(msg.tag, &msg.payload);
+        let count = match req {
+            LookupRequest::Kmer(code) => hash_kmers.get_at(Normalized::assume(code)),
+            LookupRequest::Tile(code) => hash_tiles.get_at(Normalized::assume(code)),
         };
         scratch.reset();
-        encode_response_into(count, &mut scratch);
+        encode_response_into(seq, count, &mut scratch);
         comm.send_from_slice(msg.src, TAG_RESP, scratch.payload());
         served.keys += 1;
     }
+}
+
+/// Deadline for retry attempt `attempt` (0-based): the base deadline
+/// doubled per attempt, capped at `base * 2^16` so the shift cannot
+/// overflow on absurd budgets.
+fn attempt_deadline(base: Option<Duration>, attempt: u32) -> Option<Duration> {
+    base.map(|d| d.saturating_mul(1u32 << attempt.min(16)))
 }
 
 /// The worker-side lookup chain of §III step IV:
@@ -372,6 +368,18 @@ struct DistAccess<'a> {
     group_kmers: &'a Option<KmerSpectrum>,
     group_tiles: &'a Option<TileSpectrum>,
     heur: HeuristicConfig,
+    /// Base per-request deadline; `None` = block indefinitely (the
+    /// fault-free fast path).
+    lookup_deadline: Option<Duration>,
+    /// Retries after the first missed deadline before a key degrades.
+    retry_budget: u32,
+    /// Next request sequence number (monotonic per worker, echoed by
+    /// responses; never reused, so stale responses are recognizable).
+    next_seq: u64,
+    /// Batch responses that arrived while awaiting a different sequence
+    /// number — reordered or duplicated deliveries parked until their
+    /// own await comes around. Cleared at the end of each prefetch.
+    batch_stash: FxHashMap<u64, BatchResponse>,
     /// Per-chunk prefetch cache (aggregate mode), filled from batch
     /// responses with counts normalized like the single-key path
     /// (nonexistent key → 0).
@@ -384,37 +392,90 @@ struct DistAccess<'a> {
 }
 
 impl DistAccess<'_> {
+    /// One remote lookup under the retry protocol: send, await the
+    /// response matching our sequence number, resend with exponential
+    /// backoff on every missed deadline, and degrade to "absent
+    /// everywhere" (count 0) once the budget is spent.
     fn remote_lookup(&mut self, req: LookupRequest, owner: usize) -> u32 {
         let t = Instant::now();
-        self.scratch.reset();
-        let tag = if self.heur.universal {
-            req.encode_universal_into(&mut self.scratch)
-        } else {
-            req.encode_tagged_into(&mut self.scratch)
-        };
-        self.comm.send_from_slice(owner, tag, self.scratch.payload());
-        self.stats.remote_messages += 1;
-        let resp = self.comm.recv(Source::Rank(owner), TagSel::Tag(TAG_RESP));
-        self.comm_secs += t.elapsed().as_secs_f64();
-        let count = decode_response(&resp.payload);
-        match (&req, count) {
-            (LookupRequest::Kmer(_), None) => self.stats.remote_kmer_misses += 1,
-            (LookupRequest::Tile(_), None) => self.stats.remote_tile_misses += 1,
-            _ => {}
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut outcome = None;
+        for attempt in 0..=self.retry_budget {
+            self.scratch.reset();
+            let tag = if self.heur.universal {
+                req.encode_universal_into(seq, &mut self.scratch)
+            } else {
+                req.encode_tagged_into(seq, &mut self.scratch)
+            };
+            self.comm.send_from_slice(owner, tag, self.scratch.payload());
+            if attempt == 0 {
+                self.stats.remote_messages += 1;
+            } else {
+                self.stats.requests_retried += 1;
+            }
+            match self.await_response(owner, seq, attempt_deadline(self.lookup_deadline, attempt)) {
+                Some(count) => {
+                    outcome = Some(count);
+                    break;
+                }
+                // only reachable with a configured deadline: without one
+                // await_response blocks until an answer arrives
+                None => self.stats.deadline_misses += 1,
+            }
         }
-        count.unwrap_or(0)
+        self.comm_secs += t.elapsed().as_secs_f64();
+        match outcome {
+            Some(count) => {
+                match (&req, count) {
+                    (LookupRequest::Kmer(_), None) => self.stats.remote_kmer_misses += 1,
+                    (LookupRequest::Tile(_), None) => self.stats.remote_tile_misses += 1,
+                    _ => {}
+                }
+                count.unwrap_or(0)
+            }
+            None => {
+                self.stats.keys_degraded += 1;
+                0
+            }
+        }
+    }
+
+    /// Wait up to `deadline` for the response stamped `seq` from
+    /// `owner`, discarding responses to requests this worker already
+    /// resolved or gave up on. Returns `None` on timeout; the inner
+    /// `Option` is the key's count (None = absent on the owner).
+    fn await_response(
+        &mut self,
+        owner: usize,
+        seq: u64,
+        deadline: Option<Duration>,
+    ) -> Option<Option<u32>> {
+        let start = Instant::now();
+        loop {
+            let msg = match deadline {
+                None => self.comm.recv(Source::Rank(owner), TagSel::Tag(TAG_RESP)),
+                Some(d) => {
+                    let left = d.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+                    self.comm.recv_deadline(Source::Rank(owner), TagSel::Tag(TAG_RESP), left)?
+                }
+            };
+            let (rseq, count) = decode_response(&msg.payload);
+            if rseq == seq {
+                return Some(count);
+            }
+            // stale or duplicated response for another sequence — drop it
+        }
     }
 
     /// Owner of a k-mer key that would need a remote message right now —
     /// `None` when the lookup chain resolves it locally. Mirrors
-    /// [`SpectrumAccess::kmer_count`]'s chain; `key` must already be
-    /// normalized (normalization is idempotent, so re-deriving the owner
-    /// from it is safe).
-    fn remote_kmer_owner(&self, key: u64) -> Option<usize> {
+    /// [`SpectrumAccess::kmer_count`]'s chain.
+    fn remote_kmer_owner(&self, key: Normalized<u64>) -> Option<usize> {
         if self.replicated_kmers.is_some() {
             return None;
         }
-        let owner = self.owners.kmer_owner_raw(key);
+        let owner = self.owners.kmer_owner_at(key);
         if self.group_kmers.is_some() {
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
@@ -424,7 +485,7 @@ impl DistAccess<'_> {
             return None;
         }
         if let Some(rk) = &self.reads_kmers {
-            if rk.get_raw(key).is_some() {
+            if rk.get_at(key).is_some() {
                 return None;
             }
         }
@@ -432,11 +493,11 @@ impl DistAccess<'_> {
     }
 
     /// Tile twin of [`Self::remote_kmer_owner`].
-    fn remote_tile_owner(&self, key: u128) -> Option<usize> {
+    fn remote_tile_owner(&self, key: Normalized<u128>) -> Option<usize> {
         if self.replicated_tiles.is_some() {
             return None;
         }
-        let owner = self.owners.tile_owner_raw(key);
+        let owner = self.owners.tile_owner_at(key);
         if self.group_tiles.is_some() {
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
@@ -446,7 +507,7 @@ impl DistAccess<'_> {
             return None;
         }
         if let Some(rt) = &self.reads_tiles {
-            if rt.get_raw(key).is_some() {
+            if rt.get_at(key).is_some() {
                 return None;
             }
         }
@@ -458,8 +519,9 @@ impl DistAccess<'_> {
     /// with one vectorized round trip per owning rank (split at
     /// [`MAX_BATCH_KEYS`]). All batches go out before any response is
     /// received: sends are buffered and comm threads always answer, so
-    /// this cannot deadlock, and per-pair FIFO ordering means each
-    /// owner's responses arrive in the order its batches were sent.
+    /// this cannot deadlock. Responses are matched by sequence number
+    /// (reordered deliveries park in [`DistAccess::batch_stash`]), so
+    /// arrival order does not matter.
     fn prefetch(&mut self, reads: &[Read], params: &ReptileParams) {
         self.prefetch_kmers.clear();
         self.prefetch_tiles.clear();
@@ -467,16 +529,16 @@ impl DistAccess<'_> {
         let t = Instant::now();
         let mut per_owner: Vec<BatchRequest> = vec![BatchRequest::default(); self.owners.np()];
         for &k in &keys.kmers {
-            if let Some(owner) = self.remote_kmer_owner(k) {
+            if let Some(owner) = self.remote_kmer_owner(Normalized::assume(k)) {
                 per_owner[owner].kmers.push(k);
             }
         }
         for &tl in &keys.tiles {
-            if let Some(owner) = self.remote_tile_owner(tl) {
+            if let Some(owner) = self.remote_tile_owner(Normalized::assume(tl)) {
                 per_owner[owner].tiles.push(tl);
             }
         }
-        let mut sent: Vec<(usize, BatchRequest)> = Vec::new();
+        let mut sent: Vec<(usize, BatchRequest, u64)> = Vec::new();
         for (owner, mut req) in per_owner.into_iter().enumerate() {
             while req.len() > MAX_BATCH_KEYS {
                 let take_k = req.kmers.len().min(MAX_BATCH_KEYS);
@@ -484,36 +546,106 @@ impl DistAccess<'_> {
                     kmers: req.kmers.drain(..take_k).collect(),
                     tiles: req.tiles.drain(..MAX_BATCH_KEYS - take_k).collect(),
                 };
-                self.send_batch(owner, &part);
-                sent.push((owner, part));
+                let seq = self.send_batch(owner, &part);
+                sent.push((owner, part, seq));
             }
             if !req.is_empty() {
-                self.send_batch(owner, &req);
-                sent.push((owner, req));
+                let seq = self.send_batch(owner, &req);
+                sent.push((owner, req, seq));
             }
         }
-        for (owner, req) in sent {
-            let resp = self.comm.recv(Source::Rank(owner), TagSel::Tag(TAG_BATCH_RESP));
-            let resp = BatchResponse::decode(&resp.payload);
-            debug_assert_eq!(resp.kmer_counts.len(), req.kmers.len());
-            debug_assert_eq!(resp.tile_counts.len(), req.tiles.len());
-            for (&k, &c) in req.kmers.iter().zip(&resp.kmer_counts) {
-                self.prefetch_kmers.insert(k, wire_to_count(c).unwrap_or(0));
-            }
-            for (&tl, &c) in req.tiles.iter().zip(&resp.tile_counts) {
-                self.prefetch_tiles.insert(tl, wire_to_count(c).unwrap_or(0));
-            }
+        for (owner, req, seq) in sent {
+            self.await_batch_response(owner, &req, seq);
         }
+        self.batch_stash.clear();
         self.comm_secs += t.elapsed().as_secs_f64();
     }
 
-    fn send_batch(&mut self, owner: usize, req: &BatchRequest) {
+    /// Resolve one in-flight batch: match its response by sequence
+    /// number, retrying with backoff on missed deadlines; once the
+    /// budget is spent, degrade every key in the batch to absent.
+    fn await_batch_response(&mut self, owner: usize, req: &BatchRequest, seq: u64) {
+        let resp = 'resolve: {
+            if let Some(r) = self.batch_stash.remove(&seq) {
+                break 'resolve Some(r);
+            }
+            for attempt in 0..=self.retry_budget {
+                if attempt > 0 {
+                    self.resend_batch(owner, req, seq);
+                }
+                let start = Instant::now();
+                let deadline = attempt_deadline(self.lookup_deadline, attempt);
+                loop {
+                    let msg = match deadline {
+                        None => self.comm.recv(Source::Rank(owner), TagSel::Tag(TAG_BATCH_RESP)),
+                        Some(d) => {
+                            let left = d.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+                            match self.comm.recv_deadline(
+                                Source::Rank(owner),
+                                TagSel::Tag(TAG_BATCH_RESP),
+                                left,
+                            ) {
+                                Some(m) => m,
+                                None => {
+                                    self.stats.deadline_misses += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    };
+                    let (rseq, resp) = BatchResponse::decode(&msg.payload);
+                    if rseq == seq {
+                        break 'resolve Some(resp);
+                    }
+                    // response to a different batch from this owner —
+                    // reordered ahead of ours or a duplicate; park it
+                    self.batch_stash.insert(rseq, resp);
+                }
+            }
+            None
+        };
+        match resp {
+            Some(resp) => {
+                debug_assert_eq!(resp.kmer_counts.len(), req.kmers.len());
+                debug_assert_eq!(resp.tile_counts.len(), req.tiles.len());
+                for (&k, &c) in req.kmers.iter().zip(&resp.kmer_counts) {
+                    self.prefetch_kmers.insert(k, wire_to_count(c).unwrap_or(0));
+                }
+                for (&tl, &c) in req.tiles.iter().zip(&resp.tile_counts) {
+                    self.prefetch_tiles.insert(tl, wire_to_count(c).unwrap_or(0));
+                }
+            }
+            None => {
+                // budget exhausted: every key in the batch reads as
+                // absent — the paper's degradation semantics
+                for &k in &req.kmers {
+                    self.prefetch_kmers.insert(k, 0);
+                }
+                for &tl in &req.tiles {
+                    self.prefetch_tiles.insert(tl, 0);
+                }
+                self.stats.keys_degraded += req.len() as u64;
+            }
+        }
+    }
+
+    fn send_batch(&mut self, owner: usize, req: &BatchRequest) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.scratch.reset();
-        let tag = req.encode_into(&mut self.scratch);
+        let tag = req.encode_into(seq, &mut self.scratch);
         self.comm.send_from_slice(owner, tag, self.scratch.payload());
         self.stats.batches_sent += 1;
         self.stats.batched_keys += req.len() as u64;
         self.stats.remote_messages += 1;
+        seq
+    }
+
+    fn resend_batch(&mut self, owner: usize, req: &BatchRequest, seq: u64) {
+        self.scratch.reset();
+        let tag = req.encode_into(seq, &mut self.scratch);
+        self.comm.send_from_slice(owner, tag, self.scratch.payload());
+        self.stats.requests_retried += 1;
     }
 }
 
@@ -522,34 +654,34 @@ impl SpectrumAccess for DistAccess<'_> {
         let key = self.owners.kmer_key(code);
         if let Some(rep) = self.replicated_kmers {
             self.stats.local_kmer_lookups += 1;
-            return rep.count_raw(key);
+            return rep.count_at(key);
         }
-        let owner = self.owners.kmer_owner_raw(key);
+        let owner = self.owners.kmer_owner_at(key);
         if let Some(group) = self.group_kmers {
             // §V partial replication: in-group owners are local
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
                 self.stats.local_kmer_lookups += 1;
-                return group.count_raw(key);
+                return group.count_at(key);
             }
         } else if owner == self.me {
             self.stats.local_kmer_lookups += 1;
-            return self.hash_kmers.count_raw(key);
+            return self.hash_kmers.count_at(key);
         }
         if let Some(rk) = &self.reads_kmers {
-            if let Some(c) = rk.get_raw(key) {
+            if let Some(c) = rk.get_at(key) {
                 self.stats.local_kmer_lookups += 1;
                 self.stats.cache_hits += 1;
                 return c;
             }
         }
-        if let Some(&c) = self.prefetch_kmers.get(&key) {
+        if let Some(&c) = self.prefetch_kmers.get(&key.key()) {
             self.stats.local_kmer_lookups += 1;
             self.stats.prefetch_hits += 1;
             return c;
         }
         self.stats.remote_kmer_lookups += 1;
-        let count = self.remote_lookup(LookupRequest::Kmer(key), owner);
+        let count = self.remote_lookup(LookupRequest::Kmer(key.key()), owner);
         if self.heur.cache_remote {
             if let Some(rk) = &mut self.reads_kmers {
                 rk.add_count(key, count);
@@ -563,33 +695,33 @@ impl SpectrumAccess for DistAccess<'_> {
         let key = self.owners.tile_key(code);
         if let Some(rep) = self.replicated_tiles {
             self.stats.local_tile_lookups += 1;
-            return rep.count_raw(key);
+            return rep.count_at(key);
         }
-        let owner = self.owners.tile_owner_raw(key);
+        let owner = self.owners.tile_owner_at(key);
         if let Some(group) = self.group_tiles {
             let g = self.heur.partial_group;
             if owner / g == self.me / g {
                 self.stats.local_tile_lookups += 1;
-                return group.count_raw(key);
+                return group.count_at(key);
             }
         } else if owner == self.me {
             self.stats.local_tile_lookups += 1;
-            return self.hash_tiles.count_raw(key);
+            return self.hash_tiles.count_at(key);
         }
         if let Some(rt) = &self.reads_tiles {
-            if let Some(c) = rt.get_raw(key) {
+            if let Some(c) = rt.get_at(key) {
                 self.stats.local_tile_lookups += 1;
                 self.stats.cache_hits += 1;
                 return c;
             }
         }
-        if let Some(&c) = self.prefetch_tiles.get(&key) {
+        if let Some(&c) = self.prefetch_tiles.get(&key.key()) {
             self.stats.local_tile_lookups += 1;
             self.stats.prefetch_hits += 1;
             return c;
         }
         self.stats.remote_tile_lookups += 1;
-        let count = self.remote_lookup(LookupRequest::Tile(key), owner);
+        let count = self.remote_lookup(LookupRequest::Tile(key.key()), owner);
         if self.heur.cache_remote {
             if let Some(rt) = &mut self.reads_tiles {
                 rt.add_count(key, count);
@@ -603,6 +735,7 @@ impl SpectrumAccess for DistAccess<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpisim::FaultPlan;
     use reptile::correct_dataset;
 
     fn params() -> ReptileParams {
@@ -682,12 +815,10 @@ mod tests {
         ];
         for heur in heuristic_matrix {
             let cfg = EngineConfig {
-                np: 3,
-                topology: Topology::single_node(),
                 chunk_size: 7,
-                params: params(),
                 heuristics: heur,
                 build_threads: 2,
+                ..EngineConfig::new(3, params())
             };
             check_matches_sequential(&cfg, &reads);
         }
@@ -727,7 +858,7 @@ mod tests {
 
         let base = run_distributed(&base_cfg, &reads);
         let agg = run_distributed(&agg_cfg, &reads);
-        let msgs = |out: &DistOutput| -> u64 {
+        let msgs = |out: &RunOutput| -> u64 {
             out.report.ranks.iter().map(|r| r.lookups.remote_messages).sum()
         };
         let (base_msgs, agg_msgs) = (msgs(&base), msgs(&agg));
@@ -740,7 +871,7 @@ mod tests {
         // batch accounting: every batch sent is served exactly once, the
         // per-key serve count covers singles + batched keys, and the bulk
         // of lookups resolve from the prefetch cache
-        let sum = |f: &dyn Fn(&LookupStats) -> u64, out: &DistOutput| -> u64 {
+        let sum = |f: &dyn Fn(&LookupStats) -> u64, out: &RunOutput| -> u64 {
             out.report.ranks.iter().map(|r| f(&r.lookups)).sum()
         };
         assert_eq!(sum(&|l| l.batches_sent, &agg), sum(&|l| l.batches_served, &agg));
@@ -761,12 +892,10 @@ mod tests {
         // overlapping reads should produce cache hits.
         let reads = dataset(60);
         let base_cfg = EngineConfig {
-            np: 3,
-            topology: Topology::single_node(),
             chunk_size: 2000,
-            params: params(),
             heuristics: HeuristicConfig { keep_read_tables: true, ..Default::default() },
             build_threads: 2,
+            ..EngineConfig::new(3, params())
         };
         let cache_cfg = EngineConfig {
             heuristics: HeuristicConfig {
@@ -810,5 +939,70 @@ mod tests {
         let reads = dataset(2);
         let out = run_distributed(&cfg, &reads);
         assert_eq!(out.corrected.len(), 2);
+    }
+
+    /// Lossy faults with a retry budget: output stays bit-identical to
+    /// the fault-free run and the retry counters light up. Fault
+    /// decisions are seeded, so a passing grid is reproducible.
+    #[test]
+    fn retries_mask_message_faults_bit_identically() {
+        let reads = dataset(36);
+        let clean_cfg = EngineConfig::new(3, params());
+        let clean = run_distributed(&clean_cfg, &reads);
+        let fault = FaultPlan::parse("seed=7,drop=0.15,dup=0.1,reorder=0.2").unwrap();
+        let faulted_cfg = EngineConfig {
+            fault,
+            lookup_deadline: Some(Duration::from_millis(25)),
+            retry_budget: 10,
+            ..EngineConfig::new(3, params())
+        };
+        let faulted = run_distributed(&faulted_cfg, &reads);
+        assert_eq!(faulted.corrected, clean.corrected, "retries must mask lossy faults");
+        let retried: u64 = faulted.report.ranks.iter().map(|r| r.lookups.requests_retried).sum();
+        let degraded: u64 = faulted.report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
+        assert!(retried > 0, "drop=0.15 must trigger retries");
+        assert_eq!(degraded, 0, "budget 10 must outlast drop=0.15");
+    }
+
+    /// Reordered batches in aggregate mode resolve through the sequence
+    /// stash without changing the output.
+    #[test]
+    fn aggregate_mode_survives_reordering() {
+        let reads = dataset(36);
+        let mut clean_cfg = EngineConfig::new(3, params());
+        clean_cfg.heuristics.aggregate_lookups = true;
+        clean_cfg.chunk_size = 7;
+        let clean = run_distributed(&clean_cfg, &reads);
+        let faulted_cfg = EngineConfig {
+            fault: FaultPlan::parse("seed=11,drop=0.1,dup=0.15,reorder=0.4").unwrap(),
+            lookup_deadline: Some(Duration::from_millis(25)),
+            retry_budget: 10,
+            ..clean_cfg
+        };
+        let faulted = run_distributed(&faulted_cfg, &reads);
+        assert_eq!(faulted.corrected, clean.corrected);
+        let degraded: u64 = faulted.report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
+        assert_eq!(degraded, 0);
+    }
+
+    /// Killing an owner rank: the run still completes, its keys degrade
+    /// to absent, and the degradation counters report it.
+    #[test]
+    fn killed_owner_degrades_gracefully() {
+        let reads = dataset(36);
+        let cfg = EngineConfig {
+            fault: FaultPlan::parse("seed=3,kill=1").unwrap(),
+            lookup_deadline: Some(Duration::from_millis(2)),
+            retry_budget: 2,
+            heuristics: HeuristicConfig { aggregate_lookups: true, ..Default::default() },
+            chunk_size: 9,
+            ..EngineConfig::new(3, params())
+        };
+        let out = run_distributed(&cfg, &reads);
+        assert_eq!(out.corrected.len(), reads.len(), "kill must not lose reads");
+        let degraded: u64 = out.report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
+        assert!(degraded > 0, "lookups owned by the killed rank must degrade");
+        // the killed rank's message plane is severed: it serves nothing
+        assert_eq!(out.report.ranks[1].lookups.requests_served, 0);
     }
 }

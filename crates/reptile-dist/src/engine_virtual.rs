@@ -18,81 +18,41 @@
 //! figures hinge on, come out exactly, not approximately: they are
 //! counted while running the real corrector on the rank's real reads.
 //!
+//! Faults are replayed analytically: each modeled request consults the
+//! same seeded per-edge [`FaultPlan`] decisions the threaded engine's
+//! message plane applies physically, walks the same retry/backoff state
+//! machine, charges the missed-deadline waits to the modeled clock
+//! ([`CostModel::retry_wait_ns`]), and degrades keys to the paper's
+//! "absent everywhere" answer when the budget runs out. A kill severs
+//! the rank's p2p plane both directions, so every lookup it owns (and
+//! every lookup it issues) degrades — exactly the threaded semantics.
+//!
 //! `scale` linearly extrapolates modeled times from a scaled-down dataset
 //! to paper-scale counts (per-rank work and traffic are linear in reads
 //! per rank; see DESIGN.md §2).
 
 use crate::balance::shuffle_reads_virtual;
+use crate::engine::{EngineConfig, RunOutput};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use crate::protocol::{MAX_BATCH_KEYS, RESPONSE_BYTES};
 use crate::report::{LookupStats, RankReport, RunReport};
 use crate::spectrum::BuildStats;
 use dnaseq::{FxHashSet, Read};
-use mpisim::{CostModel, Topology};
+use mpisim::{CostModel, FaultPlan};
 use reptile::spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};
-use reptile::{correct_read, CorrectionStats, ReptileParams, SpectrumAccess};
-
-/// Virtual-run configuration.
-#[derive(Clone, Copy, Debug)]
-pub struct VirtualConfig {
-    /// Logical rank count (up to tens of thousands).
-    pub np: usize,
-    /// Node layout — drives the SMT factor and intra-node message mix.
-    pub topology: Topology,
-    /// Reads per chunk (batch-mode granularity).
-    pub chunk_size: usize,
-    /// Corrector parameters.
-    pub params: ReptileParams,
-    /// Heuristic switchboard.
-    pub heuristics: HeuristicConfig,
-    /// Cost model (BG/Q by default).
-    pub cost: CostModel,
-    /// Multiply modeled times by this factor: set it to the dataset
-    /// scale-down divisor to report paper-scale-equivalent times.
-    pub scale: f64,
-    /// Modeled extraction workers per rank for the pipelined build
-    /// (divides the extraction compute; 1 = the paper's single-threaded
-    /// rank, the default, which together with the degenerate one-round
-    /// overlap keeps base-mode times identical to the serial model).
-    pub build_threads: usize,
-}
-
-impl VirtualConfig {
-    /// BG/Q defaults: 32 ranks/node, paper-production heuristics off
-    /// (base mode), no scale-up, single-threaded extraction.
-    pub fn new(np: usize, params: ReptileParams) -> VirtualConfig {
-        VirtualConfig {
-            np,
-            topology: Topology::new(32),
-            chunk_size: 2000,
-            params,
-            heuristics: HeuristicConfig::default(),
-            cost: CostModel::bgq(),
-            scale: 1.0,
-            build_threads: 1,
-        }
-    }
-}
-
-/// Result of a virtual run.
-pub struct VirtualRun {
-    /// All corrected reads, sorted by sequence number (identical to the
-    /// sequential and threaded engines' output).
-    pub corrected: Vec<Read>,
-    /// Per-rank reports with modeled times.
-    pub report: RunReport,
-}
+use reptile::{correct_read, CorrectionStats, Normalized, ReptileParams, SpectrumAccess};
 
 /// Execute the distributed algorithm on `cfg.np` logical ranks.
-pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
+pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
+    cfg.validate().expect("invalid engine config");
     cfg.params.assert_valid();
-    cfg.heuristics.validate().expect("invalid heuristic combination");
     let np = cfg.np;
     let owners = OwnerMap::new(np, &cfg.params);
     let cost = &cfg.cost;
     let smt = cost.smt_factor(cfg.topology.threads_per_node(np));
     let rpn = cfg.topology.ranks_per_node().min(np);
+    let deadline_ns = cfg.lookup_deadline.map_or(0.0, |d| d.as_nanos() as f64);
 
     // --- Step I analog + load balancing ---
     let slices: Vec<Vec<Read>> = (0..np)
@@ -114,11 +74,11 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
     // owned-entry counts per rank, in one pass over the spectra
     let mut owned_kmers = vec![0u64; np];
     for (code, _) in spectra.kmers.iter() {
-        owned_kmers[owners.kmer_owner_raw(code)] += 1;
+        owned_kmers[owners.kmer_owner_at(Normalized::assume(code))] += 1;
     }
     let mut owned_tiles = vec![0u64; np];
     for (code, _) in spectra.tiles.iter() {
-        owned_tiles[owners.tile_owner_raw(code)] += 1;
+        owned_tiles[owners.tile_owner_at(Normalized::assume(code))] += 1;
     }
 
     // --- per-rank construction accounting + correction ---
@@ -147,17 +107,17 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
                 for (_, code) in kcodec.kmers_of(&read.seq) {
                     build.kmers_extracted += 1;
                     let key = owners.kmer_key(code);
-                    if owners.kmer_owner_raw(key) != me {
+                    if owners.kmer_owner_at(key) != me {
                         build.exchange_occurrences += 1;
-                        nonowned_kmers.insert(key);
+                        nonowned_kmers.insert(key.key());
                     }
                 }
                 for (_, code) in tcodec.tiles_of(&read.seq) {
                     build.tiles_extracted += 1;
                     let key = owners.tile_key(code);
-                    if owners.tile_owner_raw(key) != me {
+                    if owners.tile_owner_at(key) != me {
                         build.exchange_occurrences += 1;
-                        nonowned_tiles.insert(key);
+                        nonowned_tiles.insert(key.key());
                     }
                 }
                 // True high-water sampling: inside the loop, per read —
@@ -214,6 +174,12 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
             owners: &owners,
             me,
             heur: cfg.heuristics,
+            cost: *cost,
+            fault: cfg.fault,
+            deadline_ns,
+            retry_budget: cfg.retry_budget,
+            edge_req_seq: vec![0u64; np],
+            retry_wait_ns: 0.0,
             own_kmer_keys: if cfg.heuristics.keep_read_tables {
                 Some(&nonowned_kmers)
             } else {
@@ -226,8 +192,12 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
             },
             cached_kmers: FxHashSet::default(),
             cached_tiles: FxHashSet::default(),
+            degraded_kmers: FxHashSet::default(),
+            degraded_tiles: FxHashSet::default(),
             prefetch_kmers: FxHashSet::default(),
             prefetch_tiles: FxHashSet::default(),
+            degraded_prefetch_kmers: FxHashSet::default(),
+            degraded_prefetch_tiles: FxHashSet::default(),
             batch_comm_ns: 0.0,
             stats: LookupStats::default(),
         };
@@ -235,7 +205,7 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
         let mut corrected = mine;
         if cfg.heuristics.aggregate_lookups {
             for chunk in corrected.chunks_mut(cfg.chunk_size.max(1)) {
-                access.prefetch(chunk, &cfg.params, cost, np, rpn, probe_extra);
+                access.prefetch(chunk, &cfg.params, np, rpn, probe_extra);
                 for read in chunk.iter_mut() {
                     let outcome = correct_read(read, &mut access, &cfg.params);
                     correction.absorb(&outcome);
@@ -248,6 +218,7 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
             }
         }
         let lookups = access.stats;
+        let retry_wait_ns = access.retry_wait_ns;
         let cached_kmer_entries = access.cached_kmers.len() as u64;
         let cached_tile_entries = access.cached_tiles.len() as u64;
 
@@ -274,14 +245,16 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
         let local_lookups = lookups.local_kmer_lookups + lookups.local_tile_lookups;
         let compute_ns = local_lookups as f64 * cost.hash_lookup_ns
             + corrected.iter().map(|r| r.len() as u64).sum::<u64>() as f64 * cost.per_base_ns;
-        let kmer_req_bytes = if cfg.heuristics.universal { 9 } else { 8 };
-        let tile_req_bytes = if cfg.heuristics.universal { 17 } else { 16 };
+        // seq-stamped wire sizes: 8-byte header on every request/response
+        let kmer_req_bytes = if cfg.heuristics.universal { 17 } else { 16 };
+        let tile_req_bytes = if cfg.heuristics.universal { 25 } else { 24 };
         let comm_ns = lookups.remote_kmer_lookups as f64
             * (cost.avg_lookup_roundtrip_ns(kmer_req_bytes, RESPONSE_BYTES, np, rpn) + probe_extra)
             + lookups.remote_tile_lookups as f64
                 * (cost.avg_lookup_roundtrip_ns(tile_req_bytes, RESPONSE_BYTES, np, rpn)
                     + probe_extra)
-            + access.batch_comm_ns;
+            + access.batch_comm_ns
+            + retry_wait_ns;
         let correct_ns = (compute_ns + comm_ns) * smt;
 
         // Per-table byte model mirroring `RankTables::memory_bytes`: each
@@ -331,10 +304,10 @@ pub fn run_virtual(cfg: &VirtualConfig, reads: &[Read]) -> VirtualRun {
     // service load: every remote lookup is served by its owner — attribute
     // served counts by replaying the per-owner tallies
     // (uniform hashing makes these near-uniform; Fig 3's premise)
-    distribute_service_counts(&mut ranks);
+    distribute_service_counts(&mut ranks, &cfg.fault);
 
     corrected_all.sort_by_key(|r| r.id);
-    VirtualRun {
+    RunOutput {
         corrected: corrected_all,
         report: RunReport { ranks, topology: cfg.topology, cost: *cost },
     }
@@ -357,16 +330,31 @@ fn count_exchange_volume(
 /// the virtual engine does not track per-owner request targets (that
 /// would require per-lookup owner logging); uniform hashing makes the
 /// share proportional to spectrum ownership, which Fig 3 shows is uniform
-/// to within 1–2%.
-fn distribute_service_counts(ranks: &mut [RankReport]) {
-    let total_keys: u64 =
-        ranks.iter().map(|r| r.lookups.remote_total() + r.lookups.batched_keys).sum();
+/// to within 1–2%. A killed rank's message plane is severed, so it
+/// serves nothing and degraded keys are excluded from the served total.
+fn distribute_service_counts(ranks: &mut [RankReport], fault: &FaultPlan) {
+    let total_keys: u64 = ranks
+        .iter()
+        .map(|r| {
+            (r.lookups.remote_total() + r.lookups.batched_keys)
+                .saturating_sub(r.lookups.keys_degraded)
+        })
+        .sum();
     let total_batches: u64 = ranks.iter().map(|r| r.lookups.batches_sent).sum();
-    let total_owned: u64 = ranks.iter().map(|r| r.build.owned_kmers + r.build.owned_tiles).sum();
+    let total_owned: u64 = ranks
+        .iter()
+        .filter(|r| !fault.kills(r.rank))
+        .map(|r| r.build.owned_kmers + r.build.owned_tiles)
+        .sum();
     if total_owned == 0 {
         return;
     }
     for r in ranks.iter_mut() {
+        if fault.kills(r.rank) {
+            r.lookups.requests_served = 0;
+            r.lookups.batches_served = 0;
+            continue;
+        }
         let share = (r.build.owned_kmers + r.build.owned_tiles) as f64 / total_owned as f64;
         r.lookups.requests_served = (total_keys as f64 * share).round() as u64;
         r.lookups.batches_served = (total_batches as f64 * share).round() as u64;
@@ -375,96 +363,166 @@ fn distribute_service_counts(ranks: &mut [RankReport]) {
 
 /// Lookup chain of the virtual engine — mirrors `engine_mt::DistAccess`
 /// but answers remote lookups from the global spectrum while counting
-/// them as messages.
+/// them as messages and replaying the fault plan's per-edge decisions.
 struct VirtualAccess<'a> {
     spectra: &'a LocalSpectra,
     owners: &'a OwnerMap,
     me: usize,
     heur: HeuristicConfig,
+    cost: CostModel,
+    fault: FaultPlan,
+    /// Base lookup deadline in modeled nanoseconds (0 = none).
+    deadline_ns: f64,
+    retry_budget: u32,
+    /// Per-destination count of modeled p2p requests sent by this rank —
+    /// the per-edge message index feeding the seeded fault decisions
+    /// (mirrors the threaded message plane's per-edge counters).
+    edge_req_seq: Vec<u64>,
+    /// Modeled nanoseconds spent waiting out missed deadlines.
+    retry_wait_ns: f64,
     /// keep_read_tables: the non-owned keys this rank saw in its reads
     /// (global counts are resolved, so hits are local).
     own_kmer_keys: Option<&'a FxHashSet<u64>>,
     own_tile_keys: Option<&'a FxHashSet<u128>>,
     cached_kmers: FxHashSet<u64>,
     cached_tiles: FxHashSet<u128>,
+    /// cache_remote under faults: keys whose remote lookup degraded; the
+    /// cached answer is the degraded 0, exactly like the threaded engine
+    /// caching the absent answer in its reads table.
+    degraded_kmers: FxHashSet<u64>,
+    degraded_tiles: FxHashSet<u128>,
     /// Aggregate mode: keys whose counts the current chunk's batch round
     /// fetched (counts come from the global spectra either way, so only
     /// membership must be modeled).
     prefetch_kmers: FxHashSet<u64>,
     prefetch_tiles: FxHashSet<u128>,
+    /// Keys of the current chunk whose batch exhausted its retry budget:
+    /// present in the prefetch cache, but as the degraded 0.
+    degraded_prefetch_kmers: FxHashSet<u64>,
+    degraded_prefetch_tiles: FxHashSet<u128>,
     /// Modeled nanoseconds spent on batch round trips.
     batch_comm_ns: f64,
     stats: LookupStats,
 }
 
 impl VirtualAccess<'_> {
+    /// Replay the retry protocol for one modeled request to `owner`:
+    /// walk the seeded per-edge fault decisions attempt by attempt,
+    /// charging a missed deadline per lost round trip, until an attempt
+    /// survives or the budget runs out. Returns `false` when the key
+    /// degrades. The fault-free path costs one branch.
+    fn simulate_request(&mut self, owner: usize) -> bool {
+        if self.fault.is_none() {
+            return true;
+        }
+        let severed = self.fault.severed(self.me, owner) || self.fault.severed(owner, self.me);
+        let mut failed = 0u32;
+        let mut answered = false;
+        for attempt in 0..=self.retry_budget {
+            if attempt > 0 {
+                self.stats.requests_retried += 1;
+            }
+            let lost = severed || {
+                let n = self.edge_req_seq[owner];
+                self.edge_req_seq[owner] += 1;
+                let d = self.fault.decide(self.me, owner, n);
+                if d.delayed {
+                    self.retry_wait_ns += self.fault.delay.as_nanos() as f64;
+                }
+                d.dropped
+            };
+            if !lost {
+                answered = true;
+                break;
+            }
+            failed += 1;
+            self.stats.deadline_misses += 1;
+        }
+        self.retry_wait_ns += self.cost.retry_wait_ns(self.deadline_ns, failed);
+        answered
+    }
+
     /// Whether the lookup chain would resolve this k-mer key without a
     /// message right now (mirrors `kmer_count` up to the remote branch).
-    fn kmer_is_local(&self, key: u64) -> bool {
-        let owner = self.owners.kmer_owner_raw(key);
+    fn kmer_is_local(&self, key: Normalized<u64>) -> bool {
+        let owner = self.owners.kmer_owner_at(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         self.heur.replicate_kmers
             || in_group
-            || self.own_kmer_keys.is_some_and(|keys| keys.contains(&key))
-            || (self.heur.cache_remote && self.cached_kmers.contains(&key))
+            || self.own_kmer_keys.is_some_and(|keys| keys.contains(&key.key()))
+            || (self.heur.cache_remote && self.cached_kmers.contains(&key.key()))
     }
 
     /// Tile twin of [`Self::kmer_is_local`].
-    fn tile_is_local(&self, key: u128) -> bool {
-        let owner = self.owners.tile_owner_raw(key);
+    fn tile_is_local(&self, key: Normalized<u128>) -> bool {
+        let owner = self.owners.tile_owner_at(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         self.heur.replicate_tiles
             || in_group
-            || self.own_tile_keys.is_some_and(|keys| keys.contains(&key))
-            || (self.heur.cache_remote && self.cached_tiles.contains(&key))
+            || self.own_tile_keys.is_some_and(|keys| keys.contains(&key.key()))
+            || (self.heur.cache_remote && self.cached_tiles.contains(&key.key()))
     }
 
     /// Modeled counterpart of `engine_mt`'s batched prefetch: enumerate
     /// the chunk's keys, keep the remote-destined ones, fill the prefetch
     /// sets, and charge one vectorized round trip per owner (split at
-    /// [`MAX_BATCH_KEYS`], same peel order as the threaded engine).
+    /// [`MAX_BATCH_KEYS`], same peel order as the threaded engine). A
+    /// batch that exhausts its retry budget degrades its exact key list.
     fn prefetch(
         &mut self,
         reads: &[Read],
         params: &ReptileParams,
-        cost: &CostModel,
         np: usize,
         rpn: usize,
         probe_extra: f64,
     ) {
         self.prefetch_kmers.clear();
         self.prefetch_tiles.clear();
+        self.degraded_prefetch_kmers.clear();
+        self.degraded_prefetch_tiles.clear();
         let keys = reptile::prefetch_keys(reads, params);
-        let mut per_owner_k = vec![0usize; np];
-        let mut per_owner_t = vec![0usize; np];
+        let mut per_owner_k: Vec<Vec<u64>> = vec![Vec::new(); np];
+        let mut per_owner_t: Vec<Vec<u128>> = vec![Vec::new(); np];
         for &k in &keys.kmers {
-            if !self.kmer_is_local(k) {
-                per_owner_k[self.owners.kmer_owner_raw(k)] += 1;
+            let key = Normalized::assume(k);
+            if !self.kmer_is_local(key) {
+                per_owner_k[self.owners.kmer_owner_at(key)].push(k);
                 self.prefetch_kmers.insert(k);
             }
         }
         for &tl in &keys.tiles {
-            if !self.tile_is_local(tl) {
-                per_owner_t[self.owners.tile_owner_raw(tl)] += 1;
+            let key = Normalized::assume(tl);
+            if !self.tile_is_local(key) {
+                per_owner_t[self.owners.tile_owner_at(key)].push(tl);
                 self.prefetch_tiles.insert(tl);
             }
         }
         for owner in 0..np {
-            let (mut rem_k, mut rem_t) = (per_owner_k[owner], per_owner_t[owner]);
-            while rem_k + rem_t > 0 {
-                let take_k = rem_k.min(MAX_BATCH_KEYS);
-                let take_t = rem_t.min(MAX_BATCH_KEYS - take_k);
-                let req_bytes = 8 + 8 * take_k + 16 * take_t;
-                let resp_bytes = 8 + 8 * (take_k + take_t);
+            let (nk, nt) = (per_owner_k[owner].len(), per_owner_t[owner].len());
+            let (mut off_k, mut off_t) = (0usize, 0usize);
+            while off_k < nk || off_t < nt {
+                let take_k = (nk - off_k).min(MAX_BATCH_KEYS);
+                let take_t = (nt - off_t).min(MAX_BATCH_KEYS - take_k);
+                let req_bytes = 16 + 8 * take_k + 16 * take_t;
+                let resp_bytes = 16 + 8 * (take_k + take_t);
                 self.batch_comm_ns +=
-                    cost.avg_lookup_roundtrip_ns(req_bytes, resp_bytes, np, rpn) + probe_extra;
+                    self.cost.avg_lookup_roundtrip_ns(req_bytes, resp_bytes, np, rpn) + probe_extra;
                 self.stats.batches_sent += 1;
                 self.stats.batched_keys += (take_k + take_t) as u64;
                 self.stats.remote_messages += 1;
-                rem_k -= take_k;
-                rem_t -= take_t;
+                if !self.simulate_request(owner) {
+                    for &k in &per_owner_k[owner][off_k..off_k + take_k] {
+                        self.degraded_prefetch_kmers.insert(k);
+                    }
+                    for &tl in &per_owner_t[owner][off_t..off_t + take_t] {
+                        self.degraded_prefetch_tiles.insert(tl);
+                    }
+                    self.stats.keys_degraded += (take_k + take_t) as u64;
+                }
+                off_k += take_k;
+                off_t += take_t;
             }
         }
     }
@@ -473,8 +531,8 @@ impl VirtualAccess<'_> {
 impl SpectrumAccess for VirtualAccess<'_> {
     fn kmer_count(&mut self, code: u64) -> u32 {
         let key = self.owners.kmer_key(code);
-        let count = self.spectra.kmers.count_raw(key);
-        let owner = self.owners.kmer_owner_raw(key);
+        let count = self.spectra.kmers.count_at(key);
+        let owner = self.owners.kmer_owner_at(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         if self.heur.replicate_kmers || in_group {
@@ -482,29 +540,38 @@ impl SpectrumAccess for VirtualAccess<'_> {
             return count;
         }
         if let Some(keys) = self.own_kmer_keys {
-            if keys.contains(&key) {
+            if keys.contains(&key.key()) {
                 self.stats.local_kmer_lookups += 1;
                 self.stats.cache_hits += 1;
                 return count;
             }
         }
-        if self.heur.cache_remote && self.cached_kmers.contains(&key) {
+        if self.heur.cache_remote && self.cached_kmers.contains(&key.key()) {
             self.stats.local_kmer_lookups += 1;
             self.stats.cache_hits += 1;
-            return count;
+            return if self.degraded_kmers.contains(&key.key()) { 0 } else { count };
         }
-        if self.prefetch_kmers.contains(&key) {
+        if self.prefetch_kmers.contains(&key.key()) {
             self.stats.local_kmer_lookups += 1;
             self.stats.prefetch_hits += 1;
-            return count;
+            return if self.degraded_prefetch_kmers.contains(&key.key()) { 0 } else { count };
         }
         self.stats.remote_kmer_lookups += 1;
         self.stats.remote_messages += 1;
+        if !self.simulate_request(owner) {
+            self.stats.keys_degraded += 1;
+            if self.heur.cache_remote {
+                self.cached_kmers.insert(key.key());
+                self.degraded_kmers.insert(key.key());
+                self.stats.cached_answers += 1;
+            }
+            return 0;
+        }
         if count == 0 {
             self.stats.remote_kmer_misses += 1;
         }
         if self.heur.cache_remote {
-            self.cached_kmers.insert(key);
+            self.cached_kmers.insert(key.key());
             self.stats.cached_answers += 1;
         }
         count
@@ -512,8 +579,8 @@ impl SpectrumAccess for VirtualAccess<'_> {
 
     fn tile_count(&mut self, code: u128) -> u32 {
         let key = self.owners.tile_key(code);
-        let count = self.spectra.tiles.count_raw(key);
-        let owner = self.owners.tile_owner_raw(key);
+        let count = self.spectra.tiles.count_at(key);
+        let owner = self.owners.tile_owner_at(key);
         let g = self.heur.partial_group;
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         if self.heur.replicate_tiles || in_group {
@@ -521,29 +588,38 @@ impl SpectrumAccess for VirtualAccess<'_> {
             return count;
         }
         if let Some(keys) = self.own_tile_keys {
-            if keys.contains(&key) {
+            if keys.contains(&key.key()) {
                 self.stats.local_tile_lookups += 1;
                 self.stats.cache_hits += 1;
                 return count;
             }
         }
-        if self.heur.cache_remote && self.cached_tiles.contains(&key) {
+        if self.heur.cache_remote && self.cached_tiles.contains(&key.key()) {
             self.stats.local_tile_lookups += 1;
             self.stats.cache_hits += 1;
-            return count;
+            return if self.degraded_tiles.contains(&key.key()) { 0 } else { count };
         }
-        if self.prefetch_tiles.contains(&key) {
+        if self.prefetch_tiles.contains(&key.key()) {
             self.stats.local_tile_lookups += 1;
             self.stats.prefetch_hits += 1;
-            return count;
+            return if self.degraded_prefetch_tiles.contains(&key.key()) { 0 } else { count };
         }
         self.stats.remote_tile_lookups += 1;
         self.stats.remote_messages += 1;
+        if !self.simulate_request(owner) {
+            self.stats.keys_degraded += 1;
+            if self.heur.cache_remote {
+                self.cached_tiles.insert(key.key());
+                self.degraded_tiles.insert(key.key());
+                self.stats.cached_answers += 1;
+            }
+            return 0;
+        }
         if count == 0 {
             self.stats.remote_tile_misses += 1;
         }
         if self.heur.cache_remote {
-            self.cached_tiles.insert(key);
+            self.cached_tiles.insert(key.key());
             self.stats.cached_answers += 1;
         }
         count
@@ -553,10 +629,16 @@ impl SpectrumAccess for VirtualAccess<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpisim::Topology;
     use reptile::correct_dataset;
+    use std::time::Duration;
 
     fn params() -> ReptileParams {
         ReptileParams { k: 6, tile_overlap: 3, ..ReptileParams::for_tests() }
+    }
+
+    fn cfg(np: usize) -> EngineConfig {
+        EngineConfig::virtual_cluster(np, params())
     }
 
     fn dataset(n: usize) -> Vec<Read> {
@@ -589,8 +671,7 @@ mod tests {
         let reads = dataset(80);
         let (seq_out, _) = correct_dataset(&reads, &params());
         for np in [1usize, 2, 16, 257] {
-            let cfg = VirtualConfig::new(np, params());
-            let run = run_virtual(&cfg, &reads);
+            let run = run_virtual(&cfg(np), &reads);
             assert_eq!(run.corrected, seq_out, "np={np}");
         }
     }
@@ -618,10 +699,10 @@ mod tests {
             },
         ];
         for heur in matrix {
-            let mut cfg = VirtualConfig::new(13, params());
-            cfg.heuristics = heur;
-            cfg.chunk_size = 5;
-            let run = run_virtual(&cfg, &reads);
+            let mut c = cfg(13);
+            c.heuristics = heur;
+            c.chunk_size = 5;
+            let run = run_virtual(&c, &reads);
             assert_eq!(run.corrected, seq_out, "heur={}", heur.label());
         }
     }
@@ -630,18 +711,18 @@ mod tests {
     fn more_ranks_less_time() {
         // stay in the strong-scaling regime: >= ~100 reads per rank
         let reads = dataset(2000);
-        let t_small = run_virtual(&VirtualConfig::new(4, params()), &reads).report.makespan_secs();
-        let t_large = run_virtual(&VirtualConfig::new(16, params()), &reads).report.makespan_secs();
+        let t_small = run_virtual(&cfg(4), &reads).report.makespan_secs();
+        let t_large = run_virtual(&cfg(16), &reads).report.makespan_secs();
         assert!(t_large < t_small, "strong scaling must reduce makespan: {t_small} -> {t_large}");
     }
 
     #[test]
     fn replication_trades_memory_for_time() {
         let reads = dataset(200);
-        let base = run_virtual(&VirtualConfig::new(16, params()), &reads);
-        let mut cfg = VirtualConfig::new(16, params());
-        cfg.heuristics = HeuristicConfig::replicate_both();
-        let repl = run_virtual(&cfg, &reads);
+        let base = run_virtual(&cfg(16), &reads);
+        let mut c = cfg(16);
+        c.heuristics = HeuristicConfig::replicate_both();
+        let repl = run_virtual(&c, &reads);
         assert!(repl.report.correct_secs() < base.report.correct_secs());
         assert!(repl.report.peak_memory_bytes() > base.report.peak_memory_bytes());
         assert_eq!(repl.report.ranks.iter().map(|r| r.lookups.remote_total()).sum::<u64>(), 0);
@@ -650,10 +731,10 @@ mod tests {
     #[test]
     fn universal_mode_is_faster() {
         let reads = dataset(200);
-        let base = run_virtual(&VirtualConfig::new(16, params()), &reads);
-        let mut cfg = VirtualConfig::new(16, params());
-        cfg.heuristics.universal = true;
-        let uni = run_virtual(&cfg, &reads);
+        let base = run_virtual(&cfg(16), &reads);
+        let mut c = cfg(16);
+        c.heuristics.universal = true;
+        let uni = run_virtual(&c, &reads);
         assert!(uni.report.correct_secs() < base.report.correct_secs());
         // same memory
         assert!((uni.report.peak_memory_bytes() - base.report.peak_memory_bytes()).abs() < 1.0);
@@ -662,10 +743,10 @@ mod tests {
     #[test]
     fn scale_multiplies_times_linearly() {
         let reads = dataset(100);
-        let one = run_virtual(&VirtualConfig::new(8, params()), &reads);
-        let mut cfg = VirtualConfig::new(8, params());
-        cfg.scale = 100.0;
-        let hundred = run_virtual(&cfg, &reads);
+        let one = run_virtual(&cfg(8), &reads);
+        let mut c = cfg(8);
+        c.scale = 100.0;
+        let hundred = run_virtual(&c, &reads);
         let ratio = hundred.report.makespan_secs() / one.report.makespan_secs();
         assert!((ratio - 100.0).abs() < 1e-6, "ratio {ratio}");
     }
@@ -673,9 +754,9 @@ mod tests {
     #[test]
     fn smt_oversubscription_slows_ranks_per_node_32() {
         let reads = dataset(200);
-        let mut cfg8 = VirtualConfig::new(128, params());
+        let mut cfg8 = cfg(128);
         cfg8.topology = Topology::new(8);
-        let mut cfg32 = VirtualConfig::new(128, params());
+        let mut cfg32 = cfg(128);
         cfg32.topology = Topology::new(32);
         let t8 = run_virtual(&cfg8, &reads).report.makespan_secs();
         let t32 = run_virtual(&cfg32, &reads).report.makespan_secs();
@@ -688,9 +769,9 @@ mod tests {
         let mut prev_remote = u64::MAX;
         let mut prev_mem = 0.0f64;
         for g in [1usize, 2, 4, 8, 16] {
-            let mut cfg = VirtualConfig::new(16, params());
-            cfg.heuristics.partial_group = g;
-            let run = run_virtual(&cfg, &reads);
+            let mut c = cfg(16);
+            c.heuristics.partial_group = g;
+            let run = run_virtual(&c, &reads);
             let remote: u64 = run.report.ranks.iter().map(|r| r.lookups.remote_total()).sum();
             let mem = run.report.peak_memory_bytes();
             assert!(remote <= prev_remote, "g={g}: remote lookups must not grow");
@@ -707,9 +788,9 @@ mod tests {
         let reads = dataset(80);
         let (seq_out, _) = reptile::correct_dataset(&reads, &params());
         for g in [2usize, 5] {
-            let mut cfg = VirtualConfig::new(12, params());
-            cfg.heuristics.partial_group = g;
-            let run = run_virtual(&cfg, &reads);
+            let mut c = cfg(12);
+            c.heuristics.partial_group = g;
+            let run = run_virtual(&c, &reads);
             assert_eq!(run.corrected, seq_out, "g={g}");
         }
     }
@@ -717,12 +798,12 @@ mod tests {
     #[test]
     fn aggregation_cuts_modeled_messages_and_comm_time() {
         let reads = dataset(200);
-        let base = run_virtual(&VirtualConfig::new(16, params()), &reads);
-        let mut cfg = VirtualConfig::new(16, params());
-        cfg.heuristics.aggregate_lookups = true;
-        let agg = run_virtual(&cfg, &reads);
+        let base = run_virtual(&cfg(16), &reads);
+        let mut c = cfg(16);
+        c.heuristics.aggregate_lookups = true;
+        let agg = run_virtual(&c, &reads);
         assert_eq!(agg.corrected, base.corrected, "aggregation must not change output");
-        let msgs = |run: &VirtualRun| -> u64 {
+        let msgs = |run: &RunOutput| -> u64 {
             run.report.ranks.iter().map(|r| r.lookups.remote_messages).sum()
         };
         let (base_msgs, agg_msgs) = (msgs(&base), msgs(&agg));
@@ -731,7 +812,7 @@ mod tests {
             base_msgs >= 5 * agg_msgs,
             "modeled message cut >= 5x (base {base_msgs}, agg {agg_msgs})"
         );
-        let comm = |run: &VirtualRun| -> f64 { run.report.ranks.iter().map(|r| r.comm_secs).sum() };
+        let comm = |run: &RunOutput| -> f64 { run.report.ranks.iter().map(|r| r.comm_secs).sum() };
         assert!(
             comm(&agg) < comm(&base),
             "fewer round trips must lower modeled comm time ({} vs {})",
@@ -749,7 +830,7 @@ mod tests {
     #[test]
     fn overlap_and_threads_shrink_modeled_build_time() {
         let reads = dataset(300);
-        let mut batched = VirtualConfig::new(8, params());
+        let mut batched = cfg(8);
         batched.chunk_size = 10;
         batched.heuristics.batch_reads = true;
         let b = run_virtual(&batched, &reads);
@@ -765,14 +846,14 @@ mod tests {
         let mut threaded = batched;
         threaded.build_threads = 4;
         let t = run_virtual(&threaded, &reads);
-        let sum = |run: &VirtualRun| run.report.ranks.iter().map(|r| r.construct_secs).sum::<f64>();
+        let sum = |run: &RunOutput| run.report.ranks.iter().map(|r| r.construct_secs).sum::<f64>();
         assert!(sum(&t) < sum(&b), "more build threads must shrink modeled build time");
     }
 
     #[test]
     fn batch_mode_shrinks_peak_reads_tables() {
         let reads = dataset(300);
-        let mut base = VirtualConfig::new(8, params());
+        let mut base = cfg(8);
         base.chunk_size = 10;
         let mut batch = base;
         batch.heuristics.batch_reads = true;
@@ -781,5 +862,58 @@ mod tests {
         let peak_b: u64 = b.report.ranks.iter().map(|r| r.build.peak_reads_kmers).max().unwrap();
         let peak_u: u64 = u.report.ranks.iter().map(|r| r.build.peak_reads_kmers).max().unwrap();
         assert!(peak_b < peak_u, "batching must shrink the reads table ({peak_b} vs {peak_u})");
+    }
+
+    /// Benign faults (dup/reorder, nothing lost) leave the modeled run
+    /// byte-identical to the fault-free one — including all counters.
+    #[test]
+    fn benign_faults_change_nothing() {
+        let reads = dataset(80);
+        let clean = run_virtual(&cfg(8), &reads);
+        let mut c = cfg(8);
+        c.fault = FaultPlan::parse("seed=5,dup=0.3,reorder=0.4").unwrap();
+        let faulted = run_virtual(&c, &reads);
+        assert_eq!(faulted.corrected, clean.corrected);
+        for (a, b) in faulted.report.ranks.iter().zip(&clean.report.ranks) {
+            assert_eq!(a.lookups.keys_degraded, 0);
+            assert_eq!(a.lookups.remote_total(), b.lookups.remote_total());
+        }
+    }
+
+    /// Lossy faults with a generous budget: output identical, retries
+    /// and deadline misses counted, modeled comm time strictly larger.
+    #[test]
+    fn retries_mask_drops_in_the_model() {
+        let reads = dataset(80);
+        let clean = run_virtual(&cfg(8), &reads);
+        let mut c = cfg(8);
+        c.fault = FaultPlan::parse("seed=9,drop=0.2").unwrap();
+        c.lookup_deadline = Some(Duration::from_micros(50));
+        c.retry_budget = 30;
+        let faulted = run_virtual(&c, &reads);
+        assert_eq!(faulted.corrected, clean.corrected, "retries must mask drops");
+        let retried: u64 = faulted.report.ranks.iter().map(|r| r.lookups.requests_retried).sum();
+        let missed: u64 = faulted.report.ranks.iter().map(|r| r.lookups.deadline_misses).sum();
+        let degraded: u64 = faulted.report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
+        assert!(retried > 0 && missed > 0, "drop=0.2 must cost retries");
+        assert_eq!(degraded, 0, "budget 30 must outlast drop=0.2");
+        let comm = |run: &RunOutput| -> f64 { run.report.ranks.iter().map(|r| r.comm_secs).sum() };
+        assert!(comm(&faulted) > comm(&clean), "deadline waits must show up in modeled time");
+    }
+
+    /// A killed owner degrades every key it owns; the run completes and
+    /// the killed rank serves nothing.
+    #[test]
+    fn killed_rank_degrades_its_keys() {
+        let reads = dataset(80);
+        let mut c = cfg(8);
+        c.fault = FaultPlan::parse("seed=1,kill=3").unwrap();
+        c.lookup_deadline = Some(Duration::from_micros(50));
+        c.retry_budget = 2;
+        let run = run_virtual(&c, &reads);
+        assert_eq!(run.corrected.len(), reads.len());
+        let degraded: u64 = run.report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
+        assert!(degraded > 0, "keys owned by the killed rank must degrade");
+        assert_eq!(run.report.ranks[3].lookups.requests_served, 0);
     }
 }

@@ -152,6 +152,16 @@ impl HeuristicConfig {
         !self.replicate_tiles
     }
 
+    /// Whether Step IV uses the point-to-point service plane at all.
+    /// With both spectra fully replicated every lookup is local, so the
+    /// engines can skip the comm thread — and fault plans that only
+    /// touch the p2p plane cannot affect the run.
+    pub fn needs_service_plane(&self, np: usize) -> bool {
+        np > 1
+            && self.partial_group < np
+            && (self.kmers_need_messages() || self.tiles_need_messages())
+    }
+
     /// Human-readable label used in Fig 5 outputs.
     pub fn label(&self) -> String {
         let mut parts = Vec::new();
@@ -232,6 +242,20 @@ mod tests {
         let base = HeuristicConfig::base();
         assert!(base.kmers_need_messages());
         assert!(base.tiles_need_messages());
+    }
+
+    #[test]
+    fn service_plane_requirement() {
+        assert!(HeuristicConfig::base().needs_service_plane(4));
+        assert!(!HeuristicConfig::base().needs_service_plane(1), "single rank is all-local");
+        assert!(!HeuristicConfig::replicate_both().needs_service_plane(4));
+        // one k-mer-only replication still needs the plane for tiles
+        let h = HeuristicConfig { replicate_kmers: true, ..HeuristicConfig::default() };
+        assert!(h.needs_service_plane(4));
+        // a partial group covering every rank is full replication
+        let full = HeuristicConfig { partial_group: 4, ..HeuristicConfig::default() };
+        assert!(!full.needs_service_plane(4));
+        assert!(full.needs_service_plane(8));
     }
 
     #[test]

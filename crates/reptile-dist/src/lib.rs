@@ -14,15 +14,20 @@
 //! * [`balance`] — the static load-balancing shuffle (reads redistributed
 //!   to `hash(seq) % np`);
 //! * [`protocol`] — the correction-phase request/response wire format
-//!   (tagged messages, or the self-describing *universal* struct);
+//!   (sequence-stamped tagged messages, or the self-describing
+//!   *universal* struct), designed for idempotent retries;
+//! * [`engine`] — the unified entry point: [`Engine`] trait,
+//!   validating [`EngineConfig`] builder, [`RunOutput`];
 //! * [`engine_mt`] — Step IV on the threaded [`mpisim`] runtime: a worker
 //!   thread correcting reads + a communication thread serving lookups,
-//!   per rank;
+//!   per rank, with deadline/retry/degradation handling against the
+//!   runtime's injected fault plan;
 //! * [`engine_virtual`] — the same logical algorithm executed
 //!   deterministically for thousands of logical ranks, with per-rank
 //!   work/traffic counters mapped to modeled BG/Q seconds through
 //!   [`mpisim::CostModel`] (this is what regenerates the paper's
-//!   figures at 1024–32768 ranks);
+//!   figures at 1024–32768 ranks), replaying the same fault plans
+//!   analytically;
 //! * [`report`] — per-rank and aggregate run reports.
 //!
 //! The corrector itself is [`reptile`]'s — both engines implement
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod balance;
+pub mod engine;
 pub mod engine_mt;
 pub mod engine_virtual;
 pub mod heuristics;
@@ -43,11 +49,12 @@ pub mod protocol;
 pub mod report;
 pub mod spectrum;
 
-pub use engine_mt::{
-    default_build_threads, run_distributed, run_distributed_files, DistOutput, EngineConfig,
+pub use engine::{
+    engine_by_name, ConfigError, Engine, EngineConfig, EngineConfigBuilder, RunOutput,
+    ThreadedEngine, VirtualEngine,
 };
-pub use engine_virtual::VirtualConfig;
-pub use engine_virtual::{run_virtual, VirtualRun};
+pub use engine_mt::{default_build_threads, run_distributed, run_distributed_files};
+pub use engine_virtual::run_virtual;
 pub use heuristics::HeuristicConfig;
 pub use prior_art::{run_prior_art, run_prior_art_virtual, PriorArtConfig};
 pub use report::{LookupStats, RankReport, RunReport};

@@ -160,7 +160,8 @@ mod tests {
     #[test]
     fn engine_output_shards_and_merges() {
         // end-to-end: distributed run -> per-rank shards -> merged file
-        use crate::engine_mt::{run_distributed, EngineConfig};
+        use crate::engine::EngineConfig;
+        use crate::engine_mt::run_distributed;
         let dir = tempdir("engine");
         let p = reptile::ReptileParams {
             k: 6,

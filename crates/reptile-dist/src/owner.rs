@@ -8,7 +8,7 @@
 //! canonical) code, since that is the spectrum key.
 
 use dnaseq::Read;
-use reptile::ReptileParams;
+use reptile::{Normalized, ReptileParams};
 
 /// Owner assignment for one universe size and one parameter set.
 #[derive(Clone, Copy, Debug)]
@@ -39,50 +39,40 @@ impl OwnerMap {
 
     /// Normalize a k-mer code to its spectrum key.
     #[inline]
-    pub fn kmer_key(&self, code: u64) -> u64 {
-        if self.canonical {
-            self.kcodec.canonical(code)
-        } else {
-            code
-        }
+    pub fn kmer_key(&self, code: u64) -> Normalized<u64> {
+        Normalized::assume(if self.canonical { self.kcodec.canonical(code) } else { code })
     }
 
     /// Normalize a tile code to its spectrum key.
     #[inline]
-    pub fn tile_key(&self, code: u128) -> u128 {
-        if self.canonical {
-            self.tcodec.canonical(code)
-        } else {
-            code
-        }
+    pub fn tile_key(&self, code: u128) -> Normalized<u128> {
+        Normalized::assume(if self.canonical { self.tcodec.canonical(code) } else { code })
     }
 
     /// Owning rank of a k-mer (input may be unnormalized).
     #[inline]
     pub fn kmer_owner(&self, code: u64) -> usize {
-        dnaseq::owner_of(self.kmer_key(code), self.np)
+        dnaseq::owner_of(self.kmer_key(code).key(), self.np)
     }
 
-    /// Owning rank of an **already normalized** k-mer key — skips the
-    /// (idempotent) canonicalization on paths where the key came out of
-    /// a spectrum table or [`kmer_key`](OwnerMap::kmer_key).
+    /// Owning rank of a normalized k-mer key — skips the (idempotent)
+    /// canonicalization on paths where the key came out of a spectrum
+    /// table or [`kmer_key`](OwnerMap::kmer_key).
     #[inline]
-    pub fn kmer_owner_raw(&self, key: u64) -> usize {
-        debug_assert_eq!(key, self.kmer_key(key), "kmer_owner_raw on unnormalized code");
-        dnaseq::owner_of(key, self.np)
+    pub fn kmer_owner_at(&self, key: Normalized<u64>) -> usize {
+        dnaseq::owner_of(key.key(), self.np)
     }
 
     /// Owning rank of a tile (input may be unnormalized).
     #[inline]
     pub fn tile_owner(&self, code: u128) -> usize {
-        dnaseq::hashing::owner_of_u128(self.tile_key(code), self.np)
+        dnaseq::hashing::owner_of_u128(self.tile_key(code).key(), self.np)
     }
 
-    /// Owning rank of an already normalized tile key.
+    /// Owning rank of a normalized tile key.
     #[inline]
-    pub fn tile_owner_raw(&self, key: u128) -> usize {
-        debug_assert_eq!(key, self.tile_key(key), "tile_owner_raw on unnormalized code");
-        dnaseq::hashing::owner_of_u128(key, self.np)
+    pub fn tile_owner_at(&self, key: Normalized<u128>) -> usize {
+        dnaseq::hashing::owner_of_u128(key.key(), self.np)
     }
 
     /// Owning rank of a read under the load-balancing policy.
@@ -125,8 +115,10 @@ mod tests {
     #[test]
     fn non_canonical_uses_raw_code() {
         let m = map(16);
-        assert_eq!(m.kmer_key(12345), 12345);
-        assert_eq!(m.tile_key(98765), 98765);
+        assert_eq!(m.kmer_key(12345).key(), 12345);
+        assert_eq!(m.tile_key(98765).key(), 98765);
+        assert_eq!(m.kmer_owner_at(m.kmer_key(12345)), m.kmer_owner(12345));
+        assert_eq!(m.tile_owner_at(m.tile_key(98765)), m.tile_owner(98765));
     }
 
     #[test]

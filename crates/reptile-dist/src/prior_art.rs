@@ -63,7 +63,7 @@ impl PriorArtConfig {
 }
 
 /// Run the replicated + dynamic-master pipeline on real threads.
-pub fn run_prior_art(cfg: &PriorArtConfig, reads: &[Read]) -> crate::DistOutput {
+pub fn run_prior_art(cfg: &PriorArtConfig, reads: &[Read]) -> crate::RunOutput {
     cfg.params.assert_valid();
     let np = cfg.np;
     let n_chunks = reads.len().div_ceil(cfg.chunk_size);
@@ -168,7 +168,7 @@ pub fn run_prior_art(cfg: &PriorArtConfig, reads: &[Read]) -> crate::DistOutput 
         ranks.push(report);
     }
     corrected.sort_by_key(|r| r.id);
-    crate::DistOutput {
+    crate::RunOutput {
         corrected,
         report: RunReport { ranks, topology: cfg.topology, cost: CostModel::bgq() },
     }
@@ -195,7 +195,7 @@ impl SpectrumAccess for CountingLocal<'_> {
 /// Modeled prior-art run: per-chunk costs from the real corrector,
 /// greedy list scheduling (what a dynamic master converges to), zero
 /// lookup messages, full-spectrum memory, one master round-trip per
-/// chunk. `scale` as in [`crate::engine_virtual::VirtualConfig`].
+/// chunk. `scale` as in [`crate::EngineConfig`].
 pub fn run_prior_art_virtual(
     cfg: &PriorArtConfig,
     reads: &[Read],
@@ -348,10 +348,8 @@ mod tests {
         let mean = report.correct_secs_mean();
         assert!(max <= mean * 1.5 + 1e-9, "dynamic scheduling balances: {max} vs {mean}");
         // memory equals the full spectra on every rank
-        let dist = crate::engine_virtual::run_virtual(
-            &crate::engine_virtual::VirtualConfig::new(8, p),
-            &reads,
-        );
+        let dist =
+            crate::engine_virtual::run_virtual(&crate::EngineConfig::virtual_cluster(8, p), &reads);
         assert!(
             report.peak_memory_bytes() >= dist.report.peak_memory_bytes(),
             "replication must cost at least as much memory"
@@ -373,7 +371,7 @@ mod tests {
             1.0,
         );
         let dist = crate::engine_virtual::run_virtual(
-            &crate::engine_virtual::VirtualConfig::new(np, p),
+            &crate::EngineConfig::virtual_cluster(np, p),
             &reads,
         );
         assert!(

@@ -28,6 +28,29 @@
 //! the `-1` sentinel per key. This is the request-aggregation idiom of
 //! diBELLA / Extreme-Scale Metagenome Assembly (PAPERS.md) applied to
 //! the Reptile step IV.
+//!
+//! ## Sequence numbers, retries, dedup
+//!
+//! Every request and response leads with a `u64` **sequence number**.
+//! The requesting worker stamps each request with a fresh per-rank seq;
+//! the server is stateless and idempotent (lookups are pure reads of an
+//! immutable table) and simply echoes the seq into its response. Under a
+//! fault plan the worker re-sends an unanswered request **with the same
+//! seq** after its deadline (exponential backoff), and discards any
+//! response whose seq is not the one it is currently waiting for — that
+//! single rule dedups responses to duplicated or retried requests and
+//! survives reordering. The fault-free path uses the identical encoding
+//! (one protocol, no mode split); a run without deadline simply blocks
+//! on the first response, which always has the expected seq because the
+//! per-pair channel is FIFO and nothing is lost.
+//!
+//! Termination is a collective concern, not a p2p one: after its last
+//! read, each worker enters a barrier, then raises its rank's local
+//! shutdown flag; the comm thread polls with
+//! [`mpisim::Comm::probe_tags_deadline`] and exits once the flag is up
+//! and its mailbox holds no pending request. (Earlier revisions counted
+//! per-rank `DONE` messages, which cannot survive a fault plan that may
+//! drop, duplicate, or never deliver them.)
 
 use mpisim::message::{WireReader, WireWriter};
 
@@ -39,8 +62,6 @@ pub const TAG_TILE_REQ: u32 = 0x11;
 pub const TAG_UNIVERSAL: u32 = 0x12;
 /// Tag for count responses.
 pub const TAG_RESP: u32 = 0x13;
-/// Tag announcing "my worker finished all its reads" (termination).
-pub const TAG_DONE: u32 = 0x14;
 /// Tag for batched (aggregated) key requests.
 pub const TAG_BATCH_REQ: u32 = 0x15;
 /// Tag for batched count responses.
@@ -61,15 +82,16 @@ pub enum LookupRequest {
 
 impl LookupRequest {
     /// Encode for base (tagged) mode: `(tag, payload)`.
-    pub fn encode_tagged(&self) -> (u32, Vec<u8>) {
-        let mut w = WireWriter::with_capacity(16);
-        let tag = self.encode_tagged_into(&mut w);
+    pub fn encode_tagged(&self, seq: u64) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(24);
+        let tag = self.encode_tagged_into(seq, &mut w);
         (tag, w.finish())
     }
 
     /// Encode for base (tagged) mode into a reusable scratch writer
     /// (call [`WireWriter::reset`] first); returns the tag.
-    pub fn encode_tagged_into(&self, w: &mut WireWriter) -> u32 {
+    pub fn encode_tagged_into(&self, seq: u64, w: &mut WireWriter) -> u32 {
+        w.put_u64(seq);
         match *self {
             LookupRequest::Kmer(code) => {
                 w.put_u64(code);
@@ -83,16 +105,17 @@ impl LookupRequest {
     }
 
     /// Encode for universal mode: `(TAG_UNIVERSAL, payload)` with the
-    /// kind byte leading.
-    pub fn encode_universal(&self) -> (u32, Vec<u8>) {
-        let mut w = WireWriter::with_capacity(17);
-        let tag = self.encode_universal_into(&mut w);
+    /// kind byte after the seq header.
+    pub fn encode_universal(&self, seq: u64) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(25);
+        let tag = self.encode_universal_into(seq, &mut w);
         (tag, w.finish())
     }
 
     /// Encode for universal mode into a reusable scratch writer; returns
     /// [`TAG_UNIVERSAL`].
-    pub fn encode_universal_into(&self, w: &mut WireWriter) -> u32 {
+    pub fn encode_universal_into(&self, seq: u64, w: &mut WireWriter) -> u32 {
+        w.put_u64(seq);
         match *self {
             LookupRequest::Kmer(code) => {
                 w.put_u8(0);
@@ -106,10 +129,11 @@ impl LookupRequest {
         TAG_UNIVERSAL
     }
 
-    /// Decode a request delivered with `tag`.
-    pub fn decode(tag: u32, payload: &[u8]) -> LookupRequest {
+    /// Decode a request delivered with `tag`: `(seq, request)`.
+    pub fn decode(tag: u32, payload: &[u8]) -> (u64, LookupRequest) {
         let mut r = WireReader::new(payload);
-        match tag {
+        let seq = r.get_u64();
+        let req = match tag {
             TAG_KMER_REQ => LookupRequest::Kmer(r.get_u64()),
             TAG_TILE_REQ => LookupRequest::Tile(r.get_u128()),
             TAG_UNIVERSAL => match r.get_u8() {
@@ -118,42 +142,45 @@ impl LookupRequest {
                 k => panic!("unknown universal request kind {k}"),
             },
             t => panic!("not a request tag: {t:#x}"),
-        }
+        };
+        (seq, req)
     }
 
-    /// Wire size of this request under the given mode, for the cost model.
+    /// Wire size of this request under the given mode, for the cost
+    /// model: the 8 B seq header plus the code (plus the universal kind
+    /// byte).
     pub fn wire_bytes(&self, universal: bool) -> usize {
         let code = match *self {
             LookupRequest::Kmer(_) => 8,
             LookupRequest::Tile(_) => 16,
         };
-        if universal {
-            code + 1
-        } else {
-            code
-        }
+        8 + if universal { code + 1 } else { code }
     }
 }
 
-/// Encode a count response: the paper's `-1` sentinel for "nonexistent".
-pub fn encode_response(count: Option<u32>) -> Vec<u8> {
-    let mut w = WireWriter::with_capacity(8);
-    encode_response_into(count, &mut w);
+/// Encode a count response: seq echo + the paper's `-1` sentinel for
+/// "nonexistent".
+pub fn encode_response(seq: u64, count: Option<u32>) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(RESPONSE_BYTES);
+    encode_response_into(seq, count, &mut w);
     w.finish()
 }
 
 /// Encode a count response into a reusable scratch writer.
-pub fn encode_response_into(count: Option<u32>, w: &mut WireWriter) {
+pub fn encode_response_into(seq: u64, count: Option<u32>, w: &mut WireWriter) {
+    w.put_u64(seq);
     w.put_i64(count_to_wire(count));
 }
 
-/// Decode a count response back to `Option<count>`.
-pub fn decode_response(payload: &[u8]) -> Option<u32> {
-    wire_to_count(WireReader::new(payload).get_i64())
+/// Decode a count response back to `(seq, Option<count>)`.
+pub fn decode_response(payload: &[u8]) -> (u64, Option<u32>) {
+    let mut r = WireReader::new(payload);
+    let seq = r.get_u64();
+    (seq, wire_to_count(r.get_i64()))
 }
 
-/// Wire size of a response.
-pub const RESPONSE_BYTES: usize = 8;
+/// Wire size of a response: 8 B seq echo + 8 B count.
+pub const RESPONSE_BYTES: usize = 16;
 
 /// Map a table lookup onto the wire sentinel (`-1` = nonexistent).
 #[inline]
@@ -193,30 +220,32 @@ impl BatchRequest {
     }
 
     /// Encode into a reusable scratch writer; returns [`TAG_BATCH_REQ`].
-    pub fn encode_into(&self, w: &mut WireWriter) -> u32 {
+    pub fn encode_into(&self, seq: u64, w: &mut WireWriter) -> u32 {
         assert!(self.len() <= MAX_BATCH_KEYS, "batch exceeds MAX_BATCH_KEYS; split it");
+        w.put_u64(seq);
         w.put_u64s(&self.kmers);
         w.put_u128s(&self.tiles);
         TAG_BATCH_REQ
     }
 
     /// Encode to an owned payload: `(TAG_BATCH_REQ, payload)`.
-    pub fn encode(&self) -> (u32, Vec<u8>) {
+    pub fn encode(&self, seq: u64) -> (u32, Vec<u8>) {
         let mut w = WireWriter::with_capacity(self.wire_bytes());
-        let tag = self.encode_into(&mut w);
+        let tag = self.encode_into(seq, &mut w);
         (tag, w.finish())
     }
 
-    /// Decode a batch request payload.
-    pub fn decode(payload: &[u8]) -> BatchRequest {
+    /// Decode a batch request payload: `(seq, request)`.
+    pub fn decode(payload: &[u8]) -> (u64, BatchRequest) {
         let mut r = WireReader::new(payload);
-        BatchRequest { kmers: r.get_u64s(), tiles: r.get_u128s() }
+        let seq = r.get_u64();
+        (seq, BatchRequest { kmers: r.get_u64s(), tiles: r.get_u128s() })
     }
 
-    /// Wire size: two `u32` length prefixes + 8 B per k-mer + 16 B per
-    /// tile (for the cost model and capacity hints).
+    /// Wire size: 8 B seq + two `u32` length prefixes + 8 B per k-mer +
+    /// 16 B per tile (for the cost model and capacity hints).
     pub fn wire_bytes(&self) -> usize {
-        8 + 8 * self.kmers.len() + 16 * self.tiles.len()
+        16 + 8 * self.kmers.len() + 16 * self.tiles.len()
     }
 }
 
@@ -232,28 +261,30 @@ pub struct BatchResponse {
 
 impl BatchResponse {
     /// Encode into a reusable scratch writer; returns [`TAG_BATCH_RESP`].
-    pub fn encode_into(&self, w: &mut WireWriter) -> u32 {
+    pub fn encode_into(&self, seq: u64, w: &mut WireWriter) -> u32 {
+        w.put_u64(seq);
         w.put_i64s(&self.kmer_counts);
         w.put_i64s(&self.tile_counts);
         TAG_BATCH_RESP
     }
 
     /// Encode to an owned payload: `(TAG_BATCH_RESP, payload)`.
-    pub fn encode(&self) -> (u32, Vec<u8>) {
+    pub fn encode(&self, seq: u64) -> (u32, Vec<u8>) {
         let mut w = WireWriter::with_capacity(self.wire_bytes());
-        let tag = self.encode_into(&mut w);
+        let tag = self.encode_into(seq, &mut w);
         (tag, w.finish())
     }
 
-    /// Decode a batch response payload.
-    pub fn decode(payload: &[u8]) -> BatchResponse {
+    /// Decode a batch response payload: `(seq, response)`.
+    pub fn decode(payload: &[u8]) -> (u64, BatchResponse) {
         let mut r = WireReader::new(payload);
-        BatchResponse { kmer_counts: r.get_i64s(), tile_counts: r.get_i64s() }
+        let seq = r.get_u64();
+        (seq, BatchResponse { kmer_counts: r.get_i64s(), tile_counts: r.get_i64s() })
     }
 
-    /// Wire size: two `u32` length prefixes + 8 B per count.
+    /// Wire size: 8 B seq + two `u32` length prefixes + 8 B per count.
     pub fn wire_bytes(&self) -> usize {
-        8 + 8 * (self.kmer_counts.len() + self.tile_counts.len())
+        16 + 8 * (self.kmer_counts.len() + self.tile_counts.len())
     }
 }
 
@@ -264,44 +295,60 @@ mod tests {
     #[test]
     fn tagged_round_trip() {
         for req in [LookupRequest::Kmer(0xABCD), LookupRequest::Tile(1u128 << 90)] {
-            let (tag, payload) = req.encode_tagged();
-            assert_eq!(LookupRequest::decode(tag, &payload), req);
+            let (tag, payload) = req.encode_tagged(99);
+            assert_eq!(LookupRequest::decode(tag, &payload), (99, req));
         }
     }
 
     #[test]
     fn universal_round_trip() {
         for req in [LookupRequest::Kmer(7), LookupRequest::Tile(u128::MAX)] {
-            let (tag, payload) = req.encode_universal();
+            let (tag, payload) = req.encode_universal(u64::MAX);
             assert_eq!(tag, TAG_UNIVERSAL);
-            assert_eq!(LookupRequest::decode(tag, &payload), req);
+            assert_eq!(LookupRequest::decode(tag, &payload), (u64::MAX, req));
         }
     }
 
     #[test]
     fn universal_messages_are_bigger() {
         let k = LookupRequest::Kmer(1);
-        assert_eq!(k.wire_bytes(false), 8);
-        assert_eq!(k.wire_bytes(true), 9);
-        assert_eq!(k.encode_tagged().1.len(), 8);
-        assert_eq!(k.encode_universal().1.len(), 9);
+        assert_eq!(k.wire_bytes(false), 16);
+        assert_eq!(k.wire_bytes(true), 17);
+        assert_eq!(k.encode_tagged(0).1.len(), 16);
+        assert_eq!(k.encode_universal(0).1.len(), 17);
         let t = LookupRequest::Tile(1);
-        assert_eq!(t.encode_tagged().1.len(), 16);
-        assert_eq!(t.encode_universal().1.len(), 17);
+        assert_eq!(t.encode_tagged(0).1.len(), 24);
+        assert_eq!(t.encode_universal(0).1.len(), 25);
     }
 
     #[test]
     fn response_sentinel() {
-        assert_eq!(decode_response(&encode_response(Some(42))), Some(42));
-        assert_eq!(decode_response(&encode_response(Some(0))), Some(0));
-        assert_eq!(decode_response(&encode_response(None)), None);
-        assert_eq!(encode_response(None).len(), RESPONSE_BYTES);
+        assert_eq!(decode_response(&encode_response(3, Some(42))), (3, Some(42)));
+        assert_eq!(decode_response(&encode_response(0, Some(0))), (0, Some(0)));
+        assert_eq!(decode_response(&encode_response(7, None)), (7, None));
+        assert_eq!(encode_response(0, None).len(), RESPONSE_BYTES);
+    }
+
+    #[test]
+    fn seq_survives_every_encoding() {
+        // the dedup header: whatever seq goes in must come back out
+        for seq in [0u64, 1, 0xFFFF_FFFF, u64::MAX] {
+            let (t, p) = LookupRequest::Kmer(5).encode_tagged(seq);
+            assert_eq!(LookupRequest::decode(t, &p).0, seq);
+            let (t, p) = LookupRequest::Tile(5).encode_universal(seq);
+            assert_eq!(LookupRequest::decode(t, &p).0, seq);
+            assert_eq!(decode_response(&encode_response(seq, Some(1))).0, seq);
+            let (_, p) = BatchRequest { kmers: vec![1], tiles: vec![] }.encode(seq);
+            assert_eq!(BatchRequest::decode(&p).0, seq);
+            let (_, p) = BatchResponse { kmer_counts: vec![1], tile_counts: vec![] }.encode(seq);
+            assert_eq!(BatchResponse::decode(&p).0, seq);
+        }
     }
 
     #[test]
     #[should_panic(expected = "not a request tag")]
     fn decode_rejects_bad_tag() {
-        let _ = LookupRequest::decode(TAG_RESP, &[0; 8]);
+        let _ = LookupRequest::decode(TAG_RESP, &[0; 16]);
     }
 
     #[test]
@@ -310,10 +357,10 @@ mod tests {
             kmers: vec![0, 1, u64::MAX, 0xDEAD_BEEF],
             tiles: vec![u128::MAX, 1u128 << 100],
         };
-        let (tag, payload) = req.encode();
+        let (tag, payload) = req.encode(11);
         assert_eq!(tag, TAG_BATCH_REQ);
         assert_eq!(payload.len(), req.wire_bytes());
-        assert_eq!(BatchRequest::decode(&payload), req);
+        assert_eq!(BatchRequest::decode(&payload), (11, req.clone()));
         assert_eq!(req.len(), 6);
         assert!(!req.is_empty());
     }
@@ -321,37 +368,37 @@ mod tests {
     #[test]
     fn batch_response_round_trip() {
         let resp = BatchResponse { kmer_counts: vec![-1, 0, 42], tile_counts: vec![7, -1] };
-        let (tag, payload) = resp.encode();
+        let (tag, payload) = resp.encode(5);
         assert_eq!(tag, TAG_BATCH_RESP);
         assert_eq!(payload.len(), resp.wire_bytes());
-        assert_eq!(BatchResponse::decode(&payload), resp);
+        assert_eq!(BatchResponse::decode(&payload), (5, resp));
     }
 
     #[test]
     fn empty_batch_round_trip() {
         let req = BatchRequest::default();
         assert!(req.is_empty());
-        let (_, payload) = req.encode();
-        assert_eq!(payload.len(), 8, "two empty length prefixes");
-        assert_eq!(BatchRequest::decode(&payload), req);
+        let (_, payload) = req.encode(0);
+        assert_eq!(payload.len(), 16, "seq header + two empty length prefixes");
+        assert_eq!(BatchRequest::decode(&payload), (0, req));
         let resp = BatchResponse::default();
-        let (_, rp) = resp.encode();
-        assert_eq!(BatchResponse::decode(&rp), resp);
+        let (_, rp) = resp.encode(0);
+        assert_eq!(BatchResponse::decode(&rp), (0, resp));
     }
 
     #[test]
     fn max_batch_is_encodable() {
         let req = BatchRequest { kmers: (0..MAX_BATCH_KEYS as u64).collect(), tiles: vec![] };
-        let (_, payload) = req.encode();
-        assert_eq!(payload.len(), 8 + 8 * MAX_BATCH_KEYS);
-        assert_eq!(BatchRequest::decode(&payload).kmers.len(), MAX_BATCH_KEYS);
+        let (_, payload) = req.encode(1);
+        assert_eq!(payload.len(), 16 + 8 * MAX_BATCH_KEYS);
+        assert_eq!(BatchRequest::decode(&payload).1.kmers.len(), MAX_BATCH_KEYS);
     }
 
     #[test]
     #[should_panic(expected = "batch exceeds MAX_BATCH_KEYS")]
     fn oversized_batch_rejected() {
         let req = BatchRequest { kmers: vec![0; MAX_BATCH_KEYS], tiles: vec![1] };
-        let _ = req.encode();
+        let _ = req.encode(0);
     }
 
     #[test]

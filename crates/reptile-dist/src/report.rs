@@ -45,6 +45,15 @@ pub struct LookupStats {
     pub prefetch_hits: u64,
     /// Batched requests this rank's comm thread answered for others.
     pub batches_served: u64,
+    /// Request messages re-sent after a missed deadline (retry protocol;
+    /// zero on a fault-free run).
+    pub requests_retried: u64,
+    /// Receive deadlines that expired while waiting for a response.
+    pub deadline_misses: u64,
+    /// Keys whose lookup exhausted the retry budget and degraded to the
+    /// paper's "absent everywhere" answer (`-1` → count 0). Nonzero only
+    /// when an owner is killed or the fault plan out-runs the budget.
+    pub keys_degraded: u64,
 }
 
 impl LookupStats {
@@ -85,6 +94,9 @@ impl LookupStats {
         self.batched_keys += o.batched_keys;
         self.prefetch_hits += o.prefetch_hits;
         self.batches_served += o.batches_served;
+        self.requests_retried += o.requests_retried;
+        self.deadline_misses += o.deadline_misses;
+        self.keys_degraded += o.keys_degraded;
     }
 }
 
@@ -308,6 +320,9 @@ mod tests {
             batched_keys: 40,
             prefetch_hits: 30,
             batches_served: 1,
+            requests_retried: 4,
+            deadline_misses: 5,
+            keys_degraded: 6,
             ..Default::default()
         };
         a.merge(&b);
@@ -319,6 +334,9 @@ mod tests {
         assert_eq!(a.batched_keys, 40);
         assert_eq!(a.prefetch_hits, 30);
         assert_eq!(a.batches_served, 1);
+        assert_eq!(a.requests_retried, 4);
+        assert_eq!(a.deadline_misses, 5);
+        assert_eq!(a.keys_degraded, 6);
     }
 
     #[test]

@@ -59,7 +59,7 @@ use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use dnaseq::{Read, TileCodec};
 use mpisim::{Comm, PendingAlltoallv};
-use reptile::spectrum::{KmerSpectrum, TileSpectrum};
+use reptile::spectrum::{KmerSpectrum, Normalized, TileSpectrum};
 use reptile::ReptileParams;
 use std::time::Instant;
 
@@ -315,7 +315,7 @@ pub fn build_distributed_serial(
             for (_, code) in kcodec.kmers_of(&read.seq) {
                 stats.kmers_extracted += 1;
                 let key = owners.kmer_key(code);
-                if owners.kmer_owner_raw(key) == me {
+                if owners.kmer_owner_at(key) == me {
                     hash_kmers.add_count(key, 1);
                 } else {
                     stats.exchange_occurrences += 1;
@@ -325,7 +325,7 @@ pub fn build_distributed_serial(
             for (_, code) in tcodec.tiles_of(&read.seq) {
                 stats.tiles_extracted += 1;
                 let key = owners.tile_key(code);
-                if owners.tile_owner_raw(key) == me {
+                if owners.tile_owner_at(key) == me {
                     hash_tiles.add_count(key, 1);
                 } else {
                     stats.exchange_occurrences += 1;
@@ -423,11 +423,11 @@ fn extract_worker(reads: &[Read], owners: &OwnerMap, tcodec: &TileCodec, np: usi
         for item in tcodec.fused_scan(&read.seq) {
             out.kmers_extracted += 1;
             let key = owners.kmer_key(item.kmer);
-            out.kmers[owners.kmer_owner_raw(key)].push(key);
+            out.kmers[owners.kmer_owner_at(key)].push(key.key());
             if let Some((_, tile)) = item.tile {
                 out.tiles_extracted += 1;
                 let tkey = owners.tile_key(tile);
-                out.tiles[owners.tile_owner_raw(tkey)].push(tkey);
+                out.tiles[owners.tile_owner_at(tkey)].push(tkey.key());
             }
         }
     }
@@ -542,11 +542,15 @@ fn drain_exchange(
     stats.overlap_ns += elapsed_ns(p.started);
     let t_wait = Instant::now();
     for part in p.kmers.wait() {
-        debug_assert!(part.iter().all(|&(code, _)| owners.kmer_owner_raw(code) == me));
+        debug_assert!(part
+            .iter()
+            .all(|&(code, _)| owners.kmer_owner_at(Normalized::assume(code)) == me));
         hash_kmers.merge_sorted(&part);
     }
     for part in p.tiles.wait() {
-        debug_assert!(part.iter().all(|&(code, _)| owners.tile_owner_raw(code) == me));
+        debug_assert!(part
+            .iter()
+            .all(|&(code, _)| owners.tile_owner_at(Normalized::assume(code)) == me));
         hash_tiles.merge_sorted(&part);
     }
     stats.exchange_ns += elapsed_ns(t_wait);
@@ -568,34 +572,36 @@ fn exchange_counts(
     // its exact final size instead of growing by push-reallocation.
     let mut kmer_sizes = vec![0usize; np];
     for (code, _) in reads_kmers.iter() {
-        kmer_sizes[owners.kmer_owner_raw(code)] += 1;
+        kmer_sizes[owners.kmer_owner_at(Normalized::assume(code))] += 1;
     }
     let mut kmer_out: Vec<Vec<(u64, u32)>> =
         kmer_sizes.into_iter().map(Vec::with_capacity).collect();
     for (code, count) in reads_kmers.into_entries() {
-        kmer_out[owners.kmer_owner_raw(code)].push((code, count));
+        kmer_out[owners.kmer_owner_at(Normalized::assume(code))].push((code, count));
     }
     let kmer_pairs: usize = kmer_out.iter().map(Vec::len).sum();
     for part in comm.alltoallv(kmer_out) {
         for (code, count) in part {
-            debug_assert_eq!(owners.kmer_owner_raw(code), comm.rank());
-            hash_kmers.add_count(code, count);
+            let key = Normalized::assume(code);
+            debug_assert_eq!(owners.kmer_owner_at(key), comm.rank());
+            hash_kmers.add_count(key, count);
         }
     }
     let mut tile_sizes = vec![0usize; np];
     for (code, _) in reads_tiles.iter() {
-        tile_sizes[owners.tile_owner_raw(code)] += 1;
+        tile_sizes[owners.tile_owner_at(Normalized::assume(code))] += 1;
     }
     let mut tile_out: Vec<Vec<(u128, u32)>> =
         tile_sizes.into_iter().map(Vec::with_capacity).collect();
     for (code, count) in reads_tiles.into_entries() {
-        tile_out[owners.tile_owner_raw(code)].push((code, count));
+        tile_out[owners.tile_owner_at(Normalized::assume(code))].push((code, count));
     }
     let tile_pairs: usize = tile_out.iter().map(Vec::len).sum();
     for part in comm.alltoallv(tile_out) {
         for (code, count) in part {
-            debug_assert_eq!(owners.tile_owner_raw(code), comm.rank());
-            hash_tiles.add_count(code, count);
+            let key = Normalized::assume(code);
+            debug_assert_eq!(owners.tile_owner_at(key), comm.rank());
+            hash_tiles.add_count(key, count);
         }
     }
     stats.exchange_entries += (kmer_pairs + tile_pairs) as u64;
@@ -617,12 +623,12 @@ fn exchange_counts_overlapped(
     let np = comm.size();
     let mut kmer_sizes = vec![0usize; np];
     for (code, _) in reads_kmers.iter() {
-        kmer_sizes[owners.kmer_owner_raw(code)] += 1;
+        kmer_sizes[owners.kmer_owner_at(Normalized::assume(code))] += 1;
     }
     let mut kmer_out: Vec<Vec<(u64, u32)>> =
         kmer_sizes.into_iter().map(Vec::with_capacity).collect();
     for (code, count) in reads_kmers.into_entries() {
-        kmer_out[owners.kmer_owner_raw(code)].push((code, count));
+        kmer_out[owners.kmer_owner_at(Normalized::assume(code))].push((code, count));
     }
     let kmer_pairs: usize = kmer_out.iter().map(Vec::len).sum();
     let pending_k = comm.start_alltoallv(kmer_out);
@@ -631,12 +637,12 @@ fn exchange_counts_overlapped(
     // Tile bucketing overlaps the in-flight k-mer round.
     let mut tile_sizes = vec![0usize; np];
     for (code, _) in reads_tiles.iter() {
-        tile_sizes[owners.tile_owner_raw(code)] += 1;
+        tile_sizes[owners.tile_owner_at(Normalized::assume(code))] += 1;
     }
     let mut tile_out: Vec<Vec<(u128, u32)>> =
         tile_sizes.into_iter().map(Vec::with_capacity).collect();
     for (code, count) in reads_tiles.into_entries() {
-        tile_out[owners.tile_owner_raw(code)].push((code, count));
+        tile_out[owners.tile_owner_at(Normalized::assume(code))].push((code, count));
     }
     let tile_pairs: usize = tile_out.iter().map(Vec::len).sum();
     let pending_t = comm.start_alltoallv(tile_out);
@@ -645,14 +651,16 @@ fn exchange_counts_overlapped(
     let t_wait = Instant::now();
     for part in pending_k.wait() {
         for (code, count) in part {
-            debug_assert_eq!(owners.kmer_owner_raw(code), comm.rank());
-            hash_kmers.add_count(code, count);
+            let key = Normalized::assume(code);
+            debug_assert_eq!(owners.kmer_owner_at(key), comm.rank());
+            hash_kmers.add_count(key, count);
         }
     }
     for part in pending_t.wait() {
         for (code, count) in part {
-            debug_assert_eq!(owners.tile_owner_raw(code), comm.rank());
-            hash_tiles.add_count(code, count);
+            let key = Normalized::assume(code);
+            debug_assert_eq!(owners.tile_owner_at(key), comm.rank());
+            hash_tiles.add_count(key, count);
         }
     }
     stats.exchange_ns += elapsed_ns(t_wait);
@@ -725,12 +733,12 @@ fn finish_build(
         let k_entries: Vec<(u64, u32)> = hash_kmers.iter().collect();
         let mut gk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
         merge_gathered_parts(&mut gk, comm.allgatherv(k_entries), |code| {
-            owners.kmer_owner_raw(code) / g == my_group
+            owners.kmer_owner_at(Normalized::assume(code)) / g == my_group
         });
         let t_entries: Vec<(u128, u32)> = hash_tiles.iter().collect();
         let mut gt = TileSpectrum::new(params.tile_codec(), params.canonical);
         merge_gathered_parts(&mut gt, comm.allgatherv(t_entries), |code| {
-            owners.tile_owner_raw(code) / g == my_group
+            owners.tile_owner_at(Normalized::assume(code)) / g == my_group
         });
         stats.group_entries = (gk.len() + gt.len()) as u64;
         (Some(gk), Some(gt))
@@ -764,7 +772,7 @@ impl CountSpectrum<u64> for KmerSpectrum {
         self.reserve(additional);
     }
     fn add_entry(&mut self, key: u64, count: u32) {
-        self.add_count(key, count);
+        self.add_count(Normalized::assume(key), count);
     }
 }
 
@@ -773,7 +781,7 @@ impl CountSpectrum<u128> for TileSpectrum {
         self.reserve(additional);
     }
     fn add_entry(&mut self, key: u128, count: u32) {
-        self.add_count(key, count);
+        self.add_count(Normalized::assume(key), count);
     }
 }
 
@@ -816,16 +824,18 @@ fn resolve_read_tables(
     // counting pass sizes each per-owner bucket exactly once.
     let mut ask_sizes = vec![0usize; np];
     for &code in &kmer_keys {
-        ask_sizes[owners.kmer_owner_raw(code)] += 1;
+        ask_sizes[owners.kmer_owner_at(Normalized::assume(code))] += 1;
     }
     let mut ask: Vec<Vec<u64>> = ask_sizes.into_iter().map(Vec::with_capacity).collect();
     for code in kmer_keys {
-        ask[owners.kmer_owner_raw(code)].push(code);
+        ask[owners.kmer_owner_at(Normalized::assume(code))].push(code);
     }
     let questions = comm.alltoallv(ask);
     let answers: Vec<Vec<(u64, u32)>> = questions
         .into_iter()
-        .map(|codes| codes.into_iter().map(|c| (c, hash_kmers.count_raw(c))).collect())
+        .map(|codes| {
+            codes.into_iter().map(|c| (c, hash_kmers.count_at(Normalized::assume(c)))).collect()
+        })
         .collect();
     let mut rk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
     // Answer parts are disjoint (each key was asked of exactly one
@@ -834,16 +844,18 @@ fn resolve_read_tables(
     // tiles
     let mut ask_sizes_t = vec![0usize; np];
     for &code in &tile_keys {
-        ask_sizes_t[owners.tile_owner_raw(code)] += 1;
+        ask_sizes_t[owners.tile_owner_at(Normalized::assume(code))] += 1;
     }
     let mut ask_t: Vec<Vec<u128>> = ask_sizes_t.into_iter().map(Vec::with_capacity).collect();
     for code in tile_keys {
-        ask_t[owners.tile_owner_raw(code)].push(code);
+        ask_t[owners.tile_owner_at(Normalized::assume(code))].push(code);
     }
     let questions_t = comm.alltoallv(ask_t);
     let answers_t: Vec<Vec<(u128, u32)>> = questions_t
         .into_iter()
-        .map(|codes| codes.into_iter().map(|c| (c, hash_tiles.count_raw(c))).collect())
+        .map(|codes| {
+            codes.into_iter().map(|c| (c, hash_tiles.count_at(Normalized::assume(c)))).collect()
+        })
         .collect();
     let mut rt = TileSpectrum::new(params.tile_codec(), params.canonical);
     merge_gathered_parts(&mut rt, comm.alltoallv(answers_t), |_| true);

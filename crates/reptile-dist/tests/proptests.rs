@@ -5,7 +5,7 @@
 use mpisim::Universe;
 use proptest::prelude::*;
 use reptile::{correct_dataset, KmerSpectrum, ReptileParams, TileSpectrum};
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
 use reptile_dist::spectrum::{build_distributed, build_distributed_serial, BuildStats, RankTables};
 use reptile_dist::{run_distributed, EngineConfig, HeuristicConfig};
 
@@ -134,7 +134,7 @@ proptest! {
     fn virtual_matches_sequential(reads in read_pool(), np in 1usize..200) {
         let p = params();
         let (seq, _) = correct_dataset(&reads, &p);
-        let run = run_virtual(&VirtualConfig::new(np, p), &reads);
+        let run = run_virtual(&EngineConfig::virtual_cluster(np, p), &reads);
         prop_assert_eq!(run.corrected, seq);
     }
 

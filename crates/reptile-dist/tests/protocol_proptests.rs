@@ -1,6 +1,9 @@
 //! Property tests for the correction-phase wire protocol: single-key
 //! requests (tagged and universal) and the aggregate-mode batch
-//! request/response pair must round-trip for arbitrary key mixes.
+//! request/response pair must round-trip for arbitrary key mixes —
+//! including the sequence-number header every message carries so the
+//! retry machinery can pair duplicated/reordered responses with their
+//! requests and discard stale ones.
 
 use proptest::prelude::*;
 use reptile_dist::protocol::{
@@ -22,47 +25,87 @@ fn wire_count() -> impl Strategy<Value = i64> {
 
 proptest! {
     #[test]
-    fn tagged_encoding_round_trips(req in lookup_request()) {
-        let (tag, payload) = req.encode_tagged();
-        prop_assert_eq!(LookupRequest::decode(tag, &payload), req);
+    fn tagged_encoding_round_trips(req in lookup_request(), seq in any::<u64>()) {
+        let (tag, payload) = req.encode_tagged(seq);
+        prop_assert_eq!(LookupRequest::decode(tag, &payload), (seq, req));
         prop_assert_eq!(payload.len(), req.wire_bytes(false));
     }
 
     #[test]
-    fn universal_encoding_round_trips(req in lookup_request()) {
-        let (tag, payload) = req.encode_universal();
+    fn universal_encoding_round_trips(req in lookup_request(), seq in any::<u64>()) {
+        let (tag, payload) = req.encode_universal(seq);
         prop_assert_eq!(tag, TAG_UNIVERSAL);
-        prop_assert_eq!(LookupRequest::decode(tag, &payload), req);
+        prop_assert_eq!(LookupRequest::decode(tag, &payload), (seq, req));
         prop_assert_eq!(payload.len(), req.wire_bytes(true));
     }
 
     #[test]
-    fn response_round_trips(count in proptest::option::of(any::<u32>())) {
-        prop_assert_eq!(decode_response(&encode_response(count)), count);
+    fn response_round_trips(seq in any::<u64>(), count in proptest::option::of(any::<u32>())) {
+        prop_assert_eq!(decode_response(&encode_response(seq, count)), (seq, count));
+    }
+
+    /// A retry is a resend of the *same* seq: the encoder must be a pure
+    /// function of (seq, request) so the duplicate is byte-identical and
+    /// the server's answer to either copy satisfies the client.
+    #[test]
+    fn resends_are_byte_identical(req in lookup_request(), seq in any::<u64>()) {
+        prop_assert_eq!(req.encode_tagged(seq), req.encode_tagged(seq));
+        prop_assert_eq!(req.encode_universal(seq), req.encode_universal(seq));
+    }
+
+    /// The dedup header: distinct seqs must produce distinct wire bytes
+    /// for the same logical request, or the client could not tell a stale
+    /// response from a current one.
+    #[test]
+    fn seq_header_distinguishes_attempts(
+        req in lookup_request(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        prop_assume!(a != b);
+        prop_assert_ne!(req.encode_tagged(a).1, req.encode_tagged(b).1);
+        let (sa, _) = LookupRequest::decode(req.encode_tagged(a).0, &req.encode_tagged(a).1);
+        prop_assert_eq!(sa, a);
     }
 
     #[test]
     fn batch_request_round_trips(
+        seq in any::<u64>(),
         kmers in prop::collection::vec(any::<u64>(), 0..50),
         tiles in prop::collection::vec(any::<u128>(), 0..50),
     ) {
         let req = BatchRequest { kmers, tiles };
-        let (tag, payload) = req.encode();
+        let (tag, payload) = req.encode(seq);
         prop_assert_eq!(tag, TAG_BATCH_REQ);
         prop_assert_eq!(payload.len(), req.wire_bytes());
-        prop_assert_eq!(BatchRequest::decode(&payload), req);
+        prop_assert_eq!(BatchRequest::decode(&payload), (seq, req));
     }
 
     #[test]
     fn batch_response_round_trips(
+        seq in any::<u64>(),
         kmer_counts in prop::collection::vec(wire_count(), 0..50),
         tile_counts in prop::collection::vec(wire_count(), 0..50),
     ) {
         let resp = BatchResponse { kmer_counts, tile_counts };
-        let (tag, payload) = resp.encode();
+        let (tag, payload) = resp.encode(seq);
         prop_assert_eq!(tag, TAG_BATCH_RESP);
         prop_assert_eq!(payload.len(), resp.wire_bytes());
-        prop_assert_eq!(BatchResponse::decode(&payload), resp);
+        prop_assert_eq!(BatchResponse::decode(&payload), (seq, resp));
+    }
+
+    /// Batch responses to different attempts carry their own seqs; the
+    /// client's stash keys on the decoded seq, so it must survive the
+    /// round trip regardless of payload shape.
+    #[test]
+    fn batch_seq_survives_any_payload(
+        seq in any::<u64>(),
+        counts in prop::collection::vec(wire_count(), 0..80),
+    ) {
+        let resp = BatchResponse { kmer_counts: counts, tile_counts: Vec::new() };
+        let (decoded_seq, decoded) = BatchResponse::decode(&resp.encode(seq).1);
+        prop_assert_eq!(decoded_seq, seq);
+        prop_assert_eq!(decoded, resp);
     }
 
     /// Splitting a batch at any point and re-joining the decoded halves
@@ -83,8 +126,8 @@ proptest! {
             kmers: kmers[cut_k..].to_vec(),
             tiles: tiles[cut_t..].to_vec(),
         };
-        let a = BatchRequest::decode(&first.encode().1);
-        let b = BatchRequest::decode(&second.encode().1);
+        let (_, a) = BatchRequest::decode(&first.encode(1).1);
+        let (_, b) = BatchRequest::decode(&second.encode(2).1);
         let rejoined: Vec<u64> = a.kmers.iter().chain(&b.kmers).copied().collect();
         let rejoined_t: Vec<u128> = a.tiles.iter().chain(&b.tiles).copied().collect();
         prop_assert_eq!(rejoined, kmers);
@@ -96,9 +139,9 @@ proptest! {
 fn empty_batch_round_trips() {
     let req = BatchRequest::default();
     assert!(req.is_empty());
-    assert_eq!(BatchRequest::decode(&req.encode().1), req);
+    assert_eq!(BatchRequest::decode(&req.encode(0).1), (0, req));
     let resp = BatchResponse::default();
-    assert_eq!(BatchResponse::decode(&resp.encode().1), resp);
+    assert_eq!(BatchResponse::decode(&resp.encode(0).1), (0, resp));
 }
 
 #[test]
@@ -108,5 +151,5 @@ fn max_batch_round_trips() {
         tiles: (0..MAX_BATCH_KEYS as u128 / 2).collect(),
     };
     assert_eq!(req.len(), MAX_BATCH_KEYS);
-    assert_eq!(BatchRequest::decode(&req.encode().1), req);
+    assert_eq!(BatchRequest::decode(&req.encode(u64::MAX).1), (u64::MAX, req));
 }

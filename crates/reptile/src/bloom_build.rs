@@ -22,7 +22,7 @@
 //!   ~10 bits per distinct code at 1% FP.
 
 use crate::params::ReptileParams;
-use crate::spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};
+use crate::spectrum::{KmerSpectrum, LocalSpectra, Normalized, TileSpectrum};
 use dnaseq::hashing::mix128;
 use dnaseq::{BloomFilter, Read};
 
@@ -70,13 +70,13 @@ pub fn build_with_bloom(
     for read in reads {
         for (_, code) in kcodec.kmers_of(&read.seq) {
             let key = kmers.normalize(code);
-            if kmer_filter.insert(key) {
+            if kmer_filter.insert(key.key()) {
                 kmers.add_count(key, 1);
             }
         }
         for (_, code) in tcodec.tiles_of(&read.seq) {
             let key = tiles.normalize(code);
-            if tile_filter.insert(mix128(key)) {
+            if tile_filter.insert(mix128(key.key())) {
                 tiles.add_count(key, 1);
             }
         }
@@ -89,13 +89,13 @@ pub fn build_with_bloom(
     let mut shifted_k = KmerSpectrum::new(kcodec, params.canonical);
     for (code, stored) in kmers.into_entries() {
         if stored + 1 >= params.kmer_threshold {
-            shifted_k.add_count(code, stored + 1);
+            shifted_k.add_count(Normalized::assume(code), stored + 1);
         }
     }
     let mut shifted_t = TileSpectrum::new(tcodec, params.canonical);
     for (code, stored) in tiles.into_entries() {
         if stored + 1 >= params.tile_threshold {
-            shifted_t.add_count(code, stored + 1);
+            shifted_t.add_count(Normalized::assume(code), stored + 1);
         }
     }
     let stats = BloomBuildStats {

@@ -40,4 +40,4 @@ pub use kmer_corrector::{correct_dataset_kmers_only, correct_read_kmers_only};
 pub use params::ReptileParams;
 pub use pipeline::{Pipeline, PipelineResult};
 pub use prefetch::{enumerate_read_keys, prefetch_keys, PrefetchKeys};
-pub use spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};
+pub use spectrum::{KmerSpectrum, LocalSpectra, Normalized, TileSpectrum};

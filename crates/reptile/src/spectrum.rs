@@ -12,6 +12,41 @@ use crate::flat::{FlatKmerTable, FlatTileTable};
 use crate::params::ReptileParams;
 use dnaseq::{KmerCodec, Read, TileCodec};
 
+/// A spectrum key that has already been strand-normalized.
+///
+/// Owner-side paths (wire lookups, batch service, exchange ingestion)
+/// must operate on canonicalized keys — the sender normalized before
+/// hashing, and re-normalizing is wasted work while *forgetting* to
+/// normalize silently misses entries. This newtype moves that invariant
+/// from a `debug_assert!` into the type system: [`KmerSpectrum::count_at`],
+/// [`TileSpectrum::get_at`] and the `OwnerMap` raw-owner functions only
+/// accept `Normalized<K>`, so handing them an unnormalized code is a
+/// compile error rather than a release-mode wrong answer.
+///
+/// Obtain one from [`KmerSpectrum::normalize`] / [`TileSpectrum::normalize`]
+/// (or the `OwnerMap` key functions), or — for keys that arrive over the
+/// wire or out of a spectrum iterator, which are normalized by
+/// construction — via the explicit escape hatch [`Normalized::assume`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Normalized<K>(K);
+
+impl<K: Copy> Normalized<K> {
+    /// Wrap a key that is known to be normalized already (wire-decoded
+    /// requests, spectrum-iterator output, prefetch key lists). The call
+    /// site is the audit point: use it only where normalization is
+    /// guaranteed by construction.
+    #[inline]
+    pub fn assume(key: K) -> Normalized<K> {
+        Normalized(key)
+    }
+
+    /// The underlying packed code.
+    #[inline]
+    pub fn key(self) -> K {
+        self.0
+    }
+}
+
 /// The k-mer spectrum: count per packed k-mer code.
 #[derive(Clone, Debug)]
 pub struct KmerSpectrum {
@@ -33,25 +68,21 @@ impl KmerSpectrum {
 
     /// Canonicalize a code per the spectrum's strand policy.
     #[inline]
-    pub fn normalize(&self, code: u64) -> u64 {
-        if self.canonical {
-            self.codec.canonical(code)
-        } else {
-            code
-        }
+    pub fn normalize(&self, code: u64) -> Normalized<u64> {
+        Normalized(if self.canonical { self.codec.canonical(code) } else { code })
     }
 
     /// Add every k-mer of a read.
     pub fn add_read(&mut self, read: &Read) {
         for (_, code) in self.codec.kmers_of(&read.seq) {
-            let code = self.normalize(code);
-            self.counts.add_count(code, 1);
+            let key = self.normalize(code);
+            self.counts.add_count(key.0, 1);
         }
     }
 
-    /// Add a single (already normalized) code with a count (saturating).
-    pub fn add_count(&mut self, code: u64, count: u32) {
-        self.counts.add_count(code, count);
+    /// Add a count for a normalized key (saturating).
+    pub fn add_count(&mut self, key: Normalized<u64>, count: u32) {
+        self.counts.add_count(key.0, count);
     }
 
     /// Pre-size for `additional` more distinct codes
@@ -73,32 +104,31 @@ impl KmerSpectrum {
     /// Count of a code (0 if absent). Normalizes internally.
     #[inline]
     pub fn count(&self, code: u64) -> u32 {
-        self.counts.get(self.normalize(code)).unwrap_or(0)
+        self.counts.get(self.normalize(code).0).unwrap_or(0)
     }
 
-    /// [`count`](KmerSpectrum::count) for a code that is already
+    /// [`count`](KmerSpectrum::count) for a key that is already
     /// normalized (owner-side paths: keys arriving over the wire or out
-    /// of an [`OwnerMap`]-keyed batch were canonicalized at the sender).
+    /// of an `OwnerMap`-keyed batch were canonicalized at the sender).
     /// Skips the revcomp/min canonicalization, which is idempotent, so
     /// the answer is identical.
     #[inline]
-    pub fn count_raw(&self, code: u64) -> u32 {
-        debug_assert_eq!(code, self.normalize(code), "count_raw on unnormalized code");
-        self.counts.get(code).unwrap_or(0)
+    pub fn count_at(&self, key: Normalized<u64>) -> u32 {
+        self.counts.get(key.0).unwrap_or(0)
     }
 
     /// Stored count of a code, `None` when absent — distinguishes "known
     /// count 0" entries (resolved reads tables) from missing entries.
+    /// Normalizes internally.
     #[inline]
     pub fn get(&self, code: u64) -> Option<u32> {
-        self.counts.get(self.normalize(code))
+        self.counts.get(self.normalize(code).0)
     }
 
-    /// [`get`](KmerSpectrum::get) for an already normalized code.
+    /// [`get`](KmerSpectrum::get) for an already normalized key.
     #[inline]
-    pub fn get_raw(&self, code: u64) -> Option<u32> {
-        debug_assert_eq!(code, self.normalize(code), "get_raw on unnormalized code");
-        self.counts.get(code)
+    pub fn get_at(&self, key: Normalized<u64>) -> Option<u32> {
+        self.counts.get(key.0)
     }
 
     /// Remove entries below `threshold` (paper §III step III: "k-mers and
@@ -161,25 +191,21 @@ impl TileSpectrum {
 
     /// Canonicalize a code per the spectrum's strand policy.
     #[inline]
-    pub fn normalize(&self, code: u128) -> u128 {
-        if self.canonical {
-            self.codec.canonical(code)
-        } else {
-            code
-        }
+    pub fn normalize(&self, code: u128) -> Normalized<u128> {
+        Normalized(if self.canonical { self.codec.canonical(code) } else { code })
     }
 
     /// Add every tile of a read.
     pub fn add_read(&mut self, read: &Read) {
         for (_, code) in self.codec.tiles_of(&read.seq) {
-            let code = self.normalize(code);
-            self.counts.add_count(code, 1);
+            let key = self.normalize(code);
+            self.counts.add_count(key.0, 1);
         }
     }
 
-    /// Add a single (already normalized) code with a count (saturating).
-    pub fn add_count(&mut self, code: u128, count: u32) {
-        self.counts.add_count(code, count);
+    /// Add a count for a normalized key (saturating).
+    pub fn add_count(&mut self, key: Normalized<u128>, count: u32) {
+        self.counts.add_count(key.0, count);
     }
 
     /// Pre-size for `additional` more distinct codes (see
@@ -197,29 +223,28 @@ impl TileSpectrum {
     /// Count of a code (0 if absent). Normalizes internally.
     #[inline]
     pub fn count(&self, code: u128) -> u32 {
-        self.counts.get(self.normalize(code)).unwrap_or(0)
+        self.counts.get(self.normalize(code).0).unwrap_or(0)
     }
 
-    /// [`count`](TileSpectrum::count) for an already normalized code
-    /// (see [`KmerSpectrum::count_raw`]).
+    /// [`count`](TileSpectrum::count) for an already normalized key
+    /// (see [`KmerSpectrum::count_at`]).
     #[inline]
-    pub fn count_raw(&self, code: u128) -> u32 {
-        debug_assert_eq!(code, self.normalize(code), "count_raw on unnormalized code");
-        self.counts.get(code).unwrap_or(0)
+    pub fn count_at(&self, key: Normalized<u128>) -> u32 {
+        self.counts.get(key.0).unwrap_or(0)
     }
 
     /// Stored count of a code, `None` when absent — distinguishes "known
     /// count 0" entries (resolved reads tables) from missing entries.
+    /// Normalizes internally.
     #[inline]
     pub fn get(&self, code: u128) -> Option<u32> {
-        self.counts.get(self.normalize(code))
+        self.counts.get(self.normalize(code).0)
     }
 
-    /// [`get`](TileSpectrum::get) for an already normalized code.
+    /// [`get`](TileSpectrum::get) for an already normalized key.
     #[inline]
-    pub fn get_raw(&self, code: u128) -> Option<u32> {
-        debug_assert_eq!(code, self.normalize(code), "get_raw on unnormalized code");
-        self.counts.get(code)
+    pub fn get_at(&self, key: Normalized<u128>) -> Option<u32> {
+        self.counts.get(key.0)
     }
 
     /// Remove entries below `threshold`.
@@ -389,6 +414,24 @@ mod tests {
             0,
             "singleton pruned at threshold 2"
         );
+    }
+
+    #[test]
+    fn normalized_keys_round_trip() {
+        let p = params();
+        let mut s = KmerSpectrum::new(p.kmer_codec(), true);
+        let code = p.kmer_codec().encode(b"ACGG").unwrap();
+        let key = s.normalize(code);
+        s.add_count(key, 2);
+        assert_eq!(s.count_at(key), 2);
+        assert_eq!(s.get_at(key), Some(2));
+        // both strands normalize to the same key
+        let rc = p.kmer_codec().encode(b"CCGT").unwrap();
+        assert_eq!(s.normalize(rc), key);
+        // iterator output is normalized by construction
+        for (c, n) in s.iter() {
+            assert_eq!(s.count_at(Normalized::assume(c)), n);
+        }
     }
 
     #[test]

@@ -13,7 +13,8 @@
 use genio::dataset::DatasetProfile;
 use mpisim::Topology;
 use reptile::ReptileParams;
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
+use reptile_dist::EngineConfig;
 use reptile_dist::HeuristicConfig;
 
 fn main() {
@@ -37,11 +38,15 @@ fn main() {
     let mut first: Option<(usize, f64)> = None;
     let mut last: Option<(usize, f64)> = None;
     for np in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let mut cfg = VirtualConfig::new(np, params);
-        cfg.topology = Topology::new(32);
+        let cfg = EngineConfig {
+            topology: Topology::new(32),
+            ..EngineConfig::virtual_cluster(np, params)
+        };
         let balanced = run_virtual(&cfg, &dataset.reads);
-        let mut imb_cfg = cfg;
-        imb_cfg.heuristics = HeuristicConfig { load_balance: false, ..Default::default() };
+        let imb_cfg = EngineConfig {
+            heuristics: HeuristicConfig { load_balance: false, ..Default::default() },
+            ..cfg
+        };
         let imbalanced = run_virtual(&imb_cfg, &dataset.reads);
 
         let total = balanced.report.makespan_secs();

@@ -4,7 +4,8 @@
 
 use genio::dataset::DatasetProfile;
 use reptile::{correct_dataset, AccuracyReport, ReptileParams};
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
+use reptile_dist::EngineConfig;
 use reptile_dist::HeuristicConfig;
 
 fn well_covered_dataset(seed: u64) -> genio::dataset::SyntheticDataset {
@@ -74,11 +75,11 @@ fn hotspots_cause_imbalance_and_balancing_fixes_it() {
     let ds = well_covered_dataset(33);
     let p = params();
     let np = 64;
-    let imb_cfg = VirtualConfig {
+    let imb_cfg = EngineConfig {
         heuristics: HeuristicConfig { load_balance: false, ..Default::default() },
-        ..VirtualConfig::new(np, p)
+        ..EngineConfig::virtual_cluster(np, p)
     };
-    let bal_cfg = VirtualConfig::new(np, p);
+    let bal_cfg = EngineConfig::virtual_cluster(np, p);
     let imb = run_virtual(&imb_cfg, &ds.reads);
     let bal = run_virtual(&bal_cfg, &ds.reads);
     // identical corrections, different schedules
@@ -109,7 +110,7 @@ fn remote_tile_misses_dominate_comm_traffic() {
     // The paper observes most communication time is tile lookups,
     // especially for tiles absent from the spectrum (error tiles).
     let ds = well_covered_dataset(34);
-    let run = run_virtual(&VirtualConfig::new(32, params()), &ds.reads);
+    let run = run_virtual(&EngineConfig::virtual_cluster(32, params()), &ds.reads);
     let rk: u64 = run.report.ranks.iter().map(|r| r.lookups.remote_kmer_lookups).sum();
     let rt: u64 = run.report.ranks.iter().map(|r| r.lookups.remote_tile_lookups).sum();
     let tile_misses: u64 = run.report.ranks.iter().map(|r| r.lookups.remote_tile_misses).sum();
@@ -128,8 +129,9 @@ fn memory_footprint_shrinks_with_rank_count() {
     // nodes.
     let ds = well_covered_dataset(35);
     let p = params();
-    let mem_at =
-        |np: usize| run_virtual(&VirtualConfig::new(np, p), &ds.reads).report.peak_memory_bytes();
+    let mem_at = |np: usize| {
+        run_virtual(&EngineConfig::virtual_cluster(np, p), &ds.reads).report.peak_memory_bytes()
+    };
     let m16 = mem_at(16);
     let m256 = mem_at(256);
     assert!(m256 < m16, "per-rank memory must shrink: {m16} -> {m256}");

@@ -4,7 +4,7 @@
 
 use genio::dataset::DatasetProfile;
 use reptile::{correct_dataset, ReptileParams};
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
 use reptile_dist::{run_distributed, EngineConfig, HeuristicConfig};
 
 fn dataset(seed: u64, both_strands: bool) -> genio::dataset::SyntheticDataset {
@@ -52,7 +52,7 @@ fn virtual_engine_matches_sequential_across_rank_counts() {
     let p = params(false);
     let (seq, _) = correct_dataset(&ds.reads, &p);
     for np in [1usize, 3, 64, 1024] {
-        let run = run_virtual(&VirtualConfig::new(np, p), &ds.reads);
+        let run = run_virtual(&EngineConfig::virtual_cluster(np, p), &ds.reads);
         assert_eq!(run.corrected, seq, "np={np}");
     }
 }
@@ -75,7 +75,7 @@ fn virtual_and_threaded_agree_under_heuristics() {
         mt_cfg.heuristics = heur;
         mt_cfg.chunk_size = 300;
         let mt = run_distributed(&mt_cfg, &ds.reads);
-        let mut v_cfg = VirtualConfig::new(4, p);
+        let mut v_cfg = EngineConfig::virtual_cluster(4, p);
         v_cfg.heuristics = heur;
         v_cfg.chunk_size = 300;
         let virt = run_virtual(&v_cfg, &ds.reads);
@@ -91,7 +91,7 @@ fn canonical_mode_agrees_on_double_stranded_data() {
     assert!(stats.errors_corrected > 50, "canonical spectra must still correct");
     let out = run_distributed(&EngineConfig::new(6, p), &ds.reads);
     assert_eq!(out.corrected, seq);
-    let virt = run_virtual(&VirtualConfig::new(37, p), &ds.reads);
+    let virt = run_virtual(&EngineConfig::virtual_cluster(37, p), &ds.reads);
     assert_eq!(virt.corrected, seq);
 }
 
@@ -101,7 +101,7 @@ fn correction_statistics_agree_across_engines() {
     let p = params(false);
     let (_, seq_stats) = correct_dataset(&ds.reads, &p);
     let mt = run_distributed(&EngineConfig::new(4, p), &ds.reads);
-    let virt = run_virtual(&VirtualConfig::new(4, p), &ds.reads);
+    let virt = run_virtual(&EngineConfig::virtual_cluster(4, p), &ds.reads);
     assert_eq!(mt.report.errors_corrected(), seq_stats.errors_corrected);
     assert_eq!(virt.report.errors_corrected(), seq_stats.errors_corrected);
     let mt_reads: u64 = mt.report.ranks.iter().map(|r| r.reads_processed).sum();

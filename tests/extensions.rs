@@ -5,7 +5,7 @@
 
 use genio::dataset::DatasetProfile;
 use reptile::{correct_dataset, AccuracyReport, ReptileParams};
-use reptile_dist::engine_virtual::{run_virtual, VirtualConfig};
+use reptile_dist::engine_virtual::run_virtual;
 use reptile_dist::{run_distributed, run_prior_art, EngineConfig, HeuristicConfig, PriorArtConfig};
 
 fn dataset(seed: u64) -> genio::dataset::SyntheticDataset {
@@ -41,12 +41,10 @@ fn partial_replication_all_engines_agree() {
     let (seq, _) = correct_dataset(&ds.reads, &p);
     for g in [2usize, 4] {
         let heur = HeuristicConfig { partial_group: g, ..Default::default() };
-        let mut mt = EngineConfig::new(4, p);
-        mt.heuristics = heur;
+        let mt = EngineConfig { heuristics: heur, ..EngineConfig::new(4, p) };
         let out = run_distributed(&mt, &ds.reads);
         assert_eq!(out.corrected, seq, "threaded g={g}");
-        let mut v = VirtualConfig::new(64, p);
-        v.heuristics = heur;
+        let v = EngineConfig { heuristics: heur, ..EngineConfig::virtual_cluster(64, p) };
         let virt = run_virtual(&v, &ds.reads);
         assert_eq!(virt.corrected, seq, "virtual g={g}");
     }
@@ -60,7 +58,7 @@ fn partial_replication_reduces_messages_threaded() {
     let mut cfg = EngineConfig::new(6, p);
     cfg.heuristics.partial_group = 3;
     let partial = run_distributed(&cfg, &ds.reads);
-    let remote = |o: &reptile_dist::DistOutput| -> u64 {
+    let remote = |o: &reptile_dist::RunOutput| -> u64 {
         o.report.ranks.iter().map(|r| r.lookups.remote_total()).sum()
     };
     assert!(

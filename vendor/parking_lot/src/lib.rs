@@ -70,6 +70,17 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     }
 }
 
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable with parking_lot's `wait(&mut guard)` signature.
 #[derive(Default)]
 pub struct Condvar(std::sync::Condvar);
@@ -85,6 +96,22 @@ impl Condvar {
         let inner = guard.0.take().expect("guard present before wait");
         let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.0 = Some(inner);
+    }
+
+    /// Atomically release the guard's lock and block until notified or
+    /// `timeout` elapses (parking_lot's `wait_for` signature).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = match self.0.wait_timeout(inner, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(e) => e.into_inner(),
+        };
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
     }
 
     /// Wake one waiter.
@@ -140,6 +167,36 @@ mod tests {
             cvar.notify_all();
         }
         assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn wait_for_times_out_and_wakes() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // no notifier: must time out and return the guard intact
+        {
+            let (lock, cvar) = &*pair;
+            let mut g = lock.lock();
+            let r = cvar.wait_for(&mut g, std::time::Duration::from_millis(5));
+            assert!(r.timed_out());
+            assert!(!*g);
+        }
+        // with a notifier: wakes before the (long) timeout
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                let r = cvar.wait_for(&mut ready, std::time::Duration::from_secs(10));
+                assert!(!r.timed_out());
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]
