@@ -90,9 +90,9 @@ fn main() {
                 let ds = ecoli_scaled();
                 println!("{}", render_latency(&latency_sweep(&ds, params, ECOLI_DIVISOR)));
             }
-            // Not part of `all`: writes BENCH_spectrum.json and
-            // BENCH_build.json instead of printing a paper table (CI
-            // runs it explicitly).
+            // Not part of `all`: writes BENCH_spectrum.json,
+            // BENCH_build.json and BENCH_snapshot.json instead of
+            // printing a paper table (CI runs it explicitly).
             "bench-json" => {
                 let report = reptile_bench::spectrum_bench::run(200_000);
                 let json = reptile_bench::spectrum_bench::render_json(&report);
@@ -104,6 +104,11 @@ fn main() {
                 std::fs::write("BENCH_build.json", &json).expect("write BENCH_build.json");
                 print!("{json}");
                 eprintln!("wrote BENCH_build.json");
+                let snap = reptile_bench::snapshot_bench::run(20_000);
+                let json = reptile_bench::snapshot_bench::render_json(&snap);
+                std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
+                print!("{json}");
+                eprintln!("wrote BENCH_snapshot.json");
             }
             other => {
                 eprintln!("unknown item '{other}' (expected table1, fig2..fig8, bench-json, all)");

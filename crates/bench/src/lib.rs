@@ -10,5 +10,6 @@
 
 pub mod build_bench;
 pub mod figures;
+pub mod snapshot_bench;
 pub mod spectrum_bench;
 pub mod workloads;

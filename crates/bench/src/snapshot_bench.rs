@@ -1,0 +1,239 @@
+//! Build-once / correct-many race: rebuilding the pruned spectra from
+//! the reads (Steps II–III) vs loading a persisted specstore snapshot.
+//!
+//! The snapshot's pitch is that a spectrum is built once and then served
+//! to many correction runs, so the number that matters is how much
+//! cheaper `load_spectrum` is than a rebuild:
+//!
+//! 1. **zero-copy load** — same rank count as the save: every shard maps
+//!    straight into a flat table with no re-hash and no exchange;
+//! 2. **re-sharded load** — a different rank count: shard groups are
+//!    unioned and re-owned, paying a merge on top of the raw I/O.
+//!
+//! `run()` measures the rebuild, the save, and both load flavours on a
+//! deterministic synthetic dataset, checks the loaded spectra are
+//! entry-identical to the rebuilt ones, and renders a
+//! `BENCH_snapshot.json` snapshot (`figures -- bench-json`) so the
+//! build-vs-load trajectory is tracked in CI.
+
+use genio::dataset::DatasetProfile;
+use reptile::{LocalSpectra, ReptileParams};
+use reptile_dist::snapshot::{load_snapshot_serial, save_snapshot_serial};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Rank count the snapshot is saved at (and zero-copy loaded at).
+pub const SAVE_NP: usize = 4;
+/// Rank count the re-sharded load runs at.
+pub const RESHARD_NP: usize = 3;
+
+/// The race result, rendered by [`render_json`].
+#[derive(Clone, Copy, Debug)]
+pub struct SnapshotBenchReport {
+    /// Reads in the workload.
+    pub reads: usize,
+    /// Distinct k-mers surviving the threshold prune.
+    pub kmer_entries: usize,
+    /// Distinct tiles surviving the threshold prune.
+    pub tile_entries: usize,
+    /// Total snapshot size on disk (all shards + manifest).
+    pub snapshot_bytes: u64,
+    /// Rebuild both spectra from the reads, ns (best-of wall time).
+    pub build_ns: f64,
+    /// Persist the spectra as a [`SAVE_NP`]-way snapshot, ns.
+    pub save_ns: f64,
+    /// Load the snapshot back at the same rank count, ns.
+    pub load_ns: f64,
+    /// Load the snapshot at [`RESHARD_NP`] ranks (union + re-own), ns.
+    pub reshard_load_ns: f64,
+}
+
+impl SnapshotBenchReport {
+    /// How many times faster the zero-copy load is than rebuilding.
+    pub fn load_speedup(&self) -> f64 {
+        self.build_ns / self.load_ns.max(1.0)
+    }
+
+    /// How many times faster the re-sharded load is than rebuilding.
+    pub fn reshard_speedup(&self) -> f64 {
+        self.build_ns / self.reshard_load_ns.max(1.0)
+    }
+}
+
+/// Deterministic spectrum workload: `n` reads over a genome sized for
+/// ~15X coverage, so the prune keeps genome-backed entries and drops the
+/// error singletons — the operating point a served snapshot holds.
+fn workload(n: usize) -> Vec<dnaseq::Read> {
+    DatasetProfile {
+        name: "snap".into(),
+        genome_len: (n * 60 / 15).max(500),
+        read_len: 60,
+        n_reads: n,
+        base_error_rate: 0.004,
+        hotspot_count: 2,
+        hotspot_multiplier: 6.0,
+        hotspot_fraction: 0.1,
+        both_strands: false,
+        n_rate: 0.0005,
+    }
+    .generate(0x5EED_5A9D)
+    .reads
+}
+
+fn params() -> ReptileParams {
+    ReptileParams {
+        k: 10,
+        tile_overlap: 5,
+        kmer_threshold: 4,
+        tile_threshold: 3,
+        ..ReptileParams::for_tests()
+    }
+}
+
+/// Best-of-`reps` wall time of `f`, in ns per `ops` operations.
+fn time_ns_per_op<R>(reps: usize, ops: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    best / ops.max(1) as f64
+}
+
+/// A scratch directory unique per call even when tests run concurrently
+/// in one process (same pid).
+fn scratch_dir() -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "reptile-snap-bench-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+type SortedEntries = (Vec<(u64, u32)>, Vec<(u128, u32)>);
+
+fn sorted_entries(s: &LocalSpectra) -> SortedEntries {
+    let mut k: Vec<_> = s.kmers.iter().collect();
+    k.sort_unstable();
+    let mut t: Vec<_> = s.tiles.iter().collect();
+    t.sort_unstable();
+    (k, t)
+}
+
+/// Run the race on `n` reads (use ≥ 2_000 for stable numbers; the
+/// `bench-json` subcommand uses 20_000).
+pub fn run(n: usize) -> SnapshotBenchReport {
+    let reads = workload(n);
+    let p = params();
+    let dir = scratch_dir();
+
+    // --- rebuild from reads (the cost `load_spectrum` avoids) ---
+    let build_ns = time_ns_per_op(3, 1, || LocalSpectra::build(&reads, &p));
+    let built = LocalSpectra::build(&reads, &p);
+
+    // --- persist (save overwrites in place, so repetition is safe) ---
+    let save_ns = time_ns_per_op(3, 1, || {
+        save_snapshot_serial(&dir, &p, SAVE_NP, &built.kmers, &built.tiles).expect("save snapshot")
+    });
+    let per_rank =
+        save_snapshot_serial(&dir, &p, SAVE_NP, &built.kmers, &built.tiles).expect("save snapshot");
+    let snapshot_bytes: u64 = per_rank.iter().sum();
+
+    // --- load back, zero-copy then re-sharded ---
+    let load_ns = time_ns_per_op(5, 1, || {
+        load_snapshot_serial(&dir, &p, SAVE_NP, None).expect("load snapshot")
+    });
+    let reshard_load_ns = time_ns_per_op(5, 1, || {
+        load_snapshot_serial(&dir, &p, RESHARD_NP, None).expect("re-sharded load")
+    });
+
+    // The race only counts if both loads reproduce the spectra exactly.
+    let zero = load_snapshot_serial(&dir, &p, SAVE_NP, None).expect("load snapshot");
+    let resharded = load_snapshot_serial(&dir, &p, RESHARD_NP, None).expect("re-sharded load");
+    assert!(!zero.resharded && resharded.resharded);
+    let want = sorted_entries(&built);
+    for loaded in [
+        LocalSpectra { kmers: zero.kmers, tiles: zero.tiles },
+        LocalSpectra { kmers: resharded.kmers, tiles: resharded.tiles },
+    ] {
+        assert_eq!(sorted_entries(&loaded), want, "loaded spectra must be entry-identical");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    SnapshotBenchReport {
+        reads: reads.len(),
+        kmer_entries: built.kmers.len(),
+        tile_entries: built.tiles.len(),
+        snapshot_bytes,
+        build_ns,
+        save_ns,
+        load_ns,
+        reshard_load_ns,
+    }
+}
+
+/// Render the `BENCH_snapshot.json` snapshot.
+pub fn render_json(r: &SnapshotBenchReport) -> String {
+    format!(
+        "{{\n  \"workload\": {{\"reads\": {}, \"kmer_entries\": {}, \"tile_entries\": {}, \
+         \"snapshot_bytes\": {}}},\n  \
+         \"ns\": {{\"build\": {:.0}, \"save\": {:.0}, \"load\": {:.0}, \"reshard_load\": {:.0}}},\n  \
+         \"ratios\": {{\"load_speedup\": {:.2}, \"reshard_speedup\": {:.2}}}\n}}\n",
+        r.reads,
+        r.kmer_entries,
+        r.tile_entries,
+        r.snapshot_bytes,
+        r.build_ns,
+        r.save_ns,
+        r.load_ns,
+        r.reshard_load_ns,
+        r.load_speedup(),
+        r.reshard_speedup()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance criterion: loading a persisted snapshot beats
+    /// rebuilding the spectra from the reads — otherwise the
+    /// build-once / correct-many mode has no reason to exist. The margin
+    /// grows with the read count (load scales with surviving entries,
+    /// rebuild with total k-mer occurrences), so 4_000 reads is
+    /// comfortably past the crossover even on a noisy CI machine.
+    #[test]
+    fn snapshot_load_beats_rebuild() {
+        let r = run(4_000);
+        assert!(r.kmer_entries > 0 && r.snapshot_bytes > 0);
+        assert!(
+            r.load_speedup() > 1.0,
+            "zero-copy load {:.0} ns vs rebuild {:.0} ns — speedup {:.2}x ≤ 1x",
+            r.load_ns,
+            r.build_ns,
+            r.load_speedup()
+        );
+        assert!(
+            r.reshard_speedup() > 1.0,
+            "re-sharded load {:.0} ns vs rebuild {:.0} ns — speedup {:.2}x ≤ 1x",
+            r.reshard_load_ns,
+            r.build_ns,
+            r.reshard_speedup()
+        );
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let r = run(2_000);
+        let json = render_json(&r);
+        assert!(json.contains("\"load_speedup\""));
+        assert!(json.contains("\"snapshot_bytes\""));
+        assert!(json.contains("\"reshard_load\""));
+        // braces balance
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -26,6 +26,17 @@
 //!                        (e.g. 25ms); required for lossy fault plans
 //!   --retry-budget N     retries before a lookup degrades to "absent
 //!                        everywhere" (exponential backoff per attempt)
+//!   --spectrum-out DIR   after Step III, persist the pruned spectra as a
+//!                        sharded snapshot under DIR (one shard pair per
+//!                        rank plus a manifest)
+//!   --spectrum-in DIR    load the spectra from a snapshot instead of
+//!                        rebuilding them: Steps II-III are skipped
+//!                        (zero-copy at matching --np, re-owned through
+//!                        the count exchange otherwise)
+//!   --serve FILE         build-once / correct-many: correct every job
+//!                        listed in FILE ("<fasta> <qual> <output>" per
+//!                        line) against one snapshot; requires
+//!                        --spectrum-in
 //!   --report             print the per-rank report table
 //! ```
 //!
@@ -35,9 +46,10 @@
 //! here beyond the name lookup.
 
 use genio::{fasta, RunConfig};
-use reptile_cli::{heuristics_from_args, params_from_config, ArgParser};
-use reptile_dist::{engine_by_name, EngineConfig, RunReport};
+use reptile_cli::{heuristics_from_args, params_from_config, parse_serve_batches, ArgParser};
+use reptile_dist::{engine_by_name, EngineConfig, RunOutput, RunReport};
 use std::io::Write;
+use std::path::Path;
 
 fn main() {
     if let Err(e) = run() {
@@ -85,28 +97,80 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             mpisim::parse_duration(spec).map_err(|e| format!("--lookup-deadline: {e}"))?;
         builder = builder.lookup_deadline(deadline);
     }
+    if let Some(dir) = args.value("spectrum-out") {
+        builder = builder.save_spectrum(dir);
+    }
+    if let Some(dir) = args.value("spectrum-in") {
+        builder = builder.load_spectrum(dir);
+    }
     let cfg = builder.build()?;
 
-    let run = engine.run_files(&cfg, &config.fasta_file, &config.qual_file)?;
-    let (corrected, report) = (run.corrected, run.report);
-
-    let mut out = std::io::BufWriter::new(std::fs::File::create(&config.output_file)?);
-    for read in &corrected {
-        fasta::write_record(&mut out, read.id, &read.seq)?;
+    if let Some(batches_path) = args.value("serve") {
+        if cfg.load_spectrum.is_none() {
+            return Err("--serve requires --spectrum-in (build the snapshot first with \
+                        --spectrum-out)"
+                .into());
+        }
+        let text = std::fs::read_to_string(batches_path)
+            .map_err(|e| format!("--serve: cannot read '{batches_path}': {e}"))?;
+        let batches = parse_serve_batches(&text)?;
+        let n = batches.len();
+        for (i, batch) in batches.iter().enumerate() {
+            let run = engine.try_run_files(&cfg, &batch.fasta, &batch.qual)?;
+            write_corrected(&run, &batch.output)?;
+            println!(
+                "[{}/{}] {} -> {} ({} errors corrected, snapshot: {} B loaded)",
+                i + 1,
+                n,
+                batch.fasta.display(),
+                batch.output.display(),
+                run.report.errors_corrected(),
+                run.report.snapshot_bytes_read(),
+            );
+            if args.has("report") {
+                print_report(&run.report);
+            }
+        }
+        return Ok(());
     }
-    out.flush()?;
+
+    let run = engine.try_run_files(&cfg, &config.fasta_file, &config.qual_file)?;
+    write_corrected(&run, &config.output_file)?;
     println!(
         "{} reads -> {} ({} errors corrected, {} ranks, engine: {}, heuristics: {})",
-        corrected.len(),
+        run.corrected.len(),
         config.output_file.display(),
-        report.errors_corrected(),
+        run.report.errors_corrected(),
         np,
         engine.name(),
         heuristics.label()
     );
-    if args.has("report") {
-        print_report(&report);
+    if cfg.save_spectrum.is_some() {
+        println!(
+            "spectrum snapshot: {} B written to {}",
+            run.report.snapshot_bytes_written(),
+            cfg.save_spectrum.as_deref().unwrap_or(Path::new("")).display()
+        );
     }
+    if cfg.load_spectrum.is_some() {
+        println!(
+            "spectrum snapshot: {} B loaded (build skipped)",
+            run.report.snapshot_bytes_read()
+        );
+    }
+    if args.has("report") {
+        print_report(&run.report);
+    }
+    Ok(())
+}
+
+/// Write the corrected reads as numbered FASTA records.
+fn write_corrected(run: &RunOutput, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for read in &run.corrected {
+        fasta::write_record(&mut out, read.id, &read.seq)?;
+    }
+    out.flush()?;
     Ok(())
 }
 

@@ -49,6 +49,9 @@ const VALUED: &[&str] = &[
     "fault-plan",
     "lookup-deadline",
     "retry-budget",
+    "spectrum-out",
+    "spectrum-in",
+    "serve",
 ];
 
 impl ArgParser {
@@ -141,6 +144,46 @@ pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageEr
     Ok(heur)
 }
 
+/// One job of a `--serve` batch file: an input (fasta, qual) pair and the
+/// corrected-output path.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ServeBatch {
+    /// Input FASTA.
+    pub fasta: std::path::PathBuf,
+    /// Input quality file.
+    pub qual: std::path::PathBuf,
+    /// Corrected-output FASTA path.
+    pub output: std::path::PathBuf,
+}
+
+/// Parse a serve-mode batch file: one `<fasta> <qual> <output>` triple
+/// per line; blank lines and `#` comments are skipped.
+pub fn parse_serve_batches(text: &str) -> Result<Vec<ServeBatch>, UsageError> {
+    let mut batches = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(fa), Some(q), Some(o), None) => {
+                batches.push(ServeBatch { fasta: fa.into(), qual: q.into(), output: o.into() })
+            }
+            _ => {
+                return Err(UsageError(format!(
+                    "serve batch line {}: expected '<fasta> <qual> <output>', got '{line}'",
+                    i + 1
+                )))
+            }
+        }
+    }
+    if batches.is_empty() {
+        return Err(UsageError("serve batch file lists no jobs".into()));
+    }
+    Ok(batches)
+}
+
 /// Convert a loaded run config into corrector parameters.
 pub fn params_from_config(cfg: &genio::RunConfig) -> ReptileParams {
     ReptileParams {
@@ -230,6 +273,26 @@ mod tests {
         // partial replication + full replication
         let a = parse(&["c", "--replicate", "tiles", "--partial-group", "4"]);
         assert!(heuristics_from_args(&a).is_err());
+    }
+
+    #[test]
+    fn snapshot_flags_take_values() {
+        let a = parse(&["c", "--spectrum-out", "snap/", "--spectrum-in", "old/", "--serve", "b"]);
+        assert_eq!(a.value("spectrum-out"), Some("snap/"));
+        assert_eq!(a.value("spectrum-in"), Some("old/"));
+        assert_eq!(a.value("serve"), Some("b"));
+    }
+
+    #[test]
+    fn serve_batches_parse_and_reject() {
+        let text = "# corrections to run\n\na.fa a.q out1.fa\n  b.fa b.q out2.fa  \n";
+        let batches = parse_serve_batches(text).unwrap();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].fasta, std::path::PathBuf::from("a.fa"));
+        assert_eq!(batches[1].output, std::path::PathBuf::from("out2.fa"));
+        assert!(parse_serve_batches("a.fa a.q\n").is_err());
+        assert!(parse_serve_batches("a b c d\n").is_err());
+        assert!(parse_serve_batches("# nothing\n").is_err());
     }
 
     #[test]

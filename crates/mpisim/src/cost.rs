@@ -53,6 +53,11 @@ pub struct CostModel {
     pub tile_entry_bytes: f64,
     /// Fixed per-process overhead (runtime, buffers), bytes.
     pub process_base_bytes: f64,
+    /// Per-file latency of opening and seeking a snapshot shard on the
+    /// parallel filesystem (GPFS on BG/Q; NFS on the commodity preset).
+    pub disk_latency_ns: f64,
+    /// Sustained per-rank snapshot I/O bandwidth, bytes per nanosecond.
+    pub disk_bw_bytes_per_ns: f64,
 }
 
 impl CostModel {
@@ -74,6 +79,8 @@ impl CostModel {
             kmer_entry_bytes: 26.0,
             tile_entry_bytes: 42.0,
             process_base_bytes: 24.0 * 1024.0 * 1024.0,
+            disk_latency_ns: 500_000.0,
+            disk_bw_bytes_per_ns: 1.0,
         }
     }
 
@@ -181,6 +188,16 @@ impl CostModel {
         self.process_base_bytes + spectrum_bytes as f64
     }
 
+    /// Modeled time to read or write `bytes` of snapshot shards
+    /// (open/seek latency + streaming transfer). This is what a loading
+    /// rank is charged *instead of* spectrum construction: the whole
+    /// point of persistent snapshots is that
+    /// `snapshot_io_ns(shard_bytes) ≪ build time` on any realistic
+    /// filesystem.
+    pub fn snapshot_io_ns(&self, bytes: u64) -> f64 {
+        self.disk_latency_ns + bytes as f64 / self.disk_bw_bytes_per_ns
+    }
+
     /// Modeled time spent waiting out `failed_attempts` consecutive
     /// missed deadlines under the Step IV retry protocol: attempt `i`
     /// waits `deadline · 2^i` before resending, so the total is the
@@ -213,6 +230,8 @@ impl CostModel {
             kmer_entry_bytes: 26.0,
             tile_entry_bytes: 42.0,
             process_base_bytes: 24.0 * 1024.0 * 1024.0,
+            disk_latency_ns: 200_000.0,
+            disk_bw_bytes_per_ns: 0.4,
         }
     }
 
@@ -328,6 +347,24 @@ mod tests {
         let empty = m.rank_memory_bytes(0, 0);
         let loaded = m.rank_memory_bytes(1_000_000, 1_000_000);
         assert!((loaded - empty - 26e6 - 42e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snapshot_io_beats_construction_at_scale() {
+        let m = CostModel::bgq();
+        // latency floor for tiny snapshots
+        assert_eq!(m.snapshot_io_ns(0), m.disk_latency_ns);
+        // streaming term dominates large ones, linearly
+        let one_gb = m.snapshot_io_ns(1 << 30);
+        let two_gb = m.snapshot_io_ns(2 << 30);
+        assert!(two_gb > one_gb && two_gb < one_gb * 2.1);
+        // loading a 100 MB shard set must beat inserting its ~4M entries
+        let load = m.snapshot_io_ns(100 << 20);
+        let build = 4_000_000.0 * m.hash_insert_ns;
+        assert!(load < build, "snapshot load ({load} ns) should beat rebuild ({build} ns)");
+        // the commodity preset's NFS is slower but still present
+        let eth = CostModel::commodity_cluster();
+        assert!(eth.snapshot_io_ns(1 << 20) > m.snapshot_io_ns(1 << 20));
     }
 
     #[test]

@@ -29,6 +29,19 @@ pub struct KillSpec {
     pub rank: usize,
 }
 
+/// Snapshot-file truncation: before rank `rank` loads its spectrum
+/// shard, the file is chopped down to `keep_bytes` — modeling an
+/// interrupted snapshot write or a partially transferred file. The
+/// snapshot layer must surface this as a typed error, never as garbage
+/// corrections; the fault matrix verifies that end to end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotChopSpec {
+    /// The rank whose shard is truncated.
+    pub rank: usize,
+    /// Bytes to keep (0 = empty file).
+    pub keep_bytes: u64,
+}
+
 /// Which rank to stall: every `every`-th operation (send or collective)
 /// on that rank sleeps for `pause`, modeling a slow or oversubscribed
 /// node.
@@ -62,6 +75,9 @@ pub struct FaultPlan {
     pub kill: Option<KillSpec>,
     /// Optional rank stall.
     pub stall: Option<StallSpec>,
+    /// Optional snapshot-shard truncation (applied by the engines'
+    /// snapshot-load path, not by the message plane).
+    pub snapshot_chop: Option<SnapshotChopSpec>,
 }
 
 /// Per-message fault decision, derived deterministically from the plan.
@@ -108,6 +124,7 @@ impl FaultPlan {
             delay: Duration::ZERO,
             kill: None,
             stall: None,
+            snapshot_chop: None,
         }
     }
 
@@ -119,6 +136,13 @@ impl FaultPlan {
             && self.delay_p == 0.0
             && self.kill.is_none()
             && self.stall.is_none()
+            && self.snapshot_chop.is_none()
+    }
+
+    /// Bytes to truncate `rank`'s snapshot shard to, when the plan chops
+    /// that rank.
+    pub fn snapshot_chop_for(&self, rank: usize) -> Option<u64> {
+        self.snapshot_chop.filter(|c| c.rank == rank).map(|c| c.keep_bytes)
     }
 
     /// Whether `rank` is killed under this plan.
@@ -148,8 +172,9 @@ impl FaultPlan {
 
     /// Parse a plan from its CLI spec: comma-separated clauses
     /// `seed=N`, `drop=P`, `dup=P`, `reorder=P`, `delay=P:DUR`,
-    /// `kill=RANK`, `stall=RANK:EVERY:DUR` where `DUR` is an integer
-    /// with a `us`/`ms`/`s` suffix (e.g. `500us`, `2ms`).
+    /// `kill=RANK`, `stall=RANK:EVERY:DUR`, `chop=RANK:BYTES` (truncate
+    /// that rank's snapshot shard to BYTES before it loads), where `DUR`
+    /// is an integer with a `us`/`ms`/`s` suffix (e.g. `500us`, `2ms`).
     ///
     /// ```
     /// use mpisim::FaultPlan;
@@ -188,6 +213,15 @@ impl FaultPlan {
                         return Err("stall every must be >= 1".into());
                     }
                     plan.stall = Some(StallSpec { rank, every, pause });
+                }
+                "chop" => {
+                    let (rank, bytes) = val
+                        .split_once(':')
+                        .ok_or_else(|| format!("chop needs RANK:BYTES, got '{val}'"))?;
+                    plan.snapshot_chop = Some(SnapshotChopSpec {
+                        rank: parse_num("chop rank", rank)?,
+                        keep_bytes: parse_num("chop bytes", bytes)?,
+                    });
                 }
                 other => return Err(format!("unknown fault plan key '{other}'")),
             }
@@ -285,6 +319,18 @@ mod tests {
             p.stall,
             Some(StallSpec { rank: 1, every: 10, pause: Duration::from_millis(2) })
         );
+    }
+
+    #[test]
+    fn snapshot_chop_parses_and_targets_one_rank() {
+        let p = FaultPlan::parse("chop=2:150").unwrap();
+        assert_eq!(p.snapshot_chop, Some(SnapshotChopSpec { rank: 2, keep_bytes: 150 }));
+        assert!(!p.is_none());
+        assert_eq!(p.snapshot_chop_for(2), Some(150));
+        assert_eq!(p.snapshot_chop_for(1), None);
+        assert_eq!(FaultPlan::none().snapshot_chop_for(0), None);
+        assert!(FaultPlan::parse("chop=2").is_err(), "chop needs RANK:BYTES");
+        assert!(FaultPlan::parse("chop=x:10").is_err());
     }
 
     #[test]

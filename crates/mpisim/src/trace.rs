@@ -48,8 +48,9 @@ pub struct Event {
     pub bytes: usize,
 }
 
-/// A single rank's event log.
-#[derive(Debug)]
+/// A single rank's event log. `Clone` so a finished log can ride inside
+/// a returned report while the engine keeps appending to its own copy.
+#[derive(Clone, Debug)]
 pub struct TraceLog {
     rank: usize,
     epoch: Instant,
@@ -266,6 +267,36 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in {text}");
         }
+    }
+
+    #[test]
+    fn renderer_covers_snapshot_phases() {
+        // The engines bracket snapshot I/O in snapshot-save /
+        // snapshot-load phase spans; the timeline must render both with
+        // measurable durations, merged across ranks.
+        let mut saver = TraceLog::new(0);
+        saver.phase_start("snapshot-save");
+        saver.marker("manifest");
+        saver.phase_end("snapshot-save");
+        let mut loader = TraceLog::new(1);
+        loader.phase_start("snapshot-load");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        loader.phase_end("snapshot-load");
+        assert!(saver.phase_duration_us("snapshot-save").is_some());
+        assert!(loader.phase_duration_us("snapshot-load").unwrap() >= 1_000);
+        let text = render_timeline(&[saver, loader]);
+        for needle in [
+            "begin snapshot-save",
+            "end   snapshot-save",
+            "begin snapshot-load",
+            "end   snapshot-load",
+            "mark  manifest",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in {text}");
+        }
+        // both ranks appear, save rows under r0 and load rows under r1
+        assert!(text.lines().any(|l| l.contains("r0") && l.contains("snapshot-save")));
+        assert!(text.lines().any(|l| l.contains("r1") && l.contains("snapshot-load")));
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::report::RunReport;
 use dnaseq::Read;
 use mpisim::{CostModel, FaultPlan, Topology};
 use reptile::ReptileParams;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Configuration for a correction run, shared by every engine.
@@ -33,7 +33,7 @@ use std::time::Duration;
 /// ranks-per-node BlueGene/Q-like topology, serial build) or — when any
 /// field is being overridden — [`EngineConfig::builder`], which
 /// validates the combination before handing the config out.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Number of ranks.
     pub np: usize,
@@ -64,6 +64,15 @@ pub struct EngineConfig {
     /// to the paper's "absent everywhere" answer. Attempt `i` waits
     /// `lookup_deadline * 2^i` (exponential backoff).
     pub retry_budget: u32,
+    /// Save the pruned spectra into this snapshot directory after Step
+    /// III (the build-once half of build-once / correct-many).
+    pub save_spectrum: Option<PathBuf>,
+    /// Load the spectra from this snapshot directory instead of running
+    /// Steps II–III. Same-`np` loads adopt the shard tables verbatim; a
+    /// different `np` re-owns entries through the count exchange.
+    /// Combining with `save_spectrum` re-shards a snapshot to this
+    /// config's `np` without correcting anything twice.
+    pub load_spectrum: Option<PathBuf>,
 }
 
 impl EngineConfig {
@@ -83,6 +92,8 @@ impl EngineConfig {
             fault: FaultPlan::none(),
             lookup_deadline: None,
             retry_budget: 0,
+            save_spectrum: None,
+            load_spectrum: None,
         }
     }
 
@@ -194,6 +205,59 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Why an engine run failed. The infallible [`Engine::run`] panics on
+/// these; [`Engine::try_run`] hands them back typed so callers (the
+/// CLI's serve mode, tests, benches) can distinguish a corrupt snapshot
+/// from a malformed input file.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The configuration failed [`EngineConfig::validate`].
+    Config(ConfigError),
+    /// Snapshot save/load failed (corruption, fingerprint mismatch,
+    /// filesystem error, or a peer rank's failure).
+    Snapshot(specstore::SnapshotError),
+    /// Input FASTA/QUAL files could not be read or parsed.
+    Io(genio::IoError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Config(e) => write!(f, "invalid config: {e}"),
+            EngineError::Snapshot(e) => write!(f, "spectrum snapshot: {e}"),
+            EngineError::Io(e) => write!(f, "input: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Config(e) => Some(e),
+            EngineError::Snapshot(e) => Some(e),
+            EngineError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for EngineError {
+    fn from(e: ConfigError) -> EngineError {
+        EngineError::Config(e)
+    }
+}
+
+impl From<specstore::SnapshotError> for EngineError {
+    fn from(e: specstore::SnapshotError) -> EngineError {
+        EngineError::Snapshot(e)
+    }
+}
+
+impl From<genio::IoError> for EngineError {
+    fn from(e: genio::IoError) -> EngineError {
+        EngineError::Io(e)
+    }
+}
+
 /// Builder for [`EngineConfig`]; [`build`](EngineConfigBuilder::build)
 /// validates before returning the config.
 #[derive(Clone, Debug)]
@@ -263,6 +327,18 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Save the pruned spectra into a snapshot directory after Step III.
+    pub fn save_spectrum(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.save_spectrum = Some(dir.into());
+        self
+    }
+
+    /// Load the spectra from a snapshot directory instead of building.
+    pub fn load_spectrum(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.load_spectrum = Some(dir.into());
+        self
+    }
+
     /// Validate and return the config.
     pub fn build(self) -> Result<EngineConfig, ConfigError> {
         self.cfg.validate()?;
@@ -289,16 +365,45 @@ pub trait Engine {
     /// Short stable name ("mt", "virtual") for CLIs and reports.
     fn name(&self) -> &'static str;
 
+    /// Correct an in-memory dataset, reporting failures (bad config,
+    /// unreadable or corrupt snapshot) as typed errors.
+    fn try_run(&self, cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, EngineError>;
+
+    /// Correct a FASTA + QUAL file pair, reporting failures as typed
+    /// errors.
+    fn try_run_files(
+        &self,
+        cfg: &EngineConfig,
+        fasta: &Path,
+        qual: &Path,
+    ) -> Result<RunOutput, EngineError>;
+
     /// Correct an in-memory dataset.
     ///
     /// # Panics
-    /// On an invalid config ([`EngineConfig::validate`]) — validate
-    /// first (or come through [`EngineConfigBuilder::build`]) to get
-    /// the typed error instead.
-    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput;
+    /// On an invalid config ([`EngineConfig::validate`]) or a snapshot
+    /// failure — use [`Engine::try_run`] to get the typed error
+    /// instead.
+    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
+        match self.try_run(cfg, reads) {
+            Ok(out) => out,
+            Err(e) => panic!("engine run failed: {e}"),
+        }
+    }
 
     /// Correct a FASTA + QUAL file pair.
-    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput>;
+    ///
+    /// # Panics
+    /// On an invalid config or snapshot failure (input I/O problems
+    /// come back as `Err`) — use [`Engine::try_run_files`] for fully
+    /// typed errors.
+    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput> {
+        match self.try_run_files(cfg, fasta, qual) {
+            Ok(out) => Ok(out),
+            Err(EngineError::Io(e)) => Err(e),
+            Err(e) => panic!("engine run failed: {e}"),
+        }
+    }
 }
 
 /// The real multi-threaded engine: ranks are OS threads over `mpisim`.
@@ -310,12 +415,17 @@ impl Engine for ThreadedEngine {
         "mt"
     }
 
-    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
-        crate::engine_mt::run_distributed(cfg, reads)
+    fn try_run(&self, cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, EngineError> {
+        crate::engine_mt::try_run_distributed(cfg, reads)
     }
 
-    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput> {
-        crate::engine_mt::run_distributed_files(cfg, fasta, qual)
+    fn try_run_files(
+        &self,
+        cfg: &EngineConfig,
+        fasta: &Path,
+        qual: &Path,
+    ) -> Result<RunOutput, EngineError> {
+        crate::engine_mt::try_run_distributed_files(cfg, fasta, qual)
     }
 }
 
@@ -329,13 +439,18 @@ impl Engine for VirtualEngine {
         "virtual"
     }
 
-    fn run(&self, cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
-        crate::engine_virtual::run_virtual(cfg, reads)
+    fn try_run(&self, cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, EngineError> {
+        crate::engine_virtual::try_run_virtual(cfg, reads)
     }
 
-    fn run_files(&self, cfg: &EngineConfig, fasta: &Path, qual: &Path) -> genio::Result<RunOutput> {
+    fn try_run_files(
+        &self,
+        cfg: &EngineConfig,
+        fasta: &Path,
+        qual: &Path,
+    ) -> Result<RunOutput, EngineError> {
         let reads = genio::qual::load_dataset(fasta, qual)?;
-        Ok(crate::engine_virtual::run_virtual(cfg, &reads))
+        crate::engine_virtual::try_run_virtual(cfg, &reads)
     }
 }
 

@@ -29,7 +29,7 @@
 //! without it.
 
 use crate::balance::shuffle_reads;
-use crate::engine::{EngineConfig, RunOutput};
+use crate::engine::{EngineConfig, EngineError, RunOutput};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use crate::protocol::{
@@ -38,10 +38,13 @@ use crate::protocol::{
     TAG_RESP, TAG_TILE_REQ, TAG_UNIVERSAL,
 };
 use crate::report::{LookupStats, RankReport, RunReport};
-use crate::spectrum::{build_distributed, RankTables};
+use crate::snapshot;
+use crate::spectrum::{
+    build_distributed, derive_heuristic_tables, scan_nonowned_keys, BuildStats, RankTables,
+};
 use dnaseq::{FxHashMap, Read};
 use mpisim::message::WireWriter;
-use mpisim::{Comm, Source, TagSel, Universe};
+use mpisim::{Comm, Source, TagSel, TraceLog, Universe};
 use reptile::spectrum::{KmerSpectrum, TileSpectrum};
 use reptile::{correct_read, CorrectionStats, Normalized, ReptileParams, SpectrumAccess};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -58,18 +61,55 @@ pub fn default_build_threads() -> usize {
 /// Reads are initially dealt to ranks in contiguous slices, mimicking the
 /// byte-offset file partitioning of Step I.
 pub fn run_distributed(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
-    cfg.validate().expect("invalid engine config");
+    match try_run_distributed(cfg, reads) {
+        Ok(out) => out,
+        Err(e) => panic!("engine run failed: {e}"),
+    }
+}
+
+/// Fallible twin of [`run_distributed`]: snapshot save/load failures (and
+/// invalid configs) surface as typed [`EngineError`]s instead of panics.
+pub fn try_run_distributed(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, EngineError> {
+    cfg.validate()?;
     cfg.params.assert_valid();
     let np = cfg.np;
     let universe = Universe::with_topology(np, cfg.topology).with_fault_plan(cfg.fault);
-    let per_rank: Vec<(Vec<Read>, RankReport)> = universe.run(|comm| {
+    let per_rank: Vec<Result<(Vec<Read>, RankReport), EngineError>> = universe.run(|comm| {
         let me = comm.rank();
         // Step I analog: contiguous slice of the file.
         let lo = reads.len() * me / np;
         let hi = reads.len() * (me + 1) / np;
         run_rank(comm, reads[lo..hi].to_vec(), cfg)
     });
-    assemble_output(per_rank, cfg)
+    Ok(assemble_output(root_cause(per_rank)?, cfg))
+}
+
+/// Collapse per-rank results to either every rank's payload or the
+/// root-cause error. When one rank hits a real failure its peers abort
+/// with sentinel errors ([`specstore::SnapshotError::PeerFailure`], or the
+/// `aborted:`-prefixed input sentinel); prefer the rank that actually
+/// failed so callers see the underlying cause.
+fn root_cause(
+    per_rank: Vec<Result<(Vec<Read>, RankReport), EngineError>>,
+) -> Result<Vec<(Vec<Read>, RankReport)>, EngineError> {
+    if per_rank.iter().any(|r| r.is_err()) {
+        let mut fallback = None;
+        for r in per_rank {
+            if let Err(e) = r {
+                let sentinel = match &e {
+                    EngineError::Snapshot(specstore::SnapshotError::PeerFailure { .. }) => true,
+                    EngineError::Io(genio::IoError::Malformed(m)) => m.starts_with("aborted:"),
+                    _ => false,
+                };
+                if !sentinel {
+                    return Err(e);
+                }
+                fallback = Some(e);
+            }
+        }
+        return Err(fallback.expect("checked any(is_err)"));
+    }
+    Ok(per_rank.into_iter().map(|r| r.expect("checked no errors")).collect())
 }
 
 pub(crate) fn assemble_output(
@@ -95,11 +135,25 @@ pub fn run_distributed_files(
     fasta: &std::path::Path,
     qual: &std::path::Path,
 ) -> genio::Result<RunOutput> {
-    cfg.validate().expect("invalid engine config");
+    match try_run_distributed_files(cfg, fasta, qual) {
+        Ok(out) => Ok(out),
+        Err(EngineError::Io(e)) => Err(e),
+        Err(e) => panic!("engine run failed: {e}"),
+    }
+}
+
+/// Fallible twin of [`run_distributed_files`]: input *and* snapshot
+/// failures surface as typed [`EngineError`]s.
+pub fn try_run_distributed_files(
+    cfg: &EngineConfig,
+    fasta: &std::path::Path,
+    qual: &std::path::Path,
+) -> Result<RunOutput, EngineError> {
+    cfg.validate()?;
     cfg.params.assert_valid();
     let np = cfg.np;
     let universe = Universe::with_topology(np, cfg.topology).with_fault_plan(cfg.fault);
-    let per_rank: Vec<genio::Result<(Vec<Read>, RankReport)>> = universe.run(|comm| {
+    let per_rank: Vec<Result<(Vec<Read>, RankReport), EngineError>> = universe.run(|comm| {
         // Read this rank's slice before any collective, so an IO failure
         // on one rank can abort the whole universe without deadlocking
         // peers inside a collective.
@@ -107,38 +161,33 @@ pub fn run_distributed_files(
             .and_then(|mut part| part.read_all());
         let failed = comm.allreduce_max_u64(mine.is_err() as u64);
         match (failed, mine) {
-            (0, Ok(mine)) => Ok(run_rank(comm, mine, cfg)),
-            (_, Err(e)) => Err(e),
-            (_, Ok(_)) => {
-                Err(genio::IoError::Malformed("aborted: input error on another rank".into()))
-            }
+            (0, Ok(mine)) => run_rank(comm, mine, cfg),
+            (_, Err(e)) => Err(EngineError::Io(e)),
+            (_, Ok(_)) => Err(EngineError::Io(genio::IoError::Malformed(
+                "aborted: input error on another rank".into(),
+            ))),
         }
     });
-    // Surface the root-cause error, not a peer's "aborted" sentinel.
-    if per_rank.iter().any(|r| r.is_err()) {
-        let mut fallback = None;
-        for r in per_rank {
-            if let Err(e) = r {
-                if !matches!(&e, genio::IoError::Malformed(m) if m.starts_with("aborted:")) {
-                    return Err(e);
-                }
-                fallback = Some(e);
-            }
-        }
-        return Err(fallback.expect("checked any(is_err)"));
-    }
-    let oks = per_rank.into_iter().map(|r| r.expect("checked no errors")).collect();
-    Ok(assemble_output(oks, cfg))
+    Ok(assemble_output(root_cause(per_rank)?, cfg))
 }
 
 /// The per-rank pipeline, reusable by the file-backed front end.
+///
+/// Fails only through the snapshot paths; a failure on any rank is
+/// collectively agreed inside [`snapshot::load_snapshot`] /
+/// [`snapshot::save_snapshot`], so every rank returns `Err` together and
+/// no rank is left stranded in a later collective.
 pub(crate) fn run_rank(
     comm: &Comm,
     initial_reads: Vec<Read>,
     cfg: &EngineConfig,
-) -> (Vec<Read>, RankReport) {
+) -> Result<(Vec<Read>, RankReport), EngineError> {
     let me = comm.rank();
     let t0 = Instant::now();
+    // Trace only snapshot-touching runs: the log is for the snapshot
+    // phase spans, and staying `None` otherwise keeps reports lean.
+    let mut trace =
+        (cfg.save_spectrum.is_some() || cfg.load_spectrum.is_some()).then(|| TraceLog::new(me));
 
     // --- load balancing shuffle (per chunk, §III-A) ---
     let my_reads: Vec<Read> = if cfg.heuristics.load_balance {
@@ -156,17 +205,76 @@ pub(crate) fn run_rank(
         initial_reads
     };
 
-    // --- Steps II–III: distributed spectrum construction ---
-    let (tables, build_stats) = build_distributed(
-        comm,
-        &my_reads,
-        cfg.chunk_size,
-        &cfg.params,
-        &cfg.heuristics,
-        cfg.build_threads.max(1),
-    );
+    // --- Steps II–III: distributed spectrum construction, or a snapshot
+    // load that skips them entirely ---
+    let (tables, build_stats, snapshot_load_secs, snapshot_bytes_read) =
+        if let Some(dir) = &cfg.load_spectrum {
+            if let Some(t) = trace.as_mut() {
+                t.phase_start("snapshot-load");
+            }
+            let t_load = Instant::now();
+            let chop = cfg.fault.snapshot_chop_for(me);
+            let loaded = snapshot::load_snapshot(comm, dir, &cfg.params, chop)?;
+            // The owned tables came off disk already pruned; only the
+            // heuristic-derived side tables remain to be built. The
+            // reads-table *key sets* were never persisted (their counts
+            // are global in the loaded tables), so rescan for them when
+            // keep_read_tables asks.
+            let owners = OwnerMap::new(comm.size(), &cfg.params);
+            let (kmer_keys, tile_keys) = if cfg.heuristics.keep_read_tables {
+                scan_nonowned_keys(&my_reads, &cfg.params, &owners, me)
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            let (tables, stats) = derive_heuristic_tables(
+                comm,
+                owners,
+                &cfg.params,
+                &cfg.heuristics,
+                loaded.kmers,
+                loaded.tiles,
+                kmer_keys,
+                tile_keys,
+                BuildStats::default(),
+            );
+            if let Some(t) = trace.as_mut() {
+                t.phase_end("snapshot-load");
+            }
+            (tables, stats, t_load.elapsed().as_secs_f64(), loaded.bytes_read)
+        } else {
+            let (tables, stats) = build_distributed(
+                comm,
+                &my_reads,
+                cfg.chunk_size,
+                &cfg.params,
+                &cfg.heuristics,
+                cfg.build_threads.max(1),
+            );
+            (tables, stats, 0.0, 0)
+        };
     comm.barrier();
     let construct_secs = t0.elapsed().as_secs_f64();
+
+    // --- snapshot save: persist the pruned owned spectra for later runs ---
+    let mut snapshot_save_secs = 0.0;
+    let mut snapshot_bytes_written = 0u64;
+    if let Some(dir) = &cfg.save_spectrum {
+        if let Some(t) = trace.as_mut() {
+            t.phase_start("snapshot-save");
+        }
+        let t_save = Instant::now();
+        snapshot_bytes_written = snapshot::save_snapshot(
+            comm,
+            dir,
+            &cfg.params,
+            &tables.hash_kmers,
+            &tables.hash_tiles,
+        )?;
+        snapshot_save_secs = t_save.elapsed().as_secs_f64();
+        if let Some(t) = trace.as_mut() {
+            t.phase_end("snapshot-save");
+        }
+    }
 
     // --- Step IV: correction with a communication thread ---
     let t1 = Instant::now();
@@ -265,8 +373,13 @@ pub(crate) fn run_rank(
         correct_secs,
         comm_secs,
         memory_bytes: cfg.cost.rank_memory_bytes_measured(spectrum_bytes),
+        snapshot_bytes_read,
+        snapshot_bytes_written,
+        snapshot_load_secs,
+        snapshot_save_secs,
+        trace,
     };
-    (corrected, report)
+    Ok((corrected, report))
 }
 
 /// Serve counters returned by [`comm_thread`].
@@ -903,7 +1016,7 @@ mod tests {
                 cache_remote: true,
                 ..Default::default()
             },
-            ..base_cfg
+            ..base_cfg.clone()
         };
         let base = run_distributed(&base_cfg, &reads);
         let cached = run_distributed(&cache_cfg, &reads);

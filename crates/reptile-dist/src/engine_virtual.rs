@@ -32,20 +32,33 @@
 //! per rank; see DESIGN.md §2).
 
 use crate::balance::shuffle_reads_virtual;
-use crate::engine::{EngineConfig, RunOutput};
+use crate::engine::{EngineConfig, EngineError, RunOutput};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use crate::protocol::{MAX_BATCH_KEYS, RESPONSE_BYTES};
 use crate::report::{LookupStats, RankReport, RunReport};
+use crate::snapshot;
 use crate::spectrum::BuildStats;
 use dnaseq::{FxHashSet, Read};
-use mpisim::{CostModel, FaultPlan};
+use mpisim::{CostModel, FaultPlan, TraceLog};
 use reptile::spectrum::{KmerSpectrum, LocalSpectra, TileSpectrum};
 use reptile::{correct_read, CorrectionStats, Normalized, ReptileParams, SpectrumAccess};
 
 /// Execute the distributed algorithm on `cfg.np` logical ranks.
 pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
-    cfg.validate().expect("invalid engine config");
+    match try_run_virtual(cfg, reads) {
+        Ok(out) => out,
+        Err(e) => panic!("engine run failed: {e}"),
+    }
+}
+
+/// Fallible twin of [`run_virtual`]: snapshot save/load failures (and
+/// invalid configs) surface as typed [`EngineError`]s instead of panics.
+/// Snapshot shards are real files even under this engine — the virtual
+/// cluster writes/reads them serially and charges each logical rank the
+/// modeled I/O time for its own shard pair.
+pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, EngineError> {
+    cfg.validate()?;
     cfg.params.assert_valid();
     let np = cfg.np;
     let owners = OwnerMap::new(np, &cfg.params);
@@ -68,8 +81,29 @@ pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
         (slices, vec![0u64; np])
     };
 
-    // --- global spectra (the disjoint union of all owners' tables) ---
-    let spectra = LocalSpectra::build(reads, &cfg.params);
+    // --- global spectra (the disjoint union of all owners' tables):
+    // built from the reads, or reassembled from a snapshot's shards ---
+    let (spectra, load_info) = if let Some(dir) = &cfg.load_spectrum {
+        let chop = cfg.fault.snapshot_chop.map(|c| (c.rank, c.keep_bytes));
+        let loaded = snapshot::load_snapshot_serial(dir, &cfg.params, np, chop)?;
+        let spectra = LocalSpectra { kmers: loaded.kmers, tiles: loaded.tiles };
+        (spectra, Some((loaded.per_rank_bytes, loaded.resharded)))
+    } else {
+        (LocalSpectra::build(reads, &cfg.params), None)
+    };
+
+    // --- snapshot save: real per-owner shard files, modeled write time ---
+    let saved_bytes = match &cfg.save_spectrum {
+        Some(dir) => Some(snapshot::save_snapshot_serial(
+            dir,
+            &cfg.params,
+            np,
+            &spectra.kmers,
+            &spectra.tiles,
+        )?),
+        None => None,
+    };
+    let snapshotting = load_info.is_some() || saved_bytes.is_some();
 
     // owned-entry counts per rank, in one pass over the spectra
     let mut owned_kmers = vec![0u64; np];
@@ -140,6 +174,12 @@ pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
         if !cfg.heuristics.batch_reads {
             // single end-of-build exchange ships the whole reads tables
             count_exchange_volume(&mut build, &nonowned_kmers, &nonowned_tiles);
+        }
+        if load_info.is_some() {
+            // Steps II–III never ran: the scan above only recovered the
+            // reads-table key sets (needed for keep_read_tables), so its
+            // extraction/exchange counters describe work that was skipped.
+            build = BuildStats::default();
         }
         build.owned_kmers = owned_kmers[me];
         build.owned_tiles = owned_tiles[me];
@@ -223,7 +263,15 @@ pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
         let cached_tile_entries = access.cached_tiles.len() as u64;
 
         // --- time model ---
-        let construct_ns = {
+        let construct_ns = if let Some((per_rank_bytes, resharded)) = &load_info {
+            // a snapshot load replaces the build: each logical rank reads
+            // its own shard pair off disk; a re-shard load additionally
+            // routes every entry through one count-exchange round
+            let io = cost.snapshot_io_ns(per_rank_bytes[me]);
+            let reshard =
+                if *resharded { cost.alltoallv_ns(np, per_rank_bytes[me] as usize) } else { 0.0 };
+            (io + reshard) * smt
+        } else {
             // extraction shards across the build workers; the per-round
             // collective overlaps the next round's extraction (pipelined
             // build), so the makespan is C + (B-1)·max(C,X) + X
@@ -287,6 +335,33 @@ pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
         }
         let memory = cost.rank_memory_bytes_measured(spectrum_bytes);
 
+        // snapshot accounting: modeled per-rank I/O time over real bytes,
+        // with the same phase spans the threaded engine traces
+        let snapshot_bytes_read = load_info.as_ref().map_or(0, |(b, _)| b[me]);
+        let snapshot_bytes_written = saved_bytes.as_ref().map_or(0, |b| b[me]);
+        let snapshot_load_secs = if load_info.is_some() {
+            cost.snapshot_io_ns(snapshot_bytes_read) * 1e-9 * cfg.scale
+        } else {
+            0.0
+        };
+        let snapshot_save_secs = if saved_bytes.is_some() {
+            cost.snapshot_io_ns(snapshot_bytes_written) * 1e-9 * cfg.scale
+        } else {
+            0.0
+        };
+        let trace = snapshotting.then(|| {
+            let mut t = TraceLog::new(me);
+            if load_info.is_some() {
+                t.phase_start("snapshot-load");
+                t.phase_end("snapshot-load");
+            }
+            if saved_bytes.is_some() {
+                t.phase_start("snapshot-save");
+                t.phase_end("snapshot-save");
+            }
+            t
+        });
+
         ranks.push(RankReport {
             rank: me,
             reads_processed: corrected.len() as u64,
@@ -297,6 +372,11 @@ pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
             correct_secs: correct_ns * 1e-9 * cfg.scale,
             comm_secs: comm_ns * smt * 1e-9 * cfg.scale,
             memory_bytes: memory,
+            snapshot_bytes_read,
+            snapshot_bytes_written,
+            snapshot_load_secs,
+            snapshot_save_secs,
+            trace,
         });
         corrected_all.extend(corrected);
     }
@@ -307,10 +387,10 @@ pub fn run_virtual(cfg: &EngineConfig, reads: &[Read]) -> RunOutput {
     distribute_service_counts(&mut ranks, &cfg.fault);
 
     corrected_all.sort_by_key(|r| r.id);
-    RunOutput {
+    Ok(RunOutput {
         corrected: corrected_all,
         report: RunReport { ranks, topology: cfg.topology, cost: *cost },
-    }
+    })
 }
 
 /// Tally one count exchange's shipped volume: the reads tables' distinct
@@ -855,7 +935,7 @@ mod tests {
         let reads = dataset(300);
         let mut base = cfg(8);
         base.chunk_size = 10;
-        let mut batch = base;
+        let mut batch = base.clone();
         batch.heuristics.batch_reads = true;
         let b = run_virtual(&batch, &reads);
         let u = run_virtual(&base, &reads);

@@ -28,6 +28,11 @@
 //!   [`mpisim::CostModel`] (this is what regenerates the paper's
 //!   figures at 1024–32768 ranks), replaying the same fault plans
 //!   analytically;
+//! * [`snapshot`] — persistent sharded spectrum snapshots over
+//!   [`specstore`]: save the pruned spectra after Step III, reload them
+//!   in later runs (zero-copy at the same `np`, re-owned through the
+//!   count exchange at a different `np`) so correction starts without
+//!   rebuilding — build once, correct many;
 //! * [`report`] — per-rank and aggregate run reports.
 //!
 //! The corrector itself is [`reptile`]'s — both engines implement
@@ -47,14 +52,19 @@ pub mod owner;
 pub mod prior_art;
 pub mod protocol;
 pub mod report;
+pub mod snapshot;
 pub mod spectrum;
 
 pub use engine::{
-    engine_by_name, ConfigError, Engine, EngineConfig, EngineConfigBuilder, RunOutput,
+    engine_by_name, ConfigError, Engine, EngineConfig, EngineConfigBuilder, EngineError, RunOutput,
     ThreadedEngine, VirtualEngine,
 };
-pub use engine_mt::{default_build_threads, run_distributed, run_distributed_files};
-pub use engine_virtual::run_virtual;
+pub use engine_mt::{
+    default_build_threads, run_distributed, run_distributed_files, try_run_distributed,
+    try_run_distributed_files,
+};
+pub use engine_virtual::{run_virtual, try_run_virtual};
 pub use heuristics::HeuristicConfig;
 pub use prior_art::{run_prior_art, run_prior_art_virtual, PriorArtConfig};
 pub use report::{LookupStats, RankReport, RunReport};
+pub use snapshot::{LoadedSpectra, SerialLoad};

@@ -158,6 +158,7 @@ pub fn run_prior_art(cfg: &PriorArtConfig, reads: &[Read]) -> crate::RunOutput {
             comm_secs: 0.0,
             memory_bytes: cost
                 .rank_memory_bytes(spectra.kmers.len() as u64, spectra.tiles.len() as u64),
+            ..Default::default()
         };
         (corrected, report)
     });
@@ -263,6 +264,7 @@ pub fn run_prior_art_virtual(
             comm_secs: 0.0,
             memory_bytes: cost
                 .rank_memory_bytes((full_k as f64 * scale) as u64, (full_t as f64 * scale) as u64),
+            ..Default::default()
         })
         .collect();
     RunReport { ranks, topology: cfg.topology, cost: *cost }

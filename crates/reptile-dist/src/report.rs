@@ -5,7 +5,7 @@
 //! per-rank lookup/traffic counts, errors corrected, memory footprints.
 
 use crate::spectrum::BuildStats;
-use mpisim::{CostModel, Topology};
+use mpisim::{CostModel, Topology, TraceLog};
 use reptile::CorrectionStats;
 
 /// Counters from one rank's correction phase.
@@ -126,6 +126,20 @@ pub struct RankReport {
     /// the same flat-table geometry per entry count in the virtual
     /// engine. `build.table_bytes` carries the table-only portion.
     pub memory_bytes: f64,
+    /// Snapshot bytes this rank read (`load_spectrum` runs; 0 otherwise).
+    pub snapshot_bytes_read: u64,
+    /// Snapshot bytes this rank wrote (`save_spectrum` runs; rank 0's
+    /// figure includes the manifest).
+    pub snapshot_bytes_written: u64,
+    /// Wall (threaded) / modeled (virtual) seconds spent loading the
+    /// snapshot — the number to hold against `construct_secs` of a fresh
+    /// build when deciding whether build-once / correct-many pays off.
+    pub snapshot_load_secs: f64,
+    /// Seconds spent saving the snapshot.
+    pub snapshot_save_secs: f64,
+    /// Phase-span trace (`snapshot-save` / `snapshot-load` brackets);
+    /// recorded only on snapshotting runs, `None` otherwise.
+    pub trace: Option<TraceLog>,
 }
 
 impl RankReport {
@@ -238,6 +252,28 @@ impl RunReport {
     pub fn efficiency_vs(&self, reference: &RunReport, np_ref: usize, np_this: usize) -> f64 {
         (reference.makespan_secs() * np_ref as f64) / (self.makespan_secs() * np_this as f64)
     }
+
+    /// Total snapshot bytes read across ranks (0 on non-snapshot runs).
+    pub fn snapshot_bytes_read(&self) -> u64 {
+        self.ranks.iter().map(|r| r.snapshot_bytes_read).sum()
+    }
+
+    /// Total snapshot bytes written across ranks (rank 0 includes the
+    /// manifest).
+    pub fn snapshot_bytes_written(&self) -> u64 {
+        self.ranks.iter().map(|r| r.snapshot_bytes_written).sum()
+    }
+
+    /// Slowest rank's snapshot load time — the barriered-phase cost a
+    /// loaded run pays instead of `construct_secs`.
+    pub fn snapshot_load_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.snapshot_load_secs).fold(0.0, f64::max)
+    }
+
+    /// Slowest rank's snapshot save time.
+    pub fn snapshot_save_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.snapshot_save_secs).fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +373,24 @@ mod tests {
         assert_eq!(a.requests_retried, 4);
         assert_eq!(a.deadline_misses, 5);
         assert_eq!(a.keys_degraded, 6);
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let mut a = rank(0.0, 0.0, 0.0);
+        a.snapshot_bytes_read = 100;
+        a.snapshot_bytes_written = 300;
+        a.snapshot_load_secs = 0.5;
+        a.snapshot_save_secs = 0.1;
+        let mut b = rank(0.0, 0.0, 0.0);
+        b.snapshot_bytes_read = 50;
+        b.snapshot_load_secs = 0.2;
+        let r = run(vec![a, b]);
+        assert_eq!(r.snapshot_bytes_read(), 150);
+        assert_eq!(r.snapshot_bytes_written(), 300);
+        assert_eq!(r.snapshot_load_secs(), 0.5);
+        assert_eq!(r.snapshot_save_secs(), 0.1);
+        assert!(r.ranks[0].trace.is_none());
     }
 
     #[test]

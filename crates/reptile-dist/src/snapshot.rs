@@ -1,0 +1,583 @@
+//! Persistent sharded spectrum snapshots — the build-once / correct-many
+//! bridge between runs.
+//!
+//! Steps II–III dominate a correction run's wall time, yet their output —
+//! the pruned, owner-partitioned k-mer and tile spectra — depends only on
+//! the input dataset and the Reptile parameters. This module persists
+//! that output as a [`specstore`] snapshot directory (one shard per
+//! `(rank, table-kind)` plus a manifest) and loads it back:
+//!
+//! * **Same `np`** — each rank reads exactly its own two shards and
+//!   adopts the slot arrays verbatim (mapped storage, no rehash): the
+//!   tables probe identically to the freshly built ones.
+//! * **Different `np`** — new rank `r` loads the shards of every old
+//!   rank `o` with `o % np == r` and streams the entries through the
+//!   build's own count exchange ([`exchange_counts`]), which re-owns
+//!   every key under the new [`OwnerMap`]. Counts are already global and
+//!   pruned, and shard key sets are disjoint, so the merged result is
+//!   exactly what a fresh build at the new `np` owns.
+//!
+//! **Failure protocol.** All file I/O happens *before* any collective,
+//! then every rank joins an allgather of its error flag. A rank that
+//! failed returns its own typed [`SnapshotError`]; its peers return
+//! [`SnapshotError::PeerFailure`]. No rank can be left behind in a
+//! collective, and no rank ever sees garbage — every corruption class is
+//! detected and typed before a table is adopted.
+
+use crate::owner::OwnerMap;
+use crate::spectrum::{exchange_counts, BuildStats};
+use mpisim::Comm;
+use reptile::spectrum::{KmerSpectrum, Normalized, TileSpectrum};
+use reptile::{FlatKmerTable, FlatTileTable, ReptileParams};
+use specstore::{
+    read_kmer_shard, read_tile_shard, shard_file_name, truncate_file, write_kmer_shard,
+    write_tile_shard, ConfigFingerprint, LoadedShard, Manifest, ShardKind, ShardRecord,
+    SnapshotError,
+};
+use std::path::Path;
+
+/// One rank's loaded owned spectra, plus the I/O accounting the reports
+/// carry.
+#[derive(Debug)]
+pub struct LoadedSpectra {
+    /// Owned k-mers with global counts (pruned) — mapped storage on a
+    /// same-`np` load, rebuilt through the exchange on a re-shard.
+    pub kmers: KmerSpectrum,
+    /// Owned tiles, same provenance.
+    pub tiles: TileSpectrum,
+    /// Shard bytes (headers included) this rank read.
+    pub bytes_read: u64,
+    /// Whether the snapshot was built at a different `np` and went
+    /// through the re-owning exchange.
+    pub resharded: bool,
+}
+
+/// A whole snapshot loaded by one process (the virtual engine): the
+/// merged global spectra plus the per-*new*-rank byte attribution the
+/// cost model charges.
+#[derive(Debug)]
+pub struct SerialLoad {
+    /// Union of every shard's entries (the global pruned spectra).
+    pub kmers: KmerSpectrum,
+    /// Tile twin.
+    pub tiles: TileSpectrum,
+    /// Bytes new rank `r` would read: its own shards at matching `np`,
+    /// its `o % np == r` shard group otherwise. Indexed by new rank.
+    pub per_rank_bytes: Vec<u64>,
+    /// Whether the snapshot `np` differs from the requested one.
+    pub resharded: bool,
+}
+
+/// Allgather everyone's error flag; returns how many ranks failed. This
+/// is the first collective of every snapshot operation — it runs before
+/// any rank acts on its local I/O result, so a failure anywhere aborts
+/// all ranks together instead of deadlocking the survivors in a later
+/// collective.
+fn gather_failures(comm: &Comm, my_failure: bool) -> u64 {
+    comm.allgatherv(vec![my_failure as u64])
+        .iter()
+        .map(|flags| flags.first().copied().unwrap_or(0))
+        .sum()
+}
+
+/// Resolve one rank's outcome against the group's: propagate the local
+/// error if there is one, blame the peers otherwise.
+fn resolve<T>(local: Result<T, SnapshotError>, failed_ranks: u64) -> Result<T, SnapshotError> {
+    match local {
+        Err(e) => Err(e),
+        Ok(_) if failed_ranks > 0 => Err(SnapshotError::PeerFailure { failed_ranks }),
+        Ok(v) => Ok(v),
+    }
+}
+
+/// Write one rank's two shards into `dir`; returns the records.
+fn write_rank_shards(
+    dir: &Path,
+    fp: &ConfigFingerprint,
+    rank: usize,
+    np: usize,
+    kmers: &KmerSpectrum,
+    tiles: &TileSpectrum,
+) -> Result<(ShardRecord, ShardRecord), SnapshotError> {
+    std::fs::create_dir_all(dir).map_err(|e| SnapshotError::io(dir, e))?;
+    let kr = write_kmer_shard(
+        &dir.join(shard_file_name(rank, ShardKind::Kmer)),
+        fp,
+        rank,
+        np,
+        kmers.table(),
+    )?;
+    let tr = write_tile_shard(
+        &dir.join(shard_file_name(rank, ShardKind::Tile)),
+        fp,
+        rank,
+        np,
+        tiles.table(),
+    )?;
+    Ok((kr, tr))
+}
+
+/// Save this rank's owned spectra into the snapshot directory; rank 0
+/// additionally gathers every rank's shard records over the wire and
+/// writes the manifest. Returns the bytes this rank wrote (rank 0's
+/// total includes the manifest). Collective: every rank must call it
+/// together.
+pub fn save_snapshot(
+    comm: &Comm,
+    dir: &Path,
+    params: &ReptileParams,
+    kmers: &KmerSpectrum,
+    tiles: &TileSpectrum,
+) -> Result<u64, SnapshotError> {
+    let me = comm.rank();
+    let np = comm.size();
+    let fp = ConfigFingerprint::for_params(params);
+    let local = write_rank_shards(dir, &fp, me, np, kmers, tiles);
+    let failed = gather_failures(comm, local.is_err());
+    let (kr, tr) = resolve(local, failed)?;
+    // Shard records cross the wire as fixed tuples (file names are
+    // derivable from rank and kind), so the manifest lists every rank's
+    // true byte counts and checksums, not recomputed guesses.
+    let wire = vec![
+        (me as u64, ShardKind::Kmer.code() as u64, kr.bytes, kr.checksum),
+        (me as u64, ShardKind::Tile.code() as u64, tr.bytes, tr.checksum),
+    ];
+    let gathered = comm.allgatherv(wire);
+    let manifest_result =
+        if me == 0 { records_to_manifest(np, fp, gathered).write(dir) } else { Ok(0) };
+    let failed = gather_failures(comm, manifest_result.is_err());
+    let manifest_bytes = resolve(manifest_result, failed)?;
+    Ok(kr.bytes + tr.bytes + manifest_bytes)
+}
+
+/// Turn the allgathered `(rank, kind, bytes, checksum)` tuples into a
+/// manifest with shards in `(rank, kind)` order.
+fn records_to_manifest(
+    np: usize,
+    fingerprint: ConfigFingerprint,
+    gathered: Vec<Vec<(u64, u64, u64, u64)>>,
+) -> Manifest {
+    let mut shards: Vec<ShardRecord> = gathered
+        .into_iter()
+        .flatten()
+        .map(|(rank, kind_code, bytes, checksum)| {
+            let kind = ShardKind::from_code(kind_code as u32).expect("rank sent a valid kind");
+            ShardRecord {
+                rank: rank as usize,
+                kind,
+                file_name: shard_file_name(rank as usize, kind),
+                bytes,
+                checksum,
+            }
+        })
+        .collect();
+    shards.sort_by_key(|s| (s.rank, s.kind.code()));
+    Manifest { np, fingerprint, shards }
+}
+
+/// The old ranks whose shards new rank `me` is responsible for: its own
+/// at matching `np`, the `o % np == me` group otherwise. Every shard is
+/// read exactly once across the new ranks, and the assignment needs no
+/// communication to agree on.
+fn shard_group(old_np: usize, np: usize, me: usize) -> Vec<usize> {
+    if old_np == np {
+        vec![me]
+    } else {
+        (0..old_np).filter(|o| o % np == me).collect()
+    }
+}
+
+/// Read and fully validate one old rank's shard pair, cross-checking
+/// the manifest's inventory (byte count, placement) against the shard
+/// headers actually on disk.
+fn read_shard_pair(
+    dir: &Path,
+    manifest: &Manifest,
+    expect: &ConfigFingerprint,
+    old_rank: usize,
+    old_np: usize,
+) -> Result<(LoadedShard<FlatKmerTable>, LoadedShard<FlatTileTable>), SnapshotError> {
+    let krec = manifest.shard(old_rank, ShardKind::Kmer).expect("parser enforces coverage");
+    let trec = manifest.shard(old_rank, ShardKind::Tile).expect("parser enforces coverage");
+    let k = read_kmer_shard(&dir.join(&krec.file_name), expect)?;
+    let t = read_tile_shard(&dir.join(&trec.file_name), expect)?;
+    for (loaded_rank, loaded_np, rec, read_bytes) in
+        [(k.rank, k.np, krec, k.bytes_read), (t.rank, t.np, trec, t.bytes_read)]
+    {
+        if loaded_rank != old_rank || loaded_np != old_np {
+            return Err(SnapshotError::InvalidTable {
+                path: dir.join(&rec.file_name),
+                reason: format!(
+                    "shard claims rank {loaded_rank} of {loaded_np}, manifest places it at \
+                     rank {old_rank} of {old_np}"
+                ),
+            });
+        }
+        if read_bytes != rec.bytes {
+            return Err(SnapshotError::InvalidTable {
+                path: dir.join(&rec.file_name),
+                reason: format!("manifest lists {} bytes, shard holds {read_bytes}", rec.bytes),
+            });
+        }
+    }
+    Ok((k, t))
+}
+
+/// Merge a loaded shard pair into staging spectra. Key sets are disjoint
+/// across shards of one snapshot, so this is a pure union.
+fn merge_pair(
+    params: &ReptileParams,
+    k: LoadedShard<FlatKmerTable>,
+    t: LoadedShard<FlatTileTable>,
+    into_k: &mut KmerSpectrum,
+    into_t: &mut TileSpectrum,
+) {
+    let ks = KmerSpectrum::from_table(params.kmer_codec(), params.canonical, k.table);
+    into_k.reserve(ks.len());
+    for (code, count) in ks.iter() {
+        into_k.add_count(Normalized::assume(code), count);
+    }
+    let ts = TileSpectrum::from_table(params.tile_codec(), params.canonical, t.table);
+    into_t.reserve(ts.len());
+    for (code, count) in ts.iter() {
+        into_t.add_count(Normalized::assume(code), count);
+    }
+}
+
+/// Load this rank's owned spectra from a snapshot directory. `chop`,
+/// when set, truncates the first k-mer shard in this rank's group to
+/// that many bytes before reading — the deterministic
+/// snapshot-corruption fault injection (surfaces as a typed
+/// [`SnapshotError::Truncated`]). Collective: every rank must call it
+/// together (the re-shard path runs an exchange, and even the same-`np`
+/// path joins the failure allgather).
+pub fn load_snapshot(
+    comm: &Comm,
+    dir: &Path,
+    params: &ReptileParams,
+    chop: Option<u64>,
+) -> Result<LoadedSpectra, SnapshotError> {
+    let me = comm.rank();
+    let np = comm.size();
+    let expect = ConfigFingerprint::for_params(params);
+    // All local I/O first; the group decides success together below.
+    let local: Result<(Vec<_>, usize), SnapshotError> = (|| {
+        let manifest = Manifest::read(dir)?;
+        manifest.check_fingerprint(&expect, dir)?;
+        let old_np = manifest.np;
+        let mut loaded = Vec::new();
+        for (i, old_rank) in shard_group(old_np, np, me).into_iter().enumerate() {
+            if i == 0 {
+                if let Some(keep) = chop {
+                    truncate_file(&dir.join(shard_file_name(old_rank, ShardKind::Kmer)), keep)?;
+                }
+            }
+            loaded.push(read_shard_pair(dir, &manifest, &expect, old_rank, old_np)?);
+        }
+        Ok((loaded, old_np))
+    })();
+    let failed = gather_failures(comm, local.is_err());
+    let (loaded, old_np) = resolve(local, failed)?;
+    let bytes_read: u64 = loaded.iter().map(|(k, t)| k.bytes_read + t.bytes_read).sum();
+
+    if old_np == np {
+        let (k, t) = loaded.into_iter().next().expect("same-np group is exactly [me]");
+        return Ok(LoadedSpectra {
+            kmers: KmerSpectrum::from_table(params.kmer_codec(), params.canonical, k.table),
+            tiles: TileSpectrum::from_table(params.tile_codec(), params.canonical, t.table),
+            bytes_read,
+            resharded: false,
+        });
+    }
+
+    // Re-shard: union this rank's shard group locally, then re-own the
+    // entries through the build's count exchange. No prune afterwards —
+    // the snapshot was pruned at save time and counts are final.
+    let owners = OwnerMap::new(np, params);
+    let mut staged_k = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+    let mut staged_t = TileSpectrum::new(params.tile_codec(), params.canonical);
+    for (k, t) in loaded {
+        merge_pair(params, k, t, &mut staged_k, &mut staged_t);
+    }
+    let mut kmers = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+    let mut tiles = TileSpectrum::new(params.tile_codec(), params.canonical);
+    let mut stats = BuildStats::default();
+    exchange_counts(comm, &owners, staged_k, staged_t, &mut kmers, &mut tiles, &mut stats);
+    Ok(LoadedSpectra { kmers, tiles, bytes_read, resharded: true })
+}
+
+/// Single-process snapshot save (the virtual engine): bucket the global
+/// spectra by owner, write every rank's shards and the manifest, and
+/// return the bytes attributable to each rank (rank 0 carries the
+/// manifest bytes, as in the distributed protocol).
+pub fn save_snapshot_serial(
+    dir: &Path,
+    params: &ReptileParams,
+    np: usize,
+    kmers: &KmerSpectrum,
+    tiles: &TileSpectrum,
+) -> Result<Vec<u64>, SnapshotError> {
+    let fp = ConfigFingerprint::for_params(params);
+    let owners = OwnerMap::new(np, params);
+    // Counting pass so every per-rank table is sized exactly once.
+    let mut kmer_sizes = vec![0usize; np];
+    for (code, _) in kmers.iter() {
+        kmer_sizes[owners.kmer_owner_at(Normalized::assume(code))] += 1;
+    }
+    let mut tile_sizes = vec![0usize; np];
+    for (code, _) in tiles.iter() {
+        tile_sizes[owners.tile_owner_at(Normalized::assume(code))] += 1;
+    }
+    let mut rank_kmers: Vec<KmerSpectrum> = kmer_sizes
+        .into_iter()
+        .map(|n| {
+            let mut s = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+            s.reserve(n);
+            s
+        })
+        .collect();
+    let mut rank_tiles: Vec<TileSpectrum> = tile_sizes
+        .into_iter()
+        .map(|n| {
+            let mut s = TileSpectrum::new(params.tile_codec(), params.canonical);
+            s.reserve(n);
+            s
+        })
+        .collect();
+    for (code, count) in kmers.iter() {
+        let key = Normalized::assume(code);
+        rank_kmers[owners.kmer_owner_at(key)].add_count(key, count);
+    }
+    for (code, count) in tiles.iter() {
+        let key = Normalized::assume(code);
+        rank_tiles[owners.tile_owner_at(key)].add_count(key, count);
+    }
+    let mut per_rank = vec![0u64; np];
+    let mut shards = Vec::with_capacity(2 * np);
+    for rank in 0..np {
+        let (kr, tr) = write_rank_shards(dir, &fp, rank, np, &rank_kmers[rank], &rank_tiles[rank])?;
+        per_rank[rank] = kr.bytes + tr.bytes;
+        shards.push(kr);
+        shards.push(tr);
+    }
+    let manifest = Manifest { np, fingerprint: fp, shards };
+    per_rank[0] += manifest.write(dir)?;
+    Ok(per_rank)
+}
+
+/// Single-process snapshot load (the virtual engine): read every shard,
+/// merge into global spectra, and attribute the bytes each *new* rank
+/// would have read. `chop` is `(rank, keep_bytes)` — the fault layer's
+/// snapshot truncation, applied to the first k-mer shard in that new
+/// rank's group.
+pub fn load_snapshot_serial(
+    dir: &Path,
+    params: &ReptileParams,
+    np: usize,
+    chop: Option<(usize, u64)>,
+) -> Result<SerialLoad, SnapshotError> {
+    let expect = ConfigFingerprint::for_params(params);
+    let manifest = Manifest::read(dir)?;
+    manifest.check_fingerprint(&expect, dir)?;
+    let old_np = manifest.np;
+    let mut kmers = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+    let mut tiles = TileSpectrum::new(params.tile_codec(), params.canonical);
+    let mut per_rank_bytes = vec![0u64; np];
+    for (me, rank_bytes) in per_rank_bytes.iter_mut().enumerate() {
+        for (i, old_rank) in shard_group(old_np, np, me).into_iter().enumerate() {
+            if i == 0 {
+                if let Some((chop_rank, keep)) = chop {
+                    if chop_rank == me {
+                        truncate_file(&dir.join(shard_file_name(old_rank, ShardKind::Kmer)), keep)?;
+                    }
+                }
+            }
+            let (k, t) = read_shard_pair(dir, &manifest, &expect, old_rank, old_np)?;
+            *rank_bytes += k.bytes_read + t.bytes_read;
+            merge_pair(params, k, t, &mut kmers, &mut tiles);
+        }
+    }
+    Ok(SerialLoad { kmers, tiles, per_rank_bytes, resharded: old_np != np })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristics::HeuristicConfig;
+    use crate::spectrum::{build_distributed, RankTables};
+    use mpisim::Universe;
+    use reptile::spectrum::LocalSpectra;
+
+    fn params() -> ReptileParams {
+        ReptileParams { k: 5, tile_overlap: 2, ..ReptileParams::for_tests() }
+    }
+
+    fn make_reads(n: usize) -> Vec<dnaseq::Read> {
+        let mut reads = Vec::new();
+        for i in 0..n {
+            let template = i / 3;
+            let seed = dnaseq::mix64(template as u64 + 1);
+            let seq: Vec<u8> = (0..20)
+                .map(|j| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ (j as u64)) % 4) as usize])
+                .collect();
+            reads.push(dnaseq::Read::new(i as u64 + 1, seq, vec![30; 20]));
+        }
+        reads
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("reptile-snap-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build_and_save(comm: &Comm, reads: &[dnaseq::Read], dir: &Path) -> RankTables {
+        let np = comm.size();
+        let mine: Vec<_> = reads
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % np == comm.rank())
+            .map(|(_, r)| r.clone())
+            .collect();
+        let (tables, _) =
+            build_distributed(comm, &mine, 1000, &params(), &HeuristicConfig::base(), 1);
+        save_snapshot(comm, dir, &params(), &tables.hash_kmers, &tables.hash_tiles).expect("save");
+        tables
+    }
+
+    /// Build at np, save, reload at the same np: every rank's tables are
+    /// entry-identical and byte-accurately accounted.
+    #[test]
+    fn save_and_load_same_np_roundtrip() {
+        let reads = make_reads(40);
+        let reads_ref = &reads;
+        let dir = tmpdir("same-np");
+        let dir_ref = &dir;
+        let np = 3;
+        let built = Universe::new(np).run(move |comm| build_and_save(comm, reads_ref, dir_ref));
+        let loaded = Universe::new(np)
+            .run(move |comm| load_snapshot(comm, dir_ref, &params(), None).expect("load"));
+        for (tables, l) in built.iter().zip(&loaded) {
+            assert!(!l.resharded);
+            assert!(l.bytes_read > 0);
+            let mut a: Vec<_> = tables.hash_kmers.iter().collect();
+            let mut b: Vec<_> = l.kmers.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "kmer tables must roundtrip");
+            assert_eq!(tables.hash_kmers.memory_bytes(), l.kmers.memory_bytes());
+            let mut at: Vec<_> = tables.hash_tiles.iter().collect();
+            let mut bt: Vec<_> = l.tiles.iter().collect();
+            at.sort_unstable();
+            bt.sort_unstable();
+            assert_eq!(at, bt, "tile tables must roundtrip");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Save at np=4, load at np=3: the union of re-sharded tables equals
+    /// the sequential spectrum, every key at its new owner.
+    #[test]
+    fn reshard_load_matches_fresh_ownership() {
+        let p = params();
+        let reads = make_reads(40);
+        let seq = LocalSpectra::build(&reads, &p);
+        let reads_ref = &reads;
+        let dir = tmpdir("reshard");
+        let dir_ref = &dir;
+        Universe::new(4).run(move |comm| {
+            build_and_save(comm, reads_ref, dir_ref);
+        });
+        let new_np = 3;
+        let loaded = Universe::new(new_np)
+            .run(move |comm| load_snapshot(comm, dir_ref, &params(), None).expect("reshard"));
+        let owners = OwnerMap::new(new_np, &p);
+        let mut union: Vec<(u64, u32)> = Vec::new();
+        for (rank, l) in loaded.iter().enumerate() {
+            assert!(l.resharded);
+            for (code, count) in l.kmers.iter() {
+                assert_eq!(
+                    owners.kmer_owner_at(Normalized::assume(code)),
+                    rank,
+                    "key at wrong owner after reshard"
+                );
+                union.push((code, count));
+            }
+        }
+        union.sort_unstable();
+        let mut expect: Vec<(u64, u32)> = seq.kmers.iter().collect();
+        expect.sort_unstable();
+        assert_eq!(union, expect, "resharded union must equal the sequential spectrum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A chopped shard surfaces as Truncated on the chopped rank and
+    /// PeerFailure everywhere else — nobody deadlocks.
+    #[test]
+    fn chop_faults_are_typed_on_every_rank() {
+        let reads = make_reads(30);
+        let reads_ref = &reads;
+        let dir = tmpdir("chop");
+        let dir_ref = &dir;
+        let np = 3;
+        Universe::new(np).run(move |comm| {
+            build_and_save(comm, reads_ref, dir_ref);
+        });
+        let results = Universe::new(np).run(move |comm| {
+            let chop = (comm.rank() == 1).then_some(40u64);
+            load_snapshot(comm, dir_ref, &params(), chop)
+        });
+        assert!(matches!(results[1], Err(SnapshotError::Truncated { .. })), "{:?}", results[1]);
+        for rank in [0, 2] {
+            match &results[rank] {
+                Err(SnapshotError::PeerFailure { failed_ranks: 1 }) => {}
+                other => panic!("rank {rank}: expected PeerFailure, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Serial save + serial load roundtrip, including the re-shard byte
+    /// attribution.
+    #[test]
+    fn serial_roundtrip_and_byte_attribution() {
+        let p = params();
+        let reads = make_reads(40);
+        let spectra = LocalSpectra::build(&reads, &p);
+        let dir = tmpdir("serial");
+        let per_rank =
+            save_snapshot_serial(&dir, &p, 4, &spectra.kmers, &spectra.tiles).expect("save");
+        assert_eq!(per_rank.len(), 4);
+        assert!(per_rank.iter().all(|&b| b > 0));
+        // same np
+        let same = load_snapshot_serial(&dir, &p, 4, None).expect("serial load");
+        assert!(!same.resharded);
+        assert_eq!(same.kmers.len(), spectra.kmers.len());
+        for (code, count) in spectra.kmers.iter() {
+            assert_eq!(same.kmers.count(code), count);
+        }
+        // reshard: every shard's bytes attributed exactly once
+        let re = load_snapshot_serial(&dir, &p, 3, None).expect("serial reshard");
+        assert!(re.resharded);
+        assert_eq!(re.kmers.len(), spectra.kmers.len());
+        let manifest_bytes = std::fs::metadata(Manifest::path_in(&dir)).unwrap().len();
+        let shard_total: u64 = per_rank.iter().sum::<u64>() - manifest_bytes;
+        assert_eq!(re.per_rank_bytes.iter().sum::<u64>(), shard_total);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Loading with different parameters is a typed fingerprint
+    /// mismatch, not garbage.
+    #[test]
+    fn serial_load_rejects_wrong_params() {
+        let p = params();
+        let reads = make_reads(20);
+        let spectra = LocalSpectra::build(&reads, &p);
+        let dir = tmpdir("wrong-params");
+        save_snapshot_serial(&dir, &p, 2, &spectra.kmers, &spectra.tiles).expect("save");
+        let other = ReptileParams { k: 7, tile_overlap: 3, ..ReptileParams::for_tests() };
+        let err = load_snapshot_serial(&dir, &other, 2, None).unwrap_err();
+        assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }), "{err:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -557,8 +557,11 @@ fn drain_exchange(
 }
 
 /// The Step III exchange: ship `reads_*` entries to their owners and merge
-/// into the owners' hash tables (blocking, serial reference path).
-fn exchange_counts(
+/// into the owners' hash tables (blocking, serial reference path). Also
+/// reused verbatim by the snapshot re-shard load: entries from an
+/// old-`np` snapshot are disjoint across shards, so routing them through
+/// this exchange re-owns every key with its exact global count.
+pub(crate) fn exchange_counts(
     comm: &Comm,
     owners: &OwnerMap,
     reads_kmers: KmerSpectrum,
@@ -669,8 +672,7 @@ fn exchange_counts_overlapped(
 }
 
 /// Everything after the count exchange, shared by both build paths:
-/// threshold prune, keep_read_tables resolution, replication / partial
-/// replication, and the final stats.
+/// threshold prune, then the heuristic-table derivation.
 #[allow(clippy::too_many_arguments)]
 fn finish_build(
     comm: &Comm,
@@ -681,11 +683,34 @@ fn finish_build(
     mut hash_tiles: TileSpectrum,
     kmer_keys: Vec<u64>,
     tile_keys: Vec<u128>,
-    mut stats: BuildStats,
+    stats: BuildStats,
 ) -> (RankTables, BuildStats) {
     // Threshold prune at the owner (Step III).
     hash_kmers.prune(params.kmer_threshold);
     hash_tiles.prune(params.tile_threshold);
+    derive_heuristic_tables(
+        comm, owners, params, heur, hash_kmers, hash_tiles, kmer_keys, tile_keys, stats,
+    )
+}
+
+/// The collective tail of construction: keep_read_tables resolution,
+/// replication / partial replication, and the final stats. Split from
+/// [`finish_build`] so the snapshot load path — whose owned tables come
+/// off disk already pruned — can derive the heuristic tables without
+/// repeating Steps II–III. Every rank must call this together: it runs
+/// alltoallv/allgatherv rounds for the heuristics that need them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn derive_heuristic_tables(
+    comm: &Comm,
+    owners: OwnerMap,
+    params: &ReptileParams,
+    heur: &HeuristicConfig,
+    hash_kmers: KmerSpectrum,
+    hash_tiles: TileSpectrum,
+    kmer_keys: Vec<u64>,
+    tile_keys: Vec<u128>,
+    mut stats: BuildStats,
+) -> (RankTables, BuildStats) {
     stats.owned_kmers = hash_kmers.len() as u64;
     stats.owned_tiles = hash_tiles.len() as u64;
 
@@ -860,6 +885,39 @@ fn resolve_read_tables(
     let mut rt = TileSpectrum::new(params.tile_codec(), params.canonical);
     merge_gathered_parts(&mut rt, comm.alltoallv(answers_t), |_| true);
     (rk, rt)
+}
+
+/// One local pass over `reads` collecting the distinct non-owned
+/// normalized keys — what the build path's reads tables would have held.
+/// The snapshot load path needs these for `keep_read_tables` (the build
+/// that would have recorded them was skipped), and a plain scan is far
+/// cheaper than replaying the count exchange: counts are already global
+/// in the loaded tables, only the key *sets* are missing.
+pub(crate) fn scan_nonowned_keys(
+    reads: &[Read],
+    params: &ReptileParams,
+    owners: &OwnerMap,
+    me: usize,
+) -> (Vec<u64>, Vec<u128>) {
+    let kcodec = params.kmer_codec();
+    let tcodec = params.tile_codec();
+    let mut kmers: dnaseq::FxHashSet<u64> = dnaseq::FxHashSet::default();
+    let mut tiles: dnaseq::FxHashSet<u128> = dnaseq::FxHashSet::default();
+    for read in reads {
+        for (_, code) in kcodec.kmers_of(&read.seq) {
+            let key = owners.kmer_key(code);
+            if owners.kmer_owner_at(key) != me {
+                kmers.insert(key.key());
+            }
+        }
+        for (_, code) in tcodec.tiles_of(&read.seq) {
+            let key = owners.tile_key(code);
+            if owners.tile_owner_at(key) != me {
+                tiles.insert(key.key());
+            }
+        }
+    }
+    (kmers.into_iter().collect(), tiles.into_iter().collect())
 }
 
 impl RankTables {

@@ -39,6 +39,8 @@
 //!   predicts it from an entry count alone, which is what lets the
 //!   virtual engine model per-table bytes without building tables.
 
+use std::sync::Arc;
+
 /// Reserved empty-slot marker for 64-bit keys.
 const EMPTY_U64: u64 = u64::MAX;
 /// Smallest allocated capacity (power of two).
@@ -69,6 +71,75 @@ fn fold_tile(lo: u64, hi: u64) -> u64 {
     lo ^ hi.wrapping_mul(0xA24B_AED4_963E_E407)
 }
 
+/// Fingerprint of the probe-function family: the Fibonacci multiplier of
+/// [`probe_start`] folded with the tile-key mixing constant of
+/// [`fold_tile`]. Slot arrays dumped to disk are only probe-ready again
+/// if the loading build uses the *same* probe functions, so snapshot
+/// headers record this value and reject a mismatch instead of returning
+/// garbage lookups. Changing either constant changes the seed and
+/// invalidates old snapshots, which is exactly the point.
+pub const HASH_SEED: u64 = 0x9E37_79B9_7F4A_7C15 ^ 0xA24B_AED4_963E_E407;
+
+/// Slot-array backing: owned and mutable, or a shared slab adopted from a
+/// loaded snapshot. The mapped form is the borrowed half of the Cow-style
+/// split — probes read it in place (no rehash, no per-slot copy into a
+/// fresh allocation), and the first mutation copies it into owned storage.
+#[derive(Clone, Debug)]
+enum Slab<T: Copy> {
+    /// Private, growable storage (every table built in memory).
+    Owned(Vec<T>),
+    /// Shared immutable slab (snapshot-loaded tables; possibly aliased by
+    /// other tables of the same snapshot).
+    Mapped(Arc<[T]>),
+}
+
+impl<T: Copy> Slab<T> {
+    fn owned(v: Vec<T>) -> Slab<T> {
+        Slab::Owned(v)
+    }
+
+    fn is_mapped(&self) -> bool {
+        matches!(self, Slab::Mapped(_))
+    }
+
+    fn into_vec(self) -> Vec<T> {
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Mapped(a) => a.to_vec(),
+        }
+    }
+}
+
+impl<T: Copy> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::Owned(Vec::new())
+    }
+}
+
+impl<T: Copy> std::ops::Deref for Slab<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Mapped(a) => a,
+        }
+    }
+}
+
+impl<T: Copy> std::ops::DerefMut for Slab<T> {
+    /// Copy-on-write: mutable access to a mapped slab detaches it into
+    /// owned storage first.
+    fn deref_mut(&mut self) -> &mut [T] {
+        if let Slab::Mapped(a) = self {
+            *self = Slab::Owned(a.to_vec());
+        }
+        match self {
+            Slab::Owned(v) => v,
+            Slab::Mapped(_) => unreachable!("mapped slab detached above"),
+        }
+    }
+}
+
 /// Smallest power-of-two capacity holding `n` entries at load
 /// `num/den`, or 0 for an empty table.
 fn capacity_for(n: usize, num: usize, den: usize) -> usize {
@@ -84,9 +155,9 @@ fn capacity_for(n: usize, num: usize, den: usize) -> usize {
 pub struct FlatKmerTable {
     /// Slot keys; `EMPTY_U64` marks a vacant slot. Length is the
     /// capacity (a power of two) or 0 before the first insert.
-    keys: Vec<u64>,
+    keys: Slab<u64>,
     /// Slot counts, parallel to `keys`.
-    counts: Vec<u32>,
+    counts: Slab<u32>,
     /// Occupied slots (excludes the sentinel key).
     len: usize,
     /// `capacity - 1`; 0 when unallocated.
@@ -115,8 +186,8 @@ impl FlatKmerTable {
     pub fn with_max_load(num: usize, den: usize) -> FlatKmerTable {
         assert!(num > 0 && num < den, "load factor must be in (0, 1)");
         FlatKmerTable {
-            keys: Vec::new(),
-            counts: Vec::new(),
+            keys: Slab::default(),
+            counts: Slab::default(),
             len: 0,
             mask: 0,
             sentinel_count: None,
@@ -257,11 +328,11 @@ impl FlatKmerTable {
         debug_assert!(
             new_cap.is_power_of_two() && new_cap * self.load_num >= self.len * self.load_den
         );
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_U64; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, Slab::owned(vec![EMPTY_U64; new_cap]));
         let old_counts = std::mem::take(&mut self.counts);
-        self.counts = vec![0; new_cap];
+        self.counts = Slab::owned(vec![0; new_cap]);
         self.mask = new_cap - 1;
-        for (key, count) in old_keys.into_iter().zip(old_counts) {
+        for (key, count) in old_keys.into_vec().into_iter().zip(old_counts.into_vec()) {
             if key == EMPTY_U64 {
                 continue;
             }
@@ -282,16 +353,16 @@ impl FlatKmerTable {
         let survivors = self
             .keys
             .iter()
-            .zip(&self.counts)
+            .zip(self.counts.iter())
             .filter(|&(&k, &c)| k != EMPTY_U64 && c >= threshold)
             .count();
         let new_cap = capacity_for(survivors, self.load_num, self.load_den);
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY_U64; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, Slab::owned(vec![EMPTY_U64; new_cap]));
         let old_counts = std::mem::take(&mut self.counts);
-        self.counts = vec![0; new_cap];
+        self.counts = Slab::owned(vec![0; new_cap]);
         self.mask = new_cap.saturating_sub(1);
         self.len = survivors;
-        for (key, count) in old_keys.into_iter().zip(old_counts) {
+        for (key, count) in old_keys.into_vec().into_iter().zip(old_counts.into_vec()) {
             if key == EMPTY_U64 || count < threshold {
                 continue;
             }
@@ -305,7 +376,7 @@ impl FlatKmerTable {
     pub fn iter(&self) -> impl Iterator<Item = (u64, u32)> + '_ {
         self.keys
             .iter()
-            .zip(&self.counts)
+            .zip(self.counts.iter())
             .filter(|&(&k, _)| k != EMPTY_U64)
             .map(|(&k, &c)| (k, c))
             .chain(self.sentinel_count.map(|c| (EMPTY_U64, c)))
@@ -314,8 +385,93 @@ impl FlatKmerTable {
     /// Consume into `(key, count)` pairs.
     pub fn into_entries(self) -> impl Iterator<Item = (u64, u32)> {
         let sentinel = self.sentinel_count.map(|c| (EMPTY_U64, c));
-        self.keys.into_iter().zip(self.counts).filter(|&(k, _)| k != EMPTY_U64).chain(sentinel)
+        self.keys
+            .into_vec()
+            .into_iter()
+            .zip(self.counts.into_vec())
+            .filter(|&(k, _)| k != EMPTY_U64)
+            .chain(sentinel)
     }
+
+    /// True when the slot arrays are snapshot-mapped (shared, not yet
+    /// detached by a mutation).
+    pub fn is_mapped(&self) -> bool {
+        self.keys.is_mapped() || self.counts.is_mapped()
+    }
+
+    /// Borrow the raw slot arrays and geometry — the exact bytes a
+    /// snapshot shard persists. Probing a table rebuilt from these parts
+    /// via [`FlatKmerTable::from_mapped_parts`] visits identical slots.
+    pub fn raw_parts(&self) -> KmerTableParts<'_> {
+        KmerTableParts {
+            keys: &self.keys,
+            counts: &self.counts,
+            entries: self.len,
+            sentinel_count: self.sentinel_count,
+            load_num: self.load_num,
+            load_den: self.load_den,
+        }
+    }
+
+    /// Adopt snapshot-loaded slot arrays as a ready-to-probe table with
+    /// no rehash: the arrays must be a verbatim dump of a table built by
+    /// this module (same probe family — callers check [`HASH_SEED`]
+    /// before trusting the layout). Validates geometry and recounts
+    /// occupancy so a corrupted-but-checksummed dump cannot fabricate an
+    /// out-of-bounds mask or an impossible load factor.
+    pub fn from_mapped_parts(
+        keys: Arc<[u64]>,
+        counts: Arc<[u32]>,
+        sentinel_count: Option<u32>,
+        load_num: usize,
+        load_den: usize,
+    ) -> Result<FlatKmerTable, String> {
+        if load_num == 0 || load_num >= load_den {
+            return Err(format!("load factor {load_num}/{load_den} not in (0, 1)"));
+        }
+        if keys.len() != counts.len() {
+            return Err(format!(
+                "slot arrays disagree: {} keys vs {} counts",
+                keys.len(),
+                counts.len()
+            ));
+        }
+        let cap = keys.len();
+        if cap != 0 && (!cap.is_power_of_two() || cap < MIN_CAPACITY) {
+            return Err(format!("capacity {cap} is not 0 or a power of two ≥ {MIN_CAPACITY}"));
+        }
+        let len = keys.iter().filter(|&&k| k != EMPTY_U64).count();
+        if len * load_den > cap * load_num {
+            return Err(format!("{len} entries exceed the {load_num}/{load_den} bound at {cap}"));
+        }
+        Ok(FlatKmerTable {
+            mask: cap.saturating_sub(1),
+            keys: Slab::Mapped(keys),
+            counts: Slab::Mapped(counts),
+            len,
+            sentinel_count,
+            load_num,
+            load_den,
+        })
+    }
+}
+
+/// Borrowed view of a [`FlatKmerTable`]'s slot arrays and geometry — the
+/// persistence boundary for snapshot shards.
+#[derive(Clone, Copy, Debug)]
+pub struct KmerTableParts<'a> {
+    /// Slot keys, `EMPTY_U64` marking vacancies; length is the capacity.
+    pub keys: &'a [u64],
+    /// Slot counts, parallel to `keys`.
+    pub counts: &'a [u32],
+    /// Occupied slots (sentinel excluded).
+    pub entries: usize,
+    /// Side-field count for the reserved all-ones key.
+    pub sentinel_count: Option<u32>,
+    /// Max load factor numerator.
+    pub load_num: usize,
+    /// Max load factor denominator.
+    pub load_den: usize,
 }
 
 /// Open-addressing `u128` → `u32` count table (tile spectra).
@@ -327,11 +483,11 @@ impl FlatKmerTable {
 #[derive(Clone, Debug)]
 pub struct FlatTileTable {
     /// Low 64 bits of each slot key.
-    lo: Vec<u64>,
+    lo: Slab<u64>,
     /// High 64 bits of each slot key.
-    hi: Vec<u64>,
+    hi: Slab<u64>,
     /// Slot counts, parallel to `lo`/`hi`.
-    counts: Vec<u32>,
+    counts: Slab<u32>,
     /// Occupied slots (excludes the sentinel key).
     len: usize,
     /// `capacity - 1`; 0 when unallocated.
@@ -360,9 +516,9 @@ impl FlatTileTable {
     pub fn with_max_load(num: usize, den: usize) -> FlatTileTable {
         assert!(num > 0 && num < den, "load factor must be in (0, 1)");
         FlatTileTable {
-            lo: Vec::new(),
-            hi: Vec::new(),
-            counts: Vec::new(),
+            lo: Slab::default(),
+            hi: Slab::default(),
+            counts: Slab::default(),
             len: 0,
             mask: 0,
             sentinel_count: None,
@@ -502,12 +658,14 @@ impl FlatTileTable {
         debug_assert!(
             new_cap.is_power_of_two() && new_cap * self.load_num >= self.len * self.load_den
         );
-        let old_lo = std::mem::replace(&mut self.lo, vec![EMPTY_U64; new_cap]);
-        let old_hi = std::mem::replace(&mut self.hi, vec![EMPTY_U64; new_cap]);
+        let old_lo = std::mem::replace(&mut self.lo, Slab::owned(vec![EMPTY_U64; new_cap]));
+        let old_hi = std::mem::replace(&mut self.hi, Slab::owned(vec![EMPTY_U64; new_cap]));
         let old_counts = std::mem::take(&mut self.counts);
-        self.counts = vec![0; new_cap];
+        self.counts = Slab::owned(vec![0; new_cap]);
         self.mask = new_cap - 1;
-        for ((lo, hi), count) in old_lo.into_iter().zip(old_hi).zip(old_counts) {
+        for ((lo, hi), count) in
+            old_lo.into_vec().into_iter().zip(old_hi.into_vec()).zip(old_counts.into_vec())
+        {
             if lo == EMPTY_U64 && hi == EMPTY_U64 {
                 continue;
             }
@@ -525,13 +683,15 @@ impl FlatTileTable {
         let survivors =
             (0..self.lo.len()).filter(|&i| !self.vacant(i) && self.counts[i] >= threshold).count();
         let new_cap = capacity_for(survivors, self.load_num, self.load_den);
-        let old_lo = std::mem::replace(&mut self.lo, vec![EMPTY_U64; new_cap]);
-        let old_hi = std::mem::replace(&mut self.hi, vec![EMPTY_U64; new_cap]);
+        let old_lo = std::mem::replace(&mut self.lo, Slab::owned(vec![EMPTY_U64; new_cap]));
+        let old_hi = std::mem::replace(&mut self.hi, Slab::owned(vec![EMPTY_U64; new_cap]));
         let old_counts = std::mem::take(&mut self.counts);
-        self.counts = vec![0; new_cap];
+        self.counts = Slab::owned(vec![0; new_cap]);
         self.mask = new_cap.saturating_sub(1);
         self.len = survivors;
-        for ((lo, hi), count) in old_lo.into_iter().zip(old_hi).zip(old_counts) {
+        for ((lo, hi), count) in
+            old_lo.into_vec().into_iter().zip(old_hi.into_vec()).zip(old_counts.into_vec())
+        {
             if (lo == EMPTY_U64 && hi == EMPTY_U64) || count < threshold {
                 continue;
             }
@@ -552,13 +712,98 @@ impl FlatTileTable {
     pub fn into_entries(self) -> impl Iterator<Item = (u128, u32)> {
         let sentinel = self.sentinel_count.map(|c| (u128::MAX, c));
         self.lo
+            .into_vec()
             .into_iter()
-            .zip(self.hi)
-            .zip(self.counts)
+            .zip(self.hi.into_vec())
+            .zip(self.counts.into_vec())
             .filter(|&((lo, hi), _)| lo != EMPTY_U64 || hi != EMPTY_U64)
             .map(|((lo, hi), c)| (lo as u128 | (hi as u128) << 64, c))
             .chain(sentinel)
     }
+
+    /// True when the slot arrays are snapshot-mapped (see
+    /// [`FlatKmerTable::is_mapped`]).
+    pub fn is_mapped(&self) -> bool {
+        self.lo.is_mapped() || self.hi.is_mapped() || self.counts.is_mapped()
+    }
+
+    /// Borrow the raw slot arrays and geometry (see
+    /// [`FlatKmerTable::raw_parts`]).
+    pub fn raw_parts(&self) -> TileTableParts<'_> {
+        TileTableParts {
+            lo: &self.lo,
+            hi: &self.hi,
+            counts: &self.counts,
+            entries: self.len,
+            sentinel_count: self.sentinel_count,
+            load_num: self.load_num,
+            load_den: self.load_den,
+        }
+    }
+
+    /// Adopt snapshot-loaded slot arrays with no rehash (see
+    /// [`FlatKmerTable::from_mapped_parts`]). A slot is vacant only when
+    /// *both* halves are all-ones.
+    pub fn from_mapped_parts(
+        lo: Arc<[u64]>,
+        hi: Arc<[u64]>,
+        counts: Arc<[u32]>,
+        sentinel_count: Option<u32>,
+        load_num: usize,
+        load_den: usize,
+    ) -> Result<FlatTileTable, String> {
+        if load_num == 0 || load_num >= load_den {
+            return Err(format!("load factor {load_num}/{load_den} not in (0, 1)"));
+        }
+        if lo.len() != hi.len() || lo.len() != counts.len() {
+            return Err(format!(
+                "slot arrays disagree: {} lo vs {} hi vs {} counts",
+                lo.len(),
+                hi.len(),
+                counts.len()
+            ));
+        }
+        let cap = lo.len();
+        if cap != 0 && (!cap.is_power_of_two() || cap < MIN_CAPACITY) {
+            return Err(format!("capacity {cap} is not 0 or a power of two ≥ {MIN_CAPACITY}"));
+        }
+        let len =
+            lo.iter().zip(hi.iter()).filter(|&(&l, &h)| l != EMPTY_U64 || h != EMPTY_U64).count();
+        if len * load_den > cap * load_num {
+            return Err(format!("{len} entries exceed the {load_num}/{load_den} bound at {cap}"));
+        }
+        Ok(FlatTileTable {
+            mask: cap.saturating_sub(1),
+            lo: Slab::Mapped(lo),
+            hi: Slab::Mapped(hi),
+            counts: Slab::Mapped(counts),
+            len,
+            sentinel_count,
+            load_num,
+            load_den,
+        })
+    }
+}
+
+/// Borrowed view of a [`FlatTileTable`]'s slot arrays and geometry — the
+/// persistence boundary for snapshot shards.
+#[derive(Clone, Copy, Debug)]
+pub struct TileTableParts<'a> {
+    /// Low halves of the slot keys; a slot is vacant when both halves
+    /// are all-ones.
+    pub lo: &'a [u64],
+    /// High halves of the slot keys, parallel to `lo`.
+    pub hi: &'a [u64],
+    /// Slot counts, parallel to `lo`/`hi`.
+    pub counts: &'a [u32],
+    /// Occupied slots (sentinel excluded).
+    pub entries: usize,
+    /// Side-field count for the reserved all-ones key.
+    pub sentinel_count: Option<u32>,
+    /// Max load factor numerator.
+    pub load_num: usize,
+    /// Max load factor denominator.
+    pub load_den: usize,
 }
 
 #[cfg(test)]
@@ -735,6 +980,139 @@ mod tests {
         }
         assert!(t.len() * 2 <= t.capacity(), "load ≤ 1/2");
         assert_eq!(t.capacity(), 256);
+    }
+
+    /// Rebuild a table from its raw parts the way a snapshot load does:
+    /// copy the slot arrays into shared slabs and adopt them.
+    fn remap_kmer(t: &FlatKmerTable) -> FlatKmerTable {
+        let p = t.raw_parts();
+        FlatKmerTable::from_mapped_parts(
+            Arc::from(p.keys),
+            Arc::from(p.counts),
+            p.sentinel_count,
+            p.load_num,
+            p.load_den,
+        )
+        .expect("valid parts")
+    }
+
+    fn remap_tile(t: &FlatTileTable) -> FlatTileTable {
+        let p = t.raw_parts();
+        FlatTileTable::from_mapped_parts(
+            Arc::from(p.lo),
+            Arc::from(p.hi),
+            Arc::from(p.counts),
+            p.sentinel_count,
+            p.load_num,
+            p.load_den,
+        )
+        .expect("valid parts")
+    }
+
+    #[test]
+    fn mapped_parts_roundtrip_probes_identically() {
+        let mut t = FlatKmerTable::new();
+        for key in 0..777u64 {
+            t.add_count(key * 31, (key % 5 + 1) as u32);
+        }
+        t.add_count(u64::MAX, 9);
+        let m = remap_kmer(&t);
+        assert!(m.is_mapped());
+        assert_eq!(m.len(), t.len());
+        assert_eq!(m.capacity(), t.capacity());
+        for key in 0..777u64 {
+            assert_eq!(m.get(key * 31), t.get(key * 31));
+        }
+        assert_eq!(m.get(u64::MAX), Some(9));
+        assert_eq!(m.get(123_456_789), None);
+
+        let mut s = FlatTileTable::new();
+        for key in 0..777u128 {
+            s.add_count(key << 40, (key % 5 + 1) as u32);
+        }
+        s.add_count(u128::MAX, 4);
+        let m = remap_tile(&s);
+        assert!(m.is_mapped());
+        for key in 0..777u128 {
+            assert_eq!(m.get(key << 40), s.get(key << 40));
+        }
+        assert_eq!(m.get(u128::MAX), Some(4));
+    }
+
+    #[test]
+    fn mapped_table_detaches_on_first_mutation() {
+        let mut t = FlatKmerTable::new();
+        for key in 0..100u64 {
+            t.add_count(key, 1);
+        }
+        let mut m = remap_kmer(&t);
+        assert!(m.is_mapped());
+        m.add_count(7, 1); // existing key: count bump detaches counts
+        assert_eq!(m.get(7), Some(2));
+        m.add_count(5000, 3); // new key: detaches keys too
+        assert!(!m.is_mapped());
+        assert_eq!(m.get(5000), Some(3));
+        assert_eq!(t.get(7), Some(1), "source table unaffected by CoW");
+
+        let mut s = FlatTileTable::new();
+        s.add_count(11, 2);
+        let mut m = remap_tile(&s);
+        m.prune(3);
+        assert!(!m.is_mapped());
+        assert!(m.is_empty());
+        assert_eq!(s.get(11), Some(2));
+    }
+
+    #[test]
+    fn mapped_memory_bytes_stays_exact() {
+        let mut t = FlatKmerTable::new();
+        for key in 0..200u64 {
+            t.add_count(key, 1);
+        }
+        assert_eq!(remap_kmer(&t).memory_bytes(), t.memory_bytes());
+        let mut s = FlatTileTable::new();
+        for key in 0..200u128 {
+            s.add_count(key, 1);
+        }
+        assert_eq!(remap_tile(&s).memory_bytes(), s.memory_bytes());
+    }
+
+    #[test]
+    fn invalid_mapped_parts_are_rejected() {
+        let keys: Arc<[u64]> = Arc::from(vec![EMPTY_U64; 16].as_slice());
+        let counts16: Arc<[u32]> = Arc::from(vec![0u32; 16].as_slice());
+        // mismatched lengths
+        let counts8: Arc<[u32]> = Arc::from(vec![0u32; 8].as_slice());
+        assert!(FlatKmerTable::from_mapped_parts(keys.clone(), counts8, None, 3, 4).is_err());
+        // non-power-of-two capacity
+        let keys24: Arc<[u64]> = Arc::from(vec![EMPTY_U64; 24].as_slice());
+        let counts24: Arc<[u32]> = Arc::from(vec![0u32; 24].as_slice());
+        assert!(FlatKmerTable::from_mapped_parts(keys24, counts24, None, 3, 4).is_err());
+        // capacity below the minimum
+        let keys8: Arc<[u64]> = Arc::from(vec![EMPTY_U64; 8].as_slice());
+        let counts8: Arc<[u32]> = Arc::from(vec![0u32; 8].as_slice());
+        assert!(FlatKmerTable::from_mapped_parts(keys8, counts8, None, 3, 4).is_err());
+        // bad load factor
+        assert!(
+            FlatKmerTable::from_mapped_parts(keys.clone(), counts16.clone(), None, 4, 4).is_err()
+        );
+        assert!(
+            FlatKmerTable::from_mapped_parts(keys.clone(), counts16.clone(), None, 0, 4).is_err()
+        );
+        // occupancy above the load bound: 16 slots all full at 3/4
+        let full: Arc<[u64]> = Arc::from((0..16u64).collect::<Vec<_>>().as_slice());
+        assert!(FlatKmerTable::from_mapped_parts(full, counts16.clone(), None, 3, 4).is_err());
+        // the valid baseline does adopt
+        assert!(
+            FlatKmerTable::from_mapped_parts(keys.clone(), counts16.clone(), None, 3, 4).is_ok()
+        );
+        // tile variant shares the validation
+        let lo: Arc<[u64]> = Arc::from(vec![EMPTY_U64; 16].as_slice());
+        let hi: Arc<[u64]> = Arc::from(vec![EMPTY_U64; 8].as_slice());
+        assert!(
+            FlatTileTable::from_mapped_parts(lo, hi, counts16.clone(), None, 3, 4).is_err(),
+            "mismatched tile halves must be rejected"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod spectrum;
 pub use bloom_build::{build_with_bloom, BloomBuildStats};
 pub use corrector::{correct_dataset, correct_read, CorrectionStats, ReadOutcome, SpectrumAccess};
 pub use eval::AccuracyReport;
-pub use flat::{FlatKmerTable, FlatTileTable};
+pub use flat::{FlatKmerTable, FlatTileTable, KmerTableParts, TileTableParts, HASH_SEED};
 pub use histogram::CountHistogram;
 pub use kmer_corrector::{correct_dataset_kmers_only, correct_read_kmers_only};
 pub use params::ReptileParams;

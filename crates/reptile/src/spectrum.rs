@@ -167,6 +167,22 @@ impl KmerSpectrum {
     pub fn bytes_for_entries(n: usize) -> usize {
         FlatKmerTable::bytes_for_entries(n)
     }
+
+    /// Whether this spectrum folds reverse complements.
+    pub fn canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// Borrow the backing table (snapshot save path).
+    pub fn table(&self) -> &FlatKmerTable {
+        &self.counts
+    }
+
+    /// Wrap an existing table (snapshot load path): the table's entries
+    /// must already be normalized under the same codec/strand policy.
+    pub fn from_table(codec: KmerCodec, canonical: bool, counts: FlatKmerTable) -> KmerSpectrum {
+        KmerSpectrum { codec, canonical, counts }
+    }
 }
 
 /// The tile spectrum: count per packed tile code (`u128` keys — "the tile
@@ -281,6 +297,22 @@ impl TileSpectrum {
     /// geometry at default max load) — the virtual engine's memory model.
     pub fn bytes_for_entries(n: usize) -> usize {
         FlatTileTable::bytes_for_entries(n)
+    }
+
+    /// Whether this spectrum folds reverse complements.
+    pub fn canonical(&self) -> bool {
+        self.canonical
+    }
+
+    /// Borrow the backing table (snapshot save path).
+    pub fn table(&self) -> &FlatTileTable {
+        &self.counts
+    }
+
+    /// Wrap an existing table (snapshot load path): the table's entries
+    /// must already be normalized under the same codec/strand policy.
+    pub fn from_table(codec: TileCodec, canonical: bool, counts: FlatTileTable) -> TileSpectrum {
+        TileSpectrum { codec, canonical, counts }
     }
 }
 

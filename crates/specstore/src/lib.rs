@@ -1,0 +1,44 @@
+//! `specstore`: a versioned, sharded on-disk snapshot format for pruned
+//! Reptile spectrums.
+//!
+//! The k-mer/tile spectrum is the expensive, memory-dominant artifact of
+//! the whole pipeline — the paper's Steps II–III exist to build it — yet
+//! it depends only on the input read set and the build configuration,
+//! not on the reads being corrected. This crate persists a built
+//! spectrum so later runs skip construction entirely: build once,
+//! correct many (the same shape as RECKONER serving corrections out of a
+//! prebuilt KMC database).
+//!
+//! A snapshot directory holds one shard file per `(rank, table-kind)`
+//! plus a [`Manifest`]. A shard is a verbatim little-endian dump of the
+//! flat table's slot arrays behind a fixed-size checksummed header (see
+//! [`format`] for the byte layout), so loading at the same rank count is
+//! zero-copy in the only sense that matters for a hash table: the slot
+//! arrays are decoded once and adopted *probe-ready* — no rehash, no
+//! re-insertion — via `FlatKmerTable::from_mapped_parts`. Loading at a
+//! different rank count re-owns entries through the caller's exchange
+//! path (`reptile-dist` wires this up).
+//!
+//! Corruption is first-class: truncation, bad magic, version skew,
+//! checksum mismatch, and config-fingerprint mismatch each surface as a
+//! distinct [`SnapshotError`] variant, and the checksum is verified
+//! before any table is adopted — a damaged snapshot can never produce
+//! garbage corrections.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checksum;
+pub mod format;
+pub mod manifest;
+pub mod shard;
+
+pub use checksum::{fnv1a, Fnv1a};
+pub use format::{
+    ConfigFingerprint, ShardHeader, ShardKind, SnapshotError, FORMAT_VERSION, HEADER_BYTES, MAGIC,
+};
+pub use manifest::{Manifest, ShardRecord, MANIFEST_NAME};
+pub use shard::{
+    read_kmer_shard, read_tile_shard, shard_file_name, truncate_file, write_kmer_shard,
+    write_tile_shard, LoadedShard, IO_CHUNK,
+};

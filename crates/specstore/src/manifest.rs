@@ -1,0 +1,369 @@
+//! The manifest file tying a shard set together.
+//!
+//! A snapshot directory holds one `MANIFEST.txt` plus one shard file per
+//! `(rank, table-kind)`. The manifest is deliberately line-based text —
+//! inspectable with `cat`, diffable in CI artifacts — and records the
+//! same config fingerprint as every shard header, so a loader can reject
+//! a mismatched snapshot before opening a single shard:
+//!
+//! ```text
+//! reptile-specstore v1
+//! np=4
+//! k=12
+//! tile_overlap=6
+//! canonical=0
+//! kmer_threshold=3
+//! tile_threshold=3
+//! hash_seed=3c92c522e975bab2
+//! shard=0 kmer rank00000.kmer.shard 16484 9f3a...
+//! shard=0 tile rank00000.tile.shard 27204 11bc...
+//! ...
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::format::{ConfigFingerprint, ShardKind, SnapshotError, FORMAT_VERSION};
+
+/// Manifest file name inside a snapshot directory.
+pub const MANIFEST_NAME: &str = "MANIFEST.txt";
+
+/// One shard's entry in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// Producing rank.
+    pub rank: usize,
+    /// Table variant.
+    pub kind: ShardKind,
+    /// File name relative to the snapshot directory.
+    pub file_name: String,
+    /// Total file size (header + body).
+    pub bytes: u64,
+    /// The shard's header checksum, duplicated for quick inventory
+    /// checks without opening the shard.
+    pub checksum: u64,
+}
+
+/// The parsed (or to-be-written) manifest of a snapshot directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Rank count the snapshot was built at.
+    pub np: usize,
+    /// Build configuration shared by every shard.
+    pub fingerprint: ConfigFingerprint,
+    /// All shards, in `(rank, kind)` order.
+    pub shards: Vec<ShardRecord>,
+}
+
+impl Manifest {
+    /// Path of the manifest inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(MANIFEST_NAME)
+    }
+
+    /// Serialize to the line format.
+    pub fn render(&self) -> String {
+        let fp = &self.fingerprint;
+        let mut out = format!(
+            "reptile-specstore v{FORMAT_VERSION}\n\
+             np={}\n\
+             k={}\n\
+             tile_overlap={}\n\
+             canonical={}\n\
+             kmer_threshold={}\n\
+             tile_threshold={}\n\
+             hash_seed={:016x}\n",
+            self.np,
+            fp.k,
+            fp.tile_overlap,
+            fp.canonical as u32,
+            fp.kmer_threshold,
+            fp.tile_threshold,
+            fp.hash_seed,
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard={} {} {} {} {:016x}\n",
+                s.rank, s.kind, s.file_name, s.bytes, s.checksum
+            ));
+        }
+        out
+    }
+
+    /// Write `MANIFEST.txt` into `dir`; returns the bytes written.
+    pub fn write(&self, dir: &Path) -> Result<u64, SnapshotError> {
+        let path = Manifest::path_in(dir);
+        let text = self.render();
+        std::fs::write(&path, &text).map_err(|e| SnapshotError::io(&path, e))?;
+        Ok(text.len() as u64)
+    }
+
+    /// Read and parse `dir/MANIFEST.txt`.
+    pub fn read(dir: &Path) -> Result<Manifest, SnapshotError> {
+        let path = Manifest::path_in(dir);
+        let text = std::fs::read_to_string(&path).map_err(|e| SnapshotError::io(&path, e))?;
+        Manifest::parse(&text, &path)
+    }
+
+    /// Parse the line format (`path` only names errors).
+    pub fn parse(text: &str, path: &Path) -> Result<Manifest, SnapshotError> {
+        let err = |line: usize, reason: String| SnapshotError::Manifest {
+            path: path.to_path_buf(),
+            line,
+            reason,
+        };
+        let mut lines = text.lines().enumerate();
+        let (_, first) = lines.next().ok_or_else(|| err(0, "empty manifest".into()))?;
+        let expected_banner = format!("reptile-specstore v{FORMAT_VERSION}");
+        if first != expected_banner {
+            // Distinguish "not a manifest" from "a manifest of another
+            // version" for the same reasons the shard header does.
+            if let Some(v) = first.strip_prefix("reptile-specstore v") {
+                if let Ok(found) = v.parse::<u32>() {
+                    return Err(SnapshotError::VersionSkew {
+                        path: path.to_path_buf(),
+                        found,
+                        expected: FORMAT_VERSION,
+                    });
+                }
+            }
+            return Err(SnapshotError::BadMagic { path: path.to_path_buf() });
+        }
+        let mut np = None;
+        let mut k = None;
+        let mut tile_overlap = None;
+        let mut canonical = None;
+        let mut kmer_threshold = None;
+        let mut tile_threshold = None;
+        let mut hash_seed = None;
+        let mut shards = Vec::new();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("expected key=value, got {line:?}")))?;
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>().map_err(|_| err(lineno, format!("bad number {v:?} for {key}")))
+            };
+            match key {
+                "np" => np = Some(parse_u64(value)? as usize),
+                "k" => k = Some(parse_u64(value)? as u32),
+                "tile_overlap" => tile_overlap = Some(parse_u64(value)? as u32),
+                "canonical" => canonical = Some(parse_u64(value)? != 0),
+                "kmer_threshold" => kmer_threshold = Some(parse_u64(value)? as u32),
+                "tile_threshold" => tile_threshold = Some(parse_u64(value)? as u32),
+                "hash_seed" => {
+                    hash_seed = Some(
+                        u64::from_str_radix(value, 16)
+                            .map_err(|_| err(lineno, format!("bad hex {value:?} for hash_seed")))?,
+                    )
+                }
+                "shard" => {
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    if fields.len() != 5 {
+                        return Err(err(
+                            lineno,
+                            format!("shard line needs 5 fields, got {}", fields.len()),
+                        ));
+                    }
+                    let rank = fields[0]
+                        .parse::<usize>()
+                        .map_err(|_| err(lineno, format!("bad shard rank {:?}", fields[0])))?;
+                    let kind = match fields[1] {
+                        "kmer" => ShardKind::Kmer,
+                        "tile" => ShardKind::Tile,
+                        other => return Err(err(lineno, format!("unknown shard kind {other:?}"))),
+                    };
+                    let bytes = fields[3]
+                        .parse::<u64>()
+                        .map_err(|_| err(lineno, format!("bad shard size {:?}", fields[3])))?;
+                    let checksum = u64::from_str_radix(fields[4], 16)
+                        .map_err(|_| err(lineno, format!("bad checksum {:?}", fields[4])))?;
+                    shards.push(ShardRecord {
+                        rank,
+                        kind,
+                        file_name: fields[2].to_string(),
+                        bytes,
+                        checksum,
+                    });
+                }
+                other => return Err(err(lineno, format!("unknown key {other:?}"))),
+            }
+        }
+        let missing = |name: &str| err(0, format!("missing {name}= line"));
+        let manifest = Manifest {
+            np: np.ok_or_else(|| missing("np"))?,
+            fingerprint: ConfigFingerprint {
+                k: k.ok_or_else(|| missing("k"))?,
+                tile_overlap: tile_overlap.ok_or_else(|| missing("tile_overlap"))?,
+                canonical: canonical.ok_or_else(|| missing("canonical"))?,
+                kmer_threshold: kmer_threshold.ok_or_else(|| missing("kmer_threshold"))?,
+                tile_threshold: tile_threshold.ok_or_else(|| missing("tile_threshold"))?,
+                hash_seed: hash_seed.ok_or_else(|| missing("hash_seed"))?,
+            },
+            shards,
+        };
+        if manifest.np == 0 {
+            return Err(err(0, "np must be positive".into()));
+        }
+        for kind in [ShardKind::Kmer, ShardKind::Tile] {
+            for rank in 0..manifest.np {
+                if !manifest.shards.iter().any(|s| s.rank == rank && s.kind == kind) {
+                    return Err(err(0, format!("no {kind} shard listed for rank {rank}")));
+                }
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// The shard record for `(rank, kind)` (the parser guarantees one
+    /// exists for every rank below `np`).
+    pub fn shard(&self, rank: usize, kind: ShardKind) -> Option<&ShardRecord> {
+        self.shards.iter().find(|s| s.rank == rank && s.kind == kind)
+    }
+
+    /// Verify the fingerprint matches `expected`, naming the first
+    /// differing field (same check a shard header performs, applied
+    /// before any shard is opened).
+    pub fn check_fingerprint(
+        &self,
+        expected: &ConfigFingerprint,
+        dir: &Path,
+    ) -> Result<(), SnapshotError> {
+        let path = Manifest::path_in(dir);
+        let stored = &self.fingerprint;
+        let fields: [(&'static str, u64, u64); 6] = [
+            ("k", stored.k as u64, expected.k as u64),
+            ("tile_overlap", stored.tile_overlap as u64, expected.tile_overlap as u64),
+            ("canonical", stored.canonical as u64, expected.canonical as u64),
+            ("kmer_threshold", stored.kmer_threshold as u64, expected.kmer_threshold as u64),
+            ("tile_threshold", stored.tile_threshold as u64, expected.tile_threshold as u64),
+            ("hash_seed", stored.hash_seed, expected.hash_seed),
+        ];
+        for (field, got, want) in fields {
+            if got != want {
+                return Err(SnapshotError::FingerprintMismatch {
+                    path,
+                    field,
+                    stored: got,
+                    expected: want,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile::HASH_SEED;
+    use std::path::Path;
+
+    fn manifest() -> Manifest {
+        Manifest {
+            np: 2,
+            fingerprint: ConfigFingerprint {
+                k: 8,
+                tile_overlap: 4,
+                canonical: false,
+                kmer_threshold: 2,
+                tile_threshold: 2,
+                hash_seed: HASH_SEED,
+            },
+            shards: vec![
+                ShardRecord {
+                    rank: 0,
+                    kind: ShardKind::Kmer,
+                    file_name: "rank00000.kmer.shard".into(),
+                    bytes: 1234,
+                    checksum: 0xabc,
+                },
+                ShardRecord {
+                    rank: 0,
+                    kind: ShardKind::Tile,
+                    file_name: "rank00000.tile.shard".into(),
+                    bytes: 2345,
+                    checksum: 0xdef,
+                },
+                ShardRecord {
+                    rank: 1,
+                    kind: ShardKind::Kmer,
+                    file_name: "rank00001.kmer.shard".into(),
+                    bytes: 3456,
+                    checksum: 0x123,
+                },
+                ShardRecord {
+                    rank: 1,
+                    kind: ShardKind::Tile,
+                    file_name: "rank00001.tile.shard".into(),
+                    bytes: 4567,
+                    checksum: 0x456,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let m = manifest();
+        let parsed = Manifest::parse(&m.render(), Path::new("M")).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.shard(1, ShardKind::Tile).unwrap().bytes, 4567);
+        assert!(parsed.shard(2, ShardKind::Kmer).is_none());
+    }
+
+    #[test]
+    fn malformed_lines_are_typed() {
+        let m = manifest();
+        // wrong banner
+        assert!(matches!(
+            Manifest::parse("not a manifest\n", Path::new("M")),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        // future version
+        assert!(matches!(
+            Manifest::parse("reptile-specstore v9\n", Path::new("M")),
+            Err(SnapshotError::VersionSkew { found: 9, .. })
+        ));
+        // missing shard for a rank
+        let mut short = m.clone();
+        short.shards.pop();
+        assert!(matches!(
+            Manifest::parse(&short.render(), Path::new("M")),
+            Err(SnapshotError::Manifest { .. })
+        ));
+        // garbage value
+        let bad = m.render().replace("np=2", "np=two");
+        assert!(matches!(
+            Manifest::parse(&bad, Path::new("M")),
+            Err(SnapshotError::Manifest { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprint_check_names_field() {
+        let m = manifest();
+        let mut want = m.fingerprint;
+        want.canonical = true;
+        assert!(matches!(
+            m.check_fingerprint(&want, Path::new(".")),
+            Err(SnapshotError::FingerprintMismatch { field: "canonical", .. })
+        ));
+        assert!(m.check_fingerprint(&m.fingerprint, Path::new(".")).is_ok());
+    }
+
+    #[test]
+    fn write_read_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("specstore-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = manifest();
+        let bytes = m.write(&dir).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(Manifest::read(&dir).unwrap(), m);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,533 @@
+//! Shard file I/O: stream a flat table's slot arrays to disk and adopt
+//! them back as a ready-to-probe mapped table.
+//!
+//! The write path never materializes an intermediate full-table copy:
+//! slot arrays stream through one reused `IO_CHUNK`-byte buffer (hashed
+//! as they go), and the checksum is patched into the header afterwards
+//! with a single seek. The read path decodes the body bytes into typed
+//! slot vectors exactly once, verifies the checksum *before* adopting
+//! anything, and then hands the arrays to `from_mapped_parts`, which
+//! re-validates the geometry — a corrupted-but-checksummed file cannot
+//! smuggle in an impossible table.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read as _, Seek, SeekFrom, Write as _};
+use std::path::Path;
+use std::sync::Arc;
+
+use reptile::{FlatKmerTable, FlatTileTable};
+
+use crate::checksum::Fnv1a;
+use crate::format::{
+    ConfigFingerprint, ShardHeader, ShardKind, SnapshotError, CHECKSUM_OFFSET, FORMAT_VERSION,
+    HEADER_BYTES,
+};
+use crate::manifest::ShardRecord;
+
+/// Reused streaming-buffer size. Slot arrays are written and read in
+/// chunks of at most this many bytes; the save-path assertion that the
+/// buffer never grew past it is the "no intermediate full-table copy"
+/// guarantee.
+pub const IO_CHUNK: usize = 64 * 1024;
+
+/// Canonical shard file name for `(rank, kind)`.
+pub fn shard_file_name(rank: usize, kind: ShardKind) -> String {
+    format!("rank{rank:05}.{kind}.shard")
+}
+
+/// Streaming shard body writer: fills the reused buffer with
+/// little-endian words, hashing and flushing whenever it reaches
+/// `IO_CHUNK`.
+struct BodyWriter<'a> {
+    out: &'a mut BufWriter<File>,
+    hash: &'a mut Fnv1a,
+    buf: Vec<u8>,
+    path: &'a Path,
+}
+
+impl<'a> BodyWriter<'a> {
+    fn new(out: &'a mut BufWriter<File>, hash: &'a mut Fnv1a, path: &'a Path) -> BodyWriter<'a> {
+        BodyWriter { out, hash, buf: Vec::with_capacity(IO_CHUNK), path }
+    }
+
+    fn flush_buf(&mut self) -> Result<(), SnapshotError> {
+        self.hash.update(&self.buf);
+        self.out.write_all(&self.buf).map_err(|e| SnapshotError::io(self.path, e))?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    fn put_u64s(&mut self, words: &[u64]) -> Result<(), SnapshotError> {
+        for &w in words {
+            self.buf.extend_from_slice(&w.to_le_bytes());
+            if self.buf.len() >= IO_CHUNK {
+                self.flush_buf()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn put_u32s(&mut self, words: &[u32]) -> Result<(), SnapshotError> {
+        for &w in words {
+            self.buf.extend_from_slice(&w.to_le_bytes());
+            if self.buf.len() >= IO_CHUNK {
+                self.flush_buf()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(), SnapshotError> {
+        self.flush_buf()?;
+        // No per-shard Vec allocations: the streaming buffer is the only
+        // body-sized scratch space, and it never outgrows one chunk
+        // (plus the ≤8-byte spill of the word that crossed the mark).
+        debug_assert!(
+            self.buf.capacity() <= IO_CHUNK + 8,
+            "shard write must stream, not copy the table"
+        );
+        Ok(())
+    }
+}
+
+/// Write the shard header (with the given checksum value) at the start
+/// of the file.
+fn write_header(
+    out: &mut BufWriter<File>,
+    header: &ShardHeader,
+    path: &Path,
+) -> Result<(), SnapshotError> {
+    out.write_all(&header.encode()).map_err(|e| SnapshotError::io(path, e))
+}
+
+/// Finish a shard: compute the final digest, seek back, and patch the
+/// checksum field.
+fn patch_checksum(
+    out: &mut BufWriter<File>,
+    checksum: u64,
+    path: &Path,
+) -> Result<(), SnapshotError> {
+    out.seek(SeekFrom::Start(CHECKSUM_OFFSET as u64)).map_err(|e| SnapshotError::io(path, e))?;
+    out.write_all(&checksum.to_le_bytes()).map_err(|e| SnapshotError::io(path, e))?;
+    out.flush().map_err(|e| SnapshotError::io(path, e))
+}
+
+/// Shared tail of both writers: given the checksum-zeroed header and a
+/// body-streaming closure, produce the finished file and its record.
+fn write_shard(
+    path: &Path,
+    mut header: ShardHeader,
+    body: impl FnOnce(&mut BodyWriter<'_>) -> Result<(), SnapshotError>,
+) -> Result<ShardRecord, SnapshotError> {
+    header.checksum = 0;
+    let file = File::create(path).map_err(|e| SnapshotError::io(path, e))?;
+    let mut out = BufWriter::new(file);
+    write_header(&mut out, &header, path)?;
+    let mut hash = Fnv1a::new();
+    hash.update(&header.encode());
+    {
+        let mut w = BodyWriter::new(&mut out, &mut hash, path);
+        body(&mut w)?;
+        w.finish()?;
+    }
+    let checksum = hash.finish();
+    patch_checksum(&mut out, checksum, path)?;
+    Ok(ShardRecord {
+        rank: header.rank as usize,
+        kind: header.kind,
+        file_name: path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default(),
+        bytes: HEADER_BYTES as u64 + header.body_bytes,
+        checksum,
+    })
+}
+
+/// Dump a k-mer table as a shard at `path`.
+pub fn write_kmer_shard(
+    path: &Path,
+    fingerprint: &ConfigFingerprint,
+    rank: usize,
+    np: usize,
+    table: &FlatKmerTable,
+) -> Result<ShardRecord, SnapshotError> {
+    let parts = table.raw_parts();
+    let header = ShardHeader {
+        version: FORMAT_VERSION,
+        kind: ShardKind::Kmer,
+        fingerprint: *fingerprint,
+        rank: rank as u32,
+        np: np as u32,
+        load_num: parts.load_num as u32,
+        load_den: parts.load_den as u32,
+        sentinel_count: parts.sentinel_count,
+        capacity: parts.keys.len() as u64,
+        entries: parts.entries as u64,
+        body_bytes: parts.keys.len() as u64 * ShardKind::Kmer.slot_bytes(),
+        checksum: 0,
+    };
+    write_shard(path, header, |w| {
+        w.put_u64s(parts.keys)?;
+        w.put_u32s(parts.counts)
+    })
+}
+
+/// Dump a tile table as a shard at `path`.
+pub fn write_tile_shard(
+    path: &Path,
+    fingerprint: &ConfigFingerprint,
+    rank: usize,
+    np: usize,
+    table: &FlatTileTable,
+) -> Result<ShardRecord, SnapshotError> {
+    let parts = table.raw_parts();
+    let header = ShardHeader {
+        version: FORMAT_VERSION,
+        kind: ShardKind::Tile,
+        fingerprint: *fingerprint,
+        rank: rank as u32,
+        np: np as u32,
+        load_num: parts.load_num as u32,
+        load_den: parts.load_den as u32,
+        sentinel_count: parts.sentinel_count,
+        capacity: parts.lo.len() as u64,
+        entries: parts.entries as u64,
+        body_bytes: parts.lo.len() as u64 * ShardKind::Tile.slot_bytes(),
+        checksum: 0,
+    };
+    write_shard(path, header, |w| {
+        w.put_u64s(parts.lo)?;
+        w.put_u64s(parts.hi)?;
+        w.put_u32s(parts.counts)
+    })
+}
+
+/// A shard read back from disk, before table adoption.
+struct RawShard {
+    header: ShardHeader,
+    body: Vec<u8>,
+}
+
+/// Read and fully verify a shard file: magic, version, fingerprint,
+/// kind, declared sizes vs the actual file length, and the checksum.
+/// Returns the verified header and body bytes.
+fn read_shard(
+    path: &Path,
+    expect_kind: ShardKind,
+    expect: &ConfigFingerprint,
+) -> Result<RawShard, SnapshotError> {
+    let file = File::open(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            SnapshotError::MissingShard { path: path.to_path_buf() }
+        } else {
+            SnapshotError::io(path, e)
+        }
+    })?;
+    let file_len = file.metadata().map_err(|e| SnapshotError::io(path, e))?.len();
+    let mut reader = BufReader::new(file);
+    if file_len < HEADER_BYTES as u64 {
+        return Err(SnapshotError::Truncated {
+            path: path.to_path_buf(),
+            expected: HEADER_BYTES as u64,
+            actual: file_len,
+        });
+    }
+    let mut head = [0u8; HEADER_BYTES];
+    reader.read_exact(&mut head).map_err(|e| SnapshotError::io(path, e))?;
+    let header = ShardHeader::decode(&head, path)?;
+    header.check_fingerprint(expect, path)?;
+    if header.kind != expect_kind {
+        return Err(SnapshotError::InvalidTable {
+            path: path.to_path_buf(),
+            reason: format!("expected a {expect_kind} shard, found {}", header.kind),
+        });
+    }
+    // checked: a corrupted capacity field can be astronomically large
+    if Some(header.body_bytes) != header.capacity.checked_mul(header.kind.slot_bytes()) {
+        return Err(SnapshotError::InvalidTable {
+            path: path.to_path_buf(),
+            reason: format!(
+                "body_bytes {} inconsistent with capacity {} ({} bytes/slot)",
+                header.body_bytes,
+                header.capacity,
+                header.kind.slot_bytes()
+            ),
+        });
+    }
+    let expected_len = (HEADER_BYTES as u64).saturating_add(header.body_bytes);
+    if file_len < expected_len {
+        return Err(SnapshotError::Truncated {
+            path: path.to_path_buf(),
+            expected: expected_len,
+            actual: file_len,
+        });
+    }
+    if file_len > expected_len {
+        return Err(SnapshotError::InvalidTable {
+            path: path.to_path_buf(),
+            reason: format!("{} trailing bytes after the declared body", file_len - expected_len),
+        });
+    }
+    // Hash the checksum-zeroed header, then the body as it streams in.
+    let mut hash = Fnv1a::new();
+    let mut zeroed = head;
+    zeroed[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].fill(0);
+    hash.update(&zeroed);
+    let mut body = vec![0u8; header.body_bytes as usize];
+    reader.read_exact(&mut body).map_err(|e| SnapshotError::io(path, e))?;
+    hash.update(&body);
+    let computed = hash.finish();
+    if computed != header.checksum {
+        return Err(SnapshotError::Checksum {
+            path: path.to_path_buf(),
+            stored: header.checksum,
+            computed,
+        });
+    }
+    Ok(RawShard { header, body })
+}
+
+/// Decode `n` little-endian u64 words starting at `offset`.
+fn decode_u64s(body: &[u8], offset: usize, n: usize) -> Arc<[u64]> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = offset + i * 8;
+        out.push(u64::from_le_bytes(body[at..at + 8].try_into().unwrap()));
+    }
+    Arc::from(out)
+}
+
+/// Decode `n` little-endian u32 words starting at `offset`.
+fn decode_u32s(body: &[u8], offset: usize, n: usize) -> Arc<[u32]> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = offset + i * 4;
+        out.push(u32::from_le_bytes(body[at..at + 4].try_into().unwrap()));
+    }
+    Arc::from(out)
+}
+
+/// A verified, adopted shard.
+pub struct LoadedShard<T> {
+    /// The ready-to-probe table (mapped storage, no rehash performed).
+    pub table: T,
+    /// Rank that produced the shard.
+    pub rank: usize,
+    /// Rank count the snapshot was built at.
+    pub np: usize,
+    /// Total file bytes read (header + body).
+    pub bytes_read: u64,
+}
+
+/// Load a k-mer shard, verifying every corruption class before adoption.
+pub fn read_kmer_shard(
+    path: &Path,
+    expect: &ConfigFingerprint,
+) -> Result<LoadedShard<FlatKmerTable>, SnapshotError> {
+    let raw = read_shard(path, ShardKind::Kmer, expect)?;
+    let cap = raw.header.capacity as usize;
+    let keys = decode_u64s(&raw.body, 0, cap);
+    let counts = decode_u32s(&raw.body, cap * 8, cap);
+    let table = FlatKmerTable::from_mapped_parts(
+        keys,
+        counts,
+        raw.header.sentinel_count,
+        raw.header.load_num as usize,
+        raw.header.load_den as usize,
+    )
+    .map_err(|reason| SnapshotError::InvalidTable { path: path.to_path_buf(), reason })?;
+    if table.len() != raw.header.entries as usize + raw.header.sentinel_count.is_some() as usize {
+        return Err(SnapshotError::InvalidTable {
+            path: path.to_path_buf(),
+            reason: format!(
+                "header claims {} entries, slots hold {}",
+                raw.header.entries,
+                table.len() - raw.header.sentinel_count.is_some() as usize
+            ),
+        });
+    }
+    Ok(LoadedShard {
+        table,
+        rank: raw.header.rank as usize,
+        np: raw.header.np as usize,
+        bytes_read: HEADER_BYTES as u64 + raw.header.body_bytes,
+    })
+}
+
+/// Load a tile shard, verifying every corruption class before adoption.
+pub fn read_tile_shard(
+    path: &Path,
+    expect: &ConfigFingerprint,
+) -> Result<LoadedShard<FlatTileTable>, SnapshotError> {
+    let raw = read_shard(path, ShardKind::Tile, expect)?;
+    let cap = raw.header.capacity as usize;
+    let lo = decode_u64s(&raw.body, 0, cap);
+    let hi = decode_u64s(&raw.body, cap * 8, cap);
+    let counts = decode_u32s(&raw.body, cap * 16, cap);
+    let table = FlatTileTable::from_mapped_parts(
+        lo,
+        hi,
+        counts,
+        raw.header.sentinel_count,
+        raw.header.load_num as usize,
+        raw.header.load_den as usize,
+    )
+    .map_err(|reason| SnapshotError::InvalidTable { path: path.to_path_buf(), reason })?;
+    if table.len() != raw.header.entries as usize + raw.header.sentinel_count.is_some() as usize {
+        return Err(SnapshotError::InvalidTable {
+            path: path.to_path_buf(),
+            reason: format!(
+                "header claims {} entries, slots hold {}",
+                raw.header.entries,
+                table.len() - raw.header.sentinel_count.is_some() as usize
+            ),
+        });
+    }
+    Ok(LoadedShard {
+        table,
+        rank: raw.header.rank as usize,
+        np: raw.header.np as usize,
+        bytes_read: HEADER_BYTES as u64 + raw.header.body_bytes,
+    })
+}
+
+/// Chop a file down to `keep_bytes` — the fault layer's snapshot
+/// truncation injection (and the corruption tests' helper). A no-op when
+/// the file is already shorter.
+pub fn truncate_file(path: &Path, keep_bytes: u64) -> Result<(), SnapshotError> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| SnapshotError::io(path, e))?;
+    let len = file.metadata().map_err(|e| SnapshotError::io(path, e))?.len();
+    if keep_bytes < len {
+        file.set_len(keep_bytes).map_err(|e| SnapshotError::io(path, e))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile::ReptileParams;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("specstore-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn fp() -> ConfigFingerprint {
+        ConfigFingerprint::for_params(&ReptileParams::for_tests())
+    }
+
+    fn sample_kmer() -> FlatKmerTable {
+        let mut t = FlatKmerTable::new();
+        for key in 0..300u64 {
+            t.add_count(key * 7919, (key % 9 + 1) as u32);
+        }
+        t.add_count(u64::MAX, 5);
+        t
+    }
+
+    fn sample_tile() -> FlatTileTable {
+        let mut t = FlatTileTable::new();
+        for key in 0..300u128 {
+            t.add_count(key << 33, (key % 9 + 1) as u32);
+        }
+        t
+    }
+
+    #[test]
+    fn kmer_shard_roundtrip_probes_identically() {
+        let dir = tmpdir("kmer-rt");
+        let path = dir.join(shard_file_name(2, ShardKind::Kmer));
+        let t = sample_kmer();
+        let rec = write_kmer_shard(&path, &fp(), 2, 4, &t).unwrap();
+        assert_eq!(rec.rank, 2);
+        assert_eq!(rec.bytes, std::fs::metadata(&path).unwrap().len());
+        let loaded = read_kmer_shard(&path, &fp()).unwrap();
+        assert_eq!((loaded.rank, loaded.np), (2, 4));
+        assert_eq!(loaded.bytes_read, rec.bytes);
+        assert!(loaded.table.is_mapped());
+        assert_eq!(loaded.table.len(), t.len());
+        for key in 0..300u64 {
+            assert_eq!(loaded.table.get(key * 7919), t.get(key * 7919));
+        }
+        assert_eq!(loaded.table.get(u64::MAX), Some(5));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tile_shard_roundtrip_probes_identically() {
+        let dir = tmpdir("tile-rt");
+        let path = dir.join(shard_file_name(0, ShardKind::Tile));
+        let t = sample_tile();
+        write_tile_shard(&path, &fp(), 0, 1, &t).unwrap();
+        let loaded = read_tile_shard(&path, &fp()).unwrap();
+        assert!(loaded.table.is_mapped());
+        for key in 0..300u128 {
+            assert_eq!(loaded.table.get(key << 33), t.get(key << 33));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_table_shard_roundtrips() {
+        let dir = tmpdir("empty");
+        let path = dir.join("empty.kmer.shard");
+        write_kmer_shard(&path, &fp(), 0, 1, &FlatKmerTable::new()).unwrap();
+        let loaded = read_kmer_shard(&path, &fp()).unwrap();
+        assert!(loaded.table.is_empty());
+        assert_eq!(loaded.table.get(42), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let dir = tmpdir("trunc");
+        let path = dir.join("t.kmer.shard");
+        write_kmer_shard(&path, &fp(), 0, 1, &sample_kmer()).unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        truncate_file(&path, full - 10).unwrap();
+        assert!(matches!(read_kmer_shard(&path, &fp()), Err(SnapshotError::Truncated { .. })));
+        // chopped inside the header too
+        truncate_file(&path, 20).unwrap();
+        assert!(matches!(read_kmer_shard(&path, &fp()), Err(SnapshotError::Truncated { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn body_corruption_is_a_checksum_error() {
+        let dir = tmpdir("corrupt");
+        let path = dir.join("c.kmer.shard");
+        write_kmer_shard(&path, &fp(), 0, 1, &sample_kmer()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = HEADER_BYTES + (bytes.len() - HEADER_BYTES) / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_kmer_shard(&path, &fp()), Err(SnapshotError::Checksum { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_config_is_a_fingerprint_error() {
+        let dir = tmpdir("fp");
+        let path = dir.join("f.tile.shard");
+        write_tile_shard(&path, &fp(), 0, 1, &sample_tile()).unwrap();
+        let mut other = fp();
+        other.k += 1;
+        assert!(matches!(
+            read_tile_shard(&path, &other),
+            Err(SnapshotError::FingerprintMismatch { field: "k", .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let dir = tmpdir("kind");
+        let path = dir.join("k.shard");
+        write_kmer_shard(&path, &fp(), 0, 1, &sample_kmer()).unwrap();
+        assert!(matches!(read_tile_shard(&path, &fp()), Err(SnapshotError::InvalidTable { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

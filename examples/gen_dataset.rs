@@ -1,0 +1,31 @@
+//! Write a deterministic synthetic dataset as the (numbered FASTA,
+//! quality) file pair Reptile consumes — the fixture generator for
+//! scripted CLI runs (CI's snapshot-roundtrip job).
+//!
+//! ```text
+//! cargo run --release --example gen_dataset -- <out.fa> <out.qual> [scale] [seed]
+//! ```
+//!
+//! `scale` divides the E.coli-like profile (default 2000, ~4400 reads);
+//! `seed` defaults to 7. The same arguments always produce byte-identical
+//! files.
+
+use genio::dataset::DatasetProfile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (fasta, qual) = match (args.first(), args.get(1)) {
+        (Some(f), Some(q)) => (f.clone(), q.clone()),
+        _ => return Err("usage: gen_dataset <out.fa> <out.qual> [scale] [seed]".into()),
+    };
+    let scale: usize = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(2000);
+    let seed: u64 = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(7);
+    let dataset = DatasetProfile::ecoli_like().scaled(scale).generate(seed);
+    dataset.write_files(fasta.as_ref(), qual.as_ref())?;
+    println!(
+        "wrote {} reads x {} bp to {fasta} (+ {qual})",
+        dataset.reads.len(),
+        dataset.reads.first().map_or(0, |r| r.seq.len()),
+    );
+    Ok(())
+}

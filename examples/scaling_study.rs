@@ -8,7 +8,10 @@
 //! Sweeps the rank count from 64 to 4096 (32 ranks/node, BG/Q cost
 //! model), with and without static load balancing, and prints the scaling
 //! series: modeled construction/correction seconds, communication share,
-//! imbalance ratio and parallel efficiency.
+//! imbalance ratio and parallel efficiency. A second sweep replays the
+//! same rank counts from a persisted spectrum snapshot (`load_spectrum`),
+//! comparing the modeled snapshot-load time against rebuilding Steps
+//! II–III from the reads — the build-once / correct-many mode.
 
 use genio::dataset::DatasetProfile;
 use mpisim::Topology;
@@ -74,4 +77,42 @@ fn main() {
         "\nparallel efficiency {np0} → {np1} ranks: {efficiency:.2} \
          (the paper reports 0.81 for E.coli at 8192 ranks)"
     );
+
+    // --- build once, correct many: replay the sweep from a snapshot ---
+    let snap = std::env::temp_dir().join(format!("reptile-scaling-snap-{}", std::process::id()));
+    let save_cfg = EngineConfig {
+        topology: Topology::new(32),
+        save_spectrum: Some(snap.clone()),
+        ..EngineConfig::virtual_cluster(256, params)
+    };
+    let saved = run_virtual(&save_cfg, &dataset.reads);
+    println!(
+        "\nsnapshot: {} B of pruned spectra persisted at np=256",
+        saved.report.snapshot_bytes_written()
+    );
+    println!("{:>6} {:>12} {:>10} {:>9}", "ranks", "rebuild_s", "load_s", "speedup");
+    for np in [64usize, 256, 1024, 4096] {
+        let cfg = EngineConfig {
+            topology: Topology::new(32),
+            ..EngineConfig::virtual_cluster(np, params)
+        };
+        let rebuilt = run_virtual(&cfg, &dataset.reads);
+        let load_cfg = EngineConfig { load_spectrum: Some(snap.clone()), ..cfg };
+        let loaded = run_virtual(&load_cfg, &dataset.reads);
+        assert_eq!(
+            loaded.corrected, rebuilt.corrected,
+            "snapshot-loaded correction must be bit-identical (np={np})"
+        );
+        let rebuild_s = rebuilt.report.construct_secs();
+        let load_s = loaded.report.construct_secs();
+        println!(
+            "{:>6} {:>12.2} {:>10.2} {:>8.1}x{}",
+            np,
+            rebuild_s,
+            load_s,
+            rebuild_s / load_s.max(1e-12),
+            if np == 256 { "  (zero-copy)" } else { "  (re-sharded)" }
+        );
+    }
+    std::fs::remove_dir_all(&snap).ok();
 }

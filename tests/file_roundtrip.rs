@@ -4,7 +4,9 @@
 use genio::dataset::DatasetProfile;
 use genio::{PartitionedReader, RunConfig};
 use reptile::ReptileParams;
-use reptile_dist::{run_distributed, run_distributed_files, EngineConfig};
+use reptile_dist::{
+    run_distributed, run_distributed_files, try_run_distributed_files, EngineConfig,
+};
 
 fn tempdir(tag: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!("reptile-it-{tag}-{}", std::process::id()));
@@ -46,6 +48,52 @@ fn file_run_matches_in_memory_run() {
     let from_files = run_distributed_files(&cfg, &fasta, &qual).unwrap();
     let in_memory = run_distributed(&cfg, &ds.reads);
     assert_eq!(from_files.corrected, in_memory.corrected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The build-once / correct-many file pipeline: one run persists the
+/// spectra with `save_spectrum`, later file-backed runs skip Steps II–III
+/// with `load_spectrum` — at the same np and at a re-sharded np — and
+/// still correct bit-identically.
+#[test]
+fn file_runs_serve_from_a_saved_spectrum() {
+    let dir = tempdir("serve");
+    let ds = DatasetProfile {
+        name: "s".into(),
+        genome_len: 3_000,
+        read_len: 60,
+        n_reads: 900,
+        base_error_rate: 0.005,
+        hotspot_count: 1,
+        hotspot_multiplier: 5.0,
+        hotspot_fraction: 0.1,
+        both_strands: false,
+        n_rate: 0.001,
+    }
+    .generate(33);
+    let fasta = dir.join("r.fa");
+    let qual = dir.join("r.qual");
+    ds.write_files(&fasta, &qual).unwrap();
+    let snap = dir.join("spectrum");
+
+    let save_cfg =
+        EngineConfig { save_spectrum: Some(snap.clone()), ..EngineConfig::new(4, params()) };
+    let built = try_run_distributed_files(&save_cfg, &fasta, &qual).unwrap();
+    assert!(built.report.snapshot_bytes_written() > 0);
+    assert!(snap.join("MANIFEST.txt").is_file(), "save must leave a manifest behind");
+
+    for np in [4usize, 3] {
+        let load_cfg =
+            EngineConfig { load_spectrum: Some(snap.clone()), ..EngineConfig::new(np, params()) };
+        let served = try_run_distributed_files(&load_cfg, &fasta, &qual).unwrap();
+        assert_eq!(served.corrected, built.corrected, "np={np}");
+        assert!(served.report.snapshot_bytes_read() > 0, "np={np}");
+        assert_eq!(
+            served.report.ranks.iter().map(|r| r.build.exchange_bytes).sum::<u64>(),
+            0,
+            "np={np}: a served run must not pay the build exchange"
+        );
+    }
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

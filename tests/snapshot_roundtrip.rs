@@ -1,0 +1,334 @@
+//! End-to-end spectrum-snapshot integration: build once with
+//! `save_spectrum`, correct many times with `load_spectrum`, across both
+//! engines and across rank counts (same-`np` zero-copy loads and
+//! re-sharded loads), with the full typed-corruption matrix.
+
+use genio::dataset::DatasetProfile;
+use reptile::ReptileParams;
+use reptile_dist::{try_run_distributed, try_run_virtual, EngineConfig, EngineError, RunOutput};
+use specstore::{shard_file_name, ShardKind, SnapshotError, MANIFEST_NAME};
+use std::path::{Path, PathBuf};
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("reptile-snap-{tag}-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn params() -> ReptileParams {
+    ReptileParams {
+        k: 10,
+        tile_overlap: 5,
+        kmer_threshold: 4,
+        tile_threshold: 4,
+        ..ReptileParams::default()
+    }
+}
+
+fn dataset() -> Vec<dnaseq::Read> {
+    DatasetProfile {
+        name: "snap".into(),
+        genome_len: 3_000,
+        read_len: 60,
+        n_reads: 700,
+        base_error_rate: 0.005,
+        hotspot_count: 1,
+        hotspot_multiplier: 5.0,
+        hotspot_fraction: 0.1,
+        both_strands: false,
+        n_rate: 0.0,
+    }
+    .generate(17)
+    .reads
+}
+
+const ENGINES: [&str; 2] = ["mt", "virtual"];
+
+fn cfg_for(engine: &str, np: usize) -> EngineConfig {
+    match engine {
+        "mt" => EngineConfig::new(np, params()),
+        _ => EngineConfig::virtual_cluster(np, params()),
+    }
+}
+
+fn run_engine(
+    engine: &str,
+    cfg: &EngineConfig,
+    reads: &[dnaseq::Read],
+) -> Result<RunOutput, EngineError> {
+    match engine {
+        "mt" => try_run_distributed(cfg, reads),
+        _ => try_run_virtual(cfg, reads),
+    }
+}
+
+/// The acceptance matrix: for np ∈ {1, 3, 4} on both engines, a run that
+/// loads a snapshot (saved at the same np — zero-copy — or a different
+/// one — re-sharded) must produce corrected reads bit-identical to a
+/// fresh build at the loading np.
+#[test]
+fn loaded_correction_is_bit_identical_across_engines_and_np() {
+    let reads = dataset();
+    let nps = [1usize, 3, 4];
+    for engine in ENGINES {
+        let fresh: Vec<(usize, RunOutput)> = nps
+            .iter()
+            .map(|&np| (np, run_engine(engine, &cfg_for(engine, np), &reads).unwrap()))
+            .collect();
+        for (save_np, fresh_at_save) in &fresh {
+            let dir = tempdir(&format!("{engine}-save{save_np}"));
+            let mut save_cfg = cfg_for(engine, *save_np);
+            save_cfg.save_spectrum = Some(dir.clone());
+            let saved = run_engine(engine, &save_cfg, &reads).unwrap();
+            assert_eq!(
+                saved.corrected, fresh_at_save.corrected,
+                "{engine}: saving a snapshot must not perturb correction (np={save_np})"
+            );
+            assert!(saved.report.snapshot_bytes_written() > 0, "{engine} np={save_np}");
+            for (load_np, fresh_at_load) in &fresh {
+                let mut load_cfg = cfg_for(engine, *load_np);
+                load_cfg.load_spectrum = Some(dir.clone());
+                let loaded = run_engine(engine, &load_cfg, &reads).unwrap();
+                assert_eq!(
+                    loaded.corrected, fresh_at_load.corrected,
+                    "{engine}: snapshot np={save_np} loaded at np={load_np} must match fresh"
+                );
+                assert!(
+                    loaded.report.snapshot_bytes_read() > 0,
+                    "{engine} {save_np}->{load_np}: load must account its I/O"
+                );
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// The snapshot format is engine-neutral: shards written by the virtual
+/// engine serve the threaded engine and vice versa (slot layouts may
+/// differ — only the corrected output is contractual).
+#[test]
+fn snapshots_are_engine_portable() {
+    let reads = dataset();
+    let dir = tempdir("portable");
+    let mut save_cfg = cfg_for("virtual", 4);
+    save_cfg.save_spectrum = Some(dir.clone());
+    run_engine("virtual", &save_cfg, &reads).unwrap();
+
+    let fresh_mt = run_engine("mt", &cfg_for("mt", 3), &reads).unwrap();
+    let mut load_cfg = cfg_for("mt", 3);
+    load_cfg.load_spectrum = Some(dir.clone());
+    let loaded = run_engine("mt", &load_cfg, &reads).unwrap();
+    assert_eq!(loaded.corrected, fresh_mt.corrected);
+
+    let mut back_cfg = cfg_for("virtual", 2);
+    back_cfg.load_spectrum = Some(dir.clone());
+    let back = run_engine("virtual", &back_cfg, &reads).unwrap();
+    let fresh_v2 = run_engine("virtual", &cfg_for("virtual", 2), &reads).unwrap();
+    assert_eq!(back.corrected, fresh_v2.corrected);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Snapshot loads still compose with the heuristic matrix: the derived
+/// side tables (read tables, replication, partial groups, aggregation)
+/// are rebuilt from the loaded spectra and correction stays bit-identical.
+#[test]
+fn loaded_snapshot_composes_with_heuristics() {
+    use reptile_dist::HeuristicConfig;
+    let reads = dataset();
+    let dir = tempdir("heur");
+    let mut save_cfg = cfg_for("mt", 3);
+    save_cfg.save_spectrum = Some(dir.clone());
+    let fresh = run_engine("mt", &save_cfg, &reads).unwrap();
+    let matrix = [
+        HeuristicConfig { universal: true, ..Default::default() },
+        HeuristicConfig { keep_read_tables: true, cache_remote: true, ..Default::default() },
+        HeuristicConfig::replicate_both(),
+        HeuristicConfig { aggregate_lookups: true, ..Default::default() },
+        HeuristicConfig { partial_group: 2, ..Default::default() },
+    ];
+    for heur in matrix {
+        let mut cfg = cfg_for("mt", 3);
+        cfg.heuristics = heur;
+        cfg.load_spectrum = Some(dir.clone());
+        let loaded = run_engine("mt", &cfg, &reads).unwrap();
+        assert_eq!(loaded.corrected, fresh.corrected, "heur={}", heur.label());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Both engines bracket snapshot I/O in `snapshot-save` / `snapshot-load`
+/// trace spans and surface per-rank timings in the report.
+#[test]
+fn snapshot_runs_carry_trace_spans_and_timings() {
+    let reads = dataset();
+    for engine in ENGINES {
+        let dir = tempdir(&format!("trace-{engine}"));
+        let mut save_cfg = cfg_for(engine, 3);
+        save_cfg.save_spectrum = Some(dir.clone());
+        let saved = run_engine(engine, &save_cfg, &reads).unwrap();
+        for r in &saved.report.ranks {
+            let trace = r.trace.as_ref().expect("snapshot runs must carry a trace");
+            assert!(
+                trace.phase_duration_us("snapshot-save").is_some(),
+                "{engine}: rank {} missing snapshot-save span",
+                r.rank
+            );
+        }
+        assert!(saved.report.snapshot_save_secs() >= 0.0);
+
+        let mut load_cfg = cfg_for(engine, 3);
+        load_cfg.load_spectrum = Some(dir.clone());
+        let loaded = run_engine(engine, &load_cfg, &reads).unwrap();
+        for r in &loaded.report.ranks {
+            let trace = r.trace.as_ref().expect("snapshot runs must carry a trace");
+            assert!(
+                trace.phase_duration_us("snapshot-load").is_some(),
+                "{engine}: rank {} missing snapshot-load span",
+                r.rank
+            );
+        }
+        // fresh (non-snapshot) runs stay lean: no trace attached
+        let plain = run_engine(engine, &cfg_for(engine, 3), &reads).unwrap();
+        assert!(plain.report.ranks.iter().all(|r| r.trace.is_none()), "{engine}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// corruption matrix
+// ---------------------------------------------------------------------
+
+/// Build one pristine np=3 snapshot to corrupt copies of.
+fn pristine_snapshot(reads: &[dnaseq::Read]) -> PathBuf {
+    let dir = tempdir("pristine");
+    let mut cfg = cfg_for("virtual", 3);
+    cfg.save_spectrum = Some(dir.clone());
+    run_engine("virtual", &cfg, reads).unwrap();
+    dir
+}
+
+/// Copy a snapshot directory so each corruption starts from clean bytes.
+fn clone_snapshot(src: &Path, tag: &str) -> PathBuf {
+    let dst = tempdir(tag);
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+    dst
+}
+
+/// Flip/overwrite bytes at `offset` in `path`.
+fn patch_file(path: &Path, offset: usize, bytes: &[u8]) {
+    let mut data = std::fs::read(path).unwrap();
+    data[offset..offset + bytes.len()].copy_from_slice(bytes);
+    std::fs::write(path, data).unwrap();
+}
+
+/// Load a (corrupted) snapshot through the virtual engine and return the
+/// typed snapshot error it must surface.
+fn load_failure(dir: &Path, reads: &[dnaseq::Read], p: ReptileParams) -> SnapshotError {
+    let mut cfg = EngineConfig::virtual_cluster(3, p);
+    cfg.load_spectrum = Some(dir.to_path_buf());
+    match run_engine("virtual", &cfg, reads) {
+        Err(EngineError::Snapshot(e)) => e,
+        Err(other) => panic!("expected a snapshot error, got {other}"),
+        Ok(_) => panic!("corrupted snapshot must not load"),
+    }
+}
+
+#[test]
+fn every_corruption_class_is_typed() {
+    let reads = dataset();
+    let pristine = pristine_snapshot(&reads);
+    let kmer0 = shard_file_name(0, ShardKind::Kmer);
+    let tile2 = shard_file_name(2, ShardKind::Tile);
+
+    // bad magic: stomp the leading magic bytes
+    let dir = clone_snapshot(&pristine, "magic");
+    patch_file(&dir.join(&kmer0), 0, b"XXXXXXXX");
+    assert!(matches!(load_failure(&dir, &reads, params()), SnapshotError::BadMagic { .. }));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // version skew: format version bumped past ours
+    let dir = clone_snapshot(&pristine, "version");
+    patch_file(&dir.join(&kmer0), 8, &99u32.to_le_bytes());
+    assert!(matches!(
+        load_failure(&dir, &reads, params()),
+        SnapshotError::VersionSkew { found: 99, .. }
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // checksum: a single flipped trailing byte
+    let dir = clone_snapshot(&pristine, "checksum");
+    let path = dir.join(&kmer0);
+    let mut data = std::fs::read(&path).unwrap();
+    *data.last_mut().unwrap() ^= 0xff;
+    std::fs::write(&path, data).unwrap();
+    assert!(matches!(load_failure(&dir, &reads, params()), SnapshotError::Checksum { .. }));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // fingerprint mismatch: loading under different corrector parameters
+    let dir = clone_snapshot(&pristine, "fingerprint");
+    let other = ReptileParams { k: 12, tile_overlap: 6, ..params() };
+    assert!(matches!(load_failure(&dir, &reads, other), SnapshotError::FingerprintMismatch { .. }));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // missing shard: a manifest-listed file deleted out from under us
+    let dir = clone_snapshot(&pristine, "missing");
+    std::fs::remove_file(dir.join(&tile2)).unwrap();
+    assert!(matches!(load_failure(&dir, &reads, params()), SnapshotError::MissingShard { .. }));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // manifest that isn't one at all: bad banner
+    let dir = clone_snapshot(&pristine, "manifest-banner");
+    std::fs::write(dir.join(MANIFEST_NAME), "not a manifest\n").unwrap();
+    assert!(matches!(load_failure(&dir, &reads, params()), SnapshotError::BadMagic { .. }));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // manifest with the right banner but a garbled body
+    let dir = clone_snapshot(&pristine, "manifest-body");
+    std::fs::write(dir.join(MANIFEST_NAME), "reptile-specstore v1\nnonsense without equals\n")
+        .unwrap();
+    assert!(matches!(load_failure(&dir, &reads, params()), SnapshotError::Manifest { .. }));
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // truncation via the fault plan's chop clause (virtual replay)
+    let dir = clone_snapshot(&pristine, "chop-virtual");
+    let mut cfg = cfg_for("virtual", 3);
+    cfg.load_spectrum = Some(dir.clone());
+    cfg.fault = mpisim::FaultPlan::parse("chop=1:40").unwrap();
+    match run_engine("virtual", &cfg, &reads) {
+        Err(EngineError::Snapshot(SnapshotError::Truncated { .. })) => {}
+        Err(other) => panic!("chop must surface Truncated, got {other}"),
+        Ok(_) => panic!("chop must surface Truncated, run succeeded"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    std::fs::remove_dir_all(&pristine).unwrap();
+}
+
+/// The threaded engine's distributed abort: under a chop fault the rank
+/// that hits the truncated shard reports `Truncated`, its peers agree to
+/// abort, and the run surfaces the root cause — not a peer's
+/// `PeerFailure` sentinel — without deadlocking.
+#[test]
+fn threaded_chop_aborts_with_the_root_cause() {
+    let reads = dataset();
+    let dir = tempdir("chop-mt");
+    let mut save_cfg = cfg_for("mt", 3);
+    save_cfg.save_spectrum = Some(dir.clone());
+    run_engine("mt", &save_cfg, &reads).unwrap();
+
+    let mut cfg = cfg_for("mt", 3);
+    cfg.load_spectrum = Some(dir.clone());
+    cfg.fault = mpisim::FaultPlan::parse("chop=1:40").unwrap();
+    match run_engine("mt", &cfg, &reads) {
+        Err(EngineError::Snapshot(SnapshotError::Truncated { .. })) => {}
+        Err(other) => panic!("expected the root-cause Truncated error, got {other}"),
+        Ok(_) => panic!("expected the root-cause Truncated error, run succeeded"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
