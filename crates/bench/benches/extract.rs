@@ -1,0 +1,61 @@
+//! Extraction-kernel benchmarks: base classification per SWAR/SIMD
+//! kernel, and the fused k-mer+tile scan end-to-end per kernel.
+//!
+//! This isolates the Step II hot loop that the pipelined build leans on:
+//! `Kernel::classify` batches the per-byte base decision 8–32 bytes at a
+//! time, and `fused_scan_into_with` turns the classified run structure
+//! into the k-mer/tile streams. CI uploads the output so kernel-level
+//! regressions show up next to the BENCH_*.json end-to-end floors.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnaseq::simd::Kernel;
+use dnaseq::{FusedScratch, TileCodec};
+use reptile_bench::workloads::smoke;
+
+fn bench_classify_kernels(c: &mut Criterion) {
+    let ds = smoke();
+    let total_bases: u64 = ds.reads.iter().map(|r| r.len() as u64).sum();
+    let longest = ds.reads.iter().map(|r| r.len()).max().unwrap_or(0);
+    let mut out = vec![0u8; longest];
+    let mut g = c.benchmark_group("classify");
+    g.throughput(Throughput::Bytes(total_bases));
+    for kernel in Kernel::available() {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for read in &ds.reads {
+                    kernel.classify(&read.seq, &mut out);
+                    acc ^= u64::from(out[read.len() / 2]);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fused_scan_kernels(c: &mut Criterion) {
+    let ds = smoke();
+    let codec = TileCodec::new(12, 6);
+    let total_bases: u64 = ds.reads.iter().map(|r| r.len() as u64).sum();
+    let mut scratch = FusedScratch::default();
+    let mut g = c.benchmark_group("fused_scan");
+    g.throughput(Throughput::Bytes(total_bases));
+    for kernel in Kernel::available() {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for read in &ds.reads {
+                    codec.fused_scan_into_with(kernel, &read.seq, &mut scratch, |item| {
+                        acc ^= item.kmer;
+                    });
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_classify_kernels, bench_fused_scan_kernels);
+criterion_main!(benches);

@@ -110,10 +110,54 @@ fn main() {
                 print!("{json}");
                 eprintln!("wrote BENCH_snapshot.json");
             }
+            // Not part of `all`: gates CI on the measured perf floors
+            // recorded by `bench-json` (run that first in the same
+            // working directory).
+            "perf-floor" => {
+                let build = std::fs::read_to_string("BENCH_build.json")
+                    .expect("read BENCH_build.json (run `figures -- bench-json` first)");
+                let spectrum = std::fs::read_to_string("BENCH_spectrum.json")
+                    .expect("read BENCH_spectrum.json (run `figures -- bench-json` first)");
+                let speedup = scrape_number(&build, "speedup_4t_measured")
+                    .expect("speedup_4t_measured in BENCH_build.json");
+                // Both engines report bulk_ns_per_key; the floor is on
+                // the flat table's line only.
+                let flat_line = spectrum
+                    .lines()
+                    .find(|l| l.contains("\"flat\""))
+                    .expect("flat entry in BENCH_spectrum.json");
+                let bulk = scrape_number(flat_line, "bulk_ns_per_key")
+                    .expect("bulk_ns_per_key in BENCH_spectrum.json flat entry");
+                let mut ok = true;
+                println!("perf-floor: measured 4-worker build speedup {speedup:.2} (floor 3.00)");
+                ok &= speedup >= 3.0;
+                println!("perf-floor: flat-table bulk load {bulk:.1} ns/key (ceiling 30.0)");
+                ok &= bulk <= 30.0;
+                if !ok {
+                    eprintln!("perf-floor: FAILED");
+                    std::process::exit(1);
+                }
+                println!("perf-floor: OK");
+            }
             other => {
-                eprintln!("unknown item '{other}' (expected table1, fig2..fig8, bench-json, all)");
+                eprintln!(
+                    "unknown item '{other}' (expected table1, fig2..fig8, bench-json, perf-floor, all)"
+                );
                 std::process::exit(2);
             }
         }
     }
+}
+
+/// Pull the numeric value of `"key": <number>` out of hand-rendered
+/// JSON. The BENCH files are concatenations of small documents, so a
+/// full parser buys nothing over scanning for the field.
+fn scrape_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }

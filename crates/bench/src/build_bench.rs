@@ -7,15 +7,18 @@
 //! Two claims feed the snapshot:
 //!
 //! 1. **single-rank build throughput** — the fused scan (one rolling
-//!    pass deriving each tile from its two k-mer codes) plus sort +
-//!    run-length pre-aggregation replaces the serial path's
-//!    per-occurrence hash insert; keys/sec for the serial builder and
-//!    the pipelined builder at 1 and 4 extraction workers;
+//!    pass deriving each tile from its two k-mer codes) plus
+//!    width-adaptive counting aggregation and a survivors-only bulk
+//!    table load replace the serial path's per-occurrence hash insert
+//!    and build-then-prune rebuild; keys/sec for the serial builder and
+//!    the pipelined builder at 1 and 4 extraction workers. The measured
+//!    4-worker speedup is a **CI floor** (release builds): ≥ 3× over
+//!    the serial reference on this workload, single-thread efficiency
+//!    alone — no core-count excuse.
 //! 2. **exchanged bytes** — with pre-aggregation only *distinct*
 //!    `(key, count)` pairs cross the wire. The reduction vs shipping raw
 //!    occurrences is deterministic (a property of the workload, not the
-//!    clock), so it is asserted in CI; latencies are reported, not
-//!    asserted.
+//!    clock), so it is asserted in CI unconditionally.
 
 use crate::workloads::{smoke_params, SEED};
 use dnaseq::{mix64, Read};
@@ -248,9 +251,9 @@ mod tests {
         assert!(r.exchange_reduction() > 1.0);
     }
 
-    /// The ≥2× acceptance figure, in the only form a 1-core CI host can
-    /// certify: the virtual engine's deterministic cost model (the
-    /// measured `speedup_4t_measured` ratio is bounded by host cores).
+    /// The modeled numbers stay in the snapshot (they project what real
+    /// cores deliver) and stay sane — but they are no longer the
+    /// headline assert; the measured floor below is.
     #[test]
     fn modeled_four_workers_at_least_double_throughput() {
         let r = run(1_200);
@@ -261,6 +264,26 @@ mod tests {
         );
         assert!(r.modeled_overlap_fraction > 0.0);
         assert!(r.modeled_overlap_fraction < 1.0);
+    }
+
+    /// The measured acceptance floor: the pipelined 4-worker build must
+    /// beat the serial reference ≥ 3× on this host, wall-clock — the
+    /// ratio the JSON snapshot reports as `speedup_4t_measured`. The
+    /// gain comes from single-thread efficiency (adaptive counting, no
+    /// per-occurrence hash probe, survivors-only bulk load), so a
+    /// 1-core CI host can certify it. Release builds only: debug-build
+    /// timings measure the compiler, not the code.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn measured_four_worker_speedup_at_least_3x() {
+        let r = run(12_000);
+        assert!(
+            r.speedup_4t() >= 3.0,
+            "measured 4-worker speedup {:.2} < 3x (serial {:.1} ns/key, pipelined {:.1} ns/key)",
+            r.speedup_4t(),
+            r.serial.ns_per_key,
+            r.pipelined_4t.ns_per_key
+        );
     }
 
     #[test]

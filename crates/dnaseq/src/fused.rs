@@ -20,7 +20,15 @@
 //! separate scans for this one without changing any output.
 
 use crate::kmer::{KmerCode, KmerCodec, KmerIter};
+use crate::simd::{Kernel, INVALID_BASE};
 use crate::tile::{TileCode, TileCodec};
+
+/// Reusable buffers for [`TileCodec::fused_scan_into`], so a worker
+/// thread scanning many reads allocates once.
+#[derive(Default)]
+pub struct FusedScratch {
+    codes: Vec<u8>,
+}
 
 /// One step of the fused scan: a valid k-mer window plus, when that
 /// window closes one, the tile ending at the same base.
@@ -66,6 +74,110 @@ impl TileCodec {
             stride,
             last_kmer_start,
             ring: vec![(usize::MAX, 0); stride + 1],
+        }
+    }
+}
+
+impl TileCodec {
+    /// Fast-path fused scan: same emission stream as
+    /// [`fused_scan`](TileCodec::fused_scan), delivered through a
+    /// callback, with the per-byte work batched.
+    ///
+    /// The scan classifies the whole read in one SWAR/SIMD pass
+    /// ([`Kernel::best`]), then walks *maximal runs* of valid bases.
+    /// Within a run every window is valid, so the per-position validity
+    /// branch and the position-validated ring of the iterator disappear:
+    /// a tile's first k-mer is valid exactly when it lies in the same
+    /// run (`stride < k` makes the two k-mer windows overlap, so they
+    /// share a run whenever both exist), reducing the ring to a plain
+    /// circular buffer of codes.
+    pub fn fused_scan_into(
+        &self,
+        seq: &[u8],
+        scratch: &mut FusedScratch,
+        emit: impl FnMut(FusedItem),
+    ) {
+        self.fused_scan_into_with(Kernel::best(), seq, scratch, emit)
+    }
+
+    /// [`fused_scan_into`](TileCodec::fused_scan_into) with an explicit
+    /// classification kernel — for equivalence tests and benches.
+    pub fn fused_scan_into_with(
+        &self,
+        kernel: Kernel,
+        seq: &[u8],
+        scratch: &mut FusedScratch,
+        mut emit: impl FnMut(FusedItem),
+    ) {
+        let k = self.k();
+        let stride = self.stride();
+        let cap = stride + 1; // ≤ 32: overlap ≥ 1 bounds stride by 31
+        let kmask = KmerCodec::new(k).mask();
+        let last_kmer_start = if seq.len() >= k { seq.len() - k } else { usize::MAX };
+
+        scratch.codes.clear();
+        scratch.codes.resize(seq.len(), INVALID_BASE);
+        kernel.classify(seq, &mut scratch.codes);
+        let codes = &scratch.codes[..];
+
+        // Circular buffer of the last `cap` k-mer codes of the current
+        // run; validity needs no check inside a run.
+        let mut ring = [0u64; 32];
+        let mut i = 0usize;
+        while i < seq.len() {
+            if codes[i] == INVALID_BASE {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < seq.len() && codes[i] != INVALID_BASE {
+                i += 1;
+            }
+            let run = &codes[start..i];
+            if run.len() < k {
+                continue;
+            }
+            // Prime the rolling code with the run's first k−1 bases.
+            let mut code = 0u64;
+            for &c in &run[..k - 1] {
+                code = (code << 2) | c as u64;
+            }
+            // Ring cursors for the t-th emission of this run: write slot
+            // w = t % cap; read slot r = (t − stride) % cap = (t+1) % cap.
+            let mut w = 0usize;
+            let mut r = 1 % cap;
+            // `tiles_of` starts are *absolute* stride multiples; track
+            // s % stride incrementally (one division per run). The first
+            // tile candidate (emission t = stride) starts at s = start.
+            let mut s_mod = start % stride;
+            for (t, &c) in run[k - 1..].iter().enumerate() {
+                code = ((code << 2) | c as u64) & kmask;
+                let p = start + t;
+                let tile = if t >= stride {
+                    let hit = if s_mod == 0 || p == last_kmer_start {
+                        Some((p - stride, self.from_kmers(ring[r], code)))
+                    } else {
+                        None
+                    };
+                    s_mod += 1;
+                    if s_mod == stride {
+                        s_mod = 0;
+                    }
+                    hit
+                } else {
+                    None
+                };
+                ring[w] = code;
+                w += 1;
+                if w == cap {
+                    w = 0;
+                }
+                r += 1;
+                if r == cap {
+                    r = 0;
+                }
+                emit(FusedItem { kmer_pos: p, kmer: code, tile });
+            }
         }
     }
 }
@@ -117,6 +229,20 @@ mod tests {
             "tile stream diverged: k={k} o={overlap} seq={:?}",
             String::from_utf8_lossy(seq)
         );
+        // The batched fast path must emit the identical stream, under
+        // every classification kernel this machine has.
+        let mut scratch = FusedScratch::default();
+        for kernel in Kernel::available() {
+            let mut fast = Vec::new();
+            tcodec.fused_scan_into_with(kernel, seq, &mut scratch, |item| fast.push(item));
+            assert_eq!(
+                fast,
+                items,
+                "fast path diverged: kernel={} k={k} o={overlap} seq={:?}",
+                kernel.name(),
+                String::from_utf8_lossy(seq)
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! SWAR / SIMD base classification kernels.
+//!
+//! The fused extraction scan (paper Steps II–III hot path) spends most of
+//! its per-base budget deciding "is this byte one of `ACGTacgt`, and which
+//! 2-bit code is it". This module batches that decision 8–32 bytes at a
+//! time: a portable u64 SWAR baseline plus `target_feature`-gated SSE2 and
+//! AVX2 paths selected by runtime dispatch (the multi-path kernel idiom of
+//! ECC-Benchmark). Every kernel writes the same output: one byte per input
+//! byte, holding the 2-bit base code (`A=0, C=1, G=2, T=3`, case folded)
+//! or [`INVALID_BASE`] for anything else.
+//!
+//! The trick that makes a branch-free kernel possible is that for the
+//! eight valid ASCII letters the code is a pure bit function of the byte:
+//! with `t = (byte >> 1) & 3`, the code is `t ^ ((t >> 1) & 1)`
+//! (`A`→0, `C`→1, `G`→2, `T`→3; lowercase differs only in bit 5, which
+//! the shift+mask never sees). Validity is a separate byte-equality test
+//! against `{A,C,G,T}` after folding bit 5, and the two are blended with
+//! a byte mask.
+
+// The SSE2/AVX2 paths and the cache prefetch below need `core::arch`
+// intrinsics, which are `unsafe fn`. The crate otherwise denies unsafe
+// code; this module scopes the exceptions and documents each invariant.
+#![allow(unsafe_code)]
+
+use crate::base::Base;
+
+/// Output byte for anything that is not `ACGTacgt`.
+pub const INVALID_BASE: u8 = 0xFF;
+
+const LSB: u64 = 0x0101_0101_0101_0101;
+
+/// A base-classification kernel. All kernels are output-equivalent; they
+/// differ only in how many bytes they chew per step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// One byte at a time through [`Base::from_ascii`] — the reference.
+    Scalar,
+    /// Portable SWAR on `u64` words, 8 bytes per step.
+    Swar,
+    /// SSE2, 16 bytes per step (baseline on `x86_64`).
+    #[cfg(target_arch = "x86_64")]
+    Sse2,
+    /// AVX2, 32 bytes per step (runtime-detected).
+    #[cfg(target_arch = "x86_64")]
+    Avx2,
+}
+
+impl Kernel {
+    /// Every kernel usable on this machine, slowest first.
+    pub fn available() -> Vec<Kernel> {
+        let mut v = vec![Kernel::Scalar, Kernel::Swar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            v.push(Kernel::Sse2);
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(Kernel::Avx2);
+            }
+        }
+        v
+    }
+
+    /// The fastest kernel available on this machine (cached after the
+    /// first call).
+    pub fn best() -> Kernel {
+        use std::sync::OnceLock;
+        static BEST: OnceLock<Kernel> = OnceLock::new();
+        *BEST.get_or_init(|| *Kernel::available().last().expect("non-empty"))
+    }
+
+    /// Kernel name for bench/report labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Swar => "swar",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse2 => "sse2",
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Classify `seq` into `out` (2-bit code or [`INVALID_BASE`] per
+    /// byte). `out` must be at least as long as `seq`; only the first
+    /// `seq.len()` bytes are written.
+    pub fn classify(self, seq: &[u8], out: &mut [u8]) {
+        assert!(out.len() >= seq.len(), "output buffer shorter than input");
+        let out = &mut out[..seq.len()];
+        match self {
+            Kernel::Scalar => classify_scalar(seq, out),
+            Kernel::Swar => classify_swar(seq, out),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Sse2 => classify_sse2(seq, out),
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2 => classify_avx2(seq, out),
+        }
+    }
+}
+
+/// Classify with the best kernel available ([`Kernel::best`]).
+#[inline]
+pub fn classify(seq: &[u8], out: &mut [u8]) {
+    Kernel::best().classify(seq, out)
+}
+
+fn classify_scalar(seq: &[u8], out: &mut [u8]) {
+    for (o, &ch) in out.iter_mut().zip(seq) {
+        *o = match Base::from_ascii(ch) {
+            Some(b) => b.code(),
+            None => INVALID_BASE,
+        };
+    }
+}
+
+/// 0x80 in every byte of the result where the corresponding byte of `x`
+/// equals `needle`, 0x00 elsewhere.
+///
+/// Uses the carry-free zero-byte locate `!(((v & 0x7F…) + 0x7F…) | v |
+/// 0x7F…)` rather than the better-known `(v − 0x01…) & !v & 0x80…`:
+/// the subtractive form borrows across byte lanes, so a byte equal to
+/// `needle + 1` directly above a matching byte is falsely flagged
+/// (e.g. `"TU"` would classify the `U` as a valid `T`). The additive
+/// form caps each lane at `0x7F + 0x7F` and cannot carry.
+#[inline]
+fn swar_eq(x: u64, needle: u8) -> u64 {
+    const L7: u64 = LSB * 0x7F;
+    let v = x ^ (LSB * needle as u64);
+    !(((v & L7) + L7) | v | L7)
+}
+
+#[inline]
+fn swar_word(w: u64) -> u64 {
+    // Fold lowercase onto uppercase (bit 5), then test all four letters.
+    let up = w & (LSB * 0xDF);
+    let valid = swar_eq(up, b'A') | swar_eq(up, b'C') | swar_eq(up, b'G') | swar_eq(up, b'T');
+    // 0xFF per valid byte: the per-byte 0/1 lanes never carry when
+    // multiplied by 0xFF.
+    let mask = (valid >> 7).wrapping_mul(0xFF);
+    // Per-byte code t ^ ((t >> 1) & 1); the &-masks discard the bits that
+    // bleed across byte lanes in the word-wide shifts.
+    let t = (w >> 1) & (LSB * 3);
+    let codes = t ^ ((t >> 1) & LSB);
+    (codes & mask) | !mask
+}
+
+fn classify_swar(seq: &[u8], out: &mut [u8]) {
+    let mut it = seq.chunks_exact(8);
+    let mut ot = out.chunks_exact_mut(8);
+    for (s, o) in (&mut it).zip(&mut ot) {
+        let w = u64::from_le_bytes(s.try_into().expect("chunk of 8"));
+        o.copy_from_slice(&swar_word(w).to_le_bytes());
+    }
+    classify_scalar(it.remainder(), ot.into_remainder());
+}
+
+#[cfg(target_arch = "x86_64")]
+fn classify_sse2(seq: &[u8], out: &mut [u8]) {
+    use core::arch::x86_64::*;
+    let n = seq.len() - seq.len() % 16;
+    // SAFETY: SSE2 is part of the x86_64 baseline, so the intrinsics are
+    // always callable; all loads/stores are unaligned and stay within
+    // `seq[..n]` / `out[..n]`.
+    unsafe {
+        let fold = _mm_set1_epi8(0xDFu8 as i8);
+        let la = _mm_set1_epi8(b'A' as i8);
+        let lc = _mm_set1_epi8(b'C' as i8);
+        let lg = _mm_set1_epi8(b'G' as i8);
+        let lt = _mm_set1_epi8(b'T' as i8);
+        let three = _mm_set1_epi8(3);
+        let one = _mm_set1_epi8(1);
+        let inv = _mm_set1_epi8(INVALID_BASE as i8);
+        let mut i = 0;
+        while i < n {
+            let w = _mm_loadu_si128(seq.as_ptr().add(i) as *const __m128i);
+            let up = _mm_and_si128(w, fold);
+            let valid = _mm_or_si128(
+                _mm_or_si128(_mm_cmpeq_epi8(up, la), _mm_cmpeq_epi8(up, lc)),
+                _mm_or_si128(_mm_cmpeq_epi8(up, lg), _mm_cmpeq_epi8(up, lt)),
+            );
+            // 16-bit shifts bleed across byte lanes; the byte masks (3,
+            // then 1) discard the contaminated high bits, as in SWAR.
+            let t = _mm_and_si128(_mm_srli_epi16(w, 1), three);
+            let codes = _mm_xor_si128(t, _mm_and_si128(_mm_srli_epi16(t, 1), one));
+            let res = _mm_or_si128(_mm_and_si128(valid, codes), _mm_andnot_si128(valid, inv));
+            _mm_storeu_si128(out.as_mut_ptr().add(i) as *mut __m128i, res);
+            i += 16;
+        }
+    }
+    classify_swar(&seq[n..], &mut out[n..]);
+}
+
+#[cfg(target_arch = "x86_64")]
+fn classify_avx2(seq: &[u8], out: &mut [u8]) {
+    assert!(std::arch::is_x86_feature_detected!("avx2"), "Kernel::Avx2 used without AVX2 support");
+    // SAFETY: AVX2 availability was just verified at runtime.
+    unsafe { classify_avx2_body(seq, out) }
+}
+
+/// # Safety
+/// The caller must ensure AVX2 is available on the running CPU.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn classify_avx2_body(seq: &[u8], out: &mut [u8]) {
+    use core::arch::x86_64::*;
+    let n = seq.len() - seq.len() % 32;
+    // SAFETY (for the raw loads/stores): unaligned and within
+    // `seq[..n]` / `out[..n]`.
+    unsafe {
+        let fold = _mm256_set1_epi8(0xDFu8 as i8);
+        let la = _mm256_set1_epi8(b'A' as i8);
+        let lc = _mm256_set1_epi8(b'C' as i8);
+        let lg = _mm256_set1_epi8(b'G' as i8);
+        let lt = _mm256_set1_epi8(b'T' as i8);
+        let three = _mm256_set1_epi8(3);
+        let one = _mm256_set1_epi8(1);
+        let inv = _mm256_set1_epi8(INVALID_BASE as i8);
+        let mut i = 0;
+        while i < n {
+            let w = _mm256_loadu_si256(seq.as_ptr().add(i) as *const __m256i);
+            let up = _mm256_and_si256(w, fold);
+            let valid = _mm256_or_si256(
+                _mm256_or_si256(_mm256_cmpeq_epi8(up, la), _mm256_cmpeq_epi8(up, lc)),
+                _mm256_or_si256(_mm256_cmpeq_epi8(up, lg), _mm256_cmpeq_epi8(up, lt)),
+            );
+            let t = _mm256_and_si256(_mm256_srli_epi16(w, 1), three);
+            let codes = _mm256_xor_si256(t, _mm256_and_si256(_mm256_srli_epi16(t, 1), one));
+            let res =
+                _mm256_or_si256(_mm256_and_si256(valid, codes), _mm256_andnot_si256(valid, inv));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, res);
+            i += 32;
+        }
+    }
+    classify_swar(&seq[n..], &mut out[n..]);
+}
+
+/// Hint the CPU to pull `slice[idx]`'s cache line toward L1. No-op off
+/// `x86_64` and a pure performance hint everywhere: it never changes
+/// observable state.
+#[inline(always)]
+pub fn prefetch_read<T>(slice: &[T], idx: usize) {
+    #[cfg(target_arch = "x86_64")]
+    if idx < slice.len() {
+        // SAFETY: the pointer is in bounds (checked above) and prefetch
+        // does not read or write memory architecturally.
+        unsafe {
+            core::arch::x86_64::_mm_prefetch(
+                slice.as_ptr().add(idx) as *const i8,
+                core::arch::x86_64::_MM_HINT_T0,
+            );
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (slice, idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ref_classify(seq: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; seq.len()];
+        classify_scalar(seq, &mut out);
+        out
+    }
+
+    #[test]
+    fn scalar_maps_the_eight_letters_and_rejects_the_rest() {
+        let got = ref_classify(b"ACGTacgtNnXz \x00\xFF0");
+        assert_eq!(&got[..8], &[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert!(got[8..].iter().all(|&c| c == INVALID_BASE));
+    }
+
+    #[test]
+    fn all_kernels_agree_on_every_single_byte() {
+        for b in 0u8..=255 {
+            let seq = [b; 33]; // spans one AVX2 step plus tails
+            let want = ref_classify(&seq);
+            for kernel in Kernel::available() {
+                let mut got = vec![0u8; seq.len()];
+                kernel.classify(&seq, &mut got);
+                assert_eq!(got, want, "kernel {} byte {b:#x}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_agree_on_mixed_sequences_of_every_length() {
+        // Lengths cross the 8/16/32-byte step boundaries; contents mix
+        // valid bases (both cases) with ambiguity codes.
+        for len in 0..=70 {
+            let seq: Vec<u8> = (0..len)
+                .map(|j| {
+                    let r = crate::mix64(0xD1CE ^ j as u64);
+                    match r % 11 {
+                        0 => b'N',
+                        1 => b'n',
+                        2 => (r >> 8) as u8, // arbitrary junk
+                        3..=6 => [b'a', b'c', b'g', b't'][(r % 4) as usize],
+                        _ => [b'A', b'C', b'G', b'T'][(r % 4) as usize],
+                    }
+                })
+                .collect();
+            let want = ref_classify(&seq);
+            for kernel in Kernel::available() {
+                let mut got = vec![0u8; len];
+                kernel.classify(&seq, &mut got);
+                assert_eq!(got, want, "kernel {} len {len}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn classify_accepts_oversized_output_buffers() {
+        let mut out = [7u8; 10];
+        classify(b"ACGT", &mut out);
+        assert_eq!(&out[..4], &[0, 1, 2, 3]);
+        assert_eq!(&out[4..], &[7; 6]); // untouched
+    }
+
+    #[test]
+    fn best_is_available_and_stable() {
+        let b = Kernel::best();
+        assert!(Kernel::available().contains(&b));
+        assert_eq!(Kernel::best(), b);
+    }
+
+    #[test]
+    fn prefetch_is_safe_at_any_index() {
+        let v = [1u64, 2, 3];
+        prefetch_read(&v, 0);
+        prefetch_read(&v, 2);
+        prefetch_read(&v, 1000); // out of range: ignored
+        prefetch_read::<u64>(&[], 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Equivalence suite for the SWAR/SIMD classification kernels.
+//!
+//! Every kernel in [`Kernel::available`] (scalar, SWAR, and on x86_64
+//! SSE2/AVX2) must be byte-for-byte interchangeable: same classification
+//! on arbitrary bytes (not just `ACGTacgt`), same fused k-mer/tile
+//! emission stream, including reads shorter than `k` and lengths that
+//! straddle the 8/16/32-byte word boundaries the batched kernels step by.
+
+use dnaseq::simd::{Kernel, INVALID_BASE};
+use dnaseq::{Base, FusedItem, FusedScratch, TileCodec};
+use proptest::prelude::*;
+
+/// Mostly-DNA bytes with deliberate junk mixed in: lowercase, `N`, and
+/// bytes that share low bits with valid bases (`E` folds like `A` under
+/// the `(b >> 1) & 3` trick and must still classify as invalid).
+fn noisy_seq(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            b'A', b'C', b'G', b'T', b'a', b'c', b'g', b't', b'N', b'n', b'E', b'U', b'@', 0u8, 0xFF,
+        ]),
+        len,
+    )
+}
+
+fn classify_reference(seq: &[u8]) -> Vec<u8> {
+    seq.iter().map(|&b| Base::from_ascii(b).map_or(INVALID_BASE, |base| base.code())).collect()
+}
+
+fn fused_reference(codec: &TileCodec, seq: &[u8]) -> Vec<FusedItem> {
+    codec.fused_scan(seq).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// All kernels classify arbitrary bytes identically to the scalar
+    /// reference, at every length around the SIMD step widths.
+    #[test]
+    fn kernels_classify_noisy_bytes_identically(seq in noisy_seq(0..140)) {
+        let want = classify_reference(&seq);
+        for kernel in Kernel::available() {
+            let mut out = vec![0xAAu8; seq.len()];
+            kernel.classify(&seq, &mut out);
+            prop_assert_eq!(&out, &want, "kernel {} diverges", kernel.name());
+        }
+    }
+
+    /// Unaligned starts: classifying a tail slice must match the same
+    /// bytes classified from offset zero (the wide kernels may not
+    /// assume word alignment of the input pointer).
+    #[test]
+    fn kernels_ignore_input_alignment(seq in noisy_seq(33..160), off in 0usize..33) {
+        let tail = &seq[off..];
+        let want = classify_reference(tail);
+        for kernel in Kernel::available() {
+            let mut out = vec![0u8; tail.len()];
+            kernel.classify(tail, &mut out);
+            prop_assert_eq!(&out, &want, "kernel {} alignment-sensitive", kernel.name());
+        }
+    }
+
+    /// A longer output buffer is allowed; bytes past `seq.len()` must
+    /// survive untouched for every kernel (the wide stores may not spill
+    /// past the input length).
+    #[test]
+    fn kernels_never_write_past_input_len(seq in noisy_seq(0..100), pad in 1usize..40) {
+        for kernel in Kernel::available() {
+            let mut out = vec![0x5Au8; seq.len() + pad];
+            kernel.classify(&seq, &mut out);
+            prop_assert_eq!(&out[..seq.len()], &classify_reference(&seq)[..]);
+            prop_assert!(
+                out[seq.len()..].iter().all(|&b| b == 0x5A),
+                "kernel {} wrote past seq.len()",
+                kernel.name()
+            );
+        }
+    }
+
+    /// The fused k-mer+tile scan emits the identical stream under every
+    /// kernel, against the iterator reference — with invalid bases
+    /// breaking runs and `k` swept across the 8/16/32-byte boundaries.
+    #[test]
+    fn fused_scan_stream_identical_across_kernels(
+        seq in noisy_seq(0..150),
+        k in 1usize..=32,
+        ov in 1usize..=31,
+    ) {
+        prop_assume!(ov < k);
+        let codec = TileCodec::new(k, ov);
+        let want = fused_reference(&codec, &seq);
+        let mut scratch = FusedScratch::default();
+        for kernel in Kernel::available() {
+            let mut got = Vec::new();
+            codec.fused_scan_into_with(kernel, &seq, &mut scratch, |item| got.push(item));
+            prop_assert_eq!(&got, &want, "kernel {} fused stream diverges", kernel.name());
+        }
+    }
+
+    /// Reads shorter than `k` (including empty) emit nothing, under
+    /// every kernel, without panicking on sub-word inputs.
+    #[test]
+    fn fused_scan_short_reads_emit_nothing(k in 2usize..=32, len in 0usize..32) {
+        prop_assume!(len < k);
+        let seq = vec![b'A'; len];
+        let codec = TileCodec::new(k, 1);
+        let mut scratch = FusedScratch::default();
+        for kernel in Kernel::available() {
+            let mut count = 0usize;
+            codec.fused_scan_into_with(kernel, &seq, &mut scratch, |_| count += 1);
+            prop_assert_eq!(count, 0, "kernel {} emitted from a read shorter than k", kernel.name());
+        }
+    }
+}
+
+/// Exact word-boundary lengths, deterministically: 7..=9, 15..=17,
+/// 31..=33, 63..=65 bytes of alternating valid/invalid content.
+#[test]
+fn word_boundary_lengths_classify_identically() {
+    for &len in &[0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65] {
+        let seq: Vec<u8> = (0..len).map(|i| [b'A', b'C', b'N', b'G', b'T', b'x'][i % 6]).collect();
+        let want = classify_reference(&seq);
+        for kernel in Kernel::available() {
+            let mut out = vec![0u8; len];
+            kernel.classify(&seq, &mut out);
+            assert_eq!(out, want, "kernel {} at len {}", kernel.name(), len);
+        }
+    }
+}

@@ -213,11 +213,19 @@ impl CostModel {
     /// per-message latency, faster out-of-order cores): the environment
     /// where replication heuristics look better relative to
     /// distribution, because each remote lookup is ~10× dearer.
+    ///
+    /// The compute-side constants are calibrated from kernels *measured*
+    /// on a commodity x86-64 host (`BENCH_spectrum.json` /
+    /// `benches/extract.rs`): flat-table lookup ≈7–11 ns warm,
+    /// sorted bulk insert ≈24 ns/key, SWAR/SIMD base classification
+    /// ≈1 ns/base. The BG/Q preset stays a literature-derived model —
+    /// no A2 hardware to measure on — which is exactly the measured-vs-
+    /// modeled split DESIGN.md §9 documents.
     pub fn commodity_cluster() -> CostModel {
         CostModel {
-            hash_lookup_ns: 60.0,
-            hash_insert_ns: 110.0,
-            per_base_ns: 2.0,
+            hash_lookup_ns: 10.0,
+            hash_insert_ns: 24.0,
+            per_base_ns: 1.0,
             candidate_eval_ns: 50.0,
             net_latency_ns: 30_000.0,
             shm_latency_ns: 600.0,

@@ -122,7 +122,7 @@ pub(crate) fn assemble_output(
         corrected.extend(reads);
         ranks.push(report);
     }
-    corrected.sort_by_key(|r| r.id);
+    corrected.sort_unstable_by_key(|r| r.id);
     RunOutput { corrected, report: RunReport { ranks, topology: cfg.topology, cost: cfg.cost } }
 }
 
@@ -199,7 +199,7 @@ pub(crate) fn run_rank(
             let hi = ((c + 1) * cfg.chunk_size).min(initial_reads.len());
             mine.extend(shuffle_reads(comm, initial_reads[lo..hi].to_vec()));
         }
-        mine.sort_by_key(|r| r.id);
+        mine.sort_unstable_by_key(|r| r.id);
         mine
     } else {
         initial_reads
@@ -639,6 +639,12 @@ impl DistAccess<'_> {
         self.prefetch_kmers.clear();
         self.prefetch_tiles.clear();
         let keys = reptile::prefetch_keys(reads, params);
+        // `clear` keeps the allocation across chunks; reserving the
+        // worst case (every enumerated key remote) up front means the
+        // inserts while responses drain never rehash mid-round. After
+        // the first chunk this is a no-op for same-sized chunks.
+        self.prefetch_kmers.reserve(keys.kmers.len());
+        self.prefetch_tiles.reserve(keys.tiles.len());
         let t = Instant::now();
         let mut per_owner: Vec<BatchRequest> = vec![BatchRequest::default(); self.owners.np()];
         for &k in &keys.kmers {

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod balance;
+mod counts;
 pub mod engine;
 pub mod engine_mt;
 pub mod engine_virtual;

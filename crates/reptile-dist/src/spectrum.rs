@@ -23,23 +23,39 @@
 //!        batch B                    batch B+1                 batch B+2
 //!  ┌───────────────────┐      ┌───────────────────┐      ┌──────────────
 //!  │ fused extract ×T  │      │ fused extract ×T  │      │ fused extract
-//!  │ sort + RLE merge  │      │ sort + RLE merge  │      │ sort + RLE
+//!  │ radix + RLE merge │      │ radix + RLE merge │      │ radix + RLE
 //!  └───────┬───────────┘      └───────┬───────────┘      └──────┬───────
 //!          │ start_alltoallv ─────────┼─── wait/merge           │
 //!          └──────────(in flight)─────┘   start_alltoallv ──────┼── wait
 //! ```
 //!
-//! 1. **Sharded extraction** — the batch's reads are split across
-//!    `build_threads` workers; each runs one fused scan per read
-//!    ([`TileCodec::fused_scan`]) that derives every tile from its two
-//!    constituent k-mer codes instead of re-encoding each tile window,
-//!    and pushes raw keys into per-thread, per-owner buckets.
-//! 2. **Local pre-aggregation** — per owner, the thread buckets are
-//!    concatenated, sorted, and run-length merged into distinct
-//!    `(key, count)` pairs, so the exchange ships each distinct key once
-//!    (exactly the dedup the serial reads tables performed, without the
-//!    per-occurrence hash insert).
-//! 3. **Double-buffered exchange** — in batch mode the aggregated
+//! 1. **Sharded extraction** — the batch's reads are split across a
+//!    *persistent pool* of `build_threads` workers (spawned once per
+//!    build, fed read ranges over channels, output buffers recycled);
+//!    each runs one batched fused scan per read
+//!    ([`TileCodec::fused_scan_into`]) — SWAR/SIMD base classification
+//!    plus an incrementally rolled k-mer/tile code — and pushes raw keys
+//!    into per-thread, per-owner buckets. A single-rank build skips the
+//!    owner hash entirely.
+//! 2. **Adaptive pre-aggregation** — non-owned occurrence buckets are
+//!    folded per batch into sorted distinct `(key, count)` runs by the
+//!    cheapest exact strategy for the key width (the `counts` module:
+//!    direct counting arrays for narrow keys, partition-and-count for
+//!    mid widths, LSD radix sort + run-length encoding for wide ones),
+//!    so the exchange ships each distinct key once — exactly the dedup
+//!    the serial reads tables performed, without the per-occurrence
+//!    hash insert.
+//! 3. **Deferred tally materialization** — the running global tallies
+//!    are the same width-adaptive accumulators: raw own-bucket
+//!    occurrences and exchanged runs accumulate with no per-key hash
+//!    probe at all and are folded once, after the last exchange, into
+//!    sorted distinct entries (saturating adds commute, so any fold
+//!    order is bit-identical to per-occurrence inserts); the Step III
+//!    threshold prune runs as a sweep over the entry runs, and the
+//!    flat tables are materialized survivors-only with an exact
+//!    reserve and one monotone bulk load (no full-size table, no prune
+//!    rebuild, no incremental growth rehashes at all).
+//! 4. **Double-buffered exchange** — in batch mode the aggregated
 //!    buckets go out through the non-blocking
 //!    [`Comm::start_alltoallv`]; batch *B*'s exchange stays in flight
 //!    while batch *B+1* is extracted, and is drained just before *B+1*'s
@@ -53,14 +69,16 @@
 //!
 //! [`Comm::start_alltoallv`]: mpisim::Comm::start_alltoallv
 //! [`CostModel::overlapped_rounds_ns`]: mpisim::CostModel::overlapped_rounds_ns
-//! [`TileCodec::fused_scan`]: dnaseq::TileCodec
+//! [`TileCodec::fused_scan_into`]: dnaseq::TileCodec::fused_scan_into
 
+use crate::counts::{aggregate_occurrences, CountAcc};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
-use dnaseq::{Read, TileCodec};
+use dnaseq::{FusedScratch, Read, TileCodec};
 use mpisim::{Comm, PendingAlltoallv};
 use reptile::spectrum::{KmerSpectrum, Normalized, TileSpectrum};
 use reptile::ReptileParams;
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// The per-rank spectrum tables after construction.
@@ -172,106 +190,177 @@ pub fn build_distributed(
     let kcodec = params.kmer_codec();
     let tcodec = params.tile_codec();
 
-    let mut hash_kmers = KmerSpectrum::new(kcodec, params.canonical);
-    let mut hash_tiles = TileSpectrum::new(tcodec, params.canonical);
-    let mut reads_kmers = KmerSpectrum::new(kcodec, params.canonical);
-    let mut reads_tiles = TileSpectrum::new(tcodec, params.canonical);
-    let mut stats = BuildStats::default();
-
-    // Every rank must join the same number of collective rounds (§III-B).
-    let my_batches = reads.len().div_ceil(chunk_size).max(1) as u64;
-    let max_batches =
-        if heur.batch_reads { comm.allreduce_max_u64(my_batches) } else { my_batches };
-    stats.batches = max_batches;
-
-    let mut pending: Option<PendingExchange<'_>> = None;
-    for batch in 0..max_batches {
-        let lo = (batch as usize * chunk_size).min(reads.len());
-        let hi = ((batch as usize + 1) * chunk_size).min(reads.len());
-
-        let t_extract = Instant::now();
-        let mut agg =
-            extract_and_aggregate(&reads[lo..hi], build_threads, &owners, &tcodec, me, &mut stats);
-        // The own bucket never crosses the wire: merge it locally (this
-        // is the pipeline's compute side, like the extraction itself).
-        hash_kmers.merge_sorted(&agg.kmers[me]);
-        hash_tiles.merge_sorted(&agg.tiles[me]);
-        stats.extract_ns += elapsed_ns(t_extract);
-
-        let nonown_kmers: u64 = agg
-            .kmers
-            .iter()
-            .enumerate()
-            .filter(|&(d, _)| d != me)
-            .map(|(_, b)| b.len() as u64)
-            .sum();
-        let nonown_tiles: u64 = agg
-            .tiles
-            .iter()
-            .enumerate()
-            .filter(|&(d, _)| d != me)
-            .map(|(_, b)| b.len() as u64)
-            .sum();
-
-        if heur.batch_reads {
-            stats.peak_reads_kmers = stats.peak_reads_kmers.max(nonown_kmers);
-            stats.peak_reads_tiles = stats.peak_reads_tiles.max(nonown_tiles);
-            // Drain batch B-1's exchange only now, after batch B's
-            // extraction ran under it — the double buffering.
-            if let Some(p) = pending.take() {
-                drain_exchange(p, &owners, me, &mut hash_kmers, &mut hash_tiles, &mut stats);
-            }
-            agg.kmers[me] = Vec::new();
-            agg.tiles[me] = Vec::new();
-            pending = Some(start_exchange(comm, agg, &mut stats));
-        } else {
-            // Non-batch mode: accumulate the distinct non-owned keys in
-            // the reads tables (they also feed keep_read_tables) and
-            // exchange once after the last chunk.
-            let t_merge = Instant::now();
-            for (d, bucket) in agg.kmers.iter().enumerate() {
-                if d != me {
-                    reads_kmers.merge_sorted(bucket);
+    // The persistent worker pool lives for the whole build: one scope,
+    // `build_threads − 1` workers spawned once and fed read ranges over
+    // channels batch after batch (the main thread is the remaining
+    // worker), instead of a spawn/join per batch.
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = mpsc::channel::<WorkerOut>();
+        let mut job_txs: Vec<mpsc::Sender<Job<'_>>> = Vec::new();
+        for _ in 1..build_threads {
+            let (tx, rx) = mpsc::channel::<Job<'_>>();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                let mut scratch = FusedScratch::default();
+                while let Ok(Job { reads, mut out }) = rx.recv() {
+                    extract_worker(reads, &owners, &tcodec, &mut out, &mut scratch);
+                    if res_tx.send(out).is_err() {
+                        break;
+                    }
                 }
-            }
-            for (d, bucket) in agg.tiles.iter().enumerate() {
-                if d != me {
-                    reads_tiles.merge_sorted(bucket);
-                }
-            }
-            stats.extract_ns += elapsed_ns(t_merge);
-            stats.peak_reads_kmers = stats.peak_reads_kmers.max(reads_kmers.len() as u64);
-            stats.peak_reads_tiles = stats.peak_reads_tiles.max(reads_tiles.len() as u64);
+            });
+            job_txs.push(tx);
         }
-    }
-    if let Some(p) = pending.take() {
-        drain_exchange(p, &owners, me, &mut hash_kmers, &mut hash_tiles, &mut stats);
-    }
+        let mut pool =
+            ExtractPool { job_txs, res_rx, free: Vec::new(), scratch: FusedScratch::default() };
+        let kbits = 2 * kcodec.k() as u32;
+        let tbits = 2 * tcodec.len() as u32;
 
-    // Record the rank's own-reads key sets before the final exchange
-    // consumes the tables (needed by keep_read_tables).
-    let (kmer_keys, tile_keys) = if heur.keep_read_tables {
-        (
-            reads_kmers.iter().map(|(k, _)| k).collect::<Vec<u64>>(),
-            reads_tiles.iter().map(|(t, _)| t).collect::<Vec<u128>>(),
+        // Running global tallies as width-adaptive count accumulators
+        // (module docs step 3): raw own occurrences and exchanged runs
+        // accumulate without a per-key hash probe; the flat tables are
+        // materialized once, after the loop, from the finalized runs.
+        let mut acc_kmers: CountAcc<u64> = CountAcc::new(kbits);
+        let mut acc_tiles: CountAcc<u128> = CountAcc::new(tbits);
+        let mut acc_reads_kmers: CountAcc<u64> = CountAcc::new(kbits);
+        let mut acc_reads_tiles: CountAcc<u128> = CountAcc::new(tbits);
+        let mut stats = BuildStats::default();
+
+        // Every rank must join the same number of collective rounds
+        // (§III-B).
+        let my_batches = reads.len().div_ceil(chunk_size).max(1) as u64;
+        let max_batches =
+            if heur.batch_reads { comm.allreduce_max_u64(my_batches) } else { my_batches };
+        stats.batches = max_batches;
+
+        let mut pending: Option<PendingExchange<'_>> = None;
+        for batch in 0..max_batches {
+            let lo = (batch as usize * chunk_size).min(reads.len());
+            let hi = ((batch as usize + 1) * chunk_size).min(reads.len());
+
+            let t_extract = Instant::now();
+            let raw = pool.extract(&reads[lo..hi], &owners, &tcodec, me, &mut stats);
+            // The own buckets never cross the wire: tally their raw
+            // occurrences straight into the accumulators (this is the
+            // pipeline's compute side, like the extraction itself).
+            for w in &raw {
+                acc_kmers.push_keys(&w.kmers[me]);
+                acc_tiles.push_keys(&w.tiles[me]);
+            }
+
+            if heur.batch_reads {
+                // Pre-aggregate this batch's non-owned buckets for the
+                // wire (each distinct key ships once, module docs
+                // step 2).
+                let agg = aggregate_nonown(&raw, me, kbits, tbits);
+                pool.recycle(raw);
+                stats.extract_ns += elapsed_ns(t_extract);
+                let nonown_kmers: u64 = agg.kmers.iter().map(|b| b.len() as u64).sum();
+                let nonown_tiles: u64 = agg.tiles.iter().map(|b| b.len() as u64).sum();
+                stats.peak_reads_kmers = stats.peak_reads_kmers.max(nonown_kmers);
+                stats.peak_reads_tiles = stats.peak_reads_tiles.max(nonown_tiles);
+                // Drain batch B-1's exchange only now, after batch B's
+                // extraction ran under it — the double buffering.
+                if let Some(p) = pending.take() {
+                    drain_exchange(p, &owners, me, &mut acc_kmers, &mut acc_tiles, &mut stats);
+                }
+                pending = Some(start_exchange(comm, agg, &mut stats));
+            } else {
+                // Non-batch mode: tally the raw non-owned occurrences in
+                // the reads accumulators (they also feed
+                // keep_read_tables) and exchange once after the last
+                // chunk.
+                for w in &raw {
+                    for (d, bucket) in w.kmers.iter().enumerate() {
+                        if d != me {
+                            acc_reads_kmers.push_keys(bucket);
+                        }
+                    }
+                    for (d, bucket) in w.tiles.iter().enumerate() {
+                        if d != me {
+                            acc_reads_tiles.push_keys(bucket);
+                        }
+                    }
+                }
+                pool.recycle(raw);
+                stats.extract_ns += elapsed_ns(t_extract);
+            }
+        }
+        if let Some(p) = pending.take() {
+            drain_exchange(p, &owners, me, &mut acc_kmers, &mut acc_tiles, &mut stats);
+        }
+
+        // Finalize the reads tallies (non-batch mode only — batch mode
+        // never feeds them). The serial reads tables only ever grow
+        // between exchanges, so their true high-water mark *is* the
+        // final distinct count — assigning the peak here samples exactly
+        // what the serial path's per-read max converged to.
+        let (reads_kmer_entries, reads_tile_entries) = if heur.batch_reads {
+            (Vec::new(), Vec::new())
+        } else {
+            let t_fin = Instant::now();
+            let rk = acc_reads_kmers.finalize();
+            let rt = acc_reads_tiles.finalize();
+            stats.extract_ns += elapsed_ns(t_fin);
+            stats.peak_reads_kmers = rk.len() as u64;
+            stats.peak_reads_tiles = rt.len() as u64;
+            (rk, rt)
+        };
+
+        // Record the rank's own-reads key sets before the final exchange
+        // consumes the runs (needed by keep_read_tables).
+        let (kmer_keys, tile_keys) = if heur.keep_read_tables {
+            (
+                reads_kmer_entries.iter().map(|&(k, _)| k).collect::<Vec<u64>>(),
+                reads_tile_entries.iter().map(|&(t, _)| t).collect::<Vec<u128>>(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+
+        if !heur.batch_reads {
+            exchange_counts_overlapped(
+                comm,
+                &owners,
+                reads_kmer_entries,
+                reads_tile_entries,
+                &mut acc_kmers,
+                &mut acc_tiles,
+                &mut stats,
+            );
+        }
+
+        // Step III's threshold prune runs on the *entry runs*, before
+        // any table exists: a sweep over the finalized vector keeps the
+        // same survivor set the serial path's build-then-prune keeps,
+        // and the flat tables are then materialized once, survivors
+        // only, with an exact reserve and one monotone bulk load — no
+        // full-size table, no prune rebuild, no incremental growth
+        // rehash. `capacity_for(survivors)` is the same either way, so
+        // the final geometry (and `memory_bytes`) matches the serial
+        // path exactly.
+        let t_build = Instant::now();
+        let mut kmer_entries = acc_kmers.finalize();
+        kmer_entries.retain(|&(_, c)| c >= params.kmer_threshold);
+        let mut tile_entries = acc_tiles.finalize();
+        tile_entries.retain(|&(_, c)| c >= params.tile_threshold);
+        let mut hash_kmers = KmerSpectrum::new(kcodec, params.canonical);
+        hash_kmers.reserve(kmer_entries.len());
+        hash_kmers.merge_sorted(&kmer_entries);
+        drop(kmer_entries);
+        let mut hash_tiles = TileSpectrum::new(tcodec, params.canonical);
+        hash_tiles.reserve(tile_entries.len());
+        hash_tiles.merge_sorted(&tile_entries);
+        drop(tile_entries);
+        stats.extract_ns += elapsed_ns(t_build);
+
+        // Already pruned above — go straight to the heuristic tables.
+        derive_heuristic_tables(
+            comm, owners, params, heur, hash_kmers, hash_tiles, kmer_keys, tile_keys, stats,
         )
-    } else {
-        (Vec::new(), Vec::new())
-    };
-
-    if !heur.batch_reads {
-        exchange_counts_overlapped(
-            comm,
-            &owners,
-            reads_kmers,
-            reads_tiles,
-            &mut hash_kmers,
-            &mut hash_tiles,
-            &mut stats,
-        );
-    }
-
-    finish_build(comm, owners, params, heur, hash_kmers, hash_tiles, kmer_keys, tile_keys, stats)
+        // The pool's job senders drop here, ending every worker's recv
+        // loop before the scope joins them.
+    })
 }
 
 /// The serial reference build: one thread, one hash insert per
@@ -400,6 +489,8 @@ struct BatchAggregate {
 }
 
 /// Per-worker raw output: per-owner occurrence buckets plus counters.
+/// Recycled through the pool's free list, so bucket capacity is paid
+/// once and reused batch after batch.
 struct WorkerOut {
     kmers: Vec<Vec<u64>>,
     tiles: Vec<Vec<u128>>,
@@ -408,102 +499,184 @@ struct WorkerOut {
     tiles_extracted: u64,
 }
 
-/// One extraction worker: a single fused scan per read, raw keys pushed
-/// into per-owner buckets.
-fn extract_worker(reads: &[Read], owners: &OwnerMap, tcodec: &TileCodec, np: usize) -> WorkerOut {
-    let mut out = WorkerOut {
-        kmers: vec![Vec::new(); np],
-        tiles: vec![Vec::new(); np],
-        bases: 0,
-        kmers_extracted: 0,
-        tiles_extracted: 0,
-    };
-    for read in reads {
-        out.bases += read.len() as u64;
-        for item in tcodec.fused_scan(&read.seq) {
-            out.kmers_extracted += 1;
-            let key = owners.kmer_key(item.kmer);
-            out.kmers[owners.kmer_owner_at(key)].push(key.key());
-            if let Some((_, tile)) = item.tile {
-                out.tiles_extracted += 1;
-                let tkey = owners.tile_key(tile);
-                out.tiles[owners.tile_owner_at(tkey)].push(tkey.key());
-            }
+impl WorkerOut {
+    fn new(np: usize) -> WorkerOut {
+        WorkerOut {
+            kmers: vec![Vec::new(); np],
+            tiles: vec![Vec::new(); np],
+            bases: 0,
+            kmers_extracted: 0,
+            tiles_extracted: 0,
         }
     }
-    out
-}
 
-/// Sort a raw occurrence bucket and run-length merge it into distinct
-/// `(key, count)` pairs. Saturating like every count merge downstream.
-fn run_length_merge<K: Ord + Copy>(mut raw: Vec<K>) -> Vec<(K, u32)> {
-    raw.sort_unstable();
-    let mut out: Vec<(K, u32)> = Vec::new();
-    for key in raw {
-        match out.last_mut() {
-            Some(last) if last.0 == key => last.1 = last.1.saturating_add(1),
-            _ => out.push((key, 1)),
+    /// Reset for reuse, keeping every bucket's allocation.
+    fn clear(&mut self) {
+        for b in &mut self.kmers {
+            b.clear();
         }
+        for b in &mut self.tiles {
+            b.clear();
+        }
+        self.bases = 0;
+        self.kmers_extracted = 0;
+        self.tiles_extracted = 0;
     }
-    out
 }
 
-/// Extract one batch with `build_threads` workers and pre-aggregate the
-/// per-owner buckets.
-fn extract_and_aggregate(
+/// One unit of pool work: a read range to extract into a recycled
+/// output buffer.
+struct Job<'r> {
+    reads: &'r [Read],
+    out: WorkerOut,
+}
+
+/// One extraction worker: a single batched fused scan per read
+/// ([`TileCodec::fused_scan_into`] — SWAR/SIMD classification plus an
+/// incrementally rolled k-mer/tile code), raw keys pushed into per-owner
+/// buckets. With a single rank the owner hash is skipped entirely:
+/// rank 0 owns every key.
+fn extract_worker(
     reads: &[Read],
-    build_threads: usize,
     owners: &OwnerMap,
     tcodec: &TileCodec,
-    me: usize,
-    stats: &mut BuildStats,
-) -> BatchAggregate {
-    let np = owners.np();
-    let workers = build_threads.min(reads.len()).max(1);
-    let mut raw: Vec<WorkerOut> = if workers == 1 {
-        vec![extract_worker(reads, owners, tcodec, np)]
-    } else {
-        let per_worker = reads.len().div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = reads
-                .chunks(per_worker)
-                .map(|chunk| scope.spawn(move || extract_worker(chunk, owners, tcodec, np)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("extraction worker panicked")).collect()
-        })
-    };
-    for w in &raw {
-        stats.bases_processed += w.bases;
-        stats.kmers_extracted += w.kmers_extracted;
-        stats.tiles_extracted += w.tiles_extracted;
-        for (d, bucket) in w.kmers.iter().enumerate() {
-            if d != me {
-                stats.exchange_occurrences += bucket.len() as u64;
-            }
+    out: &mut WorkerOut,
+    scratch: &mut FusedScratch,
+) {
+    let mut bases = 0u64;
+    let mut kmers_extracted = 0u64;
+    let mut tiles_extracted = 0u64;
+    if owners.np() == 1 {
+        let kb = &mut out.kmers[0];
+        let tb = &mut out.tiles[0];
+        for read in reads {
+            bases += read.len() as u64;
+            tcodec.fused_scan_into(&read.seq, scratch, |item| {
+                kmers_extracted += 1;
+                kb.push(owners.kmer_key(item.kmer).key());
+                if let Some((_, tile)) = item.tile {
+                    tiles_extracted += 1;
+                    tb.push(owners.tile_key(tile).key());
+                }
+            });
         }
-        for (d, bucket) in w.tiles.iter().enumerate() {
-            if d != me {
-                stats.exchange_occurrences += bucket.len() as u64;
-            }
+    } else {
+        for read in reads {
+            bases += read.len() as u64;
+            tcodec.fused_scan_into(&read.seq, scratch, |item| {
+                kmers_extracted += 1;
+                let key = owners.kmer_key(item.kmer);
+                out.kmers[owners.kmer_owner_at(key)].push(key.key());
+                if let Some((_, tile)) = item.tile {
+                    tiles_extracted += 1;
+                    let tkey = owners.tile_key(tile);
+                    out.tiles[owners.tile_owner_at(tkey)].push(tkey.key());
+                }
+            });
         }
     }
+    out.bases += bases;
+    out.kmers_extracted += kmers_extracted;
+    out.tiles_extracted += tiles_extracted;
+}
+
+/// Pre-aggregate one batch's non-owned occurrence buckets into sorted
+/// distinct per-owner runs for the wire (`me`'s bucket stays empty —
+/// own occurrences were tallied straight into the accumulators).
+fn aggregate_nonown(raw: &[WorkerOut], me: usize, kbits: u32, tbits: u32) -> BatchAggregate {
+    let np = raw.first().map_or(1, |w| w.kmers.len());
     let mut kmers = Vec::with_capacity(np);
     let mut tiles = Vec::with_capacity(np);
     for d in 0..np {
-        let total: usize = raw.iter().map(|w| w.kmers[d].len()).sum();
-        let mut bucket = Vec::with_capacity(total);
-        for w in &mut raw {
-            bucket.append(&mut w.kmers[d]);
+        if d == me {
+            kmers.push(Vec::new());
+            tiles.push(Vec::new());
+            continue;
         }
-        kmers.push(run_length_merge(bucket));
-        let total: usize = raw.iter().map(|w| w.tiles[d].len()).sum();
-        let mut bucket = Vec::with_capacity(total);
-        for w in &mut raw {
-            bucket.append(&mut w.tiles[d]);
-        }
-        tiles.push(run_length_merge(bucket));
+        kmers.push(aggregate_occurrences(raw.iter().map(|w| &w.kmers[d]), kbits));
+        tiles.push(aggregate_occurrences(raw.iter().map(|w| &w.tiles[d]), tbits));
     }
     BatchAggregate { kmers, tiles }
+}
+
+/// The persistent extraction pool: job/result channels to the workers
+/// spawned once by [`build_distributed`], plus recycled output buffers.
+struct ExtractPool<'r> {
+    job_txs: Vec<mpsc::Sender<Job<'r>>>,
+    res_rx: mpsc::Receiver<WorkerOut>,
+    free: Vec<WorkerOut>,
+    /// The main thread's own fused-scan scratch (it always takes the
+    /// first share of each batch).
+    scratch: FusedScratch,
+}
+
+impl<'r> ExtractPool<'r> {
+    fn take_buffer(&mut self, np: usize) -> WorkerOut {
+        self.free.pop().unwrap_or_else(|| WorkerOut::new(np))
+    }
+
+    /// Extract one batch across the pool, returning the raw per-worker,
+    /// per-owner occurrence buckets (recycle them with
+    /// [`ExtractPool::recycle`] once tallied).
+    fn extract(
+        &mut self,
+        reads: &'r [Read],
+        owners: &OwnerMap,
+        tcodec: &TileCodec,
+        me: usize,
+        stats: &mut BuildStats,
+    ) -> Vec<WorkerOut> {
+        let np = owners.np();
+        let workers = (self.job_txs.len() + 1).min(reads.len()).max(1);
+        let per = reads.len().div_ceil(workers).max(1);
+        // Shares after the first go to the pool; the main thread (always
+        // a worker itself) takes the first inline.
+        let mut outstanding = 0usize;
+        for (w, chunk) in reads.chunks(per).enumerate().skip(1) {
+            let out = self.take_buffer(np);
+            self.job_txs[w - 1].send(Job { reads: chunk, out }).expect("pool worker alive");
+            outstanding += 1;
+        }
+        let mut main_out = self.take_buffer(np);
+        extract_worker(
+            reads.chunks(per).next().unwrap_or(&[]),
+            owners,
+            tcodec,
+            &mut main_out,
+            &mut self.scratch,
+        );
+        let mut raw: Vec<WorkerOut> = Vec::with_capacity(outstanding + 1);
+        raw.push(main_out);
+        for _ in 0..outstanding {
+            raw.push(self.res_rx.recv().expect("pool worker result"));
+        }
+
+        for w in &raw {
+            stats.bases_processed += w.bases;
+            stats.kmers_extracted += w.kmers_extracted;
+            stats.tiles_extracted += w.tiles_extracted;
+            for (d, bucket) in w.kmers.iter().enumerate() {
+                if d != me {
+                    stats.exchange_occurrences += bucket.len() as u64;
+                }
+            }
+            for (d, bucket) in w.tiles.iter().enumerate() {
+                if d != me {
+                    stats.exchange_occurrences += bucket.len() as u64;
+                }
+            }
+        }
+        raw
+    }
+
+    /// Return a batch's output buffers to the free list (allocations
+    /// kept, contents cleared).
+    fn recycle(&mut self, raw: Vec<WorkerOut>) {
+        for mut w in raw {
+            w.clear();
+            self.free.push(w);
+        }
+    }
 }
 
 /// An in-flight batch exchange (both spectra) plus its start time, from
@@ -529,14 +702,14 @@ fn start_exchange<'c>(
     PendingExchange { kmers, tiles, started: Instant::now() }
 }
 
-/// Wait out an in-flight exchange and merge the received sorted runs
-/// into the owner tables.
+/// Wait out an in-flight exchange and merge the received runs into the
+/// owner tallies.
 fn drain_exchange(
     p: PendingExchange<'_>,
     owners: &OwnerMap,
     me: usize,
-    hash_kmers: &mut KmerSpectrum,
-    hash_tiles: &mut TileSpectrum,
+    acc_kmers: &mut CountAcc<u64>,
+    acc_tiles: &mut CountAcc<u128>,
     stats: &mut BuildStats,
 ) {
     stats.overlap_ns += elapsed_ns(p.started);
@@ -545,13 +718,13 @@ fn drain_exchange(
         debug_assert!(part
             .iter()
             .all(|&(code, _)| owners.kmer_owner_at(Normalized::assume(code)) == me));
-        hash_kmers.merge_sorted(&part);
+        acc_kmers.push_run(&part);
     }
     for part in p.tiles.wait() {
         debug_assert!(part
             .iter()
             .all(|&(code, _)| owners.tile_owner_at(Normalized::assume(code)) == me));
-        hash_tiles.merge_sorted(&part);
+        acc_tiles.push_run(&part);
     }
     stats.exchange_ns += elapsed_ns(t_wait);
 }
@@ -612,25 +785,27 @@ pub(crate) fn exchange_counts(
 }
 
 /// The pipelined path's final (non-batch) exchange: same volume as
-/// [`exchange_counts`], but the k-mer round goes out non-blocking so the
-/// tile bucketing runs under it.
+/// [`exchange_counts`], but operating on the finalized reads runs —
+/// received parts fold into the owner accumulators instead of
+/// hash-probing per key — and the k-mer round goes out non-blocking so
+/// the tile bucketing runs under it.
 fn exchange_counts_overlapped(
     comm: &Comm,
     owners: &OwnerMap,
-    reads_kmers: KmerSpectrum,
-    reads_tiles: TileSpectrum,
-    hash_kmers: &mut KmerSpectrum,
-    hash_tiles: &mut TileSpectrum,
+    reads_kmers: Vec<(u64, u32)>,
+    reads_tiles: Vec<(u128, u32)>,
+    acc_kmers: &mut CountAcc<u64>,
+    acc_tiles: &mut CountAcc<u128>,
     stats: &mut BuildStats,
 ) {
     let np = comm.size();
     let mut kmer_sizes = vec![0usize; np];
-    for (code, _) in reads_kmers.iter() {
+    for &(code, _) in &reads_kmers {
         kmer_sizes[owners.kmer_owner_at(Normalized::assume(code))] += 1;
     }
     let mut kmer_out: Vec<Vec<(u64, u32)>> =
         kmer_sizes.into_iter().map(Vec::with_capacity).collect();
-    for (code, count) in reads_kmers.into_entries() {
+    for (code, count) in reads_kmers {
         kmer_out[owners.kmer_owner_at(Normalized::assume(code))].push((code, count));
     }
     let kmer_pairs: usize = kmer_out.iter().map(Vec::len).sum();
@@ -639,12 +814,12 @@ fn exchange_counts_overlapped(
 
     // Tile bucketing overlaps the in-flight k-mer round.
     let mut tile_sizes = vec![0usize; np];
-    for (code, _) in reads_tiles.iter() {
+    for &(code, _) in &reads_tiles {
         tile_sizes[owners.tile_owner_at(Normalized::assume(code))] += 1;
     }
     let mut tile_out: Vec<Vec<(u128, u32)>> =
         tile_sizes.into_iter().map(Vec::with_capacity).collect();
-    for (code, count) in reads_tiles.into_entries() {
+    for (code, count) in reads_tiles {
         tile_out[owners.tile_owner_at(Normalized::assume(code))].push((code, count));
     }
     let tile_pairs: usize = tile_out.iter().map(Vec::len).sum();
@@ -653,26 +828,26 @@ fn exchange_counts_overlapped(
 
     let t_wait = Instant::now();
     for part in pending_k.wait() {
-        for (code, count) in part {
-            let key = Normalized::assume(code);
-            debug_assert_eq!(owners.kmer_owner_at(key), comm.rank());
-            hash_kmers.add_count(key, count);
-        }
+        debug_assert!(part
+            .iter()
+            .all(|&(code, _)| owners.kmer_owner_at(Normalized::assume(code)) == comm.rank()));
+        acc_kmers.push_run(&part);
     }
     for part in pending_t.wait() {
-        for (code, count) in part {
-            let key = Normalized::assume(code);
-            debug_assert_eq!(owners.tile_owner_at(key), comm.rank());
-            hash_tiles.add_count(key, count);
-        }
+        debug_assert!(part
+            .iter()
+            .all(|&(code, _)| owners.tile_owner_at(Normalized::assume(code)) == comm.rank()));
+        acc_tiles.push_run(&part);
     }
     stats.exchange_ns += elapsed_ns(t_wait);
     stats.exchange_entries += (kmer_pairs + tile_pairs) as u64;
     stats.exchange_bytes += exchange_payload_bytes(kmer_pairs, tile_pairs);
 }
 
-/// Everything after the count exchange, shared by both build paths:
-/// threshold prune, then the heuristic-table derivation.
+/// Everything after the count exchange on the serial reference path:
+/// threshold prune of the full tables, then the heuristic-table
+/// derivation. (The pipelined path prunes its entry runs before any
+/// table exists and calls [`derive_heuristic_tables`] directly.)
 #[allow(clippy::too_many_arguments)]
 fn finish_build(
     comm: &Comm,
@@ -1028,6 +1203,115 @@ mod tests {
     /// counters the serial and pipelined paths must agree on exactly.
     pub(crate) fn deterministic_counters(stats: &BuildStats) -> BuildStats {
         BuildStats { extract_ns: 0, exchange_ns: 0, overlap_ns: 0, ..*stats }
+    }
+
+    #[test]
+    fn nonown_aggregation_skips_own_bucket() {
+        // aggregate_nonown must leave `me`'s bucket empty (own
+        // occurrences are tallied directly, never shipped) while every
+        // other owner's bucket arrives sorted and distinct.
+        let np = 3;
+        let mut a = WorkerOut::new(np);
+        let mut b = WorkerOut::new(np);
+        for i in 0..500u64 {
+            a.kmers[(i % 3) as usize].push(dnaseq::mix64(i % 91) & 0xF_FFFF);
+            b.kmers[(i % 3) as usize].push(dnaseq::mix64(i % 77) & 0xF_FFFF);
+            a.tiles[((i + 1) % 3) as usize].push((dnaseq::mix64(i % 53) & 0x3FFF_FFFF) as u128);
+        }
+        let raw = [a, b];
+        let raw_nonown: u64 = raw
+            .iter()
+            .flat_map(|w| w.kmers.iter().enumerate())
+            .filter(|&(d, _)| d != 1)
+            .map(|(_, bk)| bk.len() as u64)
+            .sum();
+        let agg = aggregate_nonown(&raw, 1, 20, 30);
+        assert!(agg.kmers[1].is_empty() && agg.tiles[1].is_empty());
+        for d in [0usize, 2] {
+            assert!(!agg.kmers[d].is_empty());
+            assert!(agg.kmers[d].windows(2).all(|w| w[0].0 < w[1].0), "owner {d} not sorted");
+        }
+        let shipped: u64 = agg.kmers.iter().flatten().map(|&(_, c)| c as u64).sum();
+        assert_eq!(shipped, raw_nonown, "aggregation must preserve total occurrence counts");
+    }
+
+    #[test]
+    #[ignore = "manual profiling probe"]
+    fn profile_hot_path_breakdown() {
+        let p = ReptileParams {
+            k: 10,
+            tile_overlap: 5,
+            kmer_threshold: 4,
+            tile_threshold: 3,
+            canonical: false,
+            ..ReptileParams::for_tests()
+        };
+        let tcodec = p.tile_codec();
+        let kcodec = p.kmer_codec();
+        let n = 20_000usize;
+        let len = 60usize;
+        let reads: Vec<Read> = (0..n)
+            .map(|i| {
+                let template = i / 3;
+                let seed = dnaseq::mix64(template as u64 + 1);
+                let seq: Vec<u8> = (0..len)
+                    .map(|j| {
+                        [b'A', b'C', b'G', b'T'][(dnaseq::mix64(seed ^ (j as u64)) % 4) as usize]
+                    })
+                    .collect();
+                Read::new(i as u64 + 1, seq, vec![30; len])
+            })
+            .collect();
+        let owners = OwnerMap::new(1, &p);
+        let chunk = 2000;
+        let mut scratch = FusedScratch::default();
+        for _round in 0..3 {
+            let mut t_extract = 0u64;
+            let mut t_tally = 0u64;
+            let mut keys = 0u64;
+            let mut acc_k: CountAcc<u64> = CountAcc::new(2 * kcodec.k() as u32);
+            let mut acc_t: CountAcc<u128> = CountAcc::new(2 * tcodec.len() as u32);
+            let mut out = WorkerOut::new(1);
+            for c in reads.chunks(chunk) {
+                let t0 = Instant::now();
+                extract_worker(c, &owners, &tcodec, &mut out, &mut scratch);
+                t_extract += elapsed_ns(t0);
+                keys += out.kmers[0].len() as u64 + out.tiles[0].len() as u64;
+                let t1 = Instant::now();
+                acc_k.push_keys(&out.kmers[0]);
+                acc_t.push_keys(&out.tiles[0]);
+                t_tally += elapsed_ns(t1);
+                out.clear();
+            }
+            let t2 = Instant::now();
+            let mut ke = acc_k.finalize();
+            let mut te = acc_t.finalize();
+            let t_finalize = elapsed_ns(t2);
+            let t3 = Instant::now();
+            ke.retain(|&(_, c)| c >= p.kmer_threshold);
+            te.retain(|&(_, c)| c >= p.tile_threshold);
+            let t_prune = elapsed_ns(t3);
+            let t4 = Instant::now();
+            let mut hk = KmerSpectrum::new(kcodec, p.canonical);
+            hk.reserve(ke.len());
+            hk.merge_sorted(&ke);
+            let mut ht = TileSpectrum::new(tcodec, p.canonical);
+            ht.reserve(te.len());
+            ht.merge_sorted(&te);
+            let t_build = elapsed_ns(t4);
+            let per = |ns: u64| ns as f64 / keys as f64;
+            eprintln!(
+            "keys={keys} extract={:.2} tally={:.2} finalize={:.2} prune={:.2} build={:.2} total={:.2} ns/key (hk={} ht={})",
+            per(t_extract),
+            per(t_tally),
+            per(t_finalize),
+            per(t_prune),
+            per(t_build),
+            per(t_extract + t_tally + t_finalize + t_prune + t_build),
+            hk.len(),
+            ht.len(),
+        );
+        }
     }
 
     #[test]

@@ -52,6 +52,17 @@ const MIN_CAPACITY: usize = 16;
 /// `reptile-bench`'s `spectrum_bench`).
 const DEFAULT_LOAD: (usize, usize) = (3, 4);
 
+/// Batch width of the `insert_batch` software-prefetch pipeline: while
+/// one group of keys inserts, the probe-start cache lines of the next
+/// group are requested. Sized to keep roughly a memory-parallelism
+/// window of outstanding lines without thrashing L1.
+const PREFETCH_GROUP: usize = 16;
+
+/// Above this capacity the bulk-load probe-start indices would overflow
+/// the `u32` radix pairs; such tables fall back to pipelined inserts
+/// (4 G slots = 48 GB — far past any rank budget this code targets).
+const BULK_LOAD_MAX_CAPACITY: usize = u32::MAX as usize;
+
 /// Probe-start slot: Fibonacci (multiplicative) hashing — one multiply
 /// by 2^64/φ, keeping the top log2(capacity) bits, which every input
 /// bit influences. Golden-ratio spacing scatters near-identical codes
@@ -310,16 +321,137 @@ impl FlatKmerTable {
     /// the shape the pipelined spectrum build's pre-aggregated per-owner
     /// buckets arrive in. Equivalent to `add_count` per pair (saturating
     /// adds commute, so the result is order-independent); debug builds
-    /// verify the run is strictly ascending. Pair with
-    /// [`FlatKmerTable::reserve`] when the number of *new* keys is
-    /// known, to skip incremental growth entirely.
+    /// verify the run is strictly ascending.
+    ///
+    /// On an **empty** table the whole run is placed by
+    /// [`FlatKmerTable::bulk_load`] — exact-capacity allocation and a
+    /// single probe-start-ordered sweep, several times faster than
+    /// per-key probing. Otherwise pair with [`FlatKmerTable::reserve`]
+    /// when the number of *new* keys is known, to skip incremental
+    /// growth.
     pub fn merge_sorted(&mut self, entries: &[(u64, u32)]) {
         debug_assert!(
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "merge_sorted requires strictly ascending keys"
         );
-        for &(key, count) in entries {
-            self.add_count(key, count);
+        if self.len == 0 && self.sentinel_count.is_none() {
+            self.bulk_load(entries);
+        } else {
+            self.insert_batch(entries);
+        }
+    }
+
+    /// Construct the contents of an empty table from distinct entries in
+    /// one sweep. The entries are ordered by probe start (a 2-pass LSD
+    /// radix sort of `(start, index)` pairs), after which linear-probing
+    /// placement degenerates to a monotone cursor: each key lands at
+    /// `max(start, cursor)` — no probe loop, no occupancy re-check, no
+    /// growth, and the slot writes walk the table front to back instead
+    /// of hopping the whole array per key. Keys whose run crosses the
+    /// wrap-around boundary spill to a regular probe afterwards (a
+    /// handful at most: only the final cluster can cross). Content,
+    /// `len`, and capacity match an `add_count` loop exactly.
+    fn bulk_load(&mut self, entries: &[(u64, u32)]) {
+        debug_assert!(self.len == 0 && self.sentinel_count.is_none());
+        // The sentinel key is the all-ones pattern, so a sorted run can
+        // only carry it last; its count lives in the side field.
+        let (entries, sentinel) = match entries.split_last() {
+            Some((&(EMPTY_U64, c), rest)) => (rest, Some(c)),
+            _ => (entries, None),
+        };
+        self.sentinel_count = sentinel;
+        if entries.is_empty() {
+            return;
+        }
+        self.reserve(entries.len());
+        let cap = self.keys.len();
+        if cap > BULK_LOAD_MAX_CAPACITY {
+            self.insert_batch(entries);
+            return;
+        }
+        // `(probe_start << 32) | index`, sorted on the high half only —
+        // one packed u64 per entry keeps the two radix passes and the
+        // placement loop on 8-byte elements.
+        let mut order: Vec<u64> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, _))| ((probe_start(k, self.mask) as u64) << 32) | i as u64)
+            .collect();
+        let mut tmp: Vec<u64> = Vec::new();
+        crate::radix::lsd_sort_by(&mut order, &mut tmp, cap.trailing_zeros(), |&p| {
+            (p >> 32) as u32
+        });
+        let mut spill: Vec<u32> = Vec::new();
+        let mut cursor = 0usize;
+        {
+            let keys = &mut self.keys[..];
+            let counts = &mut self.counts[..];
+            // The placement gather (`entries[i]`) is the only random
+            // access left; its indices are known well ahead, so keep a
+            // window of them prefetched.
+            const AHEAD: usize = 16;
+            for (j, &p) in order.iter().enumerate() {
+                if let Some(&np) = order.get(j + AHEAD) {
+                    dnaseq::simd::prefetch_read(entries, np as u32 as usize);
+                }
+                let (h, i) = ((p >> 32) as usize, p as u32);
+                let slot = cursor.max(h);
+                if slot >= cap {
+                    spill.push(i);
+                    continue;
+                }
+                let (key, count) = entries[i as usize];
+                keys[slot] = key;
+                counts[slot] = count;
+                cursor = slot + 1;
+            }
+        }
+        // Spilled keys probe from their start, wrapping into the front
+        // of the array; every slot they skip is occupied, preserving the
+        // probe-path invariant for lookups.
+        for i in spill {
+            let (key, count) = entries[i as usize];
+            let idx = self.probe(key);
+            debug_assert_eq!(self.keys[idx], EMPTY_U64);
+            self.keys[idx] = key;
+            self.counts[idx] = count;
+        }
+        self.len = entries.len();
+    }
+
+    /// Bulk add with a software-prefetch pipeline: entries are processed
+    /// in probe groups of [`PREFETCH_GROUP`]; while one group inserts,
+    /// the probe-start cache lines of the *next* group are prefetched, so
+    /// the dependent random loads of up to a whole group are in flight at
+    /// once instead of serializing one miss at a time. Insertion order
+    /// and growth schedule are exactly those of `add_count` per pair.
+    /// Unlike [`merge_sorted`] this accepts arbitrary (unsorted,
+    /// duplicated) pairs.
+    ///
+    /// [`PREFETCH_GROUP`]: PREFETCH_GROUP
+    /// [`merge_sorted`]: FlatKmerTable::merge_sorted
+    pub fn insert_batch(&mut self, entries: &[(u64, u32)]) {
+        self.insert_pipelined(entries);
+    }
+
+    /// The prefetch-pipelined `insert_batch` loop.
+    fn insert_pipelined(&mut self, entries: &[(u64, u32)]) {
+        let mut at = 0;
+        while at < entries.len() {
+            let next = (at + PREFETCH_GROUP).min(entries.len());
+            // Hints target the current geometry; a growth rehash while
+            // the current group inserts merely wastes them.
+            if !self.keys.is_empty() {
+                for &(key, _) in &entries[next..(next + PREFETCH_GROUP).min(entries.len())] {
+                    if key != EMPTY_U64 {
+                        dnaseq::simd::prefetch_read(&self.keys, probe_start(key, self.mask));
+                    }
+                }
+            }
+            for &(key, count) in &entries[at..next] {
+                self.add_count(key, count);
+            }
+            at = next;
         }
     }
 
@@ -642,14 +774,111 @@ impl FlatTileTable {
     }
 
     /// Bulk-ingest a sorted run of **distinct** `(key, count)` pairs
-    /// (see [`FlatKmerTable::merge_sorted`]).
+    /// (see [`FlatKmerTable::merge_sorted`]). On an empty table the run
+    /// is placed by the one-sweep [`FlatTileTable::bulk_load`].
     pub fn merge_sorted(&mut self, entries: &[(u128, u32)]) {
         debug_assert!(
             entries.windows(2).all(|w| w[0].0 < w[1].0),
             "merge_sorted requires strictly ascending keys"
         );
-        for &(key, count) in entries {
-            self.add_count(key, count);
+        if self.len == 0 && self.sentinel_count.is_none() {
+            self.bulk_load(entries);
+        } else {
+            self.insert_batch(entries);
+        }
+    }
+
+    /// One-sweep construction of an empty table from distinct entries —
+    /// probe-start-ordered monotone-cursor placement, exactly as
+    /// [`FlatKmerTable::bulk_load`].
+    fn bulk_load(&mut self, entries: &[(u128, u32)]) {
+        debug_assert!(self.len == 0 && self.sentinel_count.is_none());
+        let (entries, sentinel) = match entries.split_last() {
+            Some((&(u128::MAX, c), rest)) => (rest, Some(c)),
+            _ => (entries, None),
+        };
+        self.sentinel_count = sentinel;
+        if entries.is_empty() {
+            return;
+        }
+        self.reserve(entries.len());
+        let cap = self.lo.len();
+        if cap > BULK_LOAD_MAX_CAPACITY {
+            self.insert_batch(entries);
+            return;
+        }
+        let mut order: Vec<u64> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, _))| {
+                ((probe_start(fold_tile(k as u64, (k >> 64) as u64), self.mask) as u64) << 32)
+                    | i as u64
+            })
+            .collect();
+        let mut tmp: Vec<u64> = Vec::new();
+        crate::radix::lsd_sort_by(&mut order, &mut tmp, cap.trailing_zeros(), |&p| {
+            (p >> 32) as u32
+        });
+        let mut spill: Vec<u32> = Vec::new();
+        let mut cursor = 0usize;
+        {
+            let lo_slots = &mut self.lo[..];
+            let hi_slots = &mut self.hi[..];
+            let counts = &mut self.counts[..];
+            const AHEAD: usize = 16;
+            for (j, &p) in order.iter().enumerate() {
+                if let Some(&np) = order.get(j + AHEAD) {
+                    dnaseq::simd::prefetch_read(entries, np as u32 as usize);
+                }
+                let (h, i) = ((p >> 32) as usize, p as u32);
+                let slot = cursor.max(h);
+                if slot >= cap {
+                    spill.push(i);
+                    continue;
+                }
+                let (key, count) = entries[i as usize];
+                lo_slots[slot] = key as u64;
+                hi_slots[slot] = (key >> 64) as u64;
+                counts[slot] = count;
+                cursor = slot + 1;
+            }
+        }
+        for i in spill {
+            let (key, count) = entries[i as usize];
+            let (lo, hi) = (key as u64, (key >> 64) as u64);
+            let idx = self.probe(lo, hi);
+            debug_assert!(self.vacant(idx));
+            self.set_slot(idx, lo, hi, count);
+        }
+        self.len = entries.len();
+    }
+
+    /// Bulk add with a software-prefetch pipeline (see
+    /// [`FlatKmerTable::insert_batch`]). Accepts arbitrary pairs.
+    pub fn insert_batch(&mut self, entries: &[(u128, u32)]) {
+        self.insert_pipelined(entries);
+    }
+
+    /// The prefetch-pipelined `insert_batch` loop.
+    fn insert_pipelined(&mut self, entries: &[(u128, u32)]) {
+        let mut at = 0;
+        while at < entries.len() {
+            let next = (at + PREFETCH_GROUP).min(entries.len());
+            if !self.lo.is_empty() {
+                for &(key, _) in &entries[next..(next + PREFETCH_GROUP).min(entries.len())] {
+                    if key != u128::MAX {
+                        let idx = probe_start(fold_tile(key as u64, (key >> 64) as u64), self.mask);
+                        // The `lo` array is the probe stream; `hi` shares
+                        // the index and usually the same line set.
+                        dnaseq::simd::prefetch_read(&self.lo, idx);
+                        dnaseq::simd::prefetch_read(&self.hi, idx);
+                    }
+                }
+            }
+            for &(key, count) in &entries[at..next] {
+                self.add_count(key, count);
+            }
+            at = next;
         }
     }
 
@@ -942,6 +1171,204 @@ mod tests {
         s.merge_sorted(&[(1, 2), (u128::MAX, 9)]);
         assert_eq!(s.get(u128::MAX), Some(9));
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn insert_batch_equals_per_key_adds_on_unsorted_duplicated_input() {
+        // Unsorted, duplicated, sentinel-laden input crossing several
+        // growth rehashes mid-batch: content and geometry must match the
+        // plain add_count loop exactly.
+        let entries: Vec<(u64, u32)> = (0..2000u64)
+            .map(|i| {
+                let k = dnaseq::mix64(i % 700);
+                let k = if i % 97 == 0 { EMPTY_U64 } else { k };
+                (k, (i % 5 + 1) as u32)
+            })
+            .collect();
+        let mut bulk = FlatKmerTable::new();
+        bulk.insert_batch(&entries);
+        let mut serial = FlatKmerTable::new();
+        for &(k, c) in &entries {
+            serial.add_count(k, c);
+        }
+        assert_eq!(bulk.capacity(), serial.capacity());
+        assert_eq!(bulk.len(), serial.len());
+        assert_eq!(bulk.get(EMPTY_U64), serial.get(EMPTY_U64));
+        let mut a: Vec<_> = bulk.iter().collect();
+        let mut b: Vec<_> = serial.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let tentries: Vec<(u128, u32)> = (0..2000u64)
+            .map(|i| {
+                let lo = dnaseq::mix64(i % 700);
+                let k = ((dnaseq::mix64(lo) as u128) << 64) | lo as u128;
+                let k = if i % 97 == 0 { u128::MAX } else { k };
+                (k, (i % 5 + 1) as u32)
+            })
+            .collect();
+        let mut bulk = FlatTileTable::new();
+        bulk.insert_batch(&tentries);
+        let mut serial = FlatTileTable::new();
+        for &(k, c) in &tentries {
+            serial.add_count(k, c);
+        }
+        assert_eq!(bulk.capacity(), serial.capacity());
+        assert_eq!(bulk.len(), serial.len());
+        assert_eq!(bulk.get(u128::MAX), serial.get(u128::MAX));
+        let mut a: Vec<_> = bulk.iter().collect();
+        let mut b: Vec<_> = serial.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bulk_load_matches_per_key_adds() {
+        // merge_sorted on an *empty* table takes the one-sweep bulk-load
+        // path; content, geometry, lookups, and the sentinel side field
+        // must match the per-key loop. Enough random keys at full target
+        // load that probe clusters cross the wrap-around boundary with
+        // overwhelming probability, covering the spill path.
+        for n in [1usize, 50, 6000, 50_000] {
+            let mut entries: Vec<(u64, u32)> =
+                (0..n as u64).map(|i| (dnaseq::mix64(i), (i % 5 + 1) as u32)).collect();
+            entries.push((EMPTY_U64, 9)); // sentinel sorts last
+            entries.sort_unstable_by_key(|e| e.0);
+            entries.dedup_by_key(|e| e.0);
+            let mut bulk = FlatKmerTable::new();
+            bulk.merge_sorted(&entries);
+            let mut serial = FlatKmerTable::new();
+            serial.reserve(entries.len() - 1); // same pre-size, sentinel slotless
+            for &(k, c) in &entries {
+                serial.add_count(k, c);
+            }
+            assert_eq!(bulk.capacity(), serial.capacity(), "n={n}");
+            assert_eq!(bulk.len(), serial.len());
+            assert_eq!(bulk.get(EMPTY_U64), Some(9));
+            for &(k, c) in &entries {
+                assert_eq!(bulk.get(k), Some(c), "n={n} key={k}");
+            }
+            assert_eq!(bulk.get(dnaseq::mix64(n as u64 + 7)), None);
+            let mut a: Vec<_> = bulk.iter().collect();
+            let mut b: Vec<_> = serial.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+
+        let mut tentries: Vec<(u128, u32)> = (0..6000u64)
+            .map(|i| {
+                let lo = dnaseq::mix64(i);
+                ((((dnaseq::mix64(lo) as u128) << 64) | lo as u128), (i % 5 + 1) as u32)
+            })
+            .collect();
+        tentries.push((u128::MAX, 4));
+        tentries.sort_unstable_by_key(|e| e.0);
+        tentries.dedup_by_key(|e| e.0);
+        let mut bulk = FlatTileTable::new();
+        bulk.merge_sorted(&tentries);
+        let mut serial = FlatTileTable::new();
+        serial.reserve(tentries.len() - 1);
+        for &(k, c) in &tentries {
+            serial.add_count(k, c);
+        }
+        assert_eq!(bulk.capacity(), serial.capacity());
+        assert_eq!(bulk.len(), serial.len());
+        assert_eq!(bulk.get(u128::MAX), Some(4));
+        for &(k, c) in &tentries {
+            assert_eq!(bulk.get(k), Some(c));
+        }
+        let mut a: Vec<_> = bulk.iter().collect();
+        let mut b: Vec<_> = serial.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[ignore = "manual profiling probe"]
+    fn profile_insert_batch_paths() {
+        let n = 290_000usize;
+        let mut entries: Vec<(u64, u32)> = (0..n as u64).map(|i| (dnaseq::mix64(i), 3)).collect();
+        entries.sort_unstable();
+        entries.dedup_by_key(|e| e.0);
+        let time = |f: &mut dyn FnMut()| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64 / entries.len() as f64
+        };
+        for round in 0..3 {
+            let bulk = time(&mut || {
+                let mut t = FlatKmerTable::new();
+                t.merge_sorted(&entries);
+            });
+            let in_order = time(&mut || {
+                let mut t = FlatKmerTable::new();
+                t.reserve(entries.len());
+                t.insert_pipelined(&entries);
+            });
+            let growth = time(&mut || {
+                let mut t = FlatKmerTable::new();
+                for &(k, c) in &entries {
+                    t.add_count(k, c);
+                }
+            });
+            eprintln!(
+                "round {round}: bulk={bulk:.1} in_order={in_order:.1} growth={growth:.1} ns/key ({} keys)",
+                entries.len()
+            );
+        }
+        // stage breakdown of the bulk path
+        let cap = capacity_for(entries.len(), DEFAULT_LOAD.0, DEFAULT_LOAD.1);
+        let mask = cap - 1;
+        for round in 0..3 {
+            let t0 = std::time::Instant::now();
+            let mut order: Vec<u64> = entries
+                .iter()
+                .enumerate()
+                .map(|(i, &(k, _))| ((probe_start(k, mask) as u64) << 32) | i as u64)
+                .collect();
+            let t_order = t0.elapsed().as_nanos() as f64;
+            let t1 = std::time::Instant::now();
+            let mut tmp: Vec<u64> = Vec::new();
+            crate::radix::lsd_sort_by(&mut order, &mut tmp, cap.trailing_zeros(), |&p| {
+                (p >> 32) as u32
+            });
+            let t_sort = t1.elapsed().as_nanos() as f64;
+            let t2 = std::time::Instant::now();
+            let mut keys = vec![EMPTY_U64; cap];
+            let mut counts = vec![0u32; cap];
+            let t_alloc = t2.elapsed().as_nanos() as f64;
+            let t3 = std::time::Instant::now();
+            let mut cursor = 0usize;
+            const AHEAD: usize = 16;
+            for (j, &p) in order.iter().enumerate() {
+                if let Some(&np) = order.get(j + AHEAD) {
+                    dnaseq::simd::prefetch_read(&entries, np as u32 as usize);
+                }
+                let (h, i) = ((p >> 32) as usize, p as u32);
+                let slot = cursor.max(h);
+                if slot >= cap {
+                    continue;
+                }
+                let (key, count) = entries[i as usize];
+                keys[slot] = key;
+                counts[slot] = count;
+                cursor = slot + 1;
+            }
+            let t_place = t3.elapsed().as_nanos() as f64;
+            std::hint::black_box((&keys, &counts));
+            let per = entries.len() as f64;
+            eprintln!(
+                "  stages {round}: order={:.1} sort={:.1} alloc={:.1} place={:.1} ns/key",
+                t_order / per,
+                t_sort / per,
+                t_alloc / per,
+                t_place / per
+            );
+        }
     }
 
     #[test]

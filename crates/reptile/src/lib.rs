@@ -29,6 +29,7 @@ pub mod layouts;
 pub mod params;
 pub mod pipeline;
 pub mod prefetch;
+pub mod radix;
 pub mod spectrum;
 
 pub use bloom_build::{build_with_bloom, BloomBuildStats};

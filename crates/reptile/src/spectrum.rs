@@ -101,6 +101,13 @@ impl KmerSpectrum {
         self.counts.merge_sorted(entries);
     }
 
+    /// Bulk add of arbitrary (normalized) `(code, count)` pairs through
+    /// the prefetch-pipelined batch path
+    /// ([`FlatKmerTable::insert_batch`](crate::flat::FlatKmerTable::insert_batch)).
+    pub fn insert_batch(&mut self, entries: &[(u64, u32)]) {
+        self.counts.insert_batch(entries);
+    }
+
     /// Count of a code (0 if absent). Normalizes internally.
     #[inline]
     pub fn count(&self, code: u64) -> u32 {
@@ -234,6 +241,12 @@ impl TileSpectrum {
     /// pairs (see [`KmerSpectrum::merge_sorted`]).
     pub fn merge_sorted(&mut self, entries: &[(u128, u32)]) {
         self.counts.merge_sorted(entries);
+    }
+
+    /// Bulk add of arbitrary (normalized) `(code, count)` pairs (see
+    /// [`KmerSpectrum::insert_batch`]).
+    pub fn insert_batch(&mut self, entries: &[(u128, u32)]) {
+        self.counts.insert_batch(entries);
     }
 
     /// Count of a code (0 if absent). Normalizes internally.
