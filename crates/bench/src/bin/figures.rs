@@ -27,6 +27,7 @@ fn main() {
             "partial",
             "ablation-chunk",
             "ablation-q",
+            "ablation-balance",
             "baseline",
             "prior-art",
             "latency",
@@ -78,6 +79,7 @@ fn main() {
                 let ds = ecoli_scaled();
                 println!("{}", render_quality(&ablation_quality(&ds, params)));
             }
+            "ablation-balance" => println!("{}", render_balance(&ablation_balance())),
             "baseline" => {
                 let ds = ecoli_scaled();
                 println!("{}", render_baseline(&baseline_comparison(&ds, params)));
@@ -109,6 +111,11 @@ fn main() {
                 std::fs::write("BENCH_snapshot.json", &json).expect("write BENCH_snapshot.json");
                 print!("{json}");
                 eprintln!("wrote BENCH_snapshot.json");
+                let bal = reptile_bench::balance_bench::run();
+                let json = reptile_bench::balance_bench::render_json(&bal);
+                std::fs::write("BENCH_balance.json", &json).expect("write BENCH_balance.json");
+                print!("{json}");
+                eprintln!("wrote BENCH_balance.json");
             }
             // Not part of `all`: gates CI on the measured perf floors
             // recorded by `bench-json` (run that first in the same
@@ -139,9 +146,34 @@ fn main() {
                 }
                 println!("perf-floor: OK");
             }
+            // Not part of `all`: gates CI on the adaptive-balancing
+            // floors recorded by `bench-json` in BENCH_balance.json.
+            "balance-floor" => {
+                let bal = std::fs::read_to_string("BENCH_balance.json")
+                    .expect("read BENCH_balance.json (run `figures -- bench-json` first)");
+                let speedup = scrape_number(&bal, "skewed_speedup")
+                    .expect("skewed_speedup in BENCH_balance.json");
+                let ratio = scrape_number(&bal, "uniform_ratio")
+                    .expect("uniform_ratio in BENCH_balance.json");
+                let reduction = scrape_number(&bal, "remote_reduction")
+                    .expect("remote_reduction in BENCH_balance.json");
+                let mut ok = true;
+                println!("balance-floor: adaptive speedup on skew {speedup:.3}x (floor 1.50)");
+                ok &= speedup >= 1.5;
+                println!("balance-floor: uniform adaptive/static ratio {ratio:.3} (0.95..=1.05)");
+                ok &= (0.95..=1.05).contains(&ratio);
+                println!("balance-floor: remote-lookup reduction on skew {reduction:.3} (> 0)");
+                ok &= reduction > 0.0;
+                if !ok {
+                    eprintln!("balance-floor: FAILED");
+                    std::process::exit(1);
+                }
+                println!("balance-floor: OK");
+            }
             other => {
                 eprintln!(
-                    "unknown item '{other}' (expected table1, fig2..fig8, bench-json, perf-floor, all)"
+                    "unknown item '{other}' (expected table1, fig2..fig8, bench-json, \
+                     perf-floor, balance-floor, all)"
                 );
                 std::process::exit(2);
             }

@@ -833,6 +833,83 @@ pub fn render_scaling(f: &ScalingFigure) -> String {
     out
 }
 
+// ------------------------------------- Ablation: adaptive load balancing
+
+/// One policy × workload row of the adaptive-balancing ablation.
+#[derive(Clone, Debug)]
+pub struct BalanceRow {
+    /// Workload ("skewed" / "uniform").
+    pub workload: &'static str,
+    /// Policy ("static" / "adaptive").
+    pub policy: &'static str,
+    /// Modeled makespan, slowest rank, seconds.
+    pub makespan_secs: f64,
+    /// Remote lookups summed over ranks.
+    pub remote_lookups: u64,
+    /// Lookups served by a hot-shard replica.
+    pub hot_shard_hits: u64,
+    /// Read chunks moved by the steal protocol.
+    pub chunks_stolen: u64,
+    /// `(max − min) / mean` of per-rank correction time.
+    pub straggler_spread: f64,
+}
+
+/// Ablation: the static paper protocol vs the adaptive balancing layer
+/// (top-K hot-shard replication + read-chunk stealing) on the
+/// repeat-heavy / uniform workload pair from the balance bench. The
+/// uniform rows double as the no-regression control: both skew gates
+/// must hold, leaving the adaptive rows identical to the static ones.
+pub fn ablation_balance() -> Vec<BalanceRow> {
+    use crate::balance_bench::{HOT_K, NP};
+    use crate::workloads::{balance_pair, smoke_params};
+    let (uni, skew) = balance_pair();
+    let mut rows = Vec::new();
+    for (workload, ds) in [("skewed", &skew), ("uniform", &uni)] {
+        for (policy, heur) in
+            [("static", HeuristicConfig::default()), ("adaptive", HeuristicConfig::adaptive(HOT_K))]
+        {
+            let cfg = EngineConfig {
+                heuristics: heur,
+                cost: mpisim::CostModel::commodity_cluster(),
+                chunk_size: 32,
+                ..EngineConfig::virtual_cluster(NP, smoke_params())
+            };
+            let run = run_virtual(&cfg, &ds.reads);
+            rows.push(BalanceRow {
+                workload,
+                policy,
+                makespan_secs: run.report.makespan_secs(),
+                remote_lookups: run.report.remote_lookups(),
+                hot_shard_hits: run.report.hot_shard_hits(),
+                chunks_stolen: run.report.chunks_stolen(),
+                straggler_spread: run.report.straggler_spread(),
+            });
+        }
+    }
+    rows
+}
+
+/// Render the adaptive-balancing ablation.
+pub fn render_balance(rows: &[BalanceRow]) -> String {
+    let mut out = String::from(
+        "Ablation — static vs adaptive balancing, repeat-heavy pair, 8 ranks\n\
+         workload policy   makespan_s remote_lookups hot_hits stolen spread\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<8} {:<8} {:>10.3} {:>14} {:>8} {:>6} {:>6.3}\n",
+            r.workload,
+            r.policy,
+            r.makespan_secs,
+            r.remote_lookups,
+            r.hot_shard_hits,
+            r.chunks_stolen,
+            r.straggler_spread
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1042,5 +1119,28 @@ mod tests {
         let _ = render_fig4(&fig4(&ds, p, 1));
         let _ = render_fig5(&fig5(&ds, p, 1));
         let _ = render_scaling(&fig6(&ds, p, 1));
+    }
+
+    #[test]
+    fn ablation_balance_shapes() {
+        let rows = ablation_balance();
+        assert_eq!(rows.len(), 4);
+        let by = |w: &str, p: &str| {
+            rows.iter().find(|r| r.workload == w && r.policy == p).expect("row present")
+        };
+        // adaptive wins on skew, with both mechanisms visibly engaged
+        let (ss, sa) = (by("skewed", "static"), by("skewed", "adaptive"));
+        assert!(sa.makespan_secs < ss.makespan_secs);
+        assert!(sa.hot_shard_hits > 0 && sa.chunks_stolen > 0);
+        assert!(sa.straggler_spread < ss.straggler_spread);
+        // on the uniform control both gates hold: the adaptive run *is*
+        // the static run
+        let (us, ua) = (by("uniform", "static"), by("uniform", "adaptive"));
+        assert_eq!(ua.makespan_secs, us.makespan_secs);
+        assert_eq!(ua.hot_shard_hits, 0);
+        assert_eq!(ua.chunks_stolen, 0);
+        let txt = render_balance(&rows);
+        assert!(txt.contains("hot_hits") && txt.contains("stolen"));
+        assert_eq!(txt.lines().count(), 2 + rows.len());
     }
 }

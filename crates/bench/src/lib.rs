@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod balance_bench;
 pub mod build_bench;
 pub mod figures;
 pub mod snapshot_bench;

@@ -75,6 +75,8 @@ fn workload(n: usize) -> Vec<dnaseq::Read> {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(0x5EED_5A9D)
     .reads

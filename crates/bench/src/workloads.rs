@@ -72,8 +72,43 @@ pub fn smoke() -> SyntheticDataset {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(SEED + 3)
+}
+
+/// Uniform/skewed workload pair for the adaptive-balancing bench: the
+/// *same* profile generated with and without the repeat knob, so the two
+/// datasets differ only in the repeat run. The skewed half tiles 70% of
+/// the genome with a homopolymer — the sharpest possible repeat (one
+/// distinct k-mer), so reads from the run hammer a single spectrum
+/// owner *and* (being largely identical sequences) hash-shuffle onto a
+/// single rank. The pair is larger than [`smoke`]: per-rank read counts
+/// concentrate as √n, so the uniform control's natural spread stays
+/// small enough that "adaptive ties static on uniform" is a meaningful
+/// no-regression check rather than a race against shuffle variance.
+pub fn balance_pair() -> (SyntheticDataset, SyntheticDataset) {
+    let prof = DatasetProfile {
+        name: "balance".into(),
+        genome_len: 16_000,
+        read_len: 60,
+        n_reads: 10_000,
+        base_error_rate: 0.004,
+        // no hotspots: hotspot oversampling emits duplicate reads that
+        // hash-shuffle onto the same rank and carry a multiplied error
+        // rate, which by itself skews per-rank lookup traffic ~35% — the
+        // uniform control must be genuinely uniform for "adaptive ties
+        // static" to be a no-regression check
+        hotspot_count: 0,
+        hotspot_multiplier: 1.0,
+        hotspot_fraction: 0.0,
+        both_strands: false,
+        n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
+    };
+    (prof.generate(SEED + 4), prof.with_repeats(0.7, 1).generate(SEED + 4))
 }
 
 /// Parameters matched to the smoke workload's small genome.

@@ -14,6 +14,10 @@
 //!   --replicate X        kmers | tiles | both (allgather heuristics)
 //!   --partial-group G    §V partial replication group size
 //!   --no-load-balance    disable the static shuffle (§III-A)
+//!   --hot-shards K       replicate the K hottest spectrum owners when
+//!                        skew detection trips (DESIGN.md §12)
+//!   --steal              read-chunk stealing between ranks (gated on
+//!                        chunk-load imbalance; bit-identical output)
 //!   --chunk-size N       override the config file's chunk size
 //!   --build-threads N    extraction workers per rank for the pipelined
 //!                        spectrum build (default: all host cores; the

@@ -42,6 +42,7 @@ const VALUED: &[&str] = &[
     "np",
     "engine",
     "partial-group",
+    "hot-shards",
     "chunk-size",
     "replicate",
     "scale",
@@ -123,6 +124,7 @@ pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageEr
         cache_remote: args.has("cache-remote"),
         aggregate_lookups: args.has("aggregate"),
         load_balance: !args.has("no-load-balance"),
+        steal_chunks: args.has("steal"),
         ..HeuristicConfig::default()
     };
     match args.value("replicate") {
@@ -140,6 +142,7 @@ pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageEr
         }
     }
     heur.partial_group = args.int("partial-group", 1)?;
+    heur.hot_shard_k = args.int("hot-shards", 0)?;
     heur.validate().map_err(UsageError)?;
     Ok(heur)
 }
@@ -260,6 +263,10 @@ mod tests {
         assert!(h.replicate_kmers && h.replicate_tiles && !h.load_balance);
         let a = parse(&["c", "--partial-group", "8"]);
         assert_eq!(heuristics_from_args(&a).unwrap().partial_group, 8);
+        let a = parse(&["c", "--hot-shards", "2", "--steal"]);
+        let h = heuristics_from_args(&a).unwrap();
+        assert_eq!(h.hot_shard_k, 2);
+        assert!(h.steal_chunks);
     }
 
     #[test]

@@ -51,6 +51,15 @@ pub struct DatasetProfile {
     pub both_strands: bool,
     /// Fraction of bases reported as `N` (quality 2) regardless of truth.
     pub n_rate: f64,
+    /// Fraction of the genome overwritten by a tandem repeat (0 = none).
+    /// Reads sampled from the repeat share a handful of k-mers/tiles, so
+    /// Step IV lookup volume funnels to those keys' owners — the skew
+    /// workload the adaptive balancing layer exists for.
+    pub repeat_fraction: f64,
+    /// Length of the tandem repeat unit (0 disables repeats). Keep it
+    /// near the k-mer size: the shorter the unit, the fewer distinct
+    /// keys the repeat region produces and the sharper the skew.
+    pub repeat_unit_len: usize,
 }
 
 impl DatasetProfile {
@@ -103,7 +112,20 @@ impl DatasetProfile {
             hotspot_fraction: 0.10,
             both_strands: false,
             n_rate: 0.0005,
+            repeat_fraction: 0.0,
+            repeat_unit_len: 0,
         }
+    }
+
+    /// Overwrite part of the genome with a tandem repeat — the
+    /// repeat-heavy variant of any profile (see `repeat_fraction`).
+    pub fn with_repeats(&self, fraction: f64, unit_len: usize) -> DatasetProfile {
+        assert!((0.0..=1.0).contains(&fraction), "repeat fraction must be in [0, 1]");
+        let mut p = self.clone();
+        p.repeat_fraction = fraction;
+        p.repeat_unit_len = unit_len;
+        p.name = format!("{} +repeats", self.name);
+        p
     }
 
     /// Shrink genome length and read count by `divisor`, preserving
@@ -129,8 +151,25 @@ impl DatasetProfile {
     pub fn generate(&self, seed: u64) -> SyntheticDataset {
         assert!(self.genome_len >= self.read_len, "genome shorter than a read");
         let mut rng = StdRng::seed_from_u64(seed);
-        let genome: Vec<u8> =
+        let mut genome: Vec<u8> =
             (0..self.genome_len).map(|_| [b'A', b'C', b'G', b'T'][rng.gen_range(0..4)]).collect();
+
+        // Repeat-heavy genomes: tile a centered region with its own first
+        // `repeat_unit_len` bases. Rewriting in place (after the genome
+        // draw, before any read sampling) keeps every other random choice
+        // identical to the repeat-free genome under the same seed.
+        if self.repeat_fraction > 0.0 && self.repeat_unit_len > 0 {
+            assert!((0.0..=1.0).contains(&self.repeat_fraction), "repeat fraction in [0, 1]");
+            let span = ((self.genome_len as f64 * self.repeat_fraction) as usize)
+                .max(self.repeat_unit_len)
+                .min(self.genome_len);
+            let start = (self.genome_len - span) / 2;
+            let unit: Vec<u8> = genome[start..start + self.repeat_unit_len.min(span)].to_vec();
+            for j in 0..span {
+                genome[start + j] = unit[j % unit.len()];
+            }
+        }
+        let genome = genome;
 
         // Hotspot intervals: evenly spread starts, jittered, each covering
         // hotspot_fraction/hotspot_count of the genome.
@@ -347,6 +386,35 @@ mod tests {
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
         assert!(max as f64 > 1.5 * (min.max(1) as f64), "no clustering: {counts:?}");
+    }
+
+    #[test]
+    fn repeat_knob_tiles_a_region_and_changes_nothing_else() {
+        let plain = tiny().generate(42);
+        let rep = tiny().with_repeats(0.4, 8).generate(42);
+        // the repeat region really is a tandem tiling of one 8-base unit
+        let span = (5_000f64 * 0.4) as usize;
+        let start = (5_000 - span) / 2;
+        let unit = &rep.genome[start..start + 8];
+        for j in 0..span {
+            assert_eq!(rep.genome[start + j], unit[j % 8], "offset {j}");
+        }
+        // outside the region the genome is untouched: same seed, same draw
+        assert_eq!(rep.genome[..start], plain.genome[..start]);
+        assert_eq!(rep.genome[start + span..], plain.genome[start + span..]);
+        // read sampling positions are seed-identical too
+        assert_eq!(rep.reads.len(), plain.reads.len());
+        // k-mer diversity collapses inside the repeat: far fewer distinct
+        // 8-mers than the uniform genome's
+        let distinct = |g: &[u8]| {
+            g[start..start + span].windows(8).collect::<std::collections::HashSet<_>>().len()
+        };
+        assert!(distinct(&rep.genome) <= 8);
+        assert!(distinct(&plain.genome) > 500);
+        // fraction 0 is byte-identical to the plain profile
+        let off = tiny().with_repeats(0.0, 0).generate(42);
+        assert_eq!(off.genome, plain.genome);
+        assert_eq!(off.reads, plain.reads);
     }
 
     #[test]

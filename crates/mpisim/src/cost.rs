@@ -147,6 +147,17 @@ impl CostModel {
         self.collective_hop_ns * hops + max_bytes as f64 / self.net_bw_bytes_per_ns
     }
 
+    /// Modeled time of an `allgatherv` delivering `union_bytes` to every
+    /// rank (the hot-shard replication collective: each contributor's
+    /// part travels a log-depth tree, then every rank streams the whole
+    /// union). Same latency/bandwidth decomposition as
+    /// [`alltoallv_ns`](CostModel::alltoallv_ns); the bandwidth term is
+    /// governed by the union size because every rank must receive it all.
+    pub fn allgatherv_ns(&self, np: usize, union_bytes: usize) -> f64 {
+        let hops = (np.max(2) as f64).log2().ceil();
+        self.collective_hop_ns * hops + union_bytes as f64 / self.net_bw_bytes_per_ns
+    }
+
     /// Modeled makespan of `rounds` pipelined compute/exchange rounds
     /// where each round's collective overlaps the next round's compute
     /// (the double-buffered spectrum build): the first compute runs bare,
@@ -307,6 +318,16 @@ mod tests {
         let m = CostModel::bgq();
         let small = m.alltoallv_ns(128, 1 << 10);
         let big = m.alltoallv_ns(128, 1 << 30);
+        assert!(big > small * 10.0);
+    }
+
+    #[test]
+    fn allgather_scales_with_union_and_ranks() {
+        let m = CostModel::bgq();
+        // latency term grows with rank count, bandwidth term with bytes
+        assert!(m.allgatherv_ns(1024, 1 << 10) > m.allgatherv_ns(8, 1 << 10));
+        let small = m.allgatherv_ns(64, 1 << 10);
+        let big = m.allgatherv_ns(64, 1 << 30);
         assert!(big > small * 10.0);
     }
 

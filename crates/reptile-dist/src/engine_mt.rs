@@ -28,19 +28,21 @@
 //! overhead-free bookkeeping: the output is bit-identical to a run
 //! without it.
 
-use crate::balance::shuffle_reads;
+use crate::balance::{owner_volume_histogram, select_hot_owners, shuffle_reads, sum_histograms};
 use crate::engine::{EngineConfig, EngineError, RunOutput};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
 use crate::protocol::{
-    count_to_wire, decode_response, encode_response_into, wire_to_count, BatchRequest,
-    BatchResponse, LookupRequest, MAX_BATCH_KEYS, TAG_BATCH_REQ, TAG_BATCH_RESP, TAG_KMER_REQ,
-    TAG_RESP, TAG_TILE_REQ, TAG_UNIVERSAL,
+    count_to_wire, decode_response, decode_steal_ack, decode_steal_request, encode_response_into,
+    encode_steal_ack, encode_steal_request, wire_to_count, BatchRequest, BatchResponse,
+    LookupRequest, StealResponse, MAX_BATCH_KEYS, TAG_BATCH_REQ, TAG_BATCH_RESP, TAG_KMER_REQ,
+    TAG_RESP, TAG_STEAL_ACK, TAG_STEAL_REQ, TAG_STEAL_RESP, TAG_TILE_REQ, TAG_UNIVERSAL,
 };
 use crate::report::{LookupStats, RankReport, RunReport};
 use crate::snapshot;
 use crate::spectrum::{
-    build_distributed, derive_heuristic_tables, scan_nonowned_keys, BuildStats, RankTables,
+    build_distributed, derive_heuristic_tables, replicate_hot_shards, scan_nonowned_keys,
+    BuildStats, RankTables,
 };
 use dnaseq::{FxHashMap, Read};
 use mpisim::message::WireWriter;
@@ -48,6 +50,7 @@ use mpisim::{Comm, Source, TagSel, TraceLog, Universe};
 use reptile::spectrum::{KmerSpectrum, TileSpectrum};
 use reptile::{correct_read, CorrectionStats, Normalized, ReptileParams, SpectrumAccess};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The machine's available parallelism (1 if it cannot be queried).
@@ -123,6 +126,12 @@ pub(crate) fn assemble_output(
         ranks.push(report);
     }
     corrected.sort_unstable_by_key(|r| r.id);
+    // Chunk stealing under a fault plan is at-least-once: a victim
+    // re-adopts a handed-out chunk whose ACK never arrived, so a read can
+    // be corrected on two ranks. Both corrections are byte-identical
+    // (same global tables), so collapsing by id restores exactly-once
+    // output. A no-op on every other run (ids are unique).
+    corrected.dedup_by_key(|r| r.id);
     RunOutput { corrected, report: RunReport { ranks, topology: cfg.topology, cost: cfg.cost } }
 }
 
@@ -207,7 +216,7 @@ pub(crate) fn run_rank(
 
     // --- Steps II–III: distributed spectrum construction, or a snapshot
     // load that skips them entirely ---
-    let (tables, build_stats, snapshot_load_secs, snapshot_bytes_read) =
+    let (mut tables, mut build_stats, snapshot_load_secs, snapshot_bytes_read) =
         if let Some(dir) = &cfg.load_spectrum {
             if let Some(t) = trace.as_mut() {
                 t.phase_start("snapshot-load");
@@ -252,6 +261,18 @@ pub(crate) fn run_rank(
             );
             (tables, stats, 0.0, 0)
         };
+
+    // --- adaptive balancing: detect skew and replicate the hot shards ---
+    if cfg.heuristics.hot_shard_k > 0 && comm.size() > 1 {
+        let hist = owner_volume_histogram(&my_reads, &cfg.params, &tables.owners);
+        let global = sum_histograms(&comm.allgatherv(hist));
+        let hot = select_hot_owners(&global, cfg.heuristics.hot_shard_k);
+        // `hot` comes out of the same global histogram on every rank, so
+        // this branch (and its collectives) is collectively uniform.
+        if hot.iter().any(|&h| h) {
+            replicate_hot_shards(comm, &cfg.params, &mut tables, &hot, &mut build_stats);
+        }
+    }
     comm.barrier();
     let construct_secs = t0.elapsed().as_secs_f64();
 
@@ -293,6 +314,9 @@ pub(crate) fn run_rank(
         replicated_tiles,
         group_kmers,
         group_tiles,
+        hot_kmers,
+        hot_tiles,
+        hot_owners,
     } = tables;
     let mut corrected = my_reads;
     let mut correction = CorrectionStats::default();
@@ -303,10 +327,34 @@ pub(crate) fn run_rank(
     // Fully replicated (or whole-universe partial-group) runs never touch
     // the p2p service plane; skip the comm thread entirely.
     let service_plane = cfg.heuristics.needs_service_plane(comm.size());
+    // --- chunk stealing setup: share the work queue with the comm
+    // thread, and allgather initial loads so thieves target the most
+    // loaded victims first ---
+    let chunk_unit = cfg.chunk_size.max(1);
+    let want_steal = cfg.heuristics.steal_chunks && comm.size() > 1;
+    let loads: Vec<u64> = if want_steal {
+        let mine = corrected.len().div_ceil(chunk_unit) as u64;
+        comm.allgatherv(vec![mine]).into_iter().map(|v| v[0]).collect()
+    } else {
+        Vec::new()
+    };
+    // Every rank sees the same allgathered loads, so the gate decision is
+    // collectively uniform: either all ranks run the steal protocol or
+    // none do. A balanced shuffle runs exactly the static path.
+    let steal_mode = want_steal && crate::balance::steal_worth_it(&loads);
+    let steal_state =
+        steal_mode.then(|| Mutex::new(StealState::new(std::mem::take(&mut corrected), chunk_unit)));
     std::thread::scope(|s| {
         let server = service_plane.then(|| {
             s.spawn(|| {
-                comm_thread(comm, &hash_kmers, &hash_tiles, cfg.heuristics.universal, &shutdown)
+                comm_thread(
+                    comm,
+                    &hash_kmers,
+                    &hash_tiles,
+                    cfg.heuristics.universal,
+                    steal_state.as_ref(),
+                    &shutdown,
+                )
             })
         });
         let mut access = DistAccess {
@@ -321,6 +369,9 @@ pub(crate) fn run_rank(
             replicated_tiles: &replicated_tiles,
             group_kmers: &group_kmers,
             group_tiles: &group_tiles,
+            hot_kmers: &hot_kmers,
+            hot_tiles: &hot_tiles,
+            hot_owners: &hot_owners,
             heur: cfg.heuristics,
             lookup_deadline: cfg.lookup_deadline,
             retry_budget: cfg.retry_budget,
@@ -332,10 +383,56 @@ pub(crate) fn run_rank(
             stats: LookupStats::default(),
             comm_secs: 0.0,
         };
-        if cfg.heuristics.aggregate_lookups {
+        if let Some(state) = &steal_state {
+            let mut correct_chunk = |access: &mut DistAccess, chunk: &mut [Read]| {
+                if cfg.heuristics.aggregate_lookups {
+                    access.prefetch(chunk, &cfg.params);
+                }
+                for read in chunk.iter_mut() {
+                    let outcome = correct_read(read, access, &cfg.params);
+                    correction.absorb(&outcome);
+                }
+            };
+            // own queue first: pop chunks off the front while the comm
+            // thread hands the back out to thieves. Never hold the lock
+            // while correcting — the comm thread must stay responsive.
+            loop {
+                let chunk = state.lock().expect("steal lock").pop_front();
+                let Some(mut chunk) = chunk else { break };
+                correct_chunk(&mut access, &mut chunk);
+                corrected.extend(chunk);
+            }
+            // At-least-once under faults: a handed-out chunk whose ACK
+            // never arrived may have been lost in flight — re-adopt and
+            // correct it here. If the thief did receive it, both copies
+            // are identical and the id-ordered merge dedups them.
+            if !cfg.fault.is_none() {
+                let adopted: Vec<Vec<Read>> = {
+                    let mut st = state.lock().expect("steal lock");
+                    st.handed_out.drain(..).map(|(_, _, c)| c).collect()
+                };
+                for mut chunk in adopted {
+                    correct_chunk(&mut access, &mut chunk);
+                    corrected.extend(chunk);
+                }
+            }
+            // thief phase: sweep the other ranks, most-loaded first;
+            // each victim's queue only shrinks, so one sweep that drains
+            // every victim to "nothing left" is complete.
+            let mut victims: Vec<usize> =
+                (0..comm.size()).filter(|&r| r != me && loads[r] > 0).collect();
+            victims.sort_by_key(|&r| (std::cmp::Reverse(loads[r]), r));
+            for victim in victims {
+                while let Some(mut chunk) = access.steal_from(victim) {
+                    access.stats.chunks_stolen += 1;
+                    correct_chunk(&mut access, &mut chunk);
+                    corrected.extend(chunk);
+                }
+            }
+        } else if cfg.heuristics.aggregate_lookups {
             // aggregate mode: one batched prefetch round per chunk, then
             // correct the chunk against the filled cache
-            for chunk in corrected.chunks_mut(cfg.chunk_size.max(1)) {
+            for chunk in corrected.chunks_mut(chunk_unit) {
                 access.prefetch(chunk, &cfg.params);
                 for read in chunk.iter_mut() {
                     let outcome = correct_read(read, &mut access, &cfg.params);
@@ -382,6 +479,58 @@ pub(crate) fn run_rank(
     Ok((corrected, report))
 }
 
+/// The shared work queue of chunk stealing: the rank's own worker pops
+/// chunks off the *front* while the comm thread hands the *back* out to
+/// thieving ranks. One mutex guards the cursors, so a chunk is taken by
+/// exactly one side; the lock is never held across a correction or a
+/// blocking receive.
+struct StealState {
+    /// Read chunks still to correct; `None` slots were taken.
+    chunks: Vec<Option<Vec<Read>>>,
+    /// Front cursor — the worker's next chunk.
+    next: usize,
+    /// Back boundary — steals decrement it; queue is empty when
+    /// `next >= end`.
+    end: usize,
+    /// Handed-out, not-yet-ACKed chunks as `(thief, seq, reads)`. Under
+    /// a fault plan the worker re-adopts these before the final barrier
+    /// (at-least-once); fault-free they are dropped at exit, because the
+    /// response is guaranteed delivered.
+    handed_out: Vec<(usize, u64, Vec<Read>)>,
+    /// Encoded responses by `(thief, seq)`: a retried request is answered
+    /// with the **same** payload, so no chunk is ever handed to two
+    /// thieves through a resend.
+    served: FxHashMap<(usize, u64), Vec<u8>>,
+}
+
+impl StealState {
+    fn new(reads: Vec<Read>, chunk_size: usize) -> StealState {
+        let chunks: Vec<Option<Vec<Read>>> =
+            reads.chunks(chunk_size.max(1)).map(|c| Some(c.to_vec())).collect();
+        let end = chunks.len();
+        StealState { chunks, next: 0, end, handed_out: Vec::new(), served: FxHashMap::default() }
+    }
+
+    /// Worker side: take the next chunk from the front.
+    fn pop_front(&mut self) -> Option<Vec<Read>> {
+        if self.next >= self.end {
+            return None;
+        }
+        let chunk = self.chunks[self.next].take();
+        self.next += 1;
+        chunk
+    }
+
+    /// Steal side: take a whole chunk off the back.
+    fn steal_back(&mut self) -> Option<Vec<Read>> {
+        if self.next >= self.end {
+            return None;
+        }
+        self.end -= 1;
+        self.chunks[self.end].take()
+    }
+}
+
 /// Serve counters returned by [`comm_thread`].
 #[derive(Clone, Copy, Debug, Default)]
 struct ServedCounts {
@@ -408,23 +557,55 @@ fn comm_thread(
     hash_kmers: &KmerSpectrum,
     hash_tiles: &TileSpectrum,
     universal: bool,
+    steal: Option<&Mutex<StealState>>,
     shutdown: &AtomicBool,
 ) -> ServedCounts {
-    let req_tags: &[u32] = if universal {
-        &[TAG_UNIVERSAL, TAG_BATCH_REQ]
+    let mut req_tags: Vec<u32> = if universal {
+        vec![TAG_UNIVERSAL, TAG_BATCH_REQ]
     } else {
-        &[TAG_KMER_REQ, TAG_TILE_REQ, TAG_BATCH_REQ]
+        vec![TAG_KMER_REQ, TAG_TILE_REQ, TAG_BATCH_REQ]
     };
+    if steal.is_some() {
+        req_tags.extend([TAG_STEAL_REQ, TAG_STEAL_ACK]);
+    }
     let mut served = ServedCounts::default();
     let mut scratch = WireWriter::with_capacity(64);
     loop {
-        let Some(info) = comm.probe_tags_deadline(Source::Any, req_tags, SERVER_POLL) else {
+        let Some(info) = comm.probe_tags_deadline(Source::Any, &req_tags, SERVER_POLL) else {
             if shutdown.load(Ordering::Acquire) {
                 return served;
             }
             continue;
         };
         let msg = comm.recv(Source::Rank(info.src), TagSel::Tag(info.tag));
+        if msg.tag == TAG_STEAL_REQ {
+            let state = steal.expect("steal tag probed without steal state");
+            let seq = decode_steal_request(&msg.payload);
+            let payload = {
+                let mut st = state.lock().expect("steal lock");
+                match st.served.get(&(msg.src, seq)).cloned() {
+                    Some(p) => p,
+                    None => {
+                        let resp = StealResponse { chunk: st.steal_back() };
+                        let (_, p) = resp.encode(seq);
+                        if let Some(reads) = resp.chunk {
+                            st.handed_out.push((msg.src, seq, reads));
+                        }
+                        st.served.insert((msg.src, seq), p.clone());
+                        p
+                    }
+                }
+            };
+            comm.send_from_slice(msg.src, TAG_STEAL_RESP, &payload);
+            continue;
+        }
+        if msg.tag == TAG_STEAL_ACK {
+            let state = steal.expect("steal tag probed without steal state");
+            let seq = decode_steal_ack(&msg.payload);
+            let mut st = state.lock().expect("steal lock");
+            st.handed_out.retain(|(src, s, _)| !(*src == msg.src && *s == seq));
+            continue;
+        }
         if msg.tag == TAG_BATCH_REQ {
             // one sweep over the owned tables answers the whole batch
             let (seq, req) = BatchRequest::decode(&msg.payload);
@@ -480,6 +661,12 @@ struct DistAccess<'a> {
     replicated_tiles: &'a Option<TileSpectrum>,
     group_kmers: &'a Option<KmerSpectrum>,
     group_tiles: &'a Option<TileSpectrum>,
+    hot_kmers: &'a Option<KmerSpectrum>,
+    hot_tiles: &'a Option<TileSpectrum>,
+    /// Hot-owner flags (length `np`, or empty when adaptive replication
+    /// is off / found no skew); a hot owner's keys resolve from the
+    /// local replica instead of the wire.
+    hot_owners: &'a [bool],
     heur: HeuristicConfig,
     /// Base per-request deadline; `None` = block indefinitely (the
     /// fault-free fast path).
@@ -597,6 +784,9 @@ impl DistAccess<'_> {
         } else if owner == self.me {
             return None;
         }
+        if self.hot_owners.get(owner) == Some(&true) {
+            return None;
+        }
         if let Some(rk) = &self.reads_kmers {
             if rk.get_at(key).is_some() {
                 return None;
@@ -617,6 +807,9 @@ impl DistAccess<'_> {
                 return None;
             }
         } else if owner == self.me {
+            return None;
+        }
+        if self.hot_owners.get(owner) == Some(&true) {
             return None;
         }
         if let Some(rt) = &self.reads_tiles {
@@ -748,6 +941,57 @@ impl DistAccess<'_> {
         }
     }
 
+    /// One steal round trip: ask `victim` for a chunk off the back of
+    /// its queue, await the seq-matched response (retrying with backoff
+    /// under a deadline, like every other request on the service plane),
+    /// and acknowledge receipt. Returns `None` when the victim is
+    /// drained — or when the retry budget ran out, which a thief treats
+    /// the same way: stop stealing from that victim.
+    fn steal_from(&mut self, victim: usize) -> Option<Vec<Read>> {
+        let t = Instant::now();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut outcome = None;
+        'attempts: for attempt in 0..=self.retry_budget {
+            self.comm.send_from_slice(victim, TAG_STEAL_REQ, &encode_steal_request(seq));
+            if attempt > 0 {
+                self.stats.requests_retried += 1;
+            }
+            let deadline = attempt_deadline(self.lookup_deadline, attempt);
+            let start = Instant::now();
+            loop {
+                let msg = match deadline {
+                    None => self.comm.recv(Source::Rank(victim), TagSel::Tag(TAG_STEAL_RESP)),
+                    Some(d) => {
+                        let left = d.checked_sub(start.elapsed()).unwrap_or(Duration::ZERO);
+                        match self.comm.recv_deadline(
+                            Source::Rank(victim),
+                            TagSel::Tag(TAG_STEAL_RESP),
+                            left,
+                        ) {
+                            Some(m) => m,
+                            None => {
+                                self.stats.deadline_misses += 1;
+                                continue 'attempts;
+                            }
+                        }
+                    }
+                };
+                let (rseq, resp) = StealResponse::decode(&msg.payload);
+                if rseq == seq {
+                    self.comm.send_from_slice(victim, TAG_STEAL_ACK, &encode_steal_ack(seq));
+                    outcome = Some(resp);
+                    break 'attempts;
+                }
+                // response to an earlier steal round (duplicate or
+                // reordered) — the victim's resend cache makes dropping
+                // it safe
+            }
+        }
+        self.comm_secs += t.elapsed().as_secs_f64();
+        outcome.and_then(|resp| resp.chunk)
+    }
+
     fn send_batch(&mut self, owner: usize, req: &BatchRequest) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -786,6 +1030,15 @@ impl SpectrumAccess for DistAccess<'_> {
         } else if owner == self.me {
             self.stats.local_kmer_lookups += 1;
             return self.hash_kmers.count_at(key);
+        }
+        if self.hot_owners.get(owner) == Some(&true) {
+            if let Some(hk) = self.hot_kmers {
+                // exact copy of the hot owner's pruned table: the same
+                // count a remote request would return
+                self.stats.local_kmer_lookups += 1;
+                self.stats.hot_shard_hits += 1;
+                return hk.count_at(key);
+            }
         }
         if let Some(rk) = &self.reads_kmers {
             if let Some(c) = rk.get_at(key) {
@@ -826,6 +1079,13 @@ impl SpectrumAccess for DistAccess<'_> {
         } else if owner == self.me {
             self.stats.local_tile_lookups += 1;
             return self.hash_tiles.count_at(key);
+        }
+        if self.hot_owners.get(owner) == Some(&true) {
+            if let Some(ht) = self.hot_tiles {
+                self.stats.local_tile_lookups += 1;
+                self.stats.hot_shard_hits += 1;
+                return ht.count_at(key);
+            }
         }
         if let Some(rt) = &self.reads_tiles {
             if let Some(c) = rt.get_at(key) {

@@ -31,7 +31,10 @@
 //! to paper-scale counts (per-rank work and traffic are linear in reads
 //! per rank; see DESIGN.md §2).
 
-use crate::balance::shuffle_reads_virtual;
+use crate::balance::{
+    owner_volume_histogram, select_hot_owners, shuffle_reads_virtual, steal_worth_it,
+    sum_histograms,
+};
 use crate::engine::{EngineConfig, EngineError, RunOutput};
 use crate::heuristics::HeuristicConfig;
 use crate::owner::OwnerMap;
@@ -81,6 +84,24 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         (slices, vec![0u64; np])
     };
 
+    // --- adaptive balancing: the same skew detection the threaded engine
+    // runs, over the identically shuffled reads, so both engines agree on
+    // the hot-owner set. Empty = no replication (nothing tripped the gate).
+    let hot_owners: Vec<bool> = if cfg.heuristics.hot_shard_k > 0 && np > 1 {
+        let per_rank: Vec<Vec<u64>> = rank_reads
+            .iter()
+            .map(|reads| owner_volume_histogram(reads, &cfg.params, &owners))
+            .collect();
+        let hot = select_hot_owners(&sum_histograms(&per_rank), cfg.heuristics.hot_shard_k);
+        if hot.iter().any(|&h| h) {
+            hot
+        } else {
+            Vec::new()
+        }
+    } else {
+        Vec::new()
+    };
+
     // --- global spectra (the disjoint union of all owners' tables):
     // built from the reads, or reassembled from a snapshot's shards ---
     let (spectra, load_info) = if let Some(dir) = &cfg.load_spectrum {
@@ -115,6 +136,21 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         owned_tiles[owners.tile_owner_at(Normalized::assume(code))] += 1;
     }
 
+    // hot-shard replica size: ownership is disjoint, so the merged
+    // replica every rank holds is exactly the sum of the hot owners'
+    // pruned tables (mirrors `spectrum::replicate_hot_shards`)
+    let hot_kmer_entries: u64 =
+        hot_owners.iter().zip(&owned_kmers).filter(|&(&h, _)| h).map(|(_, &n)| n).sum();
+    let hot_tile_entries: u64 =
+        hot_owners.iter().zip(&owned_tiles).filter(|&(&h, _)| h).map(|(_, &n)| n).sum();
+    // the replication collective: hot owners allgather their entries at
+    // the count-exchange wire widths; every rank receives the union
+    let hot_allgather_ns = if hot_owners.is_empty() {
+        0.0
+    } else {
+        cost.allgatherv_ns(np, (hot_kmer_entries * 12 + hot_tile_entries * 20) as usize)
+    };
+
     // --- per-rank construction accounting + correction ---
     let kcodec = cfg.params.kmer_codec();
     let tcodec = cfg.params.tile_codec();
@@ -124,6 +160,7 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         .max()
         .unwrap_or(1);
     let mut ranks = Vec::with_capacity(np);
+    let mut rank_bases = Vec::with_capacity(np);
     let mut corrected_all = Vec::with_capacity(reads.len());
     for (me, mine) in rank_reads.into_iter().enumerate() {
         // construction counters
@@ -183,6 +220,7 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         }
         build.owned_kmers = owned_kmers[me];
         build.owned_tiles = owned_tiles[me];
+        build.hot_entries = hot_kmer_entries + hot_tile_entries;
         let reads_table_entries = if cfg.heuristics.keep_read_tables {
             (nonowned_kmers.len() + nonowned_tiles.len()) as u64
         } else {
@@ -212,6 +250,7 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         let mut access = VirtualAccess {
             spectra: &spectra,
             owners: &owners,
+            hot_owners: &hot_owners,
             me,
             heur: cfg.heuristics,
             cost: *cost,
@@ -270,7 +309,7 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
             let io = cost.snapshot_io_ns(per_rank_bytes[me]);
             let reshard =
                 if *resharded { cost.alltoallv_ns(np, per_rank_bytes[me] as usize) } else { 0.0 };
-            (io + reshard) * smt
+            (io + reshard + hot_allgather_ns) * smt
         } else {
             // extraction shards across the build workers; the per-round
             // collective overlaps the next round's extraction (pipelined
@@ -288,11 +327,13 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
             build.extract_ns = compute as u64;
             build.exchange_ns = (rounds as f64 * comm_round) as u64;
             build.overlap_ns = ((compute + rounds as f64 * comm_round) - total).max(0.0) as u64;
-            total * smt
+            (total + hot_allgather_ns) * smt
         };
         let local_lookups = lookups.local_kmer_lookups + lookups.local_tile_lookups;
-        let compute_ns = local_lookups as f64 * cost.hash_lookup_ns
-            + corrected.iter().map(|r| r.len() as u64).sum::<u64>() as f64 * cost.per_base_ns;
+        let rank_base_count = corrected.iter().map(|r| r.len() as u64).sum::<u64>();
+        rank_bases.push(rank_base_count);
+        let compute_ns =
+            local_lookups as f64 * cost.hash_lookup_ns + rank_base_count as f64 * cost.per_base_ns;
         // seq-stamped wire sizes: 8-byte header on every request/response
         let kmer_req_bytes = if cfg.heuristics.universal { 17 } else { 16 };
         let tile_req_bytes = if cfg.heuristics.universal { 25 } else { 24 };
@@ -332,6 +373,10 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         }
         if cfg.heuristics.replicate_tiles {
             spectrum_bytes += tile_bytes(spectra.tiles.len() as u64);
+        }
+        if !hot_owners.is_empty() {
+            // every rank holds the merged hot-shard replica
+            spectrum_bytes += kmer_bytes(hot_kmer_entries) + tile_bytes(hot_tile_entries);
         }
         let memory = cost.rank_memory_bytes_measured(spectrum_bytes);
 
@@ -381,6 +426,20 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         corrected_all.extend(corrected);
     }
 
+    // --- adaptive balancing: read-chunk stealing, modeled ---
+    // Same gate as the threaded engine: stealing switches on only when
+    // the shuffled chunk loads are imbalanced enough to pay for it.
+    if cfg.heuristics.steal_chunks && np > 1 {
+        let chunk_unit = cfg.chunk_size.max(1);
+        let loads: Vec<u64> = ranks
+            .iter()
+            .map(|r| (r.reads_processed as usize).div_ceil(chunk_unit) as u64)
+            .collect();
+        if steal_worth_it(&loads) {
+            model_chunk_stealing(&mut ranks, &rank_bases, chunk_unit, cost, rpn, smt, cfg.scale);
+        }
+    }
+
     // service load: every remote lookup is served by its owner — attribute
     // served counts by replaying the per-owner tallies
     // (uniform hashing makes these near-uniform; Fig 3's premise)
@@ -404,6 +463,90 @@ fn count_exchange_volume(
     build.exchange_bytes += (nonowned_kmers.len() * std::mem::size_of::<(u64, u32)>()
         + nonowned_tiles.len() * std::mem::size_of::<(u128, u32)>())
         as u64;
+}
+
+/// Analytic twin of the threaded engine's read-chunk stealing: level the
+/// per-rank correction makespans toward the mean by moving whole chunks
+/// from the currently slowest rank to the currently fastest, charging the
+/// thief each chunk's correction work plus the steal round trip (request
+/// plus the chunk's reads on the wire at the `StealResponse` widths). A move
+/// only happens while it shrinks the spread — `t_max − t_min` must exceed
+/// the chunk's cost — so a balanced run steals nothing, exactly like the
+/// threaded protocol where no rank finishes early enough to steal.
+///
+/// Only modeled time, `chunks_stolen`, and `comm_secs` move;
+/// `reads_processed` keeps describing the shuffle assignment (the
+/// threaded engine's counter drifts with the actual steals, but which
+/// physical rank corrected a read is immaterial to the model's outputs).
+#[allow(clippy::too_many_arguments)]
+fn model_chunk_stealing(
+    ranks: &mut [RankReport],
+    rank_bases: &[u64],
+    chunk_size: usize,
+    cost: &CostModel,
+    rpn: usize,
+    smt: f64,
+    scale: f64,
+) {
+    let np = ranks.len();
+    let mut t: Vec<f64> = ranks.iter().map(|r| r.correct_secs).collect();
+    let mut chunks: Vec<u64> =
+        ranks.iter().map(|r| (r.reads_processed as usize).div_ceil(chunk_size) as u64).collect();
+    // per-chunk correction cost (and its comm share), fixed per donor rank
+    let per_chunk: Vec<f64> =
+        t.iter().zip(&chunks).map(|(&t, &c)| if c > 0 { t / c as f64 } else { 0.0 }).collect();
+    let comm_per_chunk: Vec<f64> = ranks
+        .iter()
+        .zip(&chunks)
+        .map(|(r, &c)| if c > 0 { r.comm_secs / c as f64 } else { 0.0 })
+        .collect();
+    let steal_rt: Vec<f64> = ranks
+        .iter()
+        .zip(rank_bases)
+        .map(|(r, &bases)| {
+            let reads = r.reads_processed.max(1);
+            let avg_len = bases / reads;
+            let n = (chunk_size as u64).min(reads);
+            // StealResponse: seq + flag + count, then id + len-prefixed
+            // seq/qual per read (see protocol::StealResponse::wire_bytes)
+            let resp_bytes = (13 + n * (24 + 2 * avg_len)) as usize;
+            cost.avg_lookup_roundtrip_ns(8, resp_bytes, np, rpn) * smt * 1e-9 * scale
+        })
+        .collect();
+    let mut budget: u64 = chunks.iter().sum();
+    while budget > 0 {
+        budget -= 1;
+        let (vi, _) = match t
+            .iter()
+            .enumerate()
+            .filter(|&(r, _)| chunks[r] > 1)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+        {
+            Some(v) => v,
+            None => break,
+        };
+        let (ti, _) = t
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(a.0.cmp(&b.0)))
+            .expect("non-empty ranks");
+        let move_cost = per_chunk[vi] + steal_rt[vi];
+        if vi == ti || t[vi] - t[ti] <= move_cost {
+            break;
+        }
+        chunks[vi] -= 1;
+        chunks[ti] += 1;
+        t[vi] -= per_chunk[vi];
+        t[ti] += move_cost;
+        ranks[ti].lookups.chunks_stolen += 1;
+        // the chunk's remote-lookup traffic moves with it, and the thief
+        // additionally pays the steal round trip
+        ranks[vi].comm_secs = (ranks[vi].comm_secs - comm_per_chunk[vi]).max(0.0);
+        ranks[ti].comm_secs += comm_per_chunk[vi] + steal_rt[vi];
+    }
+    for (r, t) in ranks.iter_mut().zip(t) {
+        r.correct_secs = t;
+    }
 }
 
 /// Spread `requests_served` over ranks proportionally to owned entries —
@@ -447,6 +590,9 @@ fn distribute_service_counts(ranks: &mut [RankReport], fault: &FaultPlan) {
 struct VirtualAccess<'a> {
     spectra: &'a LocalSpectra,
     owners: &'a OwnerMap,
+    /// Hot-shard replication routing table (empty = no replication):
+    /// lookups owned by a flagged rank resolve from the local replica.
+    hot_owners: &'a [bool],
     me: usize,
     heur: HeuristicConfig,
     cost: CostModel,
@@ -530,6 +676,7 @@ impl VirtualAccess<'_> {
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         self.heur.replicate_kmers
             || in_group
+            || self.hot_owners.get(owner) == Some(&true)
             || self.own_kmer_keys.is_some_and(|keys| keys.contains(&key.key()))
             || (self.heur.cache_remote && self.cached_kmers.contains(&key.key()))
     }
@@ -541,6 +688,7 @@ impl VirtualAccess<'_> {
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         self.heur.replicate_tiles
             || in_group
+            || self.hot_owners.get(owner) == Some(&true)
             || self.own_tile_keys.is_some_and(|keys| keys.contains(&key.key()))
             || (self.heur.cache_remote && self.cached_tiles.contains(&key.key()))
     }
@@ -619,6 +767,12 @@ impl SpectrumAccess for VirtualAccess<'_> {
             self.stats.local_kmer_lookups += 1;
             return count;
         }
+        if self.hot_owners.get(owner) == Some(&true) {
+            // hot-shard replica: the same count a remote request returns
+            self.stats.local_kmer_lookups += 1;
+            self.stats.hot_shard_hits += 1;
+            return count;
+        }
         if let Some(keys) = self.own_kmer_keys {
             if keys.contains(&key.key()) {
                 self.stats.local_kmer_lookups += 1;
@@ -665,6 +819,11 @@ impl SpectrumAccess for VirtualAccess<'_> {
         let in_group = if g > 1 { owner / g == self.me / g } else { owner == self.me };
         if self.heur.replicate_tiles || in_group {
             self.stats.local_tile_lookups += 1;
+            return count;
+        }
+        if self.hot_owners.get(owner) == Some(&true) {
+            self.stats.local_tile_lookups += 1;
+            self.stats.hot_shard_hits += 1;
             return count;
         }
         if let Some(keys) = self.own_tile_keys {
@@ -942,6 +1101,91 @@ mod tests {
         let peak_b: u64 = b.report.ranks.iter().map(|r| r.build.peak_reads_kmers).max().unwrap();
         let peak_u: u64 = u.report.ranks.iter().map(|r| r.build.peak_reads_kmers).max().unwrap();
         assert!(peak_b < peak_u, "batching must shrink the reads table ({peak_b} vs {peak_u})");
+    }
+
+    /// Repeat-heavy dataset: half the reads are one homopolymer repeat
+    /// (identical sequence — same shuffle owner, same few hot keys), the
+    /// other half diverse background. This is simultaneously the skew
+    /// shape for hot-shard detection (lookup volume funnels to the
+    /// repeat keys' owners) and for stealing (all repeat reads land on
+    /// one rank after the ownership shuffle).
+    fn skewed_dataset(n: usize) -> Vec<Read> {
+        let genome: Vec<u8> = (0..3000)
+            .map(|i| [b'A', b'C', b'G', b'T'][(dnaseq::mix64(i as u64 + 7) % 4) as usize])
+            .collect();
+        (0..n)
+            .map(|i| {
+                let seq: Vec<u8> = if i % 2 == 0 {
+                    vec![b'A'; 40]
+                } else {
+                    let start = (i * 17) % (genome.len() - 40);
+                    genome[start..start + 40].to_vec()
+                };
+                Read::new(i as u64 + 1, seq, vec![35; 40])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hot_shard_replication_cuts_remote_lookups_not_output() {
+        let reads = skewed_dataset(300);
+        let (seq_out, _) = correct_dataset(&reads, &params());
+        let base = run_virtual(&cfg(8), &reads);
+        assert_eq!(base.corrected, seq_out);
+        let mut c = cfg(8);
+        c.heuristics.hot_shard_k = 2;
+        let adaptive = run_virtual(&c, &reads);
+        assert_eq!(adaptive.corrected, seq_out, "replication must not change output");
+        assert!(adaptive.report.hot_shard_hits() > 0, "hot replicas must serve lookups");
+        assert!(
+            adaptive.report.remote_lookups() < base.report.remote_lookups(),
+            "hot-shard hits must replace remote lookups ({} vs {})",
+            adaptive.report.remote_lookups(),
+            base.report.remote_lookups()
+        );
+        assert!(
+            adaptive.report.peak_memory_bytes() > base.report.peak_memory_bytes(),
+            "the replica costs memory"
+        );
+    }
+
+    #[test]
+    fn uniform_workload_replicates_nothing() {
+        let reads = dataset(200);
+        let base = run_virtual(&cfg(8), &reads);
+        let mut c = cfg(8);
+        c.heuristics.hot_shard_k = 4;
+        let run = run_virtual(&c, &reads);
+        assert_eq!(run.corrected, base.corrected);
+        assert_eq!(run.report.hot_shard_hits(), 0, "no owner should trip the 1.5x gate");
+        assert!(
+            (run.report.peak_memory_bytes() - base.report.peak_memory_bytes()).abs() < 1.0,
+            "an untripped gate must cost nothing"
+        );
+    }
+
+    #[test]
+    fn chunk_stealing_levels_stragglers() {
+        let reads = skewed_dataset(400);
+        let (seq_out, _) = correct_dataset(&reads, &params());
+        let mut base = cfg(8);
+        base.chunk_size = 10;
+        let b = run_virtual(&base, &reads);
+        let mut c = base.clone();
+        c.heuristics.steal_chunks = true;
+        let s = run_virtual(&c, &reads);
+        assert_eq!(s.corrected, seq_out, "stealing must not change output");
+        assert!(s.report.chunks_stolen() > 0, "the skewed assignment must trigger steals");
+        assert!(
+            s.report.straggler_spread() < b.report.straggler_spread(),
+            "stealing must shrink the spread ({} vs {})",
+            s.report.straggler_spread(),
+            b.report.straggler_spread()
+        );
+        assert!(
+            s.report.makespan_secs() < b.report.makespan_secs(),
+            "leveling the stragglers must shrink the modeled makespan"
+        );
     }
 
     /// Benign faults (dup/reorder, nothing lost) leave the modeled run

@@ -53,6 +53,26 @@ pub struct HeuristicConfig {
     /// cache consulted before the single-key fallback; output stays
     /// bit-identical.
     pub aggregate_lookups: bool,
+    /// *Top-K hot-shard replication* (adaptive balancing, beyond the
+    /// paper): after the build, ranks allgather per-owner lookup-volume
+    /// histograms sampled from their own reads, agree on the at-most-K
+    /// hottest spectrum owners whose volume exceeds the skew gate
+    /// ([`crate::balance::HOT_SHARD_MIN_LOAD`] × fair share), and
+    /// replicate exactly those owners' pruned shard groups to every rank.
+    /// Lookups route to the local replica first — the paper's
+    /// all-or-nothing allgather heuristic generalized to "replicate only
+    /// what is hot". `0` disables; `np` (or more) permits replicating
+    /// every owner that trips the gate.
+    pub hot_shard_k: usize,
+    /// *Read-chunk stealing* (adaptive balancing, beyond the paper):
+    /// ranks that drain their Step IV correction queue early pull whole
+    /// read chunks from the most-loaded remaining rank over a
+    /// seq-stamped steal protocol riding the fault-tolerant service
+    /// plane. Output stays bit-identical because correction is a pure
+    /// function of the (immutable) spectra and the final merge is
+    /// id-ordered. Threaded engine: real work movement; virtual engine:
+    /// modeled rebalanced per-rank compute.
+    pub steal_chunks: bool,
 }
 
 impl Default for HeuristicConfig {
@@ -69,6 +89,8 @@ impl Default for HeuristicConfig {
             load_balance: true,
             partial_group: 1,
             aggregate_lookups: false,
+            hot_shard_k: 0,
+            steal_chunks: false,
         }
     }
 }
@@ -94,6 +116,13 @@ impl HeuristicConfig {
             replicate_tiles: true,
             ..HeuristicConfig::default()
         }
+    }
+
+    /// The adaptive-balancing bundle: top-K hot-shard replication plus
+    /// read-chunk stealing on top of the paper's production heuristics.
+    /// `k` caps how many hot owners may be replicated (0 disables).
+    pub fn adaptive(k: usize) -> HeuristicConfig {
+        HeuristicConfig { hot_shard_k: k, steal_chunks: true, ..HeuristicConfig::default() }
     }
 
     /// Every heuristic combination the construction-phase equivalence
@@ -139,6 +168,11 @@ impl HeuristicConfig {
                         (drop replicate_kmers/replicate_tiles or set partial_group = 1)"
                 .into());
         }
+        if self.hot_shard_k > 0 && self.replicate_kmers && self.replicate_tiles {
+            return Err("hot-shard replication is redundant when both spectra are \
+                        already fully replicated (drop hot_shard_k or the replicate_* flags)"
+                .into());
+        }
         Ok(())
     }
 
@@ -158,8 +192,9 @@ impl HeuristicConfig {
     /// touch the p2p plane cannot affect the run.
     pub fn needs_service_plane(&self, np: usize) -> bool {
         np > 1
-            && self.partial_group < np
-            && (self.kmers_need_messages() || self.tiles_need_messages())
+            && (self.steal_chunks
+                || (self.partial_group < np
+                    && (self.kmers_need_messages() || self.tiles_need_messages())))
     }
 
     /// Human-readable label used in Fig 5 outputs.
@@ -189,6 +224,14 @@ impl HeuristicConfig {
         }
         if self.aggregate_lookups {
             parts.push("agg-lookups");
+        }
+        let hot;
+        if self.hot_shard_k > 0 {
+            hot = format!("hot-shards({})", self.hot_shard_k);
+            parts.push(&hot);
+        }
+        if self.steal_chunks {
+            parts.push("steal");
         }
         if !self.load_balance {
             parts.push("imbalanced");
@@ -295,6 +338,32 @@ mod tests {
                 assert_ne!(a, b, "duplicate matrix entry {}", a.label());
             }
         }
+    }
+
+    #[test]
+    fn adaptive_knobs_validate_and_label() {
+        let a = HeuristicConfig::adaptive(2);
+        a.validate().unwrap();
+        assert_eq!(a.label(), "hot-shards(2)+steal");
+        // hot-shard replication composes with partial replication and a
+        // single fully-replicated spectrum, but is redundant under both.
+        HeuristicConfig { hot_shard_k: 1, partial_group: 2, ..HeuristicConfig::default() }
+            .validate()
+            .unwrap();
+        HeuristicConfig { hot_shard_k: 1, replicate_kmers: true, ..HeuristicConfig::default() }
+            .validate()
+            .unwrap();
+        let redundant = HeuristicConfig { hot_shard_k: 1, ..HeuristicConfig::replicate_both() };
+        assert!(redundant.validate().is_err());
+    }
+
+    #[test]
+    fn stealing_keeps_service_plane_alive() {
+        // Even a fully replicated run needs the comm thread when chunks
+        // can be stolen: the steal requests ride the service plane.
+        let h = HeuristicConfig { steal_chunks: true, ..HeuristicConfig::replicate_both() };
+        assert!(h.needs_service_plane(4));
+        assert!(!h.needs_service_plane(1));
     }
 
     #[test]

@@ -52,6 +52,23 @@
 //! per-rank `DONE` messages, which cannot survive a fault plan that may
 //! drop, duplicate, or never deliver them.)
 
+//!
+//! ## Work stealing
+//!
+//! The adaptive balancer (`HeuristicConfig::steal_chunks`) rides the same
+//! service plane with three more tags: a thief that drained its own
+//! correction queue sends a seq-stamped [`TAG_STEAL_REQ`] to a loaded
+//! victim, whose comm thread pops a whole read chunk off the *back* of
+//! its pending queue and ships it in a [`StealResponse`] (or an empty
+//! response when nothing is left). The thief confirms receipt with a
+//! [`TAG_STEAL_ACK`]. The victim caches each `(thief, seq)` response so a
+//! retried request gets the **same chunk** back (idempotent resend, no
+//! read is ever handed to two thieves), and under a fault plan re-adopts
+//! any handed-out-but-unacknowledged chunk before the final barrier —
+//! at-least-once delivery, with duplicates collapsed by the id-ordered
+//! output merge.
+
+use dnaseq::Read;
 use mpisim::message::{WireReader, WireWriter};
 
 /// Tag for k-mer count requests (base mode).
@@ -66,6 +83,12 @@ pub const TAG_RESP: u32 = 0x13;
 pub const TAG_BATCH_REQ: u32 = 0x15;
 /// Tag for batched count responses.
 pub const TAG_BATCH_RESP: u32 = 0x16;
+/// Tag for work-steal chunk requests (adaptive balancing).
+pub const TAG_STEAL_REQ: u32 = 0x17;
+/// Tag for steal responses: a whole read chunk, or "nothing left".
+pub const TAG_STEAL_RESP: u32 = 0x18;
+/// Tag for steal acknowledgements (thief confirms chunk receipt).
+pub const TAG_STEAL_ACK: u32 = 0x19;
 
 /// Maximum keys (k-mers + tiles) per batch message; larger key sets are
 /// split so a single request cannot grow unboundedly.
@@ -288,6 +311,96 @@ impl BatchResponse {
     }
 }
 
+/// Encode a steal request: just the seq header (the thief's identity is
+/// the message source).
+pub fn encode_steal_request(seq: u64) -> Vec<u8> {
+    let mut w = WireWriter::with_capacity(8);
+    w.put_u64(seq);
+    w.finish()
+}
+
+/// Decode a steal request back to its seq.
+pub fn decode_steal_request(payload: &[u8]) -> u64 {
+    WireReader::new(payload).get_u64()
+}
+
+/// Encode a steal acknowledgement: the seq of the response being acked.
+pub fn encode_steal_ack(seq: u64) -> Vec<u8> {
+    encode_steal_request(seq)
+}
+
+/// Decode a steal acknowledgement.
+pub fn decode_steal_ack(payload: &[u8]) -> u64 {
+    decode_steal_request(payload)
+}
+
+/// A steal response: one whole read chunk off the back of the victim's
+/// pending queue, or `None` when the victim has nothing left to give.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StealResponse {
+    /// The stolen chunk; `None` = queue drained, stop asking this victim.
+    pub chunk: Option<Vec<Read>>,
+}
+
+impl StealResponse {
+    /// Encode into a reusable scratch writer; returns [`TAG_STEAL_RESP`].
+    pub fn encode_into(&self, seq: u64, w: &mut WireWriter) -> u32 {
+        w.put_u64(seq);
+        match &self.chunk {
+            None => {
+                w.put_u8(0);
+            }
+            Some(reads) => {
+                w.put_u8(1);
+                w.put_u32(reads.len() as u32);
+                for read in reads {
+                    w.put_u64(read.id);
+                    w.put_bytes(&read.seq);
+                    w.put_bytes(&read.qual);
+                }
+            }
+        }
+        TAG_STEAL_RESP
+    }
+
+    /// Encode to an owned payload: `(TAG_STEAL_RESP, payload)`.
+    pub fn encode(&self, seq: u64) -> (u32, Vec<u8>) {
+        let mut w = WireWriter::with_capacity(self.wire_bytes());
+        let tag = self.encode_into(seq, &mut w);
+        (tag, w.finish())
+    }
+
+    /// Decode a steal response payload: `(seq, response)`.
+    pub fn decode(payload: &[u8]) -> (u64, StealResponse) {
+        let mut r = WireReader::new(payload);
+        let seq = r.get_u64();
+        let chunk = match r.get_u8() {
+            0 => None,
+            _ => {
+                let n = r.get_u32() as usize;
+                let mut reads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.get_u64();
+                    let seq_bytes = r.get_bytes().to_vec();
+                    let qual = r.get_bytes().to_vec();
+                    reads.push(Read::from_parts(id, seq_bytes, qual));
+                }
+                Some(reads)
+            }
+        };
+        (seq, StealResponse { chunk })
+    }
+
+    /// Wire size: seq + flag (+ count + per-read id and length-prefixed
+    /// sequence/quality bytes), for the cost model.
+    pub fn wire_bytes(&self) -> usize {
+        match &self.chunk {
+            None => 9,
+            Some(reads) => 13 + reads.iter().map(|r| 24 + 2 * r.len()).sum::<usize>(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +512,57 @@ mod tests {
     fn oversized_batch_rejected() {
         let req = BatchRequest { kmers: vec![0; MAX_BATCH_KEYS], tiles: vec![1] };
         let _ = req.encode(0);
+    }
+
+    #[test]
+    fn steal_request_and_ack_round_trip() {
+        for seq in [0u64, 17, u64::MAX] {
+            assert_eq!(decode_steal_request(&encode_steal_request(seq)), seq);
+            assert_eq!(decode_steal_ack(&encode_steal_ack(seq)), seq);
+        }
+        assert_eq!(encode_steal_request(1).len(), 8);
+    }
+
+    #[test]
+    fn steal_response_round_trip() {
+        let chunk = vec![
+            Read::new(41, b"ACGTACGT".to_vec(), vec![30; 8]),
+            Read::new(42, b"TTTTN".to_vec(), vec![2; 5]),
+        ];
+        let resp = StealResponse { chunk: Some(chunk) };
+        let (tag, payload) = resp.encode(9);
+        assert_eq!(tag, TAG_STEAL_RESP);
+        assert_eq!(payload.len(), resp.wire_bytes());
+        assert_eq!(StealResponse::decode(&payload), (9, resp));
+        // empty chunk (victim handing over a zero-read chunk) is distinct
+        // from "nothing left"
+        let empty = StealResponse { chunk: Some(vec![]) };
+        let (_, p) = empty.encode(3);
+        assert_eq!(StealResponse::decode(&p), (3, empty));
+        let none = StealResponse { chunk: None };
+        let (_, p) = none.encode(4);
+        assert_eq!(p.len(), none.wire_bytes());
+        assert_eq!(StealResponse::decode(&p), (4, none));
+    }
+
+    #[test]
+    fn steal_tags_are_distinct() {
+        let tags = [
+            TAG_KMER_REQ,
+            TAG_TILE_REQ,
+            TAG_UNIVERSAL,
+            TAG_RESP,
+            TAG_BATCH_REQ,
+            TAG_BATCH_RESP,
+            TAG_STEAL_REQ,
+            TAG_STEAL_RESP,
+            TAG_STEAL_ACK,
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
     }
 
     #[test]

@@ -54,6 +54,11 @@ pub struct LookupStats {
     /// paper's "absent everywhere" answer (`-1` → count 0). Nonzero only
     /// when an owner is killed or the fault plan out-runs the budget.
     pub keys_degraded: u64,
+    /// Lookups answered from a hot-shard replica (adaptive balancing,
+    /// `hot_shard_k > 0`): would-be remote lookups turned local.
+    pub hot_shard_hits: u64,
+    /// Read chunks this rank stole from busier ranks (`steal_chunks`).
+    pub chunks_stolen: u64,
 }
 
 impl LookupStats {
@@ -97,6 +102,8 @@ impl LookupStats {
         self.requests_retried += o.requests_retried;
         self.deadline_misses += o.deadline_misses;
         self.keys_degraded += o.keys_degraded;
+        self.hot_shard_hits += o.hot_shard_hits;
+        self.chunks_stolen += o.chunks_stolen;
     }
 }
 
@@ -247,6 +254,40 @@ impl RunReport {
         max / min
     }
 
+    /// Straggler spread: `(max − min) / mean` of per-rank correction
+    /// time. 0 on a perfectly balanced run; the adaptive-balancing
+    /// metric the `balance_bench` floors watch (unlike
+    /// [`imbalance_ratio`](Self::imbalance_ratio) it stays finite when
+    /// the fastest rank rounds to zero).
+    pub fn straggler_spread(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        let max = self.ranks.iter().map(|r| r.correct_secs).fold(0.0, f64::max);
+        let min = self.ranks.iter().map(|r| r.correct_secs).fold(f64::INFINITY, f64::min);
+        let mean = self.correct_secs_mean();
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        (max - min) / mean
+    }
+
+    /// Total lookups answered from hot-shard replicas, all ranks.
+    pub fn hot_shard_hits(&self) -> u64 {
+        self.ranks.iter().map(|r| r.lookups.hot_shard_hits).sum()
+    }
+
+    /// Total read chunks moved by work stealing, all ranks.
+    pub fn chunks_stolen(&self) -> u64 {
+        self.ranks.iter().map(|r| r.lookups.chunks_stolen).sum()
+    }
+
+    /// Total lookups that actually crossed ranks, all ranks — the
+    /// traffic hot-shard replication removes.
+    pub fn remote_lookups(&self) -> u64 {
+        self.ranks.iter().map(|r| r.lookups.remote_total()).sum()
+    }
+
     /// Parallel efficiency vs a reference run:
     /// `(t_ref · np_ref) / (t_this · np_this)`.
     pub fn efficiency_vs(&self, reference: &RunReport, np_ref: usize, np_this: usize) -> f64 {
@@ -359,6 +400,8 @@ mod tests {
             requests_retried: 4,
             deadline_misses: 5,
             keys_degraded: 6,
+            hot_shard_hits: 8,
+            chunks_stolen: 2,
             ..Default::default()
         };
         a.merge(&b);
@@ -373,6 +416,29 @@ mod tests {
         assert_eq!(a.requests_retried, 4);
         assert_eq!(a.deadline_misses, 5);
         assert_eq!(a.keys_degraded, 6);
+        assert_eq!(a.hot_shard_hits, 8);
+        assert_eq!(a.chunks_stolen, 2);
+    }
+
+    #[test]
+    fn straggler_spread_and_skew_aggregates() {
+        // ranks at 4s/16s: mean 10, spread (16-4)/10
+        let r = run(vec![rank(0.0, 4.0, 0.0), rank(0.0, 16.0, 0.0)]);
+        assert!((r.straggler_spread() - 1.2).abs() < 1e-12);
+        let uniform = run(vec![rank(0.0, 5.0, 0.0), rank(0.0, 5.0, 0.0)]);
+        assert_eq!(uniform.straggler_spread(), 0.0);
+        assert_eq!(run(vec![]).straggler_spread(), 0.0);
+        let mut a = rank(0.0, 1.0, 0.0);
+        a.lookups.hot_shard_hits = 10;
+        a.lookups.chunks_stolen = 1;
+        a.lookups.remote_kmer_lookups = 3;
+        let mut b = rank(0.0, 1.0, 0.0);
+        b.lookups.hot_shard_hits = 5;
+        b.lookups.remote_tile_lookups = 4;
+        let r = run(vec![a, b]);
+        assert_eq!(r.hot_shard_hits(), 15);
+        assert_eq!(r.chunks_stolen(), 1);
+        assert_eq!(r.remote_lookups(), 7);
     }
 
     #[test]

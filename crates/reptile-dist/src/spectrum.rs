@@ -105,6 +105,15 @@ pub struct RankTables {
     pub group_kmers: Option<KmerSpectrum>,
     /// With `partial_group > 1`: the group's merged owned tiles.
     pub group_tiles: Option<TileSpectrum>,
+    /// With `hot_shard_k > 0`: replicas of the *hot* owners' pruned
+    /// k-mer spectra (adaptive balancing; exact copies, global counts).
+    pub hot_kmers: Option<KmerSpectrum>,
+    /// With `hot_shard_k > 0`: replicas of the hot owners' tiles.
+    pub hot_tiles: Option<TileSpectrum>,
+    /// Which owner ranks are replicated in the hot tables (length `np`;
+    /// empty when hot-shard replication is off or found no skew). All
+    /// ranks agree on this vector — it routes lookups to the replica.
+    pub hot_owners: Vec<bool>,
 }
 
 /// Counters from the construction phase (feeds the reports/cost model).
@@ -137,6 +146,9 @@ pub struct BuildStats {
     /// Entries held for the rank's group (partial replication), incl.
     /// the rank's own owned entries.
     pub group_entries: u64,
+    /// Entries copied into the hot-shard replicas (adaptive balancing;
+    /// 0 when `hot_shard_k` is 0 or no owner tripped the skew gate).
+    pub hot_entries: u64,
     /// Measured bytes of every spectrum table resident on this rank
     /// after construction (owned + reads + replicated + group), exact
     /// per [`KmerSpectrum::memory_bytes`].
@@ -956,9 +968,46 @@ pub(crate) fn derive_heuristic_tables(
         replicated_tiles,
         group_kmers,
         group_tiles,
+        hot_kmers: None,
+        hot_tiles: None,
+        hot_owners: Vec::new(),
     };
     stats.table_bytes = tables.memory_bytes();
     (tables, stats)
+}
+
+/// Adaptive balancing: replicate the **hot** owners' pruned spectra to
+/// every rank. `hot` flags the owner ranks to copy (length `np`,
+/// identical on every rank — it comes out of the allgathered
+/// owner-volume histogram, see `balance::select_hot_owners`). Collective:
+/// every rank must call this together; cold owners contribute empty
+/// parts so the allgather rounds stay uniform. The replicas are exact
+/// copies of the hot owners' post-prune tables, so a replica hit returns
+/// byte-for-byte the count a remote request would have.
+///
+/// Refreshes `stats.table_bytes` (the replicas are resident memory) and
+/// records the copied entry count in `stats.hot_entries`.
+pub(crate) fn replicate_hot_shards(
+    comm: &Comm,
+    params: &ReptileParams,
+    tables: &mut RankTables,
+    hot: &[bool],
+    stats: &mut BuildStats,
+) {
+    let i_am_hot = hot[comm.rank()];
+    let k_entries: Vec<(u64, u32)> =
+        if i_am_hot { tables.hash_kmers.iter().collect() } else { Vec::new() };
+    let mut hk = KmerSpectrum::new(params.kmer_codec(), params.canonical);
+    merge_gathered_parts(&mut hk, comm.allgatherv(k_entries), |_| true);
+    let t_entries: Vec<(u128, u32)> =
+        if i_am_hot { tables.hash_tiles.iter().collect() } else { Vec::new() };
+    let mut ht = TileSpectrum::new(params.tile_codec(), params.canonical);
+    merge_gathered_parts(&mut ht, comm.allgatherv(t_entries), |_| true);
+    stats.hot_entries = (hk.len() + ht.len()) as u64;
+    tables.hot_kmers = Some(hk);
+    tables.hot_tiles = Some(ht);
+    tables.hot_owners = hot.to_vec();
+    stats.table_bytes = tables.memory_bytes();
 }
 
 /// Key-type-generic view of a spectrum for [`merge_gathered_parts`].
@@ -1106,6 +1155,7 @@ impl RankTables {
         };
         own + self.reads_kmers.as_ref().map_or(0, |s| s.len() as u64)
             + self.replicated_kmers.as_ref().map_or(0, |s| s.len() as u64)
+            + self.hot_kmers.as_ref().map_or(0, |s| s.len() as u64)
     }
 
     /// Total tile entries resident on this rank.
@@ -1116,6 +1166,7 @@ impl RankTables {
         };
         own + self.reads_tiles.as_ref().map_or(0, |s| s.len() as u64)
             + self.replicated_tiles.as_ref().map_or(0, |s| s.len() as u64)
+            + self.hot_tiles.as_ref().map_or(0, |s| s.len() as u64)
     }
 
     /// Measured bytes of **every** spectrum table resident on this rank
@@ -1127,11 +1178,13 @@ impl RankTables {
         let k = self.hash_kmers.memory_bytes()
             + self.reads_kmers.as_ref().map_or(0, |s| s.memory_bytes())
             + self.replicated_kmers.as_ref().map_or(0, |s| s.memory_bytes())
-            + self.group_kmers.as_ref().map_or(0, |s| s.memory_bytes());
+            + self.group_kmers.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.hot_kmers.as_ref().map_or(0, |s| s.memory_bytes());
         let t = self.hash_tiles.memory_bytes()
             + self.reads_tiles.as_ref().map_or(0, |s| s.memory_bytes())
             + self.replicated_tiles.as_ref().map_or(0, |s| s.memory_bytes())
-            + self.group_tiles.as_ref().map_or(0, |s| s.memory_bytes());
+            + self.group_tiles.as_ref().map_or(0, |s| s.memory_bytes())
+            + self.hot_tiles.as_ref().map_or(0, |s| s.memory_bytes());
         (k + t) as u64
     }
 }

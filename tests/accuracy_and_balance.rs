@@ -20,6 +20,8 @@ fn well_covered_dataset(seed: u64) -> genio::dataset::SyntheticDataset {
         hotspot_fraction: 0.12,
         both_strands: false,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(seed)
 }

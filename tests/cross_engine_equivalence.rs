@@ -19,6 +19,8 @@ fn dataset(seed: u64, both_strands: bool) -> genio::dataset::SyntheticDataset {
         hotspot_fraction: 0.1,
         both_strands,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(seed)
 }

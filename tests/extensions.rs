@@ -20,6 +20,8 @@ fn dataset(seed: u64) -> genio::dataset::SyntheticDataset {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(seed)
 }
@@ -118,6 +120,8 @@ fn tile_corrector_beats_kmer_baseline_on_ground_truth() {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(55);
     let p = params();

@@ -23,6 +23,8 @@ fn dataset() -> genio::dataset::SyntheticDataset {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.0005,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(71)
 }

@@ -38,6 +38,8 @@ fn file_run_matches_in_memory_run() {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.001,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(21);
     let fasta = dir.join("r.fa");
@@ -69,6 +71,8 @@ fn file_runs_serve_from_a_saved_spectrum() {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.001,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(33);
     let fasta = dir.join("r.fa");
@@ -111,6 +115,8 @@ fn partitioned_reading_covers_dataset_once() {
         hotspot_fraction: 0.0,
         both_strands: false,
         n_rate: 0.0,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(5);
     let fasta = dir.join("r.fa");

@@ -40,6 +40,8 @@ fn dataset() -> Vec<dnaseq::Read> {
         hotspot_fraction: 0.1,
         both_strands: false,
         n_rate: 0.0,
+        repeat_fraction: 0.0,
+        repeat_unit_len: 0,
     }
     .generate(17)
     .reads
