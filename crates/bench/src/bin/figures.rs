@@ -116,6 +116,11 @@ fn main() {
                 std::fs::write("BENCH_balance.json", &json).expect("write BENCH_balance.json");
                 print!("{json}");
                 eprintln!("wrote BENCH_balance.json");
+                let serve = reptile_bench::serve_bench::run(1_050_000, 24, 100);
+                let json = reptile_bench::serve_bench::render_json(&serve);
+                std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+                print!("{json}");
+                eprintln!("wrote BENCH_serve.json");
             }
             // Not part of `all`: gates CI on the measured perf floors
             // recorded by `bench-json` (run that first in the same
@@ -170,10 +175,38 @@ fn main() {
                 }
                 println!("balance-floor: OK");
             }
+            // Not part of `all`: gates CI on the serve-plane floors
+            // recorded by `bench-json` in BENCH_serve.json.
+            "serve-floor" => {
+                let serve = std::fs::read_to_string("BENCH_serve.json")
+                    .expect("read BENCH_serve.json (run `figures -- bench-json` first)");
+                let speedup = scrape_number(&serve, "speedup_vs_batch")
+                    .expect("speedup_vs_batch in BENCH_serve.json");
+                let total = scrape_number(&serve, "requests_total")
+                    .expect("requests_total in BENCH_serve.json");
+                let mid_p99 =
+                    scrape_number(&serve, "mid_p99_ms").expect("mid_p99_ms in BENCH_serve.json");
+                let rejected = scrape_number(&serve, "overload_rejected")
+                    .expect("overload_rejected in BENCH_serve.json");
+                let mut ok = true;
+                println!("serve-floor: persistent-engine speedup {speedup:.3}x (floor 2.00)");
+                ok &= speedup >= 2.0;
+                println!("serve-floor: total requests {total:.0} (floor 1,000,000)");
+                ok &= total >= 1_000_000.0;
+                println!("serve-floor: mid-load p99 {mid_p99:.3} ms (ceiling 600.0)");
+                ok &= mid_p99 <= 600.0;
+                println!("serve-floor: overload rejections {rejected:.0} (> 0)");
+                ok &= rejected > 0.0;
+                if !ok {
+                    eprintln!("serve-floor: FAILED");
+                    std::process::exit(1);
+                }
+                println!("serve-floor: OK");
+            }
             other => {
                 eprintln!(
                     "unknown item '{other}' (expected table1, fig2..fig8, bench-json, \
-                     perf-floor, balance-floor, all)"
+                     perf-floor, balance-floor, serve-floor, all)"
                 );
                 std::process::exit(2);
             }

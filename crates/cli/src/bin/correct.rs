@@ -40,7 +40,23 @@
 //!   --serve FILE         build-once / correct-many: correct every job
 //!                        listed in FILE ("<fasta> <qual> <output>" per
 //!                        line) against one snapshot; requires
-//!                        --spectrum-in
+//!                        --spectrum-in. On the threaded engine the
+//!                        jobs stream through one persistent
+//!                        ServeEngine (snapshot loaded once, comm
+//!                        threads kept warm, requests micro-batched);
+//!                        the virtual engine falls back to one run per
+//!                        job
+//!   --open-loop RATE     (with --serve, mt engine) pace submissions as
+//!                        a Poisson arrival process at RATE requests/s
+//!                        instead of submitting as fast as backpressure
+//!                        allows, and print queue/service latency
+//!                        percentiles per job
+//!   --queue-depth N      (with --serve) admission-queue high-water
+//!                        mark: submissions past it are rejected with
+//!                        retry-after backpressure (default 4096)
+//!   --serve-batch N      (with --serve) micro-batch cap: most requests
+//!                        a rank coalesces into one owner-batched
+//!                        lookup round trip (default 256)
 //!   --report             print the per-rank report table
 //! ```
 //!
@@ -49,11 +65,17 @@
 //! the [`reptile_dist::Engine`] trait — there is no per-engine plumbing
 //! here beyond the name lookup.
 
+use dnaseq::Read;
 use genio::{fasta, RunConfig};
-use reptile_cli::{heuristics_from_args, params_from_config, parse_serve_batches, ArgParser};
-use reptile_dist::{engine_by_name, EngineConfig, RunOutput, RunReport};
+use reptile_cli::{
+    heuristics_from_args, params_from_config, parse_serve_batches, ArgParser, ServeBatch,
+};
+use reptile_dist::{
+    engine_by_name, EngineConfig, RunReport, ServeConfig, ServeEngine, ServeResponse, SubmitError,
+};
 use std::io::Write;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 fn main() {
     if let Err(e) = run() {
@@ -118,10 +140,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         let text = std::fs::read_to_string(batches_path)
             .map_err(|e| format!("--serve: cannot read '{batches_path}': {e}"))?;
         let batches = parse_serve_batches(&text)?;
+        if engine.name() == "mt" {
+            return serve_jobs(&args, cfg, &batches);
+        }
+        // virtual engine: no real threads to keep warm — one modeled
+        // run per job, as before
         let n = batches.len();
         for (i, batch) in batches.iter().enumerate() {
             let run = engine.try_run_files(&cfg, &batch.fasta, &batch.qual)?;
-            write_corrected(&run, &batch.output)?;
+            write_corrected(&run.corrected, &batch.output)?;
             println!(
                 "[{}/{}] {} -> {} ({} errors corrected, snapshot: {} B loaded)",
                 i + 1,
@@ -139,7 +166,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let run = engine.try_run_files(&cfg, &config.fasta_file, &config.qual_file)?;
-    write_corrected(&run, &config.output_file)?;
+    write_corrected(&run.corrected, &config.output_file)?;
     println!(
         "{} reads -> {} ({} errors corrected, {} ranks, engine: {}, heuristics: {})",
         run.corrected.len(),
@@ -169,13 +196,188 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Write the corrected reads as numbered FASTA records.
-fn write_corrected(run: &RunOutput, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+fn write_corrected(reads: &[Read], path: &Path) -> Result<(), Box<dyn std::error::Error>> {
     let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
-    for read in &run.corrected {
+    for read in reads {
         fasta::write_record(&mut out, read.id, &read.seq)?;
     }
     out.flush()?;
     Ok(())
+}
+
+/// Stream every serve-batch job through one persistent [`ServeEngine`]:
+/// the snapshot is loaded once, comm threads stay warm, and each job's
+/// reads flow through the bounded admission queue (micro-batched per
+/// rank). With `--open-loop RATE` the submissions are paced on a seeded
+/// Poisson schedule instead of closed-loop, and per-job latency
+/// percentiles are printed.
+fn serve_jobs(
+    args: &ArgParser,
+    cfg: EngineConfig,
+    batches: &[ServeBatch],
+) -> Result<(), Box<dyn std::error::Error>> {
+    let serve_cfg = ServeConfig {
+        queue_depth: args.int("queue-depth", ServeConfig::default().queue_depth)?,
+        max_batch: args.int("serve-batch", ServeConfig::default().max_batch)?,
+    };
+    let open_rate = match args.value("open-loop") {
+        Some(v) => {
+            let rate: f64 = v.parse().map_err(|_| format!("--open-loop: '{v}' is not a number"))?;
+            if !(rate > 0.0 && rate.is_finite()) {
+                return Err(format!("--open-loop: rate must be positive, got {v}").into());
+            }
+            Some(rate)
+        }
+        None => None,
+    };
+    let want_report = args.has("report");
+
+    let t0 = Instant::now();
+    let engine = ServeEngine::start(cfg, serve_cfg, Vec::new())?;
+    println!(
+        "serve: engine ready in {:.3}s (queue depth {}, micro-batch cap {})",
+        t0.elapsed().as_secs_f64(),
+        serve_cfg.queue_depth,
+        serve_cfg.max_batch
+    );
+
+    let n = batches.len();
+    for (i, batch) in batches.iter().enumerate() {
+        let reads = genio::qual::load_dataset(&batch.fasta, &batch.qual)?;
+        let total = reads.len();
+        // Open-loop pacing: a deterministic Poisson schedule of arrival
+        // offsets, one per read (the reads themselves come from the job
+        // file, so only the schedule is drawn from the generator).
+        let schedule: Option<Vec<f64>> = open_rate.map(|rate| {
+            let mix = genio::RequestMix::uniform(vec![Read::new(0, vec![b'A'], vec![30])]);
+            let mut gen = genio::OpenLoopGen::new(mix, rate, 0x5EED_0008 + i as u64);
+            (0..total).map(|_| gen.next_arrival().at_secs).collect()
+        });
+
+        let job_start = Instant::now();
+        let mut responses: Vec<ServeResponse> = Vec::with_capacity(total);
+        let mut retries: u64 = 0;
+        for (j, read) in reads.into_iter().enumerate() {
+            if let Some(sched) = &schedule {
+                // Pace against the wall clock; drain completions while
+                // waiting so the response buffer never balloons.
+                let target = job_start + Duration::from_secs_f64(sched[j]);
+                loop {
+                    let now = Instant::now();
+                    if now >= target {
+                        break;
+                    }
+                    responses.append(&mut engine.drain());
+                    let left = target - Instant::now();
+                    if left > Duration::from_micros(200) {
+                        std::thread::sleep(left.min(Duration::from_millis(1)));
+                    }
+                }
+            }
+            let trace_id = read.id;
+            let mut pending = read;
+            loop {
+                match engine.submit(trace_id, pending) {
+                    Ok(()) => break,
+                    Err(SubmitError::Backpressure { read, retry_after, .. }) => {
+                        // Backpressure hands the read back: drain what
+                        // has finished, honor retry-after, resubmit.
+                        retries += 1;
+                        responses.append(&mut engine.drain());
+                        std::thread::sleep(retry_after);
+                        pending = read;
+                    }
+                    Err(SubmitError::Closed(_)) => {
+                        return Err("serve engine closed while jobs were pending".into());
+                    }
+                }
+            }
+            if j % 512 == 0 {
+                responses.append(&mut engine.drain());
+            }
+        }
+        while responses.len() < total {
+            responses.append(&mut engine.drain());
+            if responses.len() < total {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+        let elapsed = job_start.elapsed().as_secs_f64();
+
+        let mut total_ms: Vec<f64> =
+            responses.iter().map(|r| (r.queue + r.service).as_secs_f64() * 1e3).collect();
+        total_ms.sort_by(|a, b| a.total_cmp(b));
+        responses.sort_unstable_by_key(|r| r.read.id);
+        let corrected: Vec<Read> = responses.drain(..).map(|r| r.read).collect();
+        write_corrected(&corrected, &batch.output)?;
+        println!(
+            "[{}/{}] {} -> {} ({} reads in {:.3}s, {:.0} req/s, {} backpressure retries)",
+            i + 1,
+            n,
+            batch.fasta.display(),
+            batch.output.display(),
+            total,
+            elapsed,
+            total as f64 / elapsed.max(1e-9),
+            retries,
+        );
+        if open_rate.is_some() {
+            println!(
+                "        queue+service latency: p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+                percentile(&total_ms, 50.0),
+                percentile(&total_ms, 95.0),
+                percentile(&total_ms, 99.0),
+            );
+        }
+    }
+
+    let report = engine.shutdown()?;
+    let mut latencies: Vec<f64> =
+        report.responses.iter().map(|r| (r.queue + r.service).as_secs_f64() * 1e3).collect();
+    println!(
+        "serve: {} requests in {} micro-batches (mean {:.1}/batch), {} rejected, \
+         {} errors corrected, snapshot {} B loaded once, uptime {:.3}s",
+        report.completed,
+        report.batches,
+        report.mean_batch(),
+        report.rejected,
+        report.errors_corrected,
+        report.snapshot_bytes_read,
+        report.uptime_secs,
+    );
+    if !latencies.is_empty() {
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        println!(
+            "serve latency (undrained tail): p50 {:.2}ms  p95 {:.2}ms  p99 {:.2}ms",
+            percentile(&latencies, 50.0),
+            percentile(&latencies, 95.0),
+            percentile(&latencies, 99.0),
+        );
+    }
+    if report.lookups.keys_degraded > 0 {
+        println!(
+            "WARNING: {} lookups degraded to absent (fault plan active)",
+            report.lookups.keys_degraded
+        );
+    }
+    if want_report {
+        println!(
+            "lookups: {} remote, {} retried, {} deadline misses",
+            report.lookups.remote_total(),
+            report.lookups.requests_retried,
+            report.lookups.deadline_misses,
+        );
+    }
+    Ok(())
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn print_report(report: &RunReport) {

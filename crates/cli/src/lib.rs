@@ -53,6 +53,9 @@ const VALUED: &[&str] = &[
     "spectrum-out",
     "spectrum-in",
     "serve",
+    "open-loop",
+    "queue-depth",
+    "serve-batch",
 ];
 
 impl ArgParser {
@@ -160,9 +163,13 @@ pub struct ServeBatch {
 }
 
 /// Parse a serve-mode batch file: one `<fasta> <qual> <output>` triple
-/// per line; blank lines and `#` comments are skipped.
+/// per line; blank lines and `#` comments are skipped. Two jobs naming
+/// the same output path are rejected — the later one would silently
+/// clobber the earlier one's corrections.
 pub fn parse_serve_batches(text: &str) -> Result<Vec<ServeBatch>, UsageError> {
     let mut batches = Vec::new();
+    let mut seen_outputs: std::collections::HashMap<std::path::PathBuf, usize> =
+        std::collections::HashMap::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -171,7 +178,16 @@ pub fn parse_serve_batches(text: &str) -> Result<Vec<ServeBatch>, UsageError> {
         let mut fields = line.split_whitespace();
         match (fields.next(), fields.next(), fields.next(), fields.next()) {
             (Some(fa), Some(q), Some(o), None) => {
-                batches.push(ServeBatch { fasta: fa.into(), qual: q.into(), output: o.into() })
+                let output = std::path::PathBuf::from(o);
+                if let Some(&first) = seen_outputs.get(&output) {
+                    return Err(UsageError(format!(
+                        "serve batch line {}: output '{o}' already produced by line {first} — \
+                         the later job would clobber it",
+                        i + 1
+                    )));
+                }
+                seen_outputs.insert(output.clone(), i + 1);
+                batches.push(ServeBatch { fasta: fa.into(), qual: q.into(), output })
             }
             _ => {
                 return Err(UsageError(format!(
@@ -300,6 +316,36 @@ mod tests {
         assert!(parse_serve_batches("a.fa a.q\n").is_err());
         assert!(parse_serve_batches("a b c d\n").is_err());
         assert!(parse_serve_batches("# nothing\n").is_err());
+    }
+
+    #[test]
+    fn serve_batches_reject_duplicate_outputs() {
+        let text = "# jobs\na.fa a.q out.fa\nb.fa b.q other.fa\n\nc.fa c.q out.fa\n";
+        let err = parse_serve_batches(text).expect_err("duplicate output must be rejected");
+        // the message names both the clobbering line and the original
+        assert!(err.0.contains("line 5"), "missing duplicate line: {err}");
+        assert!(err.0.contains("line 2"), "missing original line: {err}");
+        assert!(err.0.contains("out.fa"), "missing the path: {err}");
+        // distinct outputs stay fine
+        assert!(parse_serve_batches("a.fa a.q o1.fa\nb.fa b.q o2.fa\n").is_ok());
+    }
+
+    #[test]
+    fn serve_tuning_flags_take_values() {
+        let a = parse(&[
+            "c",
+            "--serve",
+            "b.txt",
+            "--open-loop",
+            "50000",
+            "--queue-depth",
+            "1024",
+            "--serve-batch",
+            "128",
+        ]);
+        assert_eq!(a.value("open-loop"), Some("50000"));
+        assert_eq!(a.int("queue-depth", 4096).unwrap(), 1024);
+        assert_eq!(a.int("serve-batch", 256).unwrap(), 128);
     }
 
     #[test]

@@ -23,12 +23,14 @@ pub mod config;
 pub mod dataset;
 pub mod fasta;
 pub mod fastq;
+pub mod openloop;
 pub mod partition;
 pub mod qual;
 pub mod stats;
 
 pub use config::RunConfig;
 pub use dataset::{DatasetProfile, SyntheticDataset};
+pub use openloop::{Arrival, MixComponent, OpenLoopGen, RequestMix};
 pub use partition::{partition_range, PartitionedReader};
 pub use stats::DatasetStats;
 

@@ -92,9 +92,7 @@ pub fn try_run_distributed(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutp
 /// with sentinel errors ([`specstore::SnapshotError::PeerFailure`], or the
 /// `aborted:`-prefixed input sentinel); prefer the rank that actually
 /// failed so callers see the underlying cause.
-fn root_cause(
-    per_rank: Vec<Result<(Vec<Read>, RankReport), EngineError>>,
-) -> Result<Vec<(Vec<Read>, RankReport)>, EngineError> {
+pub(crate) fn root_cause<T>(per_rank: Vec<Result<T, EngineError>>) -> Result<Vec<T>, EngineError> {
     if per_rank.iter().any(|r| r.is_err()) {
         let mut fallback = None;
         for r in per_rank {
@@ -484,7 +482,7 @@ pub(crate) fn run_rank(
 /// thieving ranks. One mutex guards the cursors, so a chunk is taken by
 /// exactly one side; the lock is never held across a correction or a
 /// blocking receive.
-struct StealState {
+pub(crate) struct StealState {
     /// Read chunks still to correct; `None` slots were taken.
     chunks: Vec<Option<Vec<Read>>>,
     /// Front cursor — the worker's next chunk.
@@ -533,12 +531,12 @@ impl StealState {
 
 /// Serve counters returned by [`comm_thread`].
 #[derive(Clone, Copy, Debug, Default)]
-struct ServedCounts {
+pub(crate) struct ServedCounts {
     /// Lookups answered, counted per key (singles plus every key inside
     /// a batch) so base and aggregate modes stay comparable.
-    keys: u64,
+    pub(crate) keys: u64,
     /// Batched requests answered.
-    batches: u64,
+    pub(crate) batches: u64,
 }
 
 /// How long the comm thread waits on an empty mailbox before re-checking
@@ -552,7 +550,7 @@ const SERVER_POLL: Duration = Duration::from_millis(1);
 /// so serving assumes the wire keys are spectrum keys. The server is
 /// stateless and idempotent: a duplicated or retried request is simply
 /// answered again, echoing its sequence number.
-fn comm_thread(
+pub(crate) fn comm_thread(
     comm: &Comm,
     hash_kmers: &KmerSpectrum,
     hash_tiles: &TileSpectrum,
@@ -649,7 +647,7 @@ fn attempt_deadline(base: Option<Duration>, attempt: u32) -> Option<Duration> {
 
 /// The worker-side lookup chain of §III step IV:
 /// replicated table → owned table → reads table → remote request.
-struct DistAccess<'a> {
+pub(crate) struct DistAccess<'a> {
     comm: &'a Comm,
     me: usize,
     owners: &'a OwnerMap,
@@ -687,8 +685,50 @@ struct DistAccess<'a> {
     prefetch_tiles: FxHashMap<u128, u32>,
     /// Reused encode buffer — no fresh `Vec` per request.
     scratch: WireWriter,
-    stats: LookupStats,
-    comm_secs: f64,
+    pub(crate) stats: LookupStats,
+    pub(crate) comm_secs: f64,
+}
+
+impl<'a> DistAccess<'a> {
+    /// Build the lookup chain over a rank's intact [`RankTables`] — the
+    /// serve plane's constructor. The reads tables stay `None` (a
+    /// long-lived service has no fixed read set to scan), so the caller
+    /// must have rejected `keep_read_tables`/`cache_remote` up front.
+    /// The prefetch maps, wire scratch and batch stash allocated here
+    /// live as long as the access: reusing one `DistAccess` across many
+    /// serve micro-batches is what makes repeat jobs allocate ~zero.
+    pub(crate) fn for_tables(
+        comm: &'a Comm,
+        tables: &'a RankTables,
+        cfg: &EngineConfig,
+    ) -> DistAccess<'a> {
+        DistAccess {
+            comm,
+            me: comm.rank(),
+            owners: &tables.owners,
+            hash_kmers: &tables.hash_kmers,
+            hash_tiles: &tables.hash_tiles,
+            reads_kmers: None,
+            reads_tiles: None,
+            replicated_kmers: &tables.replicated_kmers,
+            replicated_tiles: &tables.replicated_tiles,
+            group_kmers: &tables.group_kmers,
+            group_tiles: &tables.group_tiles,
+            hot_kmers: &tables.hot_kmers,
+            hot_tiles: &tables.hot_tiles,
+            hot_owners: &tables.hot_owners,
+            heur: cfg.heuristics,
+            lookup_deadline: cfg.lookup_deadline,
+            retry_budget: cfg.retry_budget,
+            next_seq: 1,
+            batch_stash: FxHashMap::default(),
+            prefetch_kmers: FxHashMap::default(),
+            prefetch_tiles: FxHashMap::default(),
+            scratch: WireWriter::with_capacity(64),
+            stats: LookupStats::default(),
+            comm_secs: 0.0,
+        }
+    }
 }
 
 impl DistAccess<'_> {
@@ -828,7 +868,7 @@ impl DistAccess<'_> {
     /// this cannot deadlock. Responses are matched by sequence number
     /// (reordered deliveries park in [`DistAccess::batch_stash`]), so
     /// arrival order does not matter.
-    fn prefetch(&mut self, reads: &[Read], params: &ReptileParams) {
+    pub(crate) fn prefetch(&mut self, reads: &[Read], params: &ReptileParams) {
         self.prefetch_kmers.clear();
         self.prefetch_tiles.clear();
         let keys = reptile::prefetch_keys(reads, params);

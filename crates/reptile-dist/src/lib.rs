@@ -28,6 +28,10 @@
 //!   [`mpisim::CostModel`] (this is what regenerates the paper's
 //!   figures at 1024–32768 ranks), replaying the same fault plans
 //!   analytically;
+//! * [`serve`] — the long-lived correction service: a persistent
+//!   [`ServeEngine`] that loads the snapshot once and keeps the Step-IV
+//!   service plane warm, fronted by a bounded admission queue with
+//!   backpressure and adaptive micro-batching (DESIGN.md §13);
 //! * [`snapshot`] — persistent sharded spectrum snapshots over
 //!   [`specstore`]: save the pruned spectra after Step III, reload them
 //!   in later runs (zero-copy at the same `np`, re-owned through the
@@ -53,6 +57,7 @@ pub mod owner;
 pub mod prior_art;
 pub mod protocol;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 pub mod spectrum;
 
@@ -68,4 +73,5 @@ pub use engine_virtual::{run_virtual, try_run_virtual};
 pub use heuristics::HeuristicConfig;
 pub use prior_art::{run_prior_art, run_prior_art_virtual, PriorArtConfig};
 pub use report::{LookupStats, RankReport, RunReport};
+pub use serve::{ServeConfig, ServeEngine, ServeReport, ServeResponse, SubmitError};
 pub use snapshot::{LoadedSpectra, SerialLoad};
