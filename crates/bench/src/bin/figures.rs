@@ -203,10 +203,37 @@ fn main() {
                 }
                 println!("serve-floor: OK");
             }
+            // Not part of `all`: gates CI on the erasure-coded snapshot
+            // floors recorded by `bench-json` in BENCH_snapshot.json —
+            // repairing a lost shard must stay well ahead of rebuilding
+            // the spectra from reads, and the parity bytes must stay a
+            // small tax on the snapshot.
+            "repair-floor" => {
+                let snap = std::fs::read_to_string("BENCH_snapshot.json")
+                    .expect("read BENCH_snapshot.json (run `figures -- bench-json` first)");
+                let speedup = scrape_number(&snap, "repair_speedup")
+                    .expect("repair_speedup in BENCH_snapshot.json");
+                let overhead = scrape_number(&snap, "parity_overhead")
+                    .expect("parity_overhead in BENCH_snapshot.json");
+                let repaired = scrape_number(&snap, "repaired_bytes")
+                    .expect("repaired_bytes in BENCH_snapshot.json");
+                let mut ok = true;
+                println!("repair-floor: repairing load vs rebuild {speedup:.2}x (floor 2.00)");
+                ok &= speedup >= 2.0;
+                println!("repair-floor: parity byte overhead {overhead:.4} (ceiling 0.15)");
+                ok &= overhead <= 0.15;
+                println!("repair-floor: bytes reconstructed {repaired:.0} (> 0)");
+                ok &= repaired > 0.0;
+                if !ok {
+                    eprintln!("repair-floor: FAILED");
+                    std::process::exit(1);
+                }
+                println!("repair-floor: OK");
+            }
             other => {
                 eprintln!(
                     "unknown item '{other}' (expected table1, fig2..fig8, bench-json, \
-                     perf-floor, balance-floor, serve-floor, all)"
+                     perf-floor, balance-floor, serve-floor, repair-floor, all)"
                 );
                 std::process::exit(2);
             }

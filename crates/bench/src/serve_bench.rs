@@ -340,7 +340,7 @@ pub fn run(open_loop_requests: u64, jobs: usize, job_reads: usize) -> ServeBench
     let built = LocalSpectra::build(&spectrum, &p);
     let dir = scratch_dir();
     let per_rank =
-        save_snapshot_serial(&dir, &p, NP, &built.kmers, &built.tiles).expect("save snapshot");
+        save_snapshot_serial(&dir, &p, NP, 0, &built.kmers, &built.tiles).expect("save snapshot");
     let snapshot_bytes: u64 = per_rank.iter().sum();
     let cfg = engine_config(&dir);
     let mix = request_mix(genome_len, 3_000);

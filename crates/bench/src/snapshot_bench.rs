@@ -19,6 +19,7 @@
 use genio::dataset::DatasetProfile;
 use reptile::{LocalSpectra, ReptileParams};
 use reptile_dist::snapshot::{load_snapshot_serial, save_snapshot_serial};
+use reptile_dist::RecoveryPolicy;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -26,6 +27,15 @@ use std::time::Instant;
 pub const SAVE_NP: usize = 4;
 /// Rank count the re-sharded load runs at.
 pub const RESHARD_NP: usize = 3;
+/// Rank count for the parity/repair leg. Wider than [`SAVE_NP`] so one
+/// parity shard per kind amortises to a small byte overhead (~1/8).
+pub const PARITY_NP: usize = 8;
+/// Parity shards per (kind, shard-group) in the repair leg.
+pub const PARITY_M: usize = 1;
+/// Rank whose k-mer shard the repair leg truncates.
+const CHOP_RANK: usize = 3;
+/// Bytes kept by the truncation — past the header, well short of the payload.
+const CHOP_KEEP: u64 = 64;
 
 /// The race result, rendered by [`render_json`].
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +56,18 @@ pub struct SnapshotBenchReport {
     pub load_ns: f64,
     /// Load the snapshot at [`RESHARD_NP`] ranks (union + re-own), ns.
     pub reshard_load_ns: f64,
+    /// Snapshot size at [`PARITY_NP`] ranks with no parity, bytes.
+    pub plain_bytes: u64,
+    /// Snapshot size at [`PARITY_NP`] ranks with [`PARITY_M`] parity
+    /// shards per kind, bytes.
+    pub parity_bytes: u64,
+    /// Persist with parity encoding at [`PARITY_NP`] ranks, ns.
+    pub parity_save_ns: f64,
+    /// Load with one k-mer shard truncated, reconstructing it from the
+    /// survivors + parity on every load (no rewrite), ns.
+    pub repair_load_ns: f64,
+    /// Bytes reconstructed by the repair leg (sanity: > 0).
+    pub repaired_bytes: u64,
 }
 
 impl SnapshotBenchReport {
@@ -57,6 +79,19 @@ impl SnapshotBenchReport {
     /// How many times faster the re-sharded load is than rebuilding.
     pub fn reshard_speedup(&self) -> f64 {
         self.build_ns / self.reshard_load_ns.max(1.0)
+    }
+
+    /// Extra bytes the parity shards cost, as a fraction of the
+    /// parity-free snapshot (~`PARITY_M / PARITY_NP` plus rounding to
+    /// the widest shard in each group).
+    pub fn parity_overhead(&self) -> f64 {
+        (self.parity_bytes.saturating_sub(self.plain_bytes)) as f64 / self.plain_bytes.max(1) as f64
+    }
+
+    /// How many times faster a repairing load is than rebuilding from
+    /// reads — the number that justifies parity over re-running Step II.
+    pub fn repair_speedup(&self) -> f64 {
+        self.build_ns / self.repair_load_ns.max(1.0)
     }
 }
 
@@ -139,23 +174,28 @@ pub fn run(n: usize) -> SnapshotBenchReport {
 
     // --- persist (save overwrites in place, so repetition is safe) ---
     let save_ns = time_ns_per_op(3, 1, || {
-        save_snapshot_serial(&dir, &p, SAVE_NP, &built.kmers, &built.tiles).expect("save snapshot")
+        save_snapshot_serial(&dir, &p, SAVE_NP, 0, &built.kmers, &built.tiles)
+            .expect("save snapshot")
     });
-    let per_rank =
-        save_snapshot_serial(&dir, &p, SAVE_NP, &built.kmers, &built.tiles).expect("save snapshot");
+    let per_rank = save_snapshot_serial(&dir, &p, SAVE_NP, 0, &built.kmers, &built.tiles)
+        .expect("save snapshot");
     let snapshot_bytes: u64 = per_rank.iter().sum();
 
     // --- load back, zero-copy then re-sharded ---
     let load_ns = time_ns_per_op(5, 1, || {
-        load_snapshot_serial(&dir, &p, SAVE_NP, None).expect("load snapshot")
+        load_snapshot_serial(&dir, &p, SAVE_NP, RecoveryPolicy::Strict, None)
+            .expect("load snapshot")
     });
     let reshard_load_ns = time_ns_per_op(5, 1, || {
-        load_snapshot_serial(&dir, &p, RESHARD_NP, None).expect("re-sharded load")
+        load_snapshot_serial(&dir, &p, RESHARD_NP, RecoveryPolicy::Strict, None)
+            .expect("re-sharded load")
     });
 
     // The race only counts if both loads reproduce the spectra exactly.
-    let zero = load_snapshot_serial(&dir, &p, SAVE_NP, None).expect("load snapshot");
-    let resharded = load_snapshot_serial(&dir, &p, RESHARD_NP, None).expect("re-sharded load");
+    let zero = load_snapshot_serial(&dir, &p, SAVE_NP, RecoveryPolicy::Strict, None)
+        .expect("load snapshot");
+    let resharded = load_snapshot_serial(&dir, &p, RESHARD_NP, RecoveryPolicy::Strict, None)
+        .expect("re-sharded load");
     assert!(!zero.resharded && resharded.resharded);
     let want = sorted_entries(&built);
     for loaded in [
@@ -164,7 +204,39 @@ pub fn run(n: usize) -> SnapshotBenchReport {
     ] {
         assert_eq!(sorted_entries(&loaded), want, "loaded spectra must be entry-identical");
     }
+
+    // --- parity leg: encode overhead, then repair a truncated shard ---
+    let pdir = scratch_dir();
+    let plain_bytes: u64 =
+        save_snapshot_serial(&pdir, &p, PARITY_NP, 0, &built.kmers, &built.tiles)
+            .expect("plain save")
+            .iter()
+            .sum();
+    let parity_save_ns = time_ns_per_op(3, 1, || {
+        save_snapshot_serial(&pdir, &p, PARITY_NP, PARITY_M, &built.kmers, &built.tiles)
+            .expect("parity save")
+    });
+    let parity_bytes: u64 =
+        save_snapshot_serial(&pdir, &p, PARITY_NP, PARITY_M, &built.kmers, &built.tiles)
+            .expect("parity save")
+            .iter()
+            .sum();
+    // Truncating the same shard to the same length is idempotent, so the
+    // chop can ride along on every timed load: each rep pays a full
+    // classify → reconstruct → verify pass (rewrite stays off).
+    let repair = RecoveryPolicy::Repair { max_lost: PARITY_M, rewrite: false };
+    let repair_load_ns = time_ns_per_op(5, 1, || {
+        load_snapshot_serial(&pdir, &p, PARITY_NP, repair, Some((CHOP_RANK, CHOP_KEEP)))
+            .expect("repairing load")
+    });
+    let repaired = load_snapshot_serial(&pdir, &p, PARITY_NP, repair, Some((CHOP_RANK, CHOP_KEEP)))
+        .expect("repairing load");
+    let repaired_bytes: u64 = repaired.per_rank_repair.iter().map(|r| r.bytes_reconstructed).sum();
+    assert!(repaired_bytes > 0, "repair leg must actually reconstruct a shard");
+    let loaded = LocalSpectra { kmers: repaired.kmers, tiles: repaired.tiles };
+    assert_eq!(sorted_entries(&loaded), want, "repaired spectra must be entry-identical");
     let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&pdir);
 
     SnapshotBenchReport {
         reads: reads.len(),
@@ -175,6 +247,11 @@ pub fn run(n: usize) -> SnapshotBenchReport {
         save_ns,
         load_ns,
         reshard_load_ns,
+        plain_bytes,
+        parity_bytes,
+        parity_save_ns,
+        repair_load_ns,
+        repaired_bytes,
     }
 }
 
@@ -183,8 +260,11 @@ pub fn render_json(r: &SnapshotBenchReport) -> String {
     format!(
         "{{\n  \"workload\": {{\"reads\": {}, \"kmer_entries\": {}, \"tile_entries\": {}, \
          \"snapshot_bytes\": {}}},\n  \
-         \"ns\": {{\"build\": {:.0}, \"save\": {:.0}, \"load\": {:.0}, \"reshard_load\": {:.0}}},\n  \
-         \"ratios\": {{\"load_speedup\": {:.2}, \"reshard_speedup\": {:.2}}}\n}}\n",
+         \"ns\": {{\"build\": {:.0}, \"save\": {:.0}, \"load\": {:.0}, \"reshard_load\": {:.0}, \
+         \"parity_save\": {:.0}, \"repair_load\": {:.0}}},\n  \
+         \"parity\": {{\"plain_bytes\": {}, \"parity_bytes\": {}, \"repaired_bytes\": {}}},\n  \
+         \"ratios\": {{\"load_speedup\": {:.2}, \"reshard_speedup\": {:.2}, \
+         \"repair_speedup\": {:.2}, \"parity_overhead\": {:.4}}}\n}}\n",
         r.reads,
         r.kmer_entries,
         r.tile_entries,
@@ -193,8 +273,15 @@ pub fn render_json(r: &SnapshotBenchReport) -> String {
         r.save_ns,
         r.load_ns,
         r.reshard_load_ns,
+        r.parity_save_ns,
+        r.repair_load_ns,
+        r.plain_bytes,
+        r.parity_bytes,
+        r.repaired_bytes,
         r.load_speedup(),
-        r.reshard_speedup()
+        r.reshard_speedup(),
+        r.repair_speedup(),
+        r.parity_overhead()
     )
 }
 
@@ -226,6 +313,18 @@ mod tests {
             r.build_ns,
             r.reshard_speedup()
         );
+        assert!(
+            r.repair_speedup() > 1.0,
+            "repairing load {:.0} ns vs rebuild {:.0} ns — speedup {:.2}x ≤ 1x",
+            r.repair_load_ns,
+            r.build_ns,
+            r.repair_speedup()
+        );
+        assert!(
+            r.parity_overhead() < 0.5,
+            "one parity shard over {PARITY_NP} data shards cost {:.1}% extra bytes",
+            r.parity_overhead() * 100.0
+        );
     }
 
     #[test]
@@ -235,6 +334,8 @@ mod tests {
         assert!(json.contains("\"load_speedup\""));
         assert!(json.contains("\"snapshot_bytes\""));
         assert!(json.contains("\"reshard_load\""));
+        assert!(json.contains("\"repair_speedup\""));
+        assert!(json.contains("\"parity_overhead\""));
         // braces balance
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

@@ -37,6 +37,16 @@
 //!                        rebuilding them: Steps II-III are skipped
 //!                        (zero-copy at matching --np, re-owned through
 //!                        the count exchange otherwise)
+//!   --parity M           (with --spectrum-out) also write M
+//!                        Reed-Solomon parity shards per spectrum kind,
+//!                        so a later load can survive up to M lost or
+//!                        corrupt shards per group (format v2)
+//!   --repair-policy P    (with --spectrum-in) what a damaged shard does
+//!                        to the load: "strict" (default) aborts;
+//!                        "repair[:MAX[:rewrite]]" reconstructs up to
+//!                        MAX lost shards per group from the survivors
+//!                        + parity (MAX defaults to 1; ":rewrite" also
+//!                        writes the rebuilt shards back in place)
 //!   --serve FILE         build-once / correct-many: correct every job
 //!                        listed in FILE ("<fasta> <qual> <output>" per
 //!                        line) against one snapshot; requires
@@ -68,7 +78,8 @@
 use dnaseq::Read;
 use genio::{fasta, RunConfig};
 use reptile_cli::{
-    heuristics_from_args, params_from_config, parse_serve_batches, ArgParser, ServeBatch,
+    heuristics_from_args, params_from_config, parse_serve_batches, recovery_from_args, ArgParser,
+    ServeBatch,
 };
 use reptile_dist::{
     engine_by_name, EngineConfig, RunReport, ServeConfig, ServeEngine, ServeResponse, SubmitError,
@@ -124,10 +135,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         builder = builder.lookup_deadline(deadline);
     }
     if let Some(dir) = args.value("spectrum-out") {
-        builder = builder.save_spectrum(dir);
+        builder = builder.save_spectrum(dir).parity(args.int("parity", 0)?);
     }
     if let Some(dir) = args.value("spectrum-in") {
-        builder = builder.load_spectrum(dir);
+        builder = builder.load_spectrum(dir).recovery(recovery_from_args(&args)?);
     }
     let cfg = builder.build()?;
 
@@ -188,6 +199,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "spectrum snapshot: {} B loaded (build skipped)",
             run.report.snapshot_bytes_read()
         );
+        if run.report.shards_repaired() > 0 {
+            println!(
+                "spectrum repair: {} shards reconstructed ({} B rebuilt) in {:.3}s",
+                run.report.shards_repaired(),
+                run.report.repair_bytes(),
+                run.report.repair_secs()
+            );
+        }
     }
     if args.has("report") {
         print_report(&run.report);
@@ -345,6 +364,12 @@ fn serve_jobs(
         report.snapshot_bytes_read,
         report.uptime_secs,
     );
+    if report.repair.shards_repaired > 0 {
+        println!(
+            "serve: degraded start — {} shards reconstructed ({} B rebuilt)",
+            report.repair.shards_repaired, report.repair.bytes_reconstructed,
+        );
+    }
     if !latencies.is_empty() {
         latencies.sort_by(|a, b| a.total_cmp(b));
         println!(

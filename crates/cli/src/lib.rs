@@ -16,7 +16,7 @@
 #![warn(missing_docs)]
 
 use reptile::ReptileParams;
-use reptile_dist::HeuristicConfig;
+use reptile_dist::{HeuristicConfig, RecoveryPolicy};
 
 /// A minimal argument cursor: positionals in order, `--key value` and
 /// `--flag` options anywhere.
@@ -52,6 +52,8 @@ const VALUED: &[&str] = &[
     "retry-budget",
     "spectrum-out",
     "spectrum-in",
+    "parity",
+    "repair-policy",
     "serve",
     "open-loop",
     "queue-depth",
@@ -148,6 +150,47 @@ pub fn heuristics_from_args(args: &ArgParser) -> Result<HeuristicConfig, UsageEr
     heur.hot_shard_k = args.int("hot-shards", 0)?;
     heur.validate().map_err(UsageError)?;
     Ok(heur)
+}
+
+/// Parse `--repair-policy strict|repair[:MAX[:rewrite]]` into a
+/// [`RecoveryPolicy`]. Absent flag means [`RecoveryPolicy::Strict`]:
+/// any damaged shard aborts the load. `repair` alone allows one lost
+/// shard per group; `repair:2` allows two; `repair:2:rewrite` also
+/// writes the reconstructed shards back to the snapshot directory.
+pub fn recovery_from_args(args: &ArgParser) -> Result<RecoveryPolicy, UsageError> {
+    let Some(v) = args.value("repair-policy") else {
+        return Ok(RecoveryPolicy::Strict);
+    };
+    if v == "strict" {
+        return Ok(RecoveryPolicy::Strict);
+    }
+    let mut parts = v.split(':');
+    if parts.next() != Some("repair") {
+        return Err(UsageError(format!(
+            "--repair-policy: expected strict|repair[:MAX[:rewrite]], got '{v}'"
+        )));
+    }
+    let max_lost = match parts.next() {
+        None => 1,
+        Some(n) => n.parse::<usize>().map_err(|_| {
+            UsageError(format!("--repair-policy: '{n}' is not a shard count in '{v}'"))
+        })?,
+    };
+    let rewrite = match parts.next() {
+        None => false,
+        Some("rewrite") => true,
+        Some(other) => {
+            return Err(UsageError(format!(
+                "--repair-policy: expected 'rewrite' after the count, got '{other}' in '{v}'"
+            )))
+        }
+    };
+    if parts.next().is_some() {
+        return Err(UsageError(format!(
+            "--repair-policy: trailing fields after 'rewrite' in '{v}'"
+        )));
+    }
+    Ok(RecoveryPolicy::Repair { max_lost, rewrite })
 }
 
 /// One job of a `--serve` batch file: an input (fasta, qual) pair and the
@@ -304,6 +347,43 @@ mod tests {
         assert_eq!(a.value("spectrum-out"), Some("snap/"));
         assert_eq!(a.value("spectrum-in"), Some("old/"));
         assert_eq!(a.value("serve"), Some("b"));
+    }
+
+    #[test]
+    fn repair_policy_parses_every_form() {
+        let a = parse(&["c"]);
+        assert_eq!(recovery_from_args(&a).unwrap(), RecoveryPolicy::Strict);
+        let a = parse(&["c", "--repair-policy", "strict"]);
+        assert_eq!(recovery_from_args(&a).unwrap(), RecoveryPolicy::Strict);
+        let a = parse(&["c", "--repair-policy", "repair"]);
+        assert_eq!(
+            recovery_from_args(&a).unwrap(),
+            RecoveryPolicy::Repair { max_lost: 1, rewrite: false }
+        );
+        let a = parse(&["c", "--repair-policy", "repair:2"]);
+        assert_eq!(
+            recovery_from_args(&a).unwrap(),
+            RecoveryPolicy::Repair { max_lost: 2, rewrite: false }
+        );
+        let a = parse(&["c", "--repair-policy=repair:2:rewrite"]);
+        assert_eq!(
+            recovery_from_args(&a).unwrap(),
+            RecoveryPolicy::Repair { max_lost: 2, rewrite: true }
+        );
+    }
+
+    #[test]
+    fn repair_policy_rejects_malformed_values() {
+        for bad in ["fix", "repair:x", "repair:1:readonly", "repair:1:rewrite:more", "strict:1", ""]
+        {
+            let a = parse(&["c", &format!("--repair-policy={bad}")]);
+            let err = recovery_from_args(&a);
+            assert!(err.is_err(), "'{bad}' must be rejected");
+            assert!(err.unwrap_err().0.contains("--repair-policy"));
+        }
+        // parity flag is valued
+        let a = parse(&["c", "--parity", "2"]);
+        assert_eq!(a.int("parity", 0).unwrap(), 2);
     }
 
     #[test]

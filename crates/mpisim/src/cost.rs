@@ -209,6 +209,22 @@ impl CostModel {
         self.disk_latency_ns + bytes as f64 / self.disk_bw_bytes_per_ns
     }
 
+    /// Modeled time of an online Reed-Solomon shard repair during a
+    /// snapshot load: stream the `survivor_bytes` of the surviving
+    /// shards from disk, then run the GF(2^8) matrix-vector rebuild
+    /// over them to produce `rebuilt_bytes`. The arithmetic term is a
+    /// flat ~1 ns/byte — one table-lookup multiply-accumulate per
+    /// survivor byte on the in-order core — which keeps repair
+    /// IO-dominated, exactly why repairing beats re-running spectrum
+    /// construction (`snapshot_io_ns ≪ build`, and repair adds only a
+    /// linear scan on top).
+    pub fn rs_repair_ns(&self, survivor_bytes: u64, rebuilt_bytes: u64) -> f64 {
+        const GF_MAC_NS_PER_BYTE: f64 = 1.0;
+        self.snapshot_io_ns(survivor_bytes)
+            + survivor_bytes as f64 * GF_MAC_NS_PER_BYTE
+            + rebuilt_bytes as f64 / self.disk_bw_bytes_per_ns
+    }
+
     /// Modeled time spent waiting out `failed_attempts` consecutive
     /// missed deadlines under the Step IV retry protocol: attempt `i`
     /// waits `deadline · 2^i` before resending, so the total is the
@@ -394,6 +410,23 @@ mod tests {
         // the commodity preset's NFS is slower but still present
         let eth = CostModel::commodity_cluster();
         assert!(eth.snapshot_io_ns(1 << 20) > m.snapshot_io_ns(1 << 20));
+    }
+
+    #[test]
+    fn repair_is_io_dominated_and_beats_rebuild() {
+        let m = CostModel::bgq();
+        // repair of a 100 MB group (3 survivors read, 1 shard rebuilt)
+        let survivors = 75u64 << 20;
+        let rebuilt = 25u64 << 20;
+        let repair = m.rs_repair_ns(survivors, rebuilt);
+        // strictly more than the pure IO of the survivors, but within
+        // a small constant of it: the GF arithmetic must not dominate
+        let io = m.snapshot_io_ns(survivors);
+        assert!(repair > io);
+        assert!(repair < io * 3.0, "GF term should stay IO-comparable");
+        // and far cheaper than rebuilding the shard's ~1M entries
+        let build = 1_000_000.0 * m.hash_insert_ns;
+        assert!(repair < build, "repair ({repair} ns) should beat rebuild ({build} ns)");
     }
 
     #[test]

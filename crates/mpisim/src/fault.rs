@@ -42,6 +42,19 @@ pub struct SnapshotChopSpec {
     pub keep_bytes: u64,
 }
 
+/// Chop `path` down to `keep_bytes` — the snapshot truncation
+/// injection. Lives here, behind the fault plan, so production snapshot
+/// code has no truncation entry point to reach by accident. A no-op
+/// when the file is already shorter.
+pub fn chop_file(path: &std::path::Path, keep_bytes: u64) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if keep_bytes < len {
+        file.set_len(keep_bytes)?;
+    }
+    Ok(())
+}
+
 /// Which rank to stall: every `every`-th operation (send or collective)
 /// on that rank sleeps for `pause`, modeling a slow or oversubscribed
 /// node.

@@ -39,7 +39,7 @@ pub mod universe;
 pub use collectives::PendingAlltoallv;
 pub use comm::{Comm, Source, TagSel};
 pub use cost::CostModel;
-pub use fault::{parse_duration, FaultPlan, KillSpec, SnapshotChopSpec, StallSpec};
+pub use fault::{chop_file, parse_duration, FaultPlan, KillSpec, SnapshotChopSpec, StallSpec};
 pub use message::{Message, MessageInfo};
 pub use stats::RankStatsSnapshot;
 pub use topology::Topology;

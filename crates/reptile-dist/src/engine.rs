@@ -23,6 +23,7 @@ use crate::report::RunReport;
 use dnaseq::Read;
 use mpisim::{CostModel, FaultPlan, Topology};
 use reptile::ReptileParams;
+use specstore::RecoveryPolicy;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
@@ -73,6 +74,15 @@ pub struct EngineConfig {
     /// Combining with `save_spectrum` re-shards a snapshot to this
     /// config's `np` without correcting anything twice.
     pub load_spectrum: Option<PathBuf>,
+    /// Reed-Solomon parity shards written per table kind on a
+    /// `save_spectrum` run (0 = no erasure coding; `m` parity shards
+    /// let a later `Repair` load survive any `m` lost shards per
+    /// group).
+    pub parity: usize,
+    /// What a `load_spectrum` run does when a shard is corrupt:
+    /// surface the typed error (`Strict`) or reconstruct it from the
+    /// snapshot's parity shards (`Repair`).
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineConfig {
@@ -94,6 +104,8 @@ impl EngineConfig {
             retry_budget: 0,
             save_spectrum: None,
             load_spectrum: None,
+            parity: 0,
+            recovery: RecoveryPolicy::Strict,
         }
     }
 
@@ -147,6 +159,22 @@ impl EngineConfig {
                 return Err(ConfigError::KilledRankOutOfRange { rank: stall.rank, np: self.np });
             }
         }
+        if self.parity > 0 {
+            if self.save_spectrum.is_none() {
+                return Err(ConfigError::ParityWithoutSave);
+            }
+            if self.np + self.parity > 256 {
+                return Err(ConfigError::ParityTooWide { np: self.np, parity: self.parity });
+            }
+        }
+        if let RecoveryPolicy::Repair { max_lost, .. } = self.recovery {
+            if max_lost == 0 {
+                return Err(ConfigError::RepairZeroBudget);
+            }
+            if self.load_spectrum.is_none() {
+                return Err(ConfigError::RepairWithoutLoad);
+            }
+        }
         self.heuristics.validate().map_err(ConfigError::Heuristics)?;
         Ok(())
     }
@@ -175,6 +203,27 @@ pub enum ConfigError {
         /// The universe size it was checked against.
         np: usize,
     },
+    /// Parity shards were requested without a `save_spectrum` directory
+    /// to write them into.
+    ParityWithoutSave,
+    /// `np + parity` exceeds the GF(2^8) Reed-Solomon limit of 256
+    /// shards per group.
+    ParityTooWide {
+        /// Data shards per group (= ranks).
+        np: usize,
+        /// Requested parity shards per group.
+        parity: usize,
+    },
+    /// A `Repair` recovery policy with `max_lost == 0` can never repair
+    /// anything — use `Strict` instead.
+    RepairZeroBudget,
+    /// A `Repair` recovery policy without a `load_spectrum` directory
+    /// has nothing to repair.
+    RepairWithoutLoad,
+    /// A `Repair` recovery policy was requested but the snapshot being
+    /// loaded carries no parity shards (e.g. a v1 snapshot, or one
+    /// saved with `parity = 0`).
+    RepairWithoutParity,
     /// The heuristic combination is invalid (message from
     /// [`HeuristicConfig::validate`]).
     Heuristics(String),
@@ -197,6 +246,21 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::KilledRankOutOfRange { rank, np } => {
                 write!(f, "fault plan names rank {rank}, but np is {np}")
+            }
+            ConfigError::ParityWithoutSave => {
+                write!(f, "parity > 0 requires a save_spectrum directory")
+            }
+            ConfigError::ParityTooWide { np, parity } => {
+                write!(f, "np {np} + parity {parity} exceeds the 256-shard GF(2^8) group limit")
+            }
+            ConfigError::RepairZeroBudget => {
+                write!(f, "a Repair policy needs max_lost >= 1 (use Strict otherwise)")
+            }
+            ConfigError::RepairWithoutLoad => {
+                write!(f, "a Repair policy requires a load_spectrum directory")
+            }
+            ConfigError::RepairWithoutParity => {
+                write!(f, "a Repair policy needs a snapshot saved with parity shards")
             }
             ConfigError::Heuristics(msg) => write!(f, "invalid heuristics: {msg}"),
         }
@@ -248,6 +312,12 @@ impl From<ConfigError> for EngineError {
 
 impl From<specstore::SnapshotError> for EngineError {
     fn from(e: specstore::SnapshotError) -> EngineError {
+        // A Repair policy against a parity-free snapshot is a
+        // configuration mistake (the combination can never work), not a
+        // corruption event — surface it as such.
+        if matches!(e, specstore::SnapshotError::NoParity { .. }) {
+            return EngineError::Config(ConfigError::RepairWithoutParity);
+        }
         EngineError::Snapshot(e)
     }
 }
@@ -336,6 +406,19 @@ impl EngineConfigBuilder {
     /// Load the spectra from a snapshot directory instead of building.
     pub fn load_spectrum(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cfg.load_spectrum = Some(dir.into());
+        self
+    }
+
+    /// Write `parity` Reed-Solomon shards per table kind when saving
+    /// (requires `save_spectrum` to validate).
+    pub fn parity(mut self, parity: usize) -> Self {
+        self.cfg.parity = parity;
+        self
+    }
+
+    /// Set the shard-corruption recovery policy for loads.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.cfg.recovery = recovery;
         self
     }
 
@@ -544,6 +627,61 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_bad_parity_and_recovery_combinations() {
+        use specstore::RecoveryPolicy;
+        // parity without a save target
+        assert_eq!(
+            EngineConfig::builder(4, params()).parity(2).build().unwrap_err(),
+            ConfigError::ParityWithoutSave
+        );
+        // parity wider than the GF(2^8) group
+        assert_eq!(
+            EngineConfig::builder(255, params())
+                .parity(2)
+                .save_spectrum("/tmp/snap")
+                .build()
+                .unwrap_err(),
+            ConfigError::ParityTooWide { np: 255, parity: 2 }
+        );
+        // repair with a zero budget
+        assert_eq!(
+            EngineConfig::builder(4, params())
+                .recovery(RecoveryPolicy::Repair { max_lost: 0, rewrite: false })
+                .load_spectrum("/tmp/snap")
+                .build()
+                .unwrap_err(),
+            ConfigError::RepairZeroBudget
+        );
+        // repair without anything to load
+        assert_eq!(
+            EngineConfig::builder(4, params())
+                .recovery(RecoveryPolicy::Repair { max_lost: 1, rewrite: false })
+                .build()
+                .unwrap_err(),
+            ConfigError::RepairWithoutLoad
+        );
+        // the valid combination passes
+        let cfg = EngineConfig::builder(4, params())
+            .parity(1)
+            .save_spectrum("/tmp/snap")
+            .recovery(RecoveryPolicy::Repair { max_lost: 1, rewrite: true })
+            .load_spectrum("/tmp/snap")
+            .build()
+            .expect("valid parity + repair config");
+        assert_eq!(cfg.parity, 1);
+        assert!(cfg.recovery.repairs());
+    }
+
+    #[test]
+    fn no_parity_snapshot_error_maps_to_config() {
+        let e = specstore::SnapshotError::NoParity { dir: "/tmp/x".into() };
+        assert!(matches!(
+            EngineError::from(e),
+            EngineError::Config(ConfigError::RepairWithoutParity)
+        ));
+    }
+
+    #[test]
     fn builder_rejects_nonpositive_scale() {
         let err = EngineConfig::builder(2, params()).scale(0.0).build().unwrap_err();
         assert_eq!(err, ConfigError::NonPositiveScale(0.0));
@@ -564,6 +702,11 @@ mod tests {
             ConfigError::RetryWithoutDeadline,
             ConfigError::FaultNeedsDeadline,
             ConfigError::KilledRankOutOfRange { rank: 9, np: 4 },
+            ConfigError::ParityWithoutSave,
+            ConfigError::ParityTooWide { np: 255, parity: 2 },
+            ConfigError::RepairZeroBudget,
+            ConfigError::RepairWithoutLoad,
+            ConfigError::RepairWithoutParity,
             ConfigError::Heuristics("x".into()),
         ] {
             assert!(!err.to_string().is_empty());

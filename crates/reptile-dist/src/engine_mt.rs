@@ -214,14 +214,14 @@ pub(crate) fn run_rank(
 
     // --- Steps II–III: distributed spectrum construction, or a snapshot
     // load that skips them entirely ---
-    let (mut tables, mut build_stats, snapshot_load_secs, snapshot_bytes_read) =
+    let (mut tables, mut build_stats, snapshot_load_secs, snapshot_bytes_read, repair) =
         if let Some(dir) = &cfg.load_spectrum {
             if let Some(t) = trace.as_mut() {
                 t.phase_start("snapshot-load");
             }
             let t_load = Instant::now();
             let chop = cfg.fault.snapshot_chop_for(me);
-            let loaded = snapshot::load_snapshot(comm, dir, &cfg.params, chop)?;
+            let loaded = snapshot::load_snapshot(comm, dir, &cfg.params, cfg.recovery, chop)?;
             // The owned tables came off disk already pruned; only the
             // heuristic-derived side tables remain to be built. The
             // reads-table *key sets* were never persisted (their counts
@@ -247,7 +247,7 @@ pub(crate) fn run_rank(
             if let Some(t) = trace.as_mut() {
                 t.phase_end("snapshot-load");
             }
-            (tables, stats, t_load.elapsed().as_secs_f64(), loaded.bytes_read)
+            (tables, stats, t_load.elapsed().as_secs_f64(), loaded.bytes_read, loaded.repair)
         } else {
             let (tables, stats) = build_distributed(
                 comm,
@@ -257,7 +257,7 @@ pub(crate) fn run_rank(
                 &cfg.heuristics,
                 cfg.build_threads.max(1),
             );
-            (tables, stats, 0.0, 0)
+            (tables, stats, 0.0, 0, Default::default())
         };
 
     // --- adaptive balancing: detect skew and replicate the hot shards ---
@@ -286,6 +286,7 @@ pub(crate) fn run_rank(
             comm,
             dir,
             &cfg.params,
+            cfg.parity,
             &tables.hash_kmers,
             &tables.hash_tiles,
         )?;
@@ -472,6 +473,7 @@ pub(crate) fn run_rank(
         snapshot_bytes_written,
         snapshot_load_secs,
         snapshot_save_secs,
+        repair,
         trace,
     };
     Ok((corrected, report))

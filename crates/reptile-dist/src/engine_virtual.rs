@@ -106,9 +106,9 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
     // built from the reads, or reassembled from a snapshot's shards ---
     let (spectra, load_info) = if let Some(dir) = &cfg.load_spectrum {
         let chop = cfg.fault.snapshot_chop.map(|c| (c.rank, c.keep_bytes));
-        let loaded = snapshot::load_snapshot_serial(dir, &cfg.params, np, chop)?;
+        let loaded = snapshot::load_snapshot_serial(dir, &cfg.params, np, cfg.recovery, chop)?;
         let spectra = LocalSpectra { kmers: loaded.kmers, tiles: loaded.tiles };
-        (spectra, Some((loaded.per_rank_bytes, loaded.resharded)))
+        (spectra, Some((loaded.per_rank_bytes, loaded.resharded, loaded.per_rank_repair)))
     } else {
         (LocalSpectra::build(reads, &cfg.params), None)
     };
@@ -119,6 +119,7 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
             dir,
             &cfg.params,
             np,
+            cfg.parity,
             &spectra.kmers,
             &spectra.tiles,
         )?),
@@ -302,14 +303,22 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
         let cached_tile_entries = access.cached_tiles.len() as u64;
 
         // --- time model ---
-        let construct_ns = if let Some((per_rank_bytes, resharded)) = &load_info {
+        let construct_ns = if let Some((per_rank_bytes, resharded, per_rank_repair)) = &load_info {
             // a snapshot load replaces the build: each logical rank reads
-            // its own shard pair off disk; a re-shard load additionally
-            // routes every entry through one count-exchange round
+            // its own shard pair off disk; a repairing load additionally
+            // streams the surviving group members and runs the GF(2^8)
+            // rebuild; a re-shard load routes every entry through one
+            // count-exchange round
             let io = cost.snapshot_io_ns(per_rank_bytes[me]);
+            let rep = &per_rank_repair[me];
+            let repair_ns = if rep.shards_repaired > 0 {
+                cost.rs_repair_ns(rep.survivor_bytes_read, rep.bytes_reconstructed)
+            } else {
+                0.0
+            };
             let reshard =
                 if *resharded { cost.alltoallv_ns(np, per_rank_bytes[me] as usize) } else { 0.0 };
-            (io + reshard + hot_allgather_ns) * smt
+            (io + repair_ns + reshard + hot_allgather_ns) * smt
         } else {
             // extraction shards across the build workers; the per-round
             // collective overlaps the next round's extraction (pipelined
@@ -382,8 +391,20 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
 
         // snapshot accounting: modeled per-rank I/O time over real bytes,
         // with the same phase spans the threaded engine traces
-        let snapshot_bytes_read = load_info.as_ref().map_or(0, |(b, _)| b[me]);
+        let snapshot_bytes_read = load_info.as_ref().map_or(0, |(b, _, _)| b[me]);
         let snapshot_bytes_written = saved_bytes.as_ref().map_or(0, |b| b[me]);
+        // repair accounting: real reconstruction counters, modeled time
+        // (the virtual engine's clock is the cost model, not the wall)
+        let repair = load_info.as_ref().map_or_else(Default::default, |(_, _, reps)| {
+            let mut rep = reps[me];
+            rep.repair_ns = if rep.shards_repaired > 0 {
+                (cost.rs_repair_ns(rep.survivor_bytes_read, rep.bytes_reconstructed) * cfg.scale)
+                    as u64
+            } else {
+                0
+            };
+            rep
+        });
         let snapshot_load_secs = if load_info.is_some() {
             cost.snapshot_io_ns(snapshot_bytes_read) * 1e-9 * cfg.scale
         } else {
@@ -421,6 +442,7 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
             snapshot_bytes_written,
             snapshot_load_secs,
             snapshot_save_secs,
+            repair,
             trace,
         });
         corrected_all.extend(corrected);

@@ -75,3 +75,4 @@ pub use prior_art::{run_prior_art, run_prior_art_virtual, PriorArtConfig};
 pub use report::{LookupStats, RankReport, RunReport};
 pub use serve::{ServeConfig, ServeEngine, ServeReport, ServeResponse, SubmitError};
 pub use snapshot::{LoadedSpectra, SerialLoad};
+pub use specstore::{RecoveryPolicy, RepairStats};

@@ -7,6 +7,7 @@
 use crate::spectrum::BuildStats;
 use mpisim::{CostModel, Topology, TraceLog};
 use reptile::CorrectionStats;
+use specstore::RepairStats;
 
 /// Counters from one rank's correction phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -144,6 +145,12 @@ pub struct RankReport {
     pub snapshot_load_secs: f64,
     /// Seconds spent saving the snapshot.
     pub snapshot_save_secs: f64,
+    /// Reed-Solomon shard repair this rank performed during a
+    /// `load_spectrum` run under a `Repair` policy (all-zero on clean
+    /// loads, `Strict` loads, and non-snapshot runs). `repair_ns` is
+    /// wall time in the threaded engine and modeled time in the
+    /// virtual one.
+    pub repair: RepairStats,
     /// Phase-span trace (`snapshot-save` / `snapshot-load` brackets);
     /// recorded only on snapshotting runs, `None` otherwise.
     pub trace: Option<TraceLog>,
@@ -315,6 +322,23 @@ impl RunReport {
     pub fn snapshot_save_secs(&self) -> f64 {
         self.ranks.iter().map(|r| r.snapshot_save_secs).fold(0.0, f64::max)
     }
+
+    /// Total data shards reconstructed from parity across ranks (0 on
+    /// clean or `Strict` loads).
+    pub fn shards_repaired(&self) -> u64 {
+        self.ranks.iter().map(|r| r.repair.shards_repaired).sum()
+    }
+
+    /// Total bytes of shard data reconstructed from parity, all ranks.
+    pub fn repair_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.repair.bytes_reconstructed).sum()
+    }
+
+    /// Slowest rank's repair time, seconds — loads are a barriered
+    /// phase, so the straggler's repair is what the run actually pays.
+    pub fn repair_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.repair.repair_ns as f64 * 1e-9).fold(0.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +481,30 @@ mod tests {
         assert_eq!(r.snapshot_load_secs(), 0.5);
         assert_eq!(r.snapshot_save_secs(), 0.1);
         assert!(r.ranks[0].trace.is_none());
+    }
+
+    #[test]
+    fn repair_aggregates() {
+        let mut a = rank(0.0, 0.0, 0.0);
+        a.repair = RepairStats {
+            shards_repaired: 2,
+            bytes_reconstructed: 4096,
+            survivor_bytes_read: 12_288,
+            shards_rewritten: 1,
+            repair_ns: 2_000_000_000,
+        };
+        let mut b = rank(0.0, 0.0, 0.0);
+        b.repair.shards_repaired = 1;
+        b.repair.bytes_reconstructed = 100;
+        b.repair.repair_ns = 500_000_000;
+        let r = run(vec![a, b]);
+        assert_eq!(r.shards_repaired(), 3);
+        assert_eq!(r.repair_bytes(), 4196);
+        assert_eq!(r.repair_secs(), 2.0, "barriered phase pays the straggler");
+        // clean runs report zeros
+        let clean = run(vec![rank(0.0, 0.0, 0.0)]);
+        assert_eq!(clean.shards_repaired(), 0);
+        assert_eq!(clean.repair_secs(), 0.0);
     }
 
     #[test]

@@ -145,6 +145,10 @@ pub struct ServeReport {
     pub lookups: LookupStats,
     /// Snapshot bytes read at startup (0 when built from seed reads).
     pub snapshot_bytes_read: u64,
+    /// Reed-Solomon repair work performed across ranks while loading a
+    /// degraded snapshot at startup (all-zero on clean starts; requires
+    /// a `Repair` recovery policy in the config).
+    pub repair: specstore::RepairStats,
     /// Engine lifetime, start of serving to shutdown.
     pub uptime_secs: f64,
     /// Responses completed but never drained before shutdown.
@@ -228,6 +232,7 @@ struct RankDone {
     requests: u64,
     batches: u64,
     snapshot_bytes_read: u64,
+    repair: specstore::RepairStats,
 }
 
 /// A persistent, long-lived correction service over `np` rank threads.
@@ -389,6 +394,7 @@ impl ServeEngine {
             report.errors_corrected += r.correction.errors_corrected;
             report.lookups.merge(&r.lookups);
             report.snapshot_bytes_read += r.snapshot_bytes_read;
+            report.repair.merge(&r.repair);
             debug_assert!(r.requests <= report.completed);
         }
         Ok(report)
@@ -433,37 +439,38 @@ fn serve_rank(
     let me = comm.rank();
     let np = comm.size();
     // --- build-once: snapshot load or distributed build ---
-    let (tables, snapshot_bytes_read): (RankTables, u64) = if let Some(dir) = &cfg.load_spectrum {
-        let chop = cfg.fault.snapshot_chop_for(me);
-        let loaded = snapshot::load_snapshot(comm, dir, &cfg.params, chop)?;
-        let owners = OwnerMap::new(np, &cfg.params);
-        let (tables, _) = derive_heuristic_tables(
-            comm,
-            owners,
-            &cfg.params,
-            &cfg.heuristics,
-            loaded.kmers,
-            loaded.tiles,
-            Vec::new(),
-            Vec::new(),
-            BuildStats::default(),
-        );
-        (tables, loaded.bytes_read)
-    } else {
-        // Step-I analog for the seed corpus: contiguous slices.
-        let lo = seed_reads.len() * me / np;
-        let hi = seed_reads.len() * (me + 1) / np;
-        let mine = seed_reads[lo..hi].to_vec();
-        let (tables, _) = build_distributed(
-            comm,
-            &mine,
-            cfg.chunk_size,
-            &cfg.params,
-            &cfg.heuristics,
-            cfg.build_threads.max(1),
-        );
-        (tables, 0)
-    };
+    let (tables, snapshot_bytes_read, repair): (RankTables, u64, specstore::RepairStats) =
+        if let Some(dir) = &cfg.load_spectrum {
+            let chop = cfg.fault.snapshot_chop_for(me);
+            let loaded = snapshot::load_snapshot(comm, dir, &cfg.params, cfg.recovery, chop)?;
+            let owners = OwnerMap::new(np, &cfg.params);
+            let (tables, _) = derive_heuristic_tables(
+                comm,
+                owners,
+                &cfg.params,
+                &cfg.heuristics,
+                loaded.kmers,
+                loaded.tiles,
+                Vec::new(),
+                Vec::new(),
+                BuildStats::default(),
+            );
+            (tables, loaded.bytes_read, loaded.repair)
+        } else {
+            // Step-I analog for the seed corpus: contiguous slices.
+            let lo = seed_reads.len() * me / np;
+            let hi = seed_reads.len() * (me + 1) / np;
+            let mine = seed_reads[lo..hi].to_vec();
+            let (tables, _) = build_distributed(
+                comm,
+                &mine,
+                cfg.chunk_size,
+                &cfg.params,
+                &cfg.heuristics,
+                cfg.build_threads.max(1),
+            );
+            (tables, 0, Default::default())
+        };
     comm.barrier();
     if me == 0 {
         shared.mark(Startup::Ready);
@@ -476,6 +483,7 @@ fn serve_rank(
         requests: 0,
         batches: 0,
         snapshot_bytes_read,
+        repair,
     };
     let shutdown = AtomicBool::new(false);
     let service_plane = cfg.heuristics.needs_service_plane(np);

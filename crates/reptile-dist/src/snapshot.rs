@@ -4,8 +4,10 @@
 //! Steps II–III dominate a correction run's wall time, yet their output —
 //! the pruned, owner-partitioned k-mer and tile spectra — depends only on
 //! the input dataset and the Reptile parameters. This module persists
-//! that output as a [`specstore`] snapshot directory (one shard per
-//! `(rank, table-kind)` plus a manifest) and loads it back:
+//! that output through the [`specstore`] store API
+//! ([`SnapshotWriter`] / [`SnapshotReader`]: one shard per
+//! `(rank, table-kind)`, optional Reed-Solomon parity shards, and a
+//! manifest) and loads it back:
 //!
 //! * **Same `np`** — each rank reads exactly its own two shards and
 //!   adopts the slot arrays verbatim (mapped storage, no rehash): the
@@ -17,12 +19,22 @@
 //!   pruned, and shard key sets are disjoint, so the merged result is
 //!   exactly what a fresh build at the new `np` owns.
 //!
+//! **Repair.** Loads take a [`RecoveryPolicy`]. Under `Strict` every
+//! corruption class surfaces as its typed [`SnapshotError`], as it
+//! always did. Under `Repair` a damaged shard (truncated, checksummed
+//! wrong, missing, header stomped) is reconstructed from the snapshot's
+//! parity shards *by the rank that loads it* — shard groups are disjoint
+//! across loading ranks, so distributed repair needs no coordination and
+//! in-place healing (`rewrite: true`) never races. The repair work each
+//! rank performed is reported in [`LoadedSpectra::repair`] /
+//! [`SerialLoad::per_rank_repair`] so the engines can account it.
+//!
 //! **Failure protocol.** All file I/O happens *before* any collective,
 //! then every rank joins an allgather of its error flag. A rank that
 //! failed returns its own typed [`SnapshotError`]; its peers return
 //! [`SnapshotError::PeerFailure`]. No rank can be left behind in a
 //! collective, and no rank ever sees garbage — every corruption class is
-//! detected and typed before a table is adopted.
+//! detected (and under `Repair`, mended) before a table is adopted.
 
 use crate::owner::OwnerMap;
 use crate::spectrum::{exchange_counts, BuildStats};
@@ -30,9 +42,8 @@ use mpisim::Comm;
 use reptile::spectrum::{KmerSpectrum, Normalized, TileSpectrum};
 use reptile::{FlatKmerTable, FlatTileTable, ReptileParams};
 use specstore::{
-    read_kmer_shard, read_tile_shard, shard_file_name, truncate_file, write_kmer_shard,
-    write_tile_shard, ConfigFingerprint, LoadedShard, Manifest, ShardKind, ShardRecord,
-    SnapshotError,
+    ConfigFingerprint, LoadedShard, RecoveryPolicy, RepairStats, ShardKind, ShardRecord,
+    SnapshotError, SnapshotReader, SnapshotWriter,
 };
 use std::path::Path;
 
@@ -50,6 +61,9 @@ pub struct LoadedSpectra {
     /// Whether the snapshot was built at a different `np` and went
     /// through the re-owning exchange.
     pub resharded: bool,
+    /// Reed-Solomon repair work this rank performed during the load
+    /// (all-zero on a clean load or under `Strict`).
+    pub repair: RepairStats,
 }
 
 /// A whole snapshot loaded by one process (the virtual engine): the
@@ -64,6 +78,10 @@ pub struct SerialLoad {
     /// Bytes new rank `r` would read: its own shards at matching `np`,
     /// its `o % np == r` shard group otherwise. Indexed by new rank.
     pub per_rank_bytes: Vec<u64>,
+    /// Repair work attributable to each new rank (the rank whose shard
+    /// group the reconstruction ran for). Indexed like
+    /// [`per_rank_bytes`](SerialLoad::per_rank_bytes).
+    pub per_rank_repair: Vec<RepairStats>,
     /// Whether the snapshot `np` differs from the requested one.
     pub resharded: bool,
 }
@@ -90,95 +108,63 @@ fn resolve<T>(local: Result<T, SnapshotError>, failed_ranks: u64) -> Result<T, S
     }
 }
 
-/// Write one rank's two shards into `dir`; returns the records.
-fn write_rank_shards(
-    dir: &Path,
-    fp: &ConfigFingerprint,
-    rank: usize,
-    np: usize,
-    kmers: &KmerSpectrum,
-    tiles: &TileSpectrum,
-) -> Result<(ShardRecord, ShardRecord), SnapshotError> {
-    std::fs::create_dir_all(dir).map_err(|e| SnapshotError::io(dir, e))?;
-    let kr = write_kmer_shard(
-        &dir.join(shard_file_name(rank, ShardKind::Kmer)),
-        fp,
-        rank,
-        np,
-        kmers.table(),
-    )?;
-    let tr = write_tile_shard(
-        &dir.join(shard_file_name(rank, ShardKind::Tile)),
-        fp,
-        rank,
-        np,
-        tiles.table(),
-    )?;
-    Ok((kr, tr))
-}
-
-/// Save this rank's owned spectra into the snapshot directory; rank 0
-/// additionally gathers every rank's shard records over the wire and
-/// writes the manifest. Returns the bytes this rank wrote (rank 0's
-/// total includes the manifest). Collective: every rank must call it
-/// together.
+/// Save this rank's owned spectra into the snapshot directory with
+/// `parity` Reed-Solomon shards per table kind; rank 0 additionally
+/// gathers every rank's shard records over the wire, encodes the parity,
+/// and writes the manifest. Returns the bytes this rank wrote (rank 0's
+/// total includes parity and the manifest). Collective: every rank must
+/// call it together.
 pub fn save_snapshot(
     comm: &Comm,
     dir: &Path,
     params: &ReptileParams,
+    parity: usize,
     kmers: &KmerSpectrum,
     tiles: &TileSpectrum,
 ) -> Result<u64, SnapshotError> {
     let me = comm.rank();
     let np = comm.size();
     let fp = ConfigFingerprint::for_params(params);
-    let local = write_rank_shards(dir, &fp, me, np, kmers, tiles);
+    let local: Result<(SnapshotWriter, ShardRecord, ShardRecord), SnapshotError> = (|| {
+        let mut w = SnapshotWriter::create(dir, &fp, np, parity)?;
+        let kr = w.write_kmer(me, kmers.table())?;
+        let tr = w.write_tile(me, tiles.table())?;
+        Ok((w, kr, tr))
+    })();
     let failed = gather_failures(comm, local.is_err());
-    let (kr, tr) = resolve(local, failed)?;
+    let (writer, kr, tr) = resolve(local, failed)?;
     // Shard records cross the wire as fixed tuples (file names are
-    // derivable from rank and kind), so the manifest lists every rank's
-    // true byte counts and checksums, not recomputed guesses.
+    // recomputed from rank and kind by the store), so the manifest lists
+    // every rank's true byte counts and checksums, not recomputed
+    // guesses.
     let wire = vec![
         (me as u64, ShardKind::Kmer.code() as u64, kr.bytes, kr.checksum),
         (me as u64, ShardKind::Tile.code() as u64, tr.bytes, tr.checksum),
     ];
     let gathered = comm.allgatherv(wire);
-    let manifest_result =
-        if me == 0 { records_to_manifest(np, fp, gathered).write(dir) } else { Ok(0) };
-    let failed = gather_failures(comm, manifest_result.is_err());
-    let manifest_bytes = resolve(manifest_result, failed)?;
-    Ok(kr.bytes + tr.bytes + manifest_bytes)
-}
-
-/// Turn the allgathered `(rank, kind, bytes, checksum)` tuples into a
-/// manifest with shards in `(rank, kind)` order.
-fn records_to_manifest(
-    np: usize,
-    fingerprint: ConfigFingerprint,
-    gathered: Vec<Vec<(u64, u64, u64, u64)>>,
-) -> Manifest {
-    let mut shards: Vec<ShardRecord> = gathered
-        .into_iter()
-        .flatten()
-        .map(|(rank, kind_code, bytes, checksum)| {
-            let kind = ShardKind::from_code(kind_code as u32).expect("rank sent a valid kind");
-            ShardRecord {
-                rank: rank as usize,
-                kind,
-                file_name: shard_file_name(rank as usize, kind),
-                bytes,
-                checksum,
-            }
-        })
-        .collect();
-    shards.sort_by_key(|s| (s.rank, s.kind.code()));
-    Manifest { np, fingerprint, shards }
+    let finish_result = if me == 0 {
+        let records: Vec<ShardRecord> = gathered
+            .into_iter()
+            .flatten()
+            .map(|(rank, kind_code, bytes, checksum)| {
+                let kind = ShardKind::from_code(kind_code as u32).expect("rank sent a valid kind");
+                ShardRecord::for_shard(rank as usize, kind, bytes, checksum)
+            })
+            .collect();
+        writer.finish_with(records)
+    } else {
+        Ok(0)
+    };
+    let failed = gather_failures(comm, finish_result.is_err());
+    let extra_bytes = resolve(finish_result, failed)?;
+    Ok(kr.bytes + tr.bytes + extra_bytes)
 }
 
 /// The old ranks whose shards new rank `me` is responsible for: its own
 /// at matching `np`, the `o % np == me` group otherwise. Every shard is
 /// read exactly once across the new ranks, and the assignment needs no
-/// communication to agree on.
+/// communication to agree on — which is also what makes distributed
+/// repair-with-rewrite race-free.
 fn shard_group(old_np: usize, np: usize, me: usize) -> Vec<usize> {
     if old_np == np {
         vec![me]
@@ -187,39 +173,31 @@ fn shard_group(old_np: usize, np: usize, me: usize) -> Vec<usize> {
     }
 }
 
-/// Read and fully validate one old rank's shard pair, cross-checking
-/// the manifest's inventory (byte count, placement) against the shard
-/// headers actually on disk.
-fn read_shard_pair(
+/// Apply the fault plan's snapshot truncation to `old_rank`'s k-mer
+/// shard (file name from the verified manifest).
+fn apply_chop(
+    reader: &SnapshotReader,
     dir: &Path,
-    manifest: &Manifest,
-    expect: &ConfigFingerprint,
     old_rank: usize,
-    old_np: usize,
+    keep: u64,
+) -> Result<(), SnapshotError> {
+    let name = reader
+        .manifest()
+        .shard(old_rank, ShardKind::Kmer)
+        .expect("parser enforces coverage")
+        .file_name
+        .clone();
+    let path = dir.join(&name);
+    mpisim::chop_file(&path, keep).map_err(|e| SnapshotError::io(&path, e))
+}
+
+/// Read one old rank's shard pair through the repairing reader.
+fn load_shard_pair(
+    reader: &mut SnapshotReader,
+    old_rank: usize,
 ) -> Result<(LoadedShard<FlatKmerTable>, LoadedShard<FlatTileTable>), SnapshotError> {
-    let krec = manifest.shard(old_rank, ShardKind::Kmer).expect("parser enforces coverage");
-    let trec = manifest.shard(old_rank, ShardKind::Tile).expect("parser enforces coverage");
-    let k = read_kmer_shard(&dir.join(&krec.file_name), expect)?;
-    let t = read_tile_shard(&dir.join(&trec.file_name), expect)?;
-    for (loaded_rank, loaded_np, rec, read_bytes) in
-        [(k.rank, k.np, krec, k.bytes_read), (t.rank, t.np, trec, t.bytes_read)]
-    {
-        if loaded_rank != old_rank || loaded_np != old_np {
-            return Err(SnapshotError::InvalidTable {
-                path: dir.join(&rec.file_name),
-                reason: format!(
-                    "shard claims rank {loaded_rank} of {loaded_np}, manifest places it at \
-                     rank {old_rank} of {old_np}"
-                ),
-            });
-        }
-        if read_bytes != rec.bytes {
-            return Err(SnapshotError::InvalidTable {
-                path: dir.join(&rec.file_name),
-                reason: format!("manifest lists {} bytes, shard holds {read_bytes}", rec.bytes),
-            });
-        }
-    }
+    let k = reader.load_kmer(old_rank)?;
+    let t = reader.load_tile(old_rank)?;
     Ok((k, t))
 }
 
@@ -244,40 +222,42 @@ fn merge_pair(
     }
 }
 
-/// Load this rank's owned spectra from a snapshot directory. `chop`,
-/// when set, truncates the first k-mer shard in this rank's group to
-/// that many bytes before reading — the deterministic
+/// Load this rank's owned spectra from a snapshot directory under
+/// `policy`. `chop`, when set, truncates the first k-mer shard in this
+/// rank's group to that many bytes before reading — the deterministic
 /// snapshot-corruption fault injection (surfaces as a typed
-/// [`SnapshotError::Truncated`]). Collective: every rank must call it
-/// together (the re-shard path runs an exchange, and even the same-`np`
-/// path joins the failure allgather).
+/// [`SnapshotError::Truncated`] under `Strict`, and as a successful
+/// repaired load under `Repair` when the loss fits the parity budget).
+/// Collective: every rank must call it together (the re-shard path runs
+/// an exchange, and even the same-`np` path joins the failure
+/// allgather).
 pub fn load_snapshot(
     comm: &Comm,
     dir: &Path,
     params: &ReptileParams,
+    policy: RecoveryPolicy,
     chop: Option<u64>,
 ) -> Result<LoadedSpectra, SnapshotError> {
     let me = comm.rank();
     let np = comm.size();
     let expect = ConfigFingerprint::for_params(params);
     // All local I/O first; the group decides success together below.
-    let local: Result<(Vec<_>, usize), SnapshotError> = (|| {
-        let manifest = Manifest::read(dir)?;
-        manifest.check_fingerprint(&expect, dir)?;
-        let old_np = manifest.np;
+    let local: Result<(Vec<_>, usize, RepairStats), SnapshotError> = (|| {
+        let mut reader = SnapshotReader::open(dir, &expect, policy)?;
+        let old_np = reader.np();
         let mut loaded = Vec::new();
         for (i, old_rank) in shard_group(old_np, np, me).into_iter().enumerate() {
             if i == 0 {
                 if let Some(keep) = chop {
-                    truncate_file(&dir.join(shard_file_name(old_rank, ShardKind::Kmer)), keep)?;
+                    apply_chop(&reader, dir, old_rank, keep)?;
                 }
             }
-            loaded.push(read_shard_pair(dir, &manifest, &expect, old_rank, old_np)?);
+            loaded.push(load_shard_pair(&mut reader, old_rank)?);
         }
-        Ok((loaded, old_np))
+        Ok((loaded, old_np, reader.stats()))
     })();
     let failed = gather_failures(comm, local.is_err());
-    let (loaded, old_np) = resolve(local, failed)?;
+    let (loaded, old_np, repair) = resolve(local, failed)?;
     let bytes_read: u64 = loaded.iter().map(|(k, t)| k.bytes_read + t.bytes_read).sum();
 
     if old_np == np {
@@ -287,6 +267,7 @@ pub fn load_snapshot(
             tiles: TileSpectrum::from_table(params.tile_codec(), params.canonical, t.table),
             bytes_read,
             resharded: false,
+            repair,
         });
     }
 
@@ -303,17 +284,19 @@ pub fn load_snapshot(
     let mut tiles = TileSpectrum::new(params.tile_codec(), params.canonical);
     let mut stats = BuildStats::default();
     exchange_counts(comm, &owners, staged_k, staged_t, &mut kmers, &mut tiles, &mut stats);
-    Ok(LoadedSpectra { kmers, tiles, bytes_read, resharded: true })
+    Ok(LoadedSpectra { kmers, tiles, bytes_read, resharded: true, repair })
 }
 
 /// Single-process snapshot save (the virtual engine): bucket the global
-/// spectra by owner, write every rank's shards and the manifest, and
-/// return the bytes attributable to each rank (rank 0 carries the
-/// manifest bytes, as in the distributed protocol).
+/// spectra by owner, write every rank's shards plus `parity` parity
+/// shards per kind and the manifest, and return the bytes attributable
+/// to each rank (rank 0 carries the parity and manifest bytes, as in
+/// the distributed protocol).
 pub fn save_snapshot_serial(
     dir: &Path,
     params: &ReptileParams,
     np: usize,
+    parity: usize,
     kmers: &KmerSpectrum,
     tiles: &TileSpectrum,
 ) -> Result<Vec<u64>, SnapshotError> {
@@ -352,52 +335,53 @@ pub fn save_snapshot_serial(
         let key = Normalized::assume(code);
         rank_tiles[owners.tile_owner_at(key)].add_count(key, count);
     }
+    let mut writer = SnapshotWriter::create(dir, &fp, np, parity)?;
     let mut per_rank = vec![0u64; np];
-    let mut shards = Vec::with_capacity(2 * np);
     for rank in 0..np {
-        let (kr, tr) = write_rank_shards(dir, &fp, rank, np, &rank_kmers[rank], &rank_tiles[rank])?;
+        let kr = writer.write_kmer(rank, rank_kmers[rank].table())?;
+        let tr = writer.write_tile(rank, rank_tiles[rank].table())?;
         per_rank[rank] = kr.bytes + tr.bytes;
-        shards.push(kr);
-        shards.push(tr);
     }
-    let manifest = Manifest { np, fingerprint: fp, shards };
-    per_rank[0] += manifest.write(dir)?;
+    per_rank[0] += writer.finish()?;
     Ok(per_rank)
 }
 
-/// Single-process snapshot load (the virtual engine): read every shard,
-/// merge into global spectra, and attribute the bytes each *new* rank
-/// would have read. `chop` is `(rank, keep_bytes)` — the fault layer's
-/// snapshot truncation, applied to the first k-mer shard in that new
-/// rank's group.
+/// Single-process snapshot load (the virtual engine): read every shard
+/// under `policy`, merge into global spectra, and attribute the bytes
+/// and repair work each *new* rank would have performed. `chop` is
+/// `(rank, keep_bytes)` — the fault layer's snapshot truncation, applied
+/// to the first k-mer shard in that new rank's group.
 pub fn load_snapshot_serial(
     dir: &Path,
     params: &ReptileParams,
     np: usize,
+    policy: RecoveryPolicy,
     chop: Option<(usize, u64)>,
 ) -> Result<SerialLoad, SnapshotError> {
     let expect = ConfigFingerprint::for_params(params);
-    let manifest = Manifest::read(dir)?;
-    manifest.check_fingerprint(&expect, dir)?;
-    let old_np = manifest.np;
+    let mut reader = SnapshotReader::open(dir, &expect, policy)?;
+    let old_np = reader.np();
     let mut kmers = KmerSpectrum::new(params.kmer_codec(), params.canonical);
     let mut tiles = TileSpectrum::new(params.tile_codec(), params.canonical);
     let mut per_rank_bytes = vec![0u64; np];
-    for (me, rank_bytes) in per_rank_bytes.iter_mut().enumerate() {
+    let mut per_rank_repair = vec![RepairStats::default(); np];
+    for me in 0..np {
+        let before = reader.stats();
         for (i, old_rank) in shard_group(old_np, np, me).into_iter().enumerate() {
             if i == 0 {
                 if let Some((chop_rank, keep)) = chop {
                     if chop_rank == me {
-                        truncate_file(&dir.join(shard_file_name(old_rank, ShardKind::Kmer)), keep)?;
+                        apply_chop(&reader, dir, old_rank, keep)?;
                     }
                 }
             }
-            let (k, t) = read_shard_pair(dir, &manifest, &expect, old_rank, old_np)?;
-            *rank_bytes += k.bytes_read + t.bytes_read;
+            let (k, t) = load_shard_pair(&mut reader, old_rank)?;
+            per_rank_bytes[me] += k.bytes_read + t.bytes_read;
             merge_pair(params, k, t, &mut kmers, &mut tiles);
         }
+        per_rank_repair[me] = reader.stats().since(&before);
     }
-    Ok(SerialLoad { kmers, tiles, per_rank_bytes, resharded: old_np != np })
+    Ok(SerialLoad { kmers, tiles, per_rank_bytes, per_rank_repair, resharded: old_np != np })
 }
 
 #[cfg(test)]
@@ -407,6 +391,7 @@ mod tests {
     use crate::spectrum::{build_distributed, RankTables};
     use mpisim::Universe;
     use reptile::spectrum::LocalSpectra;
+    use specstore::Manifest;
 
     fn params() -> ReptileParams {
         ReptileParams { k: 5, tile_overlap: 2, ..ReptileParams::for_tests() }
@@ -431,7 +416,12 @@ mod tests {
         dir
     }
 
-    fn build_and_save(comm: &Comm, reads: &[dnaseq::Read], dir: &Path) -> RankTables {
+    fn build_and_save(
+        comm: &Comm,
+        reads: &[dnaseq::Read],
+        dir: &Path,
+        parity: usize,
+    ) -> RankTables {
         let np = comm.size();
         let mine: Vec<_> = reads
             .iter()
@@ -441,7 +431,8 @@ mod tests {
             .collect();
         let (tables, _) =
             build_distributed(comm, &mine, 1000, &params(), &HeuristicConfig::base(), 1);
-        save_snapshot(comm, dir, &params(), &tables.hash_kmers, &tables.hash_tiles).expect("save");
+        save_snapshot(comm, dir, &params(), parity, &tables.hash_kmers, &tables.hash_tiles)
+            .expect("save");
         tables
     }
 
@@ -454,12 +445,14 @@ mod tests {
         let dir = tmpdir("same-np");
         let dir_ref = &dir;
         let np = 3;
-        let built = Universe::new(np).run(move |comm| build_and_save(comm, reads_ref, dir_ref));
-        let loaded = Universe::new(np)
-            .run(move |comm| load_snapshot(comm, dir_ref, &params(), None).expect("load"));
+        let built = Universe::new(np).run(move |comm| build_and_save(comm, reads_ref, dir_ref, 0));
+        let loaded = Universe::new(np).run(move |comm| {
+            load_snapshot(comm, dir_ref, &params(), RecoveryPolicy::Strict, None).expect("load")
+        });
         for (tables, l) in built.iter().zip(&loaded) {
             assert!(!l.resharded);
             assert!(l.bytes_read > 0);
+            assert_eq!(l.repair, RepairStats::default());
             let mut a: Vec<_> = tables.hash_kmers.iter().collect();
             let mut b: Vec<_> = l.kmers.iter().collect();
             a.sort_unstable();
@@ -486,11 +479,12 @@ mod tests {
         let dir = tmpdir("reshard");
         let dir_ref = &dir;
         Universe::new(4).run(move |comm| {
-            build_and_save(comm, reads_ref, dir_ref);
+            build_and_save(comm, reads_ref, dir_ref, 0);
         });
         let new_np = 3;
-        let loaded = Universe::new(new_np)
-            .run(move |comm| load_snapshot(comm, dir_ref, &params(), None).expect("reshard"));
+        let loaded = Universe::new(new_np).run(move |comm| {
+            load_snapshot(comm, dir_ref, &params(), RecoveryPolicy::Strict, None).expect("reshard")
+        });
         let owners = OwnerMap::new(new_np, &p);
         let mut union: Vec<(u64, u32)> = Vec::new();
         for (rank, l) in loaded.iter().enumerate() {
@@ -512,7 +506,7 @@ mod tests {
     }
 
     /// A chopped shard surfaces as Truncated on the chopped rank and
-    /// PeerFailure everywhere else — nobody deadlocks.
+    /// PeerFailure everywhere else under `Strict` — nobody deadlocks.
     #[test]
     fn chop_faults_are_typed_on_every_rank() {
         let reads = make_reads(30);
@@ -521,17 +515,49 @@ mod tests {
         let dir_ref = &dir;
         let np = 3;
         Universe::new(np).run(move |comm| {
-            build_and_save(comm, reads_ref, dir_ref);
+            build_and_save(comm, reads_ref, dir_ref, 0);
         });
         let results = Universe::new(np).run(move |comm| {
             let chop = (comm.rank() == 1).then_some(40u64);
-            load_snapshot(comm, dir_ref, &params(), chop)
+            load_snapshot(comm, dir_ref, &params(), RecoveryPolicy::Strict, chop)
         });
         assert!(matches!(results[1], Err(SnapshotError::Truncated { .. })), "{:?}", results[1]);
         for rank in [0, 2] {
             match &results[rank] {
                 Err(SnapshotError::PeerFailure { failed_ranks: 1 }) => {}
                 other => panic!("rank {rank}: expected PeerFailure, got {other:?}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The same chopped shard under a `Repair` policy (parity saved
+    /// alongside): the chopped rank reconstructs from parity and every
+    /// rank's load equals the clean-run tables bit for bit.
+    #[test]
+    fn chop_fault_is_repaired_with_parity() {
+        let reads = make_reads(30);
+        let reads_ref = &reads;
+        let dir = tmpdir("chop-repair");
+        let dir_ref = &dir;
+        let np = 3;
+        let built = Universe::new(np).run(move |comm| build_and_save(comm, reads_ref, dir_ref, 1));
+        let policy = RecoveryPolicy::Repair { max_lost: 1, rewrite: false };
+        let loaded = Universe::new(np).run(move |comm| {
+            let chop = (comm.rank() == 1).then_some(40u64);
+            load_snapshot(comm, dir_ref, &params(), policy, chop).expect("repairing load")
+        });
+        for (rank, (tables, l)) in built.iter().zip(&loaded).enumerate() {
+            let mut a: Vec<_> = tables.hash_kmers.iter().collect();
+            let mut b: Vec<_> = l.kmers.iter().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "rank {rank} kmers must match after repair");
+            if rank == 1 {
+                assert_eq!(l.repair.shards_repaired, 1, "chopped rank repaired its shard");
+                assert!(l.repair.bytes_reconstructed > 0);
+            } else {
+                assert_eq!(l.repair, RepairStats::default(), "clean ranks repaired nothing");
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
@@ -546,23 +572,47 @@ mod tests {
         let spectra = LocalSpectra::build(&reads, &p);
         let dir = tmpdir("serial");
         let per_rank =
-            save_snapshot_serial(&dir, &p, 4, &spectra.kmers, &spectra.tiles).expect("save");
+            save_snapshot_serial(&dir, &p, 4, 0, &spectra.kmers, &spectra.tiles).expect("save");
         assert_eq!(per_rank.len(), 4);
         assert!(per_rank.iter().all(|&b| b > 0));
         // same np
-        let same = load_snapshot_serial(&dir, &p, 4, None).expect("serial load");
+        let same =
+            load_snapshot_serial(&dir, &p, 4, RecoveryPolicy::Strict, None).expect("serial load");
         assert!(!same.resharded);
         assert_eq!(same.kmers.len(), spectra.kmers.len());
         for (code, count) in spectra.kmers.iter() {
             assert_eq!(same.kmers.count(code), count);
         }
         // reshard: every shard's bytes attributed exactly once
-        let re = load_snapshot_serial(&dir, &p, 3, None).expect("serial reshard");
+        let re = load_snapshot_serial(&dir, &p, 3, RecoveryPolicy::Strict, None)
+            .expect("serial reshard");
         assert!(re.resharded);
         assert_eq!(re.kmers.len(), spectra.kmers.len());
         let manifest_bytes = std::fs::metadata(Manifest::path_in(&dir)).unwrap().len();
         let shard_total: u64 = per_rank.iter().sum::<u64>() - manifest_bytes;
         assert_eq!(re.per_rank_bytes.iter().sum::<u64>(), shard_total);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Serial chop + repair: the repair work lands on the chopped rank's
+    /// attribution row, everyone else's stays zero.
+    #[test]
+    fn serial_repair_attribution_lands_on_the_chopped_rank() {
+        let p = params();
+        let reads = make_reads(40);
+        let spectra = LocalSpectra::build(&reads, &p);
+        let dir = tmpdir("serial-repair");
+        save_snapshot_serial(&dir, &p, 4, 1, &spectra.kmers, &spectra.tiles).expect("save");
+        let policy = RecoveryPolicy::Repair { max_lost: 1, rewrite: false };
+        let got = load_snapshot_serial(&dir, &p, 4, policy, Some((2, 37))).expect("load");
+        assert_eq!(got.kmers.len(), spectra.kmers.len());
+        for (rank, rep) in got.per_rank_repair.iter().enumerate() {
+            if rank == 2 {
+                assert_eq!(rep.shards_repaired, 1, "rank 2 repaired its chopped shard");
+            } else {
+                assert_eq!(*rep, RepairStats::default(), "rank {rank} repaired nothing");
+            }
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -574,9 +624,9 @@ mod tests {
         let reads = make_reads(20);
         let spectra = LocalSpectra::build(&reads, &p);
         let dir = tmpdir("wrong-params");
-        save_snapshot_serial(&dir, &p, 2, &spectra.kmers, &spectra.tiles).expect("save");
+        save_snapshot_serial(&dir, &p, 2, 0, &spectra.kmers, &spectra.tiles).expect("save");
         let other = ReptileParams { k: 7, tile_overlap: 3, ..ReptileParams::for_tests() };
-        let err = load_snapshot_serial(&dir, &other, 2, None).unwrap_err();
+        let err = load_snapshot_serial(&dir, &other, 2, RecoveryPolicy::Strict, None).unwrap_err();
         assert!(matches!(err, SnapshotError::FingerprintMismatch { .. }), "{err:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -41,8 +41,12 @@ use reptile::{ReptileParams, HASH_SEED};
 
 /// File magic: identifies a Reptile spectrum shard.
 pub const MAGIC: [u8; 8] = *b"RPTLSPEC";
-/// Current shard/manifest format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current shard/manifest format version. v2 added Reed-Solomon parity
+/// shards and their manifest records; shard bodies are unchanged.
+pub const FORMAT_VERSION: u32 = 2;
+/// Oldest format version this build still reads. v1 snapshots (no
+/// parity) load under `RecoveryPolicy::Strict`.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 /// Fixed header size in bytes.
 pub const HEADER_BYTES: usize = 100;
 /// Byte offset of the checksum field within the header.
@@ -211,7 +215,7 @@ impl ShardHeader {
             return Err(SnapshotError::BadMagic { path: path.to_path_buf() });
         }
         let version = u32_at(8);
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::VersionSkew {
                 path: path.to_path_buf(),
                 found: version,
@@ -362,6 +366,24 @@ pub enum SnapshotError {
         /// Number of ranks that reported failure.
         failed_ranks: u64,
     },
+    /// A `Repair` policy was requested but the manifest records no
+    /// parity shards (v1 snapshot, or saved with `--parity 0`).
+    NoParity {
+        /// Snapshot directory.
+        dir: PathBuf,
+    },
+    /// More shards of one group are lost than the repair budget covers
+    /// (`min(manifest parity, policy max_lost)`).
+    TooManyLost {
+        /// Snapshot directory.
+        dir: PathBuf,
+        /// Table kind of the damaged group.
+        kind: ShardKind,
+        /// Unreadable shards in the group (data + parity).
+        lost: usize,
+        /// Shards the repair budget could have covered.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -406,6 +428,16 @@ impl fmt::Display for SnapshotError {
             SnapshotError::PeerFailure { failed_ranks } => {
                 write!(f, "{failed_ranks} peer rank(s) failed snapshot I/O; aborted")
             }
+            SnapshotError::NoParity { dir } => write!(
+                f,
+                "repair policy requested but snapshot {} has no parity shards",
+                dir.display()
+            ),
+            SnapshotError::TooManyLost { dir, kind, lost, budget } => write!(
+                f,
+                "{} {kind} group: {lost} shard(s) unreadable, repair budget is {budget}",
+                dir.display()
+            ),
         }
     }
 }

@@ -24,6 +24,15 @@
 //! distinct [`SnapshotError`] variant, and the checksum is verified
 //! before any table is adopted — a damaged snapshot can never produce
 //! garbage corrections.
+//!
+//! Since format v2 a snapshot can also carry `m` Reed-Solomon parity
+//! shards per table kind ([`rs`]), and corruption stops being fatal:
+//! under [`RecoveryPolicy::Repair`] a [`SnapshotReader`] reconstructs
+//! up to `m` lost/truncated/bit-rotted shards per group at load time,
+//! re-verifies the rebuilt bytes against the manifest checksum, and can
+//! heal the snapshot in place. All snapshot I/O goes through the
+//! [`SnapshotWriter`] / [`SnapshotReader`] handles in [`store`]; the
+//! per-file read/write functions are crate-internal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,14 +40,16 @@
 pub mod checksum;
 pub mod format;
 pub mod manifest;
-pub mod shard;
+pub mod rs;
+pub(crate) mod shard;
+pub mod store;
 
 pub use checksum::{fnv1a, Fnv1a};
 pub use format::{
     ConfigFingerprint, ShardHeader, ShardKind, SnapshotError, FORMAT_VERSION, HEADER_BYTES, MAGIC,
+    MIN_FORMAT_VERSION,
 };
-pub use manifest::{Manifest, ShardRecord, MANIFEST_NAME};
-pub use shard::{
-    read_kmer_shard, read_tile_shard, shard_file_name, truncate_file, write_kmer_shard,
-    write_tile_shard, LoadedShard, IO_CHUNK,
-};
+pub use manifest::{Manifest, ParityRecord, ShardRecord, MANIFEST_NAME};
+pub use rs::{RsCode, RsError};
+pub use shard::{LoadedShard, IO_CHUNK};
+pub use store::{RecoveryPolicy, RepairStats, SnapshotReader, SnapshotWriter};

@@ -7,7 +7,7 @@
 //! a mismatched snapshot before opening a single shard:
 //!
 //! ```text
-//! reptile-specstore v1
+//! reptile-specstore v2
 //! np=4
 //! k=12
 //! tile_overlap=6
@@ -15,14 +15,25 @@
 //! kmer_threshold=3
 //! tile_threshold=3
 //! hash_seed=3c92c522e975bab2
+//! parity=2
 //! shard=0 kmer rank00000.kmer.shard 16484 9f3a...
 //! shard=0 tile rank00000.tile.shard 27204 11bc...
 //! ...
+//! pshard=kmer 0 kmer.p00.parity 16484 77d1...
+//! pshard=tile 1 tile.p01.parity 27204 0b2e...
 //! ```
+//!
+//! v2 added the `parity=` count and `pshard=` records (Reed-Solomon
+//! parity over each table kind's shard group, see [`crate::rs`]); v1
+//! manifests parse as `parity=0`. Data `shard=` checksums are the shard
+//! header's FNV-1a digest; `pshard=` checksums are a plain FNV-1a over
+//! the whole (headerless) parity file.
 
 use std::path::{Path, PathBuf};
 
-use crate::format::{ConfigFingerprint, ShardKind, SnapshotError, FORMAT_VERSION};
+use crate::format::{
+    ConfigFingerprint, ShardKind, SnapshotError, FORMAT_VERSION, MIN_FORMAT_VERSION,
+};
 
 /// Manifest file name inside a snapshot directory.
 pub const MANIFEST_NAME: &str = "MANIFEST.txt";
@@ -43,6 +54,37 @@ pub struct ShardRecord {
     pub checksum: u64,
 }
 
+impl ShardRecord {
+    /// Build a record for `(rank, kind)` with the canonical shard file
+    /// name — how a distributed save reconstitutes records gathered as
+    /// plain `(rank, kind, bytes, checksum)` tuples without every rank
+    /// having to know the layout's naming scheme.
+    pub fn for_shard(rank: usize, kind: ShardKind, bytes: u64, checksum: u64) -> ShardRecord {
+        ShardRecord {
+            rank,
+            kind,
+            file_name: crate::shard::shard_file_name(rank, kind),
+            bytes,
+            checksum,
+        }
+    }
+}
+
+/// One parity shard's entry in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParityRecord {
+    /// Table kind of the group this parity shard protects.
+    pub kind: ShardKind,
+    /// Parity row index, `0..parity`.
+    pub index: usize,
+    /// File name relative to the snapshot directory.
+    pub file_name: String,
+    /// File size: the group's stripe length (longest data shard).
+    pub bytes: u64,
+    /// FNV-1a over the whole parity file.
+    pub checksum: u64,
+}
+
 /// The parsed (or to-be-written) manifest of a snapshot directory.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Manifest {
@@ -50,8 +92,12 @@ pub struct Manifest {
     pub np: usize,
     /// Build configuration shared by every shard.
     pub fingerprint: ConfigFingerprint,
-    /// All shards, in `(rank, kind)` order.
+    /// Parity shards per table kind (0 = no erasure coding).
+    pub parity: usize,
+    /// All data shards, in `(rank, kind)` order.
     pub shards: Vec<ShardRecord>,
+    /// All parity shards, in `(kind, index)` order.
+    pub parity_shards: Vec<ParityRecord>,
 }
 
 impl Manifest {
@@ -80,10 +126,17 @@ impl Manifest {
             fp.tile_threshold,
             fp.hash_seed,
         );
+        out.push_str(&format!("parity={}\n", self.parity));
         for s in &self.shards {
             out.push_str(&format!(
                 "shard={} {} {} {} {:016x}\n",
                 s.rank, s.kind, s.file_name, s.bytes, s.checksum
+            ));
+        }
+        for p in &self.parity_shards {
+            out.push_str(&format!(
+                "pshard={} {} {} {} {:016x}\n",
+                p.kind, p.index, p.file_name, p.bytes, p.checksum
             ));
         }
         out
@@ -113,20 +166,19 @@ impl Manifest {
         };
         let mut lines = text.lines().enumerate();
         let (_, first) = lines.next().ok_or_else(|| err(0, "empty manifest".into()))?;
-        let expected_banner = format!("reptile-specstore v{FORMAT_VERSION}");
-        if first != expected_banner {
-            // Distinguish "not a manifest" from "a manifest of another
-            // version" for the same reasons the shard header does.
-            if let Some(v) = first.strip_prefix("reptile-specstore v") {
-                if let Ok(found) = v.parse::<u32>() {
-                    return Err(SnapshotError::VersionSkew {
-                        path: path.to_path_buf(),
-                        found,
-                        expected: FORMAT_VERSION,
-                    });
-                }
+        // Any banner version in the supported window parses; outside it
+        // the manifest is distinguished from "not a manifest" for the
+        // same reasons the shard header does.
+        match first.strip_prefix("reptile-specstore v").and_then(|v| v.parse::<u32>().ok()) {
+            Some(found) if (MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&found) => {}
+            Some(found) => {
+                return Err(SnapshotError::VersionSkew {
+                    path: path.to_path_buf(),
+                    found,
+                    expected: FORMAT_VERSION,
+                });
             }
-            return Err(SnapshotError::BadMagic { path: path.to_path_buf() });
+            None => return Err(SnapshotError::BadMagic { path: path.to_path_buf() }),
         }
         let mut np = None;
         let mut k = None;
@@ -135,7 +187,9 @@ impl Manifest {
         let mut kmer_threshold = None;
         let mut tile_threshold = None;
         let mut hash_seed = None;
+        let mut parity = 0usize;
         let mut shards = Vec::new();
+        let mut parity_shards: Vec<ParityRecord> = Vec::new();
         for (idx, line) in lines {
             let lineno = idx + 1;
             let line = line.trim();
@@ -190,6 +244,36 @@ impl Manifest {
                         checksum,
                     });
                 }
+                "parity" => parity = parse_u64(value)? as usize,
+                "pshard" => {
+                    let fields: Vec<&str> = value.split_whitespace().collect();
+                    if fields.len() != 5 {
+                        return Err(err(
+                            lineno,
+                            format!("pshard line needs 5 fields, got {}", fields.len()),
+                        ));
+                    }
+                    let kind = match fields[0] {
+                        "kmer" => ShardKind::Kmer,
+                        "tile" => ShardKind::Tile,
+                        other => return Err(err(lineno, format!("unknown shard kind {other:?}"))),
+                    };
+                    let index = fields[1]
+                        .parse::<usize>()
+                        .map_err(|_| err(lineno, format!("bad parity index {:?}", fields[1])))?;
+                    let bytes = fields[3]
+                        .parse::<u64>()
+                        .map_err(|_| err(lineno, format!("bad parity size {:?}", fields[3])))?;
+                    let checksum = u64::from_str_radix(fields[4], 16)
+                        .map_err(|_| err(lineno, format!("bad checksum {:?}", fields[4])))?;
+                    parity_shards.push(ParityRecord {
+                        kind,
+                        index,
+                        file_name: fields[2].to_string(),
+                        bytes,
+                        checksum,
+                    });
+                }
                 other => return Err(err(lineno, format!("unknown key {other:?}"))),
             }
         }
@@ -204,7 +288,9 @@ impl Manifest {
                 tile_threshold: tile_threshold.ok_or_else(|| missing("tile_threshold"))?,
                 hash_seed: hash_seed.ok_or_else(|| missing("hash_seed"))?,
             },
+            parity,
             shards,
+            parity_shards,
         };
         if manifest.np == 0 {
             return Err(err(0, "np must be positive".into()));
@@ -215,6 +301,22 @@ impl Manifest {
                     return Err(err(0, format!("no {kind} shard listed for rank {rank}")));
                 }
             }
+            for index in 0..manifest.parity {
+                if manifest.parity_shard(kind, index).is_none() {
+                    return Err(err(0, format!("no {kind} parity shard listed for index {index}")));
+                }
+            }
+        }
+        if manifest.parity_shards.len() != 2 * manifest.parity {
+            return Err(err(
+                0,
+                format!(
+                    "parity={} implies {} pshard lines, found {}",
+                    manifest.parity,
+                    2 * manifest.parity,
+                    manifest.parity_shards.len()
+                ),
+            ));
         }
         Ok(manifest)
     }
@@ -223,6 +325,12 @@ impl Manifest {
     /// exists for every rank below `np`).
     pub fn shard(&self, rank: usize, kind: ShardKind) -> Option<&ShardRecord> {
         self.shards.iter().find(|s| s.rank == rank && s.kind == kind)
+    }
+
+    /// The parity record for `(kind, index)` (the parser guarantees one
+    /// exists for every index below `parity`).
+    pub fn parity_shard(&self, kind: ShardKind, index: usize) -> Option<&ParityRecord> {
+        self.parity_shards.iter().find(|p| p.kind == kind && p.index == index)
     }
 
     /// Verify the fingerprint matches `expected`, naming the first
@@ -274,6 +382,8 @@ mod tests {
                 tile_threshold: 2,
                 hash_seed: HASH_SEED,
             },
+            parity: 0,
+            parity_shards: vec![],
             shards: vec![
                 ShardRecord {
                     rank: 0,
@@ -307,6 +417,22 @@ mod tests {
         }
     }
 
+    fn with_parity(mut m: Manifest, parity: usize) -> Manifest {
+        m.parity = parity;
+        for kind in [ShardKind::Kmer, ShardKind::Tile] {
+            for index in 0..parity {
+                m.parity_shards.push(ParityRecord {
+                    kind,
+                    index,
+                    file_name: format!("{kind}.p{index:02}.parity"),
+                    bytes: 4567,
+                    checksum: 0x9a9a + index as u64,
+                });
+            }
+        }
+        m
+    }
+
     #[test]
     fn render_parse_roundtrip() {
         let m = manifest();
@@ -314,6 +440,46 @@ mod tests {
         assert_eq!(parsed, m);
         assert_eq!(parsed.shard(1, ShardKind::Tile).unwrap().bytes, 4567);
         assert!(parsed.shard(2, ShardKind::Kmer).is_none());
+    }
+
+    #[test]
+    fn parity_records_roundtrip() {
+        let m = with_parity(manifest(), 2);
+        let parsed = Manifest::parse(&m.render(), Path::new("M")).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.parity_shard(ShardKind::Tile, 1).unwrap().checksum, 0x9a9b);
+        assert!(parsed.parity_shard(ShardKind::Tile, 2).is_none());
+    }
+
+    #[test]
+    fn v1_manifest_parses_as_parity_free() {
+        // A v1 manifest: old banner, no parity= or pshard= lines.
+        let m = manifest();
+        let v1 = m
+            .render()
+            .replace("reptile-specstore v2", "reptile-specstore v1")
+            .replace("parity=0\n", "");
+        let parsed = Manifest::parse(&v1, Path::new("M")).unwrap();
+        assert_eq!(parsed, m);
+        assert_eq!(parsed.parity, 0);
+    }
+
+    #[test]
+    fn parity_count_and_coverage_must_agree() {
+        // Missing pshard line for one kind.
+        let mut m = with_parity(manifest(), 1);
+        m.parity_shards.retain(|p| p.kind != ShardKind::Tile);
+        assert!(matches!(
+            Manifest::parse(&m.render(), Path::new("M")),
+            Err(SnapshotError::Manifest { .. })
+        ));
+        // pshard lines present but parity=0.
+        let mut m = with_parity(manifest(), 1);
+        m.parity = 0;
+        assert!(matches!(
+            Manifest::parse(&m.render(), Path::new("M")),
+            Err(SnapshotError::Manifest { .. })
+        ));
     }
 
     #[test]

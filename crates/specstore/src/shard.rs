@@ -9,9 +9,16 @@
 //! anything, and then hands the arrays to `from_mapped_parts`, which
 //! re-validates the geometry — a corrupted-but-checksummed file cannot
 //! smuggle in an impossible table.
+//!
+//! Everything here is crate-internal: callers go through
+//! [`crate::store::SnapshotWriter`] / [`crate::store::SnapshotReader`],
+//! which own the directory layout, manifest, and repair pipeline. The
+//! decode path is split file-vs-bytes so a Reed-Solomon-reconstructed
+//! shard (which exists only in memory until an optional rewrite) adopts
+//! through the same fully-verifying code as one read from disk.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read as _, Seek, SeekFrom, Write as _};
+use std::io::{BufWriter, Seek, SeekFrom, Write as _};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -31,8 +38,13 @@ use crate::manifest::ShardRecord;
 pub const IO_CHUNK: usize = 64 * 1024;
 
 /// Canonical shard file name for `(rank, kind)`.
-pub fn shard_file_name(rank: usize, kind: ShardKind) -> String {
+pub(crate) fn shard_file_name(rank: usize, kind: ShardKind) -> String {
     format!("rank{rank:05}.{kind}.shard")
+}
+
+/// Canonical parity file name for `(kind, parity index)`.
+pub(crate) fn parity_file_name(kind: ShardKind, index: usize) -> String {
+    format!("{kind}.p{index:02}.parity")
 }
 
 /// Streaming shard body writer: fills the reused buffer with
@@ -142,7 +154,7 @@ fn write_shard(
 }
 
 /// Dump a k-mer table as a shard at `path`.
-pub fn write_kmer_shard(
+pub(crate) fn write_kmer_shard(
     path: &Path,
     fingerprint: &ConfigFingerprint,
     rank: usize,
@@ -171,7 +183,7 @@ pub fn write_kmer_shard(
 }
 
 /// Dump a tile table as a shard at `path`.
-pub fn write_tile_shard(
+pub(crate) fn write_tile_shard(
     path: &Path,
     fingerprint: &ConfigFingerprint,
     rank: usize,
@@ -200,29 +212,41 @@ pub fn write_tile_shard(
     })
 }
 
-/// A shard read back from disk, before table adoption.
+/// A shard read back from disk (or rebuilt in memory), before table
+/// adoption.
 struct RawShard {
     header: ShardHeader,
     body: Vec<u8>,
 }
 
-/// Read and fully verify a shard file: magic, version, fingerprint,
-/// kind, declared sizes vs the actual file length, and the checksum.
-/// Returns the verified header and body bytes.
+/// Read a shard file fully into memory and verify it. A missing file is
+/// the typed `MissingShard`, not a bare I/O error.
 fn read_shard(
     path: &Path,
     expect_kind: ShardKind,
     expect: &ConfigFingerprint,
 ) -> Result<RawShard, SnapshotError> {
-    let file = File::open(path).map_err(|e| {
+    let bytes = std::fs::read(path).map_err(|e| {
         if e.kind() == std::io::ErrorKind::NotFound {
             SnapshotError::MissingShard { path: path.to_path_buf() }
         } else {
             SnapshotError::io(path, e)
         }
     })?;
-    let file_len = file.metadata().map_err(|e| SnapshotError::io(path, e))?.len();
-    let mut reader = BufReader::new(file);
+    decode_shard(&bytes, path, expect_kind, expect)
+}
+
+/// Fully verify a shard image: magic, version, fingerprint, kind,
+/// declared sizes vs the actual length, and the checksum. Returns the
+/// verified header and body bytes. `path` only names errors — the bytes
+/// may have come from disk or from Reed-Solomon reconstruction.
+fn decode_shard(
+    bytes: &[u8],
+    path: &Path,
+    expect_kind: ShardKind,
+    expect: &ConfigFingerprint,
+) -> Result<RawShard, SnapshotError> {
+    let file_len = bytes.len() as u64;
     if file_len < HEADER_BYTES as u64 {
         return Err(SnapshotError::Truncated {
             path: path.to_path_buf(),
@@ -230,9 +254,8 @@ fn read_shard(
             actual: file_len,
         });
     }
-    let mut head = [0u8; HEADER_BYTES];
-    reader.read_exact(&mut head).map_err(|e| SnapshotError::io(path, e))?;
-    let header = ShardHeader::decode(&head, path)?;
+    let head: &[u8; HEADER_BYTES] = bytes[..HEADER_BYTES].try_into().unwrap();
+    let header = ShardHeader::decode(head, path)?;
     header.check_fingerprint(expect, path)?;
     if header.kind != expect_kind {
         return Err(SnapshotError::InvalidTable {
@@ -266,14 +289,12 @@ fn read_shard(
             reason: format!("{} trailing bytes after the declared body", file_len - expected_len),
         });
     }
-    // Hash the checksum-zeroed header, then the body as it streams in.
+    // Hash the checksum-zeroed header, then the body.
     let mut hash = Fnv1a::new();
-    let mut zeroed = head;
+    let mut zeroed = *head;
     zeroed[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].fill(0);
     hash.update(&zeroed);
-    let mut body = vec![0u8; header.body_bytes as usize];
-    reader.read_exact(&mut body).map_err(|e| SnapshotError::io(path, e))?;
-    hash.update(&body);
+    hash.update(&bytes[HEADER_BYTES..]);
     let computed = hash.finish();
     if computed != header.checksum {
         return Err(SnapshotError::Checksum {
@@ -282,7 +303,7 @@ fn read_shard(
             computed,
         });
     }
-    Ok(RawShard { header, body })
+    Ok(RawShard { header, body: bytes[HEADER_BYTES..].to_vec() })
 }
 
 /// Decode `n` little-endian u64 words starting at `offset`.
@@ -317,12 +338,26 @@ pub struct LoadedShard<T> {
     pub bytes_read: u64,
 }
 
-/// Load a k-mer shard, verifying every corruption class before adoption.
-pub fn read_kmer_shard(
+/// Load a k-mer shard from disk, verifying every corruption class
+/// before adoption.
+pub(crate) fn read_kmer_shard(
     path: &Path,
     expect: &ConfigFingerprint,
 ) -> Result<LoadedShard<FlatKmerTable>, SnapshotError> {
-    let raw = read_shard(path, ShardKind::Kmer, expect)?;
+    adopt_kmer(read_shard(path, ShardKind::Kmer, expect)?, path)
+}
+
+/// Adopt an in-memory k-mer shard image (e.g. Reed-Solomon
+/// reconstruction output) through the same verification as a file read.
+pub(crate) fn decode_kmer_shard(
+    bytes: &[u8],
+    path: &Path,
+    expect: &ConfigFingerprint,
+) -> Result<LoadedShard<FlatKmerTable>, SnapshotError> {
+    adopt_kmer(decode_shard(bytes, path, ShardKind::Kmer, expect)?, path)
+}
+
+fn adopt_kmer(raw: RawShard, path: &Path) -> Result<LoadedShard<FlatKmerTable>, SnapshotError> {
     let cap = raw.header.capacity as usize;
     let keys = decode_u64s(&raw.body, 0, cap);
     let counts = decode_u32s(&raw.body, cap * 8, cap);
@@ -352,12 +387,26 @@ pub fn read_kmer_shard(
     })
 }
 
-/// Load a tile shard, verifying every corruption class before adoption.
-pub fn read_tile_shard(
+/// Load a tile shard from disk, verifying every corruption class
+/// before adoption.
+pub(crate) fn read_tile_shard(
     path: &Path,
     expect: &ConfigFingerprint,
 ) -> Result<LoadedShard<FlatTileTable>, SnapshotError> {
-    let raw = read_shard(path, ShardKind::Tile, expect)?;
+    adopt_tile(read_shard(path, ShardKind::Tile, expect)?, path)
+}
+
+/// Adopt an in-memory tile shard image (e.g. Reed-Solomon
+/// reconstruction output) through the same verification as a file read.
+pub(crate) fn decode_tile_shard(
+    bytes: &[u8],
+    path: &Path,
+    expect: &ConfigFingerprint,
+) -> Result<LoadedShard<FlatTileTable>, SnapshotError> {
+    adopt_tile(decode_shard(bytes, path, ShardKind::Tile, expect)?, path)
+}
+
+fn adopt_tile(raw: RawShard, path: &Path) -> Result<LoadedShard<FlatTileTable>, SnapshotError> {
     let cap = raw.header.capacity as usize;
     let lo = decode_u64s(&raw.body, 0, cap);
     let hi = decode_u64s(&raw.body, cap * 8, cap);
@@ -389,21 +438,6 @@ pub fn read_tile_shard(
     })
 }
 
-/// Chop a file down to `keep_bytes` — the fault layer's snapshot
-/// truncation injection (and the corruption tests' helper). A no-op when
-/// the file is already shorter.
-pub fn truncate_file(path: &Path, keep_bytes: u64) -> Result<(), SnapshotError> {
-    let file = std::fs::OpenOptions::new()
-        .write(true)
-        .open(path)
-        .map_err(|e| SnapshotError::io(path, e))?;
-    let len = file.metadata().map_err(|e| SnapshotError::io(path, e))?.len();
-    if keep_bytes < len {
-        file.set_len(keep_bytes).map_err(|e| SnapshotError::io(path, e))?;
-    }
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +447,11 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("specstore-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         dir
+    }
+
+    fn chop(path: &Path, keep: u64) {
+        let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+        f.set_len(keep).unwrap();
     }
 
     fn fp() -> ConfigFingerprint {
@@ -487,10 +526,10 @@ mod tests {
         let path = dir.join("t.kmer.shard");
         write_kmer_shard(&path, &fp(), 0, 1, &sample_kmer()).unwrap();
         let full = std::fs::metadata(&path).unwrap().len();
-        truncate_file(&path, full - 10).unwrap();
+        chop(&path, full - 10);
         assert!(matches!(read_kmer_shard(&path, &fp()), Err(SnapshotError::Truncated { .. })));
         // chopped inside the header too
-        truncate_file(&path, 20).unwrap();
+        chop(&path, 20);
         assert!(matches!(read_kmer_shard(&path, &fp()), Err(SnapshotError::Truncated { .. })));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -1,36 +1,50 @@
-//! Property tests for the shard format.
+//! Property tests for the shard format, through the store API.
 //!
 //! 1. `save → load → probe` is bit-identical for both flat-table
 //!    variants across entry counts, load factors, and the all-ones
 //!    sentinel edge case (the reserved empty marker that is still a
 //!    legal k-mer/tile code).
 //! 2. Every single-byte flip anywhere in a shard file — header or body —
-//!    is rejected with a typed error, never silently loaded. FNV-1a
-//!    guarantees this analytically (each absorption is a bijection of
-//!    the state), and the exhaustive flip loop proves the wiring.
+//!    is rejected with a typed error under `Strict`, never silently
+//!    loaded. FNV-1a guarantees this analytically (each absorption is a
+//!    bijection of the state), and the exhaustive flip loop proves the
+//!    wiring.
+//! 3. With a parity shard and `Repair`, every one of those same flips
+//!    is *repaired*: the load returns bit-identical tables instead of
+//!    an error.
 
 use proptest::prelude::*;
 use reptile::{FlatKmerTable, FlatTileTable, ReptileParams};
 use specstore::{
-    read_kmer_shard, read_tile_shard, write_kmer_shard, write_tile_shard, ConfigFingerprint,
+    ConfigFingerprint, Manifest, RecoveryPolicy, ShardKind, SnapshotReader, SnapshotWriter,
 };
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn tmpfile(tag: &str) -> PathBuf {
+fn tmpdir() -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "specstore-prop-{}-{}",
         std::process::id(),
         DIR_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::create_dir_all(&dir).unwrap();
-    dir.join(format!("{tag}.shard"))
+    dir
 }
 
 fn fingerprint() -> ConfigFingerprint {
     ConfigFingerprint::for_params(&ReptileParams::for_tests())
+}
+
+/// Write a single-rank snapshot holding both tables; returns its dir.
+fn snapshot_of(kmer: &FlatKmerTable, tile: &FlatTileTable, parity: usize) -> PathBuf {
+    let dir = tmpdir();
+    let mut w = SnapshotWriter::create(&dir, &fingerprint(), 1, parity).unwrap();
+    w.write_kmer(0, kmer).unwrap();
+    w.write_tile(0, tile).unwrap();
+    w.finish().unwrap();
+    dir
 }
 
 /// Entry sets: arbitrary keys and counts, sized to cross several growth
@@ -64,9 +78,9 @@ proptest! {
         if sentinel {
             table.add_count(u64::MAX, 7);
         }
-        let path = tmpfile("kmer");
-        write_kmer_shard(&path, &fingerprint(), 0, 1, &table).unwrap();
-        let loaded = read_kmer_shard(&path, &fingerprint()).unwrap().table;
+        let dir = snapshot_of(&table, &FlatTileTable::new(), 0);
+        let mut r = SnapshotReader::open(&dir, &fingerprint(), RecoveryPolicy::Strict).unwrap();
+        let loaded = r.load_kmer(0).unwrap().table;
         prop_assert!(loaded.is_mapped() || loaded.capacity() == 0);
         prop_assert_eq!(loaded.len(), table.len());
         prop_assert_eq!(loaded.capacity(), table.capacity());
@@ -81,7 +95,7 @@ proptest! {
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);
-        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -99,9 +113,9 @@ proptest! {
         if sentinel {
             table.add_count(u128::MAX, 3);
         }
-        let path = tmpfile("tile");
-        write_tile_shard(&path, &fingerprint(), 0, 1, &table).unwrap();
-        let loaded = read_tile_shard(&path, &fingerprint()).unwrap().table;
+        let dir = snapshot_of(&FlatKmerTable::new(), &table, 0);
+        let mut r = SnapshotReader::open(&dir, &fingerprint(), RecoveryPolicy::Strict).unwrap();
+        let loaded = r.load_tile(0).unwrap().table;
         prop_assert_eq!(loaded.len(), table.len());
         prop_assert_eq!(loaded.capacity(), table.capacity());
         prop_assert_eq!(loaded.memory_bytes(), table.memory_bytes());
@@ -115,64 +129,109 @@ proptest! {
         a.sort_unstable();
         b.sort_unstable();
         prop_assert_eq!(a, b);
-        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
-/// Exhaustive corruption sweep: flip one byte at every offset of a shard
-/// file (two patterns per byte) and require a typed rejection each time.
-/// Different offsets trip different guards — magic, version, fingerprint,
-/// geometry, checksum — but none may load.
-#[test]
-fn every_single_byte_flip_is_rejected() {
+fn sample_kmer() -> FlatKmerTable {
     let mut table = FlatKmerTable::new();
     for k in 0..40u64 {
         table.add_count(k * 2654435761, (k % 7 + 1) as u32);
     }
     table.add_count(u64::MAX, 2);
-    let path = tmpfile("flip");
-    write_kmer_shard(&path, &fingerprint(), 1, 2, &table).unwrap();
+    table
+}
+
+/// Exhaustive corruption sweep: flip one byte at every offset of a shard
+/// file (two patterns per byte) and require a typed rejection each time.
+/// Different offsets trip different guards — magic, version, fingerprint,
+/// geometry, checksum — but none may load under `Strict`.
+#[test]
+fn every_single_byte_flip_is_rejected() {
+    let table = sample_kmer();
+    let dir = snapshot_of(&table, &FlatTileTable::new(), 0);
+    let path = {
+        let manifest = Manifest::read(&dir).unwrap();
+        dir.join(&manifest.shard(0, ShardKind::Kmer).unwrap().file_name)
+    };
     let pristine = std::fs::read(&path).unwrap();
     // sanity: the pristine file loads
-    assert!(read_kmer_shard(&path, &fingerprint()).is_ok());
+    let mut r = SnapshotReader::open(&dir, &fingerprint(), RecoveryPolicy::Strict).unwrap();
+    assert!(r.load_kmer(0).is_ok());
     for offset in 0..pristine.len() {
         for pattern in [0x01u8, 0xFF] {
             let mut corrupt = pristine.clone();
             corrupt[offset] ^= pattern;
             std::fs::write(&path, &corrupt).unwrap();
-            let result = read_kmer_shard(&path, &fingerprint());
+            let mut r = SnapshotReader::open(&dir, &fingerprint(), RecoveryPolicy::Strict).unwrap();
             assert!(
-                result.is_err(),
+                r.load_kmer(0).is_err(),
                 "flip {pattern:#04x} at byte {offset} (of {}) loaded successfully",
                 pristine.len()
             );
         }
     }
-    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }
 
-/// The tile layout gets the same sweep over its header and a body prefix
-/// (the three-array body shares the kmer path's checksum plumbing; the
-/// full sweep above already proves the streaming hash covers every
-/// offset pattern).
+/// The same sweep with one parity shard and a `Repair` policy: every
+/// flip is now *repaired* — the load succeeds and the table is
+/// bit-identical to the original.
+#[test]
+fn every_single_byte_flip_is_repaired_with_parity() {
+    let table = sample_kmer();
+    let dir = snapshot_of(&table, &FlatTileTable::new(), 1);
+    let path = {
+        let manifest = Manifest::read(&dir).unwrap();
+        dir.join(&manifest.shard(0, ShardKind::Kmer).unwrap().file_name)
+    };
+    let pristine = std::fs::read(&path).unwrap();
+    let policy = RecoveryPolicy::Repair { max_lost: 1, rewrite: false };
+    for offset in 0..pristine.len() {
+        let mut corrupt = pristine.clone();
+        corrupt[offset] ^= 0x55;
+        std::fs::write(&path, &corrupt).unwrap();
+        let mut r = SnapshotReader::open(&dir, &fingerprint(), policy).unwrap();
+        let loaded = r.load_kmer(0).unwrap_or_else(|e| {
+            panic!("flip at byte {offset} (of {}) not repaired: {e}", pristine.len())
+        });
+        assert_eq!(r.stats().shards_repaired, 1, "flip at byte {offset}");
+        assert_eq!(loaded.table.len(), table.len());
+        let mut a: Vec<_> = loaded.table.iter().collect();
+        let mut b: Vec<_> = table.iter().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "flip at byte {offset}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tile layout gets the same sweep over its header and body (the
+/// three-array body shares the kmer path's checksum plumbing; the full
+/// sweep above already proves the streaming hash covers every offset
+/// pattern).
 #[test]
 fn tile_flips_in_header_and_body_are_rejected() {
     let mut table = FlatTileTable::new();
     for k in 0..40u128 {
         table.add_count(k << 21 | 5, (k % 5 + 1) as u32);
     }
-    let path = tmpfile("tile-flip");
-    write_tile_shard(&path, &fingerprint(), 0, 1, &table).unwrap();
+    let dir = snapshot_of(&FlatKmerTable::new(), &table, 0);
+    let path = {
+        let manifest = Manifest::read(&dir).unwrap();
+        dir.join(&manifest.shard(0, ShardKind::Tile).unwrap().file_name)
+    };
     let pristine = std::fs::read(&path).unwrap();
-    assert!(read_tile_shard(&path, &fingerprint()).is_ok());
+    {
+        let mut r = SnapshotReader::open(&dir, &fingerprint(), RecoveryPolicy::Strict).unwrap();
+        assert!(r.load_tile(0).is_ok());
+    }
     for offset in 0..pristine.len() {
         let mut corrupt = pristine.clone();
         corrupt[offset] ^= 0x10;
         std::fs::write(&path, &corrupt).unwrap();
-        assert!(
-            read_tile_shard(&path, &fingerprint()).is_err(),
-            "flip at byte {offset} loaded successfully"
-        );
+        let mut r = SnapshotReader::open(&dir, &fingerprint(), RecoveryPolicy::Strict).unwrap();
+        assert!(r.load_tile(0).is_err(), "flip at byte {offset} loaded successfully");
     }
-    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,93 @@
+//! Property tests for the GF(2^8) Reed-Solomon codec: encode → erase
+//! any ≤ m shards → reconstruct bit-identical, and > m erasures fail
+//! with the typed `TooManyLost` — across geometries, stripe lengths,
+//! and erasure patterns.
+
+use proptest::prelude::*;
+use specstore::{RsCode, RsError};
+
+/// Deterministic bytes from a seed (xorshift), so the strategy space
+/// stays scalar-only while the data still varies per case.
+fn shard_bytes(seed: u64, shard: usize, len: usize) -> Vec<u8> {
+    let mut x = (seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) | 1;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+/// Pick `count` distinct erasure positions out of `total` from the
+/// random word `bits`.
+fn erasures(bits: u64, total: usize, count: usize) -> Vec<usize> {
+    let mut picked = Vec::with_capacity(count);
+    let mut i = 0usize;
+    while picked.len() < count {
+        let cand = ((bits >> ((i * 7) % 57)) as usize + i) % total;
+        if !picked.contains(&cand) {
+            picked.push(cand);
+        }
+        i += 1;
+    }
+    picked
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erase_up_to_m_reconstructs_bit_identical(
+        k in 2usize..9,
+        m in 1usize..4,
+        stripe in 1usize..200,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let code = RsCode::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|j| shard_bytes(seed, j, stripe)).collect();
+        let parity = code.encode(&data);
+        let lose = (pick as usize % m) + 1; // 1..=m erasures
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().chain(parity.iter()).map(|s| Some(s.clone())).collect();
+        for e in erasures(pick, k + m, lose) {
+            shards[e] = None;
+        }
+        code.reconstruct(&mut shards, stripe).unwrap();
+        for (j, d) in data.iter().enumerate() {
+            prop_assert_eq!(shards[j].as_ref().unwrap(), d, "data shard {}", j);
+        }
+        for (i, p) in parity.iter().enumerate() {
+            prop_assert_eq!(shards[k + i].as_ref().unwrap(), p, "parity shard {}", i);
+        }
+    }
+
+    #[test]
+    fn erase_more_than_m_is_too_many_lost(
+        k in 2usize..9,
+        m in 1usize..4,
+        stripe in 1usize..100,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        let code = RsCode::new(k, m).unwrap();
+        let data: Vec<Vec<u8>> = (0..k).map(|j| shard_bytes(seed, j, stripe)).collect();
+        let parity = code.encode(&data);
+        let lose = m + 1 + (pick as usize % (k.min(3)));
+        let lose = lose.min(k + m);
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().chain(parity.iter()).map(|s| Some(s.clone())).collect();
+        for e in erasures(pick, k + m, lose) {
+            shards[e] = None;
+        }
+        match code.reconstruct(&mut shards, stripe) {
+            Err(RsError::TooManyLost { lost, parity }) => {
+                prop_assert_eq!(lost, lose);
+                prop_assert_eq!(parity, m);
+            }
+            other => prop_assert!(false, "expected TooManyLost, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -84,7 +84,7 @@ fn snapshot_dir(tag: &str) -> PathBuf {
     let reads = spectrum_reads();
     let p = params();
     let built = LocalSpectra::build(&reads, &p);
-    save_snapshot_serial(&dir, &p, NP, &built.kmers, &built.tiles).expect("save snapshot");
+    save_snapshot_serial(&dir, &p, NP, 0, &built.kmers, &built.tiles).expect("save snapshot");
     dir
 }
 

@@ -1,12 +1,17 @@
 //! End-to-end spectrum-snapshot integration: build once with
 //! `save_spectrum`, correct many times with `load_spectrum`, across both
 //! engines and across rank counts (same-`np` zero-copy loads and
-//! re-sharded loads), with the full typed-corruption matrix.
+//! re-sharded loads), with the full typed-corruption matrix and the
+//! erasure-coded lose-k repair grid (parity shards + `RecoveryPolicy`).
 
 use genio::dataset::DatasetProfile;
 use reptile::ReptileParams;
-use reptile_dist::{try_run_distributed, try_run_virtual, EngineConfig, EngineError, RunOutput};
-use specstore::{shard_file_name, ShardKind, SnapshotError, MANIFEST_NAME};
+use reptile_dist::{
+    try_run_distributed, try_run_virtual, ConfigError, EngineConfig, EngineError, RecoveryPolicy,
+    RunOutput,
+};
+use specstore::{fnv1a, Manifest, ShardKind, SnapshotError, MANIFEST_NAME};
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 fn tempdir(tag: &str) -> PathBuf {
@@ -203,6 +208,13 @@ fn snapshot_runs_carry_trace_spans_and_timings() {
 // corruption matrix
 // ---------------------------------------------------------------------
 
+/// The on-disk path of `(rank, kind)`'s data shard, resolved through the
+/// manifest (file naming is the store's business, not the tests').
+fn shard_path(dir: &Path, rank: usize, kind: ShardKind) -> PathBuf {
+    let manifest = Manifest::read(dir).unwrap();
+    dir.join(&manifest.shard(rank, kind).unwrap().file_name)
+}
+
 /// Build one pristine np=3 snapshot to corrupt copies of.
 fn pristine_snapshot(reads: &[dnaseq::Read]) -> PathBuf {
     let dir = tempdir("pristine");
@@ -245,8 +257,9 @@ fn load_failure(dir: &Path, reads: &[dnaseq::Read], p: ReptileParams) -> Snapsho
 fn every_corruption_class_is_typed() {
     let reads = dataset();
     let pristine = pristine_snapshot(&reads);
-    let kmer0 = shard_file_name(0, ShardKind::Kmer);
-    let tile2 = shard_file_name(2, ShardKind::Tile);
+    let manifest = Manifest::read(&pristine).unwrap();
+    let kmer0 = manifest.shard(0, ShardKind::Kmer).unwrap().file_name.clone();
+    let tile2 = manifest.shard(2, ShardKind::Tile).unwrap().file_name.clone();
 
     // bad magic: stomp the leading magic bytes
     let dir = clone_snapshot(&pristine, "magic");
@@ -332,5 +345,336 @@ fn threaded_chop_aborts_with_the_root_cause() {
         Err(other) => panic!("expected the root-cause Truncated error, got {other}"),
         Ok(_) => panic!("expected the root-cause Truncated error, run succeeded"),
     }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// erasure-coded repair: the lose-k grid
+// ---------------------------------------------------------------------
+
+/// Parity width of the grid snapshots: every group survives up to two
+/// lost shards, and losing three must fail typed.
+const PARITY_M: usize = 2;
+
+/// The damage classes the repair path must classify as "lost". Mixed
+/// per-shard so one grid pass exercises `MissingShard`, `Truncated`, and
+/// `Checksum` classification together.
+#[derive(Clone, Copy)]
+enum Damage {
+    /// Manifest-listed file deleted.
+    Delete,
+    /// File cut below the header (interrupted write).
+    Chop,
+    /// Trailing byte flipped (bit-rot; on an empty shard this flips the
+    /// stored checksum field instead — also classified corrupt).
+    Flip,
+}
+
+fn inflict(path: &Path, damage: Damage) {
+    match damage {
+        Damage::Delete => std::fs::remove_file(path).unwrap(),
+        Damage::Chop => {
+            let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+            f.set_len(40).unwrap();
+        }
+        Damage::Flip => {
+            let mut data = std::fs::read(path).unwrap();
+            *data.last_mut().unwrap() ^= 0xff;
+            std::fs::write(path, data).unwrap();
+        }
+    }
+}
+
+/// Save a parity-protected snapshot at `np` with `engine`, returning the
+/// directory (the run's corrected output equals the fresh run's — proven
+/// by `loaded_correction_is_bit_identical_across_engines_and_np`).
+fn save_parity_snapshot(
+    engine: &str,
+    np: usize,
+    parity: usize,
+    reads: &[dnaseq::Read],
+    tag: &str,
+) -> PathBuf {
+    let dir = tempdir(tag);
+    let mut cfg = cfg_for(engine, np);
+    cfg.save_spectrum = Some(dir.clone());
+    cfg.parity = parity;
+    run_engine(engine, &cfg, reads).unwrap();
+    dir
+}
+
+struct RepairRow {
+    engine: &'static str,
+    np: usize,
+    kind: ShardKind,
+    lost: usize,
+    repaired: u64,
+    outcome: &'static str,
+}
+
+fn write_repair_report(rows: &[RepairRow]) {
+    let mut json = String::from("{\n  \"parity\": 2,\n  \"repair_matrix\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"np\": {}, \"kind\": \"{}\", \"lost\": {}, \
+             \"shards_repaired\": {}, \"outcome\": \"{}\"}}{}",
+            r.engine,
+            r.np,
+            r.kind,
+            r.lost,
+            r.repaired,
+            r.outcome,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/repair-matrix-report.json", json).expect("write repair-matrix report");
+}
+
+/// One grid cell: save with parity, damage `k` shards of `kind`, load
+/// under `Repair { max_lost: PARITY_M }`. Returns the report row after
+/// asserting the cell's contract: k ≤ m reconstructs bit-identically,
+/// k > m fails with `TooManyLost` (never a hang, never garbage).
+fn repair_cell(
+    engine: &'static str,
+    np: usize,
+    kind: ShardKind,
+    k: usize,
+    reads: &[dnaseq::Read],
+    fresh: &RunOutput,
+) -> RepairRow {
+    let dir = save_parity_snapshot(
+        engine,
+        np,
+        PARITY_M,
+        reads,
+        &format!("grid-{engine}-{np}-{kind}-{k}"),
+    );
+    let modes = [Damage::Delete, Damage::Chop, Damage::Flip];
+    for i in 0..k {
+        inflict(&shard_path(&dir, i, kind), modes[i % modes.len()]);
+    }
+    let mut cfg = cfg_for(engine, np);
+    cfg.load_spectrum = Some(dir.clone());
+    cfg.recovery = RecoveryPolicy::Repair { max_lost: PARITY_M, rewrite: false };
+    let label = format!("{engine} np={np} {kind} k={k}");
+    let row = match run_engine(engine, &cfg, reads) {
+        Ok(out) => {
+            assert!(k <= PARITY_M, "{label}: {k} lost shards must exceed the budget");
+            assert_eq!(
+                out.corrected, fresh.corrected,
+                "{label}: repaired load must stay bit-identical"
+            );
+            let repaired = out.report.shards_repaired();
+            if k == 0 {
+                assert_eq!(repaired, 0, "{label}: clean load must not repair");
+            } else {
+                assert!(repaired >= k as u64, "{label}: repaired {repaired} < lost {k}");
+                assert!(out.report.repair_bytes() > 0, "{label}: no bytes reconstructed");
+            }
+            let outcome = if k == 0 { "clean" } else { "repaired" };
+            RepairRow { engine, np, kind, lost: k, repaired, outcome }
+        }
+        Err(EngineError::Snapshot(SnapshotError::TooManyLost { lost, budget, .. })) => {
+            assert!(k > PARITY_M, "{label}: repairable loss surfaced TooManyLost");
+            assert!(lost > budget, "{label}: lost {lost} within budget {budget}");
+            RepairRow { engine, np, kind, lost: k, repaired: 0, outcome: "too_many_lost" }
+        }
+        Err(other) => panic!("{label}: expected success or TooManyLost, got {other}"),
+    };
+    std::fs::remove_dir_all(&dir).unwrap();
+    row
+}
+
+/// The lose-k acceptance grid: k ∈ 0..=m+1 damaged shards (mixed
+/// delete/chop/flip) × both table kinds × np ∈ {3, 4} × both engines.
+/// Every k ≤ m cell reconstructs bit-identically; every k = m+1 cell
+/// fails with the typed budget error. Release CI (`repair-matrix` job)
+/// runs the full grid and uploads `target/repair-matrix-report.json`.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "32-cell grid; run in release (CI repair-matrix job)")]
+fn lose_k_grid_repairs_within_budget_and_fails_typed_beyond() {
+    let reads = dataset();
+    let mut rows = Vec::new();
+    for engine in ENGINES {
+        for np in [3usize, 4] {
+            let fresh = run_engine(engine, &cfg_for(engine, np), &reads).unwrap();
+            for kind in [ShardKind::Kmer, ShardKind::Tile] {
+                for k in 0..=PARITY_M + 1 {
+                    rows.push(repair_cell(engine, np, kind, k, &reads, &fresh));
+                }
+            }
+        }
+    }
+    write_repair_report(&rows);
+}
+
+/// Debug-build smoke slice of the grid: one repairable and one
+/// over-budget cell per engine.
+#[test]
+fn lose_k_smoke_repairs_and_rejects() {
+    let reads = dataset();
+    for engine in ENGINES {
+        let fresh = run_engine(engine, &cfg_for(engine, 3), &reads).unwrap();
+        repair_cell(engine, 3, ShardKind::Kmer, PARITY_M, &reads, &fresh);
+        repair_cell(engine, 3, ShardKind::Tile, PARITY_M + 1, &reads, &fresh);
+    }
+}
+
+/// `rewrite: true` repairs the snapshot on disk, not just in memory: a
+/// later `Strict` load of the same directory succeeds.
+#[test]
+fn rewrite_heals_the_snapshot_in_place() {
+    let reads = dataset();
+    let dir = save_parity_snapshot("virtual", 3, 1, &reads, "rewrite");
+    inflict(&shard_path(&dir, 1, ShardKind::Kmer), Damage::Flip);
+
+    let mut cfg = cfg_for("virtual", 3);
+    cfg.load_spectrum = Some(dir.clone());
+    cfg.recovery = RecoveryPolicy::Repair { max_lost: 1, rewrite: true };
+    let repaired = run_engine("virtual", &cfg, &reads).unwrap();
+    assert!(repaired.report.shards_repaired() >= 1);
+
+    // the flip is gone from disk: strict readers accept the directory
+    let mut strict = cfg_for("virtual", 3);
+    strict.load_spectrum = Some(dir.clone());
+    let reloaded = run_engine("virtual", &strict, &reads).unwrap();
+    assert_eq!(reloaded.corrected, repaired.corrected);
+    assert_eq!(reloaded.report.shards_repaired(), 0, "rewrite must leave nothing to repair");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The PR-4 fault plan composes with repair: a `chop=` clause truncates
+/// a shard mid-load, and a `Repair` policy reconstructs it instead of
+/// aborting — on both engines, bit-identical to the clean run.
+#[test]
+fn chop_fault_plus_repair_policy_recovers_on_both_engines() {
+    let reads = dataset();
+    for engine in ENGINES {
+        let fresh = run_engine(engine, &cfg_for(engine, 3), &reads).unwrap();
+        let dir = save_parity_snapshot(engine, 3, 1, &reads, &format!("chop-repair-{engine}"));
+        let mut cfg = cfg_for(engine, 3);
+        cfg.load_spectrum = Some(dir.clone());
+        cfg.fault = mpisim::FaultPlan::parse("chop=1:40").unwrap();
+        cfg.recovery = RecoveryPolicy::Repair { max_lost: 1, rewrite: false };
+        let out = run_engine(engine, &cfg, &reads)
+            .unwrap_or_else(|e| panic!("{engine}: chop+repair must recover, got {e}"));
+        assert_eq!(out.corrected, fresh.corrected, "{engine}: chop+repair output");
+        assert!(out.report.shards_repaired() >= 1, "{engine}: chop must trigger a repair");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// format-v1 compatibility and policy/format mismatches
+// ---------------------------------------------------------------------
+
+/// Rewrite a parity-free v2 snapshot as the v1 format this crate's
+/// earlier releases wrote: v1 manifest banner, no `parity=` line, and
+/// format version 1 in every shard header (checksums re-sealed, since
+/// the digest covers the version field).
+fn downgrade_to_v1(dir: &Path) {
+    let mut manifest = Manifest::read(dir).unwrap();
+    assert_eq!(manifest.parity, 0, "only parity-free snapshots can be v1");
+    for rec in &mut manifest.shards {
+        let path = dir.join(&rec.file_name);
+        let mut data = std::fs::read(&path).unwrap();
+        data[8..12].copy_from_slice(&1u32.to_le_bytes());
+        data[92..100].copy_from_slice(&[0u8; 8]);
+        let sum = fnv1a(&data);
+        data[92..100].copy_from_slice(&sum.to_le_bytes());
+        std::fs::write(&path, &data).unwrap();
+        rec.checksum = sum;
+    }
+    let text = manifest.render().replace("reptile-specstore v2", "reptile-specstore v1");
+    let text: String =
+        text.lines().filter(|l| !l.starts_with("parity=")).fold(String::new(), |mut acc, line| {
+            acc.push_str(line);
+            acc.push('\n');
+            acc
+        });
+    std::fs::write(Manifest::path_in(dir), text).unwrap();
+}
+
+/// A v1 (pre-parity) snapshot still loads bit-identically under `Strict`
+/// on both engines, and asking it for repair is the typed configuration
+/// error — not a crash in the parity reader.
+#[test]
+fn v1_snapshot_loads_strict_and_rejects_repair() {
+    let reads = dataset();
+    let dir = tempdir("v1-compat");
+    let mut save_cfg = cfg_for("virtual", 3);
+    save_cfg.save_spectrum = Some(dir.clone());
+    run_engine("virtual", &save_cfg, &reads).unwrap();
+    downgrade_to_v1(&dir);
+
+    for engine in ENGINES {
+        let fresh = run_engine(engine, &cfg_for(engine, 3), &reads).unwrap();
+        let mut cfg = cfg_for(engine, 3);
+        cfg.load_spectrum = Some(dir.clone());
+        let loaded = run_engine(engine, &cfg, &reads)
+            .unwrap_or_else(|e| panic!("{engine}: v1 snapshot must load under Strict, got {e}"));
+        assert_eq!(loaded.corrected, fresh.corrected, "{engine}: v1 strict load");
+        assert_eq!(loaded.report.shards_repaired(), 0, "{engine}");
+    }
+
+    let mut cfg = cfg_for("virtual", 3);
+    cfg.load_spectrum = Some(dir.clone());
+    cfg.recovery = RecoveryPolicy::Repair { max_lost: 1, rewrite: false };
+    match run_engine("virtual", &cfg, &reads) {
+        Err(EngineError::Config(ConfigError::RepairWithoutParity)) => {}
+        Err(other) => panic!("expected RepairWithoutParity, got {other}"),
+        Ok(_) => panic!("a v1 snapshot has no parity to repair from"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A degraded snapshot still serves: `ServeEngine::start` under a
+/// `Repair` policy reconstructs the damaged shard during its one load,
+/// reports the repair in `ServeReport`, and the served corrections match
+/// a fresh batch run.
+#[test]
+fn serve_engine_starts_degraded_and_reports_the_repair() {
+    use reptile_dist::{ServeConfig, ServeEngine, SubmitError};
+    let reads = dataset();
+    let fresh = run_engine("mt", &cfg_for("mt", 3), &reads).unwrap();
+    let dir = save_parity_snapshot("mt", 3, 1, &reads, "serve-degraded");
+    inflict(&shard_path(&dir, 0, ShardKind::Kmer), Damage::Chop);
+
+    let mut cfg = cfg_for("mt", 3);
+    cfg.load_spectrum = Some(dir.clone());
+    cfg.recovery = RecoveryPolicy::Repair { max_lost: 1, rewrite: false };
+    let engine = ServeEngine::start(cfg, ServeConfig::default(), Vec::new()).unwrap();
+
+    let total = reads.len();
+    let mut responses = Vec::with_capacity(total);
+    for read in reads.clone() {
+        let trace_id = read.id;
+        let mut pending = read;
+        loop {
+            match engine.submit(trace_id, pending) {
+                Ok(()) => break,
+                Err(SubmitError::Backpressure { read, retry_after, .. }) => {
+                    responses.append(&mut engine.drain());
+                    std::thread::sleep(retry_after);
+                    pending = read;
+                }
+                Err(SubmitError::Closed(_)) => panic!("serve engine closed early"),
+            }
+        }
+    }
+    while responses.len() < total {
+        responses.append(&mut engine.drain());
+    }
+    let report = engine.shutdown().unwrap();
+    assert!(report.repair.shards_repaired >= 1, "degraded start must report its reconstruction");
+    assert!(report.repair.bytes_reconstructed > 0);
+
+    responses.sort_unstable_by_key(|r| r.read.id);
+    let served: Vec<Vec<u8>> = responses.into_iter().map(|r| r.read.seq).collect();
+    let want: Vec<Vec<u8>> = fresh.corrected.iter().map(|r| r.seq.clone()).collect();
+    assert_eq!(served, want, "degraded serve must correct identically");
     std::fs::remove_dir_all(&dir).unwrap();
 }
