@@ -121,6 +121,11 @@ fn main() {
                 std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
                 print!("{json}");
                 eprintln!("wrote BENCH_serve.json");
+                let ooc = reptile_bench::ooc_bench::run(20_000);
+                let json = reptile_bench::ooc_bench::render_json(&ooc);
+                std::fs::write("BENCH_ooc.json", &json).expect("write BENCH_ooc.json");
+                print!("{json}");
+                eprintln!("wrote BENCH_ooc.json");
             }
             // Not part of `all`: gates CI on the measured perf floors
             // recorded by `bench-json` (run that first in the same
@@ -230,10 +235,42 @@ fn main() {
                 }
                 println!("repair-floor: OK");
             }
+            // Not part of `all`: gates CI on the out-of-core build
+            // contract recorded by `bench-json` in BENCH_ooc.json — the
+            // accounted peak must honor the budget, the spilled build
+            // must match the in-memory output, and the time tax must
+            // stay bounded.
+            "ooc-floor" => {
+                let ooc = std::fs::read_to_string("BENCH_ooc.json")
+                    .expect("read BENCH_ooc.json (run `figures -- bench-json` first)");
+                let budget =
+                    scrape_number(&ooc, "budget_bytes").expect("budget_bytes in BENCH_ooc.json");
+                let peak = scrape_number(&ooc, "peak_accounted_bytes")
+                    .expect("peak_accounted_bytes in BENCH_ooc.json");
+                let slowdown =
+                    scrape_number(&ooc, "ooc_slowdown").expect("ooc_slowdown in BENCH_ooc.json");
+                let runs = scrape_number(&ooc, "runs").expect("spill runs in BENCH_ooc.json");
+                let identical = scrape_number(&ooc, "output_identical")
+                    .expect("output_identical in BENCH_ooc.json");
+                let mut ok = true;
+                println!("ooc-floor: peak accounted bytes {peak:.0} (budget {budget:.0})");
+                ok &= peak <= budget;
+                println!("ooc-floor: spill runs written {runs:.0} (> 0)");
+                ok &= runs > 0.0;
+                println!("ooc-floor: ooc/in-memory build time {slowdown:.3}x (ceiling 2.50)");
+                ok &= slowdown <= 2.5;
+                println!("ooc-floor: output identical {identical:.0} (must be 1)");
+                ok &= identical == 1.0;
+                if !ok {
+                    eprintln!("ooc-floor: FAILED");
+                    std::process::exit(1);
+                }
+                println!("ooc-floor: OK");
+            }
             other => {
                 eprintln!(
                     "unknown item '{other}' (expected table1, fig2..fig8, bench-json, \
-                     perf-floor, balance-floor, serve-floor, repair-floor, all)"
+                     perf-floor, balance-floor, serve-floor, repair-floor, ooc-floor, all)"
                 );
                 std::process::exit(2);
             }

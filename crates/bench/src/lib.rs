@@ -11,6 +11,7 @@
 pub mod balance_bench;
 pub mod build_bench;
 pub mod figures;
+pub mod ooc_bench;
 pub mod serve_bench;
 pub mod snapshot_bench;
 pub mod spectrum_bench;

@@ -22,6 +22,14 @@
 //!   --build-threads N    extraction workers per rank for the pipelined
 //!                        spectrum build (default: all host cores; the
 //!                        virtual engine models N workers per rank)
+//!   --memory-budget B    out-of-core spectrum build: cap the per-rank
+//!                        accounted build footprint (count tables +
+//!                        accumulators + spill buffers) at B bytes;
+//!                        overflow spills sorted run files to disk and a
+//!                        k-way merge streams them back into the tables,
+//!                        bit-identical to the in-memory build (requires
+//!                        --batch-reads; B must be at or above the
+//!                        geometry floor for the configured k)
 //!   --scale X            dataset scale multiplier (virtual engine)
 //!   --fault-plan SPEC    inject deterministic faults into the message
 //!                        plane, e.g. "seed=7,drop=0.1,dup=0.05,kill=2"
@@ -124,6 +132,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             .parse()
             .map_err(|_| format!("--build-threads: '{threads}' is not an integer"))?;
         builder = builder.build_threads(threads.max(1));
+    }
+    if let Some(bytes) = args.value("memory-budget") {
+        let bytes: u64 =
+            bytes.parse().map_err(|_| format!("--memory-budget: '{bytes}' is not a byte count"))?;
+        builder = builder.memory_budget(bytes);
     }
     if let Some(spec) = args.value("fault-plan") {
         let plan = mpisim::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
@@ -441,6 +454,15 @@ fn print_report(report: &RunReport) {
         report.correct_secs(),
         report.imbalance_ratio()
     );
+    if report.ooc_peak_bytes() > 0 {
+        println!(
+            "out-of-core build: {} runs / {} B spilled, merge {:.3}s, peak accounted {} B",
+            report.spill_runs(),
+            report.spill_bytes(),
+            report.merge_secs(),
+            report.ooc_peak_bytes()
+        );
+    }
     let degraded: u64 = report.ranks.iter().map(|r| r.lookups.keys_degraded).sum();
     if degraded > 0 {
         println!("WARNING: {degraded} lookups degraded to absent (fault plan active)");

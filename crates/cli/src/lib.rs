@@ -47,6 +47,7 @@ const VALUED: &[&str] = &[
     "replicate",
     "scale",
     "build-threads",
+    "memory-budget",
     "fault-plan",
     "lookup-deadline",
     "retry-budget",

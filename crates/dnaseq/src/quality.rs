@@ -49,28 +49,43 @@ impl QualityEncoding {
     /// Decode a file record into quality scores. Returns `None` on any
     /// malformed token / out-of-range character.
     pub fn decode(self, bytes: &[u8]) -> Option<Vec<Phred>> {
+        let mut out = Vec::with_capacity(bytes.len());
+        self.decode_into(bytes, &mut out).then_some(out)
+    }
+
+    /// Decode into a caller-owned buffer (cleared first), so a streaming
+    /// reader can reuse one allocation across records. Returns `false`
+    /// (leaving partial content in `out`) on any malformed token /
+    /// out-of-range character.
+    pub fn decode_into(self, bytes: &[u8], out: &mut Vec<Phred>) -> bool {
+        out.clear();
         match self {
             QualityEncoding::DecimalText => {
-                let text = std::str::from_utf8(bytes).ok()?;
-                text.split_ascii_whitespace()
-                    .map(|tok| {
-                        let v: u16 = tok.parse().ok()?;
-                        if v <= MAX_PHRED as u16 {
-                            Some(v as Phred)
-                        } else {
-                            None
-                        }
-                    })
-                    .collect()
+                let Ok(text) = std::str::from_utf8(bytes) else {
+                    return false;
+                };
+                for tok in text.split_ascii_whitespace() {
+                    match tok.parse::<u16>() {
+                        Ok(v) if v <= MAX_PHRED as u16 => out.push(v as Phred),
+                        _ => return false,
+                    }
+                }
+                true
             }
-            QualityEncoding::SangerAscii => bytes
-                .iter()
-                .map(|&c| if (33..=33 + MAX_PHRED).contains(&c) { Some(c - 33) } else { None })
-                .collect(),
-            QualityEncoding::Illumina13 => bytes
-                .iter()
-                .map(|&c| if (64..=126).contains(&c) { Some(c - 64) } else { None })
-                .collect(),
+            QualityEncoding::SangerAscii => bytes.iter().all(|&c| {
+                let ok = (33..=33 + MAX_PHRED).contains(&c);
+                if ok {
+                    out.push(c - 33);
+                }
+                ok
+            }),
+            QualityEncoding::Illumina13 => bytes.iter().all(|&c| {
+                let ok = (64..=126).contains(&c);
+                if ok {
+                    out.push(c - 64);
+                }
+                ok
+            }),
         }
     }
 }

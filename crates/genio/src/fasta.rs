@@ -84,8 +84,17 @@ impl<R: BufRead> RecordReader<R> {
     /// Enforces the dialect invariants: header then exactly one payload
     /// line, ids strictly ascending.
     pub fn next_record(&mut self) -> Result<Option<RawRecord>> {
+        let mut rec = RawRecord { id: 0, line: Vec::new() };
+        Ok(self.next_record_into(&mut rec)?.then_some(rec))
+    }
+
+    /// Read the next record into `rec`, reusing its payload buffer;
+    /// returns `Ok(false)` at EOF. The allocation-free twin of
+    /// [`RecordReader::next_record`]: a loop over an arbitrarily large
+    /// file holds one payload buffer, not one Vec per record.
+    pub fn next_record_into(&mut self, rec: &mut RawRecord) -> Result<bool> {
         if !self.read_line()? {
-            return Ok(None);
+            return Ok(false);
         }
         let id = parse_header(&self.line)?;
         if let Some(prev) = self.prev_id {
@@ -96,13 +105,17 @@ impl<R: BufRead> RecordReader<R> {
             }
         }
         self.prev_id = Some(id);
-        if !self.read_line()? {
+        rec.id = id;
+        rec.line.clear();
+        if self.inner.read_until(b'\n', &mut rec.line)? == 0 {
             return Err(IoError::Malformed(format!("record {id}: missing payload line")));
         }
-        if self.line.first() == Some(&b'>') {
+        if rec.line.first() == Some(&b'>') {
             return Err(IoError::Malformed(format!("record {id}: empty payload")));
         }
-        Ok(Some(RawRecord { id, line: trim_eol(&self.line).to_vec() }))
+        let keep = trim_eol(&rec.line).len();
+        rec.line.truncate(keep);
+        Ok(true)
     }
 
     /// Collect every remaining record.

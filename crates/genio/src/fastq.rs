@@ -59,22 +59,37 @@ impl<R: BufRead> FastqReader<R> {
 
     /// Read the next record, or `Ok(None)` at EOF.
     pub fn next_record(&mut self) -> Result<Option<FastqRecord>> {
+        let mut rec = FastqRecord { name: Vec::new(), seq: Vec::new(), qual: Vec::new() };
+        Ok(self.next_record_into(&mut rec)?.then_some(rec))
+    }
+
+    /// Read the next record into `rec`, reusing its name/seq/qual
+    /// buffers; returns `Ok(false)` at EOF. Streaming a whole FASTQ file
+    /// through one record costs a fixed handful of buffers no matter how
+    /// large the file — the ingestion-side counterpart of the
+    /// out-of-core build's bounded-memory contract.
+    pub fn next_record_into(&mut self, rec: &mut FastqRecord) -> Result<bool> {
         if !self.read_line()? {
-            return Ok(None);
+            return Ok(false);
         }
         let n = self.records + 1;
-        let header = trim_eol(&self.line).to_vec();
+        let header = trim_eol(&self.line);
         if header.first() != Some(&b'@') {
             return Err(IoError::Malformed(format!(
                 "fastq record {n}: expected '@' header, got {:?}",
                 String::from_utf8_lossy(&header[..header.len().min(20)])
             )));
         }
-        let name = header[1..].split(|&c| c == b' ' || c == b'\t').next().unwrap_or(&[]).to_vec();
-        if !self.read_line()? {
+        rec.name.clear();
+        rec.name.extend_from_slice(
+            header[1..].split(|&c| c == b' ' || c == b'\t').next().unwrap_or(&[]),
+        );
+        rec.seq.clear();
+        if self.inner.read_until(b'\n', &mut rec.seq)? == 0 {
             return Err(IoError::Malformed(format!("fastq record {n}: missing sequence")));
         }
-        let seq = trim_eol(&self.line).to_vec();
+        let keep = trim_eol(&rec.seq).len();
+        rec.seq.truncate(keep);
         if !self.read_line()? {
             return Err(IoError::Malformed(format!("fastq record {n}: missing '+' line")));
         }
@@ -85,18 +100,20 @@ impl<R: BufRead> FastqReader<R> {
             return Err(IoError::Malformed(format!("fastq record {n}: missing qualities")));
         }
         let qual_ascii = trim_eol(&self.line);
-        if qual_ascii.len() != seq.len() {
+        if qual_ascii.len() != rec.seq.len() {
             return Err(IoError::Mismatch(format!(
                 "fastq record {n}: {} bases but {} quality characters",
-                seq.len(),
+                rec.seq.len(),
                 qual_ascii.len()
             )));
         }
-        let qual = self.encoding.decode(qual_ascii).ok_or_else(|| {
-            IoError::Malformed(format!("fastq record {n}: quality character out of range"))
-        })?;
+        if !self.encoding.decode_into(qual_ascii, &mut rec.qual) {
+            return Err(IoError::Malformed(format!(
+                "fastq record {n}: quality character out of range"
+            )));
+        }
         self.records += 1;
-        Ok(Some(FastqRecord { name, seq, qual }))
+        Ok(true)
     }
 
     /// Collect all remaining records.
@@ -136,8 +153,11 @@ pub fn fastq_to_reptile_pair(
     qual_out: &mut impl Write,
 ) -> Result<u64> {
     let mut reader = FastqReader::new(fastq);
+    // One reusable record: the conversion streams a file of any size
+    // through a fixed set of buffers.
+    let mut rec = FastqRecord { name: Vec::new(), seq: Vec::new(), qual: Vec::new() };
     let mut id = 0u64;
-    while let Some(rec) = reader.next_record()? {
+    while reader.next_record_into(&mut rec)? {
         id += 1;
         crate::fasta::write_record(fasta_out, id, &rec.seq)?;
         crate::qual::write_qual_record(qual_out, id, &rec.qual)?;
@@ -240,6 +260,29 @@ mod tests {
     #[should_panic(expected = "DecimalText")]
     fn decimal_encoding_rejected_for_fastq() {
         let _ = FastqReader::with_encoding(Cursor::new(Vec::new()), QualityEncoding::DecimalText);
+    }
+
+    #[test]
+    fn reusable_record_streams_without_regrowing() {
+        // Stream many records through one record; after the first (largest)
+        // record sizes the buffers, later records must not regrow them.
+        let mut data = Vec::new();
+        write_fastq_record(&mut data, b"widest-name", &[b'A'; 64], &[30; 64]).unwrap();
+        for i in 0..50u8 {
+            write_fastq_record(&mut data, b"r", &[b"ACGT"[i as usize % 4]; 16], &[30; 16]).unwrap();
+        }
+        let mut r = FastqReader::new(Cursor::new(data));
+        let mut rec = FastqRecord { name: Vec::new(), seq: Vec::new(), qual: Vec::new() };
+        assert!(r.next_record_into(&mut rec).unwrap());
+        let caps = (rec.name.capacity(), rec.seq.capacity(), rec.qual.capacity());
+        let mut n = 0;
+        while r.next_record_into(&mut rec).unwrap() {
+            n += 1;
+            assert_eq!(rec.seq.len(), 16);
+            assert_eq!(rec.qual, vec![30; 16]);
+        }
+        assert_eq!(n, 50);
+        assert_eq!((rec.name.capacity(), rec.seq.capacity(), rec.qual.capacity()), caps);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! matching sequence number by a proportional guess plus bounded
 //! backward/forward scanning.
 
-use crate::fasta::{parse_header, RecordReader};
+use crate::fasta::{parse_header, RawRecord, RecordReader};
 use crate::qual::{parse_qual_line, RecordIter};
 use crate::{IoError, Result};
 use dnaseq::Read;
@@ -86,6 +86,10 @@ pub fn next_header_at(path: &Path, offset: u64) -> Result<Option<(u64, u64)>> {
 pub struct PartitionedReader {
     fasta: RecordReader<BufReader<File>>,
     qual: RecordReader<BufReader<File>>,
+    /// Reusable quality-record buffer: the decimal-text quality line is
+    /// ~4 bytes per base and only lives until it is decoded into the
+    /// `Read`'s Phred vector, so one buffer serves the whole stream.
+    qrec: RawRecord,
     /// First sequence number owned by this rank.
     pub start_id: u64,
     /// One past the last sequence number owned by this rank (`u64::MAX`
@@ -124,13 +128,15 @@ impl PartitionedReader {
         let qsize = File::open(qual_path)?.metadata()?.len();
         let hint = qsize * rank as u64 / np as u64;
         let qual = seek_to_id_scan(qual_path, start_id, hint)?;
-        Ok(PartitionedReader { fasta, qual, start_id, end_id, exhausted: false })
+        let qrec = RawRecord { id: 0, line: Vec::new() };
+        Ok(PartitionedReader { fasta, qual, qrec, start_id, end_id, exhausted: false })
     }
 
     fn empty(fasta_path: &Path, qual_path: &Path) -> Result<PartitionedReader> {
         Ok(PartitionedReader {
             fasta: RecordReader::new(BufReader::new(File::open(fasta_path)?)),
             qual: RecordReader::new(BufReader::new(File::open(qual_path)?)),
+            qrec: RawRecord { id: 0, line: Vec::new() },
             start_id: 0,
             end_id: 0,
             exhausted: true,
@@ -153,16 +159,19 @@ impl PartitionedReader {
                 self.exhausted = true;
                 break;
             }
-            let qrec = self.qual.next_record()?.ok_or_else(|| {
-                IoError::Mismatch(format!("quality file ends before record {}", frec.id))
-            })?;
-            if qrec.id != frec.id {
+            if !self.qual.next_record_into(&mut self.qrec)? {
                 return Err(IoError::Mismatch(format!(
-                    "sequence number skew: fasta {} vs qual {}",
-                    frec.id, qrec.id
+                    "quality file ends before record {}",
+                    frec.id
                 )));
             }
-            let quals = parse_qual_line(&qrec)?;
+            if self.qrec.id != frec.id {
+                return Err(IoError::Mismatch(format!(
+                    "sequence number skew: fasta {} vs qual {}",
+                    frec.id, self.qrec.id
+                )));
+            }
+            let quals = parse_qual_line(&self.qrec)?;
             if quals.len() != frec.line.len() {
                 return Err(IoError::Mismatch(format!(
                     "record {}: {} bases but {} quality scores",

@@ -209,6 +209,17 @@ impl CostModel {
         self.disk_latency_ns + bytes as f64 / self.disk_bw_bytes_per_ns
     }
 
+    /// Modeled time to stream `bytes` of out-of-core spill runs through
+    /// the disk (one seek/open per merge or spill wave plus sequential
+    /// transfer). Spill runs are written once and read twice (the
+    /// survivor-count pass and the table-stream pass), so a budgeted
+    /// build charges `spill_io_ns(written) + spill_io_ns(2·written)` on
+    /// top of construction — the memory/time trade the out-of-core mode
+    /// makes explicit.
+    pub fn spill_io_ns(&self, bytes: u64) -> f64 {
+        self.disk_latency_ns + bytes as f64 / self.disk_bw_bytes_per_ns
+    }
+
     /// Modeled time of an online Reed-Solomon shard repair during a
     /// snapshot load: stream the `survivor_bytes` of the surviving
     /// shards from disk, then run the GF(2^8) matrix-vector rebuild

@@ -46,6 +46,18 @@ const COUNT_AHEAD: usize = 16;
 
 /// A spectrum key type the accumulator can tally: an unsigned integer
 /// wide enough for the declared key bits.
+/// Bytes of the direct strategy's fixed `2^bits` count array, 0 for
+/// widths that use a buffered strategy. This is the irreducible
+/// accumulator floor a memory budget must cover: the array cannot spill
+/// (it *is* the aggregation), only its drained entries can.
+pub(crate) fn direct_array_bytes(bits: u32) -> u64 {
+    if bits <= DIRECT_BITS {
+        4u64 << bits
+    } else {
+        0
+    }
+}
+
 pub(crate) trait AccKey: Copy + Ord {
     /// Widen to the common arithmetic type.
     fn to_u128(self) -> u128;
@@ -111,6 +123,14 @@ pub(crate) struct CountAcc<K> {
     /// Direct strategy: `2^bits` saturating counters, allocated on the
     /// first push so untouched accumulators cost nothing.
     counts: Vec<u32>,
+    /// Direct strategy: cells of `counts` currently non-zero. Keeps
+    /// [`finalize`] scan-free and lets [`pending_entry_bytes`] expose
+    /// the implicit working set (the direct array's *resident* size is
+    /// constant, so occupancy is the only spill signal it has).
+    ///
+    /// [`finalize`]: CountAcc::finalize
+    /// [`pending_entry_bytes`]: CountAcc::pending_entry_bytes
+    occupied: usize,
     raw32: Vec<u32>,
     raw64: Vec<u64>,
     raw128: Vec<u128>,
@@ -127,6 +147,7 @@ impl<K: AccKey> CountAcc<K> {
             bits,
             strategy: strategy_for(bits),
             counts: Vec::new(),
+            occupied: 0,
             raw32: Vec::new(),
             raw64: Vec::new(),
             raw128: Vec::new(),
@@ -142,13 +163,16 @@ impl<K: AccKey> CountAcc<K> {
                     self.counts = vec![0u32; 1 << self.bits];
                 }
                 let counts = &mut self.counts[..];
+                let mut newly = 0usize;
                 for (i, k) in keys.iter().enumerate() {
                     if let Some(nk) = keys.get(i + COUNT_AHEAD) {
                         dnaseq::simd::prefetch_read(counts, nk.to_u128() as usize);
                     }
                     let idx = k.to_u128() as usize;
+                    newly += (counts[idx] == 0) as usize;
                     counts[idx] = counts[idx].saturating_add(1);
                 }
+                self.occupied += newly;
             }
             Strategy::Part32 => self.raw32.extend(keys.iter().map(|k| k.to_u128() as u32)),
             Strategy::Part64 | Strategy::Sort64 => {
@@ -173,6 +197,7 @@ impl<K: AccKey> CountAcc<K> {
                 }
                 for &(k, c) in run {
                     let idx = k.to_u128() as usize;
+                    self.occupied += (self.counts[idx] == 0 && c > 0) as usize;
                     self.counts[idx] = self.counts[idx].saturating_add(c);
                 }
             }
@@ -191,20 +216,97 @@ impl<K: AccKey> CountAcc<K> {
         }
     }
 
+    /// Resident bytes of the accumulator's backing storage right now —
+    /// the direct-count array plus the raw occurrence buffers plus the
+    /// compacted entry runs, all at allocated capacity. This is the
+    /// number the out-of-core build's memory budget charges between
+    /// batches to decide when to spill; [`finalize`] (which a spill
+    /// calls) returns the direct array and the run list to the
+    /// allocator but keeps the raw occurrence buffers allocated for the
+    /// next batch — [`release_buffers`] drops those too.
+    ///
+    /// [`finalize`]: CountAcc::finalize
+    /// [`release_buffers`]: CountAcc::release_buffers
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.counts.capacity() * 4
+            + self.raw32.capacity() * 4
+            + self.raw64.capacity() * 8
+            + self.raw128.capacity() * 16
+            + self.runs.capacity() * std::mem::size_of::<(K, u32)>()
+    }
+
+    /// Upper bound on the entry bytes a [`finalize`] (hence a spill)
+    /// would materialize right now — the out-of-core spill *trigger*.
+    /// Distinct from [`memory_bytes`]: the direct-count array's
+    /// resident size never changes, so its spill pressure is the
+    /// occupancy, while the buffered strategies' pressure is everything
+    /// they have queued (raw occurrences + runs, each at most one
+    /// output entry).
+    ///
+    /// [`finalize`]: CountAcc::finalize
+    /// [`memory_bytes`]: CountAcc::memory_bytes
+    pub(crate) fn pending_entry_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(K, u32)>();
+        match self.strategy {
+            Strategy::Direct => self.occupied * entry,
+            _ => {
+                (self.raw32.len() + self.raw64.len() + self.raw128.len() + self.runs.len()) * entry
+            }
+        }
+    }
+
+    /// Whether this accumulator counts in a direct-index array. A
+    /// direct kind never spills: the array *is* the aggregation (fixed
+    /// size, charged in the out-of-core fixed floor), so draining it to
+    /// disk frees nothing — the out-of-core finish streams it straight
+    /// into the table via [`iter_direct`] instead.
+    ///
+    /// [`iter_direct`]: CountAcc::iter_direct
+    pub(crate) fn is_direct(&self) -> bool {
+        self.strategy == Strategy::Direct
+    }
+
+    /// Iterate the direct array's occupied slots in ascending key order
+    /// without materializing an entry vector — the bounded-transient
+    /// drain the out-of-core finish streams into the flat table.
+    pub(crate) fn iter_direct(&self) -> impl Iterator<Item = (K, u32)> + '_ {
+        debug_assert!(self.is_direct());
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(k, &c)| (K::from_u128(k as u128), c))
+    }
+
+    /// Drop the retained buffer capacities. [`finalize`] hands the raw
+    /// occurrence buffers back empty-but-allocated so the next batch
+    /// reuses them; the out-of-core finish calls this after the *final*
+    /// drain, when no next batch is coming, so the merge's budget room
+    /// is not consumed by dead capacity.
+    ///
+    /// [`finalize`]: CountAcc::finalize
+    pub(crate) fn release_buffers(&mut self) {
+        self.raw32 = Vec::new();
+        self.raw64 = Vec::new();
+        self.raw128 = Vec::new();
+        self.runs = Vec::new();
+    }
+
     /// Drain everything into sorted distinct entries (ascending keys,
     /// saturating counts), leaving the accumulator empty.
     pub(crate) fn finalize(&mut self) -> Vec<(K, u32)> {
         if self.strategy == Strategy::Direct {
             let counts = std::mem::take(&mut self.counts);
+            let distinct = std::mem::take(&mut self.occupied);
             if counts.is_empty() {
                 return Vec::new();
             }
-            // Branchless two-pass emit: an exact vectorizable popcount
-            // sizes the output, then every slot stores unconditionally
-            // at a cursor that only advances past non-zero counts (the
-            // spare slot absorbs the trailing dummy writes) — no
-            // per-slot branch for ~25%-dense counters to mispredict.
-            let distinct = counts.iter().filter(|&&c| c != 0).count();
+            // Branchless emit at the occupancy-tracked exact size: every
+            // slot stores unconditionally at a cursor that only advances
+            // past non-zero counts (the spare slot absorbs the trailing
+            // dummy writes) — no per-slot branch for ~25%-dense counters
+            // to mispredict, and no sizing pre-pass (pushes counted
+            // 0→non-zero transitions as they happened).
             let mut out: Vec<(K, u32)> = vec![(K::from_u128(0), 0); distinct + 1];
             let mut j = 0usize;
             for (k, &c) in counts.iter().enumerate() {
@@ -487,7 +589,8 @@ mod tests {
             let mask = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
             let keys: Vec<u128> = (0..4000u64)
                 .map(|i| {
-                    (((dnaseq::mix64(i % 531) as u128) << 64) | dnaseq::mix64(i % 531 ^ 7) as u128)
+                    (((dnaseq::mix64(i % 531) as u128) << 64)
+                        | dnaseq::mix64((i % 531) ^ 7) as u128)
                         & mask
                 })
                 .collect();

@@ -83,6 +83,17 @@ pub struct EngineConfig {
     /// surface the typed error (`Strict`) or reconstruct it from the
     /// snapshot's parity shards (`Repair`).
     pub recovery: RecoveryPolicy,
+    /// Per-rank byte budget for spectrum construction. `None` builds
+    /// fully in memory; `Some(bytes)` switches to the out-of-core
+    /// spill/merge build ([`crate::ooc`]): the count accumulators are
+    /// drained to sorted run files whenever they outgrow the budget and
+    /// the final tables are materialized by a streaming k-way merge —
+    /// bit-identical output, peak accounted table+buffer bytes kept
+    /// under the budget. Validated against the table geometry
+    /// ([`crate::ooc::min_budget`]) and requires `batch_reads` (the
+    /// non-batch path must hold its whole reads tally for one final
+    /// exchange, so it cannot bound memory).
+    pub memory_budget: Option<u64>,
 }
 
 impl EngineConfig {
@@ -106,6 +117,7 @@ impl EngineConfig {
             load_spectrum: None,
             parity: 0,
             recovery: RecoveryPolicy::Strict,
+            memory_budget: None,
         }
     }
 
@@ -175,6 +187,15 @@ impl EngineConfig {
                 return Err(ConfigError::RepairWithoutLoad);
             }
         }
+        if let Some(budget) = self.memory_budget {
+            if !self.heuristics.batch_reads {
+                return Err(ConfigError::MemoryBudgetNeedsBatching);
+            }
+            let floor = crate::ooc::min_budget(&self.params);
+            if budget < floor {
+                return Err(ConfigError::MemoryBudgetTooSmall { budget, floor });
+            }
+        }
         self.heuristics.validate().map_err(ConfigError::Heuristics)?;
         Ok(())
     }
@@ -224,6 +245,19 @@ pub enum ConfigError {
     /// loaded carries no parity shards (e.g. a v1 snapshot, or one
     /// saved with `parity = 0`).
     RepairWithoutParity,
+    /// The memory budget is below the irreducible working set of this
+    /// table geometry — the build could never finish under it.
+    MemoryBudgetTooSmall {
+        /// The requested budget.
+        budget: u64,
+        /// The smallest acceptable budget for these params
+        /// ([`crate::ooc::min_budget`]).
+        floor: u64,
+    },
+    /// A memory budget without `batch_reads`: the non-batch build holds
+    /// its entire reads tally for one final exchange and cannot bound
+    /// memory.
+    MemoryBudgetNeedsBatching,
     /// The heuristic combination is invalid (message from
     /// [`HeuristicConfig::validate`]).
     Heuristics(String),
@@ -262,6 +296,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::RepairWithoutParity => {
                 write!(f, "a Repair policy needs a snapshot saved with parity shards")
             }
+            ConfigError::MemoryBudgetTooSmall { budget, floor } => {
+                write!(
+                    f,
+                    "memory budget {budget} B is below the {floor} B floor for this table \
+                     geometry (direct count arrays + spill buffers + working room)"
+                )
+            }
+            ConfigError::MemoryBudgetNeedsBatching => {
+                write!(f, "a memory budget requires batch_reads (non-batch builds are unbounded)")
+            }
             ConfigError::Heuristics(msg) => write!(f, "invalid heuristics: {msg}"),
         }
     }
@@ -282,6 +326,10 @@ pub enum EngineError {
     Snapshot(specstore::SnapshotError),
     /// Input FASTA/QUAL files could not be read or parsed.
     Io(genio::IoError),
+    /// An out-of-core build's spill plane failed (run-file IO error or
+    /// verification failure — a chopped/flipped run is surfaced here,
+    /// never folded into wrong counts).
+    Spill(specstore::SpillError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -290,6 +338,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Config(e) => write!(f, "invalid config: {e}"),
             EngineError::Snapshot(e) => write!(f, "spectrum snapshot: {e}"),
             EngineError::Io(e) => write!(f, "input: {e}"),
+            EngineError::Spill(e) => write!(f, "out-of-core build: {e}"),
         }
     }
 }
@@ -300,6 +349,7 @@ impl std::error::Error for EngineError {
             EngineError::Config(e) => Some(e),
             EngineError::Snapshot(e) => Some(e),
             EngineError::Io(e) => Some(e),
+            EngineError::Spill(e) => Some(e),
         }
     }
 }
@@ -325,6 +375,12 @@ impl From<specstore::SnapshotError> for EngineError {
 impl From<genio::IoError> for EngineError {
     fn from(e: genio::IoError) -> EngineError {
         EngineError::Io(e)
+    }
+}
+
+impl From<specstore::SpillError> for EngineError {
+    fn from(e: specstore::SpillError) -> EngineError {
+        EngineError::Spill(e)
     }
 }
 
@@ -419,6 +475,15 @@ impl EngineConfigBuilder {
     /// Set the shard-corruption recovery policy for loads.
     pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.cfg.recovery = recovery;
+        self
+    }
+
+    /// Cap the per-rank spectrum-construction working set at `bytes`,
+    /// switching the build to the out-of-core spill/merge mode
+    /// (requires `batch_reads`; validated against
+    /// [`crate::ooc::min_budget`]).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.cfg.memory_budget = Some(bytes);
         self
     }
 

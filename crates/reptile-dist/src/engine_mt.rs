@@ -31,6 +31,7 @@
 use crate::balance::{owner_volume_histogram, select_hot_owners, shuffle_reads, sum_histograms};
 use crate::engine::{EngineConfig, EngineError, RunOutput};
 use crate::heuristics::HeuristicConfig;
+use crate::ooc::OocBuild;
 use crate::owner::OwnerMap;
 use crate::protocol::{
     count_to_wire, decode_response, decode_steal_ack, decode_steal_request, encode_response_into,
@@ -41,8 +42,8 @@ use crate::protocol::{
 use crate::report::{LookupStats, RankReport, RunReport};
 use crate::snapshot;
 use crate::spectrum::{
-    build_distributed, derive_heuristic_tables, replicate_hot_shards, scan_nonowned_keys,
-    BuildStats, RankTables,
+    build_distributed, build_distributed_spillable, derive_heuristic_tables, replicate_hot_shards,
+    scan_nonowned_keys, BuildStats, RankTables,
 };
 use dnaseq::{FxHashMap, Read};
 use mpisim::message::WireWriter;
@@ -56,6 +57,17 @@ use std::time::{Duration, Instant};
 /// The machine's available parallelism (1 if it cannot be queried).
 pub fn default_build_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A process- and run-unique temp directory for one rank's spill runs.
+/// Ranks could share a directory (file names embed the rank), but
+/// per-rank dirs make cleanup a local `remove_dir_all` with no
+/// coordination.
+fn ooc_spill_dir(rank: usize) -> std::path::PathBuf {
+    use std::sync::atomic::AtomicU64;
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("reptile-ooc-{}-{seq}-r{rank:05}", std::process::id()))
 }
 
 /// Run the full distributed pipeline (shuffle → build → correct) over an
@@ -99,6 +111,7 @@ pub(crate) fn root_cause<T>(per_rank: Vec<Result<T, EngineError>>) -> Result<Vec
             if let Err(e) = r {
                 let sentinel = match &e {
                     EngineError::Snapshot(specstore::SnapshotError::PeerFailure { .. }) => true,
+                    EngineError::Spill(specstore::SpillError::PeerFailure { .. }) => true,
                     EngineError::Io(genio::IoError::Malformed(m)) => m.starts_with("aborted:"),
                     _ => false,
                 };
@@ -248,6 +261,28 @@ pub(crate) fn run_rank(
                 t.phase_end("snapshot-load");
             }
             (tables, stats, t_load.elapsed().as_secs_f64(), loaded.bytes_read, loaded.repair)
+        } else if let Some(budget) = cfg.memory_budget {
+            // Out-of-core build: run files live in a per-rank temp dir
+            // for the duration of the build. The `chop=` fault plan
+            // composes with the spill plane here — with no snapshot in
+            // play, the chopped file is this rank's first k-mer run.
+            let dir = ooc_spill_dir(me);
+            std::fs::create_dir_all(&dir)
+                .map_err(|source| specstore::SpillError::Io { path: dir.clone(), source })?;
+            let chop = cfg.fault.snapshot_chop_for(me);
+            let mut ooc = OocBuild::new(budget, dir.clone(), me, chop, &cfg.params);
+            let built = build_distributed_spillable(
+                comm,
+                &my_reads,
+                cfg.chunk_size,
+                &cfg.params,
+                &cfg.heuristics,
+                cfg.build_threads.max(1),
+                Some(&mut ooc),
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            let (tables, stats) = built?;
+            (tables, stats, 0.0, 0, Default::default())
         } else {
             let (tables, stats) = build_distributed(
                 comm,

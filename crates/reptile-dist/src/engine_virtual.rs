@@ -336,7 +336,29 @@ pub fn try_run_virtual(cfg: &EngineConfig, reads: &[Read]) -> Result<RunOutput, 
             build.extract_ns = compute as u64;
             build.exchange_ns = (rounds as f64 * comm_round) as u64;
             build.overlap_ns = ((compute + rounds as f64 * comm_round) - total).max(0.0) as u64;
-            (total + hot_allgather_ns) * smt
+            // Out-of-core build: model the spill plane analytically. The
+            // run bodies are this rank's owned entries at the run-file
+            // entry widths (12 B k-mer, 20 B tile); spill waves fire
+            // every time the accumulators outgrow the trigger (half the
+            // budget headroom, mirroring `ooc::OocBuild`), each wave
+            // draining both kinds to one run apiece. Runs are written
+            // once and read twice (survivor-count pass + stream pass).
+            let spill_ns = if let Some(budget) = cfg.memory_budget {
+                let fixed = crate::ooc::fixed_floor(&cfg.params);
+                let trigger = budget.saturating_sub(fixed).max(2) / 2;
+                let body = owned_kmers[me] * 12 + owned_tiles[me] * 20;
+                let waves = body.div_ceil(trigger).max(1);
+                let runs = 2 * waves;
+                let bytes = body + runs * specstore::spill::RUN_HEADER_BYTES as u64;
+                build.spill_runs = runs;
+                build.spill_bytes = bytes;
+                build.ooc_peak_bytes = (fixed + 2 * trigger).min(budget);
+                build.merge_ns = cost.spill_io_ns(2 * bytes) as u64;
+                cost.spill_io_ns(bytes) + cost.spill_io_ns(2 * bytes)
+            } else {
+                0.0
+            };
+            (total + spill_ns + hot_allgather_ns) * smt
         };
         let local_lookups = lookups.local_kmer_lookups + lookups.local_tile_lookups;
         let rank_base_count = corrected.iter().map(|r| r.len() as u64).sum::<u64>();

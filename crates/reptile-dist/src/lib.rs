@@ -52,6 +52,7 @@ pub mod engine;
 pub mod engine_mt;
 pub mod engine_virtual;
 pub mod heuristics;
+pub mod ooc;
 pub mod output;
 pub mod owner;
 pub mod prior_art;

@@ -339,6 +339,31 @@ impl RunReport {
     pub fn repair_secs(&self) -> f64 {
         self.ranks.iter().map(|r| r.repair.repair_ns as f64 * 1e-9).fold(0.0, f64::max)
     }
+
+    /// Total out-of-core spill runs written across ranks (0 unless a
+    /// memory budget was set and tripped).
+    pub fn spill_runs(&self) -> u64 {
+        self.ranks.iter().map(|r| r.build.spill_runs).sum()
+    }
+
+    /// Total bytes of spill run files written across ranks.
+    pub fn spill_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.build.spill_bytes).sum()
+    }
+
+    /// Slowest rank's run-merge time, seconds — construction barriers
+    /// before correction, so the straggler's merge is the cost the
+    /// budgeted build actually pays.
+    pub fn merge_secs(&self) -> f64 {
+        self.ranks.iter().map(|r| r.build.merge_ns as f64 * 1e-9).fold(0.0, f64::max)
+    }
+
+    /// Largest per-rank high-water mark of the out-of-core accounted
+    /// bytes (tables + accumulators + spill buffers; 0 on unbudgeted
+    /// runs). The `ooc-floor` CI gate checks this against the budget.
+    pub fn ooc_peak_bytes(&self) -> u64 {
+        self.ranks.iter().map(|r| r.build.ooc_peak_bytes).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -492,6 +517,7 @@ mod tests {
             survivor_bytes_read: 12_288,
             shards_rewritten: 1,
             repair_ns: 2_000_000_000,
+            ..RepairStats::default()
         };
         let mut b = rank(0.0, 0.0, 0.0);
         b.repair.shards_repaired = 1;

@@ -73,11 +73,13 @@
 
 use crate::counts::{aggregate_occurrences, CountAcc};
 use crate::heuristics::HeuristicConfig;
+use crate::ooc::OocBuild;
 use crate::owner::OwnerMap;
 use dnaseq::{FusedScratch, Read, TileCodec};
 use mpisim::{Comm, PendingAlltoallv};
 use reptile::spectrum::{KmerSpectrum, Normalized, TileSpectrum};
 use reptile::ReptileParams;
+use specstore::spill::SpillError;
 use std::sync::mpsc;
 use std::time::Instant;
 
@@ -173,6 +175,21 @@ pub struct BuildStats {
     pub exchange_occurrences: u64,
     /// Bytes shipped through count exchanges (wire-tuple sizes).
     pub exchange_bytes: u64,
+    /// Sorted spill runs this rank wrote (0 unless a memory budget is
+    /// set and the accumulators tripped it).
+    pub spill_runs: u64,
+    /// Bytes of spill run files written (headers + bodies).
+    pub spill_bytes: u64,
+    /// Nanoseconds spent in the final table materialization — the
+    /// k-way run merge (both passes) in a budgeted build, the
+    /// finalize/prune/merge-sorted block otherwise charged to
+    /// `extract_ns` alone.
+    pub merge_ns: u64,
+    /// High-water mark of the out-of-core build's accounted bytes
+    /// (direct arrays + spill buffers + accumulators + merge scratch +
+    /// growing tables). 0 for unbudgeted builds; ≤ the configured
+    /// budget otherwise (`ooc_bench` gates this).
+    pub ooc_peak_bytes: u64,
 }
 
 /// Build the distributed spectra from this rank's reads with the
@@ -192,6 +209,26 @@ pub fn build_distributed(
     heur: &HeuristicConfig,
     build_threads: usize,
 ) -> (RankTables, BuildStats) {
+    build_distributed_spillable(comm, reads, chunk_size, params, heur, build_threads, None)
+        .expect("unbudgeted build cannot spill")
+}
+
+/// [`build_distributed`] with an optional out-of-core spill state: when
+/// `ooc` is `Some`, the count accumulators are drained to sorted run
+/// files whenever they trip the memory budget and the final tables are
+/// materialized by a k-way run merge instead of an in-memory
+/// finalize — bit-identical output, bounded peak memory (see
+/// [`crate::ooc`]). With `ooc == None` this *is* the in-memory build
+/// and can never return `Err`.
+pub(crate) fn build_distributed_spillable(
+    comm: &Comm,
+    reads: &[Read],
+    chunk_size: usize,
+    params: &ReptileParams,
+    heur: &HeuristicConfig,
+    build_threads: usize,
+    mut ooc: Option<&mut OocBuild>,
+) -> Result<(RankTables, BuildStats), SpillError> {
     params.assert_valid();
     heur.validate().expect("invalid heuristic combination");
     assert!(chunk_size > 0);
@@ -255,9 +292,28 @@ pub fn build_distributed(
             // The own buckets never cross the wire: tally their raw
             // occurrences straight into the accumulators (this is the
             // pipeline's compute side, like the extraction itself).
+            // Budgeted builds absorb in bounded sub-chunks with a spill
+            // check after each — without direct arrays every own key
+            // lands in the raw buffers, so a whole batch of unchecked
+            // pushes can blow past the trigger (same discipline as
+            // drain_exchange).
             for w in &raw {
-                acc_kmers.push_keys(&w.kmers[me]);
-                acc_tiles.push_keys(&w.tiles[me]);
+                match ooc.as_deref_mut() {
+                    Some(o) => {
+                        for sub in w.kmers[me].chunks(crate::ooc::ABSORB_CHUNK_ENTRIES) {
+                            acc_kmers.push_keys(sub);
+                            o.maybe_spill(&mut acc_kmers, &mut acc_tiles);
+                        }
+                        for sub in w.tiles[me].chunks(crate::ooc::ABSORB_CHUNK_ENTRIES) {
+                            acc_tiles.push_keys(sub);
+                            o.maybe_spill(&mut acc_kmers, &mut acc_tiles);
+                        }
+                    }
+                    None => {
+                        acc_kmers.push_keys(&w.kmers[me]);
+                        acc_tiles.push_keys(&w.tiles[me]);
+                    }
+                }
             }
 
             if heur.batch_reads {
@@ -274,7 +330,15 @@ pub fn build_distributed(
                 // Drain batch B-1's exchange only now, after batch B's
                 // extraction ran under it — the double buffering.
                 if let Some(p) = pending.take() {
-                    drain_exchange(p, &owners, me, &mut acc_kmers, &mut acc_tiles, &mut stats);
+                    drain_exchange(
+                        p,
+                        &owners,
+                        me,
+                        &mut acc_kmers,
+                        &mut acc_tiles,
+                        &mut stats,
+                        ooc.as_deref_mut(),
+                    );
                 }
                 pending = Some(start_exchange(comm, agg, &mut stats));
             } else {
@@ -297,9 +361,24 @@ pub fn build_distributed(
                 pool.recycle(raw);
                 stats.extract_ns += elapsed_ns(t_extract);
             }
+            // Budgeted builds re-check at the batch boundary too (the
+            // exchange drain already checks per absorbed sub-chunk;
+            // spill failures are deferred either way — the loop's
+            // collective schedule must stay uniform across ranks).
+            if let Some(o) = ooc.as_deref_mut() {
+                o.maybe_spill(&mut acc_kmers, &mut acc_tiles);
+            }
         }
         if let Some(p) = pending.take() {
-            drain_exchange(p, &owners, me, &mut acc_kmers, &mut acc_tiles, &mut stats);
+            drain_exchange(
+                p,
+                &owners,
+                me,
+                &mut acc_kmers,
+                &mut acc_tiles,
+                &mut stats,
+                ooc.as_deref_mut(),
+            );
         }
 
         // Finalize the reads tallies (non-batch mode only — batch mode
@@ -352,24 +431,52 @@ pub fn build_distributed(
         // the final geometry (and `memory_bytes`) matches the serial
         // path exactly.
         let t_build = Instant::now();
-        let mut kmer_entries = acc_kmers.finalize();
-        kmer_entries.retain(|&(_, c)| c >= params.kmer_threshold);
-        let mut tile_entries = acc_tiles.finalize();
-        tile_entries.retain(|&(_, c)| c >= params.tile_threshold);
-        let mut hash_kmers = KmerSpectrum::new(kcodec, params.canonical);
-        hash_kmers.reserve(kmer_entries.len());
-        hash_kmers.merge_sorted(&kmer_entries);
-        drop(kmer_entries);
-        let mut hash_tiles = TileSpectrum::new(tcodec, params.canonical);
-        hash_tiles.reserve(tile_entries.len());
-        hash_tiles.merge_sorted(&tile_entries);
-        drop(tile_entries);
+        let (hash_kmers, hash_tiles) = match ooc {
+            Some(o) => {
+                // Budgeted materialization: spill the tails, k-way-merge
+                // the runs straight into the tables (crate::ooc docs).
+                // Resolve outcomes collectively before touching another
+                // collective — a rank whose spill plane failed (deferred
+                // batch-loop IO error or a corrupt run at merge time)
+                // must abort *with* its peers, not deadlock them in
+                // `derive_heuristic_tables` (same discipline as the
+                // snapshot layer's gather_failures).
+                let local = o.finish_spectra(&mut acc_kmers, &mut acc_tiles, params, &mut stats);
+                let failed: u64 = comm
+                    .allgatherv(vec![local.is_err() as u64])
+                    .iter()
+                    .map(|flags| flags.first().copied().unwrap_or(0))
+                    .sum();
+                match local {
+                    Err(e) => return Err(e),
+                    Ok(_) if failed > 0 => {
+                        return Err(SpillError::PeerFailure { failed_ranks: failed })
+                    }
+                    Ok(spectra) => spectra,
+                }
+            }
+            None => {
+                let mut kmer_entries = acc_kmers.finalize();
+                kmer_entries.retain(|&(_, c)| c >= params.kmer_threshold);
+                let mut tile_entries = acc_tiles.finalize();
+                tile_entries.retain(|&(_, c)| c >= params.tile_threshold);
+                let mut hash_kmers = KmerSpectrum::new(kcodec, params.canonical);
+                hash_kmers.reserve(kmer_entries.len());
+                hash_kmers.merge_sorted(&kmer_entries);
+                drop(kmer_entries);
+                let mut hash_tiles = TileSpectrum::new(tcodec, params.canonical);
+                hash_tiles.reserve(tile_entries.len());
+                hash_tiles.merge_sorted(&tile_entries);
+                drop(tile_entries);
+                (hash_kmers, hash_tiles)
+            }
+        };
         stats.extract_ns += elapsed_ns(t_build);
 
         // Already pruned above — go straight to the heuristic tables.
-        derive_heuristic_tables(
+        Ok(derive_heuristic_tables(
             comm, owners, params, heur, hash_kmers, hash_tiles, kmer_keys, tile_keys, stats,
-        )
+        ))
         // The pool's job senders drop here, ending every worker's recv
         // loop before the scope joins them.
     })
@@ -723,20 +830,41 @@ fn drain_exchange(
     acc_kmers: &mut CountAcc<u64>,
     acc_tiles: &mut CountAcc<u128>,
     stats: &mut BuildStats,
+    mut ooc: Option<&mut OocBuild>,
 ) {
     stats.overlap_ns += elapsed_ns(p.started);
     let t_wait = Instant::now();
+    // Budgeted builds absorb in bounded sub-chunks with a spill check
+    // after each, so pending bytes never outrun the trigger by more
+    // than one chunk — a whole exchange part can be far larger than the
+    // budget headroom at the floor (crate::ooc trigger arithmetic).
     for part in p.kmers.wait() {
         debug_assert!(part
             .iter()
             .all(|&(code, _)| owners.kmer_owner_at(Normalized::assume(code)) == me));
-        acc_kmers.push_run(&part);
+        match ooc.as_deref_mut() {
+            Some(o) => {
+                for sub in part.chunks(crate::ooc::ABSORB_CHUNK_ENTRIES) {
+                    acc_kmers.push_run(sub);
+                    o.maybe_spill(acc_kmers, acc_tiles);
+                }
+            }
+            None => acc_kmers.push_run(&part),
+        }
     }
     for part in p.tiles.wait() {
         debug_assert!(part
             .iter()
             .all(|&(code, _)| owners.tile_owner_at(Normalized::assume(code)) == me));
-        acc_tiles.push_run(&part);
+        match ooc.as_deref_mut() {
+            Some(o) => {
+                for sub in part.chunks(crate::ooc::ABSORB_CHUNK_ENTRIES) {
+                    acc_tiles.push_run(sub);
+                    o.maybe_spill(acc_kmers, acc_tiles);
+                }
+            }
+            None => acc_tiles.push_run(&part),
+        }
     }
     stats.exchange_ns += elapsed_ns(t_wait);
 }

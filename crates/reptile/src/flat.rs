@@ -434,6 +434,52 @@ impl FlatKmerTable {
         self.insert_pipelined(entries);
     }
 
+    /// Streaming counterpart of [`FlatKmerTable::merge_sorted`] for the
+    /// out-of-core build: the distinct-survivor count is known up front
+    /// (the run merge's counting pass) but the survivors arrive as a
+    /// stream, never materialized whole. Reserves for `entries` exactly
+    /// as the in-memory path's `reserve(n)` + `merge_sorted(&all)` call
+    /// pair does — so the final capacity, `len`, counts, and
+    /// `memory_bytes` all match it — then inserts `chunk`-sized sorted
+    /// slices through the prefetch-pipelined batch path with no growth
+    /// rehash. The table must be empty; `entries` counts the sentinel
+    /// key if the stream carries one (strictly-ascending keys put it
+    /// last).
+    pub fn bulk_load_sorted_stream(
+        &mut self,
+        entries: usize,
+        chunk: usize,
+        iter: impl IntoIterator<Item = (u64, u32)>,
+    ) {
+        assert!(self.is_empty(), "bulk_load_sorted_stream requires an empty table");
+        assert!(chunk > 0, "chunk must be nonzero");
+        self.reserve(entries);
+        let mut buf: Vec<(u64, u32)> = Vec::with_capacity(chunk.min(entries.max(1)));
+        let mut last: Option<u64> = None;
+        let mut seen = 0usize;
+        for (key, count) in iter {
+            debug_assert!(
+                last.is_none_or(|p| p < key),
+                "bulk_load_sorted_stream requires strictly ascending keys"
+            );
+            last = Some(key);
+            seen += 1;
+            if key == EMPTY_U64 {
+                self.sentinel_count = Some(count);
+                continue;
+            }
+            buf.push((key, count));
+            if buf.len() == chunk {
+                self.insert_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.insert_batch(&buf);
+        }
+        debug_assert_eq!(seen, entries, "stream length must match the declared count");
+    }
+
     /// The prefetch-pipelined `insert_batch` loop.
     fn insert_pipelined(&mut self, entries: &[(u64, u32)]) {
         let mut at = 0;
@@ -857,6 +903,43 @@ impl FlatTileTable {
     /// [`FlatKmerTable::insert_batch`]). Accepts arbitrary pairs.
     pub fn insert_batch(&mut self, entries: &[(u128, u32)]) {
         self.insert_pipelined(entries);
+    }
+
+    /// Streaming sorted bulk load for the out-of-core build (see
+    /// [`FlatKmerTable::bulk_load_sorted_stream`]).
+    pub fn bulk_load_sorted_stream(
+        &mut self,
+        entries: usize,
+        chunk: usize,
+        iter: impl IntoIterator<Item = (u128, u32)>,
+    ) {
+        assert!(self.is_empty(), "bulk_load_sorted_stream requires an empty table");
+        assert!(chunk > 0, "chunk must be nonzero");
+        self.reserve(entries);
+        let mut buf: Vec<(u128, u32)> = Vec::with_capacity(chunk.min(entries.max(1)));
+        let mut last: Option<u128> = None;
+        let mut seen = 0usize;
+        for (key, count) in iter {
+            debug_assert!(
+                last.is_none_or(|p| p < key),
+                "bulk_load_sorted_stream requires strictly ascending keys"
+            );
+            last = Some(key);
+            seen += 1;
+            if key == u128::MAX {
+                self.sentinel_count = Some(count);
+                continue;
+            }
+            buf.push((key, count));
+            if buf.len() == chunk {
+                self.insert_batch(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            self.insert_batch(&buf);
+        }
+        debug_assert_eq!(seen, entries, "stream length must match the declared count");
     }
 
     /// The prefetch-pipelined `insert_batch` loop.
@@ -1285,6 +1368,57 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streamed_bulk_load_matches_materialized_merge_sorted() {
+        // The out-of-core merge feeds this entry; geometry and content
+        // must match the in-memory reserve + merge_sorted pair for any
+        // chunking, sentinel or not.
+        for n in [0usize, 1, 12, 13, 700, 6001] {
+            for chunk in [1usize, 7, 256, 1 << 16] {
+                let mut entries: Vec<(u64, u32)> =
+                    (0..n as u64).map(|i| (dnaseq::mix64(i), (i % 9 + 1) as u32)).collect();
+                if n % 2 == 1 {
+                    entries.push((EMPTY_U64, 6)); // sentinel rides along on odd sizes
+                }
+                entries.sort_unstable_by_key(|e| e.0);
+                entries.dedup_by_key(|e| e.0);
+                let mut mem = FlatKmerTable::new();
+                mem.reserve(entries.len());
+                mem.merge_sorted(&entries);
+                let mut ooc = FlatKmerTable::new();
+                ooc.bulk_load_sorted_stream(entries.len(), chunk, entries.iter().copied());
+                assert_eq!(ooc.capacity(), mem.capacity(), "n={n} chunk={chunk}");
+                assert_eq!(ooc.len(), mem.len());
+                assert_eq!(ooc.memory_bytes(), mem.memory_bytes());
+                assert_eq!(ooc.get(EMPTY_U64), mem.get(EMPTY_U64));
+                for &(k, c) in &entries {
+                    assert_eq!(ooc.get(k), Some(c), "n={n} chunk={chunk} key={k}");
+                }
+            }
+        }
+        let mut tentries: Vec<(u128, u32)> = (0..500u64)
+            .map(|i| {
+                let lo = dnaseq::mix64(i);
+                ((((dnaseq::mix64(lo) as u128) << 64) | lo as u128), (i % 4 + 1) as u32)
+            })
+            .collect();
+        tentries.push((u128::MAX, 2));
+        tentries.sort_unstable_by_key(|e| e.0);
+        tentries.dedup_by_key(|e| e.0);
+        let mut mem = FlatTileTable::new();
+        mem.reserve(tentries.len());
+        mem.merge_sorted(&tentries);
+        let mut ooc = FlatTileTable::new();
+        ooc.bulk_load_sorted_stream(tentries.len(), 64, tentries.iter().copied());
+        assert_eq!(ooc.capacity(), mem.capacity());
+        assert_eq!(ooc.len(), mem.len());
+        assert_eq!(ooc.memory_bytes(), mem.memory_bytes());
+        assert_eq!(ooc.get(u128::MAX), Some(2));
+        for &(k, c) in &tentries {
+            assert_eq!(ooc.get(k), Some(c));
+        }
     }
 
     #[test]

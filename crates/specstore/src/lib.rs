@@ -42,6 +42,7 @@ pub mod format;
 pub mod manifest;
 pub mod rs;
 pub(crate) mod shard;
+pub mod spill;
 pub mod store;
 
 pub use checksum::{fnv1a, Fnv1a};
@@ -52,4 +53,8 @@ pub use format::{
 pub use manifest::{Manifest, ParityRecord, ShardRecord, MANIFEST_NAME};
 pub use rs::{RsCode, RsError};
 pub use shard::{LoadedShard, IO_CHUNK};
+pub use spill::{
+    write_run, RunMerger, RunMeta, RunReader, RunWriter, SpillBuffer, SpillError, SpillKey,
+    DEFAULT_SPILL_BUF_BYTES,
+};
 pub use store::{RecoveryPolicy, RepairStats, SnapshotReader, SnapshotWriter};
